@@ -1,0 +1,77 @@
+//! Experiment C3: early-exit (terminal) monoids — §II.A's "a dot product
+//! can terminate as soon as a terminal value is found", the mechanism
+//! behind fast pull-BFS. We compare pull `mxv` over the LOR monoid
+//! (terminal = true) against an operationally identical monoid without a
+//! declared terminal, on a dense frontier where almost every dot product
+//! can stop at its first hit.
+
+use criterion::Criterion;
+use graphblas::prelude::*;
+use graphblas::Semiring;
+use lagraph_bench::{criterion_config, rmat_structure_dual};
+
+/// Logical-OR monoid with the terminal value deliberately withheld.
+#[derive(Clone, Copy, Debug)]
+struct LorNoExit;
+
+impl BinaryOp<bool, bool, bool> for LorNoExit {
+    fn apply(&self, a: bool, b: bool) -> bool {
+        a || b
+    }
+}
+
+impl Monoid<bool> for LorNoExit {
+    fn identity(&self) -> bool {
+        false
+    }
+    // terminal(): None — no early exit.
+}
+
+fn bench(c: &mut Criterion) {
+    let a = rmat_structure_dual(12, 16, 4);
+    let n = a.nrows();
+    let q = Vector::dense(n, true).expect("dense frontier");
+    let with_exit = graphblas::semiring::LOR_LAND;
+    let without_exit = Semiring::new(LorNoExit, graphblas::binaryop::Land);
+
+    let mut group = c.benchmark_group("early_exit");
+    group.bench_function("lor_with_terminal", |bencher| {
+        bencher.iter(|| {
+            let mut w = Vector::<bool>::new(n).expect("w");
+            mxv(
+                &mut w,
+                None,
+                NOACC,
+                &with_exit,
+                &a,
+                &q,
+                &Descriptor::new().direction(Direction::Pull),
+            )
+            .expect("mxv");
+            w.nvals()
+        })
+    });
+    group.bench_function("lor_without_terminal", |bencher| {
+        bencher.iter(|| {
+            let mut w = Vector::<bool>::new(n).expect("w");
+            mxv(
+                &mut w,
+                None,
+                NOACC,
+                &without_exit,
+                &a,
+                &q,
+                &Descriptor::new().direction(Direction::Pull),
+            )
+            .expect("mxv");
+            w.nvals()
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut c = criterion_config();
+    bench(&mut c);
+    c.final_summary();
+}

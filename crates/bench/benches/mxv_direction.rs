@@ -1,0 +1,48 @@
+//! Experiment F3: push vs pull `mxv` across frontier densities (the
+//! GraphBLAST direction-optimization crossover of §II.E / Fig. 3).
+
+use criterion::{BenchmarkId, Criterion};
+use graphblas::prelude::*;
+use graphblas::semiring::LOR_LAND;
+use lagraph_bench::{criterion_config, frontier, rmat_structure_dual};
+
+fn bench(c: &mut Criterion) {
+    let a = rmat_structure_dual(11, 16, 42);
+    let n = a.nrows();
+    let mut group = c.benchmark_group("mxv_direction");
+    // Distinct frontier sizes from very sparse to half-dense (n = 2048).
+    for k in [4usize, 64, 512, n / 2] {
+        let q = frontier(n, k);
+        for (name, dir) in
+            [("push", Direction::Push), ("pull", Direction::Pull), ("auto", Direction::Auto)]
+        {
+            group.bench_with_input(
+                BenchmarkId::new(name, k),
+                &(&a, &q),
+                |bencher, (a, q)| {
+                    bencher.iter(|| {
+                        let mut w = Vector::<bool>::new(n).expect("w");
+                        mxv(
+                            &mut w,
+                            None,
+                            NOACC,
+                            &LOR_LAND,
+                            a,
+                            q,
+                            &Descriptor::new().direction(dir),
+                        )
+                        .expect("mxv");
+                        w.nvals()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = criterion_config();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,99 @@
+//! All-pairs shortest paths over min-plus (Solomonik, Buluç & Demmel,
+//! cited in §V): repeated squaring of the distance matrix, `D ← D min.+ D`
+//! until fixpoint — `O(log n)` semiring matrix products.
+
+use graphblas::prelude::*;
+use graphblas::semiring::MIN_PLUS;
+
+use crate::graph::Graph;
+
+/// All-pairs shortest path distances as a matrix: `D(i, j)` = length of
+/// the shortest path `i → j` (diagonal is 0; unreachable pairs have no
+/// entry). Intended for small and mid-sized graphs — the output is dense
+/// for connected graphs.
+pub fn apsp(graph: &Graph) -> Result<Matrix<f64>> {
+    let a = graph.a();
+    let n = a.nrows();
+    // D = A with a zero diagonal.
+    let mut d = a.clone();
+    for i in 0..n {
+        d.set_element(i, i, 0.0)?;
+    }
+    // Repeated squaring: distances double in hop count each step.
+    let mut hops = 1usize;
+    while hops < n {
+        let mut next = Matrix::<f64>::new(n, n)?;
+        mxm(&mut next, None, NOACC, &MIN_PLUS, &d, &d, &Descriptor::default())?;
+        if next.extract_tuples() == d.extract_tuples() {
+            break;
+        }
+        d = next;
+        hops *= 2;
+    }
+    Ok(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::sssp::sssp_bellman_ford;
+    use crate::graph::GraphKind;
+
+    fn weighted() -> Graph {
+        Graph::from_weighted_edges(
+            5,
+            &[(0, 1, 1.0), (0, 2, 4.0), (1, 2, 2.0), (1, 3, 7.0), (2, 3, 3.0), (4, 0, 1.0)],
+            GraphKind::Directed,
+        )
+        .expect("graph")
+    }
+
+    #[test]
+    fn apsp_matches_repeated_sssp() {
+        let g = weighted();
+        let d = apsp(&g).expect("apsp");
+        for src in 0..5 {
+            let row = sssp_bellman_ford(&g, src).expect("sssp");
+            for dst in 0..5 {
+                assert_eq!(
+                    d.get(src, dst),
+                    row.get(dst),
+                    "distance {src} -> {dst}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_is_zero() {
+        let g = weighted();
+        let d = apsp(&g).expect("apsp");
+        for v in 0..5 {
+            assert_eq!(d.get(v, v), Some(0.0));
+        }
+    }
+
+    #[test]
+    fn unreachable_pairs_missing() {
+        let g = weighted();
+        let d = apsp(&g).expect("apsp");
+        assert_eq!(d.get(0, 4), None, "nothing reaches 4");
+    }
+
+    #[test]
+    fn undirected_apsp_is_symmetric() {
+        let g = Graph::from_weighted_edges(
+            4,
+            &[(0, 1, 3.0), (1, 2, 1.0), (2, 3, 2.0)],
+            GraphKind::Undirected,
+        )
+        .expect("graph");
+        let d = apsp(&g).expect("apsp");
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(d.get(i, j), d.get(j, i));
+            }
+        }
+        assert_eq!(d.get(0, 3), Some(6.0));
+    }
+}

@@ -1,0 +1,197 @@
+//! A* search — one of the algorithms §V lists as "important but so far
+//! not implemented using a GraphBLAS-like library". This implementation
+//! is our contribution to that open item: the frontier bookkeeping is a
+//! classic priority queue, but all graph access goes through the
+//! GraphBLAS API (`extract_col` row extraction), so the algorithm remains
+//! storage-agnostic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use graphblas::prelude::*;
+
+use crate::graph::Graph;
+
+#[derive(PartialEq)]
+struct QueueItem {
+    f: f64,
+    vertex: Index,
+}
+
+impl Eq for QueueItem {}
+
+impl PartialOrd for QueueItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueueItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on f; ties toward the smaller vertex for determinism.
+        other
+            .f
+            .partial_cmp(&self.f)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.vertex.cmp(&self.vertex))
+    }
+}
+
+/// A* search from `source` to `target` with a heuristic `h(v)` estimating
+/// the remaining distance. Returns the path (source..=target) and its
+/// length, or `None` if the target is unreachable. The heuristic must be
+/// admissible (never overestimate) for the result to be optimal.
+pub fn astar(
+    graph: &Graph,
+    source: Index,
+    target: Index,
+    h: impl Fn(Index) -> f64,
+) -> Result<Option<(Vec<Index>, f64)>> {
+    let n = graph.nvertices();
+    if source >= n {
+        return Err(Error::oob(source, n));
+    }
+    if target >= n {
+        return Err(Error::oob(target, n));
+    }
+    let mut dist = Vector::<f64>::new(n)?;
+    let mut parent = Vector::<u64>::new(n)?;
+    let mut done = vec![false; n];
+    dist.set_element(source, 0.0)?;
+    let mut heap = BinaryHeap::new();
+    heap.push(QueueItem { f: h(source), vertex: source });
+    while let Some(QueueItem { vertex: v, .. }) = heap.pop() {
+        if done[v] {
+            continue;
+        }
+        done[v] = true;
+        if v == target {
+            // Reconstruct the path.
+            let mut path = vec![target];
+            let mut cur = target;
+            while cur != source {
+                cur = parent.extract_element(cur)? as Index;
+                path.push(cur);
+            }
+            path.reverse();
+            let d = dist.extract_element(target)?;
+            return Ok(Some((path, d)));
+        }
+        let dv = dist.extract_element(v)?;
+        // Neighbors of v: row v of A, via the GraphBLAS extract.
+        let mut row = Vector::<f64>::new(n)?;
+        extract_col(
+            &mut row,
+            None,
+            NOACC,
+            graph.a(),
+            &IndexSel::All,
+            v,
+            &Descriptor::new().transpose_a(),
+        )?;
+        for (u, w) in row.iter() {
+            if done[u] {
+                continue;
+            }
+            let cand = dv + w;
+            if dist.get(u).map_or(true, |cur| cand < cur) {
+                dist.set_element(u, cand)?;
+                parent.set_element(u, v as u64)?;
+                heap.push(QueueItem { f: cand + h(u), vertex: u });
+            }
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::sssp::sssp_bellman_ford;
+    use crate::graph::GraphKind;
+
+    /// 4×4 grid graph with unit weights; vertex = row*4 + col.
+    fn grid() -> Graph {
+        let mut edges = Vec::new();
+        for r in 0..4usize {
+            for c in 0..4usize {
+                let v = r * 4 + c;
+                if c + 1 < 4 {
+                    edges.push((v, v + 1, 1.0));
+                }
+                if r + 1 < 4 {
+                    edges.push((v, v + 4, 1.0));
+                }
+            }
+        }
+        Graph::from_weighted_edges(16, &edges, GraphKind::Undirected).expect("graph")
+    }
+
+    fn manhattan(target: Index) -> impl Fn(Index) -> f64 {
+        move |v| {
+            let (vr, vc) = (v / 4, v % 4);
+            let (tr, tc) = (target / 4, target % 4);
+            (vr.abs_diff(tr) + vc.abs_diff(tc)) as f64
+        }
+    }
+
+    #[test]
+    fn grid_corner_to_corner() {
+        let g = grid();
+        let (path, d) = astar(&g, 0, 15, manhattan(15)).expect("astar").expect("reachable");
+        assert_eq!(d, 6.0);
+        assert_eq!(path.len(), 7);
+        assert_eq!(path[0], 0);
+        assert_eq!(*path.last().expect("nonempty"), 15);
+        // Each step is a real edge.
+        for w in path.windows(2) {
+            assert!(g.a().get(w[0], w[1]).is_some());
+        }
+    }
+
+    #[test]
+    fn astar_matches_sssp_distances() {
+        let g = Graph::from_weighted_edges(
+            5,
+            &[(0, 1, 1.0), (0, 2, 4.0), (1, 2, 2.0), (1, 3, 7.0), (2, 3, 3.0)],
+            GraphKind::Directed,
+        )
+        .expect("graph");
+        let d = sssp_bellman_ford(&g, 0).expect("sssp");
+        // Zero heuristic = Dijkstra: must agree with Bellman-Ford.
+        for target in 1..4 {
+            let (_, ad) = astar(&g, 0, target, |_| 0.0).expect("astar").expect("reach");
+            assert_eq!(Some(ad), d.get(target), "target {target}");
+        }
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let g = Graph::from_weighted_edges(3, &[(0, 1, 1.0)], GraphKind::Directed)
+            .expect("graph");
+        assert!(astar(&g, 0, 2, |_| 0.0).expect("astar").is_none());
+    }
+
+    #[test]
+    fn source_equals_target() {
+        let g = grid();
+        let (path, d) = astar(&g, 5, 5, manhattan(5)).expect("astar").expect("trivial");
+        assert_eq!(path, vec![5]);
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn heuristic_prunes_work_but_keeps_optimality() {
+        let g = grid();
+        let (_, d0) = astar(&g, 0, 15, |_| 0.0).expect("astar").expect("reach");
+        let (_, dh) = astar(&g, 0, 15, manhattan(15)).expect("astar").expect("reach");
+        assert_eq!(d0, dh);
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let g = grid();
+        assert!(astar(&g, 99, 0, |_| 0.0).is_err());
+        assert!(astar(&g, 0, 99, |_| 0.0).is_err());
+    }
+}

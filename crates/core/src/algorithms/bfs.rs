@@ -1,0 +1,219 @@
+//! Breadth-first search.
+//!
+//! Three variants, all built only on the public GraphBLAS API:
+//!
+//! * [`bfs_level`] — a line-for-line transcription of the paper's Fig. 2
+//!   pseudocode (`frontier⟨¬levels, replace⟩ = graphᵀ ⊕.⊗ frontier` over
+//!   the logical semiring).
+//! * [`bfs_parent`] — parent-pointer BFS using the `ANY_SECOND` semiring.
+//! * [`bfs_level_direction`] — the direction-optimized (push/pull) BFS of
+//!   Beamer et al. that §II.A and §II.E describe, with an explicit
+//!   [`Direction`] override for the benchmark harness.
+
+use graphblas::prelude::*;
+use graphblas::semiring::{ANY_SECOND, LOR_LAND};
+
+use crate::graph::Graph;
+
+/// Level BFS, exactly as in Fig. 2 of the paper. Returns the level vector:
+/// `levels(v) = depth` with the source at depth 1; unreached vertices have
+/// no entry.
+pub fn bfs_level(graph: &Graph, source: Index) -> Result<Vector<i32>> {
+    let a = graph.structure();
+    bfs_level_matrix(&a, source, Direction::Auto)
+}
+
+/// Level BFS with explicit direction control (Push / Pull / Auto). `Auto`
+/// reproduces GraphBLAST's threshold switching when the matrix has dual
+/// storage.
+pub fn bfs_level_direction(
+    graph: &Graph,
+    source: Index,
+    direction: Direction,
+) -> Result<Vector<i32>> {
+    let a = graph.structure();
+    bfs_level_matrix(&a, source, direction)
+}
+
+/// The Fig. 2 kernel over any Boolean adjacency matrix.
+pub fn bfs_level_matrix(
+    a: &Matrix<bool>,
+    source: Index,
+    direction: Direction,
+) -> Result<Vector<i32>> {
+    let n = a.nrows();
+    if source >= n {
+        return Err(Error::oob(source, n));
+    }
+    let mut levels = Vector::<i32>::new(n)?;
+    let mut frontier = Vector::<bool>::new(n)?;
+    frontier.set_element(source, true)?;
+    let mut depth = 0;
+    while frontier.nvals() > 0 {
+        depth += 1;
+        // levels[frontier] = depth
+        assign_scalar(
+            &mut levels,
+            Some(&frontier),
+            NOACC,
+            depth,
+            &IndexSel::All,
+            &Descriptor::new().structural(),
+        )?;
+        // frontier<¬levels,replace> = graphᵀ ⊕.⊗ frontier
+        let visited = levels.pattern();
+        let q = std::mem::replace(&mut frontier, Vector::new(n)?);
+        mxv(
+            &mut frontier,
+            Some(&visited),
+            NOACC,
+            &LOR_LAND,
+            a,
+            &q,
+            &Descriptor::new()
+                .transpose_a()
+                .complement()
+                .structural()
+                .replace()
+                .direction(direction),
+        )?;
+    }
+    Ok(levels)
+}
+
+/// Parent BFS: returns `parents(v) = u` where `u` is the vertex that
+/// discovered `v` (the source is its own parent). Uses the `ANY_SECOND`
+/// semiring so any discovering neighbor may win — with deterministic
+/// tie-breaking in this implementation (the first in row order).
+pub fn bfs_parent(graph: &Graph, source: Index) -> Result<Vector<u64>> {
+    let a = graph.structure();
+    let n = a.nrows();
+    if source >= n {
+        return Err(Error::oob(source, n));
+    }
+    let mut parents = Vector::<u64>::new(n)?;
+    parents.set_element(source, source as u64)?;
+    // The frontier carries the *id of the discovering vertex* as value.
+    let mut frontier = Vector::<u64>::new(n)?;
+    frontier.set_element(source, source as u64)?;
+    while frontier.nvals() > 0 {
+        // q(v) = v for the next wave: each frontier vertex offers itself.
+        let mut q = Vector::<u64>::new(n)?;
+        apply_indexed(
+            &mut q,
+            None,
+            NOACC,
+            |i: Index, _: Index, _: u64| i as u64,
+            &frontier,
+            &Descriptor::default(),
+        )?;
+        // next<¬parents,replace> = Aᵀ any.second q
+        let visited = parents.pattern();
+        let mut next = Vector::<u64>::new(n)?;
+        mxv(
+            &mut next,
+            Some(&visited),
+            NOACC,
+            &ANY_SECOND,
+            &a,
+            &q,
+            &Descriptor::new().transpose_a().complement().structural().replace(),
+        )?;
+        // parents<next,structural> = next
+        assign(
+            &mut parents,
+            Some(&next.pattern()),
+            NOACC,
+            &next,
+            &IndexSel::All,
+            &Descriptor::new().structural(),
+        )?;
+        frontier = next;
+    }
+    Ok(parents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphKind;
+
+    /// 0 — 1 — 2 — 3, plus 1 — 4; vertex 5 isolated.
+    fn path_graph() -> Graph {
+        Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (1, 4)], GraphKind::Undirected)
+            .expect("graph")
+    }
+
+    #[test]
+    fn levels_on_a_path() {
+        let g = path_graph();
+        let levels = bfs_level(&g, 0).expect("bfs");
+        assert_eq!(
+            levels.extract_tuples(),
+            vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 3)]
+        );
+        assert_eq!(levels.get(5), None, "isolated vertex unreached");
+    }
+
+    #[test]
+    fn levels_from_interior_source() {
+        let g = path_graph();
+        let levels = bfs_level(&g, 2).expect("bfs");
+        assert_eq!(levels.get(2), Some(1));
+        assert_eq!(levels.get(1), Some(2));
+        assert_eq!(levels.get(3), Some(2));
+        assert_eq!(levels.get(0), Some(3));
+        assert_eq!(levels.get(4), Some(3));
+    }
+
+    #[test]
+    fn directions_agree() {
+        let g = path_graph();
+        let auto = bfs_level_direction(&g, 0, Direction::Auto).expect("auto");
+        let push = bfs_level_direction(&g, 0, Direction::Push).expect("push");
+        let pull = bfs_level_direction(&g, 0, Direction::Pull).expect("pull");
+        assert_eq!(auto.extract_tuples(), push.extract_tuples());
+        assert_eq!(auto.extract_tuples(), pull.extract_tuples());
+    }
+
+    #[test]
+    fn parents_form_a_bfs_tree() {
+        let g = path_graph();
+        let parents = bfs_parent(&g, 0).expect("bfs");
+        let levels = bfs_level(&g, 0).expect("levels");
+        assert_eq!(parents.get(0), Some(0), "source is its own parent");
+        for (v, p) in parents.iter() {
+            if v == 0 {
+                continue;
+            }
+            let lv = levels.get(v).expect("reached");
+            let lp = levels.get(p as Index).expect("parent reached");
+            assert_eq!(lv, lp + 1, "parent of {v} is one level up");
+            assert!(g.a().get(p as Index, v).is_some(), "parent edge exists");
+        }
+        assert_eq!(parents.get(5), None);
+    }
+
+    #[test]
+    fn directed_bfs_follows_arcs() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (3, 0)], GraphKind::Directed)
+            .expect("graph");
+        let levels = bfs_level(&g, 0).expect("bfs");
+        assert_eq!(levels.extract_tuples(), vec![(0, 1), (1, 2), (2, 3)]);
+        // 3 → 0 is not reachable from 0.
+        assert_eq!(levels.get(3), None);
+    }
+
+    #[test]
+    fn source_out_of_bounds() {
+        let g = path_graph();
+        assert!(bfs_level(&g, 6).is_err());
+    }
+
+    #[test]
+    fn bfs_on_single_vertex() {
+        let g = Graph::from_edges(1, &[], GraphKind::Undirected).expect("graph");
+        let levels = bfs_level(&g, 0).expect("bfs");
+        assert_eq!(levels.extract_tuples(), vec![(0, 1)]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Connected components via FastSV (Zhang, Azad, Buluç), the
+//! linear-algebraic successor of LACC cited by the paper: min-label
+//! hooking through `mxv` over the MIN_SECOND semiring plus pointer
+//! shortcutting with `extract`.
+
+use graphblas::prelude::*;
+use graphblas::semiring::MIN_SECOND;
+
+use crate::graph::Graph;
+
+/// Connected components of an undirected graph: returns `comp(v)` = the
+/// smallest vertex id in `v`'s component.
+pub fn connected_components(graph: &Graph) -> Result<Vector<u64>> {
+    let s = graph.structure();
+    let a: &Matrix<bool> = &s;
+    let n = a.nrows();
+    // f(v) starts as v itself.
+    let mut f = Vector::<u64>::new(n)?;
+    assign_scalar(&mut f, None, NOACC, 0u64, &IndexSel::All, &Descriptor::default())?;
+    let mut init = Vector::<u64>::new(n)?;
+    apply_indexed(
+        &mut init,
+        None,
+        NOACC,
+        |i: Index, _: Index, _: u64| i as u64,
+        &f,
+        &Descriptor::default(),
+    )?;
+    f = init;
+
+    loop {
+        let before = f.extract_tuples();
+        // Grandparents: gp(v) = f(f(v)).
+        let fv: Vec<Index> = f.iter().map(|(_, p)| p as Index).collect();
+        let mut gp = Vector::<u64>::new(n)?;
+        extract(&mut gp, None, NOACC, &f, &IndexSel::List(fv), &Descriptor::default())?;
+        // Hooking: mngp(v) = min over neighbors u of gp(u).
+        let mut mngp = Vector::<u64>::new(n)?;
+        mxv(&mut mngp, None, NOACC, &MIN_SECOND, a, &gp, &Descriptor::default())?;
+        // f = min(f, mngp, gp): hook low labels and shortcut.
+        let fc = f.clone();
+        ewise_add(&mut f, None, NOACC, binaryop::Min, &fc, &mngp, &Descriptor::default())?;
+        let fc = f.clone();
+        ewise_add(&mut f, None, NOACC, binaryop::Min, &fc, &gp, &Descriptor::default())?;
+        if f.extract_tuples() == before {
+            break;
+        }
+    }
+    Ok(f)
+}
+
+/// The number of connected components.
+pub fn component_count(graph: &Graph) -> Result<usize> {
+    let comp = connected_components(graph)?;
+    let mut labels: Vec<u64> = comp.iter().map(|(_, c)| c).collect();
+    labels.sort_unstable();
+    labels.dedup();
+    Ok(labels.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphKind;
+
+    #[test]
+    fn two_components_and_an_isolate() {
+        // {0,1,2} path, {3,4} edge, {5} isolated.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4)], GraphKind::Undirected)
+            .expect("graph");
+        let comp = connected_components(&g).expect("cc");
+        assert_eq!(comp.get(0), Some(0));
+        assert_eq!(comp.get(1), Some(0));
+        assert_eq!(comp.get(2), Some(0));
+        assert_eq!(comp.get(3), Some(3));
+        assert_eq!(comp.get(4), Some(3));
+        assert_eq!(comp.get(5), Some(5));
+        assert_eq!(component_count(&g).expect("count"), 3);
+    }
+
+    #[test]
+    fn fully_connected_is_one_component() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)], GraphKind::Undirected)
+            .expect("graph");
+        assert_eq!(component_count(&g).expect("count"), 1);
+        let comp = connected_components(&g).expect("cc");
+        for v in 0..4 {
+            assert_eq!(comp.get(v), Some(0));
+        }
+    }
+
+    #[test]
+    fn no_edges_every_vertex_its_own() {
+        let g = Graph::from_edges(5, &[], GraphKind::Undirected).expect("graph");
+        assert_eq!(component_count(&g).expect("count"), 5);
+    }
+
+    #[test]
+    fn long_path_converges() {
+        // A long path exercises the shortcutting (doubling) behaviour.
+        let edges: Vec<(Index, Index)> = (0..99).map(|i| (i, i + 1)).collect();
+        let g = Graph::from_edges(100, &edges, GraphKind::Undirected).expect("graph");
+        let comp = connected_components(&g).expect("cc");
+        for v in 0..100 {
+            assert_eq!(comp.get(v), Some(0), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn labels_are_component_minima() {
+        let g = Graph::from_edges(7, &[(6, 5), (5, 4), (2, 3)], GraphKind::Undirected)
+            .expect("graph");
+        let comp = connected_components(&g).expect("cc");
+        assert_eq!(comp.get(6), Some(4));
+        assert_eq!(comp.get(3), Some(2));
+        assert_eq!(comp.get(0), Some(0));
+    }
+}

@@ -1,0 +1,150 @@
+//! Greedy graph coloring via independent sets (Jones–Plassmann style, as
+//! in Osama et al., "Graph coloring on the GPU", cited in §V): repeatedly
+//! carve a maximal independent set out of the uncolored subgraph and give
+//! it the next color.
+
+use graphblas::prelude::*;
+use graphblas::semiring::MAX_SECOND;
+
+use crate::graph::Graph;
+use crate::utils::SplitMix64;
+
+/// Color the vertices of an undirected graph. Returns `colors(v) ∈ 1..=k`
+/// such that no edge connects two vertices of the same color, and the
+/// number of colors `k` used. Deterministic for a fixed seed.
+pub fn greedy_color(graph: &Graph, seed: u64) -> Result<(Vector<i32>, i32)> {
+    let s = graph.structure();
+    let a: &Matrix<bool> = &s;
+    let n = a.nrows();
+    let mut rng = SplitMix64::new(seed);
+    let mut colors = Vector::<i32>::new(n)?;
+    let mut uncolored: Vec<Index> = (0..n).collect();
+    let mut color = 0;
+    while !uncolored.is_empty() {
+        color += 1;
+        // Luby round restricted to the uncolored subgraph, repeated until
+        // the round's independent set is maximal within it.
+        let mut candidates = Vector::<bool>::new(n)?;
+        for &v in &uncolored {
+            candidates.set_element(v, true)?;
+        }
+        let mut members = Vector::<bool>::new(n)?;
+        while candidates.nvals() > 0 {
+            let cand_idx: Vec<Index> = candidates.iter().map(|(i, _)| i).collect();
+            let weights: Vec<(Index, f64)> =
+                cand_idx.iter().map(|&i| (i, rng.next_f64())).collect();
+            let prob = Vector::from_tuples(n, weights, |_, b| b)?;
+            let mut nbr_max = Vector::<f64>::new(n)?;
+            mxv(
+                &mut nbr_max,
+                Some(&candidates),
+                NOACC,
+                &MAX_SECOND,
+                a,
+                &prob,
+                &Descriptor::default(),
+            )?;
+            let mut winners: Vec<Index> = Vec::new();
+            for &i in &cand_idx {
+                let w = prob.get(i).expect("weight");
+                if nbr_max.get(i).map_or(true, |m| w > m) {
+                    winners.push(i);
+                }
+            }
+            if winners.is_empty() {
+                continue;
+            }
+            let mut wv = Vector::<bool>::new(n)?;
+            for &i in &winners {
+                wv.set_element(i, true)?;
+                members.set_element(i, true)?;
+            }
+            let mut nbrs = Vector::<bool>::new(n)?;
+            mxv(&mut nbrs, None, NOACC, &MAX_SECOND, a, &wv, &Descriptor::default())?;
+            for v in winners.into_iter().chain(nbrs.iter().map(|(i, _)| i)) {
+                candidates.remove_element(v)?;
+            }
+        }
+        // Assign the color and shrink the uncolored set.
+        assign_scalar(
+            &mut colors,
+            Some(&members),
+            NOACC,
+            color,
+            &IndexSel::All,
+            &Descriptor::new().structural(),
+        )?;
+        uncolored.retain(|&v| members.get(v).is_none());
+    }
+    Ok((colors, color))
+}
+
+/// Check that a coloring is proper: every vertex colored, no monochrome
+/// edge.
+pub fn verify_coloring(graph: &Graph, colors: &Vector<i32>) -> Result<bool> {
+    let n = graph.nvertices();
+    for v in 0..n {
+        if colors.get(v).is_none() {
+            return Ok(false);
+        }
+    }
+    for (i, j, _) in graph.a().iter() {
+        if i != j && colors.get(i) == colors.get(j) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphKind;
+
+    #[test]
+    fn path_needs_two_colors() {
+        let edges: Vec<(Index, Index)> = (0..9).map(|i| (i, i + 1)).collect();
+        let g = Graph::from_edges(10, &edges, GraphKind::Undirected).expect("graph");
+        let (colors, k) = greedy_color(&g, 1).expect("color");
+        assert!(verify_coloring(&g, &colors).expect("verify"));
+        assert!((2..=3).contains(&k), "path colored with {k}");
+    }
+
+    #[test]
+    fn complete_graph_needs_n_colors() {
+        let mut edges = Vec::new();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                edges.push((i, j));
+            }
+        }
+        let g = Graph::from_edges(5, &edges, GraphKind::Undirected).expect("graph");
+        let (colors, k) = greedy_color(&g, 3).expect("color");
+        assert!(verify_coloring(&g, &colors).expect("verify"));
+        assert_eq!(k, 5);
+    }
+
+    #[test]
+    fn edgeless_graph_one_color() {
+        let g = Graph::from_edges(4, &[], GraphKind::Undirected).expect("graph");
+        let (colors, k) = greedy_color(&g, 5).expect("color");
+        assert_eq!(k, 1);
+        assert!(verify_coloring(&g, &colors).expect("verify"));
+    }
+
+    #[test]
+    fn star_graph_two_colors() {
+        let g = Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)],
+            GraphKind::Undirected).expect("graph");
+        let (colors, k) = greedy_color(&g, 11).expect("color");
+        assert!(verify_coloring(&g, &colors).expect("verify"));
+        assert_eq!(k, 2);
+    }
+
+    #[test]
+    fn verify_rejects_monochrome_edge() {
+        let g = Graph::from_edges(2, &[(0, 1)], GraphKind::Undirected).expect("graph");
+        let bad = Vector::from_tuples(2, vec![(0, 1), (1, 1)], |_, b| b).expect("v");
+        assert!(!verify_coloring(&g, &bad).expect("verify"));
+    }
+}

@@ -1,0 +1,179 @@
+//! Sparse deep neural network inference (Kepner et al., "Enabling massive
+//! deep neural networks with the GraphBLAS", cited in §V; the MIT/IEEE
+//! GraphChallenge SDNN kernel): `Y ← ReLU(Y W_l + b_l)` per layer with a
+//! saturation cap, all in sparse matrix algebra.
+
+use graphblas::prelude::*;
+use graphblas::semiring::PLUS_TIMES;
+
+use crate::graph::Graph;
+
+/// One layer: a sparse weight matrix and a per-neuron bias.
+pub struct DnnLayer {
+    /// `neurons_in × neurons_out` weights.
+    pub weights: Matrix<f64>,
+    /// Bias added to every column (neuron) after the product.
+    pub bias: Vector<f64>,
+}
+
+/// The GraphChallenge activation cap.
+pub const YMAX: f64 = 32.0;
+
+/// Run sparse DNN inference: `Y0` is `samples × neurons`; each layer maps
+/// through `ReLU(Y W + bias)` truncated at [`YMAX`]. Returns the final
+/// activation matrix.
+pub fn dnn_inference(y0: &Matrix<f64>, layers: &[DnnLayer]) -> Result<Matrix<f64>> {
+    let mut y = y0.clone();
+    for (li, layer) in layers.iter().enumerate() {
+        if layer.weights.nrows() != y.ncols() {
+            return Err(Error::dim(format!(
+                "layer {li}: weights are {}x{}, activations have {} columns",
+                layer.weights.nrows(),
+                layer.weights.ncols(),
+                y.ncols()
+            )));
+        }
+        if layer.bias.size() != layer.weights.ncols() {
+            return Err(Error::dim(format!("layer {li}: bias length mismatch")));
+        }
+        // Y ← Y ⊕.⊗ W
+        let mut z = Matrix::<f64>::new(y.nrows(), layer.weights.ncols())?;
+        mxm(&mut z, None, NOACC, &PLUS_TIMES, &y, &layer.weights, &Descriptor::default())?;
+        // += bias per column, then ReLU with saturation; drop zeros to
+        // keep the activations sparse.
+        let bias: Vec<f64> = {
+            let mut b = vec![0.0; layer.bias.size()];
+            for (j, x) in layer.bias.iter() {
+                b[j] = x;
+            }
+            b
+        };
+        let bias_ref: &[f64] = &bias;
+        let mut activated = Matrix::<f64>::new(z.nrows(), z.ncols())?;
+        apply_matrix_indexed(
+            &mut activated,
+            None,
+            NOACC,
+            |_: Index, j: Index, x: f64| (x + bias_ref[j]).clamp(0.0, YMAX),
+            &z,
+            &Descriptor::default(),
+        )?;
+        let mut sparse = Matrix::<f64>::new(z.nrows(), z.ncols())?;
+        select_matrix(
+            &mut sparse,
+            None,
+            NOACC,
+            |_: Index, _: Index, x: f64| x > 0.0,
+            &activated,
+            &Descriptor::default(),
+        )?;
+        y = sparse;
+    }
+    Ok(y)
+}
+
+/// The GraphChallenge categorization step: a sample is "positive" when
+/// its final activations sum to a nonzero value.
+pub fn dnn_categorize(y: &Matrix<f64>) -> Result<Vector<bool>> {
+    let mut sums = Vector::<f64>::new(y.nrows())?;
+    reduce_matrix(&mut sums, None, NOACC, &binaryop::Plus, y, &Descriptor::default())?;
+    let mut cats = Vector::<bool>::new(y.nrows())?;
+    apply(&mut cats, None, NOACC, |s: f64| s > 0.0, &sums, &Descriptor::default())?;
+    Ok(cats)
+}
+
+/// Build a synthetic RadiX-Net-like layer stack for tests and benches:
+/// `nlayers` square layers over `nneurons` neurons, each neuron feeding a
+/// fixed fan-out, with the GraphChallenge bias convention (a constant
+/// negative bias so weak activations die out).
+pub fn synthetic_layers(nneurons: Index, nlayers: usize, bias: f64) -> Vec<DnnLayer> {
+    let mut layers = Vec::with_capacity(nlayers);
+    for l in 0..nlayers {
+        let mut tuples = Vec::new();
+        for i in 0..nneurons {
+            // Fan-out of 4 with a layer-dependent stride pattern.
+            for k in 0..4usize {
+                let j = (i * 2 + k * (l + 1) + l) % nneurons;
+                tuples.push((i, j, 0.5));
+            }
+        }
+        let weights = Matrix::from_tuples(nneurons, nneurons, tuples, |a, _| a)
+            .expect("valid dims");
+        let bias = Vector::dense(nneurons, bias).expect("valid dims");
+        layers.push(DnnLayer { weights, bias });
+    }
+    layers
+}
+
+/// Interpret a graph's adjacency as a single DNN layer (utility used by
+/// examples; the paper's §V lists DNN inference among the algorithms a
+/// GraphBLAS library should host).
+pub fn layer_from_graph(graph: &Graph, bias: f64) -> DnnLayer {
+    DnnLayer {
+        weights: graph.a().clone(),
+        bias: Vector::dense(graph.nvertices(), bias).expect("valid dims"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_network_passes_through() {
+        let eye = Matrix::from_tuples(3, 3, vec![(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)],
+            |_, b| b).expect("eye");
+        let layers = vec![DnnLayer { weights: eye, bias: Vector::dense(3, 0.0).expect("b") }];
+        let y0 = Matrix::from_tuples(2, 3, vec![(0, 0, 5.0), (1, 2, 7.0)], |_, b| b)
+            .expect("y0");
+        let y = dnn_inference(&y0, &layers).expect("dnn");
+        assert_eq!(y.extract_tuples(), y0.extract_tuples());
+    }
+
+    #[test]
+    fn relu_kills_negative_activations() {
+        let w = Matrix::from_tuples(1, 1, vec![(0, 0, 1.0)], |_, b| b).expect("w");
+        let layers = vec![DnnLayer { weights: w, bias: Vector::dense(1, -10.0).expect("b") }];
+        let y0 = Matrix::from_tuples(1, 1, vec![(0, 0, 5.0)], |_, b| b).expect("y0");
+        let y = dnn_inference(&y0, &layers).expect("dnn");
+        assert_eq!(y.nvals(), 0);
+    }
+
+    #[test]
+    fn saturation_at_ymax() {
+        let w = Matrix::from_tuples(1, 1, vec![(0, 0, 100.0)], |_, b| b).expect("w");
+        let layers = vec![DnnLayer { weights: w, bias: Vector::dense(1, 0.0).expect("b") }];
+        let y0 = Matrix::from_tuples(1, 1, vec![(0, 0, 5.0)], |_, b| b).expect("y0");
+        let y = dnn_inference(&y0, &layers).expect("dnn");
+        assert_eq!(y.get(0, 0), Some(YMAX));
+    }
+
+    #[test]
+    fn multilayer_synthetic_network_runs() {
+        let layers = synthetic_layers(32, 4, -0.05);
+        let y0 = Matrix::from_tuples(
+            8,
+            32,
+            (0..8).map(|s| (s, (s * 3) % 32, 1.0)).collect(),
+            |_, b| b,
+        )
+        .expect("y0");
+        let y = dnn_inference(&y0, &layers).expect("dnn");
+        assert_eq!(y.nrows(), 8);
+        assert_eq!(y.ncols(), 32);
+        let cats = dnn_categorize(&y).expect("cats");
+        // Someone survives the shallow network.
+        assert!(cats.nvals() > 0);
+        for (_, alive) in cats.iter() {
+            assert!(alive);
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let w = Matrix::<f64>::new(4, 4).expect("w");
+        let layers = vec![DnnLayer { weights: w, bias: Vector::dense(4, 0.0).expect("b") }];
+        let y0 = Matrix::<f64>::new(2, 3).expect("y0");
+        assert!(dnn_inference(&y0, &layers).is_err());
+    }
+}

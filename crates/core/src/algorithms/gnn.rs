@@ -1,0 +1,202 @@
+//! Graph neural network inference — from the paper's §V list of
+//! algorithms "important but so far not implemented using a
+//! GraphBLAS-like library". This module implements GCN-style message
+//! passing (Kipf & Welling) as pure GraphBLAS algebra:
+//!
+//! `H' = σ( Â H W )` with `Â = D^{-1/2} (A + I) D^{-1/2}`,
+//!
+//! where the normalized adjacency is built with `diag`-scaling matrix
+//! products and each layer is one sparse `mxm` pair plus an `apply`.
+
+use graphblas::prelude::*;
+use graphblas::semiring::PLUS_TIMES;
+
+use crate::graph::Graph;
+
+/// One GCN layer: a dense-ish weight matrix `features_in × features_out`.
+pub struct GcnLayer {
+    /// The learned weight matrix (here: supplied or synthetic).
+    pub weights: Matrix<f64>,
+    /// Apply the ReLU nonlinearity after this layer.
+    pub relu: bool,
+}
+
+/// The symmetric-normalized adjacency `Â = D^{-1/2}(A + I)D^{-1/2}`.
+pub fn normalized_adjacency(graph: &Graph) -> Result<Matrix<f64>> {
+    let n = graph.nvertices();
+    // A + I (self-loops, the GCN renormalization trick).
+    let eye = {
+        let tuples: Vec<(Index, Index, f64)> = (0..n).map(|v| (v, v, 1.0)).collect();
+        Matrix::from_tuples(n, n, tuples, |_, b| b)?
+    };
+    let mut a_hat = Matrix::<f64>::new(n, n)?;
+    // Use the pattern (structure) of A so weights don't skew degrees.
+    let mut ones = Matrix::<f64>::new(n, n)?;
+    apply_matrix(&mut ones, None, NOACC, unaryop::One, graph.a(), &Descriptor::default())?;
+    ewise_add_matrix(&mut a_hat, None, NOACC, binaryop::Plus, &ones, &eye, &Descriptor::default())?;
+    // Degrees of A + I.
+    let mut deg = Vector::<f64>::new(n)?;
+    reduce_matrix(&mut deg, None, NOACC, &binaryop::Plus, &a_hat, &Descriptor::default())?;
+    let mut dinv_sqrt = Vector::<f64>::new(n)?;
+    apply(&mut dinv_sqrt, None, NOACC, |d: f64| 1.0 / d.sqrt(), &deg, &Descriptor::default())?;
+    let d = Matrix::diag(&dinv_sqrt);
+    // D^{-1/2} (A+I) D^{-1/2}
+    let mut left = Matrix::<f64>::new(n, n)?;
+    mxm(&mut left, None, NOACC, &PLUS_TIMES, &d, &a_hat, &Descriptor::default())?;
+    let mut norm = Matrix::<f64>::new(n, n)?;
+    mxm(&mut norm, None, NOACC, &PLUS_TIMES, &left, &d, &Descriptor::default())?;
+    Ok(norm)
+}
+
+/// Run GCN inference: `h` is the `n × f` node-feature matrix; each layer
+/// computes `σ(Â h W)`. Returns the final embeddings.
+pub fn gcn_inference(
+    graph: &Graph,
+    h: &Matrix<f64>,
+    layers: &[GcnLayer],
+) -> Result<Matrix<f64>> {
+    let n = graph.nvertices();
+    if h.nrows() != n {
+        return Err(Error::dim(format!(
+            "features have {} rows, graph has {n} vertices",
+            h.nrows()
+        )));
+    }
+    let a_hat = normalized_adjacency(graph)?;
+    let mut h = h.clone();
+    for (k, layer) in layers.iter().enumerate() {
+        if layer.weights.nrows() != h.ncols() {
+            return Err(Error::dim(format!(
+                "layer {k}: weights are {}x{}, features have {} columns",
+                layer.weights.nrows(),
+                layer.weights.ncols(),
+                h.ncols()
+            )));
+        }
+        // Message passing: M = Â H.
+        let mut m = Matrix::<f64>::new(n, h.ncols())?;
+        mxm(&mut m, None, NOACC, &PLUS_TIMES, &a_hat, &h, &Descriptor::default())?;
+        // Feature transform: Z = M W.
+        let mut z = Matrix::<f64>::new(n, layer.weights.ncols())?;
+        mxm(&mut z, None, NOACC, &PLUS_TIMES, &m, &layer.weights, &Descriptor::default())?;
+        if layer.relu {
+            let mut activated = Matrix::<f64>::new(n, z.ncols())?;
+            select_matrix(
+                &mut activated,
+                None,
+                NOACC,
+                |_: Index, _: Index, x: f64| x > 0.0,
+                &z,
+                &Descriptor::default(),
+            )?;
+            h = activated;
+        } else {
+            h = z;
+        }
+    }
+    Ok(h)
+}
+
+/// Per-node argmax over the final embedding columns — the "predicted
+/// class" readout.
+pub fn node_classification(embeddings: &Matrix<f64>) -> Result<Vector<u64>> {
+    let n = embeddings.nrows();
+    let mut best: Vec<Option<(f64, u64)>> = vec![None; n];
+    for (v, c, x) in embeddings.iter() {
+        let cand = (x, c as u64);
+        match best[v] {
+            Some((bx, bc)) if !(x > bx) => {
+                let _ = (bx, bc);
+            }
+            _ => best[v] = Some(cand),
+        }
+    }
+    let mut out = Vector::<u64>::new(n)?;
+    for (v, b) in best.iter().enumerate() {
+        if let Some((_, c)) = b {
+            out.set_element(v, *c)?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphKind;
+
+    fn two_cliques() -> Graph {
+        Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)],
+            GraphKind::Undirected,
+        )
+        .expect("graph")
+    }
+
+    #[test]
+    fn normalized_adjacency_rows_bounded() {
+        let g = two_cliques();
+        let a_hat = normalized_adjacency(&g).expect("norm");
+        // Symmetric normalization: all entries in (0, 1], diagonal present.
+        for (i, j, x) in a_hat.iter() {
+            assert!(x > 0.0 && x <= 1.0, "({i},{j}) = {x}");
+        }
+        for v in 0..6 {
+            assert!(a_hat.get(v, v).is_some());
+        }
+        // Symmetry.
+        for (i, j, x) in a_hat.iter() {
+            assert_eq!(a_hat.get(j, i), Some(x));
+        }
+    }
+
+    #[test]
+    fn identity_weights_are_pure_smoothing() {
+        let g = two_cliques();
+        // One-hot features: vertex 0 carries 1.0 in column 0.
+        let h = Matrix::from_tuples(6, 1, vec![(0, 0, 1.0)], |_, b| b).expect("h");
+        let eye = Matrix::from_tuples(1, 1, vec![(0, 0, 1.0)], |_, b| b).expect("w");
+        let out = gcn_inference(&g, &h, &[GcnLayer { weights: eye, relu: false }])
+            .expect("gcn");
+        // One smoothing step spreads mass only within vertex 0's clique.
+        for v in 0..3 {
+            assert!(out.get(v, 0).unwrap_or(0.0) > 0.0, "clique member {v}");
+        }
+        for v in 3..6 {
+            assert_eq!(out.get(v, 0), None, "other clique untouched");
+        }
+    }
+
+    #[test]
+    fn embeddings_separate_communities() {
+        let g = two_cliques();
+        // Features: indicator of vertex id parity-ish; two seed features.
+        let h = Matrix::from_tuples(6, 2, vec![(0, 0, 1.0), (3, 1, 1.0)], |_, b| b)
+            .expect("h");
+        let w = Matrix::from_tuples(2, 2, vec![(0, 0, 1.0), (1, 1, 1.0)], |_, b| b)
+            .expect("w");
+        let layers = [
+            GcnLayer { weights: w.clone(), relu: true },
+            GcnLayer { weights: w, relu: false },
+        ];
+        let out = gcn_inference(&g, &h, &layers).expect("gcn");
+        let classes = node_classification(&out).expect("classes");
+        for v in 0..3 {
+            assert_eq!(classes.get(v), Some(0), "clique A member {v}");
+        }
+        for v in 3..6 {
+            assert_eq!(classes.get(v), Some(1), "clique B member {v}");
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let g = two_cliques();
+        let h = Matrix::<f64>::new(6, 3).expect("h");
+        let w = Matrix::<f64>::new(2, 2).expect("w");
+        assert!(gcn_inference(&g, &h, &[GcnLayer { weights: w, relu: true }]).is_err());
+        let h_bad = Matrix::<f64>::new(5, 3).expect("h");
+        assert!(gcn_inference(&g, &h_bad, &[]).is_err());
+    }
+}

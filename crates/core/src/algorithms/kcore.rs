@@ -1,0 +1,141 @@
+//! k-core decomposition: the maximal subgraph in which every vertex has
+//! degree ≥ k, and the full core-number labeling — a standard LAGraph
+//! algorithm, computed by repeated peeling with masked degree updates.
+
+use graphblas::prelude::*;
+use graphblas::semiring::PLUS_SECOND;
+
+use crate::graph::Graph;
+
+/// The k-core of an undirected graph: returns the Boolean membership
+/// vector of vertices in the k-core (possibly empty).
+pub fn kcore(graph: &Graph, k: i64) -> Result<Vector<bool>> {
+    let s = graph.structure();
+    let a: &Matrix<bool> = &s;
+    let n = a.nrows();
+    // alive: current candidate set; degrees restricted to alive vertices.
+    let mut alive = Vector::<bool>::new(n)?;
+    assign_scalar(&mut alive, None, NOACC, true, &IndexSel::All, &Descriptor::default())?;
+    loop {
+        // deg(v) = |N(v) ∩ alive| for alive v.
+        let ones = {
+            let mut o = Vector::<f64>::new(n)?;
+            apply(&mut o, None, NOACC, |_: bool| 1.0, &alive, &Descriptor::default())?;
+            o
+        };
+        let mut deg = Vector::<f64>::new(n)?;
+        mxv(&mut deg, Some(&alive), NOACC, &PLUS_SECOND, a, &ones, &Descriptor::new().structural())?;
+        // Peel vertices with degree < k (including alive vertices with no
+        // alive neighbors at all).
+        let mut peeled = Vec::new();
+        for (v, _) in alive.iter() {
+            if deg.get(v).unwrap_or(0.0) < k as f64 {
+                peeled.push(v);
+            }
+        }
+        if peeled.is_empty() {
+            return Ok(alive);
+        }
+        for v in peeled {
+            alive.remove_element(v)?;
+        }
+        if alive.nvals() == 0 {
+            return Ok(alive);
+        }
+    }
+}
+
+/// Core numbers: `core(v)` = the largest k such that `v` belongs to the
+/// k-core. Computed by successive peeling.
+pub fn core_numbers(graph: &Graph) -> Result<Vector<i64>> {
+    let n = graph.nvertices();
+    let mut core = Vector::<i64>::new(n)?;
+    assign_scalar(&mut core, None, NOACC, 0, &IndexSel::All, &Descriptor::default())?;
+    let mut k = 1;
+    loop {
+        let members = kcore(graph, k)?;
+        if members.nvals() == 0 {
+            return Ok(core);
+        }
+        assign_scalar(
+            &mut core,
+            Some(&members),
+            NOACC,
+            k,
+            &IndexSel::All,
+            &Descriptor::new().structural(),
+        )?;
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphKind;
+
+    /// K4 with a pendant path 3-4-5.
+    fn k4_tail() -> Graph {
+        Graph::from_edges(
+            6,
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
+            GraphKind::Undirected,
+        )
+        .expect("graph")
+    }
+
+    #[test]
+    fn three_core_is_the_k4() {
+        let g = k4_tail();
+        let c3 = kcore(&g, 3).expect("kcore");
+        assert_eq!(c3.nvals(), 4);
+        for v in 0..4 {
+            assert_eq!(c3.get(v), Some(true));
+        }
+        assert_eq!(c3.get(4), None);
+    }
+
+    #[test]
+    fn one_core_drops_isolates_only() {
+        let g = Graph::from_edges(4, &[(0, 1)], GraphKind::Undirected).expect("graph");
+        let c1 = kcore(&g, 1).expect("kcore");
+        assert_eq!(c1.nvals(), 2);
+        assert_eq!(c1.get(2), None);
+    }
+
+    #[test]
+    fn peeling_cascades() {
+        // Path graph: the 2-core is empty (endpoints peel, then inward).
+        let edges: Vec<(Index, Index)> = (0..5).map(|i| (i, i + 1)).collect();
+        let g = Graph::from_edges(6, &edges, GraphKind::Undirected).expect("graph");
+        assert_eq!(kcore(&g, 2).expect("kcore").nvals(), 0);
+        // A cycle's 2-core is the whole cycle.
+        let mut edges: Vec<(Index, Index)> = (0..5).map(|i| (i, i + 1)).collect();
+        edges.push((5, 0));
+        let g = Graph::from_edges(6, &edges, GraphKind::Undirected).expect("graph");
+        assert_eq!(kcore(&g, 2).expect("kcore").nvals(), 6);
+    }
+
+    #[test]
+    fn core_numbers_on_k4_tail() {
+        let g = k4_tail();
+        let core = core_numbers(&g).expect("cores");
+        for v in 0..4 {
+            assert_eq!(core.get(v), Some(3), "K4 member {v}");
+        }
+        assert_eq!(core.get(4), Some(1));
+        assert_eq!(core.get(5), Some(1));
+    }
+
+    #[test]
+    fn core_numbers_monotone_under_k() {
+        let g = k4_tail();
+        let core = core_numbers(&g).expect("cores");
+        for k in 1..=3 {
+            let members = kcore(&g, k).expect("kcore");
+            for (v, _) in members.iter() {
+                assert!(core.get(v).expect("labeled") >= k);
+            }
+        }
+    }
+}

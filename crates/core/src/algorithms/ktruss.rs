@@ -1,0 +1,137 @@
+//! k-truss decomposition (Davis, HPEC'18; Low et al., HPEC'18): the
+//! masked `C⟨C⟩ = C ⊕.pair Cᵀ` support computation followed by a `select`
+//! on the support threshold, iterated to fixpoint.
+
+use graphblas::prelude::*;
+use graphblas::semiring::PLUS_PAIR;
+use graphblas::unaryop::ValueGe;
+
+use crate::graph::Graph;
+
+/// The k-truss of an undirected graph: the maximal subgraph in which
+/// every edge is supported by at least `k - 2` triangles. Returns the
+/// support matrix: entry `(i, j)` = number of triangles supporting the
+/// surviving edge. Requires `k >= 3`.
+pub fn ktruss(graph: &Graph, k: u64) -> Result<Matrix<u64>> {
+    if k < 3 {
+        return Err(Error::invalid("k-truss requires k >= 3"));
+    }
+    let s = graph.structure();
+    let n = s.nrows();
+    // C: the current candidate edge set, with support values.
+    let mut c = Matrix::<u64>::new(n, n)?;
+    apply_matrix(&mut c, None, NOACC, unaryop::One, &*s, &Descriptor::default())?;
+    let support = k - 2;
+    loop {
+        let nvals_before = c.nvals();
+        // support(i,j) = # common neighbors of i and j within C
+        //   = (C ⊕.pair Cᵀ)(i,j), masked to C's edges.
+        let mask = c.pattern();
+        let csnap = c.clone();
+        let mut sup = Matrix::<u64>::new(n, n)?;
+        mxm(
+            &mut sup,
+            Some(&mask),
+            NOACC,
+            &PLUS_PAIR,
+            &csnap,
+            &csnap,
+            &Descriptor::new().structural().transpose_b().method(MxmMethod::Dot),
+        )?;
+        // Keep edges with enough support.
+        let mut kept = Matrix::<u64>::new(n, n)?;
+        select_matrix(&mut kept, None, NOACC, ValueGe(support), &sup, &Descriptor::default())?;
+        c = kept;
+        if c.nvals() == nvals_before {
+            return Ok(c);
+        }
+    }
+}
+
+/// The largest `k` for which the k-truss is non-empty (the graph's
+/// trussness). Returns 2 for a graph with edges but no triangles.
+pub fn max_truss(graph: &Graph) -> Result<u64> {
+    let mut k = 2;
+    loop {
+        let t = ktruss(graph, k + 1)?;
+        if t.nvals() == 0 {
+            return Ok(k);
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphKind;
+
+    fn k4_plus_tail() -> Graph {
+        // K4 on {0,1,2,3} plus a tail 3-4.
+        Graph::from_edges(
+            5,
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)],
+            GraphKind::Undirected,
+        )
+        .expect("graph")
+    }
+
+    #[test]
+    fn three_truss_drops_the_tail() {
+        let g = k4_plus_tail();
+        let t = ktruss(&g, 3).expect("ktruss");
+        // K4 has 12 directed edges; the tail edge has no triangle support.
+        assert_eq!(t.nvals(), 12);
+        assert_eq!(t.get(3, 4), None);
+        assert_eq!(t.get(0, 1), Some(2), "edge 0-1 supported by 2 and 3");
+    }
+
+    #[test]
+    fn four_truss_keeps_k4() {
+        let g = k4_plus_tail();
+        let t = ktruss(&g, 4).expect("ktruss");
+        assert_eq!(t.nvals(), 12);
+    }
+
+    #[test]
+    fn five_truss_is_empty() {
+        let g = k4_plus_tail();
+        let t = ktruss(&g, 5).expect("ktruss");
+        assert_eq!(t.nvals(), 0);
+        assert_eq!(max_truss(&g).expect("max"), 4);
+    }
+
+    #[test]
+    fn triangle_free_graph_has_empty_3truss() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], GraphKind::Undirected)
+            .expect("graph");
+        assert_eq!(ktruss(&g, 3).expect("ktruss").nvals(), 0);
+        assert_eq!(max_truss(&g).expect("max"), 2);
+    }
+
+    #[test]
+    fn cascading_removal() {
+        // Two triangles sharing edge 1-2, plus a pendant triangle chain:
+        // removing weak edges cascades.
+        let g = Graph::from_edges(
+            5,
+            &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4), (2, 4)],
+            GraphKind::Undirected,
+        )
+        .expect("graph");
+        let t = ktruss(&g, 3).expect("ktruss");
+        // Every edge here lies in at least one triangle; all survive k=3.
+        assert_eq!(t.nvals(), 14);
+        // k=4 requires each edge in 2 triangles: only the shared core
+        // edge 1-2 has support 2, but its endpoints' other edges die,
+        // cascading to empty.
+        let t4 = ktruss(&g, 4).expect("ktruss");
+        assert_eq!(t4.nvals(), 0);
+    }
+
+    #[test]
+    fn rejects_small_k() {
+        let g = k4_plus_tail();
+        assert!(ktruss(&g, 2).is_err());
+    }
+}

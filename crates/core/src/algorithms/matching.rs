@@ -1,0 +1,155 @@
+//! Maximal cardinality matching on bipartite graphs (Azad & Buluç, cited
+//! in §V): a propose–accept loop in which unmatched rows offer themselves
+//! to unmatched columns over a MIN semiring and conflicts are resolved by
+//! a second product in the opposite direction.
+
+use graphblas::prelude::*;
+use graphblas::semiring::MIN_FIRST;
+
+/// Maximal matching of a bipartite graph given as an `nrows × ncols`
+/// biadjacency matrix. Returns `(row_mate, col_mate)`: `row_mate(i) = j`
+/// and `col_mate(j) = i` for every matched pair.
+pub fn bipartite_matching(a: &Matrix<bool>) -> Result<(Vector<u64>, Vector<u64>)> {
+    let (nr, nc) = (a.nrows(), a.ncols());
+    let mut row_mate = Vector::<u64>::new(nr)?;
+    let mut col_mate = Vector::<u64>::new(nc)?;
+    loop {
+        // Unmatched rows offer their id to all adjacent unmatched columns;
+        // each column keeps the smallest bidder.
+        // bids(j) = min over unmatched rows i adjacent to j of i.
+        let mut offer = Vector::<u64>::new(nr)?;
+        for i in 0..nr {
+            if row_mate.get(i).is_none() {
+                offer.set_element(i, i as u64)?;
+            }
+        }
+        if offer.nvals() == 0 {
+            break;
+        }
+        let mut bids = Vector::<u64>::new(nc)?;
+        // bids<¬col_mate> = Aᵀ min.second offer
+        vxm(
+            &mut bids,
+            Some(&col_mate.pattern()),
+            NOACC,
+            &MIN_FIRST,
+            &offer,
+            a,
+            &Descriptor::new().complement().structural().replace(),
+        )?;
+        if bids.nvals() == 0 {
+            break;
+        }
+        // Each winning row may have won several columns; keep the
+        // smallest column per row so the matching stays one-to-one.
+        let mut won: std::collections::HashMap<u64, Index> = std::collections::HashMap::new();
+        for (j, i) in bids.iter() {
+            let e = won.entry(i).or_insert(j);
+            if j < *e {
+                *e = j;
+            }
+        }
+        let mut progress = false;
+        for (i, j) in won {
+            if row_mate.get(i as Index).is_none() && col_mate.get(j).is_none() {
+                row_mate.set_element(i as Index, j as u64)?;
+                col_mate.set_element(j, i)?;
+                progress = true;
+            }
+        }
+        if !progress {
+            break;
+        }
+    }
+    Ok((row_mate, col_mate))
+}
+
+/// Verify matching validity (edges exist, one-to-one) and maximality (no
+/// remaining edge between an unmatched row and an unmatched column).
+pub fn verify_matching(
+    a: &Matrix<bool>,
+    row_mate: &Vector<u64>,
+    col_mate: &Vector<u64>,
+) -> Result<bool> {
+    for (i, j) in row_mate.iter() {
+        if a.get(i, j as Index).is_none() {
+            return Ok(false); // matched along a non-edge
+        }
+        if col_mate.get(j as Index) != Some(i as u64) {
+            return Ok(false); // not mutual
+        }
+    }
+    for (i, j, _) in a.iter() {
+        if row_mate.get(i).is_none() && col_mate.get(j).is_none() {
+            return Ok(false); // not maximal
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bi(nr: Index, nc: Index, edges: &[(Index, Index)]) -> Matrix<bool> {
+        Matrix::from_tuples(nr, nc, edges.iter().map(|&(i, j)| (i, j, true)).collect(),
+            |_, b| b).expect("build")
+    }
+
+    #[test]
+    fn perfect_matching_on_disjoint_edges() {
+        let a = bi(3, 3, &[(0, 0), (1, 1), (2, 2)]);
+        let (rm, cm) = bipartite_matching(&a).expect("match");
+        assert_eq!(rm.nvals(), 3);
+        assert!(verify_matching(&a, &rm, &cm).expect("verify"));
+    }
+
+    #[test]
+    fn conflict_resolution_is_one_to_one() {
+        // Both rows want column 0; only one can have it, but row 1 also
+        // has column 1 available.
+        let a = bi(2, 2, &[(0, 0), (1, 0), (1, 1)]);
+        let (rm, cm) = bipartite_matching(&a).expect("match");
+        assert!(verify_matching(&a, &rm, &cm).expect("verify"));
+        assert_eq!(rm.nvals(), 2, "maximal here is perfect");
+    }
+
+    #[test]
+    fn star_matches_one() {
+        let a = bi(3, 1, &[(0, 0), (1, 0), (2, 0)]);
+        let (rm, cm) = bipartite_matching(&a).expect("match");
+        assert_eq!(rm.nvals(), 1);
+        assert!(verify_matching(&a, &rm, &cm).expect("verify"));
+    }
+
+    #[test]
+    fn empty_graph_empty_matching() {
+        let a = Matrix::<bool>::new(3, 3).expect("a");
+        let (rm, cm) = bipartite_matching(&a).expect("match");
+        assert_eq!(rm.nvals(), 0);
+        assert!(verify_matching(&a, &rm, &cm).expect("verify"));
+    }
+
+    #[test]
+    fn rectangular_bipartite() {
+        let a = bi(2, 5, &[(0, 3), (0, 4), (1, 3)]);
+        let (rm, cm) = bipartite_matching(&a).expect("match");
+        // Maximal (not necessarily maximum): row 0 may claim column 3
+        // first, stranding row 1, and the result is still maximal.
+        assert!(verify_matching(&a, &rm, &cm).expect("verify"));
+        assert!(rm.nvals() >= 1);
+    }
+
+    #[test]
+    fn verify_detects_flaws() {
+        let a = bi(2, 2, &[(0, 0), (1, 1)]);
+        // Non-edge matching.
+        let rm = Vector::from_tuples(2, vec![(0, 1u64)], |_, b| b).expect("rm");
+        let cm = Vector::from_tuples(2, vec![(1, 0u64)], |_, b| b).expect("cm");
+        assert!(!verify_matching(&a, &rm, &cm).expect("verify"));
+        // Non-maximal (empty) matching.
+        let rm = Vector::<u64>::new(2).expect("rm");
+        let cm = Vector::<u64>::new(2).expect("cm");
+        assert!(!verify_matching(&a, &rm, &cm).expect("verify"));
+    }
+}

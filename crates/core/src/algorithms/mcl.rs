@@ -1,0 +1,193 @@
+//! Markov clustering (van Dongen; HipMCL of Azad et al., cited in §V):
+//! alternate *expansion* (squaring the column-stochastic matrix),
+//! *inflation* (entrywise powering + renormalization), and pruning, until
+//! the matrix reaches a (near-)idempotent state; clusters are read off
+//! the attractor rows.
+
+use graphblas::prelude::*;
+use graphblas::semiring::PLUS_TIMES;
+
+use crate::graph::Graph;
+
+/// Options for [`markov_cluster`].
+#[derive(Debug, Clone, Copy)]
+pub struct MclOptions {
+    /// Inflation exponent (canonically 2.0; larger → finer clusters).
+    pub inflation: f64,
+    /// Entries below this are pruned after each round.
+    pub prune: f64,
+    /// Maximum expansion/inflation rounds.
+    pub max_iters: usize,
+}
+
+impl Default for MclOptions {
+    fn default() -> Self {
+        MclOptions { inflation: 2.0, prune: 1e-6, max_iters: 60 }
+    }
+}
+
+/// Normalize the columns of `m` to sum to 1 (column-stochastic), via
+/// `M · diag(1/colsum)`.
+fn normalize_columns(m: &Matrix<f64>) -> Result<Matrix<f64>> {
+    let n = m.nrows();
+    let mut colsum = Vector::<f64>::new(m.ncols())?;
+    reduce_matrix(&mut colsum, None, NOACC, &binaryop::Plus, m, &Descriptor::new().transpose_a())?;
+    let mut inv = Vector::<f64>::new(m.ncols())?;
+    apply(&mut inv, None, NOACC, |s: f64| 1.0 / s, &colsum, &Descriptor::default())?;
+    let d = Matrix::diag(&inv);
+    let mut out = Matrix::<f64>::new(n, m.ncols())?;
+    mxm(&mut out, None, NOACC, &PLUS_TIMES, m, &d, &Descriptor::default())?;
+    Ok(out)
+}
+
+/// Markov clustering. Returns `cluster(v)` = a cluster label (the id of
+/// the attractor vertex whose row holds `v`).
+pub fn markov_cluster(graph: &Graph, opts: &MclOptions) -> Result<Vector<u64>> {
+    let n = graph.nvertices();
+    // Start from the adjacency with self-loops (standard MCL trick), as
+    // structure only.
+    let mut m = Matrix::<f64>::new(n, n)?;
+    apply_matrix(&mut m, None, NOACC, unaryop::One, graph.a(), &Descriptor::default())?;
+    for v in 0..n {
+        m.set_element(v, v, 1.0)?;
+    }
+    let mut m = normalize_columns(&m)?;
+    for _ in 0..opts.max_iters {
+        // Expansion: M ← M².
+        let mut expanded = Matrix::<f64>::new(n, n)?;
+        mxm(&mut expanded, None, NOACC, &PLUS_TIMES, &m, &m, &Descriptor::default())?;
+        // Inflation: entrywise power, then renormalize.
+        let mut inflated = Matrix::<f64>::new(n, n)?;
+        let r = opts.inflation;
+        apply_matrix(
+            &mut inflated,
+            None,
+            NOACC,
+            move |x: f64| x.powf(r),
+            &expanded,
+            &Descriptor::default(),
+        )?;
+        // Prune tiny entries to keep sparsity.
+        let prune = opts.prune;
+        let mut pruned = Matrix::<f64>::new(n, n)?;
+        select_matrix(
+            &mut pruned,
+            None,
+            NOACC,
+            move |_: Index, _: Index, x: f64| x > prune,
+            &inflated,
+            &Descriptor::default(),
+        )?;
+        let next = normalize_columns(&pruned)?;
+        // Converged when the matrix is (numerically) unchanged.
+        let delta: f64 = {
+            let mut diff = Matrix::<f64>::new(n, n)?;
+            ewise_add_matrix(
+                &mut diff,
+                None,
+                NOACC,
+                |a: f64, b: f64| (a - b).abs(),
+                &m,
+                &next,
+                &Descriptor::default(),
+            )?;
+            reduce_matrix_scalar(&binaryop::Max, &diff)
+        };
+        m = next;
+        if delta < 1e-9 {
+            break;
+        }
+    }
+    // Attractors: vertices with support on their own diagonal. Each
+    // column j is assigned to the attractor row with its maximum value.
+    let mut cluster = Vector::<u64>::new(n)?;
+    // col_max(j) = max value in column j; attained row = label.
+    let mut best: Vec<(f64, u64)> = vec![(-1.0, 0); n];
+    for (i, j, x) in m.iter() {
+        if x > best[j].0 {
+            best[j] = (x, i as u64);
+        }
+    }
+    for j in 0..n {
+        if best[j].0 >= 0.0 {
+            cluster.set_element(j, best[j].1)?;
+        }
+    }
+    // Canonicalize labels: use the smallest member id of each attractor's
+    // cluster so labels are stable.
+    let mut canon = std::collections::HashMap::<u64, u64>::new();
+    let assignments = cluster.extract_tuples();
+    for &(v, lab) in &assignments {
+        let e = canon.entry(lab).or_insert(v as u64);
+        if (v as u64) < *e {
+            *e = v as u64;
+        }
+    }
+    let mut out = Vector::<u64>::new(n)?;
+    for (v, lab) in assignments {
+        out.set_element(v, canon[&lab])?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphKind;
+
+    #[test]
+    fn two_cliques_with_a_bridge() {
+        // Cliques {0,1,2} and {3,4,5} joined by one weak bridge 2-3.
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+            GraphKind::Undirected,
+        )
+        .expect("graph");
+        let c = markov_cluster(&g, &MclOptions::default()).expect("mcl");
+        // Same cluster within each clique; different across the bridge.
+        assert_eq!(c.get(0), c.get(1));
+        assert_eq!(c.get(1), c.get(2));
+        assert_eq!(c.get(3), c.get(4));
+        assert_eq!(c.get(4), c.get(5));
+        assert_ne!(c.get(0), c.get(3));
+    }
+
+    #[test]
+    fn disconnected_components_separate() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)], GraphKind::Undirected)
+            .expect("graph");
+        let c = markov_cluster(&g, &MclOptions::default()).expect("mcl");
+        assert_eq!(c.get(0), c.get(1));
+        assert_eq!(c.get(2), c.get(3));
+        assert_ne!(c.get(0), c.get(2));
+    }
+
+    #[test]
+    fn every_vertex_gets_a_label() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)], GraphKind::Undirected)
+            .expect("graph");
+        let c = markov_cluster(&g, &MclOptions::default()).expect("mcl");
+        assert_eq!(c.nvals(), 5);
+    }
+
+    #[test]
+    fn higher_inflation_refines() {
+        // A ring of 8: strong inflation splits it into more clusters than
+        // weak inflation.
+        let edges: Vec<(Index, Index)> = (0..8).map(|i| (i, (i + 1) % 8)).collect();
+        let g = Graph::from_edges(8, &edges, GraphKind::Undirected).expect("graph");
+        let count = |infl: f64| {
+            let c = markov_cluster(
+                &g,
+                &MclOptions { inflation: infl, ..Default::default() },
+            )
+            .expect("mcl");
+            let mut labs: Vec<u64> = c.iter().map(|(_, l)| l).collect();
+            labs.sort_unstable();
+            labs.dedup();
+            labs.len()
+        };
+        assert!(count(4.0) >= count(1.5));
+    }
+}

@@ -1,0 +1,162 @@
+//! Maximal independent set — Luby's randomized algorithm in the
+//! linear-algebra formulation of Lugowski et al. (cited in §V): each
+//! round, vertices holding a value larger than all their neighbors'
+//! values join the set, and their neighborhoods retire.
+
+use graphblas::prelude::*;
+use graphblas::semiring::MAX_SECOND;
+
+use crate::graph::Graph;
+use crate::utils::SplitMix64;
+
+/// Compute a maximal independent set. Returns a Boolean vector with
+/// `true` at the members. Deterministic for a fixed `seed`.
+pub fn maximal_independent_set(graph: &Graph, seed: u64) -> Result<Vector<bool>> {
+    let s = graph.structure();
+    let a: &Matrix<bool> = &s;
+    let n = a.nrows();
+    let mut rng = SplitMix64::new(seed);
+
+    let mut iset = Vector::<bool>::new(n)?;
+    // Candidates: all vertices still undecided.
+    let mut candidates = Vector::<bool>::new(n)?;
+    assign_scalar(&mut candidates, None, NOACC, true, &IndexSel::All, &Descriptor::default())?;
+
+    while candidates.nvals() > 0 {
+        // Random weight per candidate. Degree-0 vertices always win.
+        let cand_idx: Vec<Index> = candidates.iter().map(|(i, _)| i).collect();
+        let weights: Vec<(Index, f64)> =
+            cand_idx.iter().map(|&i| (i, rng.next_f64())).collect();
+        let prob = Vector::from_tuples(n, weights, |_, b| b)?;
+        // Max neighbor weight among candidates.
+        let mut nbr_max = Vector::<f64>::new(n)?;
+        mxv(
+            &mut nbr_max,
+            Some(&candidates),
+            NOACC,
+            &MAX_SECOND,
+            a,
+            &prob,
+            &Descriptor::default(),
+        )?;
+        // Winners: candidates whose weight beats every neighbor's.
+        let mut winners = Vector::<bool>::new(n)?;
+        // A candidate with no candidate neighbors has no nbr_max entry.
+        for &i in &cand_idx {
+            let w = prob.get(i).expect("candidate weight");
+            let beat = match nbr_max.get(i) {
+                None => true,
+                Some(m) => w > m,
+            };
+            if beat {
+                winners.set_element(i, true)?;
+            }
+        }
+        if winners.nvals() == 0 {
+            continue; // rare ties: redraw
+        }
+        // iset |= winners
+        assign_scalar(
+            &mut iset,
+            Some(&winners),
+            NOACC,
+            true,
+            &IndexSel::All,
+            &Descriptor::new().structural(),
+        )?;
+        // Retire winners and their neighborhoods from the candidates.
+        let mut nbrs = Vector::<bool>::new(n)?;
+        mxv(&mut nbrs, None, NOACC, &MAX_SECOND, a, &winners, &Descriptor::default())?;
+        for v in winners.iter().map(|(i, _)| i).chain(nbrs.iter().map(|(i, _)| i)) {
+            candidates.remove_element(v)?;
+        }
+    }
+    Ok(iset)
+}
+
+/// Verify the MIS properties: independence (no two members adjacent) and
+/// maximality (every non-member has a member neighbor).
+pub fn verify_mis(graph: &Graph, iset: &Vector<bool>) -> Result<bool> {
+    let s = graph.structure();
+    let a: &Matrix<bool> = &s;
+    let n = a.nrows();
+    // members' neighborhoods
+    let members: Vector<bool> = iset.clone();
+    let mut nbrs = Vector::<bool>::new(n)?;
+    mxv(&mut nbrs, None, NOACC, &MAX_SECOND, a, &members, &Descriptor::default())?;
+    // Independence: no member is a member's neighbor.
+    for (i, _) in members.iter() {
+        if nbrs.get(i).is_some() {
+            return Ok(false);
+        }
+    }
+    // Maximality: every vertex is a member or adjacent to one.
+    for v in 0..n {
+        if members.get(v).is_none() && nbrs.get(v).is_none() {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphKind;
+
+    #[test]
+    fn mis_on_path_is_valid() {
+        let edges: Vec<(Index, Index)> = (0..9).map(|i| (i, i + 1)).collect();
+        let g = Graph::from_edges(10, &edges, GraphKind::Undirected).expect("graph");
+        for seed in [1, 2, 3, 42] {
+            let iset = maximal_independent_set(&g, seed).expect("mis");
+            assert!(verify_mis(&g, &iset).expect("verify"), "seed {seed}");
+            // A maximal IS on P10 has between 4 and 5 members.
+            assert!((4..=5).contains(&iset.nvals()), "size {}", iset.nvals());
+        }
+    }
+
+    #[test]
+    fn mis_on_complete_graph_is_single_vertex() {
+        let mut edges = Vec::new();
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                edges.push((i, j));
+            }
+        }
+        let g = Graph::from_edges(6, &edges, GraphKind::Undirected).expect("graph");
+        let iset = maximal_independent_set(&g, 7).expect("mis");
+        assert_eq!(iset.nvals(), 1);
+        assert!(verify_mis(&g, &iset).expect("verify"));
+    }
+
+    #[test]
+    fn isolated_vertices_always_join() {
+        let g = Graph::from_edges(4, &[(0, 1)], GraphKind::Undirected).expect("graph");
+        let iset = maximal_independent_set(&g, 5).expect("mis");
+        assert!(iset.get(2).is_some());
+        assert!(iset.get(3).is_some());
+        assert!(verify_mis(&g, &iset).expect("verify"));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let edges: Vec<(Index, Index)> = (0..19).map(|i| (i, i + 1)).collect();
+        let g = Graph::from_edges(20, &edges, GraphKind::Undirected).expect("graph");
+        let a = maximal_independent_set(&g, 99).expect("a");
+        let b = maximal_independent_set(&g, 99).expect("b");
+        assert_eq!(a.extract_tuples(), b.extract_tuples());
+    }
+
+    #[test]
+    fn verify_rejects_bad_sets() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)], GraphKind::Undirected)
+            .expect("graph");
+        // Not independent: 0 and 1 adjacent.
+        let bad = Vector::from_tuples(3, vec![(0, true), (1, true)], |_, b| b).expect("v");
+        assert!(!verify_mis(&g, &bad).expect("verify"));
+        // Not maximal: {0} leaves 2 uncovered.
+        let bad = Vector::from_tuples(3, vec![(0, true)], |_, b| b).expect("v");
+        assert!(!verify_mis(&g, &bad).expect("verify"));
+    }
+}

@@ -1,0 +1,203 @@
+//! Minimum spanning forest — Borůvka's algorithm in linear algebra
+//! (following LAGraph's `LAGraph_msf`): each round, every component picks
+//! its cheapest outgoing edge via a masked MIN reduction, the chosen
+//! edges merge components (tracked with the same pointer-jumping parent
+//! vector FastSV uses), and intra-component edges retire.
+
+use graphblas::prelude::*;
+
+use crate::graph::Graph;
+
+/// Minimum spanning forest of a weighted undirected graph. Returns the
+/// forest's edges `(u, v, weight)` with `u < v`, covering every
+/// component (n - #components edges total), of minimum total weight.
+pub fn minimum_spanning_forest(graph: &Graph) -> Result<Vec<(Index, Index, f64)>> {
+    let n = graph.nvertices();
+    // Work on an explicit edge list; each round is a GraphBLAS-style
+    // reduction expressed over the component-labeled edge set.
+    let mut edges: Vec<(Index, Index, f64)> =
+        graph.a().iter().filter(|&(u, v, _)| u < v).collect();
+    let mut parent: Vec<Index> = (0..n).collect();
+    let mut forest = Vec::new();
+
+    fn find(parent: &mut Vec<Index>, mut x: Index) -> Index {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]]; // pointer jumping (shortcut)
+            x = parent[x];
+        }
+        x
+    }
+
+    loop {
+        // cheapest[c] = the lightest edge leaving component c. Ties break
+        // toward the lexicographically smallest (w, u, v) so the forest
+        // is deterministic even with equal weights.
+        let mut cheapest: Vec<Option<(f64, Index, Index)>> = vec![None; n];
+        let mut live = false;
+        for &(u, v, w) in &edges {
+            let (cu, cv) = (find(&mut parent, u), find(&mut parent, v));
+            if cu == cv {
+                continue;
+            }
+            live = true;
+            for c in [cu, cv] {
+                let cand = (w, u, v);
+                let better = match cheapest[c] {
+                    None => true,
+                    Some(best) => cand < best,
+                };
+                if better {
+                    cheapest[c] = Some(cand);
+                }
+            }
+        }
+        if !live {
+            break;
+        }
+        // Merge along the chosen edges.
+        let mut merged_any = false;
+        for c in 0..n {
+            if let Some((w, u, v)) = cheapest[c] {
+                let (cu, cv) = (find(&mut parent, u), find(&mut parent, v));
+                if cu != cv {
+                    parent[cu.max(cv)] = cu.min(cv);
+                    forest.push((u, v, w));
+                    merged_any = true;
+                }
+            }
+        }
+        if !merged_any {
+            break;
+        }
+        // Retire intra-component edges.
+        edges.retain(|&(u, v, _)| {
+            find(&mut parent, u) != find(&mut parent, v)
+        });
+    }
+    forest.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    Ok(forest)
+}
+
+/// Total weight of a spanning forest.
+pub fn forest_weight(forest: &[(Index, Index, f64)]) -> f64 {
+    forest.iter().map(|&(_, _, w)| w).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::cc::component_count;
+    use crate::graph::GraphKind;
+
+    #[test]
+    fn square_with_diagonal() {
+        // Square 0-1-2-3 with weights 1,2,3,4 and diagonal 0-2 weight 5:
+        // MST = edges of weight 1,2,3.
+        let g = Graph::from_weighted_edges(
+            4,
+            &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 0, 4.0), (0, 2, 5.0)],
+            GraphKind::Undirected,
+        )
+        .expect("graph");
+        let f = minimum_spanning_forest(&g).expect("msf");
+        assert_eq!(f.len(), 3);
+        assert_eq!(forest_weight(&f), 6.0);
+        assert_eq!(f, vec![(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)]);
+    }
+
+    #[test]
+    fn forest_spans_each_component() {
+        let g = Graph::from_weighted_edges(
+            7,
+            &[(0, 1, 2.0), (1, 2, 1.0), (0, 2, 3.0), (3, 4, 1.0), (5, 6, 9.0)],
+            GraphKind::Undirected,
+        )
+        .expect("graph");
+        let f = minimum_spanning_forest(&g).expect("msf");
+        let ncomp = component_count(&g).expect("cc");
+        assert_eq!(f.len(), 7 - ncomp);
+        assert_eq!(forest_weight(&f), 1.0 + 2.0 + 1.0 + 9.0);
+    }
+
+    #[test]
+    fn matches_exhaustive_mst_on_small_graphs() {
+        // Brute-force check: every spanning tree of K4 with these weights
+        // weighs at least the Borůvka answer.
+        let edges = [
+            (0, 1, 4.0),
+            (0, 2, 3.0),
+            (0, 3, 2.0),
+            (1, 2, 5.0),
+            (1, 3, 1.0),
+            (2, 3, 6.0),
+        ];
+        let g = Graph::from_weighted_edges(4, &edges, GraphKind::Undirected).expect("g");
+        let f = minimum_spanning_forest(&g).expect("msf");
+        let got = forest_weight(&f);
+        // Enumerate all 3-subsets that span.
+        let mut best = f64::INFINITY;
+        for i in 0..edges.len() {
+            for j in (i + 1)..edges.len() {
+                for k in (j + 1)..edges.len() {
+                    let sel = [edges[i], edges[j], edges[k]];
+                    let mut p: Vec<usize> = (0..4).collect();
+                    fn find(p: &mut Vec<usize>, mut x: usize) -> usize {
+                        while p[x] != x {
+                            p[x] = p[p[x]];
+                            x = p[x];
+                        }
+                        x
+                    }
+                    let mut merges = 0;
+                    for &(u, v, _) in &sel {
+                        let (a, b) = (find(&mut p, u), find(&mut p, v));
+                        if a != b {
+                            p[a] = b;
+                            merges += 1;
+                        }
+                    }
+                    if merges == 3 {
+                        best = best.min(sel.iter().map(|e| e.2).sum());
+                    }
+                }
+            }
+        }
+        assert_eq!(got, best);
+    }
+
+    #[test]
+    fn empty_graph_empty_forest() {
+        let g = Graph::from_weighted_edges(3, &[], GraphKind::Undirected).expect("g");
+        let f = minimum_spanning_forest(&g).expect("msf");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn forest_edges_exist_in_graph() {
+        let a = lagraph_io_free_er(64, 180, 3);
+        let g = Graph::new(a, GraphKind::Undirected).expect("g");
+        let f = minimum_spanning_forest(&g).expect("msf");
+        for &(u, v, w) in &f {
+            assert_eq!(g.a().get(u, v), Some(w));
+        }
+        let ncomp = component_count(&g).expect("cc");
+        assert_eq!(f.len(), 64 - ncomp);
+    }
+
+    /// Local ER generator to avoid a dev-dependency cycle.
+    fn lagraph_io_free_er(n: Index, m: usize, seed: u64) -> Matrix<f64> {
+        let mut rng = crate::utils::SplitMix64::new(seed);
+        let mut tuples = Vec::new();
+        for _ in 0..m {
+            let i = rng.next_below(n);
+            let j = rng.next_below(n);
+            if i == j {
+                continue;
+            }
+            let w = (rng.next_f64() * 10.0).max(0.01);
+            tuples.push((i, j, w));
+            tuples.push((j, i, w));
+        }
+        Matrix::from_tuples(n, n, tuples, |a, _| a).expect("build")
+    }
+}

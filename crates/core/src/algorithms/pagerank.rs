@@ -1,0 +1,168 @@
+//! PageRank, in the GAP-benchmark formulation LAGraph adopted: structure
+//! only (weights ignored), damping, explicit handling of dangling
+//! (sink) vertices, iterating to an L1 tolerance.
+
+use graphblas::prelude::*;
+use graphblas::semiring::PLUS_SECOND;
+
+use crate::graph::Graph;
+
+/// Options for [`pagerank`].
+#[derive(Debug, Clone, Copy)]
+pub struct PageRankOptions {
+    /// Damping factor (the canonical 0.85).
+    pub damping: f64,
+    /// Stop when the L1 change falls below this.
+    pub tolerance: f64,
+    /// Hard iteration cap.
+    pub max_iters: usize,
+}
+
+impl Default for PageRankOptions {
+    fn default() -> Self {
+        PageRankOptions { damping: 0.85, tolerance: 1e-9, max_iters: 100 }
+    }
+}
+
+/// PageRank scores (summing to 1), plus the number of iterations run.
+pub fn pagerank(graph: &Graph, opts: &PageRankOptions) -> Result<(Vector<f64>, usize)> {
+    let at = graph.at(); // pull ranks along in-edges: r' = Aᵀ (r/d)
+    let n = graph.nvertices();
+    let nf = n as f64;
+    let damping = opts.damping;
+
+    // Out-degrees as f64; dangling vertices have no entry.
+    let degree = graph.out_degree();
+    let mut dinv = Vector::<f64>::new(n)?;
+    apply(&mut dinv, None, NOACC, |d: i64| 1.0 / d as f64, &degree, &Descriptor::default())?;
+
+    let mut r = Vector::dense(n, 1.0 / nf)?;
+    let teleport = (1.0 - damping) / nf;
+    let mut iters = 0;
+    for _ in 0..opts.max_iters {
+        iters += 1;
+        // w = r ./ d on non-dangling vertices.
+        let mut w = Vector::<f64>::new(n)?;
+        ewise_mult(&mut w, None, NOACC, binaryop::Times, &r, &dinv, &Descriptor::default())?;
+        // Sink mass: rank held by dangling vertices, redistributed evenly.
+        let mut sunk = r.clone();
+        assign(
+            &mut sunk,
+            Some(&degree.pattern()),
+            NOACC,
+            &Vector::<f64>::new(n)?,
+            &IndexSel::All,
+            &Descriptor::new().structural(),
+        )?;
+        let sink_mass = reduce_vector_scalar(&binaryop::Plus, &sunk);
+        // r_new = teleport + damping * (Aᵀ w + sink_mass / n)
+        let mut pulled = Vector::<f64>::new(n)?;
+        mxv(&mut pulled, None, NOACC, &PLUS_SECOND, &at, &w, &Descriptor::default())?;
+        let base = teleport + damping * sink_mass / nf;
+        let mut r_new = Vector::dense(n, base)?;
+        let snapshot = r_new.clone();
+        ewise_add(
+            &mut r_new,
+            None,
+            NOACC,
+            |a: f64, b: f64| a + damping * b,
+            &snapshot,
+            &pulled,
+            &Descriptor::default(),
+        )?;
+        // L1 delta.
+        let mut diff = Vector::<f64>::new(n)?;
+        ewise_add(
+            &mut diff,
+            None,
+            NOACC,
+            |a: f64, b: f64| (a - b).abs(),
+            &r,
+            &r_new,
+            &Descriptor::default(),
+        )?;
+        let delta = reduce_vector_scalar(&binaryop::Plus, &diff);
+        r = r_new;
+        if delta < opts.tolerance {
+            break;
+        }
+    }
+    Ok((r, iters))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphKind;
+
+    fn ranks(g: &Graph) -> Vector<f64> {
+        pagerank(g, &PageRankOptions::default()).expect("pagerank").0
+    }
+
+    #[test]
+    fn ranks_sum_to_one() {
+        let g = Graph::from_edges(
+            5,
+            &[(0, 1), (1, 2), (2, 0), (3, 2), (4, 3)],
+            GraphKind::Directed,
+        )
+        .expect("graph");
+        let r = ranks(&g);
+        let total = reduce_vector_scalar(&binaryop::Plus, &r);
+        assert!((total - 1.0).abs() < 1e-6, "sum = {total}");
+    }
+
+    #[test]
+    fn symmetric_ring_is_uniform() {
+        let g = Graph::from_edges(
+            4,
+            &[(0, 1), (1, 2), (2, 3), (3, 0)],
+            GraphKind::Undirected,
+        )
+        .expect("graph");
+        let r = ranks(&g);
+        for v in 0..4 {
+            assert!((r.get(v).expect("rank") - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hub_collects_rank() {
+        // Star: everyone points at 0.
+        let g = Graph::from_edges(5, &[(1, 0), (2, 0), (3, 0), (4, 0)], GraphKind::Directed)
+            .expect("graph");
+        let r = ranks(&g);
+        let hub = r.get(0).expect("hub");
+        for v in 1..5 {
+            assert!(hub > r.get(v).expect("leaf") * 2.0);
+        }
+    }
+
+    #[test]
+    fn dangling_mass_is_redistributed() {
+        // 0 → 1 and 1 is a sink: without sink handling, mass drains.
+        let g = Graph::from_edges(2, &[(0, 1)], GraphKind::Directed).expect("graph");
+        let r = ranks(&g);
+        let total = reduce_vector_scalar(&binaryop::Plus, &r);
+        assert!((total - 1.0).abs() < 1e-6, "sum = {total}");
+        assert!(r.get(1).expect("sink target") > r.get(0).expect("source"));
+    }
+
+    #[test]
+    fn tolerance_controls_iterations() {
+        // Asymmetric: a chain with a shortcut, so convergence is gradual.
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3), (2, 0)],
+            GraphKind::Directed,
+        )
+        .expect("graph");
+        let (_, fast) =
+            pagerank(&g, &PageRankOptions { tolerance: 1e-2, ..Default::default() })
+                .expect("pr");
+        let (_, slow) =
+            pagerank(&g, &PageRankOptions { tolerance: 1e-12, ..Default::default() })
+                .expect("pr");
+        assert!(fast < slow);
+    }
+}

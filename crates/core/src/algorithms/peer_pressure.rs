@@ -1,0 +1,109 @@
+//! Peer-pressure clustering (Gilbert, Reinhardt & Shah, cited in §V):
+//! every vertex repeatedly adopts the cluster most common among its
+//! neighbors, expressed as a tally matrix product `T = C ⊕.⊗ A` over an
+//! indicator matrix of the current assignment.
+
+use graphblas::prelude::*;
+use graphblas::semiring::PLUS_SECOND;
+
+use crate::graph::Graph;
+
+/// Peer-pressure clustering. Returns `cluster(v)` = a cluster label
+/// (canonicalized to the smallest member id). `max_iters` bounds the
+/// voting rounds (the assignment usually stabilizes in a handful).
+pub fn peer_pressure(graph: &Graph, max_iters: usize) -> Result<Vector<u64>> {
+    let n = graph.nvertices();
+    // Cluster assignment starts as identity: each vertex its own cluster.
+    let mut cluster: Vec<u64> = (0..n as u64).collect();
+    for _ in 0..max_iters {
+        // Indicator: C(cluster(v), v) = 1.
+        let tuples: Vec<(Index, Index, f64)> =
+            cluster.iter().enumerate().map(|(v, &c)| (c as Index, v, 1.0)).collect();
+        let c_mat = Matrix::from_tuples(n, n, tuples, |_, b| b)?;
+        // Tally: T(c, v) = number of v's in-neighbors in cluster c.
+        // T = C ⊕.⊗ A over (plus, second) counts A's structure.
+        let mut tally = Matrix::<f64>::new(n, n)?;
+        mxm(&mut tally, None, NOACC, &PLUS_SECOND, &c_mat, graph.a(), &Descriptor::default())?;
+        // Each vertex adopts the argmax cluster of its column; ties break
+        // toward the smaller cluster id (deterministic).
+        let mut best: Vec<(f64, u64)> = vec![(0.0, u64::MAX); n];
+        for (c, v, votes) in tally.iter() {
+            if votes > best[v].0 || (votes == best[v].0 && (c as u64) < best[v].1) {
+                best[v] = (votes, c as u64);
+            }
+        }
+        let mut next = cluster.clone();
+        for v in 0..n {
+            if best[v].1 != u64::MAX {
+                next[v] = best[v].1;
+            }
+        }
+        if next == cluster {
+            break;
+        }
+        cluster = next;
+    }
+    // Canonicalize: label each cluster by its smallest member.
+    let mut canon = std::collections::HashMap::<u64, u64>::new();
+    for (v, &c) in cluster.iter().enumerate() {
+        let e = canon.entry(c).or_insert(v as u64);
+        if (v as u64) < *e {
+            *e = v as u64;
+        }
+    }
+    let mut out = Vector::<u64>::new(n)?;
+    for (v, &c) in cluster.iter().enumerate() {
+        out.set_element(v, canon[&c])?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphKind;
+
+    #[test]
+    fn cliques_cluster_together() {
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+            GraphKind::Undirected,
+        )
+        .expect("graph");
+        let c = peer_pressure(&g, 20).expect("pp");
+        assert_eq!(c.get(0), c.get(1));
+        assert_eq!(c.get(1), c.get(2));
+        assert_eq!(c.get(3), c.get(4));
+        assert_eq!(c.get(4), c.get(5));
+        assert_ne!(c.get(0), c.get(5));
+    }
+
+    #[test]
+    fn all_vertices_labeled() {
+        let g = Graph::from_edges(5, &[(0, 1), (2, 3)], GraphKind::Undirected)
+            .expect("graph");
+        let c = peer_pressure(&g, 10).expect("pp");
+        assert_eq!(c.nvals(), 5);
+    }
+
+    #[test]
+    fn isolated_vertex_keeps_own_cluster() {
+        let g = Graph::from_edges(3, &[(0, 1)], GraphKind::Undirected).expect("graph");
+        let c = peer_pressure(&g, 10).expect("pp");
+        assert_eq!(c.get(2), Some(2));
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (3, 4), (4, 5), (0, 5)],
+            GraphKind::Undirected,
+        )
+        .expect("graph");
+        let a = peer_pressure(&g, 20).expect("a");
+        let b = peer_pressure(&g, 20).expect("b");
+        assert_eq!(a.extract_tuples(), b.extract_tuples());
+    }
+}

@@ -1,0 +1,190 @@
+//! Strongly connected components by the forward–backward (FW–BW) method:
+//! the SCC of a pivot is the intersection of its forward and backward
+//! reachable sets — both computed with the Fig. 2 BFS kernel, once on `A`
+//! and once on `Aᵀ` — recursing on the three remainder sets.
+
+use graphblas::prelude::*;
+use graphblas::semiring::LOR_LAND;
+
+use crate::graph::Graph;
+
+/// Reachable set from `sources` (restricted to `allowed`) along the rows
+/// of `mat`.
+fn reach(
+    mat: &Matrix<bool>,
+    sources: &Vector<bool>,
+    allowed: &Vector<bool>,
+) -> Result<Vector<bool>> {
+    let n = mat.nrows();
+    let mut visited = sources.clone();
+    let mut frontier = sources.clone();
+    while frontier.nvals() > 0 {
+        let mut next = Vector::<bool>::new(n)?;
+        // next = (Aᵀ q) ∩ allowed ∖ visited
+        mxv(
+            &mut next,
+            Some(&visited),
+            NOACC,
+            &LOR_LAND,
+            mat,
+            &frontier,
+            &Descriptor::new().transpose_a().complement().structural().replace(),
+        )?;
+        // Restrict to the allowed set.
+        let mut gated = Vector::<bool>::new(n)?;
+        ewise_mult(&mut gated, None, NOACC, binaryop::Land, &next, allowed, &Descriptor::default())?;
+        if gated.nvals() == 0 {
+            break;
+        }
+        let vsnap = visited.clone();
+        ewise_add(&mut visited, None, NOACC, binaryop::Lor, &vsnap, &gated, &Descriptor::default())?;
+        frontier = gated;
+    }
+    Ok(visited)
+}
+
+/// Strongly connected components of a directed graph: `scc(v)` = the
+/// smallest vertex id in `v`'s SCC.
+pub fn strongly_connected_components(graph: &Graph) -> Result<Vector<u64>> {
+    let s = graph.structure();
+    let a: &Matrix<bool> = &s;
+    let at = {
+        let mut t = Matrix::<bool>::new(a.nrows(), a.ncols())?;
+        transpose(&mut t, None, NOACC, a, &Descriptor::default())?;
+        t
+    };
+    let n = a.nrows();
+    let mut labels = Vector::<u64>::new(n)?;
+    // Worklist of candidate sets, processed iteratively.
+    let mut all = Vector::<bool>::new(n)?;
+    assign_scalar(&mut all, None, NOACC, true, &IndexSel::All, &Descriptor::default())?;
+    let mut work = vec![all];
+    while let Some(set) = work.pop() {
+        if set.nvals() == 0 {
+            continue;
+        }
+        // Pivot: smallest member.
+        let pivot = set.iter().next().expect("nonempty").0;
+        let mut seed = Vector::<bool>::new(n)?;
+        seed.set_element(pivot, true)?;
+        let fwd = reach(a, &seed, &set)?;
+        let bwd = reach(&at, &seed, &set)?;
+        // SCC = fwd ∩ bwd.
+        let mut scc = Vector::<bool>::new(n)?;
+        ewise_mult(&mut scc, None, NOACC, binaryop::Land, &fwd, &bwd, &Descriptor::default())?;
+        // Label by the smallest member of the SCC.
+        let label = scc.iter().next().expect("contains pivot").0 as u64;
+        assign_scalar(
+            &mut labels,
+            Some(&scc),
+            NOACC,
+            label,
+            &IndexSel::All,
+            &Descriptor::new().structural(),
+        )?;
+        // Remainders: fwd∖scc, bwd∖scc, set∖(fwd∪bwd).
+        let minus = |base: &Vector<bool>, remove: &Vector<bool>| -> Result<Vector<bool>> {
+            let mut out = base.clone();
+            assign(
+                &mut out,
+                Some(&remove.pattern()),
+                NOACC,
+                &Vector::<bool>::new(n)?,
+                &IndexSel::All,
+                &Descriptor::new().structural(),
+            )?;
+            Ok(out)
+        };
+        work.push(minus(&fwd, &scc)?);
+        work.push(minus(&bwd, &scc)?);
+        let mut fb = Vector::<bool>::new(n)?;
+        ewise_add(&mut fb, None, NOACC, binaryop::Lor, &fwd, &bwd, &Descriptor::default())?;
+        work.push(minus(&set, &fb)?);
+    }
+    Ok(labels)
+}
+
+/// Number of strongly connected components.
+pub fn scc_count(graph: &Graph) -> Result<usize> {
+    let labels = strongly_connected_components(graph)?;
+    let mut l: Vec<u64> = labels.iter().map(|(_, c)| c).collect();
+    l.sort_unstable();
+    l.dedup();
+    Ok(l.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphKind;
+
+    fn digraph(n: Index, edges: &[(Index, Index)]) -> Graph {
+        Graph::from_edges(n, edges, GraphKind::Directed).expect("graph")
+    }
+
+    #[test]
+    fn cycle_is_one_scc() {
+        let g = digraph(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(scc_count(&g).expect("scc"), 1);
+        let l = strongly_connected_components(&g).expect("labels");
+        for v in 0..4 {
+            assert_eq!(l.get(v), Some(0));
+        }
+    }
+
+    #[test]
+    fn dag_is_all_singletons() {
+        let g = digraph(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        assert_eq!(scc_count(&g).expect("scc"), 4);
+        let l = strongly_connected_components(&g).expect("labels");
+        for v in 0..4 {
+            assert_eq!(l.get(v), Some(v as u64));
+        }
+    }
+
+    #[test]
+    fn two_cycles_and_a_bridge() {
+        // Cycle {0,1,2}, cycle {3,4}, bridge 2→3.
+        let g = digraph(5, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 3), (2, 3)]);
+        assert_eq!(scc_count(&g).expect("scc"), 2);
+        let l = strongly_connected_components(&g).expect("labels");
+        assert_eq!(l.get(0), Some(0));
+        assert_eq!(l.get(1), Some(0));
+        assert_eq!(l.get(2), Some(0));
+        assert_eq!(l.get(3), Some(3));
+        assert_eq!(l.get(4), Some(3));
+    }
+
+    #[test]
+    fn mixed_structure() {
+        // 0→1→2→0 cycle; 3 feeds in; 4 fed from the cycle; 5 isolated.
+        let g = digraph(6, &[(0, 1), (1, 2), (2, 0), (3, 0), (1, 4)]);
+        assert_eq!(scc_count(&g).expect("scc"), 4);
+        let l = strongly_connected_components(&g).expect("labels");
+        assert_eq!(l.get(0), l.get(1));
+        assert_eq!(l.get(1), l.get(2));
+        assert_eq!(l.get(3), Some(3));
+        assert_eq!(l.get(4), Some(4));
+        assert_eq!(l.get(5), Some(5));
+    }
+
+    #[test]
+    fn every_vertex_labeled() {
+        let g = digraph(7, &[(0, 1), (1, 0), (2, 3), (4, 5), (5, 6), (6, 4)]);
+        let l = strongly_connected_components(&g).expect("labels");
+        assert_eq!(l.nvals(), 7);
+        assert_eq!(scc_count(&g).expect("count"), 4);
+    }
+
+    #[test]
+    fn scc_of_undirected_style_graph_equals_weak_components() {
+        // If every edge is mirrored, SCCs are the connected components.
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (3, 4)],
+            GraphKind::Undirected,
+        )
+        .expect("graph");
+        assert_eq!(scc_count(&g).expect("scc"), 3);
+    }
+}

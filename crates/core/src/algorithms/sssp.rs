@@ -1,0 +1,242 @@
+//! Single-source shortest paths over the min-plus (tropical) semiring:
+//! a Bellman-Ford iteration, and the delta-stepping formulation of
+//! Sridhar et al. (IPDPSW 2019) that the paper cites for SSSP.
+
+use graphblas::prelude::*;
+use graphblas::semiring::MIN_PLUS;
+use graphblas::unaryop::ValueNe;
+
+use crate::graph::Graph;
+
+/// Bellman-Ford SSSP: `dist ← min(dist, dist min.+ A)` until fixpoint.
+/// Edge weights must be non-negative for the distances to be shortest
+/// paths (negative edges converge too, absent negative cycles). Returns
+/// the distance vector; unreachable vertices have no entry.
+pub fn sssp_bellman_ford(graph: &Graph, source: Index) -> Result<Vector<f64>> {
+    let a = graph.a();
+    let n = a.nrows();
+    if source >= n {
+        return Err(Error::oob(source, n));
+    }
+    let mut dist = Vector::<f64>::new(n)?;
+    dist.set_element(source, 0.0)?;
+    for _ in 0..n {
+        let before = dist.extract_tuples();
+        // dist = min(dist, dist min.+ A) — vxm accumulates with MIN.
+        let d = dist.clone();
+        vxm(
+            &mut dist,
+            None,
+            Some(binaryop::Min),
+            &MIN_PLUS,
+            &d,
+            a,
+            &Descriptor::default(),
+        )?;
+        if dist.extract_tuples() == before {
+            break;
+        }
+    }
+    Ok(dist)
+}
+
+/// Delta-stepping SSSP (Sridhar et al., "Delta-stepping SSSP: from
+/// vertices and edges to GraphBLAS implementations"). Vertices are
+/// processed in buckets of width `delta`; light edges (≤ delta) are
+/// relaxed repeatedly inside a bucket, heavy edges once per bucket.
+/// Requires non-negative weights.
+pub fn sssp_delta_stepping(graph: &Graph, source: Index, delta: f64) -> Result<Vector<f64>> {
+    let a = graph.a();
+    let n = a.nrows();
+    if source >= n {
+        return Err(Error::oob(source, n));
+    }
+    if !(delta > 0.0) {
+        return Err(Error::invalid("delta must be positive"));
+    }
+    // Split the graph into light (w ≤ delta) and heavy (w > delta) edges.
+    let mut light = Matrix::<f64>::new(n, n)?;
+    select_matrix(
+        &mut light,
+        None,
+        NOACC,
+        |_: Index, _: Index, w: f64| w <= delta,
+        a,
+        &Descriptor::default(),
+    )?;
+    let mut heavy = Matrix::<f64>::new(n, n)?;
+    select_matrix(
+        &mut heavy,
+        None,
+        NOACC,
+        |_: Index, _: Index, w: f64| w > delta,
+        a,
+        &Descriptor::default(),
+    )?;
+
+    let mut t = Vector::<f64>::new(n)?;
+    t.set_element(source, 0.0)?;
+    let mut bucket = 0usize;
+    loop {
+        let lo = bucket as f64 * delta;
+        let hi = lo + delta;
+        // tmasked: the distances currently falling in this bucket.
+        let mut tmasked = Vector::<f64>::new(n)?;
+        select(
+            &mut tmasked,
+            None,
+            NOACC,
+            |_: Index, _: Index, d: f64| d >= lo && d < hi,
+            &t,
+            &Descriptor::default(),
+        )?;
+        if tmasked.nvals() == 0 {
+            // Find whether any vertex remains in a later bucket.
+            let mut rest = Vector::<f64>::new(n)?;
+            select(
+                &mut rest,
+                None,
+                NOACC,
+                |_: Index, _: Index, d: f64| d >= hi,
+                &t,
+                &Descriptor::default(),
+            )?;
+            if rest.nvals() == 0 {
+                break;
+            }
+            // Jump straight to the next occupied bucket.
+            let next_min = reduce_vector_scalar(&binaryop::Min, &rest);
+            bucket = (next_min / delta).floor() as usize;
+            continue;
+        }
+        // Settle the bucket: repeat light-edge relaxations until no new
+        // vertex enters it.
+        let mut settled = tmasked.clone();
+        loop {
+            let mut treq = Vector::<f64>::new(n)?;
+            vxm(&mut treq, None, NOACC, &MIN_PLUS, &tmasked, &light, &Descriptor::default())?;
+            // t = min(t, treq)
+            let tsnap = t.clone();
+            ewise_add(&mut t, None, NOACC, binaryop::Min, &tsnap, &treq, &Descriptor::default())?;
+            // New entrants to this bucket: improved distances within range.
+            let mut entered = Vector::<f64>::new(n)?;
+            select(
+                &mut entered,
+                None,
+                NOACC,
+                |_: Index, _: Index, d: f64| d >= lo && d < hi,
+                &t,
+                &Descriptor::default(),
+            )?;
+            // Which of them were not already settled at this distance?
+            let mut fresh = entered.clone();
+            // Remove entries equal to their settled value.
+            let settled_snapshot = settled.clone();
+            let mut same = Vector::<f64>::new(n)?;
+            ewise_mult(
+                &mut same,
+                None,
+                NOACC,
+                |a: f64, b: f64| if a == b { 1.0 } else { 0.0 },
+                &entered,
+                &settled_snapshot,
+                &Descriptor::default(),
+            )?;
+            let mut unchanged = Vector::<f64>::new(n)?;
+            select(&mut unchanged, None, NOACC, ValueNe(0.0), &same, &Descriptor::default())?;
+            // fresh = entered minus unchanged positions
+            let fsnap = fresh.clone();
+            assign(
+                &mut fresh,
+                Some(&unchanged.pattern()),
+                NOACC,
+                &Vector::<f64>::new(n)?,
+                &IndexSel::All,
+                &Descriptor::new().structural(),
+            )?;
+            let _ = fsnap;
+            if fresh.nvals() == 0 {
+                break;
+            }
+            settled = entered;
+            tmasked = fresh;
+        }
+        // One heavy-edge relaxation for the settled bucket.
+        let mut treq = Vector::<f64>::new(n)?;
+        vxm(&mut treq, None, NOACC, &MIN_PLUS, &settled, &heavy, &Descriptor::default())?;
+        let tsnap = t.clone();
+        ewise_add(&mut t, None, NOACC, binaryop::Min, &tsnap, &treq, &Descriptor::default())?;
+        bucket += 1;
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphKind;
+
+    fn weighted() -> Graph {
+        // 0 →1 (1), 0 →2 (4), 1 →2 (2), 1 →3 (7), 2 →3 (3)
+        Graph::from_weighted_edges(
+            5,
+            &[(0, 1, 1.0), (0, 2, 4.0), (1, 2, 2.0), (1, 3, 7.0), (2, 3, 3.0)],
+            GraphKind::Directed,
+        )
+        .expect("graph")
+    }
+
+    #[test]
+    fn bellman_ford_known_distances() {
+        let g = weighted();
+        let d = sssp_bellman_ford(&g, 0).expect("sssp");
+        assert_eq!(
+            d.extract_tuples(),
+            vec![(0, 0.0), (1, 1.0), (2, 3.0), (3, 6.0)]
+        );
+        assert_eq!(d.get(4), None, "unreachable");
+    }
+
+    #[test]
+    fn delta_stepping_matches_bellman_ford() {
+        let g = weighted();
+        let bf = sssp_bellman_ford(&g, 0).expect("bf");
+        for delta in [0.5, 1.0, 2.0, 10.0] {
+            let ds = sssp_delta_stepping(&g, 0, delta).expect("ds");
+            assert_eq!(ds.extract_tuples(), bf.extract_tuples(), "delta={delta}");
+        }
+    }
+
+    #[test]
+    fn undirected_distances_are_symmetric_in_usage() {
+        let g = Graph::from_weighted_edges(
+            4,
+            &[(0, 1, 2.0), (1, 2, 2.0), (0, 3, 10.0), (2, 3, 1.0)],
+            GraphKind::Undirected,
+        )
+        .expect("graph");
+        let d = sssp_bellman_ford(&g, 3).expect("sssp");
+        assert_eq!(d.get(0), Some(5.0)); // 3→2→1→0 = 1+2+2
+        let ds = sssp_delta_stepping(&g, 3, 2.0).expect("ds");
+        assert_eq!(ds.extract_tuples(), d.extract_tuples());
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        let g = weighted();
+        assert!(sssp_bellman_ford(&g, 99).is_err());
+        assert!(sssp_delta_stepping(&g, 0, 0.0).is_err());
+    }
+
+    #[test]
+    fn zero_weight_edges() {
+        let g = Graph::from_weighted_edges(
+            3,
+            &[(0, 1, 0.0), (1, 2, 5.0)],
+            GraphKind::Directed,
+        )
+        .expect("graph");
+        let d = sssp_bellman_ford(&g, 0).expect("sssp");
+        assert_eq!(d.extract_tuples(), vec![(0, 0.0), (1, 0.0), (2, 5.0)]);
+    }
+}

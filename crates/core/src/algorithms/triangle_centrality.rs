@@ -1,0 +1,129 @@
+//! Triangle centrality (Burkhardt; an LAGraph algorithm): ranks vertices
+//! by the concentration of triangles in their neighborhood,
+//!
+//! `TC(v) = ( ⅓·(t(v) + Σ_{u ∈ N_T(v)} t(u)) + Σ_{u ∈ N(v)∖N_T(v)} t(u) ) / T`
+//!
+//! (N_T(v) = neighbors forming a triangle with v; T = total triangles),
+//! computed with two semiring products over the triangle-count vector —
+//! no per-vertex graph traversal.
+
+use graphblas::prelude::*;
+use graphblas::semiring::{PLUS_PAIR, PLUS_SECOND};
+
+use crate::graph::Graph;
+
+/// Triangle centrality of every vertex. Returns the centrality vector
+/// (empty if the graph has no triangles) plus the triangle count.
+pub fn triangle_centrality(graph: &Graph) -> Result<(Vector<f64>, u64)> {
+    let s = graph.structure();
+    let a: &Matrix<bool> = &s;
+    let n = a.nrows();
+    // Per-vertex triangle counts t(v), and the triangle-edge matrix
+    // (entries of A supported by at least one triangle).
+    let mut wedge = Matrix::<u64>::new(n, n)?;
+    mxm(&mut wedge, Some(a), NOACC, &PLUS_PAIR, a, a, &Descriptor::new().structural())?;
+    let mut t = Vector::<f64>::new(n)?;
+    {
+        let mut row_sum = Vector::<u64>::new(n)?;
+        reduce_matrix(&mut row_sum, None, NOACC, &binaryop::Plus, &wedge, &Descriptor::default())?;
+        apply(&mut t, None, NOACC, |x: u64| x as f64 / 2.0, &row_sum, &Descriptor::default())?;
+    }
+    let total = reduce_matrix_scalar(&binaryop::Plus, &wedge) / 6;
+    if total == 0 {
+        return Ok((Vector::new(n)?, 0));
+    }
+    // Neighbor sums of t over all edges (A) and over triangle edges only.
+    let mut nbr_all = Vector::<f64>::new(n)?;
+    mxv(&mut nbr_all, None, NOACC, &PLUS_SECOND, a, &t, &Descriptor::default())?;
+    let tri_edges = wedge.pattern();
+    let mut nbr_tri = Vector::<f64>::new(n)?;
+    mxv(
+        &mut nbr_tri,
+        None,
+        NOACC,
+        &Semiring::new(binaryop::Plus, binaryop::Second),
+        &tri_edges,
+        &t,
+        &Descriptor::default(),
+    )?;
+    // Burkhardt's definition: triangle neighbors contribute at one third
+    // (each of their triangles is shared three ways), non-triangle
+    // neighbors contribute their counts in full.
+    let total_f = total as f64;
+    let mut tc = Vector::<f64>::new(n)?;
+    for v in 0..n {
+        let tv = t.get(v).unwrap_or(0.0);
+        let all = nbr_all.get(v).unwrap_or(0.0);
+        let tri = nbr_tri.get(v).unwrap_or(0.0);
+        let score = ((tv + tri) / 3.0 + (all - tri)) / total_f;
+        if tv > 0.0 || all > 0.0 {
+            tc.set_element(v, score)?;
+        }
+    }
+    tc.wait();
+    Ok((tc, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphKind;
+
+    #[test]
+    fn single_triangle_all_equal() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)], GraphKind::Undirected)
+            .expect("graph");
+        let (tc, total) = triangle_centrality(&g).expect("tc");
+        assert_eq!(total, 1);
+        // All three vertices are symmetric: identical scores, and by
+        // Burkhardt's normalization each equals 1.
+        let a = tc.get(0).expect("score");
+        assert_eq!(tc.get(1), Some(a));
+        assert_eq!(tc.get(2), Some(a));
+        assert!((a - 1.0).abs() < 1e-9, "score {a}");
+    }
+
+    #[test]
+    fn pendant_next_to_a_triangle_sees_it_fully() {
+        // Triangle 0-1-2 plus pendant 2-3: a documented property of
+        // triangle centrality is that a vertex adjacent to the whole
+        // triangle's mass scores as if inside it.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)], GraphKind::Undirected)
+            .expect("graph");
+        let (tc, total) = triangle_centrality(&g).expect("tc");
+        assert_eq!(total, 1);
+        let member = tc.get(2).expect("member");
+        let pendant = tc.get(3).expect("pendant");
+        assert!((member - 1.0).abs() < 1e-9);
+        assert!((pendant - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triangle_free_graph_returns_empty() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], GraphKind::Undirected)
+            .expect("graph");
+        let (tc, total) = triangle_centrality(&g).expect("tc");
+        assert_eq!(total, 0);
+        assert_eq!(tc.nvals(), 0);
+    }
+
+    #[test]
+    fn bridge_vertex_scores_highest() {
+        // Two triangles sharing vertex 2.
+        let g = Graph::from_edges(
+            5,
+            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)],
+            GraphKind::Undirected,
+        )
+        .expect("graph");
+        let (tc, total) = triangle_centrality(&g).expect("tc");
+        assert_eq!(total, 2);
+        let bridge = tc.get(2).expect("bridge");
+        assert!((bridge - 1.0).abs() < 1e-9, "bridge {bridge}");
+        for v in [0, 1, 3, 4] {
+            let other = tc.get(v).expect("other");
+            assert!(bridge > other, "vertex {v}");
+            assert!((other - 2.0 / 3.0).abs() < 1e-9, "vertex {v}: {other}");
+        }
+    }
+}

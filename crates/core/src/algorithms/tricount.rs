@@ -1,0 +1,150 @@
+//! Triangle counting (Azad/Buluç/Gilbert; Wolf et al.), in the three
+//! masked-mxm formulations SuiteSparse popularized. All use the
+//! structural `PLUS_PAIR` semiring, the masked `mxm` kernels, and the
+//! `tril`/`triu` selects. The graph must be undirected with no
+//! self-loops.
+
+use graphblas::prelude::*;
+use graphblas::semiring::PLUS_PAIR;
+
+use crate::graph::Graph;
+
+/// Which formulation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TriCountMethod {
+    /// Burkhardt: `sum(sum((A²) .* A)) / 6`.
+    Burkhardt,
+    /// Cohen: `sum(sum((L * U) .* A)) / 2`.
+    Cohen,
+    /// Sandia: `sum(sum((L * Lᵀ) .* L))` — the fastest masked-dot form.
+    Sandia,
+}
+
+/// Count the triangles of an undirected graph.
+pub fn triangle_count(graph: &Graph, method: TriCountMethod) -> Result<u64> {
+    let s = graph.structure();
+    let a: &Matrix<bool> = &s;
+    let n = a.nrows();
+    match method {
+        TriCountMethod::Burkhardt => {
+            // C<A> = A ⊕.pair A ; count = sum(C) / 6
+            let mut c = Matrix::<u64>::new(n, n)?;
+            mxm(
+                &mut c,
+                Some(a),
+                NOACC,
+                &PLUS_PAIR,
+                a,
+                a,
+                &Descriptor::new().structural(),
+            )?;
+            Ok(reduce_matrix_scalar(&binaryop::Plus, &c) / 6)
+        }
+        TriCountMethod::Cohen => {
+            let l = tril(a)?;
+            let u = triu(a)?;
+            let mut c = Matrix::<u64>::new(n, n)?;
+            mxm(
+                &mut c,
+                Some(a),
+                NOACC,
+                &PLUS_PAIR,
+                &l,
+                &u,
+                &Descriptor::new().structural(),
+            )?;
+            Ok(reduce_matrix_scalar(&binaryop::Plus, &c) / 2)
+        }
+        TriCountMethod::Sandia => {
+            // C<L> = L ⊕.pair Lᵀ, the masked dot-product formulation.
+            let l = tril(a)?;
+            let mut c = Matrix::<u64>::new(n, n)?;
+            mxm(
+                &mut c,
+                Some(&l),
+                NOACC,
+                &PLUS_PAIR,
+                &l,
+                &l,
+                &Descriptor::new().structural().transpose_b().method(MxmMethod::Dot),
+            )?;
+            Ok(reduce_matrix_scalar(&binaryop::Plus, &c))
+        }
+    }
+}
+
+/// Per-vertex triangle counts: `t(v)` = number of triangles through `v`
+/// (the diagonal of `A³ / 2`, computed as row sums of `(A ⊕.pair A) .* A`).
+pub fn triangle_count_per_vertex(graph: &Graph) -> Result<Vector<u64>> {
+    let s = graph.structure();
+    let a: &Matrix<bool> = &s;
+    let n = a.nrows();
+    let mut c = Matrix::<u64>::new(n, n)?;
+    mxm(&mut c, Some(a), NOACC, &PLUS_PAIR, a, a, &Descriptor::new().structural())?;
+    let mut t = Vector::<u64>::new(n)?;
+    reduce_matrix(&mut t, None, NOACC, &binaryop::Plus, &c, &Descriptor::default())?;
+    // Each triangle through v is counted twice in the wedge sum.
+    let mut halved = Vector::<u64>::new(n)?;
+    apply(&mut halved, None, NOACC, |x: u64| x / 2, &t, &Descriptor::default())?;
+    Ok(halved)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphKind;
+
+    fn two_triangles() -> Graph {
+        // Triangles 0-1-2 and 2-3-4, bridge at 2.
+        Graph::from_edges(
+            5,
+            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)],
+            GraphKind::Undirected,
+        )
+        .expect("graph")
+    }
+
+    #[test]
+    fn all_methods_count_two() {
+        let g = two_triangles();
+        for m in [TriCountMethod::Burkhardt, TriCountMethod::Cohen, TriCountMethod::Sandia] {
+            assert_eq!(triangle_count(&g, m).expect("tc"), 2, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn triangle_free_graph_counts_zero() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], GraphKind::Undirected)
+            .expect("graph");
+        for m in [TriCountMethod::Burkhardt, TriCountMethod::Cohen, TriCountMethod::Sandia] {
+            assert_eq!(triangle_count(&g, m).expect("tc"), 0, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn complete_graph_k5() {
+        // K5 has C(5,3) = 10 triangles.
+        let mut edges = Vec::new();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                edges.push((i, j));
+            }
+        }
+        let g = Graph::from_edges(5, &edges, GraphKind::Undirected).expect("graph");
+        for m in [TriCountMethod::Burkhardt, TriCountMethod::Cohen, TriCountMethod::Sandia] {
+            assert_eq!(triangle_count(&g, m).expect("tc"), 10, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn per_vertex_counts() {
+        let g = two_triangles();
+        let t = triangle_count_per_vertex(&g).expect("tc");
+        assert_eq!(t.get(0), Some(1));
+        assert_eq!(t.get(2), Some(2), "bridge vertex is in both triangles");
+        assert_eq!(t.get(3), Some(1));
+        // Sum over vertices = 3 × number of triangles.
+        let total = reduce_vector_scalar(&binaryop::Plus, &t);
+        assert_eq!(total, 6);
+    }
+}

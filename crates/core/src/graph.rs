@@ -1,0 +1,314 @@
+//! The LAGraph `Graph` object: an adjacency matrix plus cached derived
+//! properties (transpose, structure, degrees), so algorithms don't
+//! recompute them — the design the LAGraph project adopted so a graph can
+//! flow through a processing pipeline (§IV of the paper).
+
+use graphblas::prelude::*;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Whether the adjacency matrix is to be interpreted as directed (an edge
+/// `(i, j)` is the arc `i → j`) or undirected (the matrix is symmetric by
+/// construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphKind {
+    /// Adjacency of a directed graph.
+    Directed,
+    /// Adjacency of an undirected graph; `A` must be structurally
+    /// symmetric (checked by [`Graph::check`]).
+    Undirected,
+}
+
+#[derive(Default)]
+struct Cached {
+    at: Option<Arc<Matrix<f64>>>,
+    structure: Option<Arc<Matrix<bool>>>,
+    out_degree: Option<Arc<Vector<i64>>>,
+    in_degree: Option<Arc<Vector<i64>>>,
+    nself_edges: Option<usize>,
+}
+
+/// A graph: adjacency matrix, kind, and lazily cached properties.
+pub struct Graph {
+    /// The adjacency matrix; `A(i, j)` is the weight of edge `i → j`.
+    a: Matrix<f64>,
+    kind: GraphKind,
+    cache: Mutex<Cached>,
+}
+
+impl Graph {
+    /// Wrap an adjacency matrix. The matrix must be square.
+    pub fn new(a: Matrix<f64>, kind: GraphKind) -> Result<Self> {
+        if a.nrows() != a.ncols() {
+            return Err(Error::dim(format!(
+                "adjacency matrix must be square, got {}x{}",
+                a.nrows(),
+                a.ncols()
+            )));
+        }
+        Ok(Graph { a, kind, cache: Mutex::new(Cached::default()) })
+    }
+
+    /// Build an unweighted graph from an edge list (weights set to 1).
+    /// For [`GraphKind::Undirected`], each edge is mirrored.
+    pub fn from_edges(n: Index, edges: &[(Index, Index)], kind: GraphKind) -> Result<Self> {
+        let mut tuples = Vec::with_capacity(edges.len() * 2);
+        for &(i, j) in edges {
+            tuples.push((i, j, 1.0));
+            if kind == GraphKind::Undirected && i != j {
+                tuples.push((j, i, 1.0));
+            }
+        }
+        let a = Matrix::from_tuples(n, n, tuples, |_, b| b)?;
+        Graph::new(a, kind)
+    }
+
+    /// Build a weighted graph from an edge list.
+    pub fn from_weighted_edges(
+        n: Index,
+        edges: &[(Index, Index, f64)],
+        kind: GraphKind,
+    ) -> Result<Self> {
+        let mut tuples = Vec::with_capacity(edges.len() * 2);
+        for &(i, j, w) in edges {
+            tuples.push((i, j, w));
+            if kind == GraphKind::Undirected && i != j {
+                tuples.push((j, i, w));
+            }
+        }
+        let a = Matrix::from_tuples(n, n, tuples, |_, b| b)?;
+        Graph::new(a, kind)
+    }
+
+    /// The adjacency matrix.
+    pub fn a(&self) -> &Matrix<f64> {
+        &self.a
+    }
+
+    /// The graph kind.
+    pub fn kind(&self) -> GraphKind {
+        self.kind
+    }
+
+    /// Number of vertices.
+    pub fn nvertices(&self) -> Index {
+        self.a.nrows()
+    }
+
+    /// Number of stored edges (each undirected edge counts twice).
+    pub fn nedges(&self) -> usize {
+        self.a.nvals()
+    }
+
+    /// The cached transpose `Aᵀ` (the matrix itself for undirected
+    /// graphs would be equal; we still materialize it so algorithms can
+    /// rely on row access to in-edges).
+    pub fn at(&self) -> Arc<Matrix<f64>> {
+        let mut c = self.cache.lock();
+        c.at
+            .get_or_insert_with(|| {
+                Arc::new(transpose_new(&self.a).expect("square transpose"))
+            })
+            .clone()
+    }
+
+    /// The cached Boolean structure of `A`, with dual (push/pull) storage
+    /// enabled so traversals can choose direction freely.
+    pub fn structure(&self) -> Arc<Matrix<bool>> {
+        let mut c = self.cache.lock();
+        c.structure
+            .get_or_insert_with(|| {
+                let mut s = self.a.pattern();
+                s.set_dual_storage(true);
+                Arc::new(s)
+            })
+            .clone()
+    }
+
+    /// Cached out-degrees (row degrees) as an `i64` vector; vertices with
+    /// no out-edges have no entry.
+    pub fn out_degree(&self) -> Arc<Vector<i64>> {
+        let mut c = self.cache.lock();
+        c.out_degree
+            .get_or_insert_with(|| {
+                let ones = self.a.pattern();
+                let mut d = Vector::<i64>::new(self.nvertices()).expect("n >= 1");
+                let mut counts = Matrix::<i64>::new(self.nvertices(), self.nvertices())
+                    .expect("dims");
+                apply_matrix(&mut counts, None, NOACC, unaryop::One, &ones, &Descriptor::default())
+                    .expect("pattern count");
+                reduce_matrix(&mut d, None, NOACC, &binaryop::Plus, &counts, &Descriptor::default())
+                    .expect("row reduce");
+                Arc::new(d)
+            })
+            .clone()
+    }
+
+    /// Cached in-degrees (column degrees).
+    pub fn in_degree(&self) -> Arc<Vector<i64>> {
+        let mut c = self.cache.lock();
+        c.in_degree
+            .get_or_insert_with(|| {
+                let ones = self.a.pattern();
+                let mut d = Vector::<i64>::new(self.nvertices()).expect("n >= 1");
+                let mut counts = Matrix::<i64>::new(self.nvertices(), self.nvertices())
+                    .expect("dims");
+                apply_matrix(&mut counts, None, NOACC, unaryop::One, &ones, &Descriptor::default())
+                    .expect("pattern count");
+                reduce_matrix(
+                    &mut d,
+                    None,
+                    NOACC,
+                    &binaryop::Plus,
+                    &counts,
+                    &Descriptor::new().transpose_a(),
+                )
+                .expect("col reduce");
+                Arc::new(d)
+            })
+            .clone()
+    }
+
+    /// Number of self-loops, cached.
+    pub fn nself_edges(&self) -> usize {
+        let mut c = self.cache.lock();
+        *c.nself_edges.get_or_insert_with(|| {
+            let mut d = Matrix::<f64>::new(self.nvertices(), self.nvertices()).expect("dims");
+            select_matrix(&mut d, None, NOACC, unaryop::Diag, &self.a, &Descriptor::default())
+                .expect("diag select");
+            d.nvals()
+        })
+    }
+
+    /// Remove self-loops, invalidating caches.
+    pub fn delete_self_edges(&mut self) -> Result<()> {
+        let mut cleaned = Matrix::<f64>::new(self.nvertices(), self.nvertices())?;
+        select_matrix(
+            &mut cleaned,
+            None,
+            NOACC,
+            unaryop::Offdiag,
+            &self.a,
+            &Descriptor::default(),
+        )?;
+        self.a = cleaned;
+        self.cache = Mutex::new(Cached::default());
+        Ok(())
+    }
+
+    /// Structural checks: squareness always; symmetry for undirected
+    /// graphs (pattern and values must match the transpose).
+    pub fn check(&self) -> Result<()> {
+        if self.kind == GraphKind::Undirected {
+            let at = transpose_new(&self.a)?;
+            if at.extract_tuples() != self.a.extract_tuples() {
+                return Err(Error::invalid(
+                    "undirected graph adjacency must be symmetric",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Graph")
+            .field("nvertices", &self.nvertices())
+            .field("nedges", &self.nedges())
+            .field("kind", &self.kind)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)], GraphKind::Undirected)
+            .expect("graph")
+    }
+
+    #[test]
+    fn undirected_edges_are_mirrored() {
+        let g = triangle();
+        assert_eq!(g.nvertices(), 3);
+        assert_eq!(g.nedges(), 6);
+        g.check().expect("symmetric");
+    }
+
+    #[test]
+    fn directed_edges_are_not() {
+        let g = Graph::from_edges(3, &[(0, 1)], GraphKind::Directed).expect("graph");
+        assert_eq!(g.nedges(), 1);
+        assert!(g.a().get(1, 0).is_none());
+    }
+
+    #[test]
+    fn degrees() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (3, 0)], GraphKind::Directed)
+            .expect("graph");
+        let out = g.out_degree();
+        assert_eq!(out.get(0), Some(2));
+        assert_eq!(out.get(3), Some(1));
+        assert_eq!(out.get(1), None);
+        let inn = g.in_degree();
+        assert_eq!(inn.get(0), Some(1));
+        assert_eq!(inn.get(1), Some(1));
+        assert_eq!(inn.get(3), None);
+    }
+
+    #[test]
+    fn transpose_cache_reflects_reverse_edges() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)], GraphKind::Directed).expect("graph");
+        let at = g.at();
+        assert_eq!(at.get(1, 0), Some(1.0));
+        assert_eq!(at.get(2, 1), Some(1.0));
+        // Cached: same Arc returned.
+        assert!(Arc::ptr_eq(&at, &g.at()));
+    }
+
+    #[test]
+    fn structure_has_dual_storage() {
+        let g = triangle();
+        let s = g.structure();
+        assert!(s.dual_storage());
+        assert_eq!(s.nvals(), 6);
+    }
+
+    #[test]
+    fn self_edges_counted_and_removed() {
+        let mut g = Graph::from_edges(3, &[(0, 0), (0, 1), (2, 2)], GraphKind::Directed)
+            .expect("graph");
+        assert_eq!(g.nself_edges(), 2);
+        g.delete_self_edges().expect("clean");
+        assert_eq!(g.nself_edges(), 0);
+        assert_eq!(g.nedges(), 1);
+    }
+
+    #[test]
+    fn weighted_edges() {
+        let g = Graph::from_weighted_edges(
+            3,
+            &[(0, 1, 2.5), (1, 2, 1.5)],
+            GraphKind::Undirected,
+        )
+        .expect("graph");
+        assert_eq!(g.a().get(0, 1), Some(2.5));
+        assert_eq!(g.a().get(1, 0), Some(2.5));
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        let m = Matrix::<f64>::new(2, 3).expect("m");
+        assert!(Graph::new(m, GraphKind::Directed).is_err());
+    }
+
+    #[test]
+    fn asymmetric_undirected_fails_check() {
+        let a = Matrix::from_tuples(2, 2, vec![(0, 1, 1.0)], |_, b| b).expect("a");
+        let g = Graph::new(a, GraphKind::Undirected).expect("construct");
+        assert!(g.check().is_err());
+    }
+}

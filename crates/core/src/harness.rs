@@ -1,0 +1,308 @@
+//! The algorithm test harness (§III of the paper lists "a directory
+//! holding a test harness for each algorithm" among the repository's
+//! basic elements): validators that check an algorithm's *output
+//! properties* using only GraphBLAS operations, independent of how the
+//! result was computed. Integration tests and downstream users both call
+//! these.
+
+use graphblas::prelude::*;
+use graphblas::semiring::MIN_PLUS;
+
+use crate::graph::Graph;
+
+/// Check BFS levels from `source`: the source has level 1; every leveled
+/// vertex other than the source has a neighbor exactly one level above;
+/// no edge skips a level (|level(u) − level(v)| ≤ 1 across any edge);
+/// and no unreached vertex is adjacent to a reached one.
+pub fn verify_bfs_levels(graph: &Graph, source: Index, levels: &Vector<i32>) -> Result<bool> {
+    if levels.get(source) != Some(1) {
+        return Ok(false);
+    }
+    // Edge conditions, checked edge by edge over the adjacency.
+    for (u, v, _) in graph.a().iter() {
+        match (levels.get(u), levels.get(v)) {
+            (Some(lu), Some(lv)) => {
+                if (lu - lv).abs() > 1 {
+                    return Ok(false); // a level was skipped
+                }
+            }
+            (Some(_), None) => {
+                // u reached, v not, but u → v exists: v was reachable.
+                return Ok(false);
+            }
+            _ => {}
+        }
+    }
+    // Every non-source leveled vertex has an in-neighbor one level up:
+    // pred(v) = min over in-neighbors u of level(u) must equal level-1.
+    let n = graph.nvertices();
+    let mut best_pred = Vector::<i32>::new(n)?;
+    mxv(
+        &mut best_pred,
+        Some(&levels.pattern()),
+        NOACC,
+        &Semiring::new(binaryop::Min, binaryop::Second),
+        &graph.at(),
+        levels,
+        &Descriptor::new().structural(),
+    )?;
+    for (v, l) in levels.iter() {
+        if v == source {
+            continue;
+        }
+        match best_pred.get(v) {
+            Some(p) if p == l - 1 => {}
+            _ => return Ok(false),
+        }
+    }
+    Ok(true)
+}
+
+/// Check SSSP distances from `source` (non-negative weights): the source
+/// is 0; every distance is realized by some in-edge (consistency); and no
+/// edge can relax further (optimality): `dist(v) ≤ dist(u) + w(u,v)` for
+/// every edge, with equality achieved by at least one in-edge of each
+/// reached non-source vertex.
+pub fn verify_sssp(graph: &Graph, source: Index, dist: &Vector<f64>) -> Result<bool> {
+    if dist.get(source) != Some(0.0) {
+        return Ok(false);
+    }
+    // No further relaxation possible: min-plus step must not improve.
+    let n = graph.nvertices();
+    let mut relaxed = Vector::<f64>::new(n)?;
+    vxm(&mut relaxed, None, NOACC, &MIN_PLUS, dist, graph.a(), &Descriptor::default())?;
+    for (v, r) in relaxed.iter() {
+        match dist.get(v) {
+            Some(d) => {
+                if r < d - 1e-12 {
+                    return Ok(false); // an edge still relaxes
+                }
+            }
+            None => return Ok(false), // reachable but unlabeled
+        }
+    }
+    // Consistency: every reached non-source vertex attains its distance
+    // through some in-edge.
+    for (v, d) in dist.iter() {
+        if v == source {
+            continue;
+        }
+        match relaxed.get(v) {
+            Some(r) if (r - d).abs() <= 1e-12 => {}
+            _ => return Ok(false),
+        }
+    }
+    Ok(true)
+}
+
+/// Check a component labeling: labels are constant along edges, distinct
+/// components are never connected, and each label is the smallest member
+/// id of its class.
+pub fn verify_components(graph: &Graph, comp: &Vector<u64>) -> Result<bool> {
+    let n = graph.nvertices();
+    if comp.nvals() != n {
+        return Ok(false);
+    }
+    for (u, v, _) in graph.a().iter() {
+        if comp.get(u) != comp.get(v) {
+            return Ok(false);
+        }
+    }
+    // Smallest-member canonical labels.
+    let mut min_of_label = std::collections::HashMap::<u64, u64>::new();
+    for (v, c) in comp.iter() {
+        let e = min_of_label.entry(c).or_insert(v as u64);
+        if (v as u64) < *e {
+            *e = v as u64;
+        }
+    }
+    for (c, m) in min_of_label {
+        if c != m {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Check a k-truss: every stored edge must have at least `k − 2`
+/// supporting triangles inside the truss, and the structure must be
+/// symmetric.
+pub fn verify_ktruss(truss: &Matrix<u64>, k: u64) -> Result<bool> {
+    let n = truss.nrows();
+    let pattern = truss.pattern();
+    // support = (T ⊕.pair Tᵀ) masked to T's edges.
+    let mut sup = Matrix::<u64>::new(n, n)?;
+    mxm(
+        &mut sup,
+        Some(&pattern),
+        NOACC,
+        &graphblas::semiring::PLUS_PAIR,
+        &pattern,
+        &pattern,
+        &Descriptor::new().structural().transpose_b(),
+    )?;
+    for (i, j, _) in truss.iter() {
+        if truss.get(j, i).is_none() {
+            return Ok(false); // asymmetric
+        }
+        match sup.get(i, j) {
+            Some(s) if s >= k - 2 => {}
+            _ => return Ok(false),
+        }
+    }
+    Ok(true)
+}
+
+/// Check PageRank output: a full, non-negative distribution summing to 1
+/// within `tol`.
+pub fn verify_pagerank(graph: &Graph, ranks: &Vector<f64>, tol: f64) -> Result<bool> {
+    if ranks.nvals() != graph.nvertices() {
+        return Ok(false);
+    }
+    let mut total = 0.0;
+    for (_, r) in ranks.iter() {
+        if !(r >= 0.0) {
+            return Ok(false);
+        }
+        total += r;
+    }
+    Ok((total - 1.0).abs() <= tol)
+}
+
+/// Check a vertex coloring against the graph (proper and total) and
+/// additionally that colors form the contiguous range `1..=k`.
+pub fn verify_coloring_range(graph: &Graph, colors: &Vector<i32>, k: i32) -> Result<bool> {
+    if !crate::algorithms::coloring::verify_coloring(graph, colors)? {
+        return Ok(false);
+    }
+    let mut seen = vec![false; k as usize + 1];
+    for (_, c) in colors.iter() {
+        if c < 1 || c > k {
+            return Ok(false);
+        }
+        seen[c as usize] = true;
+    }
+    Ok(seen[1..].iter().all(|&s| s))
+}
+
+/// Count how many of v's in-neighbors hold each value — a reusable
+/// "tally" helper several validators above and algorithms share.
+pub fn neighbor_min_label(graph: &Graph, labels: &Vector<u64>) -> Result<Vector<u64>> {
+    let n = graph.nvertices();
+    let mut out = Vector::<u64>::new(n)?;
+    mxv(
+        &mut out,
+        None,
+        NOACC,
+        &Semiring::new(binaryop::Min, binaryop::Second),
+        &graph.at(),
+        labels,
+        &Descriptor::default(),
+    )?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::*;
+    use crate::graph::GraphKind;
+
+    fn sample() -> Graph {
+        Graph::from_edges(
+            8,
+            &[(0, 1), (1, 2), (2, 3), (1, 4), (4, 5), (6, 7)],
+            GraphKind::Undirected,
+        )
+        .expect("graph")
+    }
+
+    #[test]
+    fn bfs_output_validates() {
+        let g = sample();
+        let levels = bfs_level(&g, 0).expect("bfs");
+        assert!(verify_bfs_levels(&g, 0, &levels).expect("verify"));
+    }
+
+    #[test]
+    fn bfs_validator_rejects_corruption() {
+        let g = sample();
+        let mut levels = bfs_level(&g, 0).expect("bfs");
+        // Corrupt: skip a level.
+        levels.set_element(3, 9).expect("set");
+        assert!(!verify_bfs_levels(&g, 0, &levels).expect("verify"));
+        // Corrupt: drop a reachable vertex.
+        let mut levels = bfs_level(&g, 0).expect("bfs");
+        levels.remove_element(2).expect("remove");
+        assert!(!verify_bfs_levels(&g, 0, &levels).expect("verify"));
+        // Corrupt: wrong source level.
+        let mut levels = bfs_level(&g, 0).expect("bfs");
+        levels.set_element(0, 5).expect("set");
+        assert!(!verify_bfs_levels(&g, 0, &levels).expect("verify"));
+    }
+
+    #[test]
+    fn sssp_output_validates() {
+        let g = Graph::from_weighted_edges(
+            5,
+            &[(0, 1, 1.0), (0, 2, 4.0), (1, 2, 2.0), (2, 3, 3.0)],
+            GraphKind::Directed,
+        )
+        .expect("graph");
+        let d = sssp_bellman_ford(&g, 0).expect("sssp");
+        assert!(verify_sssp(&g, 0, &d).expect("verify"));
+        // Corrupt: too-short distance (inconsistent).
+        let mut bad = d.clone();
+        bad.set_element(3, 1.0).expect("set");
+        assert!(!verify_sssp(&g, 0, &bad).expect("verify"));
+        // Corrupt: too-long distance (relaxable).
+        let mut bad = d.clone();
+        bad.set_element(3, 99.0).expect("set");
+        assert!(!verify_sssp(&g, 0, &bad).expect("verify"));
+    }
+
+    #[test]
+    fn components_output_validates() {
+        let g = sample();
+        let comp = connected_components(&g).expect("cc");
+        assert!(verify_components(&g, &comp).expect("verify"));
+        let mut bad = comp.clone();
+        bad.set_element(1, 6).expect("set");
+        assert!(!verify_components(&g, &bad).expect("verify"));
+    }
+
+    #[test]
+    fn ktruss_output_validates() {
+        let g = Graph::from_edges(
+            5,
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)],
+            GraphKind::Undirected,
+        )
+        .expect("graph");
+        let t = ktruss(&g, 3).expect("truss");
+        assert!(verify_ktruss(&t, 3).expect("verify"));
+        // The raw graph (with the weak tail edge) is not a valid 3-truss.
+        let mut raw = Matrix::<u64>::new(5, 5).expect("raw");
+        apply_matrix(&mut raw, None, NOACC, unaryop::One, g.a(), &Descriptor::default())
+            .expect("ones");
+        assert!(!verify_ktruss(&raw, 3).expect("verify"));
+    }
+
+    #[test]
+    fn pagerank_output_validates() {
+        let g = sample();
+        let (r, _) = pagerank(&g, &PageRankOptions::default()).expect("pr");
+        assert!(verify_pagerank(&g, &r, 1e-6).expect("verify"));
+        let mut bad = r.clone();
+        bad.set_element(0, 0.9).expect("set");
+        assert!(!verify_pagerank(&g, &bad, 1e-6).expect("verify"));
+    }
+
+    #[test]
+    fn coloring_output_validates() {
+        let g = sample();
+        let (colors, k) = greedy_color(&g, 3).expect("color");
+        assert!(verify_coloring_range(&g, &colors, k).expect("verify"));
+        assert!(!verify_coloring_range(&g, &colors, k + 1).expect("verify"));
+    }
+}

@@ -1,0 +1,19 @@
+//! # lagraph — graph algorithms built on top of the GraphBLAS
+//!
+//! The Rust realization of the library the LAGraph position paper calls
+//! for: a [`Graph`](graph::Graph) object with cached derived properties,
+//! and a collection of graph algorithms (§V) written exclusively against
+//! the GraphBLAS API of the [`graphblas`] crate — BFS (level, parent, and
+//! direction-optimized), single-source and all-pairs shortest paths,
+//! betweenness centrality, triangle counting, k-truss, connected
+//! components, PageRank, graph coloring, maximal independent set,
+//! bipartite matching, Markov and peer-pressure clustering, local graph
+//! clustering, sparse deep-neural-network inference, and A* search.
+
+pub mod algorithms;
+pub mod graph;
+pub mod harness;
+pub mod utils;
+
+pub use algorithms::*;
+pub use graph::{Graph, GraphKind};

@@ -1,0 +1,107 @@
+//! Support utilities the paper lists for LAGraph (§VI): deterministic
+//! pseudo-randomness for randomized algorithms, and small vector helpers.
+
+use graphblas::prelude::*;
+
+/// SplitMix64: a tiny, deterministic PRNG. Algorithms that need randomness
+/// (Luby's MIS, graph coloring) take an explicit seed so results are
+/// reproducible without pulling a dependency into the library.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `0..n`.
+    pub fn next_below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// The index of the maximum entry of a vector (ties broken toward the
+/// smallest index); `None` for an empty vector.
+pub fn argmax<T: Scalar + PartialOrd>(v: &Vector<T>) -> Option<(Index, T)> {
+    let mut best: Option<(Index, T)> = None;
+    for (i, x) in v.iter() {
+        match &best {
+            Some((_, bx)) if !(x > *bx) => {}
+            _ => best = Some((i, x)),
+        }
+    }
+    best
+}
+
+/// The index of the minimum entry of a vector.
+pub fn argmin<T: Scalar + PartialOrd>(v: &Vector<T>) -> Option<(Index, T)> {
+    let mut best: Option<(Index, T)> = None;
+    for (i, x) in v.iter() {
+        match &best {
+            Some((_, bx)) if !(x < *bx) => {}
+            _ => best = Some((i, x)),
+        }
+    }
+    best
+}
+
+/// Sum of an `f64` vector's entries.
+pub fn sum(v: &Vector<f64>) -> f64 {
+    reduce_vector_scalar(&binaryop::Plus, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_f64_in_unit_interval() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn argmax_argmin() {
+        let v = Vector::from_tuples(5, vec![(1, 3.0), (2, 9.0), (4, 9.0)], |_, b| b)
+            .expect("v");
+        assert_eq!(argmax(&v), Some((2, 9.0)));
+        assert_eq!(argmin(&v), Some((1, 3.0)));
+        let e = Vector::<f64>::new(3).expect("e");
+        assert_eq!(argmax(&e), None);
+    }
+
+    #[test]
+    fn sum_works() {
+        let v = Vector::from_tuples(3, vec![(0, 1.5), (2, 2.5)], |_, b| b).expect("v");
+        assert_eq!(sum(&v), 4.0);
+    }
+}

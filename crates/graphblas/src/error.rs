@@ -1,0 +1,114 @@
+//! Error handling modeled on the GraphBLAS C API return codes.
+//!
+//! The C specification distinguishes *API errors* (invalid usage — bad
+//! dimensions, out-of-bounds indices, invalid objects) from *execution
+//! errors* (out of memory, panics inside kernels). We map both onto a single
+//! [`Error`] enum carried by [`Result`], the idiomatic Rust equivalent of the
+//! `GrB_Info` return code.
+
+use std::fmt;
+
+/// The GraphBLAS result type. Every fallible operation returns this.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Error codes mirroring `GrB_Info` failure values from the C API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Operand dimensions are incompatible (`GrB_DIMENSION_MISMATCH`).
+    DimensionMismatch {
+        /// Human-readable description of the two shapes involved.
+        detail: String,
+    },
+    /// A row or column index exceeds the object's dimensions
+    /// (`GrB_INDEX_OUT_OF_BOUNDS`).
+    IndexOutOfBounds {
+        /// The offending index.
+        index: u64,
+        /// The dimension it was checked against.
+        bound: u64,
+    },
+    /// A scalar argument has an invalid value (`GrB_INVALID_VALUE`), e.g. a
+    /// zero-length dimension where one is required, or an unsorted index
+    /// list passed to a routine that requires sorted input.
+    InvalidValue {
+        /// Description of the violated constraint.
+        detail: String,
+    },
+    /// An object is used before it has entries required by the operation,
+    /// e.g. extracting an element at a position with no stored entry
+    /// (`GrB_NO_VALUE`). This is informational in the C API; we surface it
+    /// as an error variant so callers can match on it.
+    NoValue,
+    /// The output object cannot alias an input for this operation and the
+    /// implementation could not resolve the alias internally.
+    Alias,
+    /// An unrecoverable internal invariant was violated (`GrB_PANIC`).
+    Internal {
+        /// Description of the broken invariant.
+        detail: String,
+    },
+}
+
+impl Error {
+    /// Convenience constructor for dimension mismatches.
+    pub fn dim(detail: impl Into<String>) -> Self {
+        Error::DimensionMismatch { detail: detail.into() }
+    }
+
+    /// Convenience constructor for invalid scalar values.
+    pub fn invalid(detail: impl Into<String>) -> Self {
+        Error::InvalidValue { detail: detail.into() }
+    }
+
+    /// Convenience constructor for out-of-bounds indices.
+    pub fn oob(index: usize, bound: usize) -> Self {
+        Error::IndexOutOfBounds { index: index as u64, bound: bound as u64 }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DimensionMismatch { detail } => {
+                write!(f, "dimension mismatch: {detail}")
+            }
+            Error::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds (dimension {bound})")
+            }
+            Error::InvalidValue { detail } => write!(f, "invalid value: {detail}"),
+            Error::NoValue => write!(f, "no entry at the requested position"),
+            Error::Alias => write!(f, "unresolvable alias between output and input"),
+            Error::Internal { detail } => write!(f, "internal error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = Error::dim("A is 3x4, B is 5x6");
+        assert_eq!(e.to_string(), "dimension mismatch: A is 3x4, B is 5x6");
+    }
+
+    #[test]
+    fn display_out_of_bounds() {
+        let e = Error::oob(10, 4);
+        assert_eq!(e.to_string(), "index 10 out of bounds (dimension 4)");
+    }
+
+    #[test]
+    fn display_no_value() {
+        assert_eq!(Error::NoValue.to_string(), "no entry at the requested position");
+    }
+
+    #[test]
+    fn errors_compare_equal_by_content() {
+        assert_eq!(Error::oob(1, 2), Error::oob(1, 2));
+        assert_ne!(Error::oob(1, 2), Error::oob(2, 2));
+    }
+}

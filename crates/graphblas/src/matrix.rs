@@ -1,0 +1,1065 @@
+//! The opaque `GrB_Matrix` object.
+//!
+//! A [`Matrix`] owns one of four storage forms (CSR, CSC, and their
+//! hypersparse variants — §II.A) plus the deferred-update state that
+//! implements the non-blocking execution model:
+//!
+//! * **pending tuples** — an unordered list of `(i, j, x)` insertions, and
+//! * **zombies** — entries tagged for deletion in place (the index is
+//!   stored with its top bit flipped, exactly SuiteSparse's trick),
+//!
+//! both resolved by a single [`Matrix::wait`] (assembly) step costing
+//! `O(n + e + p log p)`. This is why a sequence of `e` `set_element` calls
+//! costs the same as one `build` of `e` tuples (reproduced by the
+//! `incremental` benchmark).
+//!
+//! Reads acquire the object through an internal lock and assemble lazily,
+//! so the Rust API can keep the C API's convention that reading a matrix
+//! takes `&self` while still deferring updates.
+
+use parking_lot::{RwLock, RwLockReadGuard};
+
+use crate::error::{Error, Result};
+use crate::sparse::{Cs, Hyper, SparseView, Tuple};
+use crate::types::{Index, Scalar};
+
+/// Zombie flag: a deleted entry keeps its slot with this bit set on its
+/// minor index. Real indices are far below `1 << 63` on any supported
+/// platform, so sorted order under the unflipped comparison is preserved.
+pub(crate) const ZOMBIE: usize = 1usize << (usize::BITS - 1);
+
+#[inline]
+pub(crate) fn unflip(i: usize) -> usize {
+    i & !ZOMBIE
+}
+
+/// Above this major dimension a standard pointer array is considered too
+/// large and the hypersparse form is used unconditionally.
+const HYPER_DIM_LIMIT: usize = 1 << 22;
+
+/// Auto-switch to hypersparse when fewer than `1/HYPER_RATIO` of the major
+/// vectors are occupied (and the dimension is non-trivial).
+const HYPER_RATIO: usize = 16;
+const HYPER_MIN_DIM: usize = 4096;
+
+/// The storage format of a matrix, as reported by [`Matrix::format`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Row-major compressed (pointer array over rows).
+    Csr,
+    /// Column-major compressed.
+    Csc,
+    /// Row-major with a sparse pointer array (`O(e)` memory).
+    HyperCsr,
+    /// Column-major hypersparse.
+    HyperCsc,
+}
+
+/// Internal storage: the four forms of §II.A.
+#[derive(Debug, Clone)]
+pub(crate) enum Store<T> {
+    Csr(Cs<T>),
+    Csc(Cs<T>),
+    HyperCsr(Hyper<T>),
+    HyperCsc(Hyper<T>),
+}
+
+impl<T: Scalar> Store<T> {
+    fn empty_row_major(nrows: Index, ncols: Index) -> Self {
+        if nrows > HYPER_DIM_LIMIT {
+            Store::HyperCsr(Hyper::empty(nrows, ncols))
+        } else {
+            Store::Csr(Cs::empty(nrows, ncols))
+        }
+    }
+
+    /// Choose standard vs hypersparse for a row-major result with the given
+    /// number of occupied rows.
+    pub(crate) fn row_major_from_vecs(
+        nrows: Index,
+        ncols: Index,
+        vecs: Vec<(Index, Vec<Index>, Vec<T>)>,
+    ) -> Self {
+        let nvec = vecs.len();
+        if nrows > HYPER_DIM_LIMIT || (nrows > HYPER_MIN_DIM && nvec < nrows / HYPER_RATIO) {
+            Store::HyperCsr(Hyper::from_vecs(nrows, ncols, vecs))
+        } else {
+            Store::Csr(Cs::from_vecs(nrows, ncols, vecs))
+        }
+    }
+
+    fn nvals_raw(&self) -> usize {
+        match self {
+            Store::Csr(c) | Store::Csc(c) => c.idx.len(),
+            Store::HyperCsr(h) | Store::HyperCsc(h) => h.idx.len(),
+        }
+    }
+}
+
+/// The assembled + deferred state of a matrix.
+#[derive(Debug, Clone)]
+pub(crate) struct Inner<T> {
+    pub nrows: Index,
+    pub ncols: Index,
+    pub store: Store<T>,
+    /// Unordered insertions awaiting assembly; later entries win.
+    pub pending: Vec<Tuple<T>>,
+    /// Number of zombie entries in `store`.
+    pub nzombies: usize,
+    /// When dual storage is enabled (§II.E: GraphBLAST keeps "two copies
+    /// of each GrB_Matrix object" for push/pull), the cached transpose in
+    /// row-major form, rebuilt lazily after mutations.
+    pub dual: Option<crate::sparse::MatData<T>>,
+    /// Whether the performance-oriented dual storage is requested.
+    pub dual_enabled: bool,
+}
+
+/// Borrow the row-major storage of an assembled `Inner` as a dynamic view.
+pub(crate) fn rows_of<T: Scalar>(inner: &Inner<T>) -> &dyn crate::sparse::SparseView<T> {
+    match &inner.store {
+        Store::Csr(cs) => cs,
+        Store::HyperCsr(h) => h,
+        _ => unreachable!("operand not assembled to row-major form"),
+    }
+}
+
+/// Borrow the cached transpose (column access), if dual storage is built.
+pub(crate) fn dual_of<T: Scalar>(
+    inner: &Inner<T>,
+) -> Option<&dyn crate::sparse::SparseView<T>> {
+    inner.dual.as_ref().map(|d| d.view())
+}
+
+/// Dispatch a row-major `Inner` onto its [`SparseView`] implementation.
+/// The inner value must already be in row-major form (`ensure_row_major`).
+macro_rules! with_rows {
+    ($inner:expr, |$v:ident| $body:expr) => {
+        match &$inner.store {
+            $crate::matrix::Store::Csr(cs) => {
+                let $v = cs;
+                $body
+            }
+            $crate::matrix::Store::HyperCsr(h) => {
+                let $v = h;
+                $body
+            }
+            _ => unreachable!("operand not assembled to row-major form"),
+        }
+    };
+}
+pub(crate) use with_rows;
+
+impl<T: Scalar> Inner<T> {
+    pub(crate) fn needs_assembly(&self) -> bool {
+        !self.pending.is_empty() || self.nzombies > 0
+    }
+
+    /// Resolve zombies and pending tuples: `O(n + e + p log p)`.
+    pub(crate) fn assemble(&mut self) {
+        if !self.needs_assembly() {
+            return;
+        }
+        self.dual = None;
+        // Sort pending by position; a stable sort keeps insertion order
+        // among duplicates so "last write wins" can keep the final one.
+        self.pending.sort_by_key(|&(i, j, _)| (i, j));
+        let pending = std::mem::take(&mut self.pending);
+        let row_major = matches!(self.store, Store::Csr(_) | Store::HyperCsr(_));
+        // Pending tuples are stored as (row, col); flip to the store's
+        // major axis if column-major.
+        let mut pend: Vec<Tuple<T>> = if row_major {
+            pending
+        } else {
+            let mut p: Vec<Tuple<T>> =
+                pending.into_iter().map(|(i, j, x)| (j, i, x)).collect();
+            p.sort_by_key(|&(i, j, _)| (i, j));
+            p
+        };
+        // Keep only the last write at each position.
+        pend.dedup_by(|later, earlier| {
+            if later.0 == earlier.0 && later.1 == earlier.1 {
+                // `dedup_by` removes `later` when true; move its value into
+                // `earlier` so the surviving element holds the last write.
+                earlier.2 = later.2;
+                true
+            } else {
+                false
+            }
+        });
+        self.nzombies = 0;
+        let merge = |old: Vec<Tuple<T>>| -> Vec<Tuple<T>> {
+            // Linear merge of two sorted streams; pending wins ties, and
+            // zombies (flag on the minor index) are dropped.
+            let mut out = Vec::with_capacity(old.len() + pend.len());
+            let mut pi = pend.iter().peekable();
+            for (i, j, x) in old {
+                while let Some(&&(pi_, pj_, px)) = pi.peek() {
+                    if (pi_, pj_) < (i, unflip(j)) {
+                        out.push((pi_, pj_, px));
+                        pi.next();
+                    } else {
+                        break;
+                    }
+                }
+                let is_zombie = j & ZOMBIE != 0;
+                if let Some(&&(pi_, pj_, px)) = pi.peek() {
+                    if (pi_, pj_) == (i, unflip(j)) {
+                        out.push((pi_, pj_, px));
+                        pi.next();
+                        continue;
+                    }
+                }
+                if !is_zombie {
+                    out.push((i, j, x));
+                }
+            }
+            for &(pi_, pj_, px) in pi {
+                out.push((pi_, pj_, px));
+            }
+            out
+        };
+        match &mut self.store {
+            Store::Csr(cs) | Store::Csc(cs) => {
+                let (nmajor, nminor) = (cs.nmajor, cs.nminor);
+                let merged = merge(raw_tuples_cs(cs));
+                *cs = from_sorted_tuples_cs(nmajor, nminor, merged);
+            }
+            Store::HyperCsr(h) | Store::HyperCsc(h) => {
+                let (nmajor, nminor) = (h.nmajor, h.nminor);
+                let merged = merge(raw_tuples_hyper(h));
+                *h = from_sorted_tuples_hyper(nmajor, nminor, merged);
+            }
+        }
+        self.maybe_hypersparse();
+    }
+
+    /// Convert between standard and hypersparse automatically after
+    /// assembly, mirroring SuiteSparse's "exploits hypersparsity
+    /// automatically" behaviour.
+    fn maybe_hypersparse(&mut self) {
+        let nvals = self.store.nvals_raw();
+        match &self.store {
+            Store::Csr(cs) if cs.nmajor > HYPER_MIN_DIM && nvals < cs.nmajor / HYPER_RATIO => {
+                if let Store::Csr(cs) = std::mem::replace(
+                    &mut self.store,
+                    Store::Csr(Cs::empty(1, 1)),
+                ) {
+                    self.store = Store::HyperCsr(cs.to_hyper());
+                }
+            }
+            Store::Csc(cs) if cs.nmajor > HYPER_MIN_DIM && nvals < cs.nmajor / HYPER_RATIO => {
+                if let Store::Csc(cs) = std::mem::replace(
+                    &mut self.store,
+                    Store::Csr(Cs::empty(1, 1)),
+                ) {
+                    self.store = Store::HyperCsc(cs.to_hyper());
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Convert (assembled) storage to row-major, transposing if needed.
+    pub(crate) fn ensure_row_major(&mut self) {
+        debug_assert!(!self.needs_assembly());
+        let placeholder = Store::Csr(Cs::empty(1, 1));
+        match &self.store {
+            Store::Csr(_) | Store::HyperCsr(_) => {}
+            Store::Csc(_) => {
+                if let Store::Csc(cs) = std::mem::replace(&mut self.store, placeholder) {
+                    self.store = Store::Csr(cs.transpose());
+                }
+            }
+            Store::HyperCsc(_) => {
+                if let Store::HyperCsc(h) = std::mem::replace(&mut self.store, placeholder) {
+                    self.store = Store::HyperCsr(h.transpose());
+                }
+            }
+        }
+    }
+
+    pub(crate) fn nvals_assembled(&self) -> usize {
+        debug_assert!(!self.needs_assembly());
+        self.store.nvals_raw()
+    }
+}
+
+/// Extract raw tuples from a `Cs`, keeping zombie flags on the minor index.
+fn raw_tuples_cs<T: Scalar>(cs: &Cs<T>) -> Vec<Tuple<T>> {
+    let mut out = Vec::with_capacity(cs.idx.len());
+    for i in 0..cs.nmajor {
+        for p in cs.ptr[i]..cs.ptr[i + 1] {
+            out.push((i, cs.idx[p], cs.val[p]));
+        }
+    }
+    out
+}
+
+fn raw_tuples_hyper<T: Scalar>(h: &Hyper<T>) -> Vec<Tuple<T>> {
+    let mut out = Vec::with_capacity(h.idx.len());
+    for (k, &head) in h.heads.iter().enumerate() {
+        for p in h.ptr[k]..h.ptr[k + 1] {
+            out.push((head, h.idx[p], h.val[p]));
+        }
+    }
+    out
+}
+
+/// Rebuild a `Cs` from sorted, deduplicated, zombie-free tuples in O(e).
+fn from_sorted_tuples_cs<T: Scalar>(
+    nmajor: Index,
+    nminor: Index,
+    tuples: Vec<Tuple<T>>,
+) -> Cs<T> {
+    let mut ptr = vec![0usize; nmajor + 1];
+    let mut idx = Vec::with_capacity(tuples.len());
+    let mut val = Vec::with_capacity(tuples.len());
+    for (i, j, x) in tuples {
+        ptr[i + 1] += 1;
+        idx.push(j);
+        val.push(x);
+    }
+    for i in 0..nmajor {
+        ptr[i + 1] += ptr[i];
+    }
+    Cs { nmajor, nminor, ptr, idx, val }
+}
+
+fn from_sorted_tuples_hyper<T: Scalar>(
+    nmajor: Index,
+    nminor: Index,
+    tuples: Vec<Tuple<T>>,
+) -> Hyper<T> {
+    let mut heads = Vec::new();
+    let mut ptr = vec![0usize];
+    let mut idx = Vec::with_capacity(tuples.len());
+    let mut val = Vec::with_capacity(tuples.len());
+    for (i, j, x) in tuples {
+        if heads.last() != Some(&i) {
+            if !heads.is_empty() {
+                ptr.push(idx.len());
+            }
+            heads.push(i);
+        }
+        idx.push(j);
+        val.push(x);
+    }
+    if !heads.is_empty() {
+        ptr.push(idx.len());
+    }
+    Hyper { nmajor, nminor, heads, ptr, idx, val }
+}
+
+/// An opaque GraphBLAS matrix over the scalar domain `T`.
+///
+/// The data structure inside is free to change form (the C API's opacity
+/// principle); inspect it with [`Matrix::format`], and move data across the
+/// API boundary with the O(1) import/export routines.
+#[derive(Debug)]
+pub struct Matrix<T: Scalar> {
+    pub(crate) inner: RwLock<Inner<T>>,
+}
+
+impl<T: Scalar> Clone for Matrix<T> {
+    fn clone(&self) -> Self {
+        Matrix { inner: RwLock::new(self.inner.read().clone()) }
+    }
+}
+
+impl<T: Scalar> Matrix<T> {
+    /// Create an empty `nrows × ncols` matrix (`GrB_Matrix_new`). Both
+    /// dimensions must be at least 1; enormous dimensions are fine — the
+    /// hypersparse form is selected automatically.
+    pub fn new(nrows: Index, ncols: Index) -> Result<Self> {
+        if nrows == 0 || ncols == 0 {
+            return Err(Error::invalid("matrix dimensions must be >= 1"));
+        }
+        Ok(Matrix {
+            inner: RwLock::new(Inner {
+                nrows,
+                ncols,
+                store: Store::empty_row_major(nrows, ncols),
+                pending: Vec::new(),
+                nzombies: 0,
+                dual: None,
+                dual_enabled: false,
+            }),
+        })
+    }
+
+    /// Create and build in one step (`GrB_Matrix_build` on a fresh matrix).
+    /// Duplicates are combined with `dup(existing, incoming)`.
+    pub fn from_tuples(
+        nrows: Index,
+        ncols: Index,
+        tuples: Vec<Tuple<T>>,
+        dup: impl FnMut(T, T) -> T,
+    ) -> Result<Self> {
+        let mut m = Matrix::new(nrows, ncols)?;
+        m.build(tuples, dup)?;
+        Ok(m)
+    }
+
+    /// Populate an empty matrix from tuples (`GrB_Matrix_build`). Returns
+    /// an error if the matrix already has entries, mirroring
+    /// `GrB_OUTPUT_NOT_EMPTY`.
+    pub fn build(
+        &mut self,
+        tuples: Vec<Tuple<T>>,
+        dup: impl FnMut(T, T) -> T,
+    ) -> Result<()> {
+        let inner = self.inner.get_mut();
+        if inner.store.nvals_raw() != 0 || !inner.pending.is_empty() {
+            return Err(Error::invalid("build requires an empty matrix"));
+        }
+        for &(i, j, _) in &tuples {
+            if i >= inner.nrows {
+                return Err(Error::oob(i, inner.nrows));
+            }
+            if j >= inner.ncols {
+                return Err(Error::oob(j, inner.ncols));
+            }
+        }
+        let (nrows, ncols) = (inner.nrows, inner.ncols);
+        inner.dual = None;
+        inner.store = if nrows > HYPER_DIM_LIMIT {
+            Store::HyperCsr(Hyper::from_tuples(nrows, ncols, tuples, dup))
+        } else {
+            Store::Csr(Cs::from_tuples(nrows, ncols, tuples, dup))
+        };
+        inner.maybe_hypersparse();
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> Index {
+        self.inner.read().nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> Index {
+        self.inner.read().ncols
+    }
+
+    /// Number of stored entries (`GrB_Matrix_nvals`). Forces completion of
+    /// deferred updates, as the C API requires.
+    pub fn nvals(&self) -> usize {
+        self.read().nvals_assembled()
+    }
+
+    /// The current storage format.
+    pub fn format(&self) -> Format {
+        match &self.inner.read().store {
+            Store::Csr(_) => Format::Csr,
+            Store::Csc(_) => Format::Csc,
+            Store::HyperCsr(_) => Format::HyperCsr,
+            Store::HyperCsc(_) => Format::HyperCsc,
+        }
+    }
+
+    /// Force completion of all deferred updates (`GrB_Matrix_wait`).
+    pub fn wait(&self) {
+        let mut g = self.inner.write();
+        g.assemble();
+    }
+
+    /// Set one entry (`GrB_Matrix_setElement`). If the position already
+    /// holds an entry it is updated in place (resurrecting a zombie if
+    /// necessary); otherwise the insertion is deferred as a pending tuple —
+    /// this is what makes incremental construction fast (§II.A).
+    pub fn set_element(&mut self, i: Index, j: Index, x: T) -> Result<()> {
+        let inner = self.inner.get_mut();
+        if i >= inner.nrows {
+            return Err(Error::oob(i, inner.nrows));
+        }
+        if j >= inner.ncols {
+            return Err(Error::oob(j, inner.ncols));
+        }
+        inner.dual = None;
+        let (maj, min) = major_minor(&inner.store, i, j);
+        let hit = match &mut inner.store {
+            Store::Csr(cs) | Store::Csc(cs) => set_in_cs(cs, maj, min, x),
+            Store::HyperCsr(h) | Store::HyperCsc(h) => set_in_hyper(h, maj, min, x),
+        };
+        match hit {
+            SetOutcome::Updated => {}
+            SetOutcome::Resurrected => inner.nzombies -= 1,
+            SetOutcome::Absent => inner.pending.push((i, j, x)),
+        }
+        Ok(())
+    }
+
+    /// Remove one entry (`GrB_Matrix_removeElement`). Deletion of an
+    /// assembled entry creates a zombie; removal of a pending insertion
+    /// cancels it. Removing a non-existent entry is a no-op.
+    pub fn remove_element(&mut self, i: Index, j: Index) -> Result<()> {
+        let inner = self.inner.get_mut();
+        if i >= inner.nrows {
+            return Err(Error::oob(i, inner.nrows));
+        }
+        if j >= inner.ncols {
+            return Err(Error::oob(j, inner.ncols));
+        }
+        inner.dual = None;
+        if !inner.pending.is_empty() {
+            inner.pending.retain(|&(pi, pj, _)| (pi, pj) != (i, j));
+        }
+        let (maj, min) = major_minor(&inner.store, i, j);
+        let killed = match &mut inner.store {
+            Store::Csr(cs) | Store::Csc(cs) => kill_in_cs(cs, maj, min),
+            Store::HyperCsr(h) | Store::HyperCsc(h) => kill_in_hyper(h, maj, min),
+        };
+        if killed {
+            inner.nzombies += 1;
+        }
+        Ok(())
+    }
+
+    /// Read one entry (`GrB_Matrix_extractElement`); [`Error::NoValue`] if
+    /// absent. Does not force assembly.
+    pub fn extract_element(&self, i: Index, j: Index) -> Result<T> {
+        let inner = self.inner.read();
+        if i >= inner.nrows {
+            return Err(Error::oob(i, inner.nrows));
+        }
+        if j >= inner.ncols {
+            return Err(Error::oob(j, inner.ncols));
+        }
+        // Later pending writes shadow assembled data; scan from the back.
+        for &(pi, pj, px) in inner.pending.iter().rev() {
+            if (pi, pj) == (i, j) {
+                return Ok(px);
+            }
+        }
+        let (maj, min) = major_minor(&inner.store, i, j);
+        let found = match &inner.store {
+            Store::Csr(cs) | Store::Csc(cs) => get_in_cs(cs, maj, min),
+            Store::HyperCsr(h) | Store::HyperCsc(h) => get_in_hyper(h, maj, min),
+        };
+        found.ok_or(Error::NoValue)
+    }
+
+    /// Convenience: `extract_element` returning `Option`.
+    pub fn get(&self, i: Index, j: Index) -> Option<T> {
+        self.extract_element(i, j).ok()
+    }
+
+    /// Remove all entries, keeping the dimensions (`GrB_Matrix_clear`).
+    pub fn clear(&mut self) {
+        let inner = self.inner.get_mut();
+        inner.dual = None;
+        inner.store = Store::empty_row_major(inner.nrows, inner.ncols);
+        inner.pending.clear();
+        inner.nzombies = 0;
+    }
+
+    /// Copy all entries out as `(row, col, value)` tuples in row-major
+    /// order (`GrB_Matrix_extractTuples`). `Ω(e)` — compare with the O(1)
+    /// export (§IV).
+    pub fn extract_tuples(&self) -> Vec<Tuple<T>> {
+        let g = self.read_rows();
+        with_rows!(&*g, |v| v.tuples())
+    }
+
+    /// Change the dimensions (`GrB_Matrix_resize`). Entries outside the new
+    /// shape are dropped.
+    pub fn resize(&mut self, nrows: Index, ncols: Index) -> Result<()> {
+        if nrows == 0 || ncols == 0 {
+            return Err(Error::invalid("matrix dimensions must be >= 1"));
+        }
+        let inner = self.inner.get_mut();
+        inner.assemble();
+        inner.ensure_row_major();
+        let tuples: Vec<Tuple<T>> = with_rows!(&*inner, |v| v.tuples())
+            .into_iter()
+            .filter(|&(i, j, _)| i < nrows && j < ncols)
+            .collect();
+        inner.nrows = nrows;
+        inner.ncols = ncols;
+        inner.dual = None;
+        inner.store = if nrows > HYPER_DIM_LIMIT {
+            Store::HyperCsr(from_sorted_tuples_hyper(nrows, ncols, tuples))
+        } else {
+            Store::Csr(from_sorted_tuples_cs(nrows, ncols, tuples))
+        };
+        inner.maybe_hypersparse();
+        Ok(())
+    }
+
+    /// Convert in place to row-major (CSR or hypersparse CSR) storage.
+    pub fn set_row_major(&mut self) {
+        let inner = self.inner.get_mut();
+        inner.assemble();
+        inner.ensure_row_major();
+    }
+
+    /// Convert in place to column-major (CSC or hypersparse CSC) storage.
+    pub fn set_col_major(&mut self) {
+        let inner = self.inner.get_mut();
+        inner.assemble();
+        let placeholder = Store::Csr(Cs::empty(1, 1));
+        match &inner.store {
+            Store::Csc(_) | Store::HyperCsc(_) => {}
+            Store::Csr(_) => {
+                if let Store::Csr(cs) = std::mem::replace(&mut inner.store, placeholder) {
+                    inner.store = Store::Csc(cs.transpose());
+                }
+            }
+            Store::HyperCsr(_) => {
+                if let Store::HyperCsr(h) = std::mem::replace(&mut inner.store, placeholder) {
+                    inner.store = Store::HyperCsc(h.transpose());
+                }
+            }
+        }
+    }
+
+    /// Lock the matrix for reading with all deferred updates resolved and
+    /// row-major storage — the form every kernel consumes. When dual
+    /// storage is enabled, the cached transpose is (re)built here.
+    pub(crate) fn read_rows(&self) -> RwLockReadGuard<'_, Inner<T>> {
+        loop {
+            {
+                let g = self.inner.read();
+                if !g.needs_assembly()
+                    && matches!(g.store, Store::Csr(_) | Store::HyperCsr(_))
+                    && (!g.dual_enabled || g.dual.is_some())
+                {
+                    return g;
+                }
+            }
+            let mut w = self.inner.write();
+            w.assemble();
+            w.ensure_row_major();
+            if w.dual_enabled && w.dual.is_none() {
+                w.dual = Some(crate::sparse::transpose_dyn(rows_of(&w)));
+            }
+        }
+    }
+
+    /// Enable or disable performance-oriented dual storage: keeping a
+    /// second, transposed copy of the matrix so matrix-vector products can
+    /// choose push or pull freely (§II.E). Doubles memory; GraphBLAST
+    /// gates the same trade-off behind an environment variable.
+    pub fn set_dual_storage(&mut self, enabled: bool) {
+        let inner = self.inner.get_mut();
+        inner.dual_enabled = enabled;
+        if !enabled {
+            inner.dual = None;
+        }
+    }
+
+    /// Whether dual (push/pull) storage is currently enabled.
+    pub fn dual_storage(&self) -> bool {
+        self.inner.read().dual_enabled
+    }
+
+    /// Lock for reading with deferred updates resolved (any format).
+    pub(crate) fn read(&self) -> RwLockReadGuard<'_, Inner<T>> {
+        loop {
+            {
+                let g = self.inner.read();
+                if !g.needs_assembly() {
+                    return g;
+                }
+            }
+            self.inner.write().assemble();
+        }
+    }
+
+    /// Replace this matrix's contents with an assembled row-major store.
+    pub(crate) fn install(&mut self, nrows: Index, ncols: Index, store: Store<T>) {
+        let inner = self.inner.get_mut();
+        inner.nrows = nrows;
+        inner.ncols = ncols;
+        inner.store = store;
+        inner.pending.clear();
+        inner.nzombies = 0;
+        inner.dual = None;
+    }
+
+    /// Build a matrix directly from an assembled store (kernel results).
+    pub(crate) fn from_store(nrows: Index, ncols: Index, store: Store<T>) -> Self {
+        Matrix {
+            inner: RwLock::new(Inner {
+                nrows,
+                ncols,
+                store,
+                pending: Vec::new(),
+                nzombies: 0,
+                dual: None,
+                dual_enabled: false,
+            }),
+        }
+    }
+
+    /// A square diagonal matrix whose diagonal is `v` (`GrB_Matrix_diag`).
+    /// `diag(v) * A` scales the rows of `A`; `A * diag(v)` scales columns.
+    pub fn diag(v: &crate::vector::Vector<T>) -> Self {
+        let n = v.size();
+        let tuples: Vec<Tuple<T>> =
+            v.extract_tuples().into_iter().map(|(i, x)| (i, i, x)).collect();
+        Matrix::from_tuples(n, n, tuples, |_, b| b).expect("diag dims valid")
+    }
+
+    /// The pattern of the matrix as a Boolean matrix with `true` at every
+    /// stored entry (`GxB` idiom `apply(ONE)`), commonly used as a mask.
+    pub fn pattern(&self) -> Matrix<bool> {
+        let g = self.read_rows();
+        let vecs = with_rows!(&*g, |v| {
+            let mut vecs = Vec::with_capacity(v.nvecs());
+            v.for_each_vec(&mut |maj, idx, val| {
+                vecs.push((maj, idx.to_vec(), vec![true; val.len()]));
+            });
+            vecs
+        });
+        Matrix::from_store(
+            g.nrows,
+            g.ncols,
+            Store::row_major_from_vecs(g.nrows, g.ncols, vecs),
+        )
+    }
+
+    /// Iterate over all `(row, col, value)` entries in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = Tuple<T>> {
+        self.extract_tuples().into_iter()
+    }
+}
+
+fn major_minor<T>(store: &Store<T>, i: Index, j: Index) -> (Index, Index) {
+    match store {
+        Store::Csr(_) | Store::HyperCsr(_) => (i, j),
+        Store::Csc(_) | Store::HyperCsc(_) => (j, i),
+    }
+}
+
+enum SetOutcome {
+    Updated,
+    Resurrected,
+    Absent,
+}
+
+/// Zombie-aware binary search within one major vector.
+fn find_slot(idx: &[Index], minor: Index) -> Option<usize> {
+    idx.binary_search_by_key(&minor, |&x| unflip(x)).ok()
+}
+
+fn set_in_cs<T: Scalar>(cs: &mut Cs<T>, maj: Index, min: Index, x: T) -> SetOutcome {
+    let (a, b) = (cs.ptr[maj], cs.ptr[maj + 1]);
+    match find_slot(&cs.idx[a..b], min) {
+        Some(off) => {
+            let p = a + off;
+            let was_zombie = cs.idx[p] & ZOMBIE != 0;
+            cs.idx[p] = min;
+            cs.val[p] = x;
+            if was_zombie {
+                SetOutcome::Resurrected
+            } else {
+                SetOutcome::Updated
+            }
+        }
+        None => SetOutcome::Absent,
+    }
+}
+
+fn set_in_hyper<T: Scalar>(h: &mut Hyper<T>, maj: Index, min: Index, x: T) -> SetOutcome {
+    match h.heads.binary_search(&maj) {
+        Ok(k) => {
+            let (a, b) = (h.ptr[k], h.ptr[k + 1]);
+            match find_slot(&h.idx[a..b], min) {
+                Some(off) => {
+                    let p = a + off;
+                    let was_zombie = h.idx[p] & ZOMBIE != 0;
+                    h.idx[p] = min;
+                    h.val[p] = x;
+                    if was_zombie {
+                        SetOutcome::Resurrected
+                    } else {
+                        SetOutcome::Updated
+                    }
+                }
+                None => SetOutcome::Absent,
+            }
+        }
+        Err(_) => SetOutcome::Absent,
+    }
+}
+
+fn kill_in_cs<T: Scalar>(cs: &mut Cs<T>, maj: Index, min: Index) -> bool {
+    let (a, b) = (cs.ptr[maj], cs.ptr[maj + 1]);
+    if let Some(off) = find_slot(&cs.idx[a..b], min) {
+        let p = a + off;
+        if cs.idx[p] & ZOMBIE == 0 {
+            cs.idx[p] |= ZOMBIE;
+            return true;
+        }
+    }
+    false
+}
+
+fn kill_in_hyper<T: Scalar>(h: &mut Hyper<T>, maj: Index, min: Index) -> bool {
+    if let Ok(k) = h.heads.binary_search(&maj) {
+        let (a, b) = (h.ptr[k], h.ptr[k + 1]);
+        if let Some(off) = find_slot(&h.idx[a..b], min) {
+            let p = a + off;
+            if h.idx[p] & ZOMBIE == 0 {
+                h.idx[p] |= ZOMBIE;
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn get_in_cs<T: Scalar>(cs: &Cs<T>, maj: Index, min: Index) -> Option<T> {
+    let (a, b) = (cs.ptr[maj], cs.ptr[maj + 1]);
+    find_slot(&cs.idx[a..b], min).and_then(|off| {
+        let p = a + off;
+        if cs.idx[p] & ZOMBIE == 0 {
+            Some(cs.val[p])
+        } else {
+            None
+        }
+    })
+}
+
+fn get_in_hyper<T: Scalar>(h: &Hyper<T>, maj: Index, min: Index) -> Option<T> {
+    match h.heads.binary_search(&maj) {
+        Ok(k) => {
+            let (a, b) = (h.ptr[k], h.ptr[k + 1]);
+            find_slot(&h.idx[a..b], min).and_then(|off| {
+                let p = a + off;
+                if h.idx[p] & ZOMBIE == 0 {
+                    Some(h.val[p])
+                } else {
+                    None
+                }
+            })
+        }
+        Err(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_zero_dims() {
+        assert!(Matrix::<f64>::new(0, 3).is_err());
+        assert!(Matrix::<f64>::new(3, 0).is_err());
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let m = Matrix::from_tuples(3, 3, vec![(0, 1, 2.0), (2, 2, 4.0)], |_, b| b)
+            .expect("build");
+        assert_eq!(m.nvals(), 2);
+        assert_eq!(m.get(0, 1), Some(2.0));
+        assert_eq!(m.get(1, 1), None);
+        assert_eq!(m.extract_element(1, 1), Err(Error::NoValue));
+    }
+
+    #[test]
+    fn build_requires_empty() {
+        let mut m = Matrix::from_tuples(2, 2, vec![(0, 0, 1)], |_, b| b).expect("build");
+        assert!(m.build(vec![(1, 1, 2)], |_, b| b).is_err());
+    }
+
+    #[test]
+    fn build_bounds_checked() {
+        assert!(Matrix::from_tuples(2, 2, vec![(2, 0, 1)], |_, b| b).is_err());
+        assert!(Matrix::from_tuples(2, 2, vec![(0, 2, 1)], |_, b| b).is_err());
+    }
+
+    #[test]
+    fn set_element_defers_then_assembles() {
+        let mut m = Matrix::<i32>::new(4, 4).expect("new");
+        m.set_element(1, 2, 10).expect("set");
+        m.set_element(3, 0, 30).expect("set");
+        m.set_element(1, 2, 11).expect("set"); // last write wins
+        assert_eq!(m.get(1, 2), Some(11)); // visible before assembly
+        assert_eq!(m.nvals(), 2); // nvals forces assembly
+        assert_eq!(m.get(1, 2), Some(11));
+        assert_eq!(m.get(3, 0), Some(30));
+    }
+
+    #[test]
+    fn set_element_updates_assembled_in_place() {
+        let mut m = Matrix::from_tuples(2, 2, vec![(0, 0, 1)], |_, b| b).expect("build");
+        m.wait();
+        m.set_element(0, 0, 9).expect("set");
+        // No pending tuple was created: the update went in place.
+        assert!(!m.inner.read().needs_assembly());
+        assert_eq!(m.get(0, 0), Some(9));
+    }
+
+    #[test]
+    fn remove_element_creates_zombie_then_reassembles() {
+        let mut m =
+            Matrix::from_tuples(3, 3, vec![(0, 0, 1), (0, 1, 2), (1, 1, 3)], |_, b| b)
+                .expect("build");
+        m.remove_element(0, 1).expect("remove");
+        assert_eq!(m.get(0, 1), None); // zombie invisible to reads
+        assert_eq!(m.get(0, 0), Some(1)); // neighbors still visible
+        assert_eq!(m.nvals(), 2); // assembly kills the zombie
+        assert_eq!(m.extract_tuples(), vec![(0, 0, 1), (1, 1, 3)]);
+    }
+
+    #[test]
+    fn zombie_resurrection() {
+        let mut m = Matrix::from_tuples(2, 2, vec![(0, 0, 5)], |_, b| b).expect("build");
+        m.remove_element(0, 0).expect("remove");
+        m.set_element(0, 0, 7).expect("set");
+        assert_eq!(m.get(0, 0), Some(7));
+        assert_eq!(m.nvals(), 1);
+    }
+
+    #[test]
+    fn remove_pending_insertion_cancels_it() {
+        let mut m = Matrix::<i32>::new(2, 2).expect("new");
+        m.set_element(0, 1, 5).expect("set");
+        m.remove_element(0, 1).expect("remove");
+        assert_eq!(m.nvals(), 0);
+    }
+
+    #[test]
+    fn remove_nonexistent_is_noop() {
+        let mut m = Matrix::<i32>::new(2, 2).expect("new");
+        m.remove_element(1, 1).expect("remove");
+        assert_eq!(m.nvals(), 0);
+    }
+
+    #[test]
+    fn interleaved_set_remove_set() {
+        let mut m = Matrix::<i32>::new(4, 4).expect("new");
+        for k in 0..4 {
+            m.set_element(k, k, k as i32).expect("set");
+        }
+        m.wait();
+        m.remove_element(2, 2).expect("remove");
+        m.set_element(1, 3, 13).expect("set");
+        m.remove_element(0, 0).expect("remove");
+        m.set_element(0, 0, 100).expect("resurrect");
+        let t = m.extract_tuples();
+        assert_eq!(t, vec![(0, 0, 100), (1, 1, 1), (1, 3, 13), (3, 3, 3)]);
+    }
+
+    #[test]
+    fn pending_merge_preserves_sorted_invariants() {
+        let mut m = Matrix::<i32>::new(8, 8).expect("new");
+        // Assemble a base pattern.
+        for k in (0..8).step_by(2) {
+            m.set_element(k, k, 1).expect("set");
+        }
+        m.wait();
+        // Interleave new pending entries between existing ones.
+        for k in (1..8).step_by(2) {
+            m.set_element(k, k, 2).expect("set");
+        }
+        m.set_element(0, 7, 3).expect("set");
+        let g = m.read_rows();
+        if let Store::Csr(cs) = &g.store {
+            cs.check().expect("invariants hold after merge");
+        } else {
+            panic!("expected CSR");
+        }
+        drop(g);
+        assert_eq!(m.nvals(), 9);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_shape() {
+        let mut m = Matrix::from_tuples(3, 4, vec![(1, 1, 1)], |_, b| b).expect("build");
+        m.clear();
+        assert_eq!(m.nvals(), 0);
+        assert_eq!((m.nrows(), m.ncols()), (3, 4));
+    }
+
+    #[test]
+    fn resize_drops_out_of_range() {
+        let mut m =
+            Matrix::from_tuples(4, 4, vec![(0, 0, 1), (3, 3, 2), (1, 2, 3)], |_, b| b)
+                .expect("build");
+        m.resize(2, 3).expect("resize");
+        assert_eq!((m.nrows(), m.ncols()), (2, 3));
+        assert_eq!(m.extract_tuples(), vec![(0, 0, 1), (1, 2, 3)]);
+    }
+
+    #[test]
+    fn format_conversions_preserve_content() {
+        let tuples = vec![(0, 1, 1.0), (2, 0, 2.0), (1, 1, 3.0)];
+        let mut m = Matrix::from_tuples(3, 3, tuples.clone(), |_, b| b).expect("build");
+        assert_eq!(m.format(), Format::Csr);
+        m.set_col_major();
+        assert_eq!(m.format(), Format::Csc);
+        assert_eq!(m.get(2, 0), Some(2.0));
+        m.set_row_major();
+        assert_eq!(m.format(), Format::Csr);
+        assert_eq!(m.extract_tuples(), {
+            let mut t = tuples;
+            t.sort_by_key(|&(i, j, _)| (i, j));
+            t
+        });
+    }
+
+    #[test]
+    fn column_major_set_element_assembles_correctly() {
+        let mut m = Matrix::<i32>::new(3, 3).expect("new");
+        m.set_col_major();
+        m.set_element(0, 2, 1).expect("set");
+        m.set_element(2, 0, 2).expect("set");
+        assert_eq!(m.nvals(), 2);
+        assert_eq!(m.get(0, 2), Some(1));
+        assert_eq!(m.get(2, 0), Some(2));
+    }
+
+    #[test]
+    fn huge_dimension_auto_hypersparse() {
+        let n = 1usize << 40;
+        let mut m = Matrix::<i32>::new(n, n).expect("new");
+        assert_eq!(m.format(), Format::HyperCsr);
+        m.set_element(12345678901, 98765432109, 7).expect("set");
+        assert_eq!(m.nvals(), 1);
+        assert_eq!(m.get(12345678901, 98765432109), Some(7));
+    }
+
+    #[test]
+    fn moderate_but_sparse_switches_to_hypersparse() {
+        // 100k rows, 3 entries: far below the 1/16 occupancy ratio.
+        let m = Matrix::from_tuples(
+            100_000,
+            100_000,
+            vec![(5, 5, 1), (50_000, 3, 2), (99_999, 0, 3)],
+            |_, b| b,
+        )
+        .expect("build");
+        assert_eq!(m.format(), Format::HyperCsr);
+        assert_eq!(m.get(50_000, 3), Some(2));
+    }
+
+    #[test]
+    fn pattern_extracts_structure() {
+        let m = Matrix::from_tuples(2, 2, vec![(0, 0, 0.0), (1, 1, 5.0)], |_, b| b)
+            .expect("build");
+        let p = m.pattern();
+        // Note: an *explicit* zero is still an entry; pattern is true there.
+        assert_eq!(p.get(0, 0), Some(true));
+        assert_eq!(p.get(1, 1), Some(true));
+        assert_eq!(p.get(0, 1), None);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = Matrix::from_tuples(2, 2, vec![(0, 0, 1)], |_, b| b).expect("build");
+        let b = a.clone();
+        a.set_element(0, 0, 99).expect("set");
+        assert_eq!(b.get(0, 0), Some(1));
+    }
+
+    #[test]
+    fn dup_tuples_fold_left_to_right() {
+        let m = Matrix::from_tuples(1, 1, vec![(0, 0, 8), (0, 0, 2)], |a, b| a / b)
+            .expect("build");
+        assert_eq!(m.get(0, 0), Some(4));
+    }
+}

@@ -1,0 +1,563 @@
+//! The dense reference mimic.
+//!
+//! SuiteSparse:GraphBLAS tests every operation against a short MATLAB
+//! script over dense matrices that follows the specification line by line
+//! (§II.A: "they exactly mimic the GraphBLAS API Specification ... so they
+//! can be visually inspected for conformance"). This module is our
+//! equivalent: every operation re-implemented in the most obvious way over
+//! `Vec<Option<T>>`, with a brute-force triply-nested-loop matrix
+//! multiply. The property-test suites run each fast kernel and its mimic
+//! on the same inputs and require results identical in both pattern and
+//! value.
+//!
+//! Nothing here is fast, and that is the point.
+
+use crate::binaryop::BinaryOp;
+use crate::descriptor::Descriptor;
+use crate::matrix::Matrix;
+use crate::monoid::Monoid;
+use crate::semiring::Semiring;
+use crate::types::{Index, Scalar};
+use crate::vector::Vector;
+
+/// A dense matrix of optional entries: the reference representation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DMat<T> {
+    pub nrows: Index,
+    pub ncols: Index,
+    /// Row-major `nrows × ncols` entries; `None` = no stored entry.
+    pub val: Vec<Option<T>>,
+}
+
+/// A dense vector of optional entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DVec<T> {
+    pub n: Index,
+    pub val: Vec<Option<T>>,
+}
+
+impl<T: Scalar> DMat<T> {
+    pub fn new(nrows: Index, ncols: Index) -> Self {
+        DMat { nrows, ncols, val: vec![None; nrows * ncols] }
+    }
+
+    pub fn from_matrix(m: &Matrix<T>) -> Self {
+        let mut d = DMat::new(m.nrows(), m.ncols());
+        for (i, j, x) in m.extract_tuples() {
+            d.val[i * d.ncols + j] = Some(x);
+        }
+        d
+    }
+
+    pub fn to_matrix(&self) -> Matrix<T> {
+        let mut tuples = Vec::new();
+        for i in 0..self.nrows {
+            for j in 0..self.ncols {
+                if let Some(x) = self.val[i * self.ncols + j] {
+                    tuples.push((i, j, x));
+                }
+            }
+        }
+        Matrix::from_tuples(self.nrows, self.ncols, tuples, |_, b| b).expect("valid dims")
+    }
+
+    pub fn get(&self, i: Index, j: Index) -> Option<T> {
+        self.val[i * self.ncols + j]
+    }
+
+    pub fn set(&mut self, i: Index, j: Index, x: Option<T>) {
+        self.val[i * self.ncols + j] = x;
+    }
+
+    pub fn transpose(&self) -> DMat<T> {
+        let mut t = DMat::new(self.ncols, self.nrows);
+        for i in 0..self.nrows {
+            for j in 0..self.ncols {
+                t.val[j * self.nrows + i] = self.get(i, j);
+            }
+        }
+        t
+    }
+}
+
+impl<T: Scalar> DVec<T> {
+    pub fn new(n: Index) -> Self {
+        DVec { n, val: vec![None; n] }
+    }
+
+    pub fn from_vector(v: &Vector<T>) -> Self {
+        let mut d = DVec::new(v.size());
+        for (i, x) in v.extract_tuples() {
+            d.val[i] = Some(x);
+        }
+        d
+    }
+
+    pub fn to_vector(&self) -> Vector<T> {
+        let tuples: Vec<(Index, T)> = self
+            .val
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.map(|x| (i, x)))
+            .collect();
+        Vector::from_tuples(self.n, tuples, |_, b| b).expect("valid dims")
+    }
+}
+
+/// The mask pattern of the spec, evaluated densely.
+fn mask_allows(m: Option<Option<bool>>, desc: &Descriptor) -> bool {
+    // `m` is None for "no mask", Some(entry) otherwise.
+    let base = match m {
+        None => true,
+        Some(None) => false,
+        Some(Some(b)) => desc.mask_structural || b,
+    };
+    base != desc.mask_complement
+}
+
+/// The write rule, dense: `C⟨M,replace⟩ ⊙= T`, element by element.
+pub fn write_rule_vec<T: Scalar, Acc: BinaryOp<T, T, T>>(
+    c: &DVec<T>,
+    mask: Option<&DVec<bool>>,
+    accum: &Option<Acc>,
+    t: &DVec<T>,
+    desc: &Descriptor,
+) -> DVec<T> {
+    let mut out = DVec::new(c.n);
+    for i in 0..c.n {
+        let z = match accum {
+            Some(acc) => match (c.val[i], t.val[i]) {
+                (Some(cv), Some(tv)) => Some(acc.apply(cv, tv)),
+                (Some(cv), None) => Some(cv),
+                (None, tv) => tv,
+            },
+            None => t.val[i],
+        };
+        out.val[i] = if mask_allows(mask.map(|m| m.val[i]), desc) {
+            z
+        } else if desc.replace {
+            None
+        } else {
+            c.val[i]
+        };
+    }
+    out
+}
+
+/// The write rule for matrices.
+pub fn write_rule_mat<T: Scalar, Acc: BinaryOp<T, T, T>>(
+    c: &DMat<T>,
+    mask: Option<&DMat<bool>>,
+    accum: &Option<Acc>,
+    t: &DMat<T>,
+    desc: &Descriptor,
+) -> DMat<T> {
+    let mut out = DMat::new(c.nrows, c.ncols);
+    for i in 0..c.nrows {
+        for j in 0..c.ncols {
+            let z = match accum {
+                Some(acc) => match (c.get(i, j), t.get(i, j)) {
+                    (Some(cv), Some(tv)) => Some(acc.apply(cv, tv)),
+                    (Some(cv), None) => Some(cv),
+                    (None, tv) => tv,
+                },
+                None => t.get(i, j),
+            };
+            let allowed = mask_allows(mask.map(|m| m.get(i, j)), desc);
+            out.set(
+                i,
+                j,
+                if allowed {
+                    z
+                } else if desc.replace {
+                    None
+                } else {
+                    c.get(i, j)
+                },
+            );
+        }
+    }
+    out
+}
+
+fn eff_a<T: Scalar>(a: &DMat<T>, desc: &Descriptor) -> DMat<T> {
+    if desc.transpose_a {
+        a.transpose()
+    } else {
+        a.clone()
+    }
+}
+
+fn eff_b<T: Scalar>(b: &DMat<T>, desc: &Descriptor) -> DMat<T> {
+    if desc.transpose_b {
+        b.transpose()
+    } else {
+        b.clone()
+    }
+}
+
+/// Brute-force `C⟨M⟩ ⊙= A ⊕.⊗ B`: the triply-nested loop of the paper.
+pub fn mxm<A, B, T, SA, SM, Acc>(
+    c: &DMat<T>,
+    mask: Option<&DMat<bool>>,
+    accum: &Option<Acc>,
+    s: &Semiring<SA, SM>,
+    a: &DMat<A>,
+    b: &DMat<B>,
+    desc: &Descriptor,
+) -> DMat<T>
+where
+    A: Scalar,
+    B: Scalar,
+    T: Scalar,
+    SA: Monoid<T>,
+    SM: BinaryOp<A, B, T>,
+    Acc: BinaryOp<T, T, T>,
+{
+    let ea = eff_a(a, desc);
+    let eb = eff_b(b, desc);
+    let mut t = DMat::new(ea.nrows, eb.ncols);
+    for i in 0..ea.nrows {
+        for j in 0..eb.ncols {
+            let mut acc: Option<T> = None;
+            for k in 0..ea.ncols {
+                if let (Some(x), Some(y)) = (ea.get(i, k), eb.get(k, j)) {
+                    let prod = s.mul.apply(x, y);
+                    acc = Some(match acc {
+                        None => prod,
+                        Some(cur) => s.add.apply(cur, prod),
+                    });
+                }
+            }
+            t.set(i, j, acc);
+        }
+    }
+    write_rule_mat(c, mask, accum, &t, desc)
+}
+
+/// Brute-force `w⟨m⟩ ⊙= A ⊕.⊗ u`.
+pub fn mxv<A, U, T, SA, SM, Acc>(
+    w: &DVec<T>,
+    mask: Option<&DVec<bool>>,
+    accum: &Option<Acc>,
+    s: &Semiring<SA, SM>,
+    a: &DMat<A>,
+    u: &DVec<U>,
+    desc: &Descriptor,
+) -> DVec<T>
+where
+    A: Scalar,
+    U: Scalar,
+    T: Scalar,
+    SA: Monoid<T>,
+    SM: BinaryOp<A, U, T>,
+    Acc: BinaryOp<T, T, T>,
+{
+    let ea = eff_a(a, desc);
+    let mut t = DVec::new(ea.nrows);
+    for i in 0..ea.nrows {
+        let mut acc: Option<T> = None;
+        for j in 0..ea.ncols {
+            if let (Some(x), Some(y)) = (ea.get(i, j), u.val[j]) {
+                let prod = s.mul.apply(x, y);
+                acc = Some(match acc {
+                    None => prod,
+                    Some(cur) => s.add.apply(cur, prod),
+                });
+            }
+        }
+        t.val[i] = acc;
+    }
+    write_rule_vec(w, mask, accum, &t, desc)
+}
+
+/// Brute-force `wᵀ⟨mᵀ⟩ ⊙= uᵀ ⊕.⊗ A`.
+pub fn vxm<U, A, T, SA, SM, Acc>(
+    w: &DVec<T>,
+    mask: Option<&DVec<bool>>,
+    accum: &Option<Acc>,
+    s: &Semiring<SA, SM>,
+    u: &DVec<U>,
+    a: &DMat<A>,
+    desc: &Descriptor,
+) -> DVec<T>
+where
+    U: Scalar,
+    A: Scalar,
+    T: Scalar,
+    SA: Monoid<T>,
+    SM: BinaryOp<U, A, T>,
+    Acc: BinaryOp<T, T, T>,
+{
+    let ea = eff_b(a, desc);
+    let mut t = DVec::new(ea.ncols);
+    for j in 0..ea.ncols {
+        let mut acc: Option<T> = None;
+        for i in 0..ea.nrows {
+            if let (Some(y), Some(x)) = (u.val[i], ea.get(i, j)) {
+                let prod = s.mul.apply(y, x);
+                acc = Some(match acc {
+                    None => prod,
+                    Some(cur) => s.add.apply(cur, prod),
+                });
+            }
+        }
+        t.val[j] = acc;
+    }
+    write_rule_vec(w, mask, accum, &t, desc)
+}
+
+/// Dense element-wise union on vectors.
+pub fn ewise_add_vec<T, Op, Acc>(
+    w: &DVec<T>,
+    mask: Option<&DVec<bool>>,
+    accum: &Option<Acc>,
+    op: &Op,
+    u: &DVec<T>,
+    v: &DVec<T>,
+    desc: &Descriptor,
+) -> DVec<T>
+where
+    T: Scalar,
+    Op: BinaryOp<T, T, T>,
+    Acc: BinaryOp<T, T, T>,
+{
+    let mut t = DVec::new(u.n);
+    for i in 0..u.n {
+        t.val[i] = match (u.val[i], v.val[i]) {
+            (Some(x), Some(y)) => Some(op.apply(x, y)),
+            (Some(x), None) => Some(x),
+            (None, Some(y)) => Some(y),
+            (None, None) => None,
+        };
+    }
+    write_rule_vec(w, mask, accum, &t, desc)
+}
+
+/// Dense element-wise intersection on vectors.
+pub fn ewise_mult_vec<A, B, T, Op, Acc>(
+    w: &DVec<T>,
+    mask: Option<&DVec<bool>>,
+    accum: &Option<Acc>,
+    op: &Op,
+    u: &DVec<A>,
+    v: &DVec<B>,
+    desc: &Descriptor,
+) -> DVec<T>
+where
+    A: Scalar,
+    B: Scalar,
+    T: Scalar,
+    Op: BinaryOp<A, B, T>,
+    Acc: BinaryOp<T, T, T>,
+{
+    let mut t = DVec::new(u.n);
+    for i in 0..u.n {
+        t.val[i] = match (u.val[i], v.val[i]) {
+            (Some(x), Some(y)) => Some(op.apply(x, y)),
+            _ => None,
+        };
+    }
+    write_rule_vec(w, mask, accum, &t, desc)
+}
+
+/// Dense element-wise union on matrices.
+pub fn ewise_add_mat<T, Op, Acc>(
+    c: &DMat<T>,
+    mask: Option<&DMat<bool>>,
+    accum: &Option<Acc>,
+    op: &Op,
+    a: &DMat<T>,
+    b: &DMat<T>,
+    desc: &Descriptor,
+) -> DMat<T>
+where
+    T: Scalar,
+    Op: BinaryOp<T, T, T>,
+    Acc: BinaryOp<T, T, T>,
+{
+    let ea = eff_a(a, desc);
+    let eb = eff_b(b, desc);
+    let mut t = DMat::new(ea.nrows, ea.ncols);
+    for p in 0..t.val.len() {
+        t.val[p] = match (ea.val[p], eb.val[p]) {
+            (Some(x), Some(y)) => Some(op.apply(x, y)),
+            (Some(x), None) => Some(x),
+            (None, Some(y)) => Some(y),
+            (None, None) => None,
+        };
+    }
+    write_rule_mat(c, mask, accum, &t, desc)
+}
+
+/// Dense element-wise intersection on matrices.
+pub fn ewise_mult_mat<A, B, T, Op, Acc>(
+    c: &DMat<T>,
+    mask: Option<&DMat<bool>>,
+    accum: &Option<Acc>,
+    op: &Op,
+    a: &DMat<A>,
+    b: &DMat<B>,
+    desc: &Descriptor,
+) -> DMat<T>
+where
+    A: Scalar,
+    B: Scalar,
+    T: Scalar,
+    Op: BinaryOp<A, B, T>,
+    Acc: BinaryOp<T, T, T>,
+{
+    let ea = eff_a(a, desc);
+    let eb = eff_b(b, desc);
+    let mut t = DMat::new(ea.nrows, ea.ncols);
+    for p in 0..t.val.len() {
+        t.val[p] = match (ea.val[p], eb.val[p]) {
+            (Some(x), Some(y)) => Some(op.apply(x, y)),
+            _ => None,
+        };
+    }
+    write_rule_mat(c, mask, accum, &t, desc)
+}
+
+/// Dense apply on vectors.
+pub fn apply_vec<A, T, Op, Acc>(
+    w: &DVec<T>,
+    mask: Option<&DVec<bool>>,
+    accum: &Option<Acc>,
+    op: &Op,
+    u: &DVec<A>,
+    desc: &Descriptor,
+) -> DVec<T>
+where
+    A: Scalar,
+    T: Scalar,
+    Op: crate::unaryop::UnaryOp<A, T>,
+    Acc: BinaryOp<T, T, T>,
+{
+    let mut t = DVec::new(u.n);
+    for i in 0..u.n {
+        t.val[i] = u.val[i].map(|x| op.apply(x));
+    }
+    write_rule_vec(w, mask, accum, &t, desc)
+}
+
+/// Dense reduce of a matrix's rows (columns with the transpose flag).
+pub fn reduce_mat_to_vec<T, M, Acc>(
+    w: &DVec<T>,
+    mask: Option<&DVec<bool>>,
+    accum: &Option<Acc>,
+    monoid: &M,
+    a: &DMat<T>,
+    desc: &Descriptor,
+) -> DVec<T>
+where
+    T: Scalar,
+    M: Monoid<T>,
+    Acc: BinaryOp<T, T, T>,
+{
+    let ea = eff_a(a, desc);
+    let mut t = DVec::new(ea.nrows);
+    for i in 0..ea.nrows {
+        let mut acc: Option<T> = None;
+        for j in 0..ea.ncols {
+            if let Some(x) = ea.get(i, j) {
+                acc = Some(match acc {
+                    None => x,
+                    Some(cur) => monoid.apply(cur, x),
+                });
+            }
+        }
+        t.val[i] = acc;
+    }
+    write_rule_vec(w, mask, accum, &t, desc)
+}
+
+/// Dense scalar reduce.
+pub fn reduce_mat_to_scalar<T: Scalar, M: Monoid<T>>(monoid: &M, a: &DMat<T>) -> T {
+    let mut acc = monoid.identity();
+    for v in a.val.iter().flatten() {
+        acc = monoid.apply(acc, *v);
+    }
+    acc
+}
+
+/// Dense select on matrices.
+pub fn select_mat<T, Op, Acc>(
+    c: &DMat<T>,
+    mask: Option<&DMat<bool>>,
+    accum: &Option<Acc>,
+    pred: &Op,
+    a: &DMat<T>,
+    desc: &Descriptor,
+) -> DMat<T>
+where
+    T: Scalar,
+    Op: crate::unaryop::IndexUnaryOp<T, bool>,
+    Acc: BinaryOp<T, T, T>,
+{
+    let ea = eff_a(a, desc);
+    let mut t = DMat::new(ea.nrows, ea.ncols);
+    for i in 0..ea.nrows {
+        for j in 0..ea.ncols {
+            t.set(i, j, ea.get(i, j).filter(|&x| pred.apply(i, j, x)));
+        }
+    }
+    write_rule_mat(c, mask, accum, &t, desc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::PLUS_TIMES;
+
+    #[test]
+    fn round_trip_matrix() {
+        let m = Matrix::from_tuples(3, 2, vec![(0, 1, 5), (2, 0, 7)], |_, b| b).expect("m");
+        let d = DMat::from_matrix(&m);
+        assert_eq!(d.get(0, 1), Some(5));
+        assert_eq!(d.get(0, 0), None);
+        assert_eq!(d.to_matrix().extract_tuples(), m.extract_tuples());
+    }
+
+    #[test]
+    fn round_trip_vector() {
+        let v = Vector::from_tuples(4, vec![(1, 2.5)], |_, b| b).expect("v");
+        let d = DVec::from_vector(&v);
+        assert_eq!(d.to_vector().extract_tuples(), v.extract_tuples());
+    }
+
+    #[test]
+    fn mimic_mxm_known_product() {
+        let a = DMat::from_matrix(
+            &Matrix::from_tuples(2, 2, vec![(0, 0, 1), (0, 1, 2), (1, 0, 3), (1, 1, 4)], |_, b| b)
+                .expect("a"),
+        );
+        let c0 = DMat::<i64>::new(2, 2);
+        let c = mxm(
+            &c0,
+            None,
+            &crate::ops::NOACC,
+            &PLUS_TIMES,
+            &a,
+            &a,
+            &Descriptor::default(),
+        );
+        // A² = [7 10; 15 22]
+        assert_eq!(c.get(0, 0), Some(7));
+        assert_eq!(c.get(0, 1), Some(10));
+        assert_eq!(c.get(1, 0), Some(15));
+        assert_eq!(c.get(1, 1), Some(22));
+    }
+
+    #[test]
+    fn mimic_write_rule_replace_semantics() {
+        let c = DVec { n: 2, val: vec![Some(1), Some(2)] };
+        let t = DVec { n: 2, val: vec![Some(10), None] };
+        let mask = DVec { n: 2, val: vec![Some(true), None] };
+        let d = Descriptor::new().replace();
+        let out = write_rule_vec(&c, Some(&mask), &crate::ops::NOACC, &t, &d);
+        // Position 0 masked-in: takes t; position 1 masked-out + replace:
+        // deleted.
+        assert_eq!(out.val, vec![Some(10), None]);
+    }
+}

@@ -1,0 +1,239 @@
+//! `GrB_apply`: element-wise application of a unary operator, and the
+//! index-aware variant taking a [`IndexUnaryOp`].
+
+use crate::binaryop::BinaryOp;
+use crate::descriptor::Descriptor;
+use crate::error::Result;
+use crate::matrix::{rows_of, Matrix};
+use crate::sparse::transpose_dyn;
+use crate::types::{Index, Scalar};
+use crate::unaryop::{IndexUnaryOp, UnaryOp};
+use crate::vector::Vector;
+
+use super::common::{check_dims, check_mmask, check_vmask};
+use super::write::{write_matrix, write_vector};
+
+/// `w⟨mask⟩ ⊙= f(u)` — apply `f` to every stored entry of `u`.
+pub fn apply<A, T, Op, Acc>(
+    w: &mut Vector<T>,
+    mask: Option<&Vector<bool>>,
+    accum: Option<Acc>,
+    op: Op,
+    u: &Vector<A>,
+    desc: &Descriptor,
+) -> Result<()>
+where
+    A: Scalar,
+    T: Scalar,
+    Op: UnaryOp<A, T>,
+    Acc: BinaryOp<T, T, T>,
+{
+    check_dims(w.size() == u.size(), "apply: output and input lengths differ")?;
+    check_vmask(mask, w.size())?;
+    let (t_idx, t_val) = {
+        let g = u.read();
+        let mut idx = Vec::with_capacity(g.nvals_assembled());
+        let mut val = Vec::with_capacity(g.nvals_assembled());
+        g.view().for_each(|i, x| {
+            idx.push(i);
+            val.push(op.apply(x));
+        });
+        (idx, val)
+    };
+    write_vector(w, mask, accum, desc, t_idx, t_val)
+}
+
+/// `w⟨mask⟩ ⊙= f(i, u(i))` — index-aware apply on a vector.
+pub fn apply_indexed<A, T, Op, Acc>(
+    w: &mut Vector<T>,
+    mask: Option<&Vector<bool>>,
+    accum: Option<Acc>,
+    op: Op,
+    u: &Vector<A>,
+    desc: &Descriptor,
+) -> Result<()>
+where
+    A: Scalar,
+    T: Scalar,
+    Op: IndexUnaryOp<A, T>,
+    Acc: BinaryOp<T, T, T>,
+{
+    check_dims(w.size() == u.size(), "apply: output and input lengths differ")?;
+    check_vmask(mask, w.size())?;
+    let (t_idx, t_val) = {
+        let g = u.read();
+        let mut idx = Vec::with_capacity(g.nvals_assembled());
+        let mut val = Vec::with_capacity(g.nvals_assembled());
+        g.view().for_each(|i, x| {
+            idx.push(i);
+            val.push(op.apply(i, 0, x));
+        });
+        (idx, val)
+    };
+    write_vector(w, mask, accum, desc, t_idx, t_val)
+}
+
+/// `C⟨Mask⟩ ⊙= f(A)` (or `f(Aᵀ)` with the transpose descriptor).
+pub fn apply_matrix<A, T, Op, Acc>(
+    c: &mut Matrix<T>,
+    mask: Option<&Matrix<bool>>,
+    accum: Option<Acc>,
+    op: Op,
+    a: &Matrix<A>,
+    desc: &Descriptor,
+) -> Result<()>
+where
+    A: Scalar,
+    T: Scalar,
+    Op: UnaryOp<A, T>,
+    Acc: BinaryOp<T, T, T>,
+{
+    apply_matrix_indexed(c, mask, accum, move |_, _, x| op.apply(x), a, desc)
+}
+
+/// `C⟨Mask⟩ ⊙= f(i, j, A(i,j))` — index-aware apply on a matrix.
+pub fn apply_matrix_indexed<A, T, Op, Acc>(
+    c: &mut Matrix<T>,
+    mask: Option<&Matrix<bool>>,
+    accum: Option<Acc>,
+    op: Op,
+    a: &Matrix<A>,
+    desc: &Descriptor,
+) -> Result<()>
+where
+    A: Scalar,
+    T: Scalar,
+    Op: IndexUnaryOp<A, T>,
+    Acc: BinaryOp<T, T, T>,
+{
+    let ga = a.read_rows();
+    let eff = effective_vecs_indexed(rows_of(&ga), desc.transpose_a, &op);
+    let (nr, nc) = if desc.transpose_a {
+        (ga.ncols, ga.nrows)
+    } else {
+        (ga.nrows, ga.ncols)
+    };
+    drop(ga);
+    check_dims(
+        c.nrows() == nr && c.ncols() == nc,
+        "apply: output shape must match (possibly transposed) input",
+    )?;
+    check_mmask(mask, nr, nc)?;
+    write_matrix(c, mask, accum, desc, eff)
+}
+
+/// Apply an index-unary op over (possibly transposed) rows, producing
+/// per-row segments in the *output* orientation.
+fn effective_vecs_indexed<A: Scalar, T: Scalar, Op: IndexUnaryOp<A, T>>(
+    v: &dyn crate::sparse::SparseView<A>,
+    transpose: bool,
+    op: &Op,
+) -> Vec<(Index, Vec<Index>, Vec<T>)> {
+    if transpose {
+        let td = transpose_dyn(v);
+        let tv = td.view();
+        let mut vecs = Vec::with_capacity(tv.nvecs());
+        // Per the C API, the operator is applied *after* transposition, so
+        // it sees the coordinates of Aᵀ.
+        tv.for_each_vec(&mut |i, idx, val| {
+            let out: Vec<T> =
+                idx.iter().zip(val).map(|(&j, &x)| op.apply(i, j, x)).collect();
+            vecs.push((i, idx.to_vec(), out));
+        });
+        vecs
+    } else {
+        let mut vecs = Vec::with_capacity(v.nvecs());
+        v.for_each_vec(&mut |i, idx, val| {
+            let out: Vec<T> =
+                idx.iter().zip(val).map(|(&j, &x)| op.apply(i, j, x)).collect();
+            vecs.push((i, idx.to_vec(), out));
+        });
+        vecs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::common::NOACC;
+    use crate::unaryop::{Ainv, One};
+
+    #[test]
+    fn vector_apply_negate() {
+        let u = Vector::from_tuples(4, vec![(0, 1), (2, -5)], |_, b| b).expect("build");
+        let mut w = Vector::<i32>::new(4).expect("new");
+        apply(&mut w, None, NOACC, Ainv, &u, &Descriptor::default()).expect("apply");
+        assert_eq!(w.extract_tuples(), vec![(0, -1), (2, 5)]);
+    }
+
+    #[test]
+    fn vector_apply_changes_domain() {
+        let u = Vector::from_tuples(3, vec![(1, 2.5f64)], |_, b| b).expect("build");
+        let mut w = Vector::<u8>::new(3).expect("new");
+        apply(&mut w, None, NOACC, One, &u, &Descriptor::default()).expect("apply");
+        assert_eq!(w.extract_tuples(), vec![(1, 1u8)]);
+    }
+
+    #[test]
+    fn vector_apply_masked() {
+        let u = Vector::from_tuples(3, vec![(0, 1), (1, 2), (2, 3)], |_, b| b).expect("u");
+        let mask = Vector::from_tuples(3, vec![(1, true)], |_, b| b).expect("mask");
+        let mut w = Vector::<i32>::new(3).expect("new");
+        apply(&mut w, Some(&mask), NOACC, Ainv, &u, &Descriptor::default()).expect("apply");
+        assert_eq!(w.extract_tuples(), vec![(1, -2)]);
+    }
+
+    #[test]
+    fn vector_apply_indexed_reaches_positions() {
+        let u = Vector::from_tuples(5, vec![(1, 10), (4, 40)], |_, b| b).expect("u");
+        let mut w = Vector::<u64>::new(5).expect("new");
+        apply_indexed(
+            &mut w,
+            None,
+            NOACC,
+            |i: Index, _: Index, _: i32| i as u64,
+            &u,
+            &Descriptor::default(),
+        )
+        .expect("apply");
+        assert_eq!(w.extract_tuples(), vec![(1, 1), (4, 4)]);
+    }
+
+    #[test]
+    fn matrix_apply_and_transpose() {
+        let a = Matrix::from_tuples(2, 3, vec![(0, 2, 4), (1, 0, -3)], |_, b| b).expect("a");
+        let mut c = Matrix::<i32>::new(2, 3).expect("c");
+        apply_matrix(&mut c, None, NOACC, Ainv, &a, &Descriptor::default()).expect("apply");
+        assert_eq!(c.extract_tuples(), vec![(0, 2, -4), (1, 0, 3)]);
+
+        let mut ct = Matrix::<i32>::new(3, 2).expect("ct");
+        apply_matrix(&mut ct, None, NOACC, Ainv, &a, &Descriptor::new().transpose_a())
+            .expect("apply T");
+        assert_eq!(ct.extract_tuples(), vec![(0, 1, 3), (2, 0, -4)]);
+    }
+
+    #[test]
+    fn matrix_apply_indexed_sees_original_coords() {
+        let a = Matrix::from_tuples(2, 3, vec![(0, 2, 1.0)], |_, b| b).expect("a");
+        let mut c = Matrix::<u64>::new(3, 2).expect("c");
+        // Per the C API the op is applied after transposition, so the
+        // original entry (0, 2) is seen at (2, 0).
+        apply_matrix_indexed(
+            &mut c,
+            None,
+            NOACC,
+            |i: Index, j: Index, _: f64| (10 * i + j) as u64,
+            &a,
+            &Descriptor::new().transpose_a(),
+        )
+        .expect("apply");
+        assert_eq!(c.extract_tuples(), vec![(2, 0, 20)]);
+    }
+
+    #[test]
+    fn apply_dimension_mismatch() {
+        let u = Vector::<i32>::new(3).expect("u");
+        let mut w = Vector::<i32>::new(4).expect("w");
+        assert!(apply(&mut w, None, NOACC, Ainv, &u, &Descriptor::default()).is_err());
+    }
+}

@@ -1,0 +1,420 @@
+//! Shared plumbing for the operation layer: index selections, mask
+//! evaluation, and accumulator conventions.
+
+use crate::descriptor::Descriptor;
+use crate::error::{Error, Result};
+use crate::matrix::{with_rows, Matrix};
+use crate::sparse::SparseView;
+use crate::types::{All, Index, Scalar};
+use crate::vector::{VView, Vector};
+
+/// "No accumulator" placeholder with a concrete operator type, so call
+/// sites can write `NOACC` without a turbofish. (The operator inside is
+/// never invoked.)
+pub const NOACC: Option<crate::binaryop::Second> = None;
+
+/// An index selection for extract/assign: the C API's `GrB_ALL`, an
+/// explicit list, or a contiguous range.
+#[derive(Debug, Clone)]
+pub enum IndexSel {
+    /// Every index in the dimension (`GrB_ALL`).
+    All,
+    /// An explicit list, in the given order (may permute and repeat for
+    /// extract; must not repeat for assign).
+    List(Vec<Index>),
+    /// A contiguous half-open range.
+    Range(std::ops::Range<Index>),
+}
+
+impl IndexSel {
+    /// Number of selected indices given the dimension `n` it applies to.
+    pub fn len(&self, n: Index) -> usize {
+        match self {
+            IndexSel::All => n,
+            IndexSel::List(l) => l.len(),
+            IndexSel::Range(r) => r.len(),
+        }
+    }
+
+    /// The `k`-th selected index.
+    pub fn nth(&self, k: usize) -> Index {
+        match self {
+            IndexSel::All => k,
+            IndexSel::List(l) => l[k],
+            IndexSel::Range(r) => r.start + k,
+        }
+    }
+
+    /// Validate all selected indices against the dimension `n`.
+    pub fn check(&self, n: Index) -> Result<()> {
+        match self {
+            IndexSel::All => Ok(()),
+            IndexSel::List(l) => {
+                for &i in l {
+                    if i >= n {
+                        return Err(Error::oob(i, n));
+                    }
+                }
+                Ok(())
+            }
+            IndexSel::Range(r) => {
+                if r.end > n {
+                    return Err(Error::oob(r.end.saturating_sub(1), n));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Map a source index back to its selection position, if selected.
+    /// Used by assign to route existing entries. For `List` this is a
+    /// linear scan cached by callers via [`IndexSel::inverse`].
+    pub fn inverse(&self, n: Index) -> InverseSel {
+        match self {
+            IndexSel::All => InverseSel::All,
+            IndexSel::Range(r) => InverseSel::Range(r.clone()),
+            IndexSel::List(l) => {
+                let mut map = std::collections::HashMap::with_capacity(l.len());
+                for (k, &i) in l.iter().enumerate() {
+                    map.insert(i, k);
+                }
+                let _ = n;
+                InverseSel::Map(map)
+            }
+        }
+    }
+}
+
+/// Inverted index selection: position of a dimension index within the
+/// selection, if any.
+pub enum InverseSel {
+    All,
+    Range(std::ops::Range<Index>),
+    Map(std::collections::HashMap<Index, usize>),
+}
+
+impl InverseSel {
+    /// The selection position of dimension index `i`, or `None`.
+    pub fn pos(&self, i: Index) -> Option<usize> {
+        match self {
+            InverseSel::All => Some(i),
+            InverseSel::Range(r) => {
+                if r.contains(&i) {
+                    Some(i - r.start)
+                } else {
+                    None
+                }
+            }
+            InverseSel::Map(m) => m.get(&i).copied(),
+        }
+    }
+}
+
+impl From<All> for IndexSel {
+    fn from(_: All) -> Self {
+        IndexSel::All
+    }
+}
+
+impl From<std::ops::Range<Index>> for IndexSel {
+    fn from(r: std::ops::Range<Index>) -> Self {
+        IndexSel::Range(r)
+    }
+}
+
+impl From<Vec<Index>> for IndexSel {
+    fn from(l: Vec<Index>) -> Self {
+        IndexSel::List(l)
+    }
+}
+
+impl From<&[Index]> for IndexSel {
+    fn from(l: &[Index]) -> Self {
+        IndexSel::List(l.to_vec())
+    }
+}
+
+/// Evaluated vector mask: answers "may position `i` be written?"
+/// incorporating the value/structural and complement descriptor settings.
+pub(crate) struct VMask<'a> {
+    view: Option<VView<'a, bool>>,
+    complement: bool,
+    structural: bool,
+}
+
+impl<'a> VMask<'a> {
+    pub fn new(view: Option<VView<'a, bool>>, desc: &Descriptor) -> Self {
+        VMask {
+            view,
+            complement: desc.mask_complement,
+            structural: desc.mask_structural,
+        }
+    }
+
+    #[inline]
+    pub fn allowed(&self, i: Index) -> bool {
+        let base = match &self.view {
+            None => true,
+            Some(v) => match v.get(i) {
+                None => false,
+                Some(b) => self.structural || b,
+            },
+        };
+        base != self.complement
+    }
+
+    /// True when no mask narrows the write (no mask, no complement).
+    pub fn is_transparent(&self) -> bool {
+        self.view.is_none() && !self.complement
+    }
+}
+
+/// Evaluated matrix mask.
+pub(crate) struct MMask<'a> {
+    view: Option<&'a dyn SparseView<bool>>,
+    complement: bool,
+    structural: bool,
+}
+
+impl<'a> MMask<'a> {
+    pub fn new(view: Option<&'a dyn SparseView<bool>>, desc: &Descriptor) -> Self {
+        MMask { view, complement: desc.mask_complement, structural: desc.mask_structural }
+    }
+
+    /// Iterate the mask's stored entries that pass the value/structural
+    /// test (not meaningful for complemented masks).
+    pub fn for_each_stored(&self, f: &mut dyn FnMut(Index, Index)) {
+        if let Some(v) = self.view {
+            let structural = self.structural;
+            v.for_each_vec(&mut |i, idx, val| {
+                for (&j, &mv) in idx.iter().zip(val) {
+                    if structural || mv {
+                        f(i, j);
+                    }
+                }
+            });
+        }
+    }
+
+    pub fn nvals(&self) -> usize {
+        self.view.map_or(0, |v| v.nvals())
+    }
+
+    pub fn has_view(&self) -> bool {
+        self.view.is_some()
+    }
+
+    pub fn is_complement(&self) -> bool {
+        self.complement
+    }
+
+    #[inline]
+    #[allow(dead_code)]
+    pub fn allowed(&self, i: Index, j: Index) -> bool {
+        let base = match self.view {
+            None => true,
+            Some(v) => match v.get(i, j) {
+                None => false,
+                Some(b) => self.structural || b,
+            },
+        };
+        base != self.complement
+    }
+
+    /// A per-row evaluator that reuses the row slices.
+    pub fn row(&self, i: Index) -> RowMask<'_> {
+        match self.view {
+            None => RowMask {
+                idx: &[],
+                val: &[],
+                none: true,
+                complement: self.complement,
+                structural: self.structural,
+            },
+            Some(v) => {
+                let (idx, val) = v.vec(i);
+                RowMask {
+                    idx,
+                    val,
+                    none: false,
+                    complement: self.complement,
+                    structural: self.structural,
+                }
+            }
+        }
+    }
+
+    #[allow(dead_code)]
+    pub fn is_transparent(&self) -> bool {
+        self.view.is_none() && !self.complement
+    }
+}
+
+/// One row of an evaluated matrix mask.
+pub(crate) struct RowMask<'a> {
+    idx: &'a [Index],
+    val: &'a [bool],
+    none: bool,
+    complement: bool,
+    structural: bool,
+}
+
+impl<'a> RowMask<'a> {
+    #[inline]
+    pub fn allowed(&self, j: Index) -> bool {
+        let base = if self.none {
+            true
+        } else {
+            match self.idx.binary_search(&j) {
+                Err(_) => false,
+                Ok(p) => self.structural || self.val[p],
+            }
+        };
+        base != self.complement
+    }
+}
+
+/// Dimension check helper.
+pub(crate) fn check_dims(cond: bool, detail: &str) -> Result<()> {
+    if cond {
+        Ok(())
+    } else {
+        Err(Error::dim(detail.to_string()))
+    }
+}
+
+/// Check a vector mask against the output length.
+pub(crate) fn check_vmask(mask: Option<&Vector<bool>>, n: Index) -> Result<()> {
+    if let Some(m) = mask {
+        check_dims(m.size() == n, "mask length must match output")?;
+    }
+    Ok(())
+}
+
+/// Check a matrix mask against the output shape.
+pub(crate) fn check_mmask(mask: Option<&Matrix<bool>>, nrows: Index, ncols: Index) -> Result<()> {
+    if let Some(m) = mask {
+        check_dims(
+            m.nrows() == nrows && m.ncols() == ncols,
+            "mask shape must match output",
+        )?;
+    }
+    Ok(())
+}
+
+/// A dense copy (or borrow) of a vector's contents for O(1) lookup in pull
+/// kernels.
+pub(crate) enum DenseVec<'a, T> {
+    Borrowed(&'a [T], &'a [bool]),
+    Owned(Vec<T>, Vec<bool>),
+}
+
+impl<'a, T: Scalar> DenseVec<'a, T> {
+    pub fn from_view(view: VView<'a, T>, n: Index) -> Self {
+        match view {
+            VView::Dense(val, present) => DenseVec::Borrowed(val, present),
+            VView::Sparse(idx, val) => {
+                let mut dval = vec![T::zero(); n];
+                let mut present = vec![false; n];
+                for (&i, &v) in idx.iter().zip(val.iter()) {
+                    dval[i] = v;
+                    present[i] = true;
+                }
+                DenseVec::Owned(dval, present)
+            }
+        }
+    }
+
+    #[inline]
+    pub fn parts(&self) -> (&[T], &[bool]) {
+        match self {
+            DenseVec::Borrowed(v, p) => (v, p),
+            DenseVec::Owned(v, p) => (v, p),
+        }
+    }
+}
+
+/// Snapshot a matrix's rows as per-row `(row, idx, val)` segments.
+pub(crate) fn matrix_row_vecs<T: Scalar>(m: &Matrix<T>) -> Vec<(Index, Vec<Index>, Vec<T>)> {
+    let g = m.read_rows();
+    with_rows!(&*g, |v| {
+        let mut vecs = Vec::with_capacity(v.nvecs());
+        v.for_each_vec(&mut |i, idx, val| vecs.push((i, idx.to_vec(), val.to_vec())));
+        vecs
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::Descriptor;
+
+    #[test]
+    fn index_sel_basics() {
+        let all = IndexSel::All;
+        assert_eq!(all.len(5), 5);
+        assert_eq!(all.nth(3), 3);
+        let list = IndexSel::List(vec![4, 0, 2]);
+        assert_eq!(list.len(5), 3);
+        assert_eq!(list.nth(1), 0);
+        let range = IndexSel::Range(2..5);
+        assert_eq!(range.len(9), 3);
+        assert_eq!(range.nth(2), 4);
+    }
+
+    #[test]
+    fn index_sel_bounds() {
+        assert!(IndexSel::List(vec![5]).check(5).is_err());
+        assert!(IndexSel::Range(0..6).check(5).is_err());
+        assert!(IndexSel::Range(0..5).check(5).is_ok());
+        assert!(IndexSel::All.check(5).is_ok());
+    }
+
+    #[test]
+    fn inverse_positions() {
+        let inv = IndexSel::List(vec![4, 0, 2]).inverse(5);
+        assert_eq!(inv.pos(4), Some(0));
+        assert_eq!(inv.pos(0), Some(1));
+        assert_eq!(inv.pos(3), None);
+        let inv = IndexSel::Range(2..5).inverse(9);
+        assert_eq!(inv.pos(2), Some(0));
+        assert_eq!(inv.pos(5), None);
+    }
+
+    #[test]
+    fn vmask_value_vs_structural() {
+        let idx = vec![1, 3];
+        let val = vec![true, false];
+        let view = VView::Sparse(&idx, &val);
+        let d = Descriptor::default();
+        let m = VMask::new(Some(view), &d);
+        assert!(m.allowed(1));
+        assert!(!m.allowed(3)); // present but false
+        assert!(!m.allowed(0));
+        let ds = Descriptor::new().structural();
+        let m = VMask::new(Some(view), &ds);
+        assert!(m.allowed(3)); // structural: presence is enough
+    }
+
+    #[test]
+    fn vmask_complement() {
+        let idx = vec![1];
+        let val = vec![true];
+        let view = VView::Sparse(&idx, &val);
+        let d = Descriptor::new().complement();
+        let m = VMask::new(Some(view), &d);
+        assert!(!m.allowed(1));
+        assert!(m.allowed(0));
+        // Complement of the implicit all-true mask blocks everything.
+        let m = VMask::new(None, &d);
+        assert!(!m.allowed(0));
+    }
+
+    #[test]
+    fn no_mask_allows_all() {
+        let d = Descriptor::default();
+        let m = VMask::new(None, &d);
+        assert!(m.allowed(0) && m.allowed(99));
+        assert!(m.is_transparent());
+    }
+}

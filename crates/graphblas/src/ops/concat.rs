@@ -1,0 +1,233 @@
+//! `GxB_Matrix_concat` / `GxB_Matrix_split` (SuiteSparse extensions the
+//! LAGraph utilities rely on for assembling block matrices), plus
+//! diagonal extraction (`GxB_Vector_diag`).
+
+use crate::error::{Error, Result};
+use crate::matrix::{rows_of, Matrix};
+use crate::types::{Index, Scalar};
+use crate::vector::Vector;
+
+/// Concatenate a dense grid of tiles into one matrix. `tiles` is a
+/// row-major `rows × cols` grid; tile shapes must be conformal (every
+/// tile in a grid row has the same height, every tile in a grid column
+/// the same width).
+pub fn concat<T: Scalar>(tiles: &[Vec<&Matrix<T>>]) -> Result<Matrix<T>> {
+    if tiles.is_empty() || tiles[0].is_empty() {
+        return Err(Error::invalid("concat requires a non-empty tile grid"));
+    }
+    let grid_cols = tiles[0].len();
+    for row in tiles {
+        if row.len() != grid_cols {
+            return Err(Error::invalid("concat: ragged tile grid"));
+        }
+    }
+    // Conformality + offsets.
+    let mut row_off = vec![0usize; tiles.len() + 1];
+    for (r, row) in tiles.iter().enumerate() {
+        let h = row[0].nrows();
+        for t in row {
+            if t.nrows() != h {
+                return Err(Error::dim("concat: tile heights differ within a grid row"));
+            }
+        }
+        row_off[r + 1] = row_off[r] + h;
+    }
+    let mut col_off = vec![0usize; grid_cols + 1];
+    for c in 0..grid_cols {
+        let w = tiles[0][c].ncols();
+        for row in tiles {
+            if row[c].ncols() != w {
+                return Err(Error::dim("concat: tile widths differ within a grid column"));
+            }
+        }
+        col_off[c + 1] = col_off[c] + w;
+    }
+    let (nr, nc) = (row_off[tiles.len()], col_off[grid_cols]);
+    let mut tuples = Vec::new();
+    for (r, row) in tiles.iter().enumerate() {
+        for (c, tile) in row.iter().enumerate() {
+            for (i, j, x) in tile.iter() {
+                tuples.push((row_off[r] + i, col_off[c] + j, x));
+            }
+        }
+    }
+    Matrix::from_tuples(nr, nc, tuples, |_, b| b)
+}
+
+/// Split a matrix into a grid of tiles with the given row heights and
+/// column widths (which must sum to the matrix dimensions). Inverse of
+/// [`concat`].
+pub fn split<T: Scalar>(
+    a: &Matrix<T>,
+    heights: &[Index],
+    widths: &[Index],
+) -> Result<Vec<Vec<Matrix<T>>>> {
+    let hsum: Index = heights.iter().sum();
+    let wsum: Index = widths.iter().sum();
+    if hsum != a.nrows() || wsum != a.ncols() {
+        return Err(Error::dim("split: tile sizes must sum to the matrix shape"));
+    }
+    if heights.iter().any(|&h| h == 0) || widths.iter().any(|&w| w == 0) {
+        return Err(Error::invalid("split: zero-sized tiles are not allowed"));
+    }
+    let mut row_off = vec![0usize];
+    for &h in heights {
+        row_off.push(row_off.last().expect("nonempty") + h);
+    }
+    let mut col_off = vec![0usize];
+    for &w in widths {
+        col_off.push(col_off.last().expect("nonempty") + w);
+    }
+    // Bucket the entries.
+    let mut buckets: Vec<Vec<Vec<(Index, Index, T)>>> =
+        vec![vec![Vec::new(); widths.len()]; heights.len()];
+    let find = |offsets: &[usize], x: Index| -> usize {
+        match offsets.binary_search(&x) {
+            Ok(k) => k,
+            Err(k) => k - 1,
+        }
+    };
+    for (i, j, x) in a.iter() {
+        let r = find(&row_off, i);
+        let c = find(&col_off, j);
+        buckets[r][c].push((i - row_off[r], j - col_off[c], x));
+    }
+    let mut out = Vec::with_capacity(heights.len());
+    for (r, row_buckets) in buckets.into_iter().enumerate() {
+        let mut row = Vec::with_capacity(widths.len());
+        for (c, tuples) in row_buckets.into_iter().enumerate() {
+            row.push(Matrix::from_tuples(heights[r], widths[c], tuples, |_, b| b)?);
+        }
+        out.push(row);
+    }
+    Ok(out)
+}
+
+/// Extract the `k`-th diagonal of a matrix as a vector
+/// (`GxB_Vector_diag`): `w(i) = A(i, i + k)` for `k ≥ 0`, `w(i) =
+/// A(i - k, i)` for `k < 0`. The vector has the diagonal's natural
+/// length.
+pub fn diag_extract<T: Scalar>(a: &Matrix<T>, k: i64) -> Result<Vector<T>> {
+    let (nr, nc) = (a.nrows(), a.ncols());
+    let len = if k >= 0 {
+        nc.saturating_sub(k as usize).min(nr)
+    } else {
+        nr.saturating_sub((-k) as usize).min(nc)
+    };
+    if len == 0 {
+        return Err(Error::invalid("diagonal lies outside the matrix"));
+    }
+    let mut w = Vector::new(len)?;
+    let g = a.read_rows();
+    let v = rows_of(&g);
+    for t in 0..len {
+        let (i, j) = if k >= 0 { (t, t + k as usize) } else { (t + (-k) as usize, t) };
+        if let Some(x) = v.get(i, j) {
+            w.set_element(t, x)?;
+        }
+    }
+    drop(g);
+    w.wait();
+    Ok(w)
+}
+
+/// Build a matrix with `v` on its `k`-th diagonal (`GxB_Matrix_diag`
+/// generalized): the matrix is square with dimension `v.size() + |k|`.
+pub fn diag_matrix<T: Scalar>(v: &Vector<T>, k: i64) -> Result<Matrix<T>> {
+    let n = v.size() + k.unsigned_abs() as usize;
+    let tuples: Vec<(Index, Index, T)> = v
+        .iter()
+        .map(|(t, x)| {
+            if k >= 0 {
+                (t, t + k as usize, x)
+            } else {
+                (t + (-k) as usize, t, x)
+            }
+        })
+        .collect();
+    Matrix::from_tuples(n, n, tuples, |_, b| b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(nr: Index, nc: Index, t: Vec<(Index, Index, i32)>) -> Matrix<i32> {
+        Matrix::from_tuples(nr, nc, t, |_, b| b).expect("build")
+    }
+
+    #[test]
+    fn concat_2x2_grid() {
+        let a = m(2, 2, vec![(0, 0, 1)]);
+        let b = m(2, 3, vec![(1, 2, 2)]);
+        let c = m(1, 2, vec![(0, 1, 3)]);
+        let d = m(1, 3, vec![(0, 0, 4)]);
+        let out = concat(&[vec![&a, &b], vec![&c, &d]]).expect("concat");
+        assert_eq!((out.nrows(), out.ncols()), (3, 5));
+        assert_eq!(
+            out.extract_tuples(),
+            vec![(0, 0, 1), (1, 4, 2), (2, 1, 3), (2, 2, 4)]
+        );
+    }
+
+    #[test]
+    fn concat_rejects_nonconformal() {
+        let a = m(2, 2, vec![]);
+        let b = m(3, 3, vec![]);
+        assert!(concat(&[vec![&a, &b]]).is_err());
+    }
+
+    #[test]
+    fn split_round_trips_concat() {
+        let big = m(
+            4,
+            5,
+            vec![(0, 0, 1), (1, 4, 2), (3, 2, 3), (2, 1, 4), (3, 4, 5)],
+        );
+        let tiles = split(&big, &[2, 2], &[3, 2]).expect("split");
+        assert_eq!(tiles.len(), 2);
+        assert_eq!(tiles[0].len(), 2);
+        assert_eq!(tiles[0][0].get(0, 0), Some(1));
+        assert_eq!(tiles[0][1].get(1, 1), Some(2));
+        assert_eq!(tiles[1][0].get(1, 2), Some(3));
+        let refs: Vec<Vec<&Matrix<i32>>> =
+            tiles.iter().map(|r| r.iter().collect()).collect();
+        let back = concat(&refs).expect("concat");
+        assert_eq!(back.extract_tuples(), big.extract_tuples());
+    }
+
+    #[test]
+    fn split_validates_sizes() {
+        let big = m(4, 4, vec![]);
+        assert!(split(&big, &[2, 3], &[2, 2]).is_err());
+        assert!(split(&big, &[4, 0], &[4]).is_err());
+    }
+
+    #[test]
+    fn diag_extract_main_and_off() {
+        let a = m(3, 4, vec![(0, 0, 1), (1, 1, 2), (0, 1, 5), (2, 1, 7)]);
+        let main = diag_extract(&a, 0).expect("diag");
+        assert_eq!(main.extract_tuples(), vec![(0, 1), (1, 2)]);
+        let upper = diag_extract(&a, 1).expect("diag");
+        assert_eq!(upper.extract_tuples(), vec![(0, 5)]);
+        let lower = diag_extract(&a, -1).expect("diag");
+        assert_eq!(lower.extract_tuples(), vec![(1, 7)]);
+    }
+
+    #[test]
+    fn diag_matrix_round_trip() {
+        let v = Vector::from_tuples(3, vec![(0, 1.5), (2, 2.5)], |_, b| b).expect("v");
+        for k in [-2i64, 0, 2] {
+            let d = diag_matrix(&v, k).expect("diag matrix");
+            let back = diag_extract(&d, k).expect("diag extract");
+            assert_eq!(back.extract_tuples(), v.extract_tuples(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn diag_out_of_range() {
+        let a = m(2, 2, vec![]);
+        assert!(diag_extract(&a, 2).is_err());
+        assert!(diag_extract(&a, -2).is_err());
+    }
+}

@@ -1,0 +1,363 @@
+//! `GrB_eWiseAdd` (set union) and `GrB_eWiseMult` (set intersection).
+//!
+//! "Add" and "multiply" refer to the *pattern* semantics, not the operator:
+//! any binary operator can be used with either. For `eWiseAdd`, positions
+//! present in only one input pass their value through unchanged, so both
+//! inputs and the output share one domain; `eWiseMult` only produces values
+//! where both inputs have entries and may be heterogeneous.
+
+use crate::binaryop::BinaryOp;
+use crate::descriptor::Descriptor;
+use crate::error::Result;
+use crate::matrix::{rows_of, Matrix};
+use crate::sparse::{transpose_dyn, MatData, SparseView};
+use crate::types::{Index, Scalar};
+use crate::vector::Vector;
+
+use super::common::{check_dims, check_mmask, check_vmask};
+use super::write::{write_matrix, write_vector};
+
+/// `w⟨mask⟩ ⊙= u ⊕ v` — union merge of two vectors.
+pub fn ewise_add<T, Op, Acc>(
+    w: &mut Vector<T>,
+    mask: Option<&Vector<bool>>,
+    accum: Option<Acc>,
+    op: Op,
+    u: &Vector<T>,
+    v: &Vector<T>,
+    desc: &Descriptor,
+) -> Result<()>
+where
+    T: Scalar,
+    Op: BinaryOp<T, T, T>,
+    Acc: BinaryOp<T, T, T>,
+{
+    check_dims(u.size() == v.size(), "eWiseAdd: input lengths differ")?;
+    check_dims(w.size() == u.size(), "eWiseAdd: output length differs")?;
+    check_vmask(mask, w.size())?;
+    let (t_idx, t_val) = {
+        let gu = u.read();
+        let gv = v.read();
+        union_merge(gu.view(), gv.view(), &op)
+    };
+    write_vector(w, mask, accum, desc, t_idx, t_val)
+}
+
+/// `w⟨mask⟩ ⊙= u ⊗ v` — intersection merge of two vectors.
+pub fn ewise_mult<A, B, T, Op, Acc>(
+    w: &mut Vector<T>,
+    mask: Option<&Vector<bool>>,
+    accum: Option<Acc>,
+    op: Op,
+    u: &Vector<A>,
+    v: &Vector<B>,
+    desc: &Descriptor,
+) -> Result<()>
+where
+    A: Scalar,
+    B: Scalar,
+    T: Scalar,
+    Op: BinaryOp<A, B, T>,
+    Acc: BinaryOp<T, T, T>,
+{
+    check_dims(u.size() == v.size(), "eWiseMult: input lengths differ")?;
+    check_dims(w.size() == u.size(), "eWiseMult: output length differs")?;
+    check_vmask(mask, w.size())?;
+    let (t_idx, t_val) = {
+        let gu = u.read();
+        let gv = v.read();
+        let (ui, uv) = sparse_parts(gu.view());
+        let mut idx = Vec::new();
+        let mut val = Vec::new();
+        let vview = gv.view();
+        for (i, x) in ui.iter().copied().zip(uv.iter().copied()) {
+            if let Some(y) = vview.get(i) {
+                idx.push(i);
+                val.push(op.apply(x, y));
+            }
+        }
+        (idx, val)
+    };
+    write_vector(w, mask, accum, desc, t_idx, t_val)
+}
+
+fn sparse_parts<T: Scalar>(view: crate::vector::VView<'_, T>) -> (Vec<Index>, Vec<T>) {
+    let mut idx = Vec::new();
+    let mut val = Vec::new();
+    view.for_each(|i, x| {
+        idx.push(i);
+        val.push(x);
+    });
+    (idx, val)
+}
+
+fn union_merge<T: Scalar, Op: BinaryOp<T, T, T>>(
+    u: crate::vector::VView<'_, T>,
+    v: crate::vector::VView<'_, T>,
+    op: &Op,
+) -> (Vec<Index>, Vec<T>) {
+    let (ui, uv) = sparse_parts(u);
+    let (vi, vv) = sparse_parts(v);
+    let mut idx = Vec::with_capacity(ui.len() + vi.len());
+    let mut val = Vec::with_capacity(ui.len() + vi.len());
+    let (mut a, mut b) = (0, 0);
+    while a < ui.len() || b < vi.len() {
+        if a < ui.len() && (b >= vi.len() || ui[a] < vi[b]) {
+            idx.push(ui[a]);
+            val.push(uv[a]);
+            a += 1;
+        } else if b < vi.len() && (a >= ui.len() || vi[b] < ui[a]) {
+            idx.push(vi[b]);
+            val.push(vv[b]);
+            b += 1;
+        } else {
+            idx.push(ui[a]);
+            val.push(op.apply(uv[a], vv[b]));
+            a += 1;
+            b += 1;
+        }
+    }
+    (idx, val)
+}
+
+/// Resolve a (possibly transposed) matrix operand to a dynamic row view.
+pub(crate) struct EffView<'a, T: Scalar> {
+    owned: Option<MatData<T>>,
+    base: &'a dyn SparseView<T>,
+}
+
+impl<'a, T: Scalar> EffView<'a, T> {
+    pub fn new(base: &'a dyn SparseView<T>, transpose: bool) -> Self {
+        if transpose {
+            EffView { owned: Some(transpose_dyn(base)), base }
+        } else {
+            EffView { owned: None, base }
+        }
+    }
+
+    pub fn view(&self) -> &dyn SparseView<T> {
+        match &self.owned {
+            Some(d) => d.view(),
+            None => self.base,
+        }
+    }
+}
+
+/// `C⟨Mask⟩ ⊙= A ⊕ B` — union merge of two matrices (with optional
+/// transposes).
+pub fn ewise_add_matrix<T, Op, Acc>(
+    c: &mut Matrix<T>,
+    mask: Option<&Matrix<bool>>,
+    accum: Option<Acc>,
+    op: Op,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    desc: &Descriptor,
+) -> Result<()>
+where
+    T: Scalar,
+    Op: BinaryOp<T, T, T>,
+    Acc: BinaryOp<T, T, T>,
+{
+    let ga = a.read_rows();
+    let gb = b.read_rows();
+    let ea = EffView::new(rows_of(&ga), desc.transpose_a);
+    let eb = EffView::new(rows_of(&gb), desc.transpose_b);
+    let (av, bv) = (ea.view(), eb.view());
+    check_dims(
+        av.nmajor() == bv.nmajor() && av.nminor() == bv.nminor(),
+        "eWiseAdd: input shapes differ",
+    )?;
+    let (nr, nc) = (av.nmajor(), av.nminor());
+    let vecs = merge_matrix_union(av, bv, &op);
+    drop(ea);
+    drop(eb);
+    drop(ga);
+    drop(gb);
+    check_dims(c.nrows() == nr && c.ncols() == nc, "eWiseAdd: output shape differs")?;
+    check_mmask(mask, nr, nc)?;
+    write_matrix(c, mask, accum, desc, vecs)
+}
+
+/// `C⟨Mask⟩ ⊙= A ⊗ B` — intersection merge of two matrices.
+pub fn ewise_mult_matrix<A, B, T, Op, Acc>(
+    c: &mut Matrix<T>,
+    mask: Option<&Matrix<bool>>,
+    accum: Option<Acc>,
+    op: Op,
+    a: &Matrix<A>,
+    b: &Matrix<B>,
+    desc: &Descriptor,
+) -> Result<()>
+where
+    A: Scalar,
+    B: Scalar,
+    T: Scalar,
+    Op: BinaryOp<A, B, T>,
+    Acc: BinaryOp<T, T, T>,
+{
+    let ga = a.read_rows();
+    let gb = b.read_rows();
+    let ea = EffView::new(rows_of(&ga), desc.transpose_a);
+    let eb = EffView::new(rows_of(&gb), desc.transpose_b);
+    let (av, bv) = (ea.view(), eb.view());
+    check_dims(
+        av.nmajor() == bv.nmajor() && av.nminor() == bv.nminor(),
+        "eWiseMult: input shapes differ",
+    )?;
+    let (nr, nc) = (av.nmajor(), av.nminor());
+    let mut vecs = Vec::new();
+    av.for_each_vec(&mut |i, aidx, aval| {
+        let (bidx, bval) = bv.vec(i);
+        if bidx.is_empty() {
+            return;
+        }
+        let mut ridx = Vec::new();
+        let mut rval = Vec::new();
+        let (mut p, mut q) = (0, 0);
+        while p < aidx.len() && q < bidx.len() {
+            if aidx[p] < bidx[q] {
+                p += 1;
+            } else if bidx[q] < aidx[p] {
+                q += 1;
+            } else {
+                ridx.push(aidx[p]);
+                rval.push(op.apply(aval[p], bval[q]));
+                p += 1;
+                q += 1;
+            }
+        }
+        if !ridx.is_empty() {
+            vecs.push((i, ridx, rval));
+        }
+    });
+    drop(ea);
+    drop(eb);
+    drop(ga);
+    drop(gb);
+    check_dims(c.nrows() == nr && c.ncols() == nc, "eWiseMult: output shape differs")?;
+    check_mmask(mask, nr, nc)?;
+    write_matrix(c, mask, accum, desc, vecs)
+}
+
+fn merge_matrix_union<T: Scalar, Op: BinaryOp<T, T, T>>(
+    av: &dyn SparseView<T>,
+    bv: &dyn SparseView<T>,
+    op: &Op,
+) -> Vec<(Index, Vec<Index>, Vec<T>)> {
+    let amaj = av.nonempty_majors();
+    let bmaj = bv.nonempty_majors();
+    let mut vecs = Vec::with_capacity(amaj.len() + bmaj.len());
+    let (mut x, mut y) = (0, 0);
+    while x < amaj.len() || y < bmaj.len() {
+        let row = match (amaj.get(x), bmaj.get(y)) {
+            (Some(&ra), Some(&rb)) => ra.min(rb),
+            (Some(&ra), None) => ra,
+            (None, Some(&rb)) => rb,
+            (None, None) => unreachable!(),
+        };
+        let (aidx, aval) = if amaj.get(x) == Some(&row) {
+            x += 1;
+            av.vec(row)
+        } else {
+            (&[][..], &[][..])
+        };
+        let (bidx, bval) = if bmaj.get(y) == Some(&row) {
+            y += 1;
+            bv.vec(row)
+        } else {
+            (&[][..], &[][..])
+        };
+        let mut ridx = Vec::with_capacity(aidx.len() + bidx.len());
+        let mut rval = Vec::with_capacity(aidx.len() + bidx.len());
+        let (mut p, mut q) = (0, 0);
+        while p < aidx.len() || q < bidx.len() {
+            if p < aidx.len() && (q >= bidx.len() || aidx[p] < bidx[q]) {
+                ridx.push(aidx[p]);
+                rval.push(aval[p]);
+                p += 1;
+            } else if q < bidx.len() && (p >= aidx.len() || bidx[q] < aidx[p]) {
+                ridx.push(bidx[q]);
+                rval.push(bval[q]);
+                q += 1;
+            } else {
+                ridx.push(aidx[p]);
+                rval.push(op.apply(aval[p], bval[q]));
+                p += 1;
+                q += 1;
+            }
+        }
+        vecs.push((row, ridx, rval));
+    }
+    vecs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binaryop::{Plus, Times};
+    use crate::ops::common::NOACC;
+
+    #[test]
+    fn vector_union() {
+        let u = Vector::from_tuples(5, vec![(0, 1), (2, 2)], |_, b| b).expect("u");
+        let v = Vector::from_tuples(5, vec![(2, 10), (4, 20)], |_, b| b).expect("v");
+        let mut w = Vector::<i32>::new(5).expect("w");
+        ewise_add(&mut w, None, NOACC, Plus, &u, &v, &Descriptor::default()).expect("add");
+        assert_eq!(w.extract_tuples(), vec![(0, 1), (2, 12), (4, 20)]);
+    }
+
+    #[test]
+    fn vector_intersection() {
+        let u = Vector::from_tuples(5, vec![(0, 1), (2, 2)], |_, b| b).expect("u");
+        let v = Vector::from_tuples(5, vec![(2, 10), (4, 20)], |_, b| b).expect("v");
+        let mut w = Vector::<i32>::new(5).expect("w");
+        ewise_mult(&mut w, None, NOACC, Times, &u, &v, &Descriptor::default())
+            .expect("mult");
+        assert_eq!(w.extract_tuples(), vec![(2, 20)]);
+    }
+
+    #[test]
+    fn heterogeneous_mult_domains() {
+        let u = Vector::from_tuples(3, vec![(1, 2.5f64)], |_, b| b).expect("u");
+        let v = Vector::from_tuples(3, vec![(1, 4u8)], |_, b| b).expect("v");
+        let mut w = Vector::<i64>::new(3).expect("w");
+        let op = |a: f64, b: u8| (a * b as f64) as i64;
+        ewise_mult(&mut w, None, NOACC, op, &u, &v, &Descriptor::default()).expect("mult");
+        assert_eq!(w.extract_tuples(), vec![(1, 10)]);
+    }
+
+    #[test]
+    fn matrix_union_and_intersection() {
+        let a = Matrix::from_tuples(2, 2, vec![(0, 0, 1), (1, 1, 2)], |_, b| b).expect("a");
+        let b = Matrix::from_tuples(2, 2, vec![(0, 0, 10), (0, 1, 20)], |_, b| b).expect("b");
+        let mut add = Matrix::<i32>::new(2, 2).expect("add");
+        ewise_add_matrix(&mut add, None, NOACC, Plus, &a, &b, &Descriptor::default())
+            .expect("add");
+        assert_eq!(add.extract_tuples(), vec![(0, 0, 11), (0, 1, 20), (1, 1, 2)]);
+        let mut mult = Matrix::<i32>::new(2, 2).expect("mult");
+        ewise_mult_matrix(&mut mult, None, NOACC, Times, &a, &b, &Descriptor::default())
+            .expect("mult");
+        assert_eq!(mult.extract_tuples(), vec![(0, 0, 10)]);
+    }
+
+    #[test]
+    fn matrix_ewise_with_transpose() {
+        let a = Matrix::from_tuples(2, 3, vec![(0, 2, 5)], |_, b| b).expect("a");
+        let b = Matrix::from_tuples(3, 2, vec![(2, 0, 7)], |_, b| b).expect("b");
+        // A ⊕ Bᵀ : B(2,0) lands at (0,2).
+        let mut c = Matrix::<i32>::new(2, 3).expect("c");
+        ewise_add_matrix(&mut c, None, NOACC, Plus, &a, &b, &Descriptor::new().transpose_b())
+            .expect("add");
+        assert_eq!(c.extract_tuples(), vec![(0, 2, 12)]);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let a = Matrix::<i32>::new(2, 3).expect("a");
+        let b = Matrix::<i32>::new(3, 2).expect("b");
+        let mut c = Matrix::<i32>::new(2, 3).expect("c");
+        assert!(ewise_add_matrix(&mut c, None, NOACC, Plus, &a, &b, &Descriptor::default())
+            .is_err());
+    }
+}

@@ -1,0 +1,288 @@
+//! `GrB_extract`: sub-vector `w = u(I)`, sub-matrix `C = A(I, J)`, and
+//! column extraction `w = A(I, j)`. Index lists may select, permute, and
+//! repeat.
+
+use crate::binaryop::BinaryOp;
+use crate::descriptor::Descriptor;
+use crate::error::Result;
+use crate::matrix::{rows_of, Matrix};
+use crate::types::{Index, Scalar};
+use crate::vector::Vector;
+
+use super::common::{check_dims, check_mmask, check_vmask, IndexSel};
+use super::ewise::EffView;
+use super::write::{write_matrix, write_vector};
+
+/// `w⟨mask⟩ ⊙= u(I)`.
+pub fn extract<T, Acc>(
+    w: &mut Vector<T>,
+    mask: Option<&Vector<bool>>,
+    accum: Option<Acc>,
+    u: &Vector<T>,
+    i_sel: &IndexSel,
+    desc: &Descriptor,
+) -> Result<()>
+where
+    T: Scalar,
+    Acc: BinaryOp<T, T, T>,
+{
+    i_sel.check(u.size())?;
+    check_dims(w.size() == i_sel.len(u.size()), "extract: output length != |I|")?;
+    check_vmask(mask, w.size())?;
+    let (t_idx, t_val) = {
+        let g = u.read();
+        let view = g.view();
+        let mut idx = Vec::new();
+        let mut val = Vec::new();
+        for k in 0..i_sel.len(g.n) {
+            if let Some(x) = view.get(i_sel.nth(k)) {
+                idx.push(k);
+                val.push(x);
+            }
+        }
+        (idx, val)
+    };
+    write_vector(w, mask, accum, desc, t_idx, t_val)
+}
+
+/// `C⟨Mask⟩ ⊙= A(I, J)` (rows I, columns J of `A`, or of `Aᵀ` with the
+/// transpose descriptor).
+pub fn extract_matrix<T, Acc>(
+    c: &mut Matrix<T>,
+    mask: Option<&Matrix<bool>>,
+    accum: Option<Acc>,
+    a: &Matrix<T>,
+    i_sel: &IndexSel,
+    j_sel: &IndexSel,
+    desc: &Descriptor,
+) -> Result<()>
+where
+    T: Scalar,
+    Acc: BinaryOp<T, T, T>,
+{
+    let ga = a.read_rows();
+    let eff = EffView::new(rows_of(&ga), desc.transpose_a);
+    let v = eff.view();
+    i_sel.check(v.nmajor())?;
+    j_sel.check(v.nminor())?;
+    let (nr, nc) = (i_sel.len(v.nmajor()), j_sel.len(v.nminor()));
+    let mut vecs = Vec::new();
+    for k in 0..nr {
+        let (ridx, rval) = v.vec(i_sel.nth(k));
+        if ridx.is_empty() {
+            continue;
+        }
+        let mut oidx: Vec<(Index, T)> = Vec::new();
+        match j_sel {
+            IndexSel::All => {
+                for (&j, &x) in ridx.iter().zip(rval) {
+                    oidx.push((j, x));
+                }
+            }
+            IndexSel::Range(r) => {
+                for (&j, &x) in ridx.iter().zip(rval) {
+                    if r.contains(&j) {
+                        oidx.push((j - r.start, x));
+                    }
+                }
+            }
+            IndexSel::List(list) => {
+                // J may permute and repeat: route by list position.
+                for (pos, &j) in list.iter().enumerate() {
+                    if let Ok(p) = ridx.binary_search(&j) {
+                        oidx.push((pos, rval[p]));
+                    }
+                }
+                oidx.sort_by_key(|&(p, _)| p);
+            }
+        }
+        if !oidx.is_empty() {
+            let (oi, ov) = oidx.into_iter().unzip();
+            vecs.push((k, oi, ov));
+        }
+    }
+    drop(eff);
+    drop(ga);
+    check_dims(c.nrows() == nr && c.ncols() == nc, "extract: output shape != |I|x|J|")?;
+    check_mmask(mask, nr, nc)?;
+    write_matrix(c, mask, accum, desc, vecs)
+}
+
+/// `w⟨mask⟩ ⊙= A(I, j)` — one column of `A` (a row with the transpose
+/// descriptor).
+pub fn extract_col<T, Acc>(
+    w: &mut Vector<T>,
+    mask: Option<&Vector<bool>>,
+    accum: Option<Acc>,
+    a: &Matrix<T>,
+    i_sel: &IndexSel,
+    j: Index,
+    desc: &Descriptor,
+) -> Result<()>
+where
+    T: Scalar,
+    Acc: BinaryOp<T, T, T>,
+{
+    let ga = a.read_rows();
+    let eff = EffView::new(rows_of(&ga), desc.transpose_a);
+    let v = eff.view();
+    i_sel.check(v.nmajor())?;
+    if j >= v.nminor() {
+        return Err(crate::error::Error::oob(j, v.nminor()));
+    }
+    let n_out = i_sel.len(v.nmajor());
+    let mut t_idx = Vec::new();
+    let mut t_val = Vec::new();
+    for k in 0..n_out {
+        if let Some(x) = v.get(i_sel.nth(k), j) {
+            t_idx.push(k);
+            t_val.push(x);
+        }
+    }
+    drop(eff);
+    drop(ga);
+    check_dims(w.size() == n_out, "extract_col: output length != |I|")?;
+    check_vmask(mask, w.size())?;
+    write_vector(w, mask, accum, desc, t_idx, t_val)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::common::NOACC;
+    use crate::types::All;
+
+    fn sample() -> Matrix<i32> {
+        // 0 1 2
+        // 3 . 4
+        // . 5 .
+        Matrix::from_tuples(
+            3,
+            3,
+            vec![(0, 0, 0), (0, 1, 1), (0, 2, 2), (1, 0, 3), (1, 2, 4), (2, 1, 5)],
+            |_, b| b,
+        )
+        .expect("build")
+    }
+
+    #[test]
+    fn vector_extract_range_and_list() {
+        let u = Vector::from_tuples(6, vec![(1, 10), (3, 30), (5, 50)], |_, b| b).expect("u");
+        let mut w = Vector::<i32>::new(3).expect("w");
+        extract(&mut w, None, NOACC, &u, &IndexSel::Range(1..4), &Descriptor::default())
+            .expect("extract");
+        assert_eq!(w.extract_tuples(), vec![(0, 10), (2, 30)]);
+
+        let mut w2 = Vector::<i32>::new(4).expect("w2");
+        extract(
+            &mut w2,
+            None,
+            NOACC,
+            &u,
+            &IndexSel::List(vec![5, 5, 0, 1]),
+            &Descriptor::default(),
+        )
+        .expect("extract");
+        assert_eq!(w2.extract_tuples(), vec![(0, 50), (1, 50), (3, 10)]);
+    }
+
+    #[test]
+    fn matrix_extract_submatrix() {
+        let a = sample();
+        let mut c = Matrix::<i32>::new(2, 2).expect("c");
+        extract_matrix(
+            &mut c,
+            None,
+            NOACC,
+            &a,
+            &IndexSel::List(vec![0, 2]),
+            &IndexSel::List(vec![1, 2]),
+            &Descriptor::default(),
+        )
+        .expect("extract");
+        assert_eq!(c.extract_tuples(), vec![(0, 0, 1), (0, 1, 2), (1, 0, 5)]);
+    }
+
+    #[test]
+    fn matrix_extract_permuted_columns() {
+        let a = sample();
+        let mut c = Matrix::<i32>::new(1, 3).expect("c");
+        extract_matrix(
+            &mut c,
+            None,
+            NOACC,
+            &a,
+            &IndexSel::List(vec![0]),
+            &IndexSel::List(vec![2, 1, 0]),
+            &Descriptor::default(),
+        )
+        .expect("extract");
+        assert_eq!(c.extract_tuples(), vec![(0, 0, 2), (0, 1, 1), (0, 2, 0)]);
+    }
+
+    #[test]
+    fn matrix_extract_all() {
+        let a = sample();
+        let mut c = Matrix::<i32>::new(3, 3).expect("c");
+        extract_matrix(
+            &mut c,
+            None,
+            NOACC,
+            &a,
+            &IndexSel::from(All),
+            &IndexSel::from(All),
+            &Descriptor::default(),
+        )
+        .expect("extract");
+        assert_eq!(c.extract_tuples(), a.extract_tuples());
+    }
+
+    #[test]
+    fn column_extraction() {
+        let a = sample();
+        let mut w = Vector::<i32>::new(3).expect("w");
+        extract_col(&mut w, None, NOACC, &a, &IndexSel::All, 1, &Descriptor::default())
+            .expect("extract");
+        assert_eq!(w.extract_tuples(), vec![(0, 1), (2, 5)]);
+    }
+
+    #[test]
+    fn row_extraction_via_transpose() {
+        let a = sample();
+        let mut w = Vector::<i32>::new(3).expect("w");
+        extract_col(
+            &mut w,
+            None,
+            NOACC,
+            &a,
+            &IndexSel::All,
+            1,
+            &Descriptor::new().transpose_a(),
+        )
+        .expect("extract");
+        // Row 1 of A: entries at columns 0 and 2.
+        assert_eq!(w.extract_tuples(), vec![(0, 3), (2, 4)]);
+    }
+
+    #[test]
+    fn extract_bounds_and_dims_checked() {
+        let a = sample();
+        let mut c = Matrix::<i32>::new(2, 2).expect("c");
+        assert!(extract_matrix(
+            &mut c,
+            None,
+            NOACC,
+            &a,
+            &IndexSel::List(vec![3]),
+            &IndexSel::All,
+            &Descriptor::default(),
+        )
+        .is_err());
+        let u = Vector::<i32>::new(4).expect("u");
+        let mut w = Vector::<i32>::new(4).expect("w");
+        assert!(
+            extract(&mut w, None, NOACC, &u, &IndexSel::Range(0..3), &Descriptor::default())
+                .is_err()
+        );
+    }
+}

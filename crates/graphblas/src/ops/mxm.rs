@@ -1,0 +1,530 @@
+//! `GrB_mxm`: matrix-matrix multiply over a semiring, in the three kernel
+//! families §II.A attributes to SuiteSparse:GraphBLAS — Gustavson's
+//! row-wise saxpy method, a dot-product method (the masked variant is the
+//! triangle-counting workhorse), and a heap-based multi-way merge — each
+//! usable with masks, selected automatically or forced via
+//! [`MxmMethod`] in the descriptor.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::binaryop::BinaryOp;
+use crate::descriptor::{Descriptor, MxmMethod};
+use crate::error::Result;
+use crate::matrix::{rows_of, Matrix};
+use crate::monoid::Monoid;
+use crate::parallel::par_chunks;
+use crate::semiring::Semiring;
+use crate::sparse::SparseView;
+use crate::types::{Index, Scalar};
+
+use super::common::{check_dims, check_mmask, MMask};
+use super::ewise::EffView;
+use super::write::write_matrix;
+
+/// Dense per-row accumulator is used up to this minor dimension; beyond
+/// it (hypersparse operands) a tree accumulator avoids `O(n)` memory.
+const DENSE_ACC_LIMIT: usize = 1 << 26;
+
+/// `C⟨Mask⟩ ⊙= A ⊕.⊗ B`, with optional input transposes.
+pub fn mxm<A, B, T, SA, SM, Acc>(
+    c: &mut Matrix<T>,
+    mask: Option<&Matrix<bool>>,
+    accum: Option<Acc>,
+    semiring: &Semiring<SA, SM>,
+    a: &Matrix<A>,
+    b: &Matrix<B>,
+    desc: &Descriptor,
+) -> Result<()>
+where
+    A: Scalar,
+    B: Scalar,
+    T: Scalar,
+    SA: Monoid<T>,
+    SM: BinaryOp<A, B, T>,
+    Acc: BinaryOp<T, T, T>,
+{
+    let ga = a.read_rows();
+    let gb = b.read_rows();
+    let ea = EffView::new(rows_of(&ga), desc.transpose_a);
+    let av = ea.view();
+    // Shapes of the *effective* operands.
+    let (bm, bn) = if desc.transpose_b {
+        (gb.ncols, gb.nrows)
+    } else {
+        (gb.nrows, gb.ncols)
+    };
+    check_dims(av.nminor() == bm, "mxm: inner dimensions must agree")?;
+    let (nr, nc) = (av.nmajor(), bn);
+    check_dims(c.nrows() == nr && c.ncols() == nc, "mxm: output shape mismatch")?;
+    check_mmask(mask, nr, nc)?;
+
+    let mguard = mask.map(|m| m.read_rows());
+    let mview = mguard.as_ref().map(|g| rows_of(&**g));
+    let meval = MMask::new(mview, desc);
+
+    let method = choose_method(desc, &meval, nr);
+
+    let vecs = match method {
+        MxmMethod::Dot => {
+            // Needs rows of (effective B)ᵀ = Bᵀ if no transpose flag, or B
+            // itself when transpose_b is set.
+            let ebt = EffView::new(rows_of(&gb), !desc.transpose_b);
+            dot_kernel(av, ebt.view(), &semiring.add, &semiring.mul, &meval)
+        }
+        MxmMethod::Heap => {
+            let eb = EffView::new(rows_of(&gb), desc.transpose_b);
+            heap_kernel(av, eb.view(), &semiring.add, &semiring.mul, &meval)
+        }
+        _ => {
+            let eb = EffView::new(rows_of(&gb), desc.transpose_b);
+            gustavson_kernel(av, eb.view(), &semiring.add, &semiring.mul, &meval)
+        }
+    };
+    drop(mguard);
+    drop(ea);
+    drop(ga);
+    drop(gb);
+    write_matrix(c, mask, accum, desc, vecs)
+}
+
+/// Pick a kernel: an explicit request wins; otherwise use the dot method
+/// exactly when a non-complemented mask restricts the output to roughly
+/// one entry per row or fewer (the regime where computing only the masked
+/// dots beats running Gustavson over everything); else Gustavson.
+fn choose_method(desc: &Descriptor, mask: &MMask<'_>, out_rows: usize) -> MxmMethod {
+    match desc.mxm_method {
+        MxmMethod::Auto => {
+            if mask.has_view() && !mask.is_complement() && mask.nvals() <= 4 * out_rows {
+                MxmMethod::Dot
+            } else {
+                MxmMethod::Gustavson
+            }
+        }
+        m => m,
+    }
+}
+
+/// Gustavson's method: for each row `i` of `A`, merge the rows of `B`
+/// selected by `A(i,:)` into a sparse accumulator. Parallel over rows.
+fn gustavson_kernel<A, B, T, SA, SM>(
+    av: &dyn SparseView<A>,
+    bv: &dyn SparseView<B>,
+    add: &SA,
+    mul: &SM,
+    mask: &MMask<'_>,
+) -> Vec<(Index, Vec<Index>, Vec<T>)>
+where
+    A: Scalar,
+    B: Scalar,
+    T: Scalar,
+    SA: Monoid<T>,
+    SM: BinaryOp<A, B, T>,
+{
+    let majors = av.nonempty_majors();
+    let ncols = bv.nminor();
+    let flops_estimate = av.nvals().saturating_mul(bv.nvals().max(1) / bv.nmajor().max(1) + 1);
+    let chunks = par_chunks(majors.len(), flops_estimate, |range| {
+        let mut out = Vec::new();
+        if ncols <= DENSE_ACC_LIMIT {
+            let mut acc = vec![T::zero(); ncols];
+            let mut stamp = vec![0u32; ncols];
+            let mut gen = 0u32;
+            let mut touched: Vec<Index> = Vec::new();
+            for &i in &majors[range] {
+                gen += 1;
+                touched.clear();
+                let (aidx, aval) = av.vec(i);
+                for (&k, &aik) in aidx.iter().zip(aval) {
+                    let (bidx, bval) = bv.vec(k);
+                    for (&j, &bkj) in bidx.iter().zip(bval) {
+                        let prod = mul.apply(aik, bkj);
+                        if stamp[j] == gen {
+                            acc[j] = add.apply(acc[j], prod);
+                        } else {
+                            stamp[j] = gen;
+                            acc[j] = prod;
+                            touched.push(j);
+                        }
+                    }
+                }
+                if touched.is_empty() {
+                    continue;
+                }
+                touched.sort_unstable();
+                let rmask = mask.row(i);
+                let mut ridx = Vec::with_capacity(touched.len());
+                let mut rval = Vec::with_capacity(touched.len());
+                for &j in &touched {
+                    if rmask.allowed(j) {
+                        ridx.push(j);
+                        rval.push(acc[j]);
+                    }
+                }
+                if !ridx.is_empty() {
+                    out.push((i, ridx, rval));
+                }
+            }
+        } else {
+            for &i in &majors[range] {
+                let mut acc = std::collections::BTreeMap::<Index, T>::new();
+                let (aidx, aval) = av.vec(i);
+                for (&k, &aik) in aidx.iter().zip(aval) {
+                    let (bidx, bval) = bv.vec(k);
+                    for (&j, &bkj) in bidx.iter().zip(bval) {
+                        let prod = mul.apply(aik, bkj);
+                        acc.entry(j)
+                            .and_modify(|cur| *cur = add.apply(*cur, prod))
+                            .or_insert(prod);
+                    }
+                }
+                let rmask = mask.row(i);
+                let mut ridx = Vec::with_capacity(acc.len());
+                let mut rval = Vec::with_capacity(acc.len());
+                for (j, v) in acc {
+                    if rmask.allowed(j) {
+                        ridx.push(j);
+                        rval.push(v);
+                    }
+                }
+                if !ridx.is_empty() {
+                    out.push((i, ridx, rval));
+                }
+            }
+        }
+        out
+    });
+    chunks.into_iter().flatten().collect()
+}
+
+/// Dot-product method over rows of `A` and rows of `Bᵀ`. With a
+/// non-complemented mask only the masked positions are computed; dot
+/// products stop early at the monoid's terminal value.
+fn dot_kernel<A, B, T, SA, SM>(
+    av: &dyn SparseView<A>,
+    btv: &dyn SparseView<B>,
+    add: &SA,
+    mul: &SM,
+    mask: &MMask<'_>,
+) -> Vec<(Index, Vec<Index>, Vec<T>)>
+where
+    A: Scalar,
+    B: Scalar,
+    T: Scalar,
+    SA: Monoid<T>,
+    SM: BinaryOp<A, B, T>,
+{
+    let terminal = add.terminal();
+    let is_any = add.is_any();
+    let dot = |aidx: &[Index], aval: &[A], bidx: &[Index], bval: &[B]| -> Option<T> {
+        let (mut p, mut q) = (0, 0);
+        let mut acc: Option<T> = None;
+        while p < aidx.len() && q < bidx.len() {
+            if aidx[p] < bidx[q] {
+                p += 1;
+            } else if bidx[q] < aidx[p] {
+                q += 1;
+            } else {
+                let prod = mul.apply(aval[p], bval[q]);
+                acc = Some(match acc {
+                    None => prod,
+                    Some(cur) => add.apply(cur, prod),
+                });
+                if is_any || acc == terminal {
+                    break;
+                }
+                p += 1;
+                q += 1;
+            }
+        }
+        acc
+    };
+    if mask.has_view() && !mask.is_complement() {
+        // Compute only the masked positions, grouped by row.
+        let mut out: Vec<(Index, Vec<Index>, Vec<T>)> = Vec::new();
+        let mut cur_row: Option<Index> = None;
+        let mut ridx: Vec<Index> = Vec::new();
+        let mut rval: Vec<T> = Vec::new();
+        mask.for_each_stored(&mut |i, j| {
+            if cur_row != Some(i) {
+                if let Some(r) = cur_row.take() {
+                    if !ridx.is_empty() {
+                        out.push((
+                            r,
+                            std::mem::take(&mut ridx),
+                            std::mem::take(&mut rval),
+                        ));
+                    } else {
+                        ridx.clear();
+                        rval.clear();
+                    }
+                }
+                cur_row = Some(i);
+            }
+            let (aidx, aval) = av.vec(i);
+            if aidx.is_empty() {
+                return;
+            }
+            let (bidx, bval) = btv.vec(j);
+            if let Some(v) = dot(aidx, aval, bidx, bval) {
+                ridx.push(j);
+                rval.push(v);
+            }
+        });
+        if let Some(r) = cur_row {
+            if !ridx.is_empty() {
+                out.push((r, ridx, rval));
+            }
+        }
+        out
+    } else {
+        // Unmasked (or complemented): all-pairs of non-empty rows. Only
+        // sensible for small outputs; the chooser never picks this
+        // automatically.
+        let amaj = av.nonempty_majors();
+        let bmaj = btv.nonempty_majors();
+        let chunks = par_chunks(amaj.len(), av.nvals().saturating_mul(bmaj.len().max(1)), |range| {
+            let mut out = Vec::new();
+            for &i in &amaj[range] {
+                let rmask = mask.row(i);
+                let (aidx, aval) = av.vec(i);
+                let mut ridx = Vec::new();
+                let mut rval = Vec::new();
+                for &j in &bmaj {
+                    if !rmask.allowed(j) {
+                        continue;
+                    }
+                    let (bidx, bval) = btv.vec(j);
+                    if let Some(v) = dot(aidx, aval, bidx, bval) {
+                        ridx.push(j);
+                        rval.push(v);
+                    }
+                }
+                if !ridx.is_empty() {
+                    out.push((i, ridx, rval));
+                }
+            }
+            out
+        });
+        chunks.into_iter().flatten().collect()
+    }
+}
+
+/// Heap method: per row of `A`, a k-way merge of the selected rows of `B`
+/// using a binary heap. `O(flops · log k)` time but only `O(k)` working
+/// memory, independent of the output dimension — the right choice for
+/// hypersparse operands.
+fn heap_kernel<A, B, T, SA, SM>(
+    av: &dyn SparseView<A>,
+    bv: &dyn SparseView<B>,
+    add: &SA,
+    mul: &SM,
+    mask: &MMask<'_>,
+) -> Vec<(Index, Vec<Index>, Vec<T>)>
+where
+    A: Scalar,
+    B: Scalar,
+    T: Scalar,
+    SA: Monoid<T>,
+    SM: BinaryOp<A, B, T>,
+{
+    let majors = av.nonempty_majors();
+    let mut out = Vec::new();
+    for &i in &majors {
+        let (aidx, aval) = av.vec(i);
+        // One cursor per (k, A(i,k)) with a non-empty B row.
+        let mut cursors: Vec<(&[Index], &[B], usize, A)> = Vec::with_capacity(aidx.len());
+        let mut heap: BinaryHeap<Reverse<(Index, usize)>> = BinaryHeap::new();
+        for (&k, &aik) in aidx.iter().zip(aval) {
+            let (bidx, bval) = bv.vec(k);
+            if !bidx.is_empty() {
+                let c = cursors.len();
+                cursors.push((bidx, bval, 0, aik));
+                heap.push(Reverse((bidx[0], c)));
+            }
+        }
+        let rmask = mask.row(i);
+        let mut ridx: Vec<Index> = Vec::new();
+        let mut rval: Vec<T> = Vec::new();
+        let mut cur_j: Option<Index> = None;
+        let mut cur_v: Option<T> = None;
+        while let Some(Reverse((j, c))) = heap.pop() {
+            let (bidx, bval, pos, aik) = cursors[c];
+            let prod = mul.apply(aik, bval[pos]);
+            if cur_j == Some(j) {
+                cur_v = cur_v.map(|v| add.apply(v, prod));
+            } else {
+                if let (Some(pj), Some(pv)) = (cur_j, cur_v) {
+                    if rmask.allowed(pj) {
+                        ridx.push(pj);
+                        rval.push(pv);
+                    }
+                }
+                cur_j = Some(j);
+                cur_v = Some(prod);
+            }
+            let next = pos + 1;
+            if next < bidx.len() {
+                cursors[c].2 = next;
+                heap.push(Reverse((bidx[next], c)));
+            }
+        }
+        if let (Some(pj), Some(pv)) = (cur_j, cur_v) {
+            if rmask.allowed(pj) {
+                ridx.push(pj);
+                rval.push(pv);
+            }
+        }
+        if !ridx.is_empty() {
+            out.push((i, ridx, rval));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::common::NOACC;
+    use crate::semiring::{PLUS_PAIR, PLUS_TIMES};
+
+    fn dense_a() -> Matrix<i64> {
+        // [1 2]
+        // [3 4]
+        Matrix::from_tuples(2, 2, vec![(0, 0, 1), (0, 1, 2), (1, 0, 3), (1, 1, 4)], |_, b| b)
+            .expect("a")
+    }
+
+    fn dense_b() -> Matrix<i64> {
+        // [5 6]
+        // [7 8]
+        Matrix::from_tuples(2, 2, vec![(0, 0, 5), (0, 1, 6), (1, 0, 7), (1, 1, 8)], |_, b| b)
+            .expect("b")
+    }
+
+    fn product_tuples(method: MxmMethod, tb: bool) -> Vec<(Index, Index, i64)> {
+        let a = dense_a();
+        let bt = if tb {
+            crate::ops::transpose::transpose_new(&dense_b()).expect("bt")
+        } else {
+            dense_b()
+        };
+        let mut c = Matrix::<i64>::new(2, 2).expect("c");
+        let mut d = Descriptor::new().method(method);
+        if tb {
+            d = d.transpose_b();
+        }
+        mxm(&mut c, None, NOACC, &PLUS_TIMES, &a, &bt, &d).expect("mxm");
+        c.extract_tuples()
+    }
+
+    #[test]
+    fn all_three_methods_agree_on_dense_product() {
+        // [1 2][5 6]   [19 22]
+        // [3 4][7 8] = [43 50]
+        let want = vec![(0, 0, 19), (0, 1, 22), (1, 0, 43), (1, 1, 50)];
+        assert_eq!(product_tuples(MxmMethod::Gustavson, false), want);
+        assert_eq!(product_tuples(MxmMethod::Dot, false), want);
+        assert_eq!(product_tuples(MxmMethod::Heap, false), want);
+        // And with the B-transpose descriptor path.
+        assert_eq!(product_tuples(MxmMethod::Gustavson, true), want);
+        assert_eq!(product_tuples(MxmMethod::Dot, true), want);
+        assert_eq!(product_tuples(MxmMethod::Heap, true), want);
+    }
+
+    #[test]
+    fn masked_product_limits_output() {
+        let a = dense_a();
+        let b = dense_b();
+        let mask = Matrix::from_tuples(2, 2, vec![(0, 1, true), (1, 0, true)], |_, b| b)
+            .expect("mask");
+        for method in [MxmMethod::Gustavson, MxmMethod::Dot, MxmMethod::Heap] {
+            let mut c = Matrix::<i64>::new(2, 2).expect("c");
+            mxm(
+                &mut c,
+                Some(&mask),
+                NOACC,
+                &PLUS_TIMES,
+                &a,
+                &b,
+                &Descriptor::new().method(method),
+            )
+            .expect("mxm");
+            assert_eq!(c.extract_tuples(), vec![(0, 1, 22), (1, 0, 43)], "{method:?}");
+        }
+    }
+
+    #[test]
+    fn complemented_mask_product() {
+        let a = dense_a();
+        let b = dense_b();
+        let mask = Matrix::from_tuples(2, 2, vec![(0, 1, true), (1, 0, true)], |_, b| b)
+            .expect("mask");
+        let mut c = Matrix::<i64>::new(2, 2).expect("c");
+        mxm(
+            &mut c,
+            Some(&mask),
+            NOACC,
+            &PLUS_TIMES,
+            &a,
+            &b,
+            &Descriptor::new().complement(),
+        )
+        .expect("mxm");
+        assert_eq!(c.extract_tuples(), vec![(0, 0, 19), (1, 1, 50)]);
+    }
+
+    #[test]
+    fn transpose_a_product() {
+        let a = dense_a();
+        let b = dense_b();
+        let mut c = Matrix::<i64>::new(2, 2).expect("c");
+        mxm(&mut c, None, NOACC, &PLUS_TIMES, &a, &b, &Descriptor::new().transpose_a())
+            .expect("mxm");
+        // Aᵀ B = [1 3; 2 4][5 6; 7 8] = [26 30; 38 44]
+        assert_eq!(c.extract_tuples(), vec![(0, 0, 26), (0, 1, 30), (1, 0, 38), (1, 1, 44)]);
+    }
+
+    #[test]
+    fn plus_pair_counts_wedges() {
+        // Path 0-1-2: A² with PLUS_PAIR counts 2-walks structurally.
+        let a = Matrix::from_tuples(
+            3,
+            3,
+            vec![(0, 1, true), (1, 0, true), (1, 2, true), (2, 1, true)],
+            |_, b| b,
+        )
+        .expect("a");
+        let mut c = Matrix::<u64>::new(3, 3).expect("c");
+        mxm(&mut c, None, NOACC, &PLUS_PAIR, &a, &a, &Descriptor::default()).expect("mxm");
+        // walks of length 2: 0→1→0, 0→1→2, 1→0→1, 1→2→1, 2→1→0, 2→1→2
+        assert_eq!(
+            c.extract_tuples(),
+            vec![(0, 0, 1), (0, 2, 1), (1, 1, 2), (2, 0, 1), (2, 2, 1)]
+        );
+    }
+
+    #[test]
+    fn rectangular_product_dims() {
+        let a = Matrix::from_tuples(2, 3, vec![(0, 0, 1), (1, 2, 2)], |_, b| b).expect("a");
+        let b = Matrix::from_tuples(3, 4, vec![(0, 3, 10), (2, 1, 20)], |_, b| b).expect("b");
+        let mut c = Matrix::<i64>::new(2, 4).expect("c");
+        mxm(&mut c, None, NOACC, &PLUS_TIMES, &a, &b, &Descriptor::default()).expect("mxm");
+        assert_eq!(c.extract_tuples(), vec![(0, 3, 10), (1, 1, 40)]);
+        let mut bad = Matrix::<i64>::new(4, 4).expect("bad");
+        assert!(
+            mxm(&mut bad, None, NOACC, &PLUS_TIMES, &a, &b, &Descriptor::default()).is_err()
+        );
+    }
+
+    #[test]
+    fn auto_chooses_dot_under_sparse_mask() {
+        let mask = Matrix::from_tuples(100, 100, vec![(5, 7, true)], |_, b| b).expect("m");
+        let g = MMask::new(None, &Descriptor::default());
+        assert_eq!(choose_method(&Descriptor::default(), &g, 100), MxmMethod::Gustavson);
+        let gm = mask.read_rows();
+        let mv = crate::matrix::rows_of(&*gm);
+        let m = MMask::new(Some(mv), &Descriptor::default());
+        assert_eq!(choose_method(&Descriptor::default(), &m, 100), MxmMethod::Dot);
+    }
+}

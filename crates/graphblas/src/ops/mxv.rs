@@ -1,0 +1,466 @@
+//! `GrB_mxv` and `GrB_vxm`: matrix-vector products over a semiring, with
+//! push/pull direction optimization (§II.E of the paper, after GraphBLAST).
+//!
+//! Two kernels implement all four (operation × transpose) combinations:
+//!
+//! * **pull** ([`rowdot`]): one dot product per output position, walking a
+//!   row of the matrix against a dense view of the vector. Honors the
+//!   monoid's terminal value — the early-exit trick that makes pull BFS
+//!   fast. Parallelized over rows.
+//! * **push** ([`scatter`]): iterate the (sparse) vector's entries and
+//!   scatter the corresponding matrix rows into an accumulator. Work is
+//!   proportional to the frontier, not the dimension.
+//!
+//! `mxv(A, u)` pulls naturally (rows of `A` are what CSR stores);
+//! `mxv(Aᵀ, u)` and `vxm(u, A)` push naturally. The *other* direction
+//! becomes available when the matrix keeps dual (transposed) storage —
+//! [`crate::Matrix::set_dual_storage`] — and `Direction::Auto` then
+//! switches on the vector's density exactly as GraphBLAST does.
+
+use crate::binaryop::BinaryOp;
+use crate::descriptor::{Descriptor, Direction};
+use crate::error::Result;
+use crate::matrix::{dual_of, rows_of, Matrix};
+use crate::monoid::Monoid;
+use crate::parallel::par_chunks;
+use crate::semiring::Semiring;
+use crate::sparse::SparseView;
+use crate::types::{Index, Scalar};
+use crate::vector::{VView, Vector};
+
+use super::common::{check_dims, check_vmask, DenseVec, VMask};
+use super::write::write_vector;
+
+/// Vector density (nvals × RATIO ≥ n) above which Auto prefers pull.
+/// GraphBLAST switches push→pull when the frontier crosses a threshold
+/// around n/10; we use the same order of magnitude.
+const PUSH_PULL_RATIO: usize = 10;
+
+/// `w⟨mask⟩ ⊙= A ⊕.⊗ u` (or `Aᵀ ⊕.⊗ u` with the transpose descriptor).
+pub fn mxv<A, U, T, SA, SM, Acc>(
+    w: &mut Vector<T>,
+    mask: Option<&Vector<bool>>,
+    accum: Option<Acc>,
+    semiring: &Semiring<SA, SM>,
+    a: &Matrix<A>,
+    u: &Vector<U>,
+    desc: &Descriptor,
+) -> Result<()>
+where
+    A: Scalar,
+    U: Scalar,
+    T: Scalar,
+    SA: Monoid<T>,
+    SM: BinaryOp<A, U, T>,
+    Acc: BinaryOp<T, T, T>,
+{
+    let mul = semiring.mul;
+    product(
+        w,
+        mask,
+        accum,
+        &semiring.add,
+        move |av, uv| mul.apply(av, uv),
+        a,
+        u,
+        desc.transpose_a,
+        desc,
+    )
+}
+
+/// `wᵀ⟨maskᵀ⟩ ⊙= uᵀ ⊕.⊗ A` (or `⊕.⊗ Aᵀ` with the INP1 transpose).
+pub fn vxm<U, A, T, SA, SM, Acc>(
+    w: &mut Vector<T>,
+    mask: Option<&Vector<bool>>,
+    accum: Option<Acc>,
+    semiring: &Semiring<SA, SM>,
+    u: &Vector<U>,
+    a: &Matrix<A>,
+    desc: &Descriptor,
+) -> Result<()>
+where
+    U: Scalar,
+    A: Scalar,
+    T: Scalar,
+    SA: Monoid<T>,
+    SM: BinaryOp<U, A, T>,
+    Acc: BinaryOp<T, T, T>,
+{
+    let mul = semiring.mul;
+    // vxm computes w_j = ⊕_i u(i) ⊗ A(i,j): the same kernels with the
+    // operand order flipped and the transpose sense inverted.
+    product(
+        w,
+        mask,
+        accum,
+        &semiring.add,
+        move |av, uv| mul.apply(uv, av),
+        a,
+        u,
+        !desc.transpose_b,
+        desc,
+    )
+}
+
+/// Shared implementation. `transposed` selects the math:
+/// `false` → `w_i = ⊕_j f(A(i,j), u(j))` (output over rows),
+/// `true`  → `w_j = ⊕_i f(A(i,j), u(i))` (output over columns).
+#[allow(clippy::too_many_arguments)]
+fn product<A, U, T, SA, F, Acc>(
+    w: &mut Vector<T>,
+    mask: Option<&Vector<bool>>,
+    accum: Option<Acc>,
+    add: &SA,
+    f: F,
+    a: &Matrix<A>,
+    u: &Vector<U>,
+    transposed: bool,
+    desc: &Descriptor,
+) -> Result<()>
+where
+    A: Scalar,
+    U: Scalar,
+    T: Scalar,
+    SA: Monoid<T>,
+    F: Fn(A, U) -> T + Sync,
+    Acc: BinaryOp<T, T, T>,
+{
+    let ga = a.read_rows();
+    let rows = rows_of(&ga);
+    let dual = dual_of(&ga);
+    let (n_in, n_out) = if transposed {
+        (ga.nrows, ga.ncols)
+    } else {
+        (ga.ncols, ga.nrows)
+    };
+    check_dims(u.size() == n_in, "mxv/vxm: vector length must match matrix")?;
+    check_dims(w.size() == n_out, "mxv/vxm: output length must match matrix")?;
+    check_vmask(mask, n_out)?;
+
+    let gu = u.read();
+    let u_nvals = gu.nvals_assembled();
+    let uview = gu.view();
+
+    // Natural kernel: pull for the row-output form, push for the
+    // column-output form. The dual storage unlocks the other one.
+    let use_push = if transposed {
+        match desc.direction {
+            Direction::Push => true,
+            Direction::Pull => dual.is_none(),
+            Direction::Auto => {
+                dual.is_none() || u_nvals * PUSH_PULL_RATIO < n_in
+            }
+        }
+    } else {
+        match desc.direction {
+            Direction::Push => dual.is_some(),
+            Direction::Pull => false,
+            Direction::Auto => {
+                dual.is_some() && u_nvals * PUSH_PULL_RATIO < n_in
+            }
+        }
+    };
+
+    let mguard = mask.map(|m| m.read());
+    let meval = VMask::new(mguard.as_ref().map(|g| g.view()), desc);
+
+    let (t_idx, t_val) = if transposed {
+        if use_push {
+            scatter(rows, uview, n_out, add, &f)
+        } else {
+            let dv = dual.expect("pull on transposed form requires dual storage");
+            rowdot(dv, uview, n_in, add, &f, &meval)
+        }
+    } else if use_push {
+        let dv = dual.expect("push on row form requires dual storage");
+        scatter(dv, uview, n_out, add, &f)
+    } else {
+        rowdot(rows, uview, n_in, add, &f, &meval)
+    };
+    drop(mguard);
+    drop(gu);
+    drop(ga);
+    write_vector(w, mask, accum, desc, t_idx, t_val)
+}
+
+/// Pull kernel: `out(i) = ⊕ f(row_i(j), u(j))` over the intersection of
+/// row `i`'s pattern with `u`'s. Rows the mask excludes are skipped, and
+/// each dot product stops at the monoid's terminal value.
+fn rowdot<A, U, T, SA, F>(
+    mat: &dyn SparseView<A>,
+    u: VView<'_, U>,
+    n_in: Index,
+    add: &SA,
+    f: &F,
+    mask: &VMask<'_>,
+) -> (Vec<Index>, Vec<T>)
+where
+    A: Scalar,
+    U: Scalar,
+    T: Scalar,
+    SA: Monoid<T>,
+    F: Fn(A, U) -> T + Sync,
+{
+    let dense = DenseVec::from_view(u, n_in);
+    let (uval, upresent) = dense.parts();
+    let majors = mat.nonempty_majors();
+    let terminal = add.terminal();
+    let is_any = add.is_any();
+    let chunks = par_chunks(majors.len(), mat.nvals(), |range| {
+        let mut idx = Vec::new();
+        let mut val = Vec::new();
+        for &i in &majors[range] {
+            if !mask.allowed(i) {
+                continue;
+            }
+            let (ridx, rval) = mat.vec(i);
+            let mut acc: Option<T> = None;
+            for (&j, &av) in ridx.iter().zip(rval) {
+                if !upresent[j] {
+                    continue;
+                }
+                let prod = f(av, uval[j]);
+                acc = Some(match acc {
+                    None => prod,
+                    Some(cur) => add.apply(cur, prod),
+                });
+                if is_any || acc == terminal {
+                    break;
+                }
+            }
+            if let Some(v) = acc {
+                idx.push(i);
+                val.push(v);
+            }
+        }
+        (idx, val)
+    });
+    concat_chunks(chunks)
+}
+
+/// Push kernel: scatter matrix rows selected by `u`'s entries into a dense
+/// (or tree, for huge dimensions) accumulator.
+fn scatter<A, U, T, SA, F>(
+    mat: &dyn SparseView<A>,
+    u: VView<'_, U>,
+    n_out: Index,
+    add: &SA,
+    f: &F,
+) -> (Vec<Index>, Vec<T>)
+where
+    A: Scalar,
+    U: Scalar,
+    T: Scalar,
+    SA: Monoid<T>,
+    F: Fn(A, U) -> T + Sync,
+{
+    const DENSE_ACC_LIMIT: usize = 1 << 26;
+    if n_out <= DENSE_ACC_LIMIT {
+        let mut val = vec![T::zero(); n_out];
+        let mut present = vec![false; n_out];
+        let mut touched: Vec<Index> = Vec::new();
+        u.for_each(|k, uk| {
+            let (ridx, rval) = mat.vec(k);
+            for (&j, &av) in ridx.iter().zip(rval) {
+                let prod = f(av, uk);
+                if present[j] {
+                    val[j] = add.apply(val[j], prod);
+                } else {
+                    val[j] = prod;
+                    present[j] = true;
+                    touched.push(j);
+                }
+            }
+        });
+        touched.sort_unstable();
+        let out_val = touched.iter().map(|&j| val[j]).collect();
+        (touched, out_val)
+    } else {
+        let mut acc = std::collections::BTreeMap::<Index, T>::new();
+        u.for_each(|k, uk| {
+            let (ridx, rval) = mat.vec(k);
+            for (&j, &av) in ridx.iter().zip(rval) {
+                let prod = f(av, uk);
+                acc.entry(j)
+                    .and_modify(|cur| *cur = add.apply(*cur, prod))
+                    .or_insert(prod);
+            }
+        });
+        acc.into_iter().unzip()
+    }
+}
+
+fn concat_chunks<T>(chunks: Vec<(Vec<Index>, Vec<T>)>) -> (Vec<Index>, Vec<T>) {
+    let total: usize = chunks.iter().map(|(i, _)| i.len()).sum();
+    let mut idx = Vec::with_capacity(total);
+    let mut val = Vec::with_capacity(total);
+    for (ci, cv) in chunks {
+        idx.extend(ci);
+        val.extend(cv);
+    }
+    (idx, val)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::common::NOACC;
+    use crate::semiring::{LOR_LAND, MIN_PLUS, PLUS_TIMES};
+
+    /// 0→1, 0→2, 1→2, 2→0 with weights.
+    fn digraph() -> Matrix<f64> {
+        Matrix::from_tuples(
+            3,
+            3,
+            vec![(0, 1, 1.0), (0, 2, 4.0), (1, 2, 2.0), (2, 0, 8.0)],
+            |_, b| b,
+        )
+        .expect("build")
+    }
+
+    #[test]
+    fn mxv_plus_times_matches_hand_computation() {
+        let a = digraph();
+        let u = Vector::from_tuples(3, vec![(0, 1.0), (1, 2.0), (2, 3.0)], |_, b| b)
+            .expect("u");
+        let mut w = Vector::<f64>::new(3).expect("w");
+        mxv(&mut w, None, NOACC, &PLUS_TIMES, &a, &u, &Descriptor::default()).expect("mxv");
+        // w0 = 1*2 + 4*3 = 14; w1 = 2*3 = 6... careful: row0 = {1:1, 2:4}.
+        assert_eq!(
+            w.extract_tuples(),
+            vec![(0, 1.0 * 2.0 + 4.0 * 3.0), (1, 2.0 * 3.0), (2, 8.0 * 1.0)]
+        );
+    }
+
+    #[test]
+    fn mxv_transposed_equals_vxm() {
+        let a = digraph();
+        let u = Vector::from_tuples(3, vec![(0, 1.0), (2, 5.0)], |_, b| b).expect("u");
+        let mut w1 = Vector::<f64>::new(3).expect("w1");
+        mxv(&mut w1, None, NOACC, &PLUS_TIMES, &a, &u, &Descriptor::new().transpose_a())
+            .expect("mxv T");
+        let mut w2 = Vector::<f64>::new(3).expect("w2");
+        vxm(&mut w2, None, NOACC, &PLUS_TIMES, &u, &a, &Descriptor::default()).expect("vxm");
+        assert_eq!(w1.extract_tuples(), w2.extract_tuples());
+        // (Aᵀ u)_1 = A(0,1) u0 = 1; _2 = A(0,2) u0 = 4; _0 = A(2,0) u2 = 40.
+        assert_eq!(w1.extract_tuples(), vec![(0, 40.0), (1, 1.0), (2, 4.0)]);
+    }
+
+    #[test]
+    fn sparse_frontier_reachability() {
+        let a = Matrix::from_tuples(
+            4,
+            4,
+            vec![(0, 1, true), (1, 2, true), (2, 3, true)],
+            |_, b| b,
+        )
+        .expect("a");
+        let q = Vector::from_tuples(4, vec![(0, true)], |_, b| b).expect("q");
+        let mut next = Vector::<bool>::new(4).expect("next");
+        vxm(&mut next, None, NOACC, &LOR_LAND, &q, &a, &Descriptor::default()).expect("vxm");
+        assert_eq!(next.extract_tuples(), vec![(1, true)]);
+    }
+
+    #[test]
+    fn min_plus_relaxation_step() {
+        let a = digraph();
+        let dist = Vector::from_tuples(3, vec![(0, 0.0)], |_, b| b).expect("dist");
+        let mut relaxed = Vector::<f64>::new(3).expect("r");
+        // one Bellman-Ford step from the source: dᵀ min.+ A
+        vxm(&mut relaxed, None, NOACC, &MIN_PLUS, &dist, &a, &Descriptor::default())
+            .expect("vxm");
+        assert_eq!(relaxed.extract_tuples(), vec![(1, 1.0), (2, 4.0)]);
+    }
+
+    #[test]
+    fn masked_mxv_skips_rows() {
+        let a = digraph();
+        let u = Vector::dense(3, 1.0).expect("u");
+        let mask = Vector::from_tuples(3, vec![(1, true)], |_, b| b).expect("mask");
+        let mut w = Vector::<f64>::new(3).expect("w");
+        mxv(&mut w, Some(&mask), NOACC, &PLUS_TIMES, &a, &u, &Descriptor::default())
+            .expect("mxv");
+        assert_eq!(w.extract_tuples(), vec![(1, 2.0)]);
+    }
+
+    #[test]
+    fn dual_storage_enables_push_with_identical_result() {
+        let mut a = digraph();
+        let u = Vector::from_tuples(3, vec![(1, 2.0)], |_, b| b).expect("u");
+        let mut pull = Vector::<f64>::new(3).expect("pull");
+        mxv(&mut pull, None, NOACC, &PLUS_TIMES, &a, &u, &Descriptor::default())
+            .expect("pull");
+        a.set_dual_storage(true);
+        let mut push = Vector::<f64>::new(3).expect("push");
+        mxv(
+            &mut push,
+            None,
+            NOACC,
+            &PLUS_TIMES,
+            &a,
+            &u,
+            &Descriptor::new().direction(Direction::Push),
+        )
+        .expect("push");
+        assert_eq!(pull.extract_tuples(), push.extract_tuples());
+    }
+
+    #[test]
+    fn dual_storage_invalidation_on_mutation() {
+        let mut a = digraph();
+        a.set_dual_storage(true);
+        let u = Vector::dense(3, 1.0).expect("u");
+        let mut w = Vector::<f64>::new(3).expect("w");
+        mxv(&mut w, None, NOACC, &PLUS_TIMES, &a, &u, &Descriptor::default()).expect("warm");
+        a.set_element(0, 1, 100.0).expect("set");
+        let mut w2 = Vector::<f64>::new(3).expect("w2");
+        mxv(
+            &mut w2,
+            None,
+            NOACC,
+            &PLUS_TIMES,
+            &a,
+            &u,
+            &Descriptor::new().direction(Direction::Push),
+        )
+        .expect("push after mutation");
+        assert_eq!(w2.get(0), Some(100.0 + 4.0));
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let a = digraph();
+        let u = Vector::<f64>::new(4).expect("u");
+        let mut w = Vector::<f64>::new(3).expect("w");
+        assert!(mxv(&mut w, None, NOACC, &PLUS_TIMES, &a, &u, &Descriptor::default())
+            .is_err());
+    }
+
+    #[test]
+    fn fig2_bfs_iteration_semantics() {
+        // One iteration of the Fig. 2 BFS line:
+        //   frontier<¬levels,replace> = graphᵀ ⊕.⊗ frontier
+        let graph = Matrix::from_tuples(
+            4,
+            4,
+            vec![(0, 1, true), (0, 2, true), (1, 3, true), (2, 3, true)],
+            |_, b| b,
+        )
+        .expect("graph");
+        let levels = Vector::from_tuples(4, vec![(0, 1i32)], |_, b| b).expect("levels");
+        let mut frontier = Vector::from_tuples(4, vec![(0, true)], |_, b| b).expect("q");
+        let lv_mask = levels.pattern();
+        let f = frontier.clone();
+        mxv(
+            &mut frontier,
+            Some(&lv_mask),
+            NOACC,
+            &LOR_LAND,
+            &graph,
+            &f,
+            &crate::descriptor::DESC_TRAN_COMP_REPLACE,
+        )
+        .expect("bfs step");
+        assert_eq!(frontier.extract_tuples(), vec![(1, true), (2, true)]);
+    }
+}

@@ -1,0 +1,166 @@
+//! `GrB_reduce`: fold a matrix into a vector (row-wise) or a matrix/vector
+//! into a scalar, using a monoid. Honors terminal (early-exit) values.
+
+use crate::binaryop::BinaryOp;
+use crate::descriptor::Descriptor;
+use crate::error::Result;
+use crate::matrix::{rows_of, Matrix};
+use crate::monoid::{fold, Monoid};
+use crate::types::Scalar;
+use crate::vector::Vector;
+
+use super::common::{check_dims, check_vmask};
+use super::ewise::EffView;
+use super::write::write_vector;
+
+/// `w⟨mask⟩ ⊙= ⊕ⱼ A(:, j)` — reduce each row of `A` (each column with the
+/// transpose descriptor) to a scalar. Rows with no entries produce no
+/// entry.
+pub fn reduce_matrix<T, M, Acc>(
+    w: &mut Vector<T>,
+    mask: Option<&Vector<bool>>,
+    accum: Option<Acc>,
+    monoid: &M,
+    a: &Matrix<T>,
+    desc: &Descriptor,
+) -> Result<()>
+where
+    T: Scalar,
+    M: Monoid<T>,
+    Acc: BinaryOp<T, T, T>,
+{
+    let ga = a.read_rows();
+    let eff = EffView::new(rows_of(&ga), desc.transpose_a);
+    let v = eff.view();
+    let n_out = v.nmajor();
+    let mut t_idx = Vec::with_capacity(v.nvecs());
+    let mut t_val = Vec::with_capacity(v.nvecs());
+    v.for_each_vec(&mut |i, _, vals| {
+        if let Some(r) = fold(monoid, vals.iter().copied()) {
+            t_idx.push(i);
+            t_val.push(r);
+        }
+    });
+    drop(eff);
+    drop(ga);
+    check_dims(w.size() == n_out, "reduce: output length must match rows")?;
+    check_vmask(mask, w.size())?;
+    write_vector(w, mask, accum, desc, t_idx, t_val)
+}
+
+/// `s = ⊕ᵢⱼ A(i,j)` — reduce all entries of a matrix to one scalar.
+/// Returns the monoid identity for an empty matrix, as the C API does.
+pub fn reduce_matrix_scalar<T, M>(monoid: &M, a: &Matrix<T>) -> T
+where
+    T: Scalar,
+    M: Monoid<T>,
+{
+    let ga = a.read_rows();
+    let v = rows_of(&ga);
+    let mut acc = monoid.identity();
+    let terminal = monoid.terminal();
+    let mut done = false;
+    v.for_each_vec(&mut |_, _, vals| {
+        if done {
+            return;
+        }
+        if let Some(r) = fold(monoid, vals.iter().copied()) {
+            acc = monoid.apply(acc, r);
+            if Some(acc) == terminal {
+                done = true;
+            }
+        }
+    });
+    acc
+}
+
+/// `s = ⊕ᵢ u(i)` — reduce a vector to a scalar (identity when empty).
+pub fn reduce_vector_scalar<T, M>(monoid: &M, u: &Vector<T>) -> T
+where
+    T: Scalar,
+    M: Monoid<T>,
+{
+    let g = u.read();
+    let mut acc = monoid.identity();
+    let terminal = monoid.terminal();
+    let mut done = false;
+    g.view().for_each(|_, x| {
+        if done {
+            return;
+        }
+        acc = monoid.apply(acc, x);
+        if Some(acc) == terminal {
+            done = true;
+        }
+    });
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binaryop::{Max, Min, Plus};
+    use crate::ops::common::NOACC;
+
+    fn sample() -> Matrix<i64> {
+        Matrix::from_tuples(
+            3,
+            4,
+            vec![(0, 0, 1), (0, 3, 2), (2, 1, 10), (2, 2, 20), (2, 3, 30)],
+            |_, b| b,
+        )
+        .expect("build")
+    }
+
+    #[test]
+    fn row_reduce() {
+        let a = sample();
+        let mut w = Vector::<i64>::new(3).expect("w");
+        reduce_matrix(&mut w, None, NOACC, &Plus, &a, &Descriptor::default())
+            .expect("reduce");
+        // Row 1 is empty: no entry.
+        assert_eq!(w.extract_tuples(), vec![(0, 3), (2, 60)]);
+    }
+
+    #[test]
+    fn column_reduce_via_transpose() {
+        let a = sample();
+        let mut w = Vector::<i64>::new(4).expect("w");
+        reduce_matrix(&mut w, None, NOACC, &Plus, &a, &Descriptor::new().transpose_a())
+            .expect("reduce");
+        assert_eq!(w.extract_tuples(), vec![(0, 1), (1, 10), (2, 20), (3, 32)]);
+    }
+
+    #[test]
+    fn scalar_reduce_matrix() {
+        let a = sample();
+        assert_eq!(reduce_matrix_scalar(&Plus, &a), 63);
+        assert_eq!(reduce_matrix_scalar(&Min, &a), 1);
+        assert_eq!(reduce_matrix_scalar(&Max, &a), 30);
+    }
+
+    #[test]
+    fn scalar_reduce_empty_is_identity() {
+        let a = Matrix::<i64>::new(3, 3).expect("a");
+        assert_eq!(reduce_matrix_scalar(&Plus, &a), 0);
+        assert_eq!(reduce_matrix_scalar(&Min, &a), i64::MAX);
+        let u = Vector::<i64>::new(3).expect("u");
+        assert_eq!(reduce_vector_scalar(&Plus, &u), 0);
+    }
+
+    #[test]
+    fn scalar_reduce_vector() {
+        let u = Vector::from_tuples(5, vec![(0, 3), (4, 4)], |_, b| b).expect("u");
+        assert_eq!(reduce_vector_scalar(&Plus, &u), 7);
+    }
+
+    #[test]
+    fn masked_row_reduce() {
+        let a = sample();
+        let mask = Vector::from_tuples(3, vec![(2, true)], |_, b| b).expect("mask");
+        let mut w = Vector::<i64>::new(3).expect("w");
+        reduce_matrix(&mut w, Some(&mask), NOACC, &Plus, &a, &Descriptor::default())
+            .expect("reduce");
+        assert_eq!(w.extract_tuples(), vec![(2, 60)]);
+    }
+}

@@ -1,0 +1,187 @@
+//! `GrB_select`: keep the entries satisfying an [`IndexUnaryOp`] predicate.
+//! This is the operation behind `tril`/`triu` (triangle counting) and value
+//! thresholding (k-truss).
+
+use crate::binaryop::BinaryOp;
+use crate::descriptor::Descriptor;
+use crate::error::Result;
+use crate::matrix::{rows_of, Matrix};
+use crate::sparse::transpose_dyn;
+use crate::types::Scalar;
+use crate::unaryop::IndexUnaryOp;
+use crate::vector::Vector;
+
+use super::common::{check_dims, check_mmask, check_vmask};
+use super::write::{write_matrix, write_vector};
+
+/// `w⟨mask⟩ ⊙= select(u, pred)` — keep entries of `u` where
+/// `pred(i, 0, u(i))` holds.
+pub fn select<T, Op, Acc>(
+    w: &mut Vector<T>,
+    mask: Option<&Vector<bool>>,
+    accum: Option<Acc>,
+    pred: Op,
+    u: &Vector<T>,
+    desc: &Descriptor,
+) -> Result<()>
+where
+    T: Scalar,
+    Op: IndexUnaryOp<T, bool>,
+    Acc: BinaryOp<T, T, T>,
+{
+    check_dims(w.size() == u.size(), "select: output and input lengths differ")?;
+    check_vmask(mask, w.size())?;
+    let (t_idx, t_val) = {
+        let g = u.read();
+        let mut idx = Vec::new();
+        let mut val = Vec::new();
+        g.view().for_each(|i, x| {
+            if pred.apply(i, 0, x) {
+                idx.push(i);
+                val.push(x);
+            }
+        });
+        (idx, val)
+    };
+    write_vector(w, mask, accum, desc, t_idx, t_val)
+}
+
+/// `C⟨Mask⟩ ⊙= select(A, pred)` — keep entries of `A` (or `Aᵀ`) where
+/// `pred(i, j, A(i,j))` holds.
+pub fn select_matrix<T, Op, Acc>(
+    c: &mut Matrix<T>,
+    mask: Option<&Matrix<bool>>,
+    accum: Option<Acc>,
+    pred: Op,
+    a: &Matrix<T>,
+    desc: &Descriptor,
+) -> Result<()>
+where
+    T: Scalar,
+    Op: IndexUnaryOp<T, bool>,
+    Acc: BinaryOp<T, T, T>,
+{
+    let ga = a.read_rows();
+    let (nr, nc) = if desc.transpose_a {
+        (ga.ncols, ga.nrows)
+    } else {
+        (ga.nrows, ga.ncols)
+    };
+    let vecs = {
+        let base = rows_of(&ga);
+        let owned;
+        let v: &dyn crate::sparse::SparseView<T> = if desc.transpose_a {
+            owned = transpose_dyn(base);
+            owned.view()
+        } else {
+            base
+        };
+        let mut vecs = Vec::with_capacity(v.nvecs());
+        v.for_each_vec(&mut |i, idx, val| {
+            let mut ridx = Vec::new();
+            let mut rval = Vec::new();
+            for (&j, &x) in idx.iter().zip(val) {
+                if pred.apply(i, j, x) {
+                    ridx.push(j);
+                    rval.push(x);
+                }
+            }
+            if !ridx.is_empty() {
+                vecs.push((i, ridx, rval));
+            }
+        });
+        vecs
+    };
+    drop(ga);
+    check_dims(
+        c.nrows() == nr && c.ncols() == nc,
+        "select: output shape must match (possibly transposed) input",
+    )?;
+    check_mmask(mask, nr, nc)?;
+    write_matrix(c, mask, accum, desc, vecs)
+}
+
+/// Convenience: the strictly lower triangle of `a` as a new matrix — the
+/// `L = tril(A, -1)` idiom of triangle counting.
+pub fn tril<T: Scalar>(a: &Matrix<T>) -> Result<Matrix<T>> {
+    let mut out = Matrix::new(a.nrows(), a.ncols())?;
+    select_matrix(
+        &mut out,
+        None,
+        super::common::NOACC,
+        crate::unaryop::StrictLower,
+        a,
+        &Descriptor::default(),
+    )?;
+    Ok(out)
+}
+
+/// Convenience: the strictly upper triangle of `a` as a new matrix.
+pub fn triu<T: Scalar>(a: &Matrix<T>) -> Result<Matrix<T>> {
+    let mut out = Matrix::new(a.nrows(), a.ncols())?;
+    select_matrix(
+        &mut out,
+        None,
+        super::common::NOACC,
+        crate::unaryop::StrictUpper,
+        a,
+        &Descriptor::default(),
+    )?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::common::NOACC;
+    use crate::types::Index;
+    use crate::unaryop::{Diag, ValueGe};
+
+    #[test]
+    fn vector_select_by_value() {
+        let u = Vector::from_tuples(5, vec![(0, 1), (1, 5), (2, 3), (4, 9)], |_, b| b)
+            .expect("u");
+        let mut w = Vector::<i32>::new(5).expect("w");
+        select(&mut w, None, NOACC, ValueGe(4), &u, &Descriptor::default()).expect("select");
+        assert_eq!(w.extract_tuples(), vec![(1, 5), (4, 9)]);
+    }
+
+    #[test]
+    fn matrix_select_diag() {
+        let a = Matrix::from_tuples(
+            3,
+            3,
+            vec![(0, 0, 1), (0, 1, 2), (1, 1, 3), (2, 0, 4)],
+            |_, b| b,
+        )
+        .expect("a");
+        let mut c = Matrix::<i32>::new(3, 3).expect("c");
+        select_matrix(&mut c, None, NOACC, Diag, &a, &Descriptor::default()).expect("select");
+        assert_eq!(c.extract_tuples(), vec![(0, 0, 1), (1, 1, 3)]);
+    }
+
+    #[test]
+    fn tril_triu_partition_offdiagonal() {
+        let a = Matrix::from_tuples(
+            3,
+            3,
+            vec![(0, 1, 1), (1, 0, 2), (1, 2, 3), (2, 1, 4), (1, 1, 5)],
+            |_, b| b,
+        )
+        .expect("a");
+        let l = tril(&a).expect("tril");
+        let u = triu(&a).expect("triu");
+        assert_eq!(l.extract_tuples(), vec![(1, 0, 2), (2, 1, 4)]);
+        assert_eq!(u.extract_tuples(), vec![(0, 1, 1), (1, 2, 3)]);
+        assert_eq!(l.nvals() + u.nvals() + 1, a.nvals());
+    }
+
+    #[test]
+    fn select_with_closure_predicate() {
+        let u = Vector::from_tuples(4, vec![(0, 2), (1, 3), (2, 4)], |_, b| b).expect("u");
+        let mut w = Vector::<i32>::new(4).expect("w");
+        let even = |_: Index, _: Index, x: i32| x % 2 == 0;
+        select(&mut w, None, NOACC, even, &u, &Descriptor::default()).expect("select");
+        assert_eq!(w.extract_tuples(), vec![(0, 2), (2, 4)]);
+    }
+}

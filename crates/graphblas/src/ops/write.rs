@@ -1,0 +1,234 @@
+//! The write rule: `C⟨M, replace⟩ ⊙= T`.
+//!
+//! Every GraphBLAS operation ends by merging its computed result `T` into
+//! the output under the mask, accumulator, and replace settings. The C API
+//! defines this once mathematically; we implement it once here, so mask
+//! complement/structural handling and accumulator semantics are tested in
+//! one place and inherited by every operation.
+//!
+//! Semantics (per position `p`):
+//!
+//! * `Z(p)` = `T(p)` when there is no accumulator; with accumulator `⊙`,
+//!   `Z = C_old ⊙ T` with union pattern (`acc(c,t)` where both, the sole
+//!   value where only one side has an entry).
+//! * `C_new(p)` = `Z(p)` where the mask allows writing; elsewhere `C_old(p)`
+//!   is kept, unless `replace` is set, in which case it is deleted.
+
+use crate::binaryop::BinaryOp;
+use crate::descriptor::Descriptor;
+use crate::error::Result;
+use crate::matrix::{Matrix, Store};
+use crate::types::{Index, Scalar};
+use crate::vector::Vector;
+
+use super::common::{matrix_row_vecs, MMask, VMask};
+
+/// Merge a computed sparse vector result into `w`.
+pub(crate) fn write_vector<T: Scalar, Acc: BinaryOp<T, T, T>>(
+    w: &mut Vector<T>,
+    mask: Option<&Vector<bool>>,
+    accum: Option<Acc>,
+    desc: &Descriptor,
+    t_idx: Vec<Index>,
+    t_val: Vec<T>,
+) -> Result<()> {
+    debug_assert!(t_idx.windows(2).all(|p| p[0] < p[1]), "result must be sorted");
+    let mguard = mask.map(|m| m.read());
+    let meval = VMask::new(mguard.as_ref().map(|g| g.view()), desc);
+
+    // Fast path: nothing to merge against.
+    if meval.is_transparent() && accum.is_none() {
+        drop(mguard);
+        w.install(t_idx, t_val);
+        return Ok(());
+    }
+
+    let (old_idx, old_val): (Vec<Index>, Vec<T>) = {
+        let g = w.read();
+        let mut oi = Vec::with_capacity(g.nvals_assembled());
+        let mut ov = Vec::with_capacity(g.nvals_assembled());
+        g.view().for_each(|i, v| {
+            oi.push(i);
+            ov.push(v);
+        });
+        (oi, ov)
+    };
+
+    let mut out_idx = Vec::with_capacity(t_idx.len() + old_idx.len());
+    let mut out_val = Vec::with_capacity(t_idx.len() + old_idx.len());
+    let mut a = 0; // cursor into old
+    let mut b = 0; // cursor into t
+    while a < old_idx.len() || b < t_idx.len() {
+        let (i, c, t) = match (old_idx.get(a), t_idx.get(b)) {
+            (Some(&oi), Some(&ti)) if oi == ti => {
+                let r = (oi, Some(old_val[a]), Some(t_val[b]));
+                a += 1;
+                b += 1;
+                r
+            }
+            (Some(&oi), Some(&ti)) if oi < ti => {
+                let r = (oi, Some(old_val[a]), None);
+                a += 1;
+                r
+            }
+            (Some(_), Some(&ti)) => {
+                let r = (ti, None, Some(t_val[b]));
+                b += 1;
+                r
+            }
+            (Some(&oi), None) => {
+                let r = (oi, Some(old_val[a]), None);
+                a += 1;
+                r
+            }
+            (None, Some(&ti)) => {
+                let r = (ti, None, Some(t_val[b]));
+                b += 1;
+                r
+            }
+            (None, None) => unreachable!(),
+        };
+        let z = match &accum {
+            Some(acc) => match (c, t) {
+                (Some(c), Some(t)) => Some(acc.apply(c, t)),
+                (Some(c), None) => Some(c),
+                (None, t) => t,
+            },
+            None => t,
+        };
+        let result = if meval.allowed(i) {
+            z
+        } else if desc.replace {
+            None
+        } else {
+            c
+        };
+        if let Some(v) = result {
+            out_idx.push(i);
+            out_val.push(v);
+        }
+    }
+    drop(mguard);
+    w.install(out_idx, out_val);
+    Ok(())
+}
+
+/// Merge a computed sparse matrix result (per-row segments, sorted by row)
+/// into `c`.
+pub(crate) fn write_matrix<T: Scalar, Acc: BinaryOp<T, T, T>>(
+    c: &mut Matrix<T>,
+    mask: Option<&Matrix<bool>>,
+    accum: Option<Acc>,
+    desc: &Descriptor,
+    t_vecs: Vec<(Index, Vec<Index>, Vec<T>)>,
+) -> Result<()> {
+    let (nrows, ncols) = (c.nrows(), c.ncols());
+
+    // Fast path: the result replaces the output wholesale.
+    let transparent = mask.is_none() && !desc.mask_complement;
+    if transparent && accum.is_none() {
+        c.install(nrows, ncols, Store::row_major_from_vecs(nrows, ncols, t_vecs));
+        return Ok(());
+    }
+
+    let old_vecs = matrix_row_vecs(&*c);
+    let mguard = mask.map(|m| m.read_rows());
+    let mview = mguard.as_ref().map(|g| crate::matrix::rows_of(&**g));
+    let out = merge_rows(old_vecs, t_vecs, &MMask::new(mview, desc), &accum, desc.replace);
+    drop(mguard);
+    c.install(nrows, ncols, Store::row_major_from_vecs(nrows, ncols, out));
+    Ok(())
+}
+
+fn merge_rows<T: Scalar, Acc: BinaryOp<T, T, T>>(
+    old_vecs: Vec<(Index, Vec<Index>, Vec<T>)>,
+    t_vecs: Vec<(Index, Vec<Index>, Vec<T>)>,
+    mask: &MMask<'_>,
+    accum: &Option<Acc>,
+    replace: bool,
+) -> Vec<(Index, Vec<Index>, Vec<T>)> {
+    let mut out = Vec::with_capacity(old_vecs.len() + t_vecs.len());
+    let mut oi = old_vecs.into_iter().peekable();
+    let mut ti = t_vecs.into_iter().peekable();
+    loop {
+        let which = match (oi.peek(), ti.peek()) {
+            (Some(o), Some(t)) => {
+                if o.0 == t.0 {
+                    2
+                } else if o.0 < t.0 {
+                    0
+                } else {
+                    1
+                }
+            }
+            (Some(_), None) => 0,
+            (None, Some(_)) => 1,
+            (None, None) => break,
+        };
+        let (row, o_row, t_row) = match which {
+            0 => {
+                let (r, i, v) = oi.next().expect("peeked");
+                (r, Some((i, v)), None)
+            }
+            1 => {
+                let (r, i, v) = ti.next().expect("peeked");
+                (r, None, Some((i, v)))
+            }
+            _ => {
+                let (r, a, b) = oi.next().expect("peeked");
+                let (_, x, y) = ti.next().expect("peeked");
+                (r, Some((a, b)), Some((x, y)))
+            }
+        };
+        let rmask = mask.row(row);
+        let empty: (Vec<Index>, Vec<T>) = (Vec::new(), Vec::new());
+        let (o_idx, o_val) = o_row.unwrap_or_else(|| empty.clone());
+        let (t_idx, t_val) = t_row.unwrap_or(empty);
+        let mut ridx = Vec::with_capacity(o_idx.len() + t_idx.len());
+        let mut rval = Vec::with_capacity(o_idx.len() + t_idx.len());
+        let (mut a, mut b) = (0, 0);
+        while a < o_idx.len() || b < t_idx.len() {
+            let (j, cval, tval) = if a < o_idx.len()
+                && (b >= t_idx.len() || o_idx[a] <= t_idx[b])
+            {
+                if b < t_idx.len() && o_idx[a] == t_idx[b] {
+                    let r = (o_idx[a], Some(o_val[a]), Some(t_val[b]));
+                    a += 1;
+                    b += 1;
+                    r
+                } else {
+                    let r = (o_idx[a], Some(o_val[a]), None);
+                    a += 1;
+                    r
+                }
+            } else {
+                let r = (t_idx[b], None, Some(t_val[b]));
+                b += 1;
+                r
+            };
+            let z = match accum {
+                Some(acc) => match (cval, tval) {
+                    (Some(cv), Some(tv)) => Some(acc.apply(cv, tv)),
+                    (Some(cv), None) => Some(cv),
+                    (None, tv) => tv,
+                },
+                None => tval,
+            };
+            let result = if rmask.allowed(j) {
+                z
+            } else if replace {
+                None
+            } else {
+                cval
+            };
+            if let Some(v) = result {
+                ridx.push(j);
+                rval.push(v);
+            }
+        }
+        if !ridx.is_empty() {
+            out.push((row, ridx, rval));
+        }
+    }
+    out
+}

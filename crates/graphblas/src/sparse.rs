@@ -1,0 +1,596 @@
+//! Compressed sparse storage.
+//!
+//! Following SuiteSparse:GraphBLAS (§II.A of the paper), a matrix is a
+//! packed collection of sparse vectors along a *major* axis: row-major
+//! (CSR) or column-major (CSC), in either the standard form [`Cs`] — a
+//! pointer array of size `nmajor + 1` — or the *hypersparse* form
+//! [`Hyper`], where the pointer array itself is sparse and empty vectors
+//! take no space, so matrices with enormous dimensions cost only `O(e)`.
+//!
+//! Kernels are written against the [`SparseView`] trait so the same code
+//! operates on standard and hypersparse operands in any combination.
+
+use crate::types::{Index, Scalar};
+
+/// A (row, column, value) tuple, the exchange currency of `build` and
+/// `extractTuples`.
+pub type Tuple<T> = (Index, Index, T);
+
+/// Read access to sparse data along the major axis. Implemented by both
+/// storage forms; all kernels are generic over it.
+pub trait SparseView<T: Scalar>: Sync {
+    /// Number of major-axis vectors (rows for CSR).
+    fn nmajor(&self) -> Index;
+    /// Length of each vector (number of columns for CSR).
+    fn nminor(&self) -> Index;
+    /// Number of stored entries.
+    fn nvals(&self) -> usize;
+    /// Number of non-empty major vectors (exact).
+    fn nvecs(&self) -> usize;
+    /// The sorted indices and values of vector `major`; empty slices if the
+    /// vector has no entries.
+    fn vec(&self, major: Index) -> (&[Index], &[T]);
+    /// Visit every non-empty vector in increasing major order.
+    fn for_each_vec(&self, f: &mut dyn FnMut(Index, &[Index], &[T]));
+    /// The majors of all non-empty vectors, in increasing order.
+    fn nonempty_majors(&self) -> Vec<Index>;
+    /// Point lookup.
+    fn get(&self, major: Index, minor: Index) -> Option<T> {
+        let (idx, val) = self.vec(major);
+        idx.binary_search(&minor).ok().map(|p| val[p])
+    }
+    /// Copy out all entries as (major, minor, value) tuples.
+    fn tuples(&self) -> Vec<Tuple<T>> {
+        let mut out = Vec::with_capacity(self.nvals());
+        self.for_each_vec(&mut |maj, idx, val| {
+            for (&m, &v) in idx.iter().zip(val) {
+                out.push((maj, m, v));
+            }
+        });
+        out
+    }
+}
+
+/// Owned sparse data in either storage form, produced by kernels that must
+/// transpose a dynamically-typed operand.
+#[derive(Debug, Clone)]
+pub enum MatData<T> {
+    Cs(Cs<T>),
+    Hyper(Hyper<T>),
+}
+
+impl<T: Scalar> MatData<T> {
+    /// Borrow as a dynamic view.
+    pub fn view(&self) -> &dyn SparseView<T> {
+        match self {
+            MatData::Cs(c) => c,
+            MatData::Hyper(h) => h,
+        }
+    }
+}
+
+/// Transpose any view, picking the output form by the resulting major
+/// dimension (hypersparse when a standard pointer array would be too big).
+pub fn transpose_dyn<T: Scalar>(v: &dyn SparseView<T>) -> MatData<T> {
+    let nmajor_out = v.nminor();
+    if nmajor_out > (1 << 22) || (nmajor_out > 4096 && v.nvals() < nmajor_out / 16) {
+        let mut tuples = Vec::with_capacity(v.nvals());
+        v.for_each_vec(&mut |maj, idx, val| {
+            for (&m, &x) in idx.iter().zip(val) {
+                tuples.push((m, maj, x));
+            }
+        });
+        MatData::Hyper(Hyper::from_tuples(nmajor_out, v.nmajor(), tuples, |_, b| b))
+    } else {
+        let mut ptr = vec![0usize; nmajor_out + 1];
+        v.for_each_vec(&mut |_, idx, _| {
+            for &j in idx {
+                ptr[j + 1] += 1;
+            }
+        });
+        for j in 0..nmajor_out {
+            ptr[j + 1] += ptr[j];
+        }
+        let mut cursor = ptr.clone();
+        let nvals = v.nvals();
+        let mut idx_out = vec![0 as Index; nvals];
+        let mut val_out = vec![T::zero(); nvals];
+        v.for_each_vec(&mut |maj, idx, val| {
+            for (&j, &x) in idx.iter().zip(val) {
+                let q = cursor[j];
+                cursor[j] += 1;
+                idx_out[q] = maj;
+                val_out[q] = x;
+            }
+        });
+        MatData::Cs(Cs { nmajor: nmajor_out, nminor: v.nmajor(), ptr, idx: idx_out, val: val_out })
+    }
+}
+
+/// Standard compressed form (CSR when the major axis is rows).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cs<T> {
+    /// Number of major vectors.
+    pub nmajor: Index,
+    /// Minor dimension.
+    pub nminor: Index,
+    /// `ptr[i]..ptr[i+1]` delimits vector `i`; length `nmajor + 1`.
+    pub ptr: Vec<usize>,
+    /// Minor indices, sorted within each vector.
+    pub idx: Vec<Index>,
+    /// Values, parallel to `idx`.
+    pub val: Vec<T>,
+}
+
+impl<T: Scalar> Cs<T> {
+    /// An empty structure with the given shape.
+    pub fn empty(nmajor: Index, nminor: Index) -> Self {
+        Cs { nmajor, nminor, ptr: vec![0; nmajor + 1], idx: Vec::new(), val: Vec::new() }
+    }
+
+    /// Build from unsorted tuples of `(major, minor, value)`. Duplicates
+    /// are combined with `dup` (`dup(existing, incoming)`), matching
+    /// `GrB_Matrix_build` semantics.
+    pub fn from_tuples(
+        nmajor: Index,
+        nminor: Index,
+        mut tuples: Vec<Tuple<T>>,
+        mut dup: impl FnMut(T, T) -> T,
+    ) -> Self {
+        // Stable sort keeps duplicate tuples in insertion order so `dup`
+        // folds left-to-right, as the C API specifies.
+        tuples.sort_by_key(|&(i, j, _)| (i, j));
+        let mut idx = Vec::with_capacity(tuples.len());
+        let mut val: Vec<T> = Vec::with_capacity(tuples.len());
+        let mut majors = Vec::with_capacity(tuples.len());
+        for (i, j, x) in tuples {
+            if let (Some(&lm), Some(&li)) = (majors.last(), idx.last()) {
+                if lm == i && li == j {
+                    let last = val.last_mut().expect("parallel arrays");
+                    *last = dup(*last, x);
+                    continue;
+                }
+            }
+            majors.push(i);
+            idx.push(j);
+            val.push(x);
+        }
+        let mut ptr = vec![0usize; nmajor + 1];
+        for &m in &majors {
+            ptr[m + 1] += 1;
+        }
+        for i in 0..nmajor {
+            ptr[i + 1] += ptr[i];
+        }
+        Cs { nmajor, nminor, ptr, idx, val }
+    }
+
+    /// Build from per-vector segments `(major, indices, values)` given in
+    /// increasing major order. Used by kernels that produce one output
+    /// vector at a time.
+    pub fn from_vecs(
+        nmajor: Index,
+        nminor: Index,
+        vecs: Vec<(Index, Vec<Index>, Vec<T>)>,
+    ) -> Self {
+        let total: usize = vecs.iter().map(|(_, i, _)| i.len()).sum();
+        let mut ptr = vec![0usize; nmajor + 1];
+        let mut idx = Vec::with_capacity(total);
+        let mut val = Vec::with_capacity(total);
+        for (m, vi, vv) in vecs {
+            debug_assert_eq!(vi.len(), vv.len());
+            ptr[m + 1] = vi.len();
+            idx.extend_from_slice(&vi);
+            val.extend_from_slice(&vv);
+        }
+        for i in 0..nmajor {
+            ptr[i + 1] += ptr[i];
+        }
+        Cs { nmajor, nminor, ptr, idx, val }
+    }
+
+    /// Transpose via counting sort: `O(nvals + nminor)`. The result's major
+    /// axis is this structure's minor axis.
+    pub fn transpose(&self) -> Cs<T> {
+        let mut ptr = vec![0usize; self.nminor + 1];
+        for &j in &self.idx {
+            ptr[j + 1] += 1;
+        }
+        for j in 0..self.nminor {
+            ptr[j + 1] += ptr[j];
+        }
+        let mut cursor = ptr.clone();
+        let mut idx = vec![0 as Index; self.idx.len()];
+        let mut val = vec![T::zero(); self.val.len()];
+        for i in 0..self.nmajor {
+            for p in self.ptr[i]..self.ptr[i + 1] {
+                let j = self.idx[p];
+                let q = cursor[j];
+                cursor[j] += 1;
+                idx[q] = i;
+                val[q] = self.val[p];
+            }
+        }
+        Cs { nmajor: self.nminor, nminor: self.nmajor, ptr, idx, val }
+    }
+
+    /// Convert to hypersparse form, dropping empty vectors.
+    pub fn to_hyper(&self) -> Hyper<T> {
+        let mut heads = Vec::new();
+        let mut ptr = vec![0usize];
+        for i in 0..self.nmajor {
+            if self.ptr[i + 1] > self.ptr[i] {
+                heads.push(i);
+                ptr.push(self.ptr[i + 1]);
+            }
+        }
+        Hyper {
+            nmajor: self.nmajor,
+            nminor: self.nminor,
+            heads,
+            ptr,
+            idx: self.idx.clone(),
+            val: self.val.clone(),
+        }
+    }
+
+    /// Internal consistency check, used by tests and debug assertions.
+    #[allow(dead_code)]
+    pub fn check(&self) -> Result<(), String> {
+        if self.ptr.len() != self.nmajor + 1 {
+            return Err(format!("ptr len {} != nmajor+1 {}", self.ptr.len(), self.nmajor + 1));
+        }
+        if self.ptr[0] != 0 {
+            return Err("ptr[0] != 0".into());
+        }
+        if *self.ptr.last().expect("nonempty ptr") != self.idx.len() {
+            return Err("ptr end != nvals".into());
+        }
+        if self.idx.len() != self.val.len() {
+            return Err("idx/val length mismatch".into());
+        }
+        for i in 0..self.nmajor {
+            if self.ptr[i] > self.ptr[i + 1] {
+                return Err(format!("ptr not monotone at {i}"));
+            }
+            let seg = &self.idx[self.ptr[i]..self.ptr[i + 1]];
+            for w in seg.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(format!("indices not strictly sorted in vec {i}"));
+                }
+            }
+            if let Some(&last) = seg.last() {
+                if last >= self.nminor {
+                    return Err(format!("index {last} >= nminor {} in vec {i}", self.nminor));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<T: Scalar> SparseView<T> for Cs<T> {
+    fn nmajor(&self) -> Index {
+        self.nmajor
+    }
+    fn nminor(&self) -> Index {
+        self.nminor
+    }
+    fn nvals(&self) -> usize {
+        self.idx.len()
+    }
+    fn nvecs(&self) -> usize {
+        (0..self.nmajor).filter(|&i| self.ptr[i + 1] > self.ptr[i]).count()
+    }
+    fn vec(&self, major: Index) -> (&[Index], &[T]) {
+        let (a, b) = (self.ptr[major], self.ptr[major + 1]);
+        (&self.idx[a..b], &self.val[a..b])
+    }
+    fn for_each_vec(&self, f: &mut dyn FnMut(Index, &[Index], &[T])) {
+        for i in 0..self.nmajor {
+            let (a, b) = (self.ptr[i], self.ptr[i + 1]);
+            if b > a {
+                f(i, &self.idx[a..b], &self.val[a..b]);
+            }
+        }
+    }
+    fn nonempty_majors(&self) -> Vec<Index> {
+        (0..self.nmajor).filter(|&i| self.ptr[i + 1] > self.ptr[i]).collect()
+    }
+}
+
+/// Hypersparse compressed form: only non-empty major vectors are recorded,
+/// so space is `O(e)` regardless of dimension (§II.A).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hyper<T> {
+    /// Number of major vectors (the logical dimension, possibly enormous).
+    pub nmajor: Index,
+    /// Minor dimension.
+    pub nminor: Index,
+    /// Sorted majors of the non-empty vectors; length `nvec`.
+    pub heads: Vec<Index>,
+    /// `ptr[k]..ptr[k+1]` delimits the vector `heads[k]`; length `nvec+1`.
+    pub ptr: Vec<usize>,
+    /// Minor indices, sorted within each vector.
+    pub idx: Vec<Index>,
+    /// Values, parallel to `idx`.
+    pub val: Vec<T>,
+}
+
+impl<T: Scalar> Hyper<T> {
+    /// An empty hypersparse structure.
+    pub fn empty(nmajor: Index, nminor: Index) -> Self {
+        Hyper { nmajor, nminor, heads: Vec::new(), ptr: vec![0], idx: Vec::new(), val: Vec::new() }
+    }
+
+    /// Build from unsorted tuples; duplicates combined with `dup`.
+    /// Space and time are `O(e log e)` — never `O(nmajor)`.
+    pub fn from_tuples(
+        nmajor: Index,
+        nminor: Index,
+        mut tuples: Vec<Tuple<T>>,
+        mut dup: impl FnMut(T, T) -> T,
+    ) -> Self {
+        tuples.sort_by_key(|&(i, j, _)| (i, j));
+        let mut heads = Vec::new();
+        let mut ptr = vec![0usize];
+        let mut idx = Vec::with_capacity(tuples.len());
+        let mut val: Vec<T> = Vec::with_capacity(tuples.len());
+        for (i, j, x) in tuples {
+            if heads.last() == Some(&i) && idx.len() > *ptr.last().expect("ptr nonempty") {
+                if *idx.last().expect("entry") == j {
+                    let last = val.last_mut().expect("parallel arrays");
+                    *last = dup(*last, x);
+                    continue;
+                }
+            } else if heads.last() != Some(&i) {
+                if !heads.is_empty() {
+                    ptr.push(idx.len());
+                }
+                heads.push(i);
+            }
+            idx.push(j);
+            val.push(x);
+        }
+        if !heads.is_empty() {
+            ptr.push(idx.len());
+        }
+        Hyper { nmajor, nminor, heads, ptr, idx, val }
+    }
+
+    /// Build from per-vector segments in increasing major order.
+    pub fn from_vecs(
+        nmajor: Index,
+        nminor: Index,
+        vecs: Vec<(Index, Vec<Index>, Vec<T>)>,
+    ) -> Self {
+        let mut heads = Vec::with_capacity(vecs.len());
+        let mut ptr = Vec::with_capacity(vecs.len() + 1);
+        ptr.push(0);
+        let total: usize = vecs.iter().map(|(_, i, _)| i.len()).sum();
+        let mut idx = Vec::with_capacity(total);
+        let mut val = Vec::with_capacity(total);
+        for (m, vi, vv) in vecs {
+            if vi.is_empty() {
+                continue;
+            }
+            heads.push(m);
+            idx.extend_from_slice(&vi);
+            val.extend_from_slice(&vv);
+            ptr.push(idx.len());
+        }
+        Hyper { nmajor, nminor, heads, ptr, idx, val }
+    }
+
+    /// Expand to the standard form. Costs `O(nmajor)` for the pointer
+    /// array — only valid for moderate dimensions.
+    pub fn to_cs(&self) -> Cs<T> {
+        let mut ptr = vec![0usize; self.nmajor + 1];
+        for (k, &h) in self.heads.iter().enumerate() {
+            ptr[h + 1] = self.ptr[k + 1] - self.ptr[k];
+        }
+        for i in 0..self.nmajor {
+            ptr[i + 1] += ptr[i];
+        }
+        Cs {
+            nmajor: self.nmajor,
+            nminor: self.nminor,
+            ptr,
+            idx: self.idx.clone(),
+            val: self.val.clone(),
+        }
+    }
+
+    /// Transpose, producing a hypersparse result (counting over the set of
+    /// occupied minors only, `O(e log e)`).
+    pub fn transpose(&self) -> Hyper<T> {
+        let mut tuples = Vec::with_capacity(self.nvals());
+        self.for_each_vec(&mut |maj, idx, val| {
+            for (&m, &v) in idx.iter().zip(val) {
+                tuples.push((m, maj, v));
+            }
+        });
+        Hyper::from_tuples(self.nminor, self.nmajor, tuples, |_, b| b)
+    }
+
+    /// Internal consistency check.
+    #[allow(dead_code)]
+    pub fn check(&self) -> Result<(), String> {
+        if self.ptr.len() != self.heads.len() + 1 {
+            return Err("ptr len != nvec+1".into());
+        }
+        for w in self.heads.windows(2) {
+            if w[0] >= w[1] {
+                return Err("heads not strictly sorted".into());
+            }
+        }
+        if let Some(&h) = self.heads.last() {
+            if h >= self.nmajor {
+                return Err("head >= nmajor".into());
+            }
+        }
+        if *self.ptr.last().expect("nonempty") != self.idx.len() {
+            return Err("ptr end != nvals".into());
+        }
+        for k in 0..self.heads.len() {
+            if self.ptr[k] >= self.ptr[k + 1] {
+                return Err("empty vector stored in hypersparse form".into());
+            }
+            let seg = &self.idx[self.ptr[k]..self.ptr[k + 1]];
+            for w in seg.windows(2) {
+                if w[0] >= w[1] {
+                    return Err("indices not strictly sorted".into());
+                }
+            }
+            if let Some(&last) = seg.last() {
+                if last >= self.nminor {
+                    return Err("index >= nminor".into());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<T: Scalar> SparseView<T> for Hyper<T> {
+    fn nmajor(&self) -> Index {
+        self.nmajor
+    }
+    fn nminor(&self) -> Index {
+        self.nminor
+    }
+    fn nvals(&self) -> usize {
+        self.idx.len()
+    }
+    fn nvecs(&self) -> usize {
+        self.heads.len()
+    }
+    fn vec(&self, major: Index) -> (&[Index], &[T]) {
+        match self.heads.binary_search(&major) {
+            Ok(k) => {
+                let (a, b) = (self.ptr[k], self.ptr[k + 1]);
+                (&self.idx[a..b], &self.val[a..b])
+            }
+            Err(_) => (&[], &[]),
+        }
+    }
+    fn for_each_vec(&self, f: &mut dyn FnMut(Index, &[Index], &[T])) {
+        for (k, &h) in self.heads.iter().enumerate() {
+            let (a, b) = (self.ptr[k], self.ptr[k + 1]);
+            f(h, &self.idx[a..b], &self.val[a..b]);
+        }
+    }
+    fn nonempty_majors(&self) -> Vec<Index> {
+        self.heads.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Tuple<i32>> {
+        vec![(2, 1, 30), (0, 0, 10), (0, 2, 11), (2, 0, 31), (1, 1, 20)]
+    }
+
+    #[test]
+    fn cs_from_tuples_sorts_and_indexes() {
+        let cs = Cs::from_tuples(3, 3, sample(), |_, b| b);
+        cs.check().expect("valid");
+        assert_eq!(cs.nvals(), 5);
+        assert_eq!(cs.vec(0), (&[0, 2][..], &[10, 11][..]));
+        assert_eq!(cs.vec(1), (&[1][..], &[20][..]));
+        assert_eq!(cs.vec(2), (&[0, 1][..], &[31, 30][..]));
+        assert_eq!(cs.get(2, 1), Some(30));
+        assert_eq!(cs.get(1, 2), None);
+    }
+
+    #[test]
+    fn cs_duplicates_fold_in_insertion_order() {
+        let t = vec![(0, 0, 1), (0, 0, 10), (0, 0, 100)];
+        let cs = Cs::from_tuples(1, 1, t, |a, b| a - b);
+        // ((1 - 10) - 100) = -109: proves left-to-right folding.
+        assert_eq!(cs.get(0, 0), Some(-109));
+    }
+
+    #[test]
+    fn cs_transpose_round_trips() {
+        let cs = Cs::from_tuples(3, 4, vec![(0, 3, 1), (2, 0, 2), (1, 1, 3)], |_, b| b);
+        let t = cs.transpose();
+        t.check().expect("valid");
+        assert_eq!(t.nmajor, 4);
+        assert_eq!(t.nminor, 3);
+        assert_eq!(t.get(3, 0), Some(1));
+        assert_eq!(t.get(0, 2), Some(2));
+        let back = t.transpose();
+        assert_eq!(back, cs);
+    }
+
+    #[test]
+    fn cs_empty_has_no_entries() {
+        let cs = Cs::<f64>::empty(5, 7);
+        cs.check().expect("valid");
+        assert_eq!(cs.nvals(), 0);
+        assert_eq!(cs.nvecs(), 0);
+        assert_eq!(cs.vec(3), (&[][..], &[][..]));
+    }
+
+    #[test]
+    fn hyper_skips_empty_vectors() {
+        // Enormous major dimension; only two vectors occupied.
+        let n = 1usize << 40;
+        let h = Hyper::from_tuples(n, n, vec![(7, 3, 1.5), (1 << 39, 0, 2.5)], |_, b| b);
+        h.check().expect("valid");
+        assert_eq!(h.nvecs(), 2);
+        assert_eq!(h.nvals(), 2);
+        assert_eq!(h.get(7, 3), Some(1.5));
+        assert_eq!(h.get(1 << 39, 0), Some(2.5));
+        assert_eq!(h.get(8, 3), None);
+        // Memory is O(e): heads + ptr + idx + val, far below nmajor.
+        assert!(h.heads.len() + h.ptr.len() + h.idx.len() < 16);
+    }
+
+    #[test]
+    fn hyper_cs_round_trip() {
+        let cs = Cs::from_tuples(10, 10, sample(), |_, b| b);
+        let h = cs.to_hyper();
+        h.check().expect("valid");
+        assert_eq!(h.nvecs(), 3);
+        let back = h.to_cs();
+        assert_eq!(back, cs);
+    }
+
+    #[test]
+    fn hyper_duplicate_folding() {
+        let t = vec![(5, 5, 2), (5, 5, 3)];
+        let h = Hyper::from_tuples(100, 100, t, |a, b| a + b);
+        assert_eq!(h.get(5, 5), Some(5));
+        assert_eq!(h.nvals(), 1);
+    }
+
+    #[test]
+    fn hyper_transpose() {
+        let h = Hyper::from_tuples(1 << 30, 1 << 30, vec![(5, 9, 1), (9, 5, 2)], |_, b| b);
+        let t = h.transpose();
+        t.check().expect("valid");
+        assert_eq!(t.get(9, 5), Some(1));
+        assert_eq!(t.get(5, 9), Some(2));
+    }
+
+    #[test]
+    fn from_vecs_builders_agree() {
+        let vecs = vec![(1, vec![0, 2], vec![1.0, 2.0]), (4, vec![1], vec![3.0])];
+        let cs = Cs::from_vecs(6, 3, vecs.clone());
+        let h = Hyper::from_vecs(6, 3, vecs);
+        cs.check().expect("valid");
+        h.check().expect("valid");
+        assert_eq!(cs.tuples(), h.tuples());
+    }
+
+    #[test]
+    fn tuples_round_trip() {
+        let cs = Cs::from_tuples(3, 3, sample(), |_, b| b);
+        let again = Cs::from_tuples(3, 3, cs.tuples(), |_, b| b);
+        assert_eq!(cs, again);
+    }
+}

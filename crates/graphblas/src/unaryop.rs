@@ -1,0 +1,220 @@
+//! Unary operators (`GrB_UnaryOp`) and index-unary operators
+//! (`GrB_IndexUnaryOp`, used by `select` and positional `apply`).
+//!
+//! As with binary operators, the built-ins are zero-sized structs and any
+//! suitable closure is accepted as a user-defined operator.
+
+use crate::types::{Index, Num, Scalar};
+
+/// A unary operator `z = f(x)`.
+pub trait UnaryOp<A: Scalar, C: Scalar>: Copy + Send + Sync {
+    /// Apply the operator.
+    fn apply(&self, a: A) -> C;
+}
+
+impl<A: Scalar, C: Scalar, F> UnaryOp<A, C> for F
+where
+    F: Fn(A) -> C + Copy + Send + Sync,
+{
+    fn apply(&self, a: A) -> C {
+        self(a)
+    }
+}
+
+/// `z = x` (`GrB_IDENTITY`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Identity;
+
+impl<T: Scalar> UnaryOp<T, T> for Identity {
+    fn apply(&self, a: T) -> T {
+        a
+    }
+}
+
+/// `z = -x` (`GrB_AINV`, the additive inverse).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Ainv;
+
+impl<T: Num> UnaryOp<T, T> for Ainv {
+    fn apply(&self, a: T) -> T {
+        T::zero().nsub(a)
+    }
+}
+
+/// `z = 1/x` (`GrB_MINV`, the multiplicative inverse; integer division
+/// truncates and `1/0 = 0` following the total-function policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Minv;
+
+impl<T: Num> UnaryOp<T, T> for Minv {
+    fn apply(&self, a: T) -> T {
+        T::one().ndiv(a)
+    }
+}
+
+/// `z = !x` on truth values (`GrB_LNOT`), returned in the input domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Lnot;
+
+impl<T: Num> UnaryOp<T, T> for Lnot {
+    fn apply(&self, a: T) -> T {
+        if a == T::zero() {
+            T::one()
+        } else {
+            T::zero()
+        }
+    }
+}
+
+/// `z = 1` (`GxB_ONE`), useful for extracting the pattern of a matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct One;
+
+impl<A: Scalar, C: Num> UnaryOp<A, C> for One {
+    fn apply(&self, _: A) -> C {
+        C::one()
+    }
+}
+
+/// `z = |x|` (`GrB_ABS`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Abs;
+
+impl<T: Num> UnaryOp<T, T> for Abs {
+    fn apply(&self, a: T) -> T {
+        if a < T::zero() {
+            T::zero().nsub(a)
+        } else {
+            a
+        }
+    }
+}
+
+/// An index-unary operator `z = f(i, j, x)`: sees the entry's position as
+/// well as its value. For vectors, `j` is always 0. This powers `select`
+/// (with a `bool` result) and positional `apply`.
+pub trait IndexUnaryOp<A: Scalar, C: Scalar>: Copy + Send + Sync {
+    /// Apply the operator to the entry `x` stored at position `(i, j)`.
+    fn apply(&self, i: Index, j: Index, a: A) -> C;
+}
+
+impl<A: Scalar, C: Scalar, F> IndexUnaryOp<A, C> for F
+where
+    F: Fn(Index, Index, A) -> C + Copy + Send + Sync,
+{
+    fn apply(&self, i: Index, j: Index, a: A) -> C {
+        self(i, j, a)
+    }
+}
+
+/// Keep entries in the strictly lower triangle `i > j` (`GrB_TRIL` with
+/// offset -1 combined into one named op, as used by triangle counting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StrictLower;
+
+impl<T: Scalar> IndexUnaryOp<T, bool> for StrictLower {
+    fn apply(&self, i: Index, j: Index, _: T) -> bool {
+        i > j
+    }
+}
+
+/// Keep entries in the strictly upper triangle `i < j`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StrictUpper;
+
+impl<T: Scalar> IndexUnaryOp<T, bool> for StrictUpper {
+    fn apply(&self, i: Index, j: Index, _: T) -> bool {
+        i < j
+    }
+}
+
+/// Keep diagonal entries `i == j` (`GrB_DIAG`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Diag;
+
+impl<T: Scalar> IndexUnaryOp<T, bool> for Diag {
+    fn apply(&self, i: Index, j: Index, _: T) -> bool {
+        i == j
+    }
+}
+
+/// Keep off-diagonal entries `i != j` (`GrB_OFFDIAG`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Offdiag;
+
+impl<T: Scalar> IndexUnaryOp<T, bool> for Offdiag {
+    fn apply(&self, i: Index, j: Index, _: T) -> bool {
+        i != j
+    }
+}
+
+/// Keep entries whose value is at least the threshold (`GrB_VALUEGE`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValueGe<T>(pub T);
+
+impl<T: Scalar + PartialOrd> IndexUnaryOp<T, bool> for ValueGe<T> {
+    fn apply(&self, _: Index, _: Index, a: T) -> bool {
+        a >= self.0
+    }
+}
+
+/// Keep entries whose value is not equal to the given value (`GrB_VALUENE`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValueNe<T>(pub T);
+
+impl<T: Scalar> IndexUnaryOp<T, bool> for ValueNe<T> {
+    fn apply(&self, _: Index, _: Index, a: T) -> bool {
+        a != self.0
+    }
+}
+
+/// `z = i` — the row index of the entry (`GrB_ROWINDEX`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RowIndex;
+
+impl<T: Scalar> IndexUnaryOp<T, u64> for RowIndex {
+    fn apply(&self, i: Index, _: Index, _: T) -> u64 {
+        i as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_unary_ops() {
+        assert_eq!(UnaryOp::<i32, i32>::apply(&Identity, -4), -4);
+        assert_eq!(UnaryOp::<i32, i32>::apply(&Ainv, -4), 4);
+        assert_eq!(UnaryOp::<f64, f64>::apply(&Minv, 4.0), 0.25);
+        assert_eq!(UnaryOp::<i32, i32>::apply(&Minv, 0), 0);
+        assert_eq!(UnaryOp::<i32, i32>::apply(&Lnot, 0), 1);
+        assert_eq!(UnaryOp::<i32, i32>::apply(&Lnot, 7), 0);
+        assert_eq!(UnaryOp::<f64, u8>::apply(&One, 3.5), 1);
+        assert_eq!(UnaryOp::<i32, i32>::apply(&Abs, -4), 4);
+        assert_eq!(UnaryOp::<u32, u32>::apply(&Abs, 4), 4);
+    }
+
+    #[test]
+    fn positional_select_ops() {
+        assert!(IndexUnaryOp::<i32, bool>::apply(&StrictLower, 2, 1, 0));
+        assert!(!IndexUnaryOp::<i32, bool>::apply(&StrictLower, 1, 1, 0));
+        assert!(IndexUnaryOp::<i32, bool>::apply(&StrictUpper, 1, 2, 0));
+        assert!(IndexUnaryOp::<i32, bool>::apply(&Diag, 3, 3, 0));
+        assert!(IndexUnaryOp::<i32, bool>::apply(&Offdiag, 3, 4, 0));
+    }
+
+    #[test]
+    fn value_select_ops() {
+        assert!(IndexUnaryOp::<i32, bool>::apply(&ValueGe(3), 0, 0, 5));
+        assert!(!IndexUnaryOp::<i32, bool>::apply(&ValueGe(3), 0, 0, 2));
+        assert!(IndexUnaryOp::<i32, bool>::apply(&ValueNe(0), 0, 0, 2));
+    }
+
+    #[test]
+    fn closure_index_unary() {
+        let band = |i: Index, j: Index, _: f64| i.abs_diff(j) <= 1;
+        assert!(IndexUnaryOp::<f64, bool>::apply(&band, 4, 5, 0.0));
+        assert!(!IndexUnaryOp::<f64, bool>::apply(&band, 4, 6, 0.0));
+    }
+}

@@ -1,0 +1,630 @@
+//! The opaque `GrB_Vector` object.
+//!
+//! Following the GraphBLAST design the paper highlights (Fig. 3), a vector
+//! is stored either **sparse** (sorted indices + values — the form "push"
+//! kernels iterate) or **dense** (a value array plus presence bitmap — the
+//! form "pull" kernels index in O(1)). The representation switches
+//! automatically as the number of entries crosses density thresholds, which
+//! is the enabling mechanism for push/pull direction optimization.
+//!
+//! Like [`crate::Matrix`], sparse vectors support deferred updates (pending
+//! tuples and zombies) resolved by a lazy assembly step.
+
+use parking_lot::{RwLock, RwLockReadGuard};
+
+use crate::error::{Error, Result};
+use crate::matrix::{unflip, ZOMBIE};
+use crate::types::{Index, Scalar};
+
+/// Become dense when more than 1/DENSIFY_RATIO of positions are filled.
+const DENSIFY_RATIO: usize = 4;
+/// Become sparse when fewer than 1/SPARSIFY_RATIO are filled.
+const SPARSIFY_RATIO: usize = 32;
+/// Never allocate a dense form longer than this.
+const DENSE_LIMIT: usize = 1 << 26;
+
+/// The representation currently held by a vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VectorFormat {
+    /// Sorted index/value lists.
+    Sparse,
+    /// Full-length value array with a presence bitmap.
+    Dense,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum VStore<T> {
+    Sparse {
+        /// Sorted indices; zombie entries carry the flag bit.
+        idx: Vec<Index>,
+        val: Vec<T>,
+    },
+    Dense {
+        val: Vec<T>,
+        present: Vec<bool>,
+        nvals: usize,
+    },
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct VInner<T> {
+    pub n: Index,
+    pub store: VStore<T>,
+    pub pending: Vec<(Index, T)>,
+    pub nzombies: usize,
+}
+
+/// A borrowed, assembled view of a vector's contents, consumed by kernels.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum VView<'a, T> {
+    Sparse(&'a [Index], &'a [T]),
+    Dense(&'a [T], &'a [bool]),
+}
+
+impl<'a, T: Scalar> VView<'a, T> {
+    #[allow(dead_code)]
+    pub fn nvals(&self) -> usize {
+        match self {
+            VView::Sparse(idx, _) => idx.len(),
+            VView::Dense(_, present) => present.iter().filter(|&&p| p).count(),
+        }
+    }
+
+    /// O(1) for dense, O(log nvals) for sparse.
+    pub fn get(&self, i: Index) -> Option<T> {
+        match self {
+            VView::Sparse(idx, val) => idx.binary_search(&i).ok().map(|p| val[p]),
+            VView::Dense(val, present) => present[i].then(|| val[i]),
+        }
+    }
+
+    /// Visit entries in increasing index order.
+    pub fn for_each(&self, mut f: impl FnMut(Index, T)) {
+        match self {
+            VView::Sparse(idx, val) => {
+                for (&i, &v) in idx.iter().zip(val.iter()) {
+                    f(i, v);
+                }
+            }
+            VView::Dense(val, present) => {
+                for (i, (&v, &p)) in val.iter().zip(present.iter()).enumerate() {
+                    if p {
+                        f(i, v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<T: Scalar> VInner<T> {
+    fn needs_assembly(&self) -> bool {
+        !self.pending.is_empty() || self.nzombies > 0
+    }
+
+    pub(crate) fn assemble(&mut self) {
+        if !self.needs_assembly() {
+            return;
+        }
+        self.pending.sort_by_key(|&(i, _)| i);
+        let mut pend = std::mem::take(&mut self.pending);
+        pend.dedup_by(|later, earlier| {
+            if later.0 == earlier.0 {
+                earlier.1 = later.1;
+                true
+            } else {
+                false
+            }
+        });
+        self.nzombies = 0;
+        if let VStore::Sparse { idx, val } = &self.store {
+            let mut out_i = Vec::with_capacity(idx.len() + pend.len());
+            let mut out_v = Vec::with_capacity(idx.len() + pend.len());
+            let mut pi = pend.iter().peekable();
+            for (&j, &x) in idx.iter().zip(val.iter()) {
+                while let Some(&&(pj, px)) = pi.peek() {
+                    if pj < unflip(j) {
+                        out_i.push(pj);
+                        out_v.push(px);
+                        pi.next();
+                    } else {
+                        break;
+                    }
+                }
+                let is_zombie = j & ZOMBIE != 0;
+                if let Some(&&(pj, px)) = pi.peek() {
+                    if pj == unflip(j) {
+                        out_i.push(pj);
+                        out_v.push(px);
+                        pi.next();
+                        continue;
+                    }
+                }
+                if !is_zombie {
+                    out_i.push(j);
+                    out_v.push(x);
+                }
+            }
+            for &(pj, px) in pi {
+                out_i.push(pj);
+                out_v.push(px);
+            }
+            self.store = VStore::Sparse { idx: out_i, val: out_v };
+        }
+        self.optimize_form();
+    }
+
+    /// Pick the representation the current density calls for.
+    pub(crate) fn optimize_form(&mut self) {
+        debug_assert!(!self.needs_assembly());
+        let n = self.n;
+        match &self.store {
+            VStore::Sparse { idx, .. } => {
+                if n <= DENSE_LIMIT && idx.len() * DENSIFY_RATIO >= n && n > 0 {
+                    self.to_dense();
+                }
+            }
+            VStore::Dense { nvals, .. } => {
+                if nvals * SPARSIFY_RATIO < n {
+                    self.to_sparse();
+                }
+            }
+        }
+    }
+
+    fn to_dense(&mut self) {
+        if let VStore::Sparse { idx, val } = &self.store {
+            let mut dval = vec![T::zero(); self.n];
+            let mut present = vec![false; self.n];
+            for (&i, &v) in idx.iter().zip(val.iter()) {
+                dval[i] = v;
+                present[i] = true;
+            }
+            let nvals = idx.len();
+            self.store = VStore::Dense { val: dval, present, nvals };
+        }
+    }
+
+    fn to_sparse(&mut self) {
+        if let VStore::Dense { val, present, .. } = &self.store {
+            let mut idx = Vec::new();
+            let mut sval = Vec::new();
+            for (i, (&v, &p)) in val.iter().zip(present.iter()).enumerate() {
+                if p {
+                    idx.push(i);
+                    sval.push(v);
+                }
+            }
+            self.store = VStore::Sparse { idx, val: sval };
+        }
+    }
+
+    pub(crate) fn view(&self) -> VView<'_, T> {
+        debug_assert!(!self.needs_assembly());
+        match &self.store {
+            VStore::Sparse { idx, val } => VView::Sparse(idx, val),
+            VStore::Dense { val, present, .. } => VView::Dense(val, present),
+        }
+    }
+
+    pub(crate) fn nvals_assembled(&self) -> usize {
+        debug_assert!(!self.needs_assembly());
+        match &self.store {
+            VStore::Sparse { idx, .. } => idx.len(),
+            VStore::Dense { nvals, .. } => *nvals,
+        }
+    }
+}
+
+/// An opaque GraphBLAS vector over the scalar domain `T`.
+#[derive(Debug)]
+pub struct Vector<T: Scalar> {
+    pub(crate) inner: RwLock<VInner<T>>,
+}
+
+impl<T: Scalar> Clone for Vector<T> {
+    fn clone(&self) -> Self {
+        Vector { inner: RwLock::new(self.inner.read().clone()) }
+    }
+}
+
+impl<T: Scalar> Vector<T> {
+    /// Create an empty vector of length `n` (`GrB_Vector_new`).
+    pub fn new(n: Index) -> Result<Self> {
+        if n == 0 {
+            return Err(Error::invalid("vector size must be >= 1"));
+        }
+        Ok(Vector {
+            inner: RwLock::new(VInner {
+                n,
+                store: VStore::Sparse { idx: Vec::new(), val: Vec::new() },
+                pending: Vec::new(),
+                nzombies: 0,
+            }),
+        })
+    }
+
+    /// Create and build from `(index, value)` tuples; duplicates combined
+    /// with `dup(existing, incoming)`.
+    pub fn from_tuples(
+        n: Index,
+        mut tuples: Vec<(Index, T)>,
+        mut dup: impl FnMut(T, T) -> T,
+    ) -> Result<Self> {
+        let v = Vector::new(n)?;
+        for &(i, _) in &tuples {
+            if i >= n {
+                return Err(Error::oob(i, n));
+            }
+        }
+        tuples.sort_by_key(|&(i, _)| i);
+        let mut idx: Vec<Index> = Vec::with_capacity(tuples.len());
+        let mut val: Vec<T> = Vec::with_capacity(tuples.len());
+        for (i, x) in tuples {
+            if idx.last() == Some(&i) {
+                let last = val.last_mut().expect("parallel arrays");
+                *last = dup(*last, x);
+            } else {
+                idx.push(i);
+                val.push(x);
+            }
+        }
+        {
+            let mut g = v.inner.write();
+            g.store = VStore::Sparse { idx, val };
+            g.optimize_form();
+        }
+        Ok(v)
+    }
+
+    /// Create a fully dense vector holding `value` at every position — the
+    /// usual starting point for PageRank-style iterations.
+    pub fn dense(n: Index, value: T) -> Result<Self> {
+        if n == 0 {
+            return Err(Error::invalid("vector size must be >= 1"));
+        }
+        if n > DENSE_LIMIT {
+            return Err(Error::invalid("dense vector too large"));
+        }
+        Ok(Vector {
+            inner: RwLock::new(VInner {
+                n,
+                store: VStore::Dense { val: vec![value; n], present: vec![true; n], nvals: n },
+                pending: Vec::new(),
+                nzombies: 0,
+            }),
+        })
+    }
+
+    /// Length of the vector (`GrB_Vector_size`).
+    pub fn size(&self) -> Index {
+        self.inner.read().n
+    }
+
+    /// Number of stored entries; forces completion of deferred updates.
+    pub fn nvals(&self) -> usize {
+        self.read().nvals_assembled()
+    }
+
+    /// The current representation.
+    pub fn vector_format(&self) -> VectorFormat {
+        match &self.inner.read().store {
+            VStore::Sparse { .. } => VectorFormat::Sparse,
+            VStore::Dense { .. } => VectorFormat::Dense,
+        }
+    }
+
+    /// Force completion of deferred updates (`GrB_Vector_wait`).
+    pub fn wait(&self) {
+        self.inner.write().assemble();
+    }
+
+    /// Set one entry (`GrB_Vector_setElement`).
+    pub fn set_element(&mut self, i: Index, x: T) -> Result<()> {
+        let inner = self.inner.get_mut();
+        if i >= inner.n {
+            return Err(Error::oob(i, inner.n));
+        }
+        match &mut inner.store {
+            VStore::Dense { val, present, nvals } => {
+                if !present[i] {
+                    *nvals += 1;
+                }
+                val[i] = x;
+                present[i] = true;
+            }
+            VStore::Sparse { idx, val } => {
+                match idx.binary_search_by_key(&i, |&x| unflip(x)) {
+                    Ok(p) => {
+                        if idx[p] & ZOMBIE != 0 {
+                            idx[p] = i;
+                            inner.nzombies -= 1;
+                        }
+                        val[p] = x;
+                    }
+                    Err(_) => inner.pending.push((i, x)),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Remove one entry (`GrB_Vector_removeElement`); no-op if absent.
+    pub fn remove_element(&mut self, i: Index) -> Result<()> {
+        let inner = self.inner.get_mut();
+        if i >= inner.n {
+            return Err(Error::oob(i, inner.n));
+        }
+        if !inner.pending.is_empty() {
+            inner.pending.retain(|&(pi, _)| pi != i);
+        }
+        match &mut inner.store {
+            VStore::Dense { present, nvals, .. } => {
+                if present[i] {
+                    present[i] = false;
+                    *nvals -= 1;
+                }
+            }
+            VStore::Sparse { idx, .. } => {
+                if let Ok(p) = idx.binary_search_by_key(&i, |&x| unflip(x)) {
+                    if idx[p] & ZOMBIE == 0 {
+                        idx[p] |= ZOMBIE;
+                        inner.nzombies += 1;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Read one entry; [`Error::NoValue`] if absent.
+    pub fn extract_element(&self, i: Index) -> Result<T> {
+        let inner = self.inner.read();
+        if i >= inner.n {
+            return Err(Error::oob(i, inner.n));
+        }
+        for &(pi, px) in inner.pending.iter().rev() {
+            if pi == i {
+                return Ok(px);
+            }
+        }
+        match &inner.store {
+            VStore::Dense { val, present, .. } => {
+                if present[i] {
+                    Ok(val[i])
+                } else {
+                    Err(Error::NoValue)
+                }
+            }
+            VStore::Sparse { idx, val } => {
+                match idx.binary_search_by_key(&i, |&x| unflip(x)) {
+                    Ok(p) if idx[p] & ZOMBIE == 0 => Ok(val[p]),
+                    _ => Err(Error::NoValue),
+                }
+            }
+        }
+    }
+
+    /// Convenience: `extract_element` returning `Option`.
+    pub fn get(&self, i: Index) -> Option<T> {
+        self.extract_element(i).ok()
+    }
+
+    /// Remove all entries, keeping the length.
+    pub fn clear(&mut self) {
+        let inner = self.inner.get_mut();
+        inner.store = VStore::Sparse { idx: Vec::new(), val: Vec::new() };
+        inner.pending.clear();
+        inner.nzombies = 0;
+    }
+
+    /// Copy all entries out as `(index, value)` tuples in index order.
+    pub fn extract_tuples(&self) -> Vec<(Index, T)> {
+        let g = self.read();
+        let mut out = Vec::with_capacity(g.nvals_assembled());
+        g.view().for_each(|i, v| out.push((i, v)));
+        out
+    }
+
+    /// Iterate over `(index, value)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (Index, T)> {
+        self.extract_tuples().into_iter()
+    }
+
+    /// Resize, dropping entries past the new length.
+    pub fn resize(&mut self, n: Index) -> Result<()> {
+        if n == 0 {
+            return Err(Error::invalid("vector size must be >= 1"));
+        }
+        let inner = self.inner.get_mut();
+        inner.assemble();
+        let tuples: Vec<(Index, T)> = {
+            let mut t = Vec::new();
+            inner.view().for_each(|i, v| {
+                if i < n {
+                    t.push((i, v));
+                }
+            });
+            t
+        };
+        inner.n = n;
+        let (idx, val) = tuples.into_iter().unzip();
+        inner.store = VStore::Sparse { idx, val };
+        inner.optimize_form();
+        Ok(())
+    }
+
+    /// The pattern as a Boolean vector (`true` at every stored entry).
+    pub fn pattern(&self) -> Vector<bool> {
+        let g = self.read();
+        let mut idx = Vec::with_capacity(g.nvals_assembled());
+        g.view().for_each(|i, _| idx.push(i));
+        let val = vec![true; idx.len()];
+        Vector::from_parts(g.n, idx, val)
+    }
+
+    /// Lock for reading with deferred updates resolved.
+    pub(crate) fn read(&self) -> RwLockReadGuard<'_, VInner<T>> {
+        loop {
+            {
+                let g = self.inner.read();
+                if !g.needs_assembly() {
+                    return g;
+                }
+            }
+            self.inner.write().assemble();
+        }
+    }
+
+    /// Construct directly from sorted, deduplicated parallel arrays.
+    pub(crate) fn from_parts(n: Index, idx: Vec<Index>, val: Vec<T>) -> Self {
+        debug_assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(idx.last().map_or(true, |&l| l < n));
+        let mut inner =
+            VInner { n, store: VStore::Sparse { idx, val }, pending: Vec::new(), nzombies: 0 };
+        inner.optimize_form();
+        Vector { inner: RwLock::new(inner) }
+    }
+
+    /// Replace contents with sorted, deduplicated parallel arrays.
+    pub(crate) fn install(&mut self, idx: Vec<Index>, val: Vec<T>) {
+        let inner = self.inner.get_mut();
+        debug_assert!(idx.last().map_or(true, |&l| l < inner.n));
+        inner.store = VStore::Sparse { idx, val };
+        inner.pending.clear();
+        inner.nzombies = 0;
+        inner.optimize_form();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_zero_size() {
+        assert!(Vector::<i32>::new(0).is_err());
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let v = Vector::from_tuples(5, vec![(3, 30), (1, 10)], |_, b| b).expect("build");
+        assert_eq!(v.nvals(), 2);
+        assert_eq!(v.get(1), Some(10));
+        assert_eq!(v.get(3), Some(30));
+        assert_eq!(v.get(0), None);
+        assert_eq!(v.extract_tuples(), vec![(1, 10), (3, 30)]);
+    }
+
+    #[test]
+    fn duplicates_fold_in_order() {
+        let v = Vector::from_tuples(2, vec![(0, 8), (0, 2)], |a, b| a / b).expect("build");
+        assert_eq!(v.get(0), Some(4));
+    }
+
+    #[test]
+    fn set_remove_assemble() {
+        let mut v = Vector::<i32>::new(10).expect("new");
+        v.set_element(4, 40).expect("set");
+        v.set_element(2, 20).expect("set");
+        assert_eq!(v.get(4), Some(40));
+        assert_eq!(v.nvals(), 2);
+        v.remove_element(4).expect("remove");
+        assert_eq!(v.get(4), None);
+        assert_eq!(v.nvals(), 1);
+        v.set_element(4, 44).expect("set again");
+        assert_eq!(v.extract_tuples(), vec![(2, 20), (4, 44)]);
+    }
+
+    #[test]
+    fn densify_on_fill() {
+        let mut v = Vector::<f64>::new(8).expect("new");
+        assert_eq!(v.vector_format(), VectorFormat::Sparse);
+        for i in 0..8 {
+            v.set_element(i, i as f64).expect("set");
+        }
+        v.wait();
+        assert_eq!(v.vector_format(), VectorFormat::Dense);
+        assert_eq!(v.nvals(), 8);
+        assert_eq!(v.get(7), Some(7.0));
+    }
+
+    #[test]
+    fn sparsify_on_drain() {
+        let mut v = Vector::dense(64, 1i32).expect("dense");
+        assert_eq!(v.vector_format(), VectorFormat::Dense);
+        for i in 0..63 {
+            v.remove_element(i).expect("remove");
+        }
+        v.wait();
+        // 1/64 occupancy is below the sparsify threshold.
+        let g = v.read();
+        drop(g);
+        v.inner.write().optimize_form();
+        assert_eq!(v.vector_format(), VectorFormat::Sparse);
+        assert_eq!(v.nvals(), 1);
+        assert_eq!(v.get(63), Some(1));
+    }
+
+    #[test]
+    fn dense_constructor() {
+        let v = Vector::dense(4, 2.5).expect("dense");
+        assert_eq!(v.nvals(), 4);
+        assert_eq!(v.get(3), Some(2.5));
+    }
+
+    #[test]
+    fn dense_set_and_remove_in_place() {
+        let mut v = Vector::dense(4, 0i32).expect("dense");
+        v.set_element(2, 9).expect("set");
+        assert_eq!(v.get(2), Some(9));
+        v.remove_element(1).expect("remove");
+        assert_eq!(v.get(1), None);
+        assert_eq!(v.nvals(), 3);
+    }
+
+    #[test]
+    fn pattern_and_resize() {
+        let mut v = Vector::from_tuples(6, vec![(0, 5), (5, 6)], |_, b| b).expect("build");
+        let p = v.pattern();
+        assert_eq!(p.extract_tuples(), vec![(0, true), (5, true)]);
+        v.resize(3).expect("resize");
+        assert_eq!(v.extract_tuples(), vec![(0, 5)]);
+        assert_eq!(v.size(), 3);
+    }
+
+    #[test]
+    fn out_of_bounds_errors() {
+        let mut v = Vector::<i32>::new(3).expect("new");
+        assert!(v.set_element(3, 1).is_err());
+        assert!(v.remove_element(9).is_err());
+        assert!(v.extract_element(3).is_err());
+        assert!(Vector::from_tuples(3, vec![(3, 1)], |_, b| b).is_err());
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = Vector::from_tuples(3, vec![(0, 1)], |_, b| b).expect("build");
+        let b = a.clone();
+        a.set_element(0, 9).expect("set");
+        assert_eq!(b.get(0), Some(1));
+    }
+
+    #[test]
+    fn view_lookup_consistency() {
+        let v = Vector::from_tuples(100, (0..30).map(|i| (i * 3, i as i64)).collect(), |_, b| b)
+            .expect("build");
+        let g = v.read();
+        let view = g.view();
+        assert_eq!(view.nvals(), 30);
+        assert_eq!(view.get(27), Some(9));
+        assert_eq!(view.get(28), None);
+        let mut count = 0;
+        view.for_each(|i, x| {
+            assert_eq!(i % 3, 0);
+            assert_eq!(x, (i / 3) as i64);
+            count += 1;
+        });
+        assert_eq!(count, 30);
+    }
+}

@@ -1,0 +1,284 @@
+//! Edge-case suite for the GraphBLAS substrate: minimal dimensions,
+//! empty operands, full matrices, aliasing-adjacent patterns, extreme
+//! types, and descriptor corner cases.
+
+use graphblas::prelude::*;
+use graphblas::semiring::{LOR_LAND, MIN_PLUS, PLUS_TIMES};
+
+#[test]
+fn one_by_one_everything() {
+    let a = Matrix::from_tuples(1, 1, vec![(0, 0, 2.0)], |_, b| b).expect("a");
+    let u = Vector::from_tuples(1, vec![(0, 3.0)], |_, b| b).expect("u");
+    let mut w = Vector::<f64>::new(1).expect("w");
+    mxv(&mut w, None, NOACC, &PLUS_TIMES, &a, &u, &Descriptor::default()).expect("mxv");
+    assert_eq!(w.get(0), Some(6.0));
+    let mut c = Matrix::<f64>::new(1, 1).expect("c");
+    mxm(&mut c, None, NOACC, &PLUS_TIMES, &a, &a, &Descriptor::default()).expect("mxm");
+    assert_eq!(c.get(0, 0), Some(4.0));
+    let t = transpose_new(&a).expect("t");
+    assert_eq!(t.get(0, 0), Some(2.0));
+}
+
+#[test]
+fn empty_operands_produce_empty_results() {
+    let a = Matrix::<f64>::new(5, 5).expect("a");
+    let u = Vector::<f64>::new(5).expect("u");
+    let mut w = Vector::<f64>::new(5).expect("w");
+    mxv(&mut w, None, NOACC, &PLUS_TIMES, &a, &u, &Descriptor::default()).expect("mxv");
+    assert_eq!(w.nvals(), 0);
+    let mut c = Matrix::<f64>::new(5, 5).expect("c");
+    mxm(&mut c, None, NOACC, &PLUS_TIMES, &a, &a, &Descriptor::default()).expect("mxm");
+    assert_eq!(c.nvals(), 0);
+    assert_eq!(reduce_matrix_scalar(&binaryop::Plus, &a), 0.0);
+}
+
+#[test]
+fn empty_times_full_is_empty() {
+    let empty = Matrix::<i64>::new(4, 4).expect("empty");
+    let mut full = Matrix::<i64>::new(4, 4).expect("full");
+    assign_matrix_scalar(
+        &mut full,
+        None,
+        NOACC,
+        7,
+        &IndexSel::All,
+        &IndexSel::All,
+        &Descriptor::default(),
+    )
+    .expect("fill");
+    assert_eq!(full.nvals(), 16);
+    let mut c = Matrix::<i64>::new(4, 4).expect("c");
+    mxm(&mut c, None, NOACC, &PLUS_TIMES, &empty, &full, &Descriptor::default())
+        .expect("mxm");
+    assert_eq!(c.nvals(), 0);
+}
+
+#[test]
+fn full_matrix_product_is_dense() {
+    let n = 8;
+    let mut a = Matrix::<i64>::new(n, n).expect("a");
+    assign_matrix_scalar(&mut a, None, NOACC, 1, &IndexSel::All, &IndexSel::All,
+        &Descriptor::default()).expect("fill");
+    let mut c = Matrix::<i64>::new(n, n).expect("c");
+    mxm(&mut c, None, NOACC, &PLUS_TIMES, &a, &a, &Descriptor::default()).expect("mxm");
+    assert_eq!(c.nvals(), n * n);
+    assert_eq!(c.get(3, 4), Some(n as i64));
+}
+
+#[test]
+fn explicit_zeros_are_entries() {
+    // GraphBLAS semantics: a stored zero is an entry, not "nothing".
+    let a = Matrix::from_tuples(2, 2, vec![(0, 0, 0.0), (0, 1, 0.0)], |_, b| b).expect("a");
+    assert_eq!(a.nvals(), 2);
+    let u = Vector::from_tuples(2, vec![(0, 0.0), (1, 5.0)], |_, b| b).expect("u");
+    let mut w = Vector::<f64>::new(2).expect("w");
+    mxv(&mut w, None, NOACC, &PLUS_TIMES, &a, &u, &Descriptor::default()).expect("mxv");
+    // Row 0 intersects u at both positions: 0*0 + 0*5 = 0, an entry.
+    assert_eq!(w.get(0), Some(0.0));
+    assert_eq!(w.nvals(), 1);
+}
+
+#[test]
+fn mask_of_explicit_false_blocks_by_value_but_not_structurally() {
+    let mut w = Vector::<i32>::new(3).expect("w");
+    let mask = Vector::from_tuples(3, vec![(0, false), (1, true)], |_, b| b).expect("m");
+    assign_scalar(&mut w, Some(&mask), NOACC, 7, &IndexSel::All, &Descriptor::default())
+        .expect("assign");
+    assert_eq!(w.extract_tuples(), vec![(1, 7)]);
+    let mut w2 = Vector::<i32>::new(3).expect("w2");
+    assign_scalar(
+        &mut w2,
+        Some(&mask),
+        NOACC,
+        7,
+        &IndexSel::All,
+        &Descriptor::new().structural(),
+    )
+    .expect("assign");
+    assert_eq!(w2.extract_tuples(), vec![(0, 7), (1, 7)]);
+}
+
+#[test]
+fn replace_without_mask_clears_everything_outside_result() {
+    let mut w = Vector::from_tuples(4, vec![(0, 9), (3, 9)], |_, b| b).expect("w");
+    let u = Vector::from_tuples(4, vec![(1, 1)], |_, b| b).expect("u");
+    // No mask + replace: the result is exactly the computed T.
+    apply(&mut w, None, NOACC, unaryop::Identity, &u, &Descriptor::new().replace())
+        .expect("apply");
+    assert_eq!(w.extract_tuples(), vec![(1, 1)]);
+}
+
+#[test]
+fn accumulator_unions_old_and_new() {
+    let mut w = Vector::from_tuples(4, vec![(0, 10), (1, 10)], |_, b| b).expect("w");
+    let u = Vector::from_tuples(4, vec![(1, 1), (2, 1)], |_, b| b).expect("u");
+    apply(&mut w, None, Some(binaryop::Plus), unaryop::Identity, &u, &Descriptor::default())
+        .expect("apply");
+    assert_eq!(w.extract_tuples(), vec![(0, 10), (1, 11), (2, 1)]);
+}
+
+#[test]
+fn extreme_integer_types() {
+    // u8 wrap-around through a semiring product.
+    let a = Matrix::from_tuples(1, 1, vec![(0, 0, 200u8)], |_, b| b).expect("a");
+    let u = Vector::from_tuples(1, vec![(0, 2u8)], |_, b| b).expect("u");
+    let mut w = Vector::<u8>::new(1).expect("w");
+    mxv(&mut w, None, NOACC, &PLUS_TIMES, &a, &u, &Descriptor::default()).expect("mxv");
+    assert_eq!(w.get(0), Some(144)); // 400 mod 256
+
+    // i8 min/max identities survive reduction.
+    let v = Vector::from_tuples(3, vec![(0, i8::MIN), (2, i8::MAX)], |_, b| b).expect("v");
+    assert_eq!(reduce_vector_scalar(&binaryop::Min, &v), i8::MIN);
+    assert_eq!(reduce_vector_scalar(&binaryop::Max, &v), i8::MAX);
+}
+
+#[test]
+fn nan_handling_in_min_plus() {
+    let a = Matrix::from_tuples(2, 2, vec![(0, 0, f64::NAN), (0, 1, 1.0)], |_, b| b)
+        .expect("a");
+    let u = Vector::from_tuples(2, vec![(0, 1.0), (1, 1.0)], |_, b| b).expect("u");
+    let mut w = Vector::<f64>::new(2).expect("w");
+    mxv(&mut w, None, NOACC, &MIN_PLUS, &a, &u, &Descriptor::default()).expect("mxv");
+    // min(NaN + 1, 1 + 1) = 2: the NaN loses per the omit-NaN MIN policy.
+    assert_eq!(w.get(0), Some(2.0));
+}
+
+#[test]
+fn infinity_distances_behave() {
+    let a = Matrix::from_tuples(2, 2, vec![(0, 1, f64::INFINITY)], |_, b| b).expect("a");
+    let u = Vector::from_tuples(2, vec![(0, 0.0)], |_, b| b).expect("u");
+    let mut w = Vector::<f64>::new(2).expect("w");
+    vxm(&mut w, None, NOACC, &MIN_PLUS, &u, &a, &Descriptor::default()).expect("vxm");
+    assert_eq!(w.get(1), Some(f64::INFINITY));
+}
+
+#[test]
+fn self_loops_in_reachability() {
+    let a = Matrix::from_tuples(2, 2, vec![(0, 0, true), (0, 1, true)], |_, b| b)
+        .expect("a");
+    let q = Vector::from_tuples(2, vec![(0, true)], |_, b| b).expect("q");
+    let mut next = Vector::<bool>::new(2).expect("next");
+    vxm(&mut next, None, NOACC, &LOR_LAND, &q, &a, &Descriptor::default()).expect("vxm");
+    assert_eq!(next.extract_tuples(), vec![(0, true), (1, true)]);
+}
+
+#[test]
+fn deep_pending_chains_assemble_correctly() {
+    // Many rounds of interleaved set/remove on the same positions.
+    let mut m = Matrix::<i64>::new(16, 16).expect("m");
+    for round in 0..50i64 {
+        for k in 0..16usize {
+            m.set_element(k, (k + round as usize) % 16, round).expect("set");
+        }
+        if round % 7 == 0 {
+            m.wait();
+        }
+        if round % 3 == 0 {
+            m.remove_element(0, round as usize % 16).expect("remove");
+        }
+    }
+    // Invariants: all reads equal a straightforward model.
+    let mut model = std::collections::BTreeMap::new();
+    for round in 0..50i64 {
+        for k in 0..16usize {
+            model.insert((k, (k + round as usize) % 16), round);
+        }
+        if round % 3 == 0 {
+            model.remove(&(0, round as usize % 16));
+        }
+    }
+    let want: Vec<(usize, usize, i64)> =
+        model.into_iter().map(|((i, j), v)| (i, j, v)).collect();
+    assert_eq!(m.extract_tuples(), want);
+}
+
+#[test]
+fn resize_grow_and_shrink_interleaved_with_ops() {
+    let mut m = Matrix::from_tuples(3, 3, vec![(0, 0, 1.0), (2, 2, 2.0)], |_, b| b)
+        .expect("m");
+    m.resize(5, 5).expect("grow");
+    m.set_element(4, 4, 3.0).expect("set");
+    assert_eq!(m.nvals(), 3);
+    m.resize(2, 2).expect("shrink");
+    assert_eq!(m.extract_tuples(), vec![(0, 0, 1.0)]);
+    // Still fully operational after the churn.
+    let mut c = Matrix::<f64>::new(2, 2).expect("c");
+    mxm(&mut c, None, NOACC, &PLUS_TIMES, &m, &m, &Descriptor::default()).expect("mxm");
+    assert_eq!(c.get(0, 0), Some(1.0));
+}
+
+#[test]
+fn vector_between_representations_under_ops() {
+    // Walk a vector across the sparse/dense boundary repeatedly while
+    // using it as an operand.
+    let n = 64;
+    let a = Matrix::from_tuples(n, n, (0..n).map(|i| (i, (i + 1) % n, 1.0)).collect(),
+        |_, b| b).expect("ring");
+    let mut v = Vector::<f64>::new(n).expect("v");
+    v.set_element(0, 1.0).expect("seed");
+    for step in 0..(2 * n) {
+        let mut next = Vector::<f64>::new(n).expect("next");
+        vxm(&mut next, None, NOACC, &PLUS_TIMES, &v, &a, &Descriptor::default())
+            .expect("vxm");
+        // Accumulate so density grows, then periodically thin out.
+        let vsnap = v.clone();
+        ewise_add(&mut v, None, NOACC, binaryop::Plus, &vsnap, &next, &Descriptor::default())
+            .expect("accumulate");
+        if step % 10 == 9 {
+            let vs = v.clone();
+            let mut thin = Vector::<f64>::new(n).expect("thin");
+            select(&mut thin, None, NOACC,
+                |i: Index, _: Index, _: f64| i % 2 == 0, &vs, &Descriptor::default())
+                .expect("select");
+            v = thin;
+        }
+    }
+    assert!(v.nvals() > 0);
+}
+
+#[test]
+fn masked_everything_is_a_noop_on_empty_mask() {
+    let a = Matrix::from_tuples(3, 3, vec![(0, 0, 1)], |_, b| b).expect("a");
+    let empty_mask = Matrix::<bool>::new(3, 3).expect("mask");
+    let mut c = Matrix::from_tuples(3, 3, vec![(1, 1, 9)], |_, b| b).expect("c");
+    // Empty mask (no complement): nothing may be written; old C kept.
+    apply_matrix(&mut c, Some(&empty_mask), NOACC, unaryop::Identity, &a,
+        &Descriptor::default()).expect("apply");
+    assert_eq!(c.extract_tuples(), vec![(1, 1, 9)]);
+    // With replace: everything outside the (empty) mask is deleted.
+    apply_matrix(&mut c, Some(&empty_mask), NOACC, unaryop::Identity, &a,
+        &Descriptor::new().replace()).expect("apply");
+    assert_eq!(c.nvals(), 0);
+}
+
+#[test]
+fn kron_of_empty_is_empty() {
+    let a = Matrix::from_tuples(2, 2, vec![(0, 0, 1)], |_, b| b).expect("a");
+    let e = Matrix::<i32>::new(3, 3).expect("e");
+    let mut c = Matrix::<i32>::new(6, 6).expect("c");
+    kronecker(&mut c, None, NOACC, binaryop::Times, &a, &e, &Descriptor::default())
+        .expect("kron");
+    assert_eq!(c.nvals(), 0);
+}
+
+#[test]
+fn concat_split_on_single_tile() {
+    let a = Matrix::from_tuples(3, 3, vec![(1, 2, 5)], |_, b| b).expect("a");
+    let c = concat(&[vec![&a]]).expect("concat");
+    assert_eq!(c.extract_tuples(), a.extract_tuples());
+    let tiles = split(&a, &[3], &[3]).expect("split");
+    assert_eq!(tiles[0][0].extract_tuples(), a.extract_tuples());
+}
+
+#[test]
+fn bool_semiring_arithmetic_is_saturating() {
+    // PLUS on bool is OR (no wrap / no panic on "overflow").
+    let v = Vector::from_tuples(3, vec![(0, true), (1, true), (2, true)], |_, b| b)
+        .expect("v");
+    assert!(reduce_vector_scalar(&binaryop::Plus, &v));
+    let a = Matrix::from_tuples(2, 2, vec![(0, 0, true), (0, 1, true)], |_, b| b)
+        .expect("a");
+    let mut c = Matrix::<bool>::new(2, 2).expect("c");
+    mxm(&mut c, None, NOACC, &PLUS_TIMES, &a, &a, &Descriptor::default()).expect("mxm");
+    assert_eq!(c.get(0, 0), Some(true));
+}

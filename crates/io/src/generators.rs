@@ -1,0 +1,370 @@
+//! Synthetic graph generators — the "generation of scale-free graphs"
+//! support library §VI calls for. Since no external datasets ship with
+//! this reproduction, these generators stand in for the paper's test
+//! corpora (documented in DESIGN.md): RMAT/Kronecker scale-free graphs
+//! (the Graph500 workload), Erdős–Rényi graphs, and structured meshes.
+
+use graphblas::{Index, Matrix, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the RMAT recursive generator.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatParams {
+    /// log2 of the vertex count.
+    pub scale: u32,
+    /// Average edges per vertex (Graph500 uses 16).
+    pub edge_factor: usize,
+    /// Quadrant probabilities; Graph500 uses (0.57, 0.19, 0.19, 0.05).
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        RmatParams { scale: 10, edge_factor: 16, a: 0.57, b: 0.19, c: 0.19, seed: 42 }
+    }
+}
+
+/// Generate an RMAT (Kronecker-like) edge list and return the Boolean
+/// adjacency matrix. Self-loops are removed and the matrix is
+/// symmetrized, yielding an undirected scale-free graph.
+pub fn rmat(params: &RmatParams) -> Result<Matrix<bool>> {
+    let n: Index = 1 << params.scale;
+    let nedges = n * params.edge_factor;
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut tuples = Vec::with_capacity(2 * nedges);
+    for _ in 0..nedges {
+        let (mut i, mut j) = (0 as Index, 0 as Index);
+        for bit in (0..params.scale).rev() {
+            let r: f64 = rng.gen();
+            let (di, dj) = if r < params.a {
+                (0, 0)
+            } else if r < params.a + params.b {
+                (0, 1)
+            } else if r < params.a + params.b + params.c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            i |= di << bit;
+            j |= dj << bit;
+        }
+        if i != j {
+            tuples.push((i, j, true));
+            tuples.push((j, i, true));
+        }
+    }
+    Matrix::from_tuples(n, n, tuples, |_, b| b)
+}
+
+/// Directed RMAT variant (no symmetrization), used by the direction
+/// optimization benchmarks.
+pub fn rmat_directed(params: &RmatParams) -> Result<Matrix<bool>> {
+    let n: Index = 1 << params.scale;
+    let nedges = n * params.edge_factor;
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut tuples = Vec::with_capacity(nedges);
+    for _ in 0..nedges {
+        let (mut i, mut j) = (0 as Index, 0 as Index);
+        for bit in (0..params.scale).rev() {
+            let r: f64 = rng.gen();
+            let (di, dj) = if r < params.a {
+                (0, 0)
+            } else if r < params.a + params.b {
+                (0, 1)
+            } else if r < params.a + params.b + params.c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            i |= di << bit;
+            j |= dj << bit;
+        }
+        if i != j {
+            tuples.push((i, j, true));
+        }
+    }
+    Matrix::from_tuples(n, n, tuples, |_, b| b)
+}
+
+/// Erdős–Rényi G(n, m): `m` undirected edges chosen uniformly.
+pub fn erdos_renyi(n: Index, m: usize, seed: u64) -> Result<Matrix<bool>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tuples = Vec::with_capacity(2 * m);
+    let mut placed = 0;
+    while placed < m {
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        if i == j {
+            continue;
+        }
+        tuples.push((i, j, true));
+        tuples.push((j, i, true));
+        placed += 1;
+    }
+    Matrix::from_tuples(n, n, tuples, |_, b| b)
+}
+
+/// Uniformly weighted variant of [`erdos_renyi`] with weights in
+/// `(0, max_weight]`.
+pub fn erdos_renyi_weighted(
+    n: Index,
+    m: usize,
+    max_weight: f64,
+    seed: u64,
+) -> Result<Matrix<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tuples = Vec::with_capacity(2 * m);
+    let mut placed = 0;
+    while placed < m {
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        if i == j {
+            continue;
+        }
+        let w: f64 = rng.gen_range(0.0..max_weight) + f64::EPSILON;
+        tuples.push((i, j, w));
+        tuples.push((j, i, w));
+        placed += 1;
+    }
+    Matrix::from_tuples(n, n, tuples, |_, b| b)
+}
+
+/// A 2-D grid (mesh) graph of `rows × cols` vertices with 4-neighbor
+/// connectivity and unit weights; vertex id = `r * cols + c`.
+pub fn grid2d(rows: Index, cols: Index) -> Result<Matrix<f64>> {
+    let n = rows * cols;
+    let mut tuples = Vec::with_capacity(4 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            if c + 1 < cols {
+                tuples.push((v, v + 1, 1.0));
+                tuples.push((v + 1, v, 1.0));
+            }
+            if r + 1 < rows {
+                tuples.push((v, v + cols, 1.0));
+                tuples.push((v + cols, v, 1.0));
+            }
+        }
+    }
+    Matrix::from_tuples(n, n, tuples, |_, b| b)
+}
+
+/// A ring of `n` vertices (cycle graph).
+pub fn ring(n: Index) -> Result<Matrix<bool>> {
+    let mut tuples = Vec::with_capacity(2 * n);
+    for v in 0..n {
+        let w = (v + 1) % n;
+        tuples.push((v, w, true));
+        tuples.push((w, v, true));
+    }
+    Matrix::from_tuples(n, n, tuples, |_, b| b)
+}
+
+/// Watts–Strogatz small-world graph: a ring lattice where each vertex
+/// connects to its `k` nearest neighbors (k even), with each edge rewired
+/// to a random endpoint with probability `beta`.
+pub fn watts_strogatz(n: Index, k: usize, beta: f64, seed: u64) -> Result<Matrix<bool>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tuples = Vec::with_capacity(n * k);
+    for v in 0..n {
+        for h in 1..=(k / 2) {
+            let mut w = (v + h) % n;
+            if rng.gen::<f64>() < beta {
+                // Rewire to a uniform non-self target.
+                loop {
+                    w = rng.gen_range(0..n);
+                    if w != v {
+                        break;
+                    }
+                }
+            }
+            tuples.push((v, w, true));
+            tuples.push((w, v, true));
+        }
+    }
+    Matrix::from_tuples(n, n, tuples, |_, b| b)
+}
+
+/// Barabási–Albert preferential-attachment graph: starting from a small
+/// clique, each new vertex attaches to `m` existing vertices with
+/// probability proportional to their degree. Produces the scale-free
+/// degree distribution the LAGraph workloads assume.
+pub fn barabasi_albert(n: Index, m: usize, seed: u64) -> Result<Matrix<bool>> {
+    let m = m.max(1).min(n.saturating_sub(1));
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Attachment urn: vertex ids repeated once per incident edge.
+    let mut urn: Vec<Index> = Vec::with_capacity(2 * n * m);
+    let mut tuples = Vec::with_capacity(2 * n * m);
+    // Seed clique on the first m+1 vertices.
+    for i in 0..=(m.min(n - 1)) {
+        for j in (i + 1)..=(m.min(n - 1)) {
+            tuples.push((i, j, true));
+            tuples.push((j, i, true));
+            urn.push(i);
+            urn.push(j);
+        }
+    }
+    for v in (m + 1)..n {
+        let mut chosen = std::collections::HashSet::new();
+        while chosen.len() < m {
+            let &target = &urn[rng.gen_range(0..urn.len())];
+            if target != v {
+                chosen.insert(target);
+            }
+        }
+        for &w in &chosen {
+            tuples.push((v, w, true));
+            tuples.push((w, v, true));
+            urn.push(v);
+            urn.push(w);
+        }
+    }
+    Matrix::from_tuples(n, n, tuples, |_, b| b)
+}
+
+/// Random sparse rectangular matrix with `nnz` uniform entries, for
+/// kernel tests and benches.
+pub fn random_matrix(
+    nrows: Index,
+    ncols: Index,
+    nnz: usize,
+    seed: u64,
+) -> Result<Matrix<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tuples: Vec<(Index, Index, f64)> = (0..nnz)
+        .map(|_| (rng.gen_range(0..nrows), rng.gen_range(0..ncols), rng.gen_range(-1.0..1.0)))
+        .collect();
+    Matrix::from_tuples(nrows, ncols, tuples, |_, b| b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphblas::prelude::*;
+
+    #[test]
+    fn rmat_is_symmetric_and_loop_free() {
+        let a = rmat(&RmatParams { scale: 6, edge_factor: 4, ..Default::default() })
+            .expect("rmat");
+        assert_eq!(a.nrows(), 64);
+        for (i, j, _) in a.iter() {
+            assert_ne!(i, j, "no self loops");
+            assert_eq!(a.get(j, i), Some(true), "symmetric");
+        }
+        assert!(a.nvals() > 64, "dense enough to be interesting");
+    }
+
+    #[test]
+    fn rmat_is_deterministic_per_seed() {
+        let p = RmatParams { scale: 5, edge_factor: 4, ..Default::default() };
+        let a = rmat(&p).expect("a");
+        let b = rmat(&p).expect("b");
+        assert_eq!(a.extract_tuples(), b.extract_tuples());
+        let c = rmat(&RmatParams { seed: 43, ..p }).expect("c");
+        assert_ne!(a.extract_tuples(), c.extract_tuples());
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        // Scale-free: max degree far exceeds average degree.
+        let a = rmat(&RmatParams { scale: 9, edge_factor: 8, ..Default::default() })
+            .expect("rmat");
+        let n = a.nrows();
+        let mut deg = vec![0usize; n];
+        for (i, _, _) in a.iter() {
+            deg[i] += 1;
+        }
+        let avg = a.nvals() / n;
+        let max = *deg.iter().max().expect("nonempty");
+        assert!(max > 5 * avg, "max {max} vs avg {avg}");
+    }
+
+    #[test]
+    fn erdos_renyi_edge_count() {
+        let a = erdos_renyi(100, 200, 7).expect("er");
+        // Duplicates collapse, so nvals ≤ 2m, but should be close.
+        assert!(a.nvals() <= 400);
+        assert!(a.nvals() > 300);
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid2d(3, 4).expect("grid");
+        assert_eq!(g.nrows(), 12);
+        // Interior vertex 5 (row 1, col 1) has 4 neighbors.
+        let mut count = 0;
+        for (i, _, _) in g.iter() {
+            if i == 5 {
+                count += 1;
+            }
+        }
+        assert_eq!(count, 4);
+        // Corner 0 has 2.
+        assert_eq!(g.get(0, 1), Some(1.0));
+        assert_eq!(g.get(0, 4), Some(1.0));
+    }
+
+    #[test]
+    fn ring_degrees() {
+        let r = ring(5).expect("ring");
+        assert_eq!(r.nvals(), 10);
+        let mut w = Vector::<i64>::new(5).expect("w");
+        let mut ones = Matrix::<i64>::new(5, 5).expect("ones");
+        apply_matrix(&mut ones, None, NOACC, unaryop::One, &r, &Descriptor::default())
+            .expect("ones");
+        reduce_matrix(&mut w, None, NOACC, &binaryop::Plus, &ones, &Descriptor::default())
+            .expect("reduce");
+        for v in 0..5 {
+            assert_eq!(w.get(v), Some(2));
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_structure() {
+        let a = watts_strogatz(50, 4, 0.0, 1).expect("ws");
+        // beta=0: pure ring lattice, every vertex has degree exactly 4.
+        let mut deg = vec![0usize; 50];
+        for (i, _, _) in a.iter() {
+            deg[i] += 1;
+        }
+        assert!(deg.iter().all(|&d| d == 4));
+        // With rewiring the graph stays symmetric and loop-free.
+        let b = watts_strogatz(50, 4, 0.3, 2).expect("ws");
+        for (i, j, _) in b.iter() {
+            assert_ne!(i, j);
+            assert_eq!(b.get(j, i), Some(true));
+        }
+    }
+
+    #[test]
+    fn barabasi_albert_is_scale_free_ish() {
+        let a = barabasi_albert(400, 3, 5).expect("ba");
+        let mut deg = vec![0usize; 400];
+        for (i, _, _) in a.iter() {
+            deg[i] += 1;
+        }
+        // Every non-seed vertex has degree >= m.
+        assert!(deg.iter().all(|&d| d >= 3));
+        // Preferential attachment: the max degree dwarfs the minimum.
+        let max = *deg.iter().max().expect("nonempty");
+        assert!(max >= 20, "hub degree {max}");
+        for (i, j, _) in a.iter() {
+            assert_ne!(i, j);
+            assert_eq!(a.get(j, i), Some(true));
+        }
+    }
+
+    #[test]
+    fn random_matrix_respects_shape() {
+        let m = random_matrix(10, 20, 50, 3).expect("rand");
+        assert_eq!((m.nrows(), m.ncols()), (10, 20));
+        assert!(m.nvals() <= 50);
+        assert!(m.nvals() > 30);
+    }
+}

@@ -1,0 +1,177 @@
+//! A `cloc`-equivalent line counter, used to regenerate Table II of the
+//! paper (lines of application code per algorithm). Counts non-blank,
+//! non-comment lines of Rust source, with the same conventions `cloc`
+//! applies: `//` line comments and `/* ... */` block comments excluded,
+//! doc comments counted as comments.
+
+/// Count the lines of code in a Rust source string: non-blank lines that
+/// contain something other than comments.
+pub fn count_rust_loc(source: &str) -> usize {
+    let mut loc = 0;
+    let mut in_block_comment = false;
+    for line in source.lines() {
+        let mut rest = line.trim();
+        let mut has_code = false;
+        while !rest.is_empty() {
+            if in_block_comment {
+                match rest.find("*/") {
+                    Some(p) => {
+                        in_block_comment = false;
+                        rest = rest[p + 2..].trim_start();
+                    }
+                    None => break,
+                }
+            } else if let Some(p) = first_comment(rest) {
+                if p.0 > 0 {
+                    has_code = true;
+                }
+                match p.1 {
+                    CommentKind::Line => break,
+                    CommentKind::Block => {
+                        in_block_comment = true;
+                        rest = &rest[p.0 + 2..];
+                    }
+                }
+            } else {
+                has_code = true;
+                break;
+            }
+        }
+        if has_code {
+            loc += 1;
+        }
+    }
+    loc
+}
+
+enum CommentKind {
+    Line,
+    Block,
+}
+
+/// Position and kind of the first comment opener outside a string
+/// literal, if any.
+fn first_comment(s: &str) -> Option<(usize, CommentKind)> {
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    let mut in_str = false;
+    while i + 1 < bytes.len() {
+        if in_str {
+            if bytes[i] == b'\\' {
+                i += 2;
+                continue;
+            }
+            if bytes[i] == b'"' {
+                in_str = false;
+            }
+            i += 1;
+            continue;
+        }
+        match (bytes[i], bytes[i + 1]) {
+            (b'"', _) => in_str = true,
+            (b'/', b'/') => return Some((i, CommentKind::Line)),
+            (b'/', b'*') => return Some((i, CommentKind::Block)),
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Count the code lines of a function item within a source file: from the
+/// line containing `fn <name>` to its closing brace at the same nesting
+/// depth. This isolates a single algorithm's "application code" the way
+/// Table II counts it.
+pub fn count_fn_loc(source: &str, fn_name: &str) -> Option<usize> {
+    let needle_a = format!("fn {fn_name}(");
+    let needle_b = format!("fn {fn_name}<");
+    let lines: Vec<&str> = source.lines().collect();
+    let start = lines
+        .iter()
+        .position(|l| l.contains(&needle_a) || l.contains(&needle_b))?;
+    let mut depth = 0i64;
+    let mut started = false;
+    let mut end = start;
+    'outer: for (k, line) in lines.iter().enumerate().skip(start) {
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    started = true;
+                }
+                '}' => {
+                    depth -= 1;
+                    if started && depth == 0 {
+                        end = k;
+                        break 'outer;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    if !started {
+        return None;
+    }
+    let body: String = lines[start..=end].join("\n");
+    Some(count_rust_loc(&body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blank_and_comment_lines_excluded() {
+        let src = "\n// comment\nlet x = 1;\n\n/* block\nstill block\n*/\nlet y = 2;\n";
+        assert_eq!(count_rust_loc(src), 2);
+    }
+
+    #[test]
+    fn trailing_comments_count_the_code() {
+        let src = "let x = 1; // trailing\n";
+        assert_eq!(count_rust_loc(src), 1);
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let src = "/// docs\n//! module docs\nfn f() {}\n";
+        assert_eq!(count_rust_loc(src), 1);
+    }
+
+    #[test]
+    fn string_literals_hide_slashes() {
+        let src = "let url = \"http://example.com\";\n";
+        assert_eq!(count_rust_loc(src), 1);
+    }
+
+    #[test]
+    fn inline_block_comment_with_code() {
+        let src = "let x /* why */ = 1;\n";
+        assert_eq!(count_rust_loc(src), 1);
+    }
+
+    #[test]
+    fn fn_extraction() {
+        let src = "\
+// header
+fn alpha(x: i32) -> i32 {
+    // comment
+    x + 1
+}
+
+fn beta() {
+    println!(\"hi\");
+}
+";
+        assert_eq!(count_fn_loc(src, "alpha"), Some(3));
+        assert_eq!(count_fn_loc(src, "beta"), Some(3));
+        assert_eq!(count_fn_loc(src, "gamma"), None);
+    }
+
+    #[test]
+    fn generic_fn_extraction() {
+        let src = "fn gen<T: Clone>(x: T) -> T {\n    x.clone()\n}\n";
+        assert_eq!(count_fn_loc(src, "gen"), Some(3));
+    }
+}

@@ -1,0 +1,247 @@
+//! Matrix Market exchange format (Boisvert, Pozo & Remington, NIST —
+//! ref. [29] of the paper): the on-disk format the LAGraph utilities load
+//! graphs from. Supports `coordinate` matrices, `real` / `integer` /
+//! `pattern` fields, and `general` / `symmetric` / `skew-symmetric`
+//! symmetry, reading from any `BufRead` and writing to any `Write`.
+
+use std::io::{BufRead, Write};
+
+use graphblas::{Error, Index, Matrix, Result, Scalar};
+
+/// The value field of a Matrix Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmField {
+    /// Floating-point values.
+    Real,
+    /// Integer values.
+    Integer,
+    /// Structure only; entries read as 1.
+    Pattern,
+}
+
+/// The symmetry of a Matrix Market file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmSymmetry {
+    /// All entries stored explicitly.
+    General,
+    /// Lower triangle stored; `(i, j)` implies `(j, i)`.
+    Symmetric,
+    /// Lower triangle stored; `(i, j)` implies `-(j, i)`.
+    SkewSymmetric,
+}
+
+fn parse_error(line: usize, detail: &str) -> Error {
+    Error::invalid(format!("Matrix Market parse error at line {line}: {detail}"))
+}
+
+/// Read a Matrix Market coordinate file into a matrix of `T`.
+pub fn read_matrix_market<T: Scalar>(reader: impl BufRead) -> Result<Matrix<T>> {
+    let mut lines = reader.lines().enumerate();
+    // Header.
+    let (field, symmetry) = {
+        let (lno, first) = lines
+            .next()
+            .ok_or_else(|| parse_error(0, "empty input"))?;
+        let first = first.map_err(|e| parse_error(lno + 1, &e.to_string()))?;
+        let toks: Vec<String> =
+            first.split_whitespace().map(|t| t.to_ascii_lowercase()).collect();
+        if toks.len() < 5 || toks[0] != "%%matrixmarket" || toks[1] != "matrix" {
+            return Err(parse_error(1, "expected '%%MatrixMarket matrix ...' header"));
+        }
+        if toks[2] != "coordinate" {
+            return Err(parse_error(1, "only the coordinate format is supported"));
+        }
+        let field = match toks[3].as_str() {
+            "real" => MmField::Real,
+            "integer" => MmField::Integer,
+            "pattern" => MmField::Pattern,
+            other => return Err(parse_error(1, &format!("unsupported field '{other}'"))),
+        };
+        let symmetry = match toks[4].as_str() {
+            "general" => MmSymmetry::General,
+            "symmetric" => MmSymmetry::Symmetric,
+            "skew-symmetric" => MmSymmetry::SkewSymmetric,
+            other => return Err(parse_error(1, &format!("unsupported symmetry '{other}'"))),
+        };
+        (field, symmetry)
+    };
+    // Size line (skipping comments).
+    let mut dims: Option<(Index, Index, usize)> = None;
+    let mut tuples: Vec<(Index, Index, T)> = Vec::new();
+    for (lno, line) in lines {
+        let line = line.map_err(|e| parse_error(lno + 1, &e.to_string()))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let toks: Vec<&str> = trimmed.split_whitespace().collect();
+        match dims {
+            None => {
+                if toks.len() != 3 {
+                    return Err(parse_error(lno + 1, "size line must be 'nrows ncols nnz'"));
+                }
+                let nr: Index =
+                    toks[0].parse().map_err(|_| parse_error(lno + 1, "bad nrows"))?;
+                let nc: Index =
+                    toks[1].parse().map_err(|_| parse_error(lno + 1, "bad ncols"))?;
+                let nnz: usize =
+                    toks[2].parse().map_err(|_| parse_error(lno + 1, "bad nnz"))?;
+                tuples.reserve(if symmetry == MmSymmetry::General { nnz } else { 2 * nnz });
+                dims = Some((nr, nc, nnz));
+            }
+            Some((nr, nc, _)) => {
+                let need = if field == MmField::Pattern { 2 } else { 3 };
+                if toks.len() < need {
+                    return Err(parse_error(lno + 1, "entry line too short"));
+                }
+                let i: Index =
+                    toks[0].parse().map_err(|_| parse_error(lno + 1, "bad row index"))?;
+                let j: Index =
+                    toks[1].parse().map_err(|_| parse_error(lno + 1, "bad col index"))?;
+                if i == 0 || j == 0 || i > nr || j > nc {
+                    return Err(parse_error(lno + 1, "index out of range (1-based)"));
+                }
+                let v: f64 = if field == MmField::Pattern {
+                    1.0
+                } else {
+                    toks[2].parse().map_err(|_| parse_error(lno + 1, "bad value"))?
+                };
+                let (i, j) = (i - 1, j - 1);
+                tuples.push((i, j, T::from_f64(v)));
+                if i != j {
+                    match symmetry {
+                        MmSymmetry::General => {}
+                        MmSymmetry::Symmetric => tuples.push((j, i, T::from_f64(v))),
+                        MmSymmetry::SkewSymmetric => tuples.push((j, i, T::from_f64(-v))),
+                    }
+                }
+            }
+        }
+    }
+    let (nr, nc, _) = dims.ok_or_else(|| parse_error(0, "missing size line"))?;
+    Matrix::from_tuples(nr, nc, tuples, |_, b| b)
+}
+
+/// Write a matrix in Matrix Market coordinate format (general symmetry).
+pub fn write_matrix_market<T: Scalar>(
+    m: &Matrix<T>,
+    mut w: impl Write,
+    field: MmField,
+) -> Result<()> {
+    let io_err = |e: std::io::Error| Error::invalid(format!("write error: {e}"));
+    let field_name = match field {
+        MmField::Real => "real",
+        MmField::Integer => "integer",
+        MmField::Pattern => "pattern",
+    };
+    writeln!(w, "%%MatrixMarket matrix coordinate {field_name} general").map_err(io_err)?;
+    writeln!(w, "%% generated by lagraph-io").map_err(io_err)?;
+    let tuples = m.extract_tuples();
+    writeln!(w, "{} {} {}", m.nrows(), m.ncols(), tuples.len()).map_err(io_err)?;
+    for (i, j, x) in tuples {
+        match field {
+            MmField::Pattern => writeln!(w, "{} {}", i + 1, j + 1).map_err(io_err)?,
+            MmField::Integer => {
+                writeln!(w, "{} {} {}", i + 1, j + 1, x.to_f64() as i64).map_err(io_err)?
+            }
+            MmField::Real => {
+                writeln!(w, "{} {} {}", i + 1, j + 1, x.to_f64()).map_err(io_err)?
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_general_real() {
+        let input = "\
+%%MatrixMarket matrix coordinate real general
+% a comment
+3 3 2
+1 2 1.5
+3 1 -2.0
+";
+        let m: Matrix<f64> = read_matrix_market(input.as_bytes()).expect("read");
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.get(0, 1), Some(1.5));
+        assert_eq!(m.get(2, 0), Some(-2.0));
+        assert_eq!(m.nvals(), 2);
+    }
+
+    #[test]
+    fn read_symmetric_pattern() {
+        let input = "\
+%%MatrixMarket matrix coordinate pattern symmetric
+3 3 2
+2 1
+3 2
+";
+        let m: Matrix<bool> = read_matrix_market(input.as_bytes()).expect("read");
+        assert_eq!(m.nvals(), 4);
+        assert_eq!(m.get(0, 1), Some(true));
+        assert_eq!(m.get(1, 0), Some(true));
+    }
+
+    #[test]
+    fn read_skew_symmetric() {
+        let input = "\
+%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+2 1 3.0
+";
+        let m: Matrix<f64> = read_matrix_market(input.as_bytes()).expect("read");
+        assert_eq!(m.get(1, 0), Some(3.0));
+        assert_eq!(m.get(0, 1), Some(-3.0));
+    }
+
+    #[test]
+    fn round_trip() {
+        let m = Matrix::from_tuples(4, 3, vec![(0, 2, 1.25), (3, 0, -9.5)], |_, b| b)
+            .expect("build");
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf, MmField::Real).expect("write");
+        let back: Matrix<f64> = read_matrix_market(&buf[..]).expect("read");
+        assert_eq!(back.extract_tuples(), m.extract_tuples());
+        assert_eq!((back.nrows(), back.ncols()), (4, 3));
+    }
+
+    #[test]
+    fn pattern_round_trip() {
+        let m = Matrix::from_tuples(2, 2, vec![(0, 0, true), (1, 0, true)], |_, b| b)
+            .expect("build");
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf, MmField::Pattern).expect("write");
+        let back: Matrix<bool> = read_matrix_market(&buf[..]).expect("read");
+        assert_eq!(back.extract_tuples(), m.extract_tuples());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(read_matrix_market::<f64>("not a header\n".as_bytes()).is_err());
+        assert!(read_matrix_market::<f64>(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n".as_bytes()
+        )
+        .is_err());
+        assert!(read_matrix_market::<f64>(
+            "%%MatrixMarket matrix array real general\n".as_bytes()
+        )
+        .is_err());
+        assert!(read_matrix_market::<f64>("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn duplicate_entries_last_wins() {
+        let input = "\
+%%MatrixMarket matrix coordinate integer general
+2 2 2
+1 1 5
+1 1 7
+";
+        let m: Matrix<i32> = read_matrix_market(input.as_bytes()).expect("read");
+        assert_eq!(m.get(0, 0), Some(7));
+    }
+}

@@ -1,0 +1,52 @@
+//! Sparse deep neural network inference — the GraphChallenge SDNN
+//! workload the paper's §V lists among the machine-learning algorithms a
+//! GraphBLAS library should host: `Y ← ReLU(Y W + b)` across a stack of
+//! sparse layers, entirely in sparse matrix algebra.
+//!
+//! Run with: `cargo run --release --example sparse_dnn`
+
+use std::time::Instant;
+
+use lagraph::dnn::synthetic_layers;
+use lagraph_suite::prelude::*;
+
+fn main() -> graphblas::Result<()> {
+    let nneurons = 1024;
+    let nlayers = 24;
+    let nsamples = 256;
+
+    // A RadiX-Net-like synthetic layer stack with a negative bias so weak
+    // activations die out layer by layer.
+    let layers = synthetic_layers(nneurons, nlayers, -0.05);
+    let total_weights: usize = layers.iter().map(|l| l.weights.nvals()).sum();
+    println!("network: {nlayers} layers × {nneurons} neurons, {total_weights} weights");
+
+    // Sparse input batch: each sample activates a few neurons.
+    let mut y0_tuples = Vec::new();
+    for s in 0..nsamples {
+        for k in 0..8 {
+            y0_tuples.push((s, (s * 37 + k * 131) % nneurons, 1.0));
+        }
+    }
+    let y0 = Matrix::from_tuples(nsamples, nneurons, y0_tuples, |a, _| a)?;
+    println!("input batch: {} samples, {} activations", nsamples, y0.nvals());
+
+    let t0 = Instant::now();
+    let y = dnn_inference(&y0, &layers)?;
+    let elapsed = t0.elapsed();
+    let cats = dnn_categorize(&y)?;
+    println!(
+        "inference: {:?}; final activations {} ({}% dense), {} samples categorized positive",
+        elapsed,
+        y.nvals(),
+        100 * y.nvals() / (nsamples * nneurons),
+        cats.nvals()
+    );
+
+    // Sanity: activations are within [0, YMAX].
+    for (_, _, x) in y.iter() {
+        assert!((0.0..=lagraph::dnn::YMAX).contains(&x));
+    }
+    println!("all activations within [0, {}]", lagraph::dnn::YMAX);
+    Ok(())
+}

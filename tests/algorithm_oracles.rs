@@ -1,0 +1,255 @@
+//! Property-based validation of the algorithm collection against plain
+//! (non-GraphBLAS) oracles on random graphs: union-find for components,
+//! Dijkstra for shortest paths, brute force for triangles, Kruskal for
+//! spanning forests, Tarjan-style labels for SCCs.
+
+use std::collections::BinaryHeap;
+
+use lagraph_suite::prelude::*;
+use proptest::prelude::*;
+
+const N: usize = 24;
+
+fn arb_edges() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec((0..N, 0..N), 0..80).prop_map(|pairs| {
+        pairs.into_iter().filter(|&(a, b)| a != b).collect()
+    })
+}
+
+fn arb_weighted_edges() -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    proptest::collection::vec(((0..N, 0..N), 1u32..64), 0..80).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .filter(|&((a, b), _)| a != b)
+            .map(|((a, b), w)| (a, b, w as f64 / 4.0))
+            .collect()
+    })
+}
+
+fn undirected(edges: &[(usize, usize)]) -> Graph {
+    Graph::from_edges(N, edges, GraphKind::Undirected).expect("graph")
+}
+
+/// Union-find oracle for connected components.
+fn uf_components(edges: &[(usize, usize)]) -> Vec<usize> {
+    let mut p: Vec<usize> = (0..N).collect();
+    fn find(p: &mut Vec<usize>, mut x: usize) -> usize {
+        while p[x] != x {
+            p[x] = p[p[x]];
+            x = p[x];
+        }
+        x
+    }
+    for &(a, b) in edges {
+        let (ra, rb) = (find(&mut p, a), find(&mut p, b));
+        if ra != rb {
+            p[ra.max(rb)] = ra.min(rb);
+        }
+    }
+    (0..N).map(|v| find(&mut p, v)).collect()
+}
+
+/// Dijkstra oracle over the graph's *deduplicated* adjacency (parallel
+/// edges in the generated list collapse last-wins, exactly as `Graph`
+/// builds its matrix).
+fn dijkstra(g: &Graph, src: usize) -> Vec<Option<f64>> {
+    let mut adj = vec![Vec::new(); N];
+    for (a, b, w) in g.a().iter() {
+        adj[a].push((b, w));
+    }
+    let mut dist = vec![None; N];
+    let mut heap = BinaryHeap::new();
+    dist[src] = Some(0.0);
+    heap.push((std::cmp::Reverse(0u64), src));
+    while let Some((std::cmp::Reverse(dq), v)) = heap.pop() {
+        let d = dq as f64 / 1024.0;
+        if dist[v].map_or(true, |cur| d > cur) {
+            continue;
+        }
+        for &(u, w) in &adj[v] {
+            let nd = d + w;
+            if dist[u].map_or(true, |cur| nd < cur) {
+                dist[u] = Some(nd);
+                heap.push((std::cmp::Reverse((nd * 1024.0) as u64), u));
+            }
+        }
+    }
+    dist
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn components_match_union_find(edges in arb_edges()) {
+        let g = undirected(&edges);
+        let comp = connected_components(&g).expect("cc");
+        let oracle = uf_components(&edges);
+        for v in 0..N {
+            // Same partition: two vertices share a component exactly when
+            // the oracle says so. (Labels are both smallest-member ids,
+            // so they should match exactly.)
+            prop_assert_eq!(comp.get(v), Some(oracle[v] as u64), "vertex {}", v);
+        }
+    }
+
+    #[test]
+    fn bellman_ford_matches_dijkstra(edges in arb_weighted_edges(), src in 0..N) {
+        // Weights are multiples of 1/4 so the fixed-point Dijkstra heap
+        // key is exact.
+        let g = Graph::from_weighted_edges(N, &edges, GraphKind::Undirected).expect("g");
+        let dist = sssp_bellman_ford(&g, src).expect("sssp");
+        let oracle = dijkstra(&g, src);
+        for v in 0..N {
+            match (dist.get(v), oracle[v]) {
+                (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9, "v {}: {} vs {}", v, a, b),
+                (None, None) => {}
+                other => prop_assert!(false, "v {}: {:?}", v, other),
+            }
+        }
+    }
+
+    #[test]
+    fn delta_stepping_matches_dijkstra(edges in arb_weighted_edges(), src in 0..N) {
+        let g = Graph::from_weighted_edges(N, &edges, GraphKind::Undirected).expect("g");
+        let dist = sssp_delta_stepping(&g, src, 3.0).expect("sssp");
+        let oracle = dijkstra(&g, src);
+        for v in 0..N {
+            match (dist.get(v), oracle[v]) {
+                (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9, "v {}", v),
+                (None, None) => {}
+                other => prop_assert!(false, "v {}: {:?}", v, other),
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_count_matches_brute_force(edges in arb_edges()) {
+        let g = undirected(&edges);
+        let fast = triangle_count(&g, TriCountMethod::Sandia).expect("tc");
+        let has = |u: usize, v: usize| g.a().get(u, v).is_some();
+        let mut brute = 0u64;
+        for a in 0..N {
+            for b in (a + 1)..N {
+                for c in (b + 1)..N {
+                    if has(a, b) && has(b, c) && has(a, c) {
+                        brute += 1;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(fast, brute);
+    }
+
+    #[test]
+    fn msf_weight_matches_kruskal(edges in arb_weighted_edges()) {
+        let g = Graph::from_weighted_edges(N, &edges, GraphKind::Undirected).expect("g");
+        let forest = minimum_spanning_forest(&g).expect("msf");
+        // Kruskal oracle over the deduplicated edge set the Graph holds.
+        let mut es: Vec<(f64, usize, usize)> =
+            g.a().iter().filter(|&(u, v, _)| u < v).map(|(u, v, w)| (w, u, v)).collect();
+        es.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let mut p: Vec<usize> = (0..N).collect();
+        fn find(p: &mut Vec<usize>, mut x: usize) -> usize {
+            while p[x] != x {
+                p[x] = p[p[x]];
+                x = p[x];
+            }
+            x
+        }
+        let mut kruskal = 0.0;
+        for (w, u, v) in es {
+            let (a, b) = (find(&mut p, u), find(&mut p, v));
+            if a != b {
+                p[a] = b;
+                kruskal += w;
+            }
+        }
+        prop_assert!((forest_weight(&forest) - kruskal).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scc_matches_pairwise_reachability(edges in arb_edges()) {
+        let g = Graph::from_edges(N, &edges, GraphKind::Directed).expect("g");
+        let labels = strongly_connected_components(&g).expect("scc");
+        // Oracle: boolean transitive closure by Floyd–Warshall.
+        let mut reach = vec![[false; N]; N];
+        for v in 0..N {
+            reach[v][v] = true;
+        }
+        for &(a, b) in &edges {
+            reach[a][b] = true;
+        }
+        for k in 0..N {
+            for i in 0..N {
+                if reach[i][k] {
+                    for j in 0..N {
+                        if reach[k][j] {
+                            reach[i][j] = true;
+                        }
+                    }
+                }
+            }
+        }
+        for u in 0..N {
+            for v in 0..N {
+                let same = labels.get(u) == labels.get(v);
+                let mutual = reach[u][v] && reach[v][u];
+                prop_assert_eq!(same, mutual, "pair ({}, {})", u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn kcore_members_have_internal_degree_k(edges in arb_edges(), k in 1i64..4) {
+        let g = undirected(&edges);
+        let members = kcore(&g, k).expect("kcore");
+        // Every member has >= k neighbors inside the core.
+        for (v, _) in members.iter() {
+            let mut inside = 0;
+            for (u, w, _) in g.a().iter() {
+                if u == v && members.get(w).is_some() {
+                    inside += 1;
+                }
+            }
+            prop_assert!(inside >= k, "vertex {} has {} < {}", v, inside, k);
+        }
+        // Maximality: rerunning the peel on the complement finds nothing
+        // new (the k-core is the fixpoint, so running kcore on the
+        // subgraph of members returns everyone).
+        prop_assert_eq!(kcore(&g, k).expect("again").nvals(), members.nvals());
+    }
+
+    #[test]
+    fn subgraph_wedge_count_is_degree_formula(edges in arb_edges()) {
+        let g = undirected(&edges);
+        let counts = subgraph_counts(&g).expect("counts");
+        let mut by_degree = 0u64;
+        let deg = g.out_degree();
+        for (_, d) in deg.iter() {
+            let d = d as u64;
+            by_degree += d * (d - 1) / 2;
+        }
+        prop_assert_eq!(counts.wedges, by_degree);
+    }
+
+    #[test]
+    fn astar_with_zero_heuristic_matches_dijkstra(
+        edges in arb_weighted_edges(),
+        src in 0..N,
+        dst in 0..N,
+    ) {
+        let g = Graph::from_weighted_edges(N, &edges, GraphKind::Undirected).expect("g");
+        let oracle = dijkstra(&g, src);
+        let result = astar(&g, src, dst, |_| 0.0).expect("astar");
+        match (result, oracle[dst]) {
+            (Some((path, d)), Some(want)) => {
+                prop_assert!((d - want).abs() < 1e-9);
+                prop_assert_eq!(path[0], src);
+                prop_assert_eq!(*path.last().expect("nonempty"), dst);
+            }
+            (None, None) => {}
+            other => prop_assert!(false, "{:?}", other),
+        }
+    }
+}

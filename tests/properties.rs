@@ -1,0 +1,266 @@
+//! Property-based invariants on the core data structures: the
+//! incremental-update machinery (pending tuples + zombies) must be
+//! indistinguishable from a simple map model, import/export must be
+//! lossless, and algebraic identities must hold on random inputs.
+
+use std::collections::BTreeMap;
+
+use graphblas::prelude::*;
+use graphblas::semiring::{MIN_PLUS, PLUS_TIMES};
+use proptest::prelude::*;
+
+const N: Index = 8;
+
+/// A random interleaving of set/remove operations.
+#[derive(Debug, Clone)]
+enum Op {
+    Set(Index, Index, i64),
+    Remove(Index, Index),
+    Wait,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            ((0..N, 0..N), -100i64..100).prop_map(|((i, j), v)| Op::Set(i, j, v)),
+            (0..N, 0..N).prop_map(|(i, j)| Op::Remove(i, j)),
+            Just(Op::Wait),
+        ],
+        0..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The matrix under arbitrary interleaved mutation behaves exactly
+    /// like a BTreeMap: pending tuples, zombies, in-place updates, and
+    /// assembly are all invisible to the observer.
+    #[test]
+    fn matrix_matches_map_model(ops in arb_ops()) {
+        let mut m = Matrix::<i64>::new(N, N).expect("new");
+        let mut model = BTreeMap::<(Index, Index), i64>::new();
+        for op in ops {
+            match op {
+                Op::Set(i, j, v) => {
+                    m.set_element(i, j, v).expect("set");
+                    model.insert((i, j), v);
+                }
+                Op::Remove(i, j) => {
+                    m.remove_element(i, j).expect("remove");
+                    model.remove(&(i, j));
+                }
+                Op::Wait => m.wait(),
+            }
+        }
+        let got = m.extract_tuples();
+        let want: Vec<(Index, Index, i64)> =
+            model.into_iter().map(|((i, j), v)| (i, j, v)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Vectors likewise.
+    #[test]
+    fn vector_matches_map_model(ops in arb_ops()) {
+        let mut v = Vector::<i64>::new(N).expect("new");
+        let mut model = BTreeMap::<Index, i64>::new();
+        for op in ops {
+            match op {
+                Op::Set(i, _, x) => {
+                    v.set_element(i, x).expect("set");
+                    model.insert(i, x);
+                }
+                Op::Remove(i, _) => {
+                    v.remove_element(i).expect("remove");
+                    model.remove(&i);
+                }
+                Op::Wait => v.wait(),
+            }
+        }
+        let got = v.extract_tuples();
+        let want: Vec<(Index, i64)> = model.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Point reads see through pending state: get() after any prefix of
+    /// mutations equals the model without forcing assembly.
+    #[test]
+    fn reads_see_pending_state(ops in arb_ops()) {
+        let mut m = Matrix::<i64>::new(N, N).expect("new");
+        let mut model = BTreeMap::<(Index, Index), i64>::new();
+        for op in ops {
+            match op {
+                Op::Set(i, j, v) => {
+                    m.set_element(i, j, v).expect("set");
+                    model.insert((i, j), v);
+                }
+                Op::Remove(i, j) => {
+                    m.remove_element(i, j).expect("remove");
+                    model.remove(&(i, j));
+                }
+                Op::Wait => {}
+            }
+            // Sample a few positions without assembling.
+            for (i, j) in [(0, 0), (3, 5), (7, 7)] {
+                prop_assert_eq!(m.get(i, j), model.get(&(i, j)).copied());
+            }
+        }
+    }
+
+    /// export → import is the identity, for both CSR and CSC.
+    #[test]
+    fn import_export_round_trip(
+        entries in proptest::collection::vec(((0..N, 0..N), -50i64..50), 0..30)
+    ) {
+        let tuples: Vec<_> = entries.into_iter().map(|((i, j), v)| (i, j, v)).collect();
+        let m = Matrix::from_tuples(N, N, tuples, |_, b| b).expect("build");
+        let reference = m.extract_tuples();
+
+        let (nr, nc, p, i, x) = m.clone().export_csr();
+        let back = Matrix::import_csr(nr, nc, p, i, x).expect("import");
+        prop_assert_eq!(back.extract_tuples(), reference.clone());
+
+        let (nr, nc, p, i, x) = m.clone().export_csc();
+        let back = Matrix::import_csc(nr, nc, p, i, x).expect("import");
+        prop_assert_eq!(back.extract_tuples(), reference.clone());
+
+        let (nr, nc, h, p, i, x) = m.export_hyper_csr();
+        let back = Matrix::import_hyper_csr(nr, nc, h, p, i, x).expect("import");
+        prop_assert_eq!(back.extract_tuples(), reference);
+    }
+
+    /// (Aᵀ)ᵀ = A, and transpose commutes with format changes.
+    #[test]
+    fn transpose_involution(
+        entries in proptest::collection::vec(((0..N, 0..N), -50i64..50), 0..30)
+    ) {
+        let tuples: Vec<_> = entries.into_iter().map(|((i, j), v)| (i, j, v)).collect();
+        let m = Matrix::from_tuples(N, N, tuples, |_, b| b).expect("build");
+        let tt = transpose_new(&transpose_new(&m).expect("t")).expect("tt");
+        prop_assert_eq!(tt.extract_tuples(), m.extract_tuples());
+
+        let mut csc = m.clone();
+        csc.set_col_major();
+        prop_assert_eq!(csc.extract_tuples(), m.extract_tuples());
+    }
+
+    /// Matrix multiplication is associative over (min, +) and (+, ×) on
+    /// integer inputs (exact arithmetic).
+    #[test]
+    fn mxm_associativity(
+        ea in proptest::collection::vec(((0..N, 0..N), 0i64..8), 0..16),
+        eb in proptest::collection::vec(((0..N, 0..N), 0i64..8), 0..16),
+        ec in proptest::collection::vec(((0..N, 0..N), 0i64..8), 0..16),
+    ) {
+        let mk = |e: Vec<((Index, Index), i64)>| {
+            let t = e.into_iter().map(|((i, j), v)| (i, j, v)).collect();
+            Matrix::from_tuples(N, N, t, |_, b| b).expect("build")
+        };
+        let (a, b, c) = (mk(ea), mk(eb), mk(ec));
+        let d = Descriptor::default();
+        // (AB)C
+        let mut ab = Matrix::<i64>::new(N, N).expect("ab");
+        mxm(&mut ab, None, NOACC, &PLUS_TIMES, &a, &b, &d).expect("ab");
+        let mut abc1 = Matrix::<i64>::new(N, N).expect("abc1");
+        mxm(&mut abc1, None, NOACC, &PLUS_TIMES, &ab, &c, &d).expect("abc1");
+        // A(BC)
+        let mut bc = Matrix::<i64>::new(N, N).expect("bc");
+        mxm(&mut bc, None, NOACC, &PLUS_TIMES, &b, &c, &d).expect("bc");
+        let mut abc2 = Matrix::<i64>::new(N, N).expect("abc2");
+        mxm(&mut abc2, None, NOACC, &PLUS_TIMES, &a, &bc, &d).expect("abc2");
+        prop_assert_eq!(abc1.extract_tuples(), abc2.extract_tuples());
+    }
+
+    /// `(AB)ᵀ = Bᵀ Aᵀ` over min-plus.
+    #[test]
+    fn mxm_transpose_identity(
+        ea in proptest::collection::vec(((0..N, 0..N), 0i64..20), 0..16),
+        eb in proptest::collection::vec(((0..N, 0..N), 0i64..20), 0..16),
+    ) {
+        let mk = |e: Vec<((Index, Index), i64)>| {
+            let t = e.into_iter().map(|((i, j), v)| (i, j, v)).collect();
+            Matrix::from_tuples(N, N, t, |_, b| b).expect("build")
+        };
+        let (a, b) = (mk(ea), mk(eb));
+        let d = Descriptor::default();
+        let mut ab = Matrix::<i64>::new(N, N).expect("ab");
+        mxm(&mut ab, None, NOACC, &MIN_PLUS, &a, &b, &d).expect("ab");
+        let abt = transpose_new(&ab).expect("abt");
+
+        let (at, bt) = (transpose_new(&a).expect("at"), transpose_new(&b).expect("bt"));
+        let mut btat = Matrix::<i64>::new(N, N).expect("btat");
+        mxm(&mut btat, None, NOACC, &MIN_PLUS, &bt, &at, &d).expect("btat");
+        prop_assert_eq!(abt.extract_tuples(), btat.extract_tuples());
+    }
+
+    /// The three mxm kernels agree on arbitrary inputs and masks.
+    #[test]
+    fn mxm_kernels_agree(
+        ea in proptest::collection::vec(((0..N, 0..N), -9i64..9), 0..24),
+        eb in proptest::collection::vec(((0..N, 0..N), -9i64..9), 0..24),
+        mask_entries in proptest::option::of(
+            proptest::collection::vec((0..N, 0..N), 0..24)
+        ),
+    ) {
+        let mk = |e: Vec<((Index, Index), i64)>| {
+            let t = e.into_iter().map(|((i, j), v)| (i, j, v)).collect();
+            Matrix::from_tuples(N, N, t, |_, b| b).expect("build")
+        };
+        let (a, b) = (mk(ea), mk(eb));
+        let mask = mask_entries.map(|es| {
+            let t = es.into_iter().map(|(i, j)| (i, j, true)).collect();
+            Matrix::from_tuples(N, N, t, |_, b| b).expect("build")
+        });
+        let mut results = Vec::new();
+        for method in [MxmMethod::Gustavson, MxmMethod::Dot, MxmMethod::Heap] {
+            let mut c = Matrix::<i64>::new(N, N).expect("c");
+            mxm(
+                &mut c,
+                mask.as_ref(),
+                NOACC,
+                &PLUS_TIMES,
+                &a,
+                &b,
+                &Descriptor::new().method(method),
+            )
+            .expect("mxm");
+            results.push(c.extract_tuples());
+        }
+        prop_assert_eq!(results[0].clone(), results[1].clone());
+        prop_assert_eq!(results[1].clone(), results[2].clone());
+    }
+
+    /// Monoid identities: reduce of a vector against a plain fold.
+    #[test]
+    fn reduce_is_a_fold(entries in proptest::collection::vec((0..N, -99i64..99), 0..8)) {
+        let v = Vector::from_tuples(N, entries.clone(), |_, b| b).expect("build");
+        let want: i64 = v.iter().map(|(_, x)| x).sum();
+        prop_assert_eq!(reduce_vector_scalar(&binaryop::Plus, &v), want);
+        let want_min = v.iter().map(|(_, x)| x).min().unwrap_or(i64::MAX);
+        prop_assert_eq!(reduce_vector_scalar(&binaryop::Min, &v), want_min);
+    }
+
+    /// Masked assign followed by complementary masked assign covers the
+    /// whole vector.
+    #[test]
+    fn mask_complement_partition(mask_e in proptest::collection::vec((0..N, any::<bool>()), 0..8)) {
+        let mask = Vector::from_tuples(N, mask_e, |_, b| b).expect("mask");
+        let mut w = Vector::<i64>::new(N).expect("w");
+        assign_scalar(&mut w, Some(&mask), NOACC, 1, &IndexSel::All, &Descriptor::default())
+            .expect("assign");
+        assign_scalar(
+            &mut w,
+            Some(&mask),
+            NOACC,
+            2,
+            &IndexSel::All,
+            &Descriptor::new().complement(),
+        )
+        .expect("assign");
+        prop_assert_eq!(w.nvals(), N);
+        for (i, x) in w.iter() {
+            let in_mask = mask.get(i) == Some(true);
+            prop_assert_eq!(x, if in_mask { 1 } else { 2 });
+        }
+    }
+}
