@@ -10,11 +10,12 @@
 use criterion::{BenchmarkId, Criterion};
 use graphblas::prelude::*;
 use lagraph::bfs_level_matrix;
-use lagraph_bench::criterion_config;
+use lagraph_bench::{criterion_config, report_stats};
 use lagraph_io::{rmat, RmatParams};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation");
+    graphblas::stats::reset();
 
     // Dual storage on/off: identical BFS, with and without the cached
     // transpose that enables pull.
@@ -24,26 +25,19 @@ fn bench(c: &mut Criterion) {
     let mut dual = plain.clone();
     dual.set_dual_storage(true);
     dual.wait();
-    group.bench_with_input(
-        BenchmarkId::new("bfs", "dual_storage"),
-        &dual,
-        |bencher, a| {
-            bencher.iter(|| bfs_level_matrix(a, 0, Direction::Auto).expect("bfs").nvals())
-        },
-    );
-    group.bench_with_input(
-        BenchmarkId::new("bfs", "single_storage"),
-        &plain,
-        |bencher, a| {
-            bencher.iter(|| bfs_level_matrix(a, 0, Direction::Auto).expect("bfs").nvals())
-        },
-    );
+    group.bench_with_input(BenchmarkId::new("bfs", "dual_storage"), &dual, |bencher, a| {
+        bencher.iter(|| bfs_level_matrix(a, 0, Direction::Auto).expect("bfs").nvals())
+    });
+    report_stats("ablation/bfs/dual_storage");
+    group.bench_with_input(BenchmarkId::new("bfs", "single_storage"), &plain, |bencher, a| {
+        bencher.iter(|| bfs_level_matrix(a, 0, Direction::Auto).expect("bfs").nvals())
+    });
+    report_stats("ablation/bfs/single_storage");
 
     // Pending tuples vs eager assembly on a mixed update stream.
     let n = 1 << 12;
-    let updates: Vec<(Index, Index, f64)> = (0..20_000)
-        .map(|k| ((k * 37) % n, (k * 101) % n, k as f64))
-        .collect();
+    let updates: Vec<(Index, Index, f64)> =
+        (0..20_000).map(|k| ((k * 37) % n, (k * 101) % n, k as f64)).collect();
     group.bench_with_input(
         BenchmarkId::new("updates", "nonblocking"),
         &updates,
@@ -57,6 +51,7 @@ fn bench(c: &mut Criterion) {
             })
         },
     );
+    report_stats("ablation/updates/nonblocking");
     group.bench_with_input(
         BenchmarkId::new("updates", "eager_every_64"),
         &updates,
@@ -73,6 +68,7 @@ fn bench(c: &mut Criterion) {
             })
         },
     );
+    report_stats("ablation/updates/eager_every_64");
 
     // Opacity cost: point reads on a fully assembled matrix must be as
     // cheap as the underlying binary search.
@@ -95,6 +91,7 @@ fn bench(c: &mut Criterion) {
             hits
         })
     });
+    report_stats("ablation/point_reads_assembled");
     group.finish();
 }
 

@@ -12,12 +12,8 @@ fn bench(c: &mut Criterion) {
     let _ = (g.structure(), g.at(), g.out_degree());
     let mut group = c.benchmark_group("algorithms_rmat_s10");
 
-    group.bench_function("bfs_level", |b| {
-        b.iter(|| bfs_level(&g, 0).expect("bfs").nvals())
-    });
-    group.bench_function("bfs_parent", |b| {
-        b.iter(|| bfs_parent(&g, 0).expect("bfs").nvals())
-    });
+    group.bench_function("bfs_level", |b| b.iter(|| bfs_level(&g, 0).expect("bfs").nvals()));
+    group.bench_function("bfs_parent", |b| b.iter(|| bfs_parent(&g, 0).expect("bfs").nvals()));
     group.bench_function("sssp_bellman_ford", |b| {
         b.iter(|| sssp_bellman_ford(&g, 0).expect("sssp").nvals())
     });
@@ -30,18 +26,13 @@ fn bench(c: &mut Criterion) {
     group.bench_function("tricount_sandia", |b| {
         b.iter(|| triangle_count(&g, TriCountMethod::Sandia).expect("tc"))
     });
-    group.bench_function("connected_components", |b| {
-        b.iter(|| component_count(&g).expect("cc"))
-    });
+    group.bench_function("connected_components", |b| b.iter(|| component_count(&g).expect("cc")));
     group.bench_function("pagerank", |b| {
         b.iter(|| pagerank(&g, &PageRankOptions::default()).expect("pr").1)
     });
-    group.bench_function("mis", |b| {
-        b.iter(|| maximal_independent_set(&g, 7).expect("mis").nvals())
-    });
-    group.bench_function("ktruss_k3", |b| {
-        b.iter(|| ktruss(&g, 3).expect("truss").nvals())
-    });
+    group
+        .bench_function("mis", |b| b.iter(|| maximal_independent_set(&g, 7).expect("mis").nvals()));
+    group.bench_function("ktruss_k3", |b| b.iter(|| ktruss(&g, 3).expect("truss").nvals()));
     group.bench_function("bc_batch4", |b| {
         b.iter(|| betweenness_centrality(&g, &[0, 17, 33, 257]).expect("bc").nvals())
     });

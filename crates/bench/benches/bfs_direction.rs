@@ -18,9 +18,7 @@ fn bench(c: &mut Criterion) {
             [("push", Direction::Push), ("pull", Direction::Pull), ("auto", Direction::Auto)]
         {
             group.bench_with_input(BenchmarkId::new(name, scale), &g, |bencher, g| {
-                bencher.iter(|| {
-                    bfs_level_direction(g, 0, dir).expect("bfs").nvals()
-                })
+                bencher.iter(|| bfs_level_direction(g, 0, dir).expect("bfs").nvals())
             });
         }
     }

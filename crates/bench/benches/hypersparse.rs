@@ -22,9 +22,7 @@ fn bench(c: &mut Criterion) {
         let n: Index = 1 << log_n;
         let t = tuples(n, e, 3);
         group.bench_with_input(BenchmarkId::new("build_10k", log_n), &t, |bencher, t| {
-            bencher.iter(|| {
-                Matrix::from_tuples(n, n, t.clone(), |_, b| b).expect("build").nvals()
-            })
+            bencher.iter(|| Matrix::from_tuples(n, n, t.clone(), |_, b| b).expect("build").nvals())
         });
         let m = Matrix::from_tuples(n, n, t.clone(), |_, b| b).expect("build");
         m.wait();

@@ -13,25 +13,19 @@ fn bench(c: &mut Criterion) {
     for e in [10_000usize, 40_000, 160_000] {
         let m = random_matrix(n, n, e, 5).expect("matrix");
         m.wait();
-        group.bench_with_input(
-            BenchmarkId::new("export_import_o1", e),
-            &m,
-            |bencher, m| {
-                bencher.iter_batched(
-                    || m.clone(),
-                    |m| {
-                        let (nr, nc, p, i, x) = m.export_csr();
-                        Matrix::import_csr(nr, nc, p, i, x).expect("import").nrows()
-                    },
-                    criterion::BatchSize::LargeInput,
-                )
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("extract_tuples_oe", e),
-            &m,
-            |bencher, m| bencher.iter(|| m.extract_tuples().len()),
-        );
+        group.bench_with_input(BenchmarkId::new("export_import_o1", e), &m, |bencher, m| {
+            bencher.iter_batched(
+                || m.clone(),
+                |m| {
+                    let (nr, nc, p, i, x) = m.export_csr();
+                    Matrix::import_csr(nr, nc, p, i, x).expect("import").nrows()
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("extract_tuples_oe", e), &m, |bencher, m| {
+            bencher.iter(|| m.extract_tuples().len())
+        });
     }
     group.finish();
 }

@@ -15,33 +15,20 @@ fn bench(c: &mut Criterion) {
     let sparse_mask = random_matrix(n, n, 2 * n, 3).expect("mask").pattern();
 
     let mut group = c.benchmark_group("mxm_methods");
-    for (name, method) in [
-        ("gustavson", MxmMethod::Gustavson),
-        ("heap", MxmMethod::Heap),
-    ] {
+    for (name, method) in [("gustavson", MxmMethod::Gustavson), ("heap", MxmMethod::Heap)] {
         group.bench_function(BenchmarkId::new(name, "unmasked"), |bencher| {
             bencher.iter(|| {
                 let mut c = Matrix::<f64>::new(n, n).expect("c");
-                mxm(
-                    &mut c,
-                    None,
-                    NOACC,
-                    &PLUS_TIMES,
-                    &a,
-                    &b,
-                    &Descriptor::new().method(method),
-                )
-                .expect("mxm");
+                mxm(&mut c, None, NOACC, &PLUS_TIMES, &a, &b, &Descriptor::new().method(method))
+                    .expect("mxm");
                 c.nvals()
             })
         });
     }
     // All three with a sparse mask: the regime where dot shines.
-    for (name, method) in [
-        ("gustavson", MxmMethod::Gustavson),
-        ("dot", MxmMethod::Dot),
-        ("heap", MxmMethod::Heap),
-    ] {
+    for (name, method) in
+        [("gustavson", MxmMethod::Gustavson), ("dot", MxmMethod::Dot), ("heap", MxmMethod::Heap)]
+    {
         group.bench_function(BenchmarkId::new(name, "sparse_mask"), |bencher| {
             bencher.iter(|| {
                 let mut c = Matrix::<f64>::new(n, n).expect("c");

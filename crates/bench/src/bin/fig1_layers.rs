@@ -48,10 +48,7 @@ fn main() {
     let lagraph_deps = deps_of("crates/core/Cargo.toml");
     let io_deps = deps_of("crates/io/Cargo.toml");
     let grb_deps = deps_of("crates/graphblas/Cargo.toml");
-    assert!(
-        lagraph_deps.iter().any(|d| d == "graphblas"),
-        "lagraph must sit on graphblas"
-    );
+    assert!(lagraph_deps.iter().any(|d| d == "graphblas"), "lagraph must sit on graphblas");
     assert!(
         !grb_deps.iter().any(|d| d == "lagraph" || d == "lagraph-io"),
         "graphblas must not depend upward"
@@ -77,10 +74,7 @@ fn main() {
             } else if path.extension().is_some_and(|e| e == "rs") {
                 let src = std::fs::read_to_string(&path).expect("readable source");
                 for forbidden in ["graphblas::sparse", "graphblas::matrix::Store", "VStore"] {
-                    assert!(
-                        !src.contains(forbidden),
-                        "{path:?} references internal `{forbidden}`"
-                    );
+                    assert!(!src.contains(forbidden), "{path:?} references internal `{forbidden}`");
                 }
                 checked += 1;
             }

@@ -18,11 +18,7 @@ fn main() -> graphblas::Result<()> {
     let scale = 13;
     let a = rmat_structure_dual(scale, 16, 42);
     let n = a.nrows();
-    println!(
-        "push/pull crossover on RMAT scale {scale}: {} vertices, {} edges",
-        n,
-        a.nvals()
-    );
+    println!("push/pull crossover on RMAT scale {scale}: {} vertices, {} edges", n, a.nvals());
     println!("(mxv over the Boolean semiring, dual storage enabled)\n");
     println!(
         "  {:>9} {:>10} {:>12} {:>12} {:>8}",
@@ -39,16 +35,8 @@ fn main() -> graphblas::Result<()> {
             let a = &a;
             time_median(5, move || {
                 let mut w = Vector::<bool>::new(n).expect("output");
-                mxv(
-                    &mut w,
-                    None,
-                    NOACC,
-                    &LOR_LAND,
-                    a,
-                    &q,
-                    &Descriptor::new().direction(dir),
-                )
-                .expect("mxv");
+                mxv(&mut w, None, NOACC, &LOR_LAND, a, &q, &Descriptor::new().direction(dir))
+                    .expect("mxv");
                 w.nvals()
             })
         };

@@ -64,8 +64,7 @@ fn main() -> graphblas::Result<()> {
     // eWiseMult
     let mut w = Vector::<i64>::new(n)?;
     ewise_mult(&mut w, None, NOACC, binaryop::Times, &u, &v, &d)?;
-    let want =
-        mimic::ewise_mult_vec(&DVec::new(n), None, &NOACC, &binaryop::Times, &du, &dv, &d);
+    let want = mimic::ewise_mult_vec(&DVec::new(n), None, &NOACC, &binaryop::Times, &du, &dv, &d);
     check(
         "eWiseMult",
         "C ⊙= A ⊗ B (intersection)",
@@ -85,13 +84,8 @@ fn main() -> graphblas::Result<()> {
     // reduce (row)
     let mut w = Vector::<i64>::new(n)?;
     reduce_matrix(&mut w, None, NOACC, &binaryop::Plus, &a, &d)?;
-    let want =
-        mimic::reduce_mat_to_vec(&DVec::new(n), None, &NOACC, &binaryop::Plus, &da, &d);
-    check(
-        "reduce",
-        "w ⊙= ⊕ⱼ A(:, j)",
-        w.extract_tuples() == want.to_vector().extract_tuples(),
-    );
+    let want = mimic::reduce_mat_to_vec(&DVec::new(n), None, &NOACC, &binaryop::Plus, &da, &d);
+    check("reduce", "w ⊙= ⊕ⱼ A(:, j)", w.extract_tuples() == want.to_vector().extract_tuples());
 
     // apply
     let mut w = Vector::<i64>::new(n)?;
@@ -121,10 +115,7 @@ fn main() -> graphblas::Result<()> {
         &d,
     )?;
     let ok = sub.iter().all(|(i, j, x)| a.get(rows[i], cols[j]) == Some(x))
-        && a.iter()
-            .filter(|&(i, j, _)| i < n / 2 && j >= n / 2)
-            .count()
-            == sub.nvals();
+        && a.iter().filter(|&(i, j, _)| i < n / 2 && j >= n / 2).count() == sub.nvals();
     check("extract", "C ⊙= A(i, j)", ok);
 
     // assign
@@ -155,8 +146,7 @@ fn main() -> graphblas::Result<()> {
     let small = Matrix::from_tuples(2, 2, vec![(0, 0, 2i64), (1, 1, 3)], |_, x| x)?;
     let mut kr = Matrix::<i64>::new(4, 4)?;
     kronecker(&mut kr, None, NOACC, binaryop::Times, &small, &small, &d)?;
-    let ok = kr.extract_tuples()
-        == vec![(0, 0, 4), (1, 1, 6), (2, 2, 6), (3, 3, 9)];
+    let ok = kr.extract_tuples() == vec![(0, 0, 4), (1, 1, 6), (2, 2, 6), (3, 3, 9)];
     check("kronecker", "C ⊙= kron(A, B)", ok);
 
     println!("\nAll Table I operations conform to the reference semantics.");

@@ -48,6 +48,34 @@ pub fn frontier(n: Index, k: usize) -> Vector<bool> {
     Vector::from_tuples(n, tuples, |_, b| b).expect("frontier dims")
 }
 
+/// Snapshot-and-reset the graphblas perf counters, printing one compact
+/// report line so a bench run shows *which* kernels and dispatch paths the
+/// measured region actually took. Prints nothing when every counter is
+/// zero (counters are compiled in via the `stats` feature).
+pub fn report_stats(label: &str) {
+    let s = graphblas::stats::snapshot();
+    graphblas::stats::reset();
+    if s == graphblas::stats::Snapshot::default() {
+        return;
+    }
+    eprintln!(
+        "stats[{label}]: mxm g/d/h={}/{}/{} mxv push/pull/fallback={}/{}/{} \
+         flops~{} dispatch par/seq={}/{} chunks={} early_exits={} assemblies={}",
+        s.mxm_gustavson,
+        s.mxm_dot,
+        s.mxm_heap,
+        s.mxv_push,
+        s.mxv_pull,
+        s.mxv_dual_fallback,
+        s.flops_est,
+        s.par_calls,
+        s.seq_calls,
+        s.chunks_spawned,
+        s.reduce_early_exits,
+        s.assembles,
+    );
+}
+
 /// Wall-clock one invocation.
 pub fn time_once<R>(f: impl FnOnce() -> R) -> (Duration, R) {
     let t0 = Instant::now();

@@ -55,11 +55,7 @@ mod tests {
         for src in 0..5 {
             let row = sssp_bellman_ford(&g, src).expect("sssp");
             for dst in 0..5 {
-                assert_eq!(
-                    d.get(src, dst),
-                    row.get(dst),
-                    "distance {src} -> {dst}"
-                );
+                assert_eq!(d.get(src, dst), row.get(dst), "distance {src} -> {dst}");
             }
         }
     }

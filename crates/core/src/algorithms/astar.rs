@@ -94,7 +94,7 @@ pub fn astar(
                 continue;
             }
             let cand = dv + w;
-            if dist.get(u).map_or(true, |cur| cand < cur) {
+            if dist.get(u).is_none_or(|cur| cand < cur) {
                 dist.set_element(u, cand)?;
                 parent.set_element(u, v as u64)?;
                 heap.push(QueueItem { f: cand + h(u), vertex: u });
@@ -167,8 +167,7 @@ mod tests {
 
     #[test]
     fn unreachable_returns_none() {
-        let g = Graph::from_weighted_edges(3, &[(0, 1, 1.0)], GraphKind::Directed)
-            .expect("graph");
+        let g = Graph::from_weighted_edges(3, &[(0, 1, 1.0)], GraphKind::Directed).expect("graph");
         assert!(astar(&g, 0, 2, |_| 0.0).expect("astar").is_none());
     }
 

@@ -165,12 +165,8 @@ mod tests {
 
     #[test]
     fn star_center_dominates() {
-        let g = Graph::from_edges(
-            5,
-            &[(0, 1), (0, 2), (0, 3), (0, 4)],
-            GraphKind::Undirected,
-        )
-        .expect("graph");
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)], GraphKind::Undirected)
+            .expect("graph");
         let all: Vec<Index> = (0..5).collect();
         let bc = betweenness_centrality(&g, &all).expect("bc");
         // Center lies on all 4×3 = 12 ordered leaf pairs.

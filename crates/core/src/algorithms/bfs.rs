@@ -148,10 +148,7 @@ mod tests {
     fn levels_on_a_path() {
         let g = path_graph();
         let levels = bfs_level(&g, 0).expect("bfs");
-        assert_eq!(
-            levels.extract_tuples(),
-            vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 3)]
-        );
+        assert_eq!(levels.extract_tuples(), vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 3)]);
         assert_eq!(levels.get(5), None, "isolated vertex unreached");
     }
 
@@ -196,8 +193,8 @@ mod tests {
 
     #[test]
     fn directed_bfs_follows_arcs() {
-        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (3, 0)], GraphKind::Directed)
-            .expect("graph");
+        let g =
+            Graph::from_edges(4, &[(0, 1), (1, 2), (3, 0)], GraphKind::Directed).expect("graph");
         let levels = bfs_level(&g, 0).expect("bfs");
         assert_eq!(levels.extract_tuples(), vec![(0, 1), (1, 2), (2, 3)]);
         // 3 → 0 is not reachable from 0.

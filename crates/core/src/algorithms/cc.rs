@@ -66,8 +66,8 @@ mod tests {
     #[test]
     fn two_components_and_an_isolate() {
         // {0,1,2} path, {3,4} edge, {5} isolated.
-        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4)], GraphKind::Undirected)
-            .expect("graph");
+        let g =
+            Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4)], GraphKind::Undirected).expect("graph");
         let comp = connected_components(&g).expect("cc");
         assert_eq!(comp.get(0), Some(0));
         assert_eq!(comp.get(1), Some(0));
@@ -108,8 +108,8 @@ mod tests {
 
     #[test]
     fn labels_are_component_minima() {
-        let g = Graph::from_edges(7, &[(6, 5), (5, 4), (2, 3)], GraphKind::Undirected)
-            .expect("graph");
+        let g =
+            Graph::from_edges(7, &[(6, 5), (5, 4), (2, 3)], GraphKind::Undirected).expect("graph");
         let comp = connected_components(&g).expect("cc");
         assert_eq!(comp.get(6), Some(4));
         assert_eq!(comp.get(3), Some(2));

@@ -89,8 +89,8 @@ mod tests {
 
     #[test]
     fn every_vertex_labeled() {
-        let g = Graph::from_edges(5, &[(0, 1), (2, 3), (3, 4)], GraphKind::Undirected)
-            .expect("graph");
+        let g =
+            Graph::from_edges(5, &[(0, 1), (2, 3), (3, 4)], GraphKind::Undirected).expect("graph");
         let l = cdlp(&g, 10).expect("cdlp");
         assert_eq!(l.nvals(), 5);
     }

@@ -47,7 +47,7 @@ pub fn greedy_color(graph: &Graph, seed: u64) -> Result<(Vector<i32>, i32)> {
             let mut winners: Vec<Index> = Vec::new();
             for &i in &cand_idx {
                 let w = prob.get(i).expect("weight");
-                if nbr_max.get(i).map_or(true, |m| w > m) {
+                if nbr_max.get(i).is_none_or(|m| w > m) {
                     winners.push(i);
                 }
             }
@@ -134,8 +134,9 @@ mod tests {
 
     #[test]
     fn star_graph_two_colors() {
-        let g = Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)],
-            GraphKind::Undirected).expect("graph");
+        let g =
+            Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)], GraphKind::Undirected)
+                .expect("graph");
         let (colors, k) = greedy_color(&g, 11).expect("color");
         assert!(verify_coloring(&g, &colors).expect("verify"));
         assert_eq!(k, 2);

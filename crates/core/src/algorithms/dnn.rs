@@ -97,8 +97,8 @@ pub fn synthetic_layers(nneurons: Index, nlayers: usize, bias: f64) -> Vec<DnnLa
                 tuples.push((i, j, 0.5));
             }
         }
-        let weights = Matrix::from_tuples(nneurons, nneurons, tuples, |a, _| a)
-            .expect("valid dims");
+        let weights =
+            Matrix::from_tuples(nneurons, nneurons, tuples, |a, _| a).expect("valid dims");
         let bias = Vector::dense(nneurons, bias).expect("valid dims");
         layers.push(DnnLayer { weights, bias });
     }
@@ -121,11 +121,10 @@ mod tests {
 
     #[test]
     fn identity_network_passes_through() {
-        let eye = Matrix::from_tuples(3, 3, vec![(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)],
-            |_, b| b).expect("eye");
+        let eye = Matrix::from_tuples(3, 3, vec![(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)], |_, b| b)
+            .expect("eye");
         let layers = vec![DnnLayer { weights: eye, bias: Vector::dense(3, 0.0).expect("b") }];
-        let y0 = Matrix::from_tuples(2, 3, vec![(0, 0, 5.0), (1, 2, 7.0)], |_, b| b)
-            .expect("y0");
+        let y0 = Matrix::from_tuples(2, 3, vec![(0, 0, 5.0), (1, 2, 7.0)], |_, b| b).expect("y0");
         let y = dnn_inference(&y0, &layers).expect("dnn");
         assert_eq!(y.extract_tuples(), y0.extract_tuples());
     }
@@ -151,13 +150,9 @@ mod tests {
     #[test]
     fn multilayer_synthetic_network_runs() {
         let layers = synthetic_layers(32, 4, -0.05);
-        let y0 = Matrix::from_tuples(
-            8,
-            32,
-            (0..8).map(|s| (s, (s * 3) % 32, 1.0)).collect(),
-            |_, b| b,
-        )
-        .expect("y0");
+        let y0 =
+            Matrix::from_tuples(8, 32, (0..8).map(|s| (s, (s * 3) % 32, 1.0)).collect(), |_, b| b)
+                .expect("y0");
         let y = dnn_inference(&y0, &layers).expect("dnn");
         assert_eq!(y.nrows(), 8);
         assert_eq!(y.ncols(), 32);

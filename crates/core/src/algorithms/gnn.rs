@@ -50,11 +50,7 @@ pub fn normalized_adjacency(graph: &Graph) -> Result<Matrix<f64>> {
 
 /// Run GCN inference: `h` is the `n × f` node-feature matrix; each layer
 /// computes `σ(Â h W)`. Returns the final embeddings.
-pub fn gcn_inference(
-    graph: &Graph,
-    h: &Matrix<f64>,
-    layers: &[GcnLayer],
-) -> Result<Matrix<f64>> {
+pub fn gcn_inference(graph: &Graph, h: &Matrix<f64>, layers: &[GcnLayer]) -> Result<Matrix<f64>> {
     let n = graph.nvertices();
     if h.nrows() != n {
         return Err(Error::dim(format!(
@@ -105,9 +101,8 @@ pub fn node_classification(embeddings: &Matrix<f64>) -> Result<Vector<u64>> {
     for (v, c, x) in embeddings.iter() {
         let cand = (x, c as u64);
         match best[v] {
-            Some((bx, bc)) if !(x > bx) => {
-                let _ = (bx, bc);
-            }
+            // "not greater" on purpose: NaN never displaces the incumbent.
+            Some((bx, _)) if x.partial_cmp(&bx) != Some(std::cmp::Ordering::Greater) => {}
             _ => best[v] = Some(cand),
         }
     }
@@ -157,8 +152,7 @@ mod tests {
         // One-hot features: vertex 0 carries 1.0 in column 0.
         let h = Matrix::from_tuples(6, 1, vec![(0, 0, 1.0)], |_, b| b).expect("h");
         let eye = Matrix::from_tuples(1, 1, vec![(0, 0, 1.0)], |_, b| b).expect("w");
-        let out = gcn_inference(&g, &h, &[GcnLayer { weights: eye, relu: false }])
-            .expect("gcn");
+        let out = gcn_inference(&g, &h, &[GcnLayer { weights: eye, relu: false }]).expect("gcn");
         // One smoothing step spreads mass only within vertex 0's clique.
         for v in 0..3 {
             assert!(out.get(v, 0).unwrap_or(0.0) > 0.0, "clique member {v}");
@@ -172,14 +166,10 @@ mod tests {
     fn embeddings_separate_communities() {
         let g = two_cliques();
         // Features: indicator of vertex id parity-ish; two seed features.
-        let h = Matrix::from_tuples(6, 2, vec![(0, 0, 1.0), (3, 1, 1.0)], |_, b| b)
-            .expect("h");
-        let w = Matrix::from_tuples(2, 2, vec![(0, 0, 1.0), (1, 1, 1.0)], |_, b| b)
-            .expect("w");
-        let layers = [
-            GcnLayer { weights: w.clone(), relu: true },
-            GcnLayer { weights: w, relu: false },
-        ];
+        let h = Matrix::from_tuples(6, 2, vec![(0, 0, 1.0), (3, 1, 1.0)], |_, b| b).expect("h");
+        let w = Matrix::from_tuples(2, 2, vec![(0, 0, 1.0), (1, 1, 1.0)], |_, b| b).expect("w");
+        let layers =
+            [GcnLayer { weights: w.clone(), relu: true }, GcnLayer { weights: w, relu: false }];
         let out = gcn_inference(&g, &h, &layers).expect("gcn");
         let classes = node_classification(&out).expect("classes");
         for v in 0..3 {

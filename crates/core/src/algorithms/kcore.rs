@@ -24,7 +24,15 @@ pub fn kcore(graph: &Graph, k: i64) -> Result<Vector<bool>> {
             o
         };
         let mut deg = Vector::<f64>::new(n)?;
-        mxv(&mut deg, Some(&alive), NOACC, &PLUS_SECOND, a, &ones, &Descriptor::new().structural())?;
+        mxv(
+            &mut deg,
+            Some(&alive),
+            NOACC,
+            &PLUS_SECOND,
+            a,
+            &ones,
+            &Descriptor::new().structural(),
+        )?;
         // Peel vertices with degree < k (including alive vertices with no
         // alive neighbors at all).
         let mut peeled = Vec::new();

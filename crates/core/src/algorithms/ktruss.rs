@@ -103,8 +103,8 @@ mod tests {
 
     #[test]
     fn triangle_free_graph_has_empty_3truss() {
-        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], GraphKind::Undirected)
-            .expect("graph");
+        let g =
+            Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], GraphKind::Undirected).expect("graph");
         assert_eq!(ktruss(&g, 3).expect("ktruss").nvals(), 0);
         assert_eq!(max_truss(&g).expect("max"), 2);
     }

@@ -140,10 +140,8 @@ pub fn local_cluster(
     let p = approximate_ppr(graph, seed, opts)?;
     let degree = graph.out_degree();
     // Order by degree-normalized rank.
-    let mut order: Vec<(Index, f64)> = p
-        .iter()
-        .map(|(v, x)| (v, x / (degree.get(v).unwrap_or(0).max(1) as f64)))
-        .collect();
+    let mut order: Vec<(Index, f64)> =
+        p.iter().map(|(v, x)| (v, x / (degree.get(v).unwrap_or(0).max(1) as f64))).collect();
     order.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN ranks"));
     let mut best: (Vec<Index>, f64) = (vec![seed], 1.0);
     let mut prefix: Vec<Index> = Vec::new();
@@ -190,8 +188,8 @@ mod tests {
     #[test]
     fn sweep_finds_the_block() {
         let g = dumbbell();
-        let (members, phi) = local_cluster(&g, 0, &LocalClusterOptions::default())
-            .expect("cluster");
+        let (members, phi) =
+            local_cluster(&g, 0, &LocalClusterOptions::default()).expect("cluster");
         assert_eq!(members, vec![0, 1, 2, 3]);
         // One bridge edge over volume 13 (12 internal half-edges + bridge).
         assert!(phi < 0.1, "conductance {phi}");

@@ -92,8 +92,8 @@ mod tests {
     use super::*;
 
     fn bi(nr: Index, nc: Index, edges: &[(Index, Index)]) -> Matrix<bool> {
-        Matrix::from_tuples(nr, nc, edges.iter().map(|&(i, j)| (i, j, true)).collect(),
-            |_, b| b).expect("build")
+        Matrix::from_tuples(nr, nc, edges.iter().map(|&(i, j)| (i, j, true)).collect(), |_, b| b)
+            .expect("build")
     }
 
     #[test]

@@ -108,9 +108,9 @@ pub fn markov_cluster(graph: &Graph, opts: &MclOptions) -> Result<Vector<u64>> {
             best[j] = (x, i as u64);
         }
     }
-    for j in 0..n {
-        if best[j].0 >= 0.0 {
-            cluster.set_element(j, best[j].1)?;
+    for (j, &(w, attractor)) in best.iter().enumerate() {
+        if w >= 0.0 {
+            cluster.set_element(j, attractor)?;
         }
     }
     // Canonicalize labels: use the smallest member id of each attractor's
@@ -155,8 +155,7 @@ mod tests {
 
     #[test]
     fn disconnected_components_separate() {
-        let g = Graph::from_edges(4, &[(0, 1), (2, 3)], GraphKind::Undirected)
-            .expect("graph");
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)], GraphKind::Undirected).expect("graph");
         let c = markov_cluster(&g, &MclOptions::default()).expect("mcl");
         assert_eq!(c.get(0), c.get(1));
         assert_eq!(c.get(2), c.get(3));
@@ -165,8 +164,8 @@ mod tests {
 
     #[test]
     fn every_vertex_gets_a_label() {
-        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)], GraphKind::Undirected)
-            .expect("graph");
+        let g =
+            Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)], GraphKind::Undirected).expect("graph");
         let c = markov_cluster(&g, &MclOptions::default()).expect("mcl");
         assert_eq!(c.nvals(), 5);
     }
@@ -178,11 +177,8 @@ mod tests {
         let edges: Vec<(Index, Index)> = (0..8).map(|i| (i, (i + 1) % 8)).collect();
         let g = Graph::from_edges(8, &edges, GraphKind::Undirected).expect("graph");
         let count = |infl: f64| {
-            let c = markov_cluster(
-                &g,
-                &MclOptions { inflation: infl, ..Default::default() },
-            )
-            .expect("mcl");
+            let c = markov_cluster(&g, &MclOptions { inflation: infl, ..Default::default() })
+                .expect("mcl");
             let mut labs: Vec<u64> = c.iter().map(|(_, l)| l).collect();
             labs.sort_unstable();
             labs.dedup();

@@ -25,20 +25,11 @@ pub fn maximal_independent_set(graph: &Graph, seed: u64) -> Result<Vector<bool>>
     while candidates.nvals() > 0 {
         // Random weight per candidate. Degree-0 vertices always win.
         let cand_idx: Vec<Index> = candidates.iter().map(|(i, _)| i).collect();
-        let weights: Vec<(Index, f64)> =
-            cand_idx.iter().map(|&i| (i, rng.next_f64())).collect();
+        let weights: Vec<(Index, f64)> = cand_idx.iter().map(|&i| (i, rng.next_f64())).collect();
         let prob = Vector::from_tuples(n, weights, |_, b| b)?;
         // Max neighbor weight among candidates.
         let mut nbr_max = Vector::<f64>::new(n)?;
-        mxv(
-            &mut nbr_max,
-            Some(&candidates),
-            NOACC,
-            &MAX_SECOND,
-            a,
-            &prob,
-            &Descriptor::default(),
-        )?;
+        mxv(&mut nbr_max, Some(&candidates), NOACC, &MAX_SECOND, a, &prob, &Descriptor::default())?;
         // Winners: candidates whose weight beats every neighbor's.
         let mut winners = Vector::<bool>::new(n)?;
         // A candidate with no candidate neighbors has no nbr_max entry.
@@ -150,8 +141,7 @@ mod tests {
 
     #[test]
     fn verify_rejects_bad_sets() {
-        let g = Graph::from_edges(3, &[(0, 1), (1, 2)], GraphKind::Undirected)
-            .expect("graph");
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)], GraphKind::Undirected).expect("graph");
         // Not independent: 0 and 1 adjacent.
         let bad = Vector::from_tuples(3, vec![(0, true), (1, true)], |_, b| b).expect("v");
         assert!(!verify_mis(&g, &bad).expect("verify"));

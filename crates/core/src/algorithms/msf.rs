@@ -15,12 +15,11 @@ pub fn minimum_spanning_forest(graph: &Graph) -> Result<Vec<(Index, Index, f64)>
     let n = graph.nvertices();
     // Work on an explicit edge list; each round is a GraphBLAS-style
     // reduction expressed over the component-labeled edge set.
-    let mut edges: Vec<(Index, Index, f64)> =
-        graph.a().iter().filter(|&(u, v, _)| u < v).collect();
+    let mut edges: Vec<(Index, Index, f64)> = graph.a().iter().filter(|&(u, v, _)| u < v).collect();
     let mut parent: Vec<Index> = (0..n).collect();
     let mut forest = Vec::new();
 
-    fn find(parent: &mut Vec<Index>, mut x: Index) -> Index {
+    fn find(parent: &mut [Index], mut x: Index) -> Index {
         while parent[x] != x {
             parent[x] = parent[parent[x]]; // pointer jumping (shortcut)
             x = parent[x];
@@ -56,8 +55,8 @@ pub fn minimum_spanning_forest(graph: &Graph) -> Result<Vec<(Index, Index, f64)>
         }
         // Merge along the chosen edges.
         let mut merged_any = false;
-        for c in 0..n {
-            if let Some((w, u, v)) = cheapest[c] {
+        for &entry in cheapest.iter().take(n) {
+            if let Some((w, u, v)) = entry {
                 let (cu, cv) = (find(&mut parent, u), find(&mut parent, v));
                 if cu != cv {
                     parent[cu.max(cv)] = cu.min(cv);
@@ -70,11 +69,9 @@ pub fn minimum_spanning_forest(graph: &Graph) -> Result<Vec<(Index, Index, f64)>
             break;
         }
         // Retire intra-component edges.
-        edges.retain(|&(u, v, _)| {
-            find(&mut parent, u) != find(&mut parent, v)
-        });
+        edges.retain(|&(u, v, _)| find(&mut parent, u) != find(&mut parent, v));
     }
-    forest.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    forest.sort_by_key(|e| (e.0, e.1));
     Ok(forest)
 }
 
@@ -123,14 +120,7 @@ mod tests {
     fn matches_exhaustive_mst_on_small_graphs() {
         // Brute-force check: every spanning tree of K4 with these weights
         // weighs at least the Borůvka answer.
-        let edges = [
-            (0, 1, 4.0),
-            (0, 2, 3.0),
-            (0, 3, 2.0),
-            (1, 2, 5.0),
-            (1, 3, 1.0),
-            (2, 3, 6.0),
-        ];
+        let edges = [(0, 1, 4.0), (0, 2, 3.0), (0, 3, 2.0), (1, 2, 5.0), (1, 3, 1.0), (2, 3, 6.0)];
         let g = Graph::from_weighted_edges(4, &edges, GraphKind::Undirected).expect("g");
         let f = minimum_spanning_forest(&g).expect("msf");
         let got = forest_weight(&f);
@@ -141,7 +131,7 @@ mod tests {
                 for k in (j + 1)..edges.len() {
                     let sel = [edges[i], edges[j], edges[k]];
                     let mut p: Vec<usize> = (0..4).collect();
-                    fn find(p: &mut Vec<usize>, mut x: usize) -> usize {
+                    fn find(p: &mut [usize], mut x: usize) -> usize {
                         while p[x] != x {
                             p[x] = p[p[x]];
                             x = p[x];

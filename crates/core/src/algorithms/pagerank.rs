@@ -101,12 +101,9 @@ mod tests {
 
     #[test]
     fn ranks_sum_to_one() {
-        let g = Graph::from_edges(
-            5,
-            &[(0, 1), (1, 2), (2, 0), (3, 2), (4, 3)],
-            GraphKind::Directed,
-        )
-        .expect("graph");
+        let g =
+            Graph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (3, 2), (4, 3)], GraphKind::Directed)
+                .expect("graph");
         let r = ranks(&g);
         let total = reduce_vector_scalar(&binaryop::Plus, &r);
         assert!((total - 1.0).abs() < 1e-6, "sum = {total}");
@@ -114,12 +111,8 @@ mod tests {
 
     #[test]
     fn symmetric_ring_is_uniform() {
-        let g = Graph::from_edges(
-            4,
-            &[(0, 1), (1, 2), (2, 3), (3, 0)],
-            GraphKind::Undirected,
-        )
-        .expect("graph");
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)], GraphKind::Undirected)
+            .expect("graph");
         let r = ranks(&g);
         for v in 0..4 {
             assert!((r.get(v).expect("rank") - 0.25).abs() < 1e-9);
@@ -158,11 +151,9 @@ mod tests {
         )
         .expect("graph");
         let (_, fast) =
-            pagerank(&g, &PageRankOptions { tolerance: 1e-2, ..Default::default() })
-                .expect("pr");
+            pagerank(&g, &PageRankOptions { tolerance: 1e-2, ..Default::default() }).expect("pr");
         let (_, slow) =
-            pagerank(&g, &PageRankOptions { tolerance: 1e-12, ..Default::default() })
-                .expect("pr");
+            pagerank(&g, &PageRankOptions { tolerance: 1e-12, ..Default::default() }).expect("pr");
         assert!(fast < slow);
     }
 }

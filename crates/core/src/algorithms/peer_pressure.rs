@@ -81,8 +81,7 @@ mod tests {
 
     #[test]
     fn all_vertices_labeled() {
-        let g = Graph::from_edges(5, &[(0, 1), (2, 3)], GraphKind::Undirected)
-            .expect("graph");
+        let g = Graph::from_edges(5, &[(0, 1), (2, 3)], GraphKind::Undirected).expect("graph");
         let c = peer_pressure(&g, 10).expect("pp");
         assert_eq!(c.nvals(), 5);
     }
@@ -96,12 +95,9 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let g = Graph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (3, 4), (4, 5), (0, 5)],
-            GraphKind::Undirected,
-        )
-        .expect("graph");
+        let g =
+            Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5), (0, 5)], GraphKind::Undirected)
+                .expect("graph");
         let a = peer_pressure(&g, 20).expect("a");
         let b = peer_pressure(&g, 20).expect("b");
         assert_eq!(a.extract_tuples(), b.extract_tuples());

@@ -32,12 +32,28 @@ fn reach(
         )?;
         // Restrict to the allowed set.
         let mut gated = Vector::<bool>::new(n)?;
-        ewise_mult(&mut gated, None, NOACC, binaryop::Land, &next, allowed, &Descriptor::default())?;
+        ewise_mult(
+            &mut gated,
+            None,
+            NOACC,
+            binaryop::Land,
+            &next,
+            allowed,
+            &Descriptor::default(),
+        )?;
         if gated.nvals() == 0 {
             break;
         }
         let vsnap = visited.clone();
-        ewise_add(&mut visited, None, NOACC, binaryop::Lor, &vsnap, &gated, &Descriptor::default())?;
+        ewise_add(
+            &mut visited,
+            None,
+            NOACC,
+            binaryop::Lor,
+            &vsnap,
+            &gated,
+            &Descriptor::default(),
+        )?;
         frontier = gated;
     }
     Ok(visited)
@@ -179,12 +195,8 @@ mod tests {
     #[test]
     fn scc_of_undirected_style_graph_equals_weak_components() {
         // If every edge is mirrored, SCCs are the connected components.
-        let g = Graph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (3, 4)],
-            GraphKind::Undirected,
-        )
-        .expect("graph");
+        let g =
+            Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4)], GraphKind::Undirected).expect("graph");
         assert_eq!(scc_count(&g).expect("scc"), 3);
     }
 }

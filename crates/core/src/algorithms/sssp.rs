@@ -24,15 +24,7 @@ pub fn sssp_bellman_ford(graph: &Graph, source: Index) -> Result<Vector<f64>> {
         let before = dist.extract_tuples();
         // dist = min(dist, dist min.+ A) — vxm accumulates with MIN.
         let d = dist.clone();
-        vxm(
-            &mut dist,
-            None,
-            Some(binaryop::Min),
-            &MIN_PLUS,
-            &d,
-            a,
-            &Descriptor::default(),
-        )?;
+        vxm(&mut dist, None, Some(binaryop::Min), &MIN_PLUS, &d, a, &Descriptor::default())?;
         if dist.extract_tuples() == before {
             break;
         }
@@ -51,7 +43,8 @@ pub fn sssp_delta_stepping(graph: &Graph, source: Index, delta: f64) -> Result<V
     if source >= n {
         return Err(Error::oob(source, n));
     }
-    if !(delta > 0.0) {
+    // "not greater than zero" on purpose: NaN must be rejected as well.
+    if delta.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         return Err(Error::invalid("delta must be positive"));
     }
     // Split the graph into light (w ≤ delta) and heavy (w > delta) edges.
@@ -190,10 +183,7 @@ mod tests {
     fn bellman_ford_known_distances() {
         let g = weighted();
         let d = sssp_bellman_ford(&g, 0).expect("sssp");
-        assert_eq!(
-            d.extract_tuples(),
-            vec![(0, 0.0), (1, 1.0), (2, 3.0), (3, 6.0)]
-        );
+        assert_eq!(d.extract_tuples(), vec![(0, 0.0), (1, 1.0), (2, 3.0), (3, 6.0)]);
         assert_eq!(d.get(4), None, "unreachable");
     }
 
@@ -230,12 +220,8 @@ mod tests {
 
     #[test]
     fn zero_weight_edges() {
-        let g = Graph::from_weighted_edges(
-            3,
-            &[(0, 1, 0.0), (1, 2, 5.0)],
-            GraphKind::Directed,
-        )
-        .expect("graph");
+        let g = Graph::from_weighted_edges(3, &[(0, 1, 0.0), (1, 2, 5.0)], GraphKind::Directed)
+            .expect("graph");
         let d = sssp_bellman_ford(&g, 0).expect("sssp");
         assert_eq!(d.extract_tuples(), vec![(0, 0.0), (1, 0.0), (2, 5.0)]);
     }

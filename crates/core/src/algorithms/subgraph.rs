@@ -156,11 +156,7 @@ mod tests {
             for b in (a + 1)..n {
                 for cc in (b + 1)..n {
                     for dd in (cc + 1)..n {
-                        let perms = [
-                            [a, b, cc, dd],
-                            [a, b, dd, cc],
-                            [a, cc, b, dd],
-                        ];
+                        let perms = [[a, b, cc, dd], [a, b, dd, cc], [a, cc, b, dd]];
                         for p in perms {
                             if has(p[0], p[1])
                                 && has(p[1], p[2])

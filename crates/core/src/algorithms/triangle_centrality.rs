@@ -71,8 +71,8 @@ mod tests {
 
     #[test]
     fn single_triangle_all_equal() {
-        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)], GraphKind::Undirected)
-            .expect("graph");
+        let g =
+            Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)], GraphKind::Undirected).expect("graph");
         let (tc, total) = triangle_centrality(&g).expect("tc");
         assert_eq!(total, 1);
         // All three vertices are symmetric: identical scores, and by
@@ -100,8 +100,8 @@ mod tests {
 
     #[test]
     fn triangle_free_graph_returns_empty() {
-        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], GraphKind::Undirected)
-            .expect("graph");
+        let g =
+            Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], GraphKind::Undirected).expect("graph");
         let (tc, total) = triangle_centrality(&g).expect("tc");
         assert_eq!(total, 0);
         assert_eq!(tc.nvals(), 0);

@@ -29,30 +29,14 @@ pub fn triangle_count(graph: &Graph, method: TriCountMethod) -> Result<u64> {
         TriCountMethod::Burkhardt => {
             // C<A> = A ⊕.pair A ; count = sum(C) / 6
             let mut c = Matrix::<u64>::new(n, n)?;
-            mxm(
-                &mut c,
-                Some(a),
-                NOACC,
-                &PLUS_PAIR,
-                a,
-                a,
-                &Descriptor::new().structural(),
-            )?;
+            mxm(&mut c, Some(a), NOACC, &PLUS_PAIR, a, a, &Descriptor::new().structural())?;
             Ok(reduce_matrix_scalar(&binaryop::Plus, &c) / 6)
         }
         TriCountMethod::Cohen => {
             let l = tril(a)?;
             let u = triu(a)?;
             let mut c = Matrix::<u64>::new(n, n)?;
-            mxm(
-                &mut c,
-                Some(a),
-                NOACC,
-                &PLUS_PAIR,
-                &l,
-                &u,
-                &Descriptor::new().structural(),
-            )?;
+            mxm(&mut c, Some(a), NOACC, &PLUS_PAIR, &l, &u, &Descriptor::new().structural())?;
             Ok(reduce_matrix_scalar(&binaryop::Plus, &c) / 2)
         }
         TriCountMethod::Sandia => {
@@ -114,8 +98,8 @@ mod tests {
 
     #[test]
     fn triangle_free_graph_counts_zero() {
-        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], GraphKind::Undirected)
-            .expect("graph");
+        let g =
+            Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], GraphKind::Undirected).expect("graph");
         for m in [TriCountMethod::Burkhardt, TriCountMethod::Cohen, TriCountMethod::Sandia] {
             assert_eq!(triangle_count(&g, m).expect("tc"), 0, "{m:?}");
         }

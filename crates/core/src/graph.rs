@@ -105,10 +105,7 @@ impl Graph {
     /// rely on row access to in-edges).
     pub fn at(&self) -> Arc<Matrix<f64>> {
         let mut c = self.cache.lock();
-        c.at
-            .get_or_insert_with(|| {
-                Arc::new(transpose_new(&self.a).expect("square transpose"))
-            })
+        c.at.get_or_insert_with(|| Arc::new(transpose_new(&self.a).expect("square transpose")))
             .clone()
     }
 
@@ -133,12 +130,19 @@ impl Graph {
             .get_or_insert_with(|| {
                 let ones = self.a.pattern();
                 let mut d = Vector::<i64>::new(self.nvertices()).expect("n >= 1");
-                let mut counts = Matrix::<i64>::new(self.nvertices(), self.nvertices())
-                    .expect("dims");
+                let mut counts =
+                    Matrix::<i64>::new(self.nvertices(), self.nvertices()).expect("dims");
                 apply_matrix(&mut counts, None, NOACC, unaryop::One, &ones, &Descriptor::default())
                     .expect("pattern count");
-                reduce_matrix(&mut d, None, NOACC, &binaryop::Plus, &counts, &Descriptor::default())
-                    .expect("row reduce");
+                reduce_matrix(
+                    &mut d,
+                    None,
+                    NOACC,
+                    &binaryop::Plus,
+                    &counts,
+                    &Descriptor::default(),
+                )
+                .expect("row reduce");
                 Arc::new(d)
             })
             .clone()
@@ -151,8 +155,8 @@ impl Graph {
             .get_or_insert_with(|| {
                 let ones = self.a.pattern();
                 let mut d = Vector::<i64>::new(self.nvertices()).expect("n >= 1");
-                let mut counts = Matrix::<i64>::new(self.nvertices(), self.nvertices())
-                    .expect("dims");
+                let mut counts =
+                    Matrix::<i64>::new(self.nvertices(), self.nvertices()).expect("dims");
                 apply_matrix(&mut counts, None, NOACC, unaryop::One, &ones, &Descriptor::default())
                     .expect("pattern count");
                 reduce_matrix(
@@ -202,9 +206,7 @@ impl Graph {
         if self.kind == GraphKind::Undirected {
             let at = transpose_new(&self.a)?;
             if at.extract_tuples() != self.a.extract_tuples() {
-                return Err(Error::invalid(
-                    "undirected graph adjacency must be symmetric",
-                ));
+                return Err(Error::invalid("undirected graph adjacency must be symmetric"));
             }
         }
         Ok(())
@@ -226,8 +228,7 @@ mod tests {
     use super::*;
 
     fn triangle() -> Graph {
-        Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)], GraphKind::Undirected)
-            .expect("graph")
+        Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)], GraphKind::Undirected).expect("graph")
     }
 
     #[test]
@@ -247,8 +248,8 @@ mod tests {
 
     #[test]
     fn degrees() {
-        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (3, 0)], GraphKind::Directed)
-            .expect("graph");
+        let g =
+            Graph::from_edges(4, &[(0, 1), (0, 2), (3, 0)], GraphKind::Directed).expect("graph");
         let out = g.out_degree();
         assert_eq!(out.get(0), Some(2));
         assert_eq!(out.get(3), Some(1));
@@ -279,8 +280,8 @@ mod tests {
 
     #[test]
     fn self_edges_counted_and_removed() {
-        let mut g = Graph::from_edges(3, &[(0, 0), (0, 1), (2, 2)], GraphKind::Directed)
-            .expect("graph");
+        let mut g =
+            Graph::from_edges(3, &[(0, 0), (0, 1), (2, 2)], GraphKind::Directed).expect("graph");
         assert_eq!(g.nself_edges(), 2);
         g.delete_self_edges().expect("clean");
         assert_eq!(g.nself_edges(), 0);
@@ -289,12 +290,8 @@ mod tests {
 
     #[test]
     fn weighted_edges() {
-        let g = Graph::from_weighted_edges(
-            3,
-            &[(0, 1, 2.5), (1, 2, 1.5)],
-            GraphKind::Undirected,
-        )
-        .expect("graph");
+        let g = Graph::from_weighted_edges(3, &[(0, 1, 2.5), (1, 2, 1.5)], GraphKind::Undirected)
+            .expect("graph");
         assert_eq!(g.a().get(0, 1), Some(2.5));
         assert_eq!(g.a().get(1, 0), Some(2.5));
     }

@@ -21,11 +21,10 @@ pub fn verify_bfs_levels(graph: &Graph, source: Index, levels: &Vector<i32>) -> 
     // Edge conditions, checked edge by edge over the adjacency.
     for (u, v, _) in graph.a().iter() {
         match (levels.get(u), levels.get(v)) {
-            (Some(lu), Some(lv)) => {
-                if (lu - lv).abs() > 1 {
-                    return Ok(false); // a level was skipped
-                }
+            (Some(lu), Some(lv)) if (lu - lv).abs() > 1 => {
+                return Ok(false); // a level was skipped
             }
+            (Some(_), Some(_)) => {}
             (Some(_), None) => {
                 // u reached, v not, but u → v exists: v was reachable.
                 return Ok(false);
@@ -161,7 +160,11 @@ pub fn verify_pagerank(graph: &Graph, ranks: &Vector<f64>, tol: f64) -> Result<b
     }
     let mut total = 0.0;
     for (_, r) in ranks.iter() {
-        if !(r >= 0.0) {
+        // "not >= 0" on purpose: a NaN rank must fail verification too.
+        if !matches!(
+            r.partial_cmp(&0.0),
+            Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+        ) {
             return Ok(false);
         }
         total += r;

@@ -43,7 +43,8 @@ pub fn argmax<T: Scalar + PartialOrd>(v: &Vector<T>) -> Option<(Index, T)> {
     let mut best: Option<(Index, T)> = None;
     for (i, x) in v.iter() {
         match &best {
-            Some((_, bx)) if !(x > *bx) => {}
+            // "not greater" on purpose: NaN never displaces the incumbent.
+            Some((_, bx)) if x.partial_cmp(bx) != Some(std::cmp::Ordering::Greater) => {}
             _ => best = Some((i, x)),
         }
     }
@@ -55,7 +56,8 @@ pub fn argmin<T: Scalar + PartialOrd>(v: &Vector<T>) -> Option<(Index, T)> {
     let mut best: Option<(Index, T)> = None;
     for (i, x) in v.iter() {
         match &best {
-            Some((_, bx)) if !(x < *bx) => {}
+            // "not less" on purpose: NaN never displaces the incumbent.
+            Some((_, bx)) if x.partial_cmp(bx) != Some(std::cmp::Ordering::Less) => {}
             _ => best = Some((i, x)),
         }
     }
@@ -91,8 +93,7 @@ mod tests {
 
     #[test]
     fn argmax_argmin() {
-        let v = Vector::from_tuples(5, vec![(1, 3.0), (2, 9.0), (4, 9.0)], |_, b| b)
-            .expect("v");
+        let v = Vector::from_tuples(5, vec![(1, 3.0), (2, 9.0), (4, 9.0)], |_, b| b).expect("v");
         assert_eq!(argmax(&v), Some((2, 9.0)));
         assert_eq!(argmin(&v), Some((1, 3.0)));
         let e = Vector::<f64>::new(3).expect("e");

@@ -174,8 +174,7 @@ mod tests {
 
     #[test]
     fn csr_round_trip_is_lossless() {
-        let m = Matrix::from_tuples(3, 3, vec![(0, 1, 1.5), (2, 0, 2.5)], |_, b| b)
-            .expect("build");
+        let m = Matrix::from_tuples(3, 3, vec![(0, 1, 1.5), (2, 0, 2.5)], |_, b| b).expect("build");
         let before = m.extract_tuples();
         let (nr, nc, ptr, idx, val) = m.export_csr();
         assert_eq!((nr, nc), (3, 3));
@@ -218,8 +217,8 @@ mod tests {
     fn import_is_usable_in_operations() {
         // Import, then immediately multiply: the opaque object is fully
         // functional, which is the point of §IV.
-        let a = Matrix::import_csr(2, 2, vec![0, 1, 2], vec![1, 0], vec![1.0, 1.0])
-            .expect("import");
+        let a =
+            Matrix::import_csr(2, 2, vec![0, 1, 2], vec![1, 0], vec![1.0, 1.0]).expect("import");
         let u = crate::Vector::from_tuples(2, vec![(0, 3.0), (1, 4.0)], |_, b| b).expect("u");
         let mut w = crate::Vector::<f64>::new(2).expect("w");
         crate::ops::mxv(

@@ -27,6 +27,7 @@ pub mod error;
 pub mod monoid;
 pub mod parallel;
 pub mod semiring;
+pub mod stats;
 pub mod types;
 pub mod unaryop;
 

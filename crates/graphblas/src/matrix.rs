@@ -124,9 +124,7 @@ pub(crate) fn rows_of<T: Scalar>(inner: &Inner<T>) -> &dyn crate::sparse::Sparse
 }
 
 /// Borrow the cached transpose (column access), if dual storage is built.
-pub(crate) fn dual_of<T: Scalar>(
-    inner: &Inner<T>,
-) -> Option<&dyn crate::sparse::SparseView<T>> {
+pub(crate) fn dual_of<T: Scalar>(inner: &Inner<T>) -> Option<&dyn crate::sparse::SparseView<T>> {
     inner.dual.as_ref().map(|d| d.view())
 }
 
@@ -170,8 +168,7 @@ impl<T: Scalar> Inner<T> {
         let mut pend: Vec<Tuple<T>> = if row_major {
             pending
         } else {
-            let mut p: Vec<Tuple<T>> =
-                pending.into_iter().map(|(i, j, x)| (j, i, x)).collect();
+            let mut p: Vec<Tuple<T>> = pending.into_iter().map(|(i, j, x)| (j, i, x)).collect();
             p.sort_by_key(|&(i, j, _)| (i, j));
             p
         };
@@ -187,46 +184,21 @@ impl<T: Scalar> Inner<T> {
             }
         });
         self.nzombies = 0;
-        let merge = |old: Vec<Tuple<T>>| -> Vec<Tuple<T>> {
-            // Linear merge of two sorted streams; pending wins ties, and
-            // zombies (flag on the minor index) are dropped.
-            let mut out = Vec::with_capacity(old.len() + pend.len());
-            let mut pi = pend.iter().peekable();
-            for (i, j, x) in old {
-                while let Some(&&(pi_, pj_, px)) = pi.peek() {
-                    if (pi_, pj_) < (i, unflip(j)) {
-                        out.push((pi_, pj_, px));
-                        pi.next();
-                    } else {
-                        break;
-                    }
-                }
-                let is_zombie = j & ZOMBIE != 0;
-                if let Some(&&(pi_, pj_, px)) = pi.peek() {
-                    if (pi_, pj_) == (i, unflip(j)) {
-                        out.push((pi_, pj_, px));
-                        pi.next();
-                        continue;
-                    }
-                }
-                if !is_zombie {
-                    out.push((i, j, x));
-                }
-            }
-            for &(pi_, pj_, px) in pi {
-                out.push((pi_, pj_, px));
-            }
-            out
-        };
+        crate::stats::record_assemble();
         match &mut self.store {
             Store::Csr(cs) | Store::Csc(cs) => {
                 let (nmajor, nminor) = (cs.nmajor, cs.nminor);
-                let merged = merge(raw_tuples_cs(cs));
-                *cs = from_sorted_tuples_cs(nmajor, nminor, merged);
+                let old = raw_tuples_cs(cs);
+                let chunks = merge_assemble(&old, &pend, nmajor, true);
+                *cs = cs_from_merged_chunks(nmajor, nminor, chunks);
             }
             Store::HyperCsr(h) | Store::HyperCsc(h) => {
                 let (nmajor, nminor) = (h.nmajor, h.nminor);
-                let merged = merge(raw_tuples_hyper(h));
+                let old = raw_tuples_hyper(h);
+                let merged: Vec<Tuple<T>> = merge_assemble(&old, &pend, nmajor, false)
+                    .into_iter()
+                    .flat_map(|(_, _, out)| out)
+                    .collect();
                 *h = from_sorted_tuples_hyper(nmajor, nminor, merged);
             }
         }
@@ -240,18 +212,16 @@ impl<T: Scalar> Inner<T> {
         let nvals = self.store.nvals_raw();
         match &self.store {
             Store::Csr(cs) if cs.nmajor > HYPER_MIN_DIM && nvals < cs.nmajor / HYPER_RATIO => {
-                if let Store::Csr(cs) = std::mem::replace(
-                    &mut self.store,
-                    Store::Csr(Cs::empty(1, 1)),
-                ) {
+                if let Store::Csr(cs) =
+                    std::mem::replace(&mut self.store, Store::Csr(Cs::empty(1, 1)))
+                {
                     self.store = Store::HyperCsr(cs.to_hyper());
                 }
             }
             Store::Csc(cs) if cs.nmajor > HYPER_MIN_DIM && nvals < cs.nmajor / HYPER_RATIO => {
-                if let Store::Csc(cs) = std::mem::replace(
-                    &mut self.store,
-                    Store::Csr(Cs::empty(1, 1)),
-                ) {
+                if let Store::Csc(cs) =
+                    std::mem::replace(&mut self.store, Store::Csr(Cs::empty(1, 1)))
+                {
                     self.store = Store::HyperCsc(cs.to_hyper());
                 }
             }
@@ -305,12 +275,98 @@ fn raw_tuples_hyper<T: Scalar>(h: &Hyper<T>) -> Vec<Tuple<T>> {
     out
 }
 
-/// Rebuild a `Cs` from sorted, deduplicated, zombie-free tuples in O(e).
-fn from_sorted_tuples_cs<T: Scalar>(
+/// One assembly chunk: the major range it covers, the per-major entry
+/// counts inside it (empty unless requested), and the merged tuples.
+type MergedChunk<T> = (std::ops::Range<usize>, Vec<usize>, Vec<Tuple<T>>);
+
+/// Assembly merge: combine sorted, zombie-flagged stored tuples with
+/// sorted, deduplicated pending tuples (pending wins ties, zombies are
+/// dropped), chunked over the major domain — each worker binary-searches
+/// its slice of both streams, so major ranges never overlap. Each chunk
+/// also returns its per-major entry counts so pointer construction can
+/// skip rescanning the merged data.
+/// `with_counts` must be false for hypersparse stores, whose major
+/// dimension can be astronomically larger than the entry count — a dense
+/// per-major count vector would be absurd there.
+fn merge_assemble<T: Scalar>(
+    old: &[Tuple<T>],
+    pend: &[Tuple<T>],
+    nmajor: Index,
+    with_counts: bool,
+) -> Vec<MergedChunk<T>> {
+    crate::parallel::par_chunks(nmajor, old.len() + pend.len(), |r| {
+        let (oa, ob) =
+            (old.partition_point(|t| t.0 < r.start), old.partition_point(|t| t.0 < r.end));
+        let (pa, pb) =
+            (pend.partition_point(|t| t.0 < r.start), pend.partition_point(|t| t.0 < r.end));
+        let old = &old[oa..ob];
+        let mut out = Vec::with_capacity(old.len() + (pb - pa));
+        let mut pi = pend[pa..pb].iter().peekable();
+        for &(i, j, x) in old {
+            while let Some(&&(pi_, pj_, px)) = pi.peek() {
+                if (pi_, pj_) < (i, unflip(j)) {
+                    out.push((pi_, pj_, px));
+                    pi.next();
+                } else {
+                    break;
+                }
+            }
+            let is_zombie = j & ZOMBIE != 0;
+            if let Some(&&(pi_, pj_, px)) = pi.peek() {
+                if (pi_, pj_) == (i, unflip(j)) {
+                    out.push((pi_, pj_, px));
+                    pi.next();
+                    continue;
+                }
+            }
+            if !is_zombie {
+                out.push((i, j, x));
+            }
+        }
+        for &t in pi {
+            out.push(t);
+        }
+        let mut counts = Vec::new();
+        if with_counts {
+            counts.resize(r.len(), 0);
+            for &(i, _, _) in &out {
+                counts[i - r.start] += 1;
+            }
+        }
+        (r, counts, out)
+    })
+}
+
+/// Build a `Cs` from the merged assembly chunks. The per-major counting
+/// already happened in parallel inside each chunk; this pass only splices
+/// the counts into the pointer array, prefix-sums it (O(nmajor)), and
+/// concatenates the chunk payloads in major order.
+fn cs_from_merged_chunks<T: Scalar>(
     nmajor: Index,
     nminor: Index,
-    tuples: Vec<Tuple<T>>,
+    chunks: Vec<MergedChunk<T>>,
 ) -> Cs<T> {
+    let total: usize = chunks.iter().map(|(_, _, o)| o.len()).sum();
+    let mut ptr = vec![0usize; nmajor + 1];
+    for (r, counts, _) in &chunks {
+        ptr[r.start + 1..r.end + 1].copy_from_slice(counts);
+    }
+    for i in 0..nmajor {
+        ptr[i + 1] += ptr[i];
+    }
+    let mut idx = Vec::with_capacity(total);
+    let mut val = Vec::with_capacity(total);
+    for (_, _, out) in chunks {
+        for (_, j, x) in out {
+            idx.push(j);
+            val.push(x);
+        }
+    }
+    Cs { nmajor, nminor, ptr, idx, val }
+}
+
+/// Rebuild a `Cs` from sorted, deduplicated, zombie-free tuples in O(e).
+fn from_sorted_tuples_cs<T: Scalar>(nmajor: Index, nminor: Index, tuples: Vec<Tuple<T>>) -> Cs<T> {
     let mut ptr = vec![0usize; nmajor + 1];
     let mut idx = Vec::with_capacity(tuples.len());
     let mut val = Vec::with_capacity(tuples.len());
@@ -403,11 +459,7 @@ impl<T: Scalar> Matrix<T> {
     /// Populate an empty matrix from tuples (`GrB_Matrix_build`). Returns
     /// an error if the matrix already has entries, mirroring
     /// `GrB_OUTPUT_NOT_EMPTY`.
-    pub fn build(
-        &mut self,
-        tuples: Vec<Tuple<T>>,
-        dup: impl FnMut(T, T) -> T,
-    ) -> Result<()> {
+    pub fn build(&mut self, tuples: Vec<Tuple<T>>, dup: impl FnMut(T, T) -> T) -> Result<()> {
         let inner = self.inner.get_mut();
         if inner.store.nvals_raw() != 0 || !inner.pending.is_empty() {
             return Err(Error::invalid("build requires an empty matrix"));
@@ -712,11 +764,7 @@ impl<T: Scalar> Matrix<T> {
             });
             vecs
         });
-        Matrix::from_store(
-            g.nrows,
-            g.ncols,
-            Store::row_major_from_vecs(g.nrows, g.ncols, vecs),
-        )
+        Matrix::from_store(g.nrows, g.ncols, Store::row_major_from_vecs(g.nrows, g.ncols, vecs))
     }
 
     /// Iterate over all `(row, col, value)` entries in row-major order.
@@ -851,8 +899,7 @@ mod tests {
 
     #[test]
     fn build_and_lookup() {
-        let m = Matrix::from_tuples(3, 3, vec![(0, 1, 2.0), (2, 2, 4.0)], |_, b| b)
-            .expect("build");
+        let m = Matrix::from_tuples(3, 3, vec![(0, 1, 2.0), (2, 2, 4.0)], |_, b| b).expect("build");
         assert_eq!(m.nvals(), 2);
         assert_eq!(m.get(0, 1), Some(2.0));
         assert_eq!(m.get(1, 1), None);
@@ -884,6 +931,44 @@ mod tests {
     }
 
     #[test]
+    fn set_element_sequence_matches_build_with_last_wins_dup() {
+        // Pending-tuple resolution is "last write wins" (the GrB_setElement
+        // contract); GrB_Matrix_build with dup = |_, b| b folds duplicates
+        // the same way. Any interleaving of set_element calls over the same
+        // tuple sequence must therefore be indistinguishable from one build.
+        let tuples: Vec<(Index, Index, i64)> = vec![
+            (2, 3, 1),
+            (0, 0, 2),
+            (2, 3, 3),
+            (5, 7, 4),
+            (0, 0, 5),
+            (7, 1, 6),
+            (2, 3, 7),
+            (5, 7, 8),
+            (3, 3, 9),
+            (0, 0, 10),
+        ];
+        let built = Matrix::from_tuples(8, 8, tuples.clone(), |_, b| b).expect("build");
+        // Plain deferred writes: every duplicate is resolved by one assembly.
+        let mut seq = Matrix::<i64>::new(8, 8).expect("new");
+        for &(i, j, x) in &tuples {
+            seq.set_element(i, j, x).expect("set");
+        }
+        assert_eq!(seq.extract_tuples(), built.extract_tuples());
+        // Forced mid-stream assemblies: some writes then update assembled
+        // entries in place, others are fresh pending tuples merged against
+        // an existing store — same observable result either way.
+        let mut mixed = Matrix::<i64>::new(8, 8).expect("new");
+        for (k, &(i, j, x)) in tuples.iter().enumerate() {
+            mixed.set_element(i, j, x).expect("set");
+            if k % 3 == 2 {
+                mixed.wait();
+            }
+        }
+        assert_eq!(mixed.extract_tuples(), built.extract_tuples());
+    }
+
+    #[test]
     fn set_element_updates_assembled_in_place() {
         let mut m = Matrix::from_tuples(2, 2, vec![(0, 0, 1)], |_, b| b).expect("build");
         m.wait();
@@ -895,9 +980,8 @@ mod tests {
 
     #[test]
     fn remove_element_creates_zombie_then_reassembles() {
-        let mut m =
-            Matrix::from_tuples(3, 3, vec![(0, 0, 1), (0, 1, 2), (1, 1, 3)], |_, b| b)
-                .expect("build");
+        let mut m = Matrix::from_tuples(3, 3, vec![(0, 0, 1), (0, 1, 2), (1, 1, 3)], |_, b| b)
+            .expect("build");
         m.remove_element(0, 1).expect("remove");
         assert_eq!(m.get(0, 1), None); // zombie invisible to reads
         assert_eq!(m.get(0, 0), Some(1)); // neighbors still visible
@@ -977,9 +1061,8 @@ mod tests {
 
     #[test]
     fn resize_drops_out_of_range() {
-        let mut m =
-            Matrix::from_tuples(4, 4, vec![(0, 0, 1), (3, 3, 2), (1, 2, 3)], |_, b| b)
-                .expect("build");
+        let mut m = Matrix::from_tuples(4, 4, vec![(0, 0, 1), (3, 3, 2), (1, 2, 3)], |_, b| b)
+            .expect("build");
         m.resize(2, 3).expect("resize");
         assert_eq!((m.nrows(), m.ncols()), (2, 3));
         assert_eq!(m.extract_tuples(), vec![(0, 0, 1), (1, 2, 3)]);
@@ -1039,8 +1122,7 @@ mod tests {
 
     #[test]
     fn pattern_extracts_structure() {
-        let m = Matrix::from_tuples(2, 2, vec![(0, 0, 0.0), (1, 1, 5.0)], |_, b| b)
-            .expect("build");
+        let m = Matrix::from_tuples(2, 2, vec![(0, 0, 0.0), (1, 1, 5.0)], |_, b| b).expect("build");
         let p = m.pattern();
         // Note: an *explicit* zero is still an entry; pattern is true there.
         assert_eq!(p.get(0, 0), Some(true));
@@ -1058,8 +1140,7 @@ mod tests {
 
     #[test]
     fn dup_tuples_fold_left_to_right() {
-        let m = Matrix::from_tuples(1, 1, vec![(0, 0, 8), (0, 0, 2)], |a, b| a / b)
-            .expect("build");
+        let m = Matrix::from_tuples(1, 1, vec![(0, 0, 8), (0, 0, 2)], |a, b| a / b).expect("build");
         assert_eq!(m.get(0, 0), Some(4));
     }
 }

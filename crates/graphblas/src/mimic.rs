@@ -94,12 +94,8 @@ impl<T: Scalar> DVec<T> {
     }
 
     pub fn to_vector(&self) -> Vector<T> {
-        let tuples: Vec<(Index, T)> = self
-            .val
-            .iter()
-            .enumerate()
-            .filter_map(|(i, v)| v.map(|x| (i, x)))
-            .collect();
+        let tuples: Vec<(Index, T)> =
+            self.val.iter().enumerate().filter_map(|(i, v)| v.map(|x| (i, x))).collect();
         Vector::from_tuples(self.n, tuples, |_, b| b).expect("valid dims")
     }
 }
@@ -533,15 +529,7 @@ mod tests {
                 .expect("a"),
         );
         let c0 = DMat::<i64>::new(2, 2);
-        let c = mxm(
-            &c0,
-            None,
-            &crate::ops::NOACC,
-            &PLUS_TIMES,
-            &a,
-            &a,
-            &Descriptor::default(),
-        );
+        let c = mxm(&c0, None, &crate::ops::NOACC, &PLUS_TIMES, &a, &a, &Descriptor::default());
         // A² = [7 10; 15 22]
         assert_eq!(c.get(0, 0), Some(7));
         assert_eq!(c.get(0, 1), Some(10));

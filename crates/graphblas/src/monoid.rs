@@ -119,10 +119,7 @@ impl<T: Scalar> Monoid<T> for Any {
 /// Returns `None` for an empty iterator (GraphBLAS reductions of an empty
 /// object yield no entry rather than the identity, except reduce-to-scalar
 /// which applies the identity — callers choose).
-pub fn fold<T: Scalar, M: Monoid<T>>(
-    monoid: &M,
-    iter: impl IntoIterator<Item = T>,
-) -> Option<T> {
+pub fn fold<T: Scalar, M: Monoid<T>>(monoid: &M, iter: impl IntoIterator<Item = T>) -> Option<T> {
     let mut it = iter.into_iter();
     let mut acc = it.next()?;
     if monoid.is_any() {

@@ -5,6 +5,7 @@ use crate::binaryop::BinaryOp;
 use crate::descriptor::Descriptor;
 use crate::error::Result;
 use crate::matrix::{rows_of, Matrix};
+use crate::parallel::par_chunks;
 use crate::sparse::transpose_dyn;
 use crate::types::{Index, Scalar};
 use crate::unaryop::{IndexUnaryOp, UnaryOp};
@@ -32,13 +33,7 @@ where
     check_vmask(mask, w.size())?;
     let (t_idx, t_val) = {
         let g = u.read();
-        let mut idx = Vec::with_capacity(g.nvals_assembled());
-        let mut val = Vec::with_capacity(g.nvals_assembled());
-        g.view().for_each(|i, x| {
-            idx.push(i);
-            val.push(op.apply(x));
-        });
-        (idx, val)
+        apply_vec_entries(g.view(), |_, x| op.apply(x))
     };
     write_vector(w, mask, accum, desc, t_idx, t_val)
 }
@@ -62,15 +57,44 @@ where
     check_vmask(mask, w.size())?;
     let (t_idx, t_val) = {
         let g = u.read();
-        let mut idx = Vec::with_capacity(g.nvals_assembled());
-        let mut val = Vec::with_capacity(g.nvals_assembled());
-        g.view().for_each(|i, x| {
-            idx.push(i);
-            val.push(op.apply(i, 0, x));
-        });
-        (idx, val)
+        apply_vec_entries(g.view(), |i, x| op.apply(i, 0, x))
     };
     write_vector(w, mask, accum, desc, t_idx, t_val)
+}
+
+/// Map `f` over every stored entry of a vector view, in index order.
+/// Entries are independent, so both storage forms chunk cleanly: sparse
+/// over the entry list, dense over the index domain.
+fn apply_vec_entries<A: Scalar, T: Scalar>(
+    view: crate::vector::VView<'_, A>,
+    f: impl Fn(Index, A) -> T + Sync,
+) -> (Vec<Index>, Vec<T>) {
+    use crate::vector::VView;
+    let chunks = match view {
+        VView::Sparse(idx, val) => par_chunks(idx.len(), idx.len(), |r| {
+            let out: Vec<T> =
+                idx[r.clone()].iter().zip(&val[r.clone()]).map(|(&i, &x)| f(i, x)).collect();
+            (idx[r].to_vec(), out)
+        }),
+        VView::Dense(val, present) => par_chunks(val.len(), val.len(), |r| {
+            let mut idx = Vec::new();
+            let mut out = Vec::new();
+            for p in r {
+                if present[p] {
+                    idx.push(p);
+                    out.push(f(p, val[p]));
+                }
+            }
+            (idx, out)
+        }),
+    };
+    let mut idx = Vec::new();
+    let mut val = Vec::new();
+    for (ci, cv) in chunks {
+        idx.extend(ci);
+        val.extend(cv);
+    }
+    (idx, val)
 }
 
 /// `C⟨Mask⟩ ⊙= f(A)` (or `f(Aᵀ)` with the transpose descriptor).
@@ -108,11 +132,7 @@ where
 {
     let ga = a.read_rows();
     let eff = effective_vecs_indexed(rows_of(&ga), desc.transpose_a, &op);
-    let (nr, nc) = if desc.transpose_a {
-        (ga.ncols, ga.nrows)
-    } else {
-        (ga.nrows, ga.ncols)
-    };
+    let (nr, nc) = if desc.transpose_a { (ga.ncols, ga.nrows) } else { (ga.nrows, ga.ncols) };
     drop(ga);
     check_dims(
         c.nrows() == nr && c.ncols() == nc,
@@ -129,27 +149,33 @@ fn effective_vecs_indexed<A: Scalar, T: Scalar, Op: IndexUnaryOp<A, T>>(
     transpose: bool,
     op: &Op,
 ) -> Vec<(Index, Vec<Index>, Vec<T>)> {
+    // Per the C API, the operator is applied *after* transposition, so it
+    // sees the coordinates of Aᵀ.
     if transpose {
         let td = transpose_dyn(v);
-        let tv = td.view();
-        let mut vecs = Vec::with_capacity(tv.nvecs());
-        // Per the C API, the operator is applied *after* transposition, so
-        // it sees the coordinates of Aᵀ.
-        tv.for_each_vec(&mut |i, idx, val| {
-            let out: Vec<T> =
-                idx.iter().zip(val).map(|(&j, &x)| op.apply(i, j, x)).collect();
-            vecs.push((i, idx.to_vec(), out));
-        });
-        vecs
+        rows_apply(td.view(), op)
     } else {
-        let mut vecs = Vec::with_capacity(v.nvecs());
-        v.for_each_vec(&mut |i, idx, val| {
-            let out: Vec<T> =
-                idx.iter().zip(val).map(|(&j, &x)| op.apply(i, j, x)).collect();
-            vecs.push((i, idx.to_vec(), out));
-        });
-        vecs
+        rows_apply(v, op)
     }
+}
+
+/// Apply an index-unary op row by row; rows are independent so they chunk
+/// over the nonempty majors.
+fn rows_apply<A: Scalar, T: Scalar, Op: IndexUnaryOp<A, T>>(
+    v: &dyn crate::sparse::SparseView<A>,
+    op: &Op,
+) -> Vec<(Index, Vec<Index>, Vec<T>)> {
+    let majors = v.nonempty_majors();
+    let chunks = par_chunks(majors.len(), v.nvals(), |range| {
+        let mut part = Vec::with_capacity(range.len());
+        for &i in &majors[range] {
+            let (idx, val) = v.vec(i);
+            let out: Vec<T> = idx.iter().zip(val).map(|(&j, &x)| op.apply(i, j, x)).collect();
+            part.push((i, idx.to_vec(), out));
+        }
+        part
+    });
+    chunks.into_iter().flatten().collect()
 }
 
 #[cfg(test)]

@@ -11,12 +11,11 @@ use crate::binaryop::BinaryOp;
 use crate::descriptor::Descriptor;
 use crate::error::Result;
 use crate::matrix::{rows_of, Matrix, Store};
+use crate::parallel::par_chunks;
 use crate::types::{Index, Scalar};
 use crate::vector::Vector;
 
-use super::common::{
-    check_dims, check_mmask, check_vmask, IndexSel, InverseSel, MMask, VMask,
-};
+use super::common::{check_dims, check_mmask, check_vmask, IndexSel, InverseSel, MMask, VMask};
 
 /// `w(I)⟨mask⟩ ⊙= u`.
 pub fn assign<T, Acc>(
@@ -105,49 +104,67 @@ fn merge_vector_region<T: Scalar, Acc: BinaryOp<T, T, T>>(
         g.view().for_each(|i, v| o.push((i, v)));
         o
     };
-    let mut out_idx = Vec::with_capacity(old.len() + t.len());
-    let mut out_val = Vec::with_capacity(old.len() + t.len());
-    let (mut a, mut b) = (0, 0);
-    while a < old.len() || b < t.len() {
-        let (i, c, tv) = if a < old.len() && (b >= t.len() || old[a].0 <= t[b].0) {
-            if b < t.len() && old[a].0 == t[b].0 {
-                let r = (old[a].0, Some(old[a].1), Some(t[b].1));
-                a += 1;
+    // Positions are decided independently, so chunk over the index domain:
+    // each worker binary-searches its slice of `old` and `t`, then runs the
+    // two-pointer merge + write rule; chunk-order stitching keeps the
+    // output sorted.
+    let n = w.size();
+    let chunks = par_chunks(n, old.len() + t.len(), |r| {
+        let (oa, ob) =
+            (old.partition_point(|p| p.0 < r.start), old.partition_point(|p| p.0 < r.end));
+        let (ta, tb) = (t.partition_point(|p| p.0 < r.start), t.partition_point(|p| p.0 < r.end));
+        let (old, t) = (&old[oa..ob], &t[ta..tb]);
+        let mut out_idx = Vec::with_capacity(old.len() + t.len());
+        let mut out_val = Vec::with_capacity(old.len() + t.len());
+        let (mut a, mut b) = (0, 0);
+        while a < old.len() || b < t.len() {
+            let (i, c, tv) = if a < old.len() && (b >= t.len() || old[a].0 <= t[b].0) {
+                if b < t.len() && old[a].0 == t[b].0 {
+                    let r = (old[a].0, Some(old[a].1), Some(t[b].1));
+                    a += 1;
+                    b += 1;
+                    r
+                } else {
+                    let r = (old[a].0, Some(old[a].1), None);
+                    a += 1;
+                    r
+                }
+            } else {
+                let r = (t[b].0, None, Some(t[b].1));
                 b += 1;
                 r
-            } else {
-                let r = (old[a].0, Some(old[a].1), None);
-                a += 1;
-                r
-            }
-        } else {
-            let r = (t[b].0, None, Some(t[b].1));
-            b += 1;
-            r
-        };
-        let result = if inv.pos(i).is_none() {
-            c // outside the region: untouched
-        } else {
-            let z = match &accum {
-                Some(acc) => match (c, tv) {
-                    (Some(cv), Some(t)) => Some(acc.apply(cv, t)),
-                    (Some(cv), None) => Some(cv),
-                    (None, t) => t,
-                },
-                None => tv,
             };
-            if meval.allowed(i) {
-                z
-            } else if desc.replace {
-                None
+            let result = if inv.pos(i).is_none() {
+                c // outside the region: untouched
             } else {
-                c
+                let z = match &accum {
+                    Some(acc) => match (c, tv) {
+                        (Some(cv), Some(t)) => Some(acc.apply(cv, t)),
+                        (Some(cv), None) => Some(cv),
+                        (None, t) => t,
+                    },
+                    None => tv,
+                };
+                if meval.allowed(i) {
+                    z
+                } else if desc.replace {
+                    None
+                } else {
+                    c
+                }
+            };
+            if let Some(v) = result {
+                out_idx.push(i);
+                out_val.push(v);
             }
-        };
-        if let Some(v) = result {
-            out_idx.push(i);
-            out_val.push(v);
         }
+        (out_idx, out_val)
+    });
+    let mut out_idx = Vec::with_capacity(old.len() + t.len());
+    let mut out_val = Vec::with_capacity(old.len() + t.len());
+    for (ci, cv) in chunks {
+        out_idx.extend(ci);
+        out_val.extend(cv);
     }
     drop(mguard);
     w.install(out_idx, out_val);
@@ -182,11 +199,8 @@ where
         let v = rows_of(&ga);
         let mut t = Vec::with_capacity(v.nvecs());
         v.for_each_vec(&mut |k, idx, val| {
-            let mut row: Vec<(Index, T)> = idx
-                .iter()
-                .zip(val)
-                .map(|(&jk, &x)| (j_sel.nth(jk), x))
-                .collect();
+            let mut row: Vec<(Index, T)> =
+                idx.iter().zip(val).map(|(&jk, &x)| (j_sel.nth(jk), x)).collect();
             row.sort_by_key(|&(j, _)| j);
             let (ri, rv) = row.into_iter().unzip();
             t.push((i_sel.nth(k), ri, rv));
@@ -275,80 +289,94 @@ fn merge_matrix_region<T: Scalar, Acc: BinaryOp<T, T, T>>(
     let mview = mguard.as_ref().map(|g| rows_of(&**g));
     let meval = MMask::new(mview, desc);
 
-    let mut out: Vec<(Index, Vec<Index>, Vec<T>)> = Vec::new();
-    let mut oi = old_vecs.into_iter().peekable();
-    let mut ti = t_vecs.into_iter().peekable();
-    loop {
-        let row = match (oi.peek(), ti.peek()) {
+    // Pair up old and incoming rows (both sorted by major) so the per-row
+    // merges — which are independent — can chunk over the paired list.
+    let mut pairs: Vec<(Index, Option<usize>, Option<usize>)> = Vec::new();
+    let (mut oa, mut tb) = (0, 0);
+    while oa < old_vecs.len() || tb < t_vecs.len() {
+        let row = match (old_vecs.get(oa), t_vecs.get(tb)) {
             (Some(o), Some(t)) => o.0.min(t.0),
             (Some(o), None) => o.0,
             (None, Some(t)) => t.0,
-            (None, None) => break,
+            (None, None) => unreachable!(),
         };
-        let o_row = if oi.peek().map(|o| o.0) == Some(row) {
-            oi.next().map(|(_, i, v)| (i, v))
+        let o = if old_vecs.get(oa).map(|o| o.0) == Some(row) {
+            oa += 1;
+            Some(oa - 1)
         } else {
             None
         };
-        let t_row = if ti.peek().map(|t| t.0) == Some(row) {
-            ti.next().map(|(_, i, v)| (i, v))
+        let t = if t_vecs.get(tb).map(|t| t.0) == Some(row) {
+            tb += 1;
+            Some(tb - 1)
         } else {
             None
         };
-        let row_in_region = i_inv.pos(row).is_some();
-        let rmask = meval.row(row);
-        let (o_idx, o_val) = o_row.unwrap_or_default();
-        let (t_idx, t_val) = t_row.unwrap_or_default();
-        let mut ridx = Vec::with_capacity(o_idx.len() + t_idx.len());
-        let mut rval = Vec::with_capacity(o_idx.len() + t_idx.len());
-        let (mut a, mut b) = (0, 0);
-        while a < o_idx.len() || b < t_idx.len() {
-            let (j, cval, tval) = if a < o_idx.len()
-                && (b >= t_idx.len() || o_idx[a] <= t_idx[b])
-            {
-                if b < t_idx.len() && o_idx[a] == t_idx[b] {
-                    let r = (o_idx[a], Some(o_val[a]), Some(t_val[b]));
-                    a += 1;
-                    b += 1;
-                    r
-                } else {
-                    let r = (o_idx[a], Some(o_val[a]), None);
-                    a += 1;
-                    r
-                }
-            } else {
-                let r = (t_idx[b], None, Some(t_val[b]));
-                b += 1;
-                r
-            };
-            let result = if !row_in_region || j_inv.pos(j).is_none() {
-                cval
-            } else {
-                let z = match &accum {
-                    Some(acc) => match (cval, tval) {
-                        (Some(cv), Some(tv)) => Some(acc.apply(cv, tv)),
-                        (Some(cv), None) => Some(cv),
-                        (None, tv) => tv,
-                    },
-                    None => tval,
-                };
-                if rmask.allowed(j) {
-                    z
-                } else if desc.replace {
-                    None
-                } else {
+        pairs.push((row, o, t));
+    }
+    let est = old_vecs.iter().map(|v| v.1.len()).sum::<usize>()
+        + t_vecs.iter().map(|v| v.1.len()).sum::<usize>();
+    let chunks = par_chunks(pairs.len(), est, |range| {
+        let mut part = Vec::with_capacity(range.len());
+        for &(row, o, t) in &pairs[range] {
+            let row_in_region = i_inv.pos(row).is_some();
+            let rmask = meval.row(row);
+            let empty: (&[Index], &[T]) = (&[], &[]);
+            let (o_idx, o_val) =
+                o.map(|p| (&old_vecs[p].1[..], &old_vecs[p].2[..])).unwrap_or(empty);
+            let (t_idx, t_val) = t.map(|p| (&t_vecs[p].1[..], &t_vecs[p].2[..])).unwrap_or(empty);
+            let mut ridx = Vec::with_capacity(o_idx.len() + t_idx.len());
+            let mut rval = Vec::with_capacity(o_idx.len() + t_idx.len());
+            let (mut a, mut b) = (0, 0);
+            while a < o_idx.len() || b < t_idx.len() {
+                let (j, cval, tval) =
+                    if a < o_idx.len() && (b >= t_idx.len() || o_idx[a] <= t_idx[b]) {
+                        if b < t_idx.len() && o_idx[a] == t_idx[b] {
+                            let r = (o_idx[a], Some(o_val[a]), Some(t_val[b]));
+                            a += 1;
+                            b += 1;
+                            r
+                        } else {
+                            let r = (o_idx[a], Some(o_val[a]), None);
+                            a += 1;
+                            r
+                        }
+                    } else {
+                        let r = (t_idx[b], None, Some(t_val[b]));
+                        b += 1;
+                        r
+                    };
+                let result = if !row_in_region || j_inv.pos(j).is_none() {
                     cval
+                } else {
+                    let z = match &accum {
+                        Some(acc) => match (cval, tval) {
+                            (Some(cv), Some(tv)) => Some(acc.apply(cv, tv)),
+                            (Some(cv), None) => Some(cv),
+                            (None, tv) => tv,
+                        },
+                        None => tval,
+                    };
+                    if rmask.allowed(j) {
+                        z
+                    } else if desc.replace {
+                        None
+                    } else {
+                        cval
+                    }
+                };
+                if let Some(v) = result {
+                    ridx.push(j);
+                    rval.push(v);
                 }
-            };
-            if let Some(v) = result {
-                ridx.push(j);
-                rval.push(v);
+            }
+            if !ridx.is_empty() {
+                part.push((row, ridx, rval));
             }
         }
-        if !ridx.is_empty() {
-            out.push((row, ridx, rval));
-        }
-    }
+        part
+    });
+    let out: Vec<(Index, Vec<Index>, Vec<T>)> = chunks.into_iter().flatten().collect();
     drop(mguard);
     c.install(nrows, ncols, Store::row_major_from_vecs(nrows, ncols, out));
     Ok(())
@@ -377,8 +405,7 @@ mod tests {
     fn vector_assign_scalar_masked_is_bfs_idiom() {
         // levels<frontier> = depth over ALL indices.
         let mut levels = Vector::from_tuples(5, vec![(0, 1)], |_, b| b).expect("levels");
-        let frontier =
-            Vector::from_tuples(5, vec![(2, true), (4, true)], |_, b| b).expect("front");
+        let frontier = Vector::from_tuples(5, vec![(2, true), (4, true)], |_, b| b).expect("front");
         assign_scalar(
             &mut levels,
             Some(&frontier),
@@ -430,10 +457,7 @@ mod tests {
             &Descriptor::default(),
         )
         .expect("assign");
-        assert_eq!(
-            c.extract_tuples(),
-            vec![(0, 0, 9), (1, 1, 1), (2, 2, 2), (3, 3, 9)]
-        );
+        assert_eq!(c.extract_tuples(), vec![(0, 0, 9), (1, 1, 1), (2, 2, 2), (3, 3, 9)]);
     }
 
     #[test]

@@ -144,11 +144,7 @@ pub(crate) struct VMask<'a> {
 
 impl<'a> VMask<'a> {
     pub fn new(view: Option<VView<'a, bool>>, desc: &Descriptor) -> Self {
-        VMask {
-            view,
-            complement: desc.mask_complement,
-            structural: desc.mask_structural,
-        }
+        VMask { view, complement: desc.mask_complement, structural: desc.mask_structural }
     }
 
     #[inline]
@@ -294,10 +290,7 @@ pub(crate) fn check_vmask(mask: Option<&Vector<bool>>, n: Index) -> Result<()> {
 /// Check a matrix mask against the output shape.
 pub(crate) fn check_mmask(mask: Option<&Matrix<bool>>, nrows: Index, ncols: Index) -> Result<()> {
     if let Some(m) = mask {
-        check_dims(
-            m.nrows() == nrows && m.ncols() == ncols,
-            "mask shape must match output",
-        )?;
+        check_dims(m.nrows() == nrows && m.ncols() == ncols, "mask shape must match output")?;
     }
     Ok(())
 }

@@ -4,6 +4,7 @@
 
 use crate::error::{Error, Result};
 use crate::matrix::{rows_of, Matrix};
+use crate::parallel::par_chunks;
 use crate::types::{Index, Scalar};
 use crate::vector::Vector;
 
@@ -43,6 +44,10 @@ pub fn concat<T: Scalar>(tiles: &[Vec<&Matrix<T>>]) -> Result<Matrix<T>> {
         col_off[c + 1] = col_off[c] + w;
     }
     let (nr, nc) = (row_off[tiles.len()], col_off[grid_cols]);
+    // Sequential by design: this is a pure tuple copy whose cost is
+    // dominated by the final `from_tuples` build (itself a sorted
+    // assembly), and tile iteration takes per-tile read locks that are
+    // simplest to hold one at a time.
     let mut tuples = Vec::new();
     for (r, row) in tiles.iter().enumerate() {
         for (c, tile) in row.iter().enumerate() {
@@ -67,7 +72,7 @@ pub fn split<T: Scalar>(
     if hsum != a.nrows() || wsum != a.ncols() {
         return Err(Error::dim("split: tile sizes must sum to the matrix shape"));
     }
-    if heights.iter().any(|&h| h == 0) || widths.iter().any(|&w| w == 0) {
+    if heights.contains(&0) || widths.contains(&0) {
         return Err(Error::invalid("split: zero-sized tiles are not allowed"));
     }
     let mut row_off = vec![0usize];
@@ -78,7 +83,9 @@ pub fn split<T: Scalar>(
     for &w in widths {
         col_off.push(col_off.last().expect("nonempty") + w);
     }
-    // Bucket the entries.
+    // Sequential by design: bucketing pushes into a shared 2-D grid of
+    // output buckets, and the cost is dominated by the per-tile
+    // `from_tuples` builds below.
     let mut buckets: Vec<Vec<Vec<(Index, Index, T)>>> =
         vec![vec![Vec::new(); widths.len()]; heights.len()];
     let find = |offsets: &[usize], x: Index| -> usize {
@@ -117,33 +124,34 @@ pub fn diag_extract<T: Scalar>(a: &Matrix<T>, k: i64) -> Result<Vector<T>> {
     if len == 0 {
         return Err(Error::invalid("diagonal lies outside the matrix"));
     }
-    let mut w = Vector::new(len)?;
     let g = a.read_rows();
     let v = rows_of(&g);
-    for t in 0..len {
-        let (i, j) = if k >= 0 { (t, t + k as usize) } else { (t + (-k) as usize, t) };
-        if let Some(x) = v.get(i, j) {
-            w.set_element(t, x)?;
+    // Diagonal positions are independent point lookups: chunk over the
+    // diagonal length.
+    let chunks = par_chunks(len, len, |r| {
+        let mut part = Vec::new();
+        for t in r {
+            let (i, j) = if k >= 0 { (t, t + k as usize) } else { (t + (-k) as usize, t) };
+            if let Some(x) = v.get(i, j) {
+                part.push((t, x));
+            }
         }
-    }
+        part
+    });
+    let tuples: Vec<(Index, T)> = chunks.into_iter().flatten().collect();
     drop(g);
-    w.wait();
-    Ok(w)
+    Vector::from_tuples(len, tuples, |_, b| b)
 }
 
 /// Build a matrix with `v` on its `k`-th diagonal (`GxB_Matrix_diag`
 /// generalized): the matrix is square with dimension `v.size() + |k|`.
 pub fn diag_matrix<T: Scalar>(v: &Vector<T>, k: i64) -> Result<Matrix<T>> {
+    // Sequential by design: one pass over the vector's entries; the cost
+    // is dominated by the `from_tuples` build.
     let n = v.size() + k.unsigned_abs() as usize;
     let tuples: Vec<(Index, Index, T)> = v
         .iter()
-        .map(|(t, x)| {
-            if k >= 0 {
-                (t, t + k as usize, x)
-            } else {
-                (t + (-k) as usize, t, x)
-            }
-        })
+        .map(|(t, x)| if k >= 0 { (t, t + k as usize, x) } else { (t + (-k) as usize, t, x) })
         .collect();
     Matrix::from_tuples(n, n, tuples, |_, b| b)
 }
@@ -164,10 +172,7 @@ mod tests {
         let d = m(1, 3, vec![(0, 0, 4)]);
         let out = concat(&[vec![&a, &b], vec![&c, &d]]).expect("concat");
         assert_eq!((out.nrows(), out.ncols()), (3, 5));
-        assert_eq!(
-            out.extract_tuples(),
-            vec![(0, 0, 1), (1, 4, 2), (2, 1, 3), (2, 2, 4)]
-        );
+        assert_eq!(out.extract_tuples(), vec![(0, 0, 1), (1, 4, 2), (2, 1, 3), (2, 2, 4)]);
     }
 
     #[test]
@@ -179,19 +184,14 @@ mod tests {
 
     #[test]
     fn split_round_trips_concat() {
-        let big = m(
-            4,
-            5,
-            vec![(0, 0, 1), (1, 4, 2), (3, 2, 3), (2, 1, 4), (3, 4, 5)],
-        );
+        let big = m(4, 5, vec![(0, 0, 1), (1, 4, 2), (3, 2, 3), (2, 1, 4), (3, 4, 5)]);
         let tiles = split(&big, &[2, 2], &[3, 2]).expect("split");
         assert_eq!(tiles.len(), 2);
         assert_eq!(tiles[0].len(), 2);
         assert_eq!(tiles[0][0].get(0, 0), Some(1));
         assert_eq!(tiles[0][1].get(1, 1), Some(2));
         assert_eq!(tiles[1][0].get(1, 2), Some(3));
-        let refs: Vec<Vec<&Matrix<i32>>> =
-            tiles.iter().map(|r| r.iter().collect()).collect();
+        let refs: Vec<Vec<&Matrix<i32>>> = tiles.iter().map(|r| r.iter().collect()).collect();
         let back = concat(&refs).expect("concat");
         assert_eq!(back.extract_tuples(), big.extract_tuples());
     }

@@ -10,6 +10,7 @@ use crate::binaryop::BinaryOp;
 use crate::descriptor::Descriptor;
 use crate::error::Result;
 use crate::matrix::{rows_of, Matrix};
+use crate::parallel::par_chunks;
 use crate::sparse::{transpose_dyn, MatData, SparseView};
 use crate::types::{Index, Scalar};
 use crate::vector::Vector;
@@ -38,7 +39,7 @@ where
     let (t_idx, t_val) = {
         let gu = u.read();
         let gv = v.read();
-        union_merge(gu.view(), gv.view(), &op)
+        union_merge(gu.view(), gv.view(), u.size(), &op)
     };
     write_vector(w, mask, accum, desc, t_idx, t_val)
 }
@@ -67,14 +68,26 @@ where
         let gu = u.read();
         let gv = v.read();
         let (ui, uv) = sparse_parts(gu.view());
+        let vview = gv.view();
+        // The intersection is driven by u's entries, which chunk cleanly:
+        // each worker probes v independently and output order follows
+        // chunk order.
+        let chunks = par_chunks(ui.len(), ui.len(), |r| {
+            let mut idx = Vec::new();
+            let mut val = Vec::new();
+            for (i, x) in ui[r.clone()].iter().copied().zip(uv[r].iter().copied()) {
+                if let Some(y) = vview.get(i) {
+                    idx.push(i);
+                    val.push(op.apply(x, y));
+                }
+            }
+            (idx, val)
+        });
         let mut idx = Vec::new();
         let mut val = Vec::new();
-        let vview = gv.view();
-        for (i, x) in ui.iter().copied().zip(uv.iter().copied()) {
-            if let Some(y) = vview.get(i) {
-                idx.push(i);
-                val.push(op.apply(x, y));
-            }
+        for (ci, cv) in chunks {
+            idx.extend(ci);
+            val.extend(cv);
         }
         (idx, val)
     };
@@ -94,28 +107,46 @@ fn sparse_parts<T: Scalar>(view: crate::vector::VView<'_, T>) -> (Vec<Index>, Ve
 fn union_merge<T: Scalar, Op: BinaryOp<T, T, T>>(
     u: crate::vector::VView<'_, T>,
     v: crate::vector::VView<'_, T>,
+    n: usize,
     op: &Op,
 ) -> (Vec<Index>, Vec<T>) {
     let (ui, uv) = sparse_parts(u);
     let (vi, vv) = sparse_parts(v);
+    // Chunk over the shared index domain [0, n): each worker locates its
+    // slice of both inputs with a binary search, then runs the two-pointer
+    // merge on disjoint index ranges. Stitching in chunk order reproduces
+    // the sequential output exactly.
+    let chunks = par_chunks(n, ui.len() + vi.len(), |r| {
+        let (ua, ub) = (ui.partition_point(|&i| i < r.start), ui.partition_point(|&i| i < r.end));
+        let (va, vb) = (vi.partition_point(|&i| i < r.start), vi.partition_point(|&i| i < r.end));
+        let (ui, uv) = (&ui[ua..ub], &uv[ua..ub]);
+        let (vi, vv) = (&vi[va..vb], &vv[va..vb]);
+        let mut idx = Vec::with_capacity(ui.len() + vi.len());
+        let mut val = Vec::with_capacity(ui.len() + vi.len());
+        let (mut a, mut b) = (0, 0);
+        while a < ui.len() || b < vi.len() {
+            if a < ui.len() && (b >= vi.len() || ui[a] < vi[b]) {
+                idx.push(ui[a]);
+                val.push(uv[a]);
+                a += 1;
+            } else if b < vi.len() && (a >= ui.len() || vi[b] < ui[a]) {
+                idx.push(vi[b]);
+                val.push(vv[b]);
+                b += 1;
+            } else {
+                idx.push(ui[a]);
+                val.push(op.apply(uv[a], vv[b]));
+                a += 1;
+                b += 1;
+            }
+        }
+        (idx, val)
+    });
     let mut idx = Vec::with_capacity(ui.len() + vi.len());
     let mut val = Vec::with_capacity(ui.len() + vi.len());
-    let (mut a, mut b) = (0, 0);
-    while a < ui.len() || b < vi.len() {
-        if a < ui.len() && (b >= vi.len() || ui[a] < vi[b]) {
-            idx.push(ui[a]);
-            val.push(uv[a]);
-            a += 1;
-        } else if b < vi.len() && (a >= ui.len() || vi[b] < ui[a]) {
-            idx.push(vi[b]);
-            val.push(vv[b]);
-            b += 1;
-        } else {
-            idx.push(ui[a]);
-            val.push(op.apply(uv[a], vv[b]));
-            a += 1;
-            b += 1;
-        }
+    for (ci, cv) in chunks {
+        idx.extend(ci);
+        val.extend(cv);
     }
     (idx, val)
 }
@@ -206,31 +237,39 @@ where
         "eWiseMult: input shapes differ",
     )?;
     let (nr, nc) = (av.nmajor(), av.nminor());
-    let mut vecs = Vec::new();
-    av.for_each_vec(&mut |i, aidx, aval| {
-        let (bidx, bval) = bv.vec(i);
-        if bidx.is_empty() {
-            return;
-        }
-        let mut ridx = Vec::new();
-        let mut rval = Vec::new();
-        let (mut p, mut q) = (0, 0);
-        while p < aidx.len() && q < bidx.len() {
-            if aidx[p] < bidx[q] {
-                p += 1;
-            } else if bidx[q] < aidx[p] {
-                q += 1;
-            } else {
-                ridx.push(aidx[p]);
-                rval.push(op.apply(aval[p], bval[q]));
-                p += 1;
-                q += 1;
+    // Rows intersect independently: chunk over A's nonempty majors and let
+    // each worker run the two-pointer intersection for its rows.
+    let amaj = av.nonempty_majors();
+    let chunks = par_chunks(amaj.len(), av.nvals() + bv.nvals(), |range| {
+        let mut part = Vec::new();
+        for &i in &amaj[range] {
+            let (aidx, aval) = av.vec(i);
+            let (bidx, bval) = bv.vec(i);
+            if bidx.is_empty() {
+                continue;
+            }
+            let mut ridx = Vec::new();
+            let mut rval = Vec::new();
+            let (mut p, mut q) = (0, 0);
+            while p < aidx.len() && q < bidx.len() {
+                if aidx[p] < bidx[q] {
+                    p += 1;
+                } else if bidx[q] < aidx[p] {
+                    q += 1;
+                } else {
+                    ridx.push(aidx[p]);
+                    rval.push(op.apply(aval[p], bval[q]));
+                    p += 1;
+                    q += 1;
+                }
+            }
+            if !ridx.is_empty() {
+                part.push((i, ridx, rval));
             }
         }
-        if !ridx.is_empty() {
-            vecs.push((i, ridx, rval));
-        }
+        part
     });
+    let vecs: Vec<_> = chunks.into_iter().flatten().collect();
     drop(ea);
     drop(eb);
     drop(ga);
@@ -247,7 +286,10 @@ fn merge_matrix_union<T: Scalar, Op: BinaryOp<T, T, T>>(
 ) -> Vec<(Index, Vec<Index>, Vec<T>)> {
     let amaj = av.nonempty_majors();
     let bmaj = bv.nonempty_majors();
-    let mut vecs = Vec::with_capacity(amaj.len() + bmaj.len());
+    // Merge the two sorted major lists up front (cheap, O(rows)), then the
+    // per-row union merges chunk over the combined list — rows are
+    // independent and chunk-order stitching keeps the output sorted.
+    let mut rows = Vec::with_capacity(amaj.len() + bmaj.len());
     let (mut x, mut y) = (0, 0);
     while x < amaj.len() || y < bmaj.len() {
         let row = match (amaj.get(x), bmaj.get(y)) {
@@ -256,40 +298,43 @@ fn merge_matrix_union<T: Scalar, Op: BinaryOp<T, T, T>>(
             (None, Some(&rb)) => rb,
             (None, None) => unreachable!(),
         };
-        let (aidx, aval) = if amaj.get(x) == Some(&row) {
+        if amaj.get(x) == Some(&row) {
             x += 1;
-            av.vec(row)
-        } else {
-            (&[][..], &[][..])
-        };
-        let (bidx, bval) = if bmaj.get(y) == Some(&row) {
-            y += 1;
-            bv.vec(row)
-        } else {
-            (&[][..], &[][..])
-        };
-        let mut ridx = Vec::with_capacity(aidx.len() + bidx.len());
-        let mut rval = Vec::with_capacity(aidx.len() + bidx.len());
-        let (mut p, mut q) = (0, 0);
-        while p < aidx.len() || q < bidx.len() {
-            if p < aidx.len() && (q >= bidx.len() || aidx[p] < bidx[q]) {
-                ridx.push(aidx[p]);
-                rval.push(aval[p]);
-                p += 1;
-            } else if q < bidx.len() && (p >= aidx.len() || bidx[q] < aidx[p]) {
-                ridx.push(bidx[q]);
-                rval.push(bval[q]);
-                q += 1;
-            } else {
-                ridx.push(aidx[p]);
-                rval.push(op.apply(aval[p], bval[q]));
-                p += 1;
-                q += 1;
-            }
         }
-        vecs.push((row, ridx, rval));
+        if bmaj.get(y) == Some(&row) {
+            y += 1;
+        }
+        rows.push(row);
     }
-    vecs
+    let chunks = par_chunks(rows.len(), av.nvals() + bv.nvals(), |range| {
+        let mut part = Vec::with_capacity(range.len());
+        for &row in &rows[range] {
+            let (aidx, aval) = av.vec(row);
+            let (bidx, bval) = bv.vec(row);
+            let mut ridx = Vec::with_capacity(aidx.len() + bidx.len());
+            let mut rval = Vec::with_capacity(aidx.len() + bidx.len());
+            let (mut p, mut q) = (0, 0);
+            while p < aidx.len() || q < bidx.len() {
+                if p < aidx.len() && (q >= bidx.len() || aidx[p] < bidx[q]) {
+                    ridx.push(aidx[p]);
+                    rval.push(aval[p]);
+                    p += 1;
+                } else if q < bidx.len() && (p >= aidx.len() || bidx[q] < aidx[p]) {
+                    ridx.push(bidx[q]);
+                    rval.push(bval[q]);
+                    q += 1;
+                } else {
+                    ridx.push(aidx[p]);
+                    rval.push(op.apply(aval[p], bval[q]));
+                    p += 1;
+                    q += 1;
+                }
+            }
+            part.push((row, ridx, rval));
+        }
+        part
+    });
+    chunks.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
@@ -312,8 +357,7 @@ mod tests {
         let u = Vector::from_tuples(5, vec![(0, 1), (2, 2)], |_, b| b).expect("u");
         let v = Vector::from_tuples(5, vec![(2, 10), (4, 20)], |_, b| b).expect("v");
         let mut w = Vector::<i32>::new(5).expect("w");
-        ewise_mult(&mut w, None, NOACC, Times, &u, &v, &Descriptor::default())
-            .expect("mult");
+        ewise_mult(&mut w, None, NOACC, Times, &u, &v, &Descriptor::default()).expect("mult");
         assert_eq!(w.extract_tuples(), vec![(2, 20)]);
     }
 
@@ -332,8 +376,7 @@ mod tests {
         let a = Matrix::from_tuples(2, 2, vec![(0, 0, 1), (1, 1, 2)], |_, b| b).expect("a");
         let b = Matrix::from_tuples(2, 2, vec![(0, 0, 10), (0, 1, 20)], |_, b| b).expect("b");
         let mut add = Matrix::<i32>::new(2, 2).expect("add");
-        ewise_add_matrix(&mut add, None, NOACC, Plus, &a, &b, &Descriptor::default())
-            .expect("add");
+        ewise_add_matrix(&mut add, None, NOACC, Plus, &a, &b, &Descriptor::default()).expect("add");
         assert_eq!(add.extract_tuples(), vec![(0, 0, 11), (0, 1, 20), (1, 1, 2)]);
         let mut mult = Matrix::<i32>::new(2, 2).expect("mult");
         ewise_mult_matrix(&mut mult, None, NOACC, Times, &a, &b, &Descriptor::default())
@@ -357,7 +400,8 @@ mod tests {
         let a = Matrix::<i32>::new(2, 3).expect("a");
         let b = Matrix::<i32>::new(3, 2).expect("b");
         let mut c = Matrix::<i32>::new(2, 3).expect("c");
-        assert!(ewise_add_matrix(&mut c, None, NOACC, Plus, &a, &b, &Descriptor::default())
-            .is_err());
+        assert!(
+            ewise_add_matrix(&mut c, None, NOACC, Plus, &a, &b, &Descriptor::default()).is_err()
+        );
     }
 }

@@ -6,6 +6,7 @@ use crate::binaryop::BinaryOp;
 use crate::descriptor::Descriptor;
 use crate::error::Result;
 use crate::matrix::{rows_of, Matrix};
+use crate::parallel::par_chunks;
 use crate::types::{Index, Scalar};
 use crate::vector::Vector;
 
@@ -32,13 +33,23 @@ where
     let (t_idx, t_val) = {
         let g = u.read();
         let view = g.view();
+        // Output positions look up independently: chunk over 0..|I|.
+        let chunks = par_chunks(i_sel.len(g.n), i_sel.len(g.n), |r| {
+            let mut idx = Vec::new();
+            let mut val = Vec::new();
+            for k in r {
+                if let Some(x) = view.get(i_sel.nth(k)) {
+                    idx.push(k);
+                    val.push(x);
+                }
+            }
+            (idx, val)
+        });
         let mut idx = Vec::new();
         let mut val = Vec::new();
-        for k in 0..i_sel.len(g.n) {
-            if let Some(x) = view.get(i_sel.nth(k)) {
-                idx.push(k);
-                val.push(x);
-            }
+        for (ci, cv) in chunks {
+            idx.extend(ci);
+            val.extend(cv);
         }
         (idx, val)
     };
@@ -66,41 +77,46 @@ where
     i_sel.check(v.nmajor())?;
     j_sel.check(v.nminor())?;
     let (nr, nc) = (i_sel.len(v.nmajor()), j_sel.len(v.nminor()));
-    let mut vecs = Vec::new();
-    for k in 0..nr {
-        let (ridx, rval) = v.vec(i_sel.nth(k));
-        if ridx.is_empty() {
-            continue;
-        }
-        let mut oidx: Vec<(Index, T)> = Vec::new();
-        match j_sel {
-            IndexSel::All => {
-                for (&j, &x) in ridx.iter().zip(rval) {
-                    oidx.push((j, x));
-                }
+    // Output rows extract independently: chunk over 0..nr.
+    let chunks = par_chunks(nr, v.nvals(), |range| {
+        let mut part = Vec::new();
+        for k in range {
+            let (ridx, rval) = v.vec(i_sel.nth(k));
+            if ridx.is_empty() {
+                continue;
             }
-            IndexSel::Range(r) => {
-                for (&j, &x) in ridx.iter().zip(rval) {
-                    if r.contains(&j) {
-                        oidx.push((j - r.start, x));
+            let mut oidx: Vec<(Index, T)> = Vec::new();
+            match j_sel {
+                IndexSel::All => {
+                    for (&j, &x) in ridx.iter().zip(rval) {
+                        oidx.push((j, x));
                     }
                 }
-            }
-            IndexSel::List(list) => {
-                // J may permute and repeat: route by list position.
-                for (pos, &j) in list.iter().enumerate() {
-                    if let Ok(p) = ridx.binary_search(&j) {
-                        oidx.push((pos, rval[p]));
+                IndexSel::Range(r) => {
+                    for (&j, &x) in ridx.iter().zip(rval) {
+                        if r.contains(&j) {
+                            oidx.push((j - r.start, x));
+                        }
                     }
                 }
-                oidx.sort_by_key(|&(p, _)| p);
+                IndexSel::List(list) => {
+                    // J may permute and repeat: route by list position.
+                    for (pos, &j) in list.iter().enumerate() {
+                        if let Ok(p) = ridx.binary_search(&j) {
+                            oidx.push((pos, rval[p]));
+                        }
+                    }
+                    oidx.sort_by_key(|&(p, _)| p);
+                }
+            }
+            if !oidx.is_empty() {
+                let (oi, ov) = oidx.into_iter().unzip();
+                part.push((k, oi, ov));
             }
         }
-        if !oidx.is_empty() {
-            let (oi, ov) = oidx.into_iter().unzip();
-            vecs.push((k, oi, ov));
-        }
-    }
+        part
+    });
+    let vecs: Vec<_> = chunks.into_iter().flatten().collect();
     drop(eff);
     drop(ga);
     check_dims(c.nrows() == nr && c.ncols() == nc, "extract: output shape != |I|x|J|")?;
@@ -131,13 +147,24 @@ where
         return Err(crate::error::Error::oob(j, v.nminor()));
     }
     let n_out = i_sel.len(v.nmajor());
+    // Each output position is an independent point lookup: chunk over
+    // 0..|I|.
+    let chunks = par_chunks(n_out, n_out, |r| {
+        let mut idx = Vec::new();
+        let mut val = Vec::new();
+        for k in r {
+            if let Some(x) = v.get(i_sel.nth(k), j) {
+                idx.push(k);
+                val.push(x);
+            }
+        }
+        (idx, val)
+    });
     let mut t_idx = Vec::new();
     let mut t_val = Vec::new();
-    for k in 0..n_out {
-        if let Some(x) = v.get(i_sel.nth(k), j) {
-            t_idx.push(k);
-            t_val.push(x);
-        }
+    for (ci, cv) in chunks {
+        t_idx.extend(ci);
+        t_val.extend(cv);
     }
     drop(eff);
     drop(ga);
@@ -250,16 +277,8 @@ mod tests {
     fn row_extraction_via_transpose() {
         let a = sample();
         let mut w = Vector::<i32>::new(3).expect("w");
-        extract_col(
-            &mut w,
-            None,
-            NOACC,
-            &a,
-            &IndexSel::All,
-            1,
-            &Descriptor::new().transpose_a(),
-        )
-        .expect("extract");
+        extract_col(&mut w, None, NOACC, &a, &IndexSel::All, 1, &Descriptor::new().transpose_a())
+            .expect("extract");
         // Row 1 of A: entries at columns 0 and 2.
         assert_eq!(w.extract_tuples(), vec![(0, 3), (2, 4)]);
     }
@@ -280,9 +299,7 @@ mod tests {
         .is_err());
         let u = Vector::<i32>::new(4).expect("u");
         let mut w = Vector::<i32>::new(4).expect("w");
-        assert!(
-            extract(&mut w, None, NOACC, &u, &IndexSel::Range(0..3), &Descriptor::default())
-                .is_err()
-        );
+        assert!(extract(&mut w, None, NOACC, &u, &IndexSel::Range(0..3), &Descriptor::default())
+            .is_err());
     }
 }

@@ -6,6 +6,7 @@ use crate::binaryop::BinaryOp;
 use crate::descriptor::Descriptor;
 use crate::error::Result;
 use crate::matrix::{rows_of, Matrix};
+use crate::parallel::par_chunks;
 use crate::types::{Index, Scalar};
 
 use super::common::{check_dims, check_mmask};
@@ -38,25 +39,34 @@ where
     let (ra, ca) = (av.nmajor(), av.nminor());
     let (rb, cb) = (bv.nmajor(), bv.nminor());
     let (nr, nc) = (ra * rb, ca * cb);
-    let mut vecs: Vec<(Index, Vec<Index>, Vec<T>)> = Vec::new();
     let amaj = av.nonempty_majors();
     let bmaj = bv.nonempty_majors();
-    for &i1 in &amaj {
-        let (aidx, aval) = av.vec(i1);
-        for &i2 in &bmaj {
-            let (bidx, bval) = bv.vec(i2);
-            let row = i1 * rb + i2;
-            let mut ridx = Vec::with_capacity(aidx.len() * bidx.len());
-            let mut rval = Vec::with_capacity(aidx.len() * bidx.len());
-            for (&j1, &x) in aidx.iter().zip(aval) {
-                for (&j2, &y) in bidx.iter().zip(bval) {
-                    ridx.push(j1 * cb + j2);
-                    rval.push(op.apply(x, y));
+    // Every output row is one (A-row, B-row) pair, so rows of A chunk the
+    // work; each worker emits its block rows in the same (i1, i2) order as
+    // the sequential double loop.
+    let est = av.nvals().saturating_mul(bv.nvals());
+    let chunks = par_chunks(amaj.len(), est, |range| {
+        let mut part: Vec<(Index, Vec<Index>, Vec<T>)> =
+            Vec::with_capacity(range.len() * bmaj.len());
+        for &i1 in &amaj[range] {
+            let (aidx, aval) = av.vec(i1);
+            for &i2 in &bmaj {
+                let (bidx, bval) = bv.vec(i2);
+                let row = i1 * rb + i2;
+                let mut ridx = Vec::with_capacity(aidx.len() * bidx.len());
+                let mut rval = Vec::with_capacity(aidx.len() * bidx.len());
+                for (&j1, &x) in aidx.iter().zip(aval) {
+                    for (&j2, &y) in bidx.iter().zip(bval) {
+                        ridx.push(j1 * cb + j2);
+                        rval.push(op.apply(x, y));
+                    }
                 }
+                part.push((row, ridx, rval));
             }
-            vecs.push((row, ridx, rval));
         }
-    }
+        part
+    });
+    let vecs: Vec<(Index, Vec<Index>, Vec<T>)> = chunks.into_iter().flatten().collect();
     drop(ea);
     drop(eb);
     drop(ga);
@@ -77,12 +87,8 @@ mod tests {
         let eye = Matrix::from_tuples(2, 2, vec![(0, 0, 1), (1, 1, 1)], |_, b| b).expect("i");
         let a = Matrix::from_tuples(2, 2, vec![(0, 1, 3), (1, 0, 4)], |_, b| b).expect("a");
         let mut c = Matrix::<i32>::new(4, 4).expect("c");
-        kronecker(&mut c, None, NOACC, Times, &eye, &a, &Descriptor::default())
-            .expect("kron");
-        assert_eq!(
-            c.extract_tuples(),
-            vec![(0, 1, 3), (1, 0, 4), (2, 3, 3), (3, 2, 4)]
-        );
+        kronecker(&mut c, None, NOACC, Times, &eye, &a, &Descriptor::default()).expect("kron");
+        assert_eq!(c.extract_tuples(), vec![(0, 1, 3), (1, 0, 4), (2, 3, 3), (3, 2, 4)]);
     }
 
     #[test]
@@ -99,10 +105,8 @@ mod tests {
         // Repeated Kronecker powers of a seed adjacency pattern: the graph
         // generator the paper lists among LAGraph's support utilities.
         let seed =
-            Matrix::from_tuples(2, 2, vec![(0, 0, true), (0, 1, true), (1, 1, true)], |_, b| {
-                b
-            })
-            .expect("seed");
+            Matrix::from_tuples(2, 2, vec![(0, 0, true), (0, 1, true), (1, 1, true)], |_, b| b)
+                .expect("seed");
         let mut g2 = Matrix::<bool>::new(4, 4).expect("g2");
         kronecker(
             &mut g2,

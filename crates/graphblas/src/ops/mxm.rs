@@ -49,11 +49,7 @@ where
     let ea = EffView::new(rows_of(&ga), desc.transpose_a);
     let av = ea.view();
     // Shapes of the *effective* operands.
-    let (bm, bn) = if desc.transpose_b {
-        (gb.ncols, gb.nrows)
-    } else {
-        (gb.nrows, gb.ncols)
-    };
+    let (bm, bn) = if desc.transpose_b { (gb.ncols, gb.nrows) } else { (gb.nrows, gb.ncols) };
     check_dims(av.nminor() == bm, "mxm: inner dimensions must agree")?;
     let (nr, nc) = (av.nmajor(), bn);
     check_dims(c.nrows() == nr && c.ncols() == nc, "mxm: output shape mismatch")?;
@@ -64,6 +60,12 @@ where
     let meval = MMask::new(mview, desc);
 
     let method = choose_method(desc, &meval, nr);
+    crate::stats::record_mxm_kernel(match method {
+        MxmMethod::Dot => crate::stats::MxmKernel::Dot,
+        MxmMethod::Heap => crate::stats::MxmKernel::Heap,
+        _ => crate::stats::MxmKernel::Gustavson,
+    });
+    crate::stats::add_flops(av.nvals().saturating_mul(gb.nvals_assembled().max(1) / bm.max(1) + 1));
 
     let vecs = match method {
         MxmMethod::Dot => {
@@ -173,9 +175,7 @@ where
                     let (bidx, bval) = bv.vec(k);
                     for (&j, &bkj) in bidx.iter().zip(bval) {
                         let prod = mul.apply(aik, bkj);
-                        acc.entry(j)
-                            .and_modify(|cur| *cur = add.apply(*cur, prod))
-                            .or_insert(prod);
+                        acc.entry(j).and_modify(|cur| *cur = add.apply(*cur, prod)).or_insert(prod);
                     }
                 }
                 let rmask = mask.row(i);
@@ -240,60 +240,29 @@ where
         acc
     };
     if mask.has_view() && !mask.is_complement() {
-        // Compute only the masked positions, grouped by row.
-        let mut out: Vec<(Index, Vec<Index>, Vec<T>)> = Vec::new();
-        let mut cur_row: Option<Index> = None;
-        let mut ridx: Vec<Index> = Vec::new();
-        let mut rval: Vec<T> = Vec::new();
+        // Compute only the masked positions. Gather the mask's stored
+        // entries grouped by row first, then run the rows' dot products
+        // in parallel — each output row is independent.
+        let mut mrows: Vec<(Index, Vec<Index>)> = Vec::new();
+        let mut total = 0usize;
         mask.for_each_stored(&mut |i, j| {
-            if cur_row != Some(i) {
-                if let Some(r) = cur_row.take() {
-                    if !ridx.is_empty() {
-                        out.push((
-                            r,
-                            std::mem::take(&mut ridx),
-                            std::mem::take(&mut rval),
-                        ));
-                    } else {
-                        ridx.clear();
-                        rval.clear();
-                    }
-                }
-                cur_row = Some(i);
-            }
-            let (aidx, aval) = av.vec(i);
-            if aidx.is_empty() {
-                return;
-            }
-            let (bidx, bval) = btv.vec(j);
-            if let Some(v) = dot(aidx, aval, bidx, bval) {
-                ridx.push(j);
-                rval.push(v);
+            total += 1;
+            match mrows.last_mut() {
+                Some((r, js)) if *r == i => js.push(j),
+                _ => mrows.push((i, vec![j])),
             }
         });
-        if let Some(r) = cur_row {
-            if !ridx.is_empty() {
-                out.push((r, ridx, rval));
-            }
-        }
-        out
-    } else {
-        // Unmasked (or complemented): all-pairs of non-empty rows. Only
-        // sensible for small outputs; the chooser never picks this
-        // automatically.
-        let amaj = av.nonempty_majors();
-        let bmaj = btv.nonempty_majors();
-        let chunks = par_chunks(amaj.len(), av.nvals().saturating_mul(bmaj.len().max(1)), |range| {
-            let mut out = Vec::new();
-            for &i in &amaj[range] {
-                let rmask = mask.row(i);
-                let (aidx, aval) = av.vec(i);
-                let mut ridx = Vec::new();
-                let mut rval = Vec::new();
-                for &j in &bmaj {
-                    if !rmask.allowed(j) {
-                        continue;
-                    }
+        let per_dot = av.nvals() / av.nmajor().max(1) + btv.nvals() / btv.nmajor().max(1) + 1;
+        let chunks = par_chunks(mrows.len(), total.saturating_mul(per_dot), |range| {
+            let mut out: Vec<(Index, Vec<Index>, Vec<T>)> = Vec::new();
+            for (i, js) in &mrows[range] {
+                let (aidx, aval) = av.vec(*i);
+                if aidx.is_empty() {
+                    continue;
+                }
+                let mut ridx: Vec<Index> = Vec::new();
+                let mut rval: Vec<T> = Vec::new();
+                for &j in js {
                     let (bidx, bval) = btv.vec(j);
                     if let Some(v) = dot(aidx, aval, bidx, bval) {
                         ridx.push(j);
@@ -301,11 +270,42 @@ where
                     }
                 }
                 if !ridx.is_empty() {
-                    out.push((i, ridx, rval));
+                    out.push((*i, ridx, rval));
                 }
             }
             out
         });
+        chunks.into_iter().flatten().collect()
+    } else {
+        // Unmasked (or complemented): all-pairs of non-empty rows. Only
+        // sensible for small outputs; the chooser never picks this
+        // automatically.
+        let amaj = av.nonempty_majors();
+        let bmaj = btv.nonempty_majors();
+        let chunks =
+            par_chunks(amaj.len(), av.nvals().saturating_mul(bmaj.len().max(1)), |range| {
+                let mut out = Vec::new();
+                for &i in &amaj[range] {
+                    let rmask = mask.row(i);
+                    let (aidx, aval) = av.vec(i);
+                    let mut ridx = Vec::new();
+                    let mut rval = Vec::new();
+                    for &j in &bmaj {
+                        if !rmask.allowed(j) {
+                            continue;
+                        }
+                        let (bidx, bval) = btv.vec(j);
+                        if let Some(v) = dot(aidx, aval, bidx, bval) {
+                            ridx.push(j);
+                            rval.push(v);
+                        }
+                    }
+                    if !ridx.is_empty() {
+                        out.push((i, ridx, rval));
+                    }
+                }
+                out
+            });
         chunks.into_iter().flatten().collect()
     }
 }
@@ -328,58 +328,64 @@ where
     SA: Monoid<T>,
     SM: BinaryOp<A, B, T>,
 {
+    // The k-way merge within a row is inherently sequential, but rows are
+    // independent: chunk over the nonempty majors.
     let majors = av.nonempty_majors();
-    let mut out = Vec::new();
-    for &i in &majors {
-        let (aidx, aval) = av.vec(i);
-        // One cursor per (k, A(i,k)) with a non-empty B row.
-        let mut cursors: Vec<(&[Index], &[B], usize, A)> = Vec::with_capacity(aidx.len());
-        let mut heap: BinaryHeap<Reverse<(Index, usize)>> = BinaryHeap::new();
-        for (&k, &aik) in aidx.iter().zip(aval) {
-            let (bidx, bval) = bv.vec(k);
-            if !bidx.is_empty() {
-                let c = cursors.len();
-                cursors.push((bidx, bval, 0, aik));
-                heap.push(Reverse((bidx[0], c)));
-            }
-        }
-        let rmask = mask.row(i);
-        let mut ridx: Vec<Index> = Vec::new();
-        let mut rval: Vec<T> = Vec::new();
-        let mut cur_j: Option<Index> = None;
-        let mut cur_v: Option<T> = None;
-        while let Some(Reverse((j, c))) = heap.pop() {
-            let (bidx, bval, pos, aik) = cursors[c];
-            let prod = mul.apply(aik, bval[pos]);
-            if cur_j == Some(j) {
-                cur_v = cur_v.map(|v| add.apply(v, prod));
-            } else {
-                if let (Some(pj), Some(pv)) = (cur_j, cur_v) {
-                    if rmask.allowed(pj) {
-                        ridx.push(pj);
-                        rval.push(pv);
-                    }
+    let est = av.nvals() + bv.nvals();
+    let chunks = par_chunks(majors.len(), est, |range| {
+        let mut out = Vec::new();
+        for &i in &majors[range] {
+            let (aidx, aval) = av.vec(i);
+            // One cursor per (k, A(i,k)) with a non-empty B row.
+            let mut cursors: Vec<(&[Index], &[B], usize, A)> = Vec::with_capacity(aidx.len());
+            let mut heap: BinaryHeap<Reverse<(Index, usize)>> = BinaryHeap::new();
+            for (&k, &aik) in aidx.iter().zip(aval) {
+                let (bidx, bval) = bv.vec(k);
+                if !bidx.is_empty() {
+                    let c = cursors.len();
+                    cursors.push((bidx, bval, 0, aik));
+                    heap.push(Reverse((bidx[0], c)));
                 }
-                cur_j = Some(j);
-                cur_v = Some(prod);
             }
-            let next = pos + 1;
-            if next < bidx.len() {
-                cursors[c].2 = next;
-                heap.push(Reverse((bidx[next], c)));
+            let rmask = mask.row(i);
+            let mut ridx: Vec<Index> = Vec::new();
+            let mut rval: Vec<T> = Vec::new();
+            let mut cur_j: Option<Index> = None;
+            let mut cur_v: Option<T> = None;
+            while let Some(Reverse((j, c))) = heap.pop() {
+                let (bidx, bval, pos, aik) = cursors[c];
+                let prod = mul.apply(aik, bval[pos]);
+                if cur_j == Some(j) {
+                    cur_v = cur_v.map(|v| add.apply(v, prod));
+                } else {
+                    if let (Some(pj), Some(pv)) = (cur_j, cur_v) {
+                        if rmask.allowed(pj) {
+                            ridx.push(pj);
+                            rval.push(pv);
+                        }
+                    }
+                    cur_j = Some(j);
+                    cur_v = Some(prod);
+                }
+                let next = pos + 1;
+                if next < bidx.len() {
+                    cursors[c].2 = next;
+                    heap.push(Reverse((bidx[next], c)));
+                }
+            }
+            if let (Some(pj), Some(pv)) = (cur_j, cur_v) {
+                if rmask.allowed(pj) {
+                    ridx.push(pj);
+                    rval.push(pv);
+                }
+            }
+            if !ridx.is_empty() {
+                out.push((i, ridx, rval));
             }
         }
-        if let (Some(pj), Some(pv)) = (cur_j, cur_v) {
-            if rmask.allowed(pj) {
-                ridx.push(pj);
-                rval.push(pv);
-            }
-        }
-        if !ridx.is_empty() {
-            out.push((i, ridx, rval));
-        }
-    }
-    out
+        out
+    });
+    chunks.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
@@ -436,20 +442,12 @@ mod tests {
     fn masked_product_limits_output() {
         let a = dense_a();
         let b = dense_b();
-        let mask = Matrix::from_tuples(2, 2, vec![(0, 1, true), (1, 0, true)], |_, b| b)
-            .expect("mask");
+        let mask =
+            Matrix::from_tuples(2, 2, vec![(0, 1, true), (1, 0, true)], |_, b| b).expect("mask");
         for method in [MxmMethod::Gustavson, MxmMethod::Dot, MxmMethod::Heap] {
             let mut c = Matrix::<i64>::new(2, 2).expect("c");
-            mxm(
-                &mut c,
-                Some(&mask),
-                NOACC,
-                &PLUS_TIMES,
-                &a,
-                &b,
-                &Descriptor::new().method(method),
-            )
-            .expect("mxm");
+            mxm(&mut c, Some(&mask), NOACC, &PLUS_TIMES, &a, &b, &Descriptor::new().method(method))
+                .expect("mxm");
             assert_eq!(c.extract_tuples(), vec![(0, 1, 22), (1, 0, 43)], "{method:?}");
         }
     }
@@ -458,19 +456,11 @@ mod tests {
     fn complemented_mask_product() {
         let a = dense_a();
         let b = dense_b();
-        let mask = Matrix::from_tuples(2, 2, vec![(0, 1, true), (1, 0, true)], |_, b| b)
-            .expect("mask");
+        let mask =
+            Matrix::from_tuples(2, 2, vec![(0, 1, true), (1, 0, true)], |_, b| b).expect("mask");
         let mut c = Matrix::<i64>::new(2, 2).expect("c");
-        mxm(
-            &mut c,
-            Some(&mask),
-            NOACC,
-            &PLUS_TIMES,
-            &a,
-            &b,
-            &Descriptor::new().complement(),
-        )
-        .expect("mxm");
+        mxm(&mut c, Some(&mask), NOACC, &PLUS_TIMES, &a, &b, &Descriptor::new().complement())
+            .expect("mxm");
         assert_eq!(c.extract_tuples(), vec![(0, 0, 19), (1, 1, 50)]);
     }
 
@@ -498,10 +488,7 @@ mod tests {
         let mut c = Matrix::<u64>::new(3, 3).expect("c");
         mxm(&mut c, None, NOACC, &PLUS_PAIR, &a, &a, &Descriptor::default()).expect("mxm");
         // walks of length 2: 0→1→0, 0→1→2, 1→0→1, 1→2→1, 2→1→0, 2→1→2
-        assert_eq!(
-            c.extract_tuples(),
-            vec![(0, 0, 1), (0, 2, 1), (1, 1, 2), (2, 0, 1), (2, 2, 1)]
-        );
+        assert_eq!(c.extract_tuples(), vec![(0, 0, 1), (0, 2, 1), (1, 1, 2), (2, 0, 1), (2, 2, 1)]);
     }
 
     #[test]
@@ -512,9 +499,7 @@ mod tests {
         mxm(&mut c, None, NOACC, &PLUS_TIMES, &a, &b, &Descriptor::default()).expect("mxm");
         assert_eq!(c.extract_tuples(), vec![(0, 3, 10), (1, 1, 40)]);
         let mut bad = Matrix::<i64>::new(4, 4).expect("bad");
-        assert!(
-            mxm(&mut bad, None, NOACC, &PLUS_TIMES, &a, &b, &Descriptor::default()).is_err()
-        );
+        assert!(mxm(&mut bad, None, NOACC, &PLUS_TIMES, &a, &b, &Descriptor::default()).is_err());
     }
 
     #[test]

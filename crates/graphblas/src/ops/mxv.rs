@@ -25,6 +25,7 @@ use crate::monoid::Monoid;
 use crate::parallel::par_chunks;
 use crate::semiring::Semiring;
 use crate::sparse::SparseView;
+use crate::stats;
 use crate::types::{Index, Scalar};
 use crate::vector::{VView, Vector};
 
@@ -128,11 +129,7 @@ where
     let ga = a.read_rows();
     let rows = rows_of(&ga);
     let dual = dual_of(&ga);
-    let (n_in, n_out) = if transposed {
-        (ga.nrows, ga.ncols)
-    } else {
-        (ga.ncols, ga.nrows)
-    };
+    let (n_in, n_out) = if transposed { (ga.nrows, ga.ncols) } else { (ga.ncols, ga.nrows) };
     check_dims(u.size() == n_in, "mxv/vxm: vector length must match matrix")?;
     check_dims(w.size() == n_out, "mxv/vxm: output length must match matrix")?;
     check_vmask(mask, n_out)?;
@@ -142,39 +139,60 @@ where
     let uview = gu.view();
 
     // Natural kernel: pull for the row-output form, push for the
-    // column-output form. The dual storage unlocks the other one.
-    let use_push = if transposed {
+    // column-output form. The dual storage unlocks the other one. The
+    // `Auto` heuristic only requests the non-natural orientation when the
+    // dual form actually exists; an explicit Push/Pull request that needs
+    // the missing dual falls back to the natural kernel (never panics —
+    // the direction is a hint, not a contract).
+    let want_push = if transposed {
         match desc.direction {
             Direction::Push => true,
-            Direction::Pull => dual.is_none(),
-            Direction::Auto => {
-                dual.is_none() || u_nvals * PUSH_PULL_RATIO < n_in
-            }
+            Direction::Pull => false,
+            Direction::Auto => !(dual.is_some() && u_nvals * PUSH_PULL_RATIO >= n_in),
         }
     } else {
         match desc.direction {
-            Direction::Push => dual.is_some(),
+            Direction::Push => true,
             Direction::Pull => false,
-            Direction::Auto => {
-                dual.is_some() && u_nvals * PUSH_PULL_RATIO < n_in
-            }
+            Direction::Auto => dual.is_some() && u_nvals * PUSH_PULL_RATIO < n_in,
         }
     };
 
     let mguard = mask.map(|m| m.read());
     let meval = VMask::new(mguard.as_ref().map(|g| g.view()), desc);
 
+    stats::add_flops(rows.nvals().min(u_nvals.saturating_mul(n_out)));
     let (t_idx, t_val) = if transposed {
-        if use_push {
+        if want_push {
+            stats::record_mxv_path(stats::MxvPath::Push);
             scatter(rows, uview, n_out, add, &f)
         } else {
-            let dv = dual.expect("pull on transposed form requires dual storage");
-            rowdot(dv, uview, n_in, add, &f, &meval)
+            match dual {
+                Some(dv) => {
+                    stats::record_mxv_path(stats::MxvPath::Pull);
+                    rowdot(dv, uview, n_in, add, &f, &meval)
+                }
+                None => {
+                    stats::record_mxv_dual_fallback();
+                    stats::record_mxv_path(stats::MxvPath::Push);
+                    scatter(rows, uview, n_out, add, &f)
+                }
+            }
         }
-    } else if use_push {
-        let dv = dual.expect("push on row form requires dual storage");
-        scatter(dv, uview, n_out, add, &f)
+    } else if want_push {
+        match dual {
+            Some(dv) => {
+                stats::record_mxv_path(stats::MxvPath::Push);
+                scatter(dv, uview, n_out, add, &f)
+            }
+            None => {
+                stats::record_mxv_dual_fallback();
+                stats::record_mxv_path(stats::MxvPath::Pull);
+                rowdot(rows, uview, n_in, add, &f, &meval)
+            }
+        }
     } else {
+        stats::record_mxv_path(stats::MxvPath::Pull);
         rowdot(rows, uview, n_in, add, &f, &meval)
     };
     drop(mguard);
@@ -240,6 +258,10 @@ where
 
 /// Push kernel: scatter matrix rows selected by `u`'s entries into a dense
 /// (or tree, for huge dimensions) accumulator.
+///
+/// Stays sequential (no `par_chunks`): every scattered row writes into the
+/// same accumulator, so chunking would race, and push is chosen precisely
+/// when the frontier — and therefore the total work — is small.
 fn scatter<A, U, T, SA, F>(
     mat: &dyn SparseView<A>,
     u: VView<'_, U>,
@@ -281,9 +303,7 @@ where
             let (ridx, rval) = mat.vec(k);
             for (&j, &av) in ridx.iter().zip(rval) {
                 let prod = f(av, uk);
-                acc.entry(j)
-                    .and_modify(|cur| *cur = add.apply(*cur, prod))
-                    .or_insert(prod);
+                acc.entry(j).and_modify(|cur| *cur = add.apply(*cur, prod)).or_insert(prod);
             }
         });
         acc.into_iter().unzip()
@@ -321,8 +341,7 @@ mod tests {
     #[test]
     fn mxv_plus_times_matches_hand_computation() {
         let a = digraph();
-        let u = Vector::from_tuples(3, vec![(0, 1.0), (1, 2.0), (2, 3.0)], |_, b| b)
-            .expect("u");
+        let u = Vector::from_tuples(3, vec![(0, 1.0), (1, 2.0), (2, 3.0)], |_, b| b).expect("u");
         let mut w = Vector::<f64>::new(3).expect("w");
         mxv(&mut w, None, NOACC, &PLUS_TIMES, &a, &u, &Descriptor::default()).expect("mxv");
         // w0 = 1*2 + 4*3 = 14; w1 = 2*3 = 6... careful: row0 = {1:1, 2:4}.
@@ -348,13 +367,8 @@ mod tests {
 
     #[test]
     fn sparse_frontier_reachability() {
-        let a = Matrix::from_tuples(
-            4,
-            4,
-            vec![(0, 1, true), (1, 2, true), (2, 3, true)],
-            |_, b| b,
-        )
-        .expect("a");
+        let a = Matrix::from_tuples(4, 4, vec![(0, 1, true), (1, 2, true), (2, 3, true)], |_, b| b)
+            .expect("a");
         let q = Vector::from_tuples(4, vec![(0, true)], |_, b| b).expect("q");
         let mut next = Vector::<bool>::new(4).expect("next");
         vxm(&mut next, None, NOACC, &LOR_LAND, &q, &a, &Descriptor::default()).expect("vxm");
@@ -367,8 +381,7 @@ mod tests {
         let dist = Vector::from_tuples(3, vec![(0, 0.0)], |_, b| b).expect("dist");
         let mut relaxed = Vector::<f64>::new(3).expect("r");
         // one Bellman-Ford step from the source: dᵀ min.+ A
-        vxm(&mut relaxed, None, NOACC, &MIN_PLUS, &dist, &a, &Descriptor::default())
-            .expect("vxm");
+        vxm(&mut relaxed, None, NOACC, &MIN_PLUS, &dist, &a, &Descriptor::default()).expect("vxm");
         assert_eq!(relaxed.extract_tuples(), vec![(1, 1.0), (2, 4.0)]);
     }
 
@@ -378,8 +391,7 @@ mod tests {
         let u = Vector::dense(3, 1.0).expect("u");
         let mask = Vector::from_tuples(3, vec![(1, true)], |_, b| b).expect("mask");
         let mut w = Vector::<f64>::new(3).expect("w");
-        mxv(&mut w, Some(&mask), NOACC, &PLUS_TIMES, &a, &u, &Descriptor::default())
-            .expect("mxv");
+        mxv(&mut w, Some(&mask), NOACC, &PLUS_TIMES, &a, &u, &Descriptor::default()).expect("mxv");
         assert_eq!(w.extract_tuples(), vec![(1, 2.0)]);
     }
 
@@ -388,8 +400,7 @@ mod tests {
         let mut a = digraph();
         let u = Vector::from_tuples(3, vec![(1, 2.0)], |_, b| b).expect("u");
         let mut pull = Vector::<f64>::new(3).expect("pull");
-        mxv(&mut pull, None, NOACC, &PLUS_TIMES, &a, &u, &Descriptor::default())
-            .expect("pull");
+        mxv(&mut pull, None, NOACC, &PLUS_TIMES, &a, &u, &Descriptor::default()).expect("pull");
         a.set_dual_storage(true);
         let mut push = Vector::<f64>::new(3).expect("push");
         mxv(
@@ -428,12 +439,81 @@ mod tests {
     }
 
     #[test]
+    fn explicit_push_without_dual_falls_back_to_pull() {
+        // Push on the row-output form needs the transposed (dual) storage.
+        // Without it the direction hint must degrade to the natural pull
+        // kernel instead of panicking.
+        let a = digraph();
+        let u = Vector::from_tuples(3, vec![(0, 1.0), (1, 2.0), (2, 3.0)], |_, b| b).expect("u");
+        let mut w = Vector::<f64>::new(3).expect("w");
+        mxv(
+            &mut w,
+            None,
+            NOACC,
+            &PLUS_TIMES,
+            &a,
+            &u,
+            &Descriptor::new().direction(Direction::Push),
+        )
+        .expect("push hint without dual storage must not fail");
+        assert_eq!(
+            w.extract_tuples(),
+            vec![(0, 1.0 * 2.0 + 4.0 * 3.0), (1, 2.0 * 3.0), (2, 8.0 * 1.0)]
+        );
+    }
+
+    #[test]
+    fn explicit_pull_without_dual_falls_back_to_push() {
+        // Pull on the column-output form (vxm / transposed mxv) needs the
+        // dual storage; without it the hint degrades to the natural push.
+        let a = digraph();
+        let u = Vector::from_tuples(3, vec![(0, 1.0), (2, 5.0)], |_, b| b).expect("u");
+        let mut w = Vector::<f64>::new(3).expect("w");
+        vxm(
+            &mut w,
+            None,
+            NOACC,
+            &PLUS_TIMES,
+            &u,
+            &a,
+            &Descriptor::new().direction(Direction::Pull),
+        )
+        .expect("pull hint without dual storage must not fail");
+        assert_eq!(w.extract_tuples(), vec![(0, 40.0), (1, 1.0), (2, 4.0)]);
+    }
+
+    #[test]
+    fn every_direction_agrees_with_and_without_dual() {
+        // No combination of direction hint × dual-storage state may panic,
+        // and all must agree bit-for-bit on the result.
+        let u = Vector::from_tuples(3, vec![(1, 2.0), (2, 0.5)], |_, b| b).expect("u");
+        let base = {
+            let a = digraph();
+            let mut w = Vector::<f64>::new(3).expect("w");
+            mxv(&mut w, None, NOACC, &PLUS_TIMES, &a, &u, &Descriptor::default()).expect("base");
+            w.extract_tuples()
+        };
+        for with_dual in [false, true] {
+            for dir in [Direction::Auto, Direction::Push, Direction::Pull] {
+                let mut a = digraph();
+                a.set_dual_storage(with_dual);
+                let mut w = Vector::<f64>::new(3).expect("w");
+                mxv(&mut w, None, NOACC, &PLUS_TIMES, &a, &u, &Descriptor::new().direction(dir))
+                    .expect("mxv");
+                assert_eq!(w.extract_tuples(), base, "dual={with_dual} dir={dir:?}");
+                let mut t = Vector::<f64>::new(3).expect("t");
+                vxm(&mut t, None, NOACC, &PLUS_TIMES, &u, &a, &Descriptor::new().direction(dir))
+                    .expect("vxm");
+            }
+        }
+    }
+
+    #[test]
     fn dimension_checks() {
         let a = digraph();
         let u = Vector::<f64>::new(4).expect("u");
         let mut w = Vector::<f64>::new(3).expect("w");
-        assert!(mxv(&mut w, None, NOACC, &PLUS_TIMES, &a, &u, &Descriptor::default())
-            .is_err());
+        assert!(mxv(&mut w, None, NOACC, &PLUS_TIMES, &a, &u, &Descriptor::default()).is_err());
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::descriptor::Descriptor;
 use crate::error::Result;
 use crate::matrix::{rows_of, Matrix};
 use crate::monoid::{fold, Monoid};
+use crate::parallel::{par_chunks, par_reduce};
 use crate::types::Scalar;
 use crate::vector::Vector;
 
@@ -33,14 +34,27 @@ where
     let eff = EffView::new(rows_of(&ga), desc.transpose_a);
     let v = eff.view();
     let n_out = v.nmajor();
-    let mut t_idx = Vec::with_capacity(v.nvecs());
-    let mut t_val = Vec::with_capacity(v.nvecs());
-    v.for_each_vec(&mut |i, _, vals| {
-        if let Some(r) = fold(monoid, vals.iter().copied()) {
-            t_idx.push(i);
-            t_val.push(r);
+    // Rows reduce independently: chunk over the nonempty majors; each
+    // row's fold keeps its own terminal early exit.
+    let majors = v.nonempty_majors();
+    let chunks = par_chunks(majors.len(), v.nvals(), |r| {
+        let mut idx = Vec::with_capacity(r.len());
+        let mut val = Vec::with_capacity(r.len());
+        for &i in &majors[r] {
+            let (_, vals) = v.vec(i);
+            if let Some(x) = fold(monoid, vals.iter().copied()) {
+                idx.push(i);
+                val.push(x);
+            }
         }
+        (idx, val)
     });
+    let mut t_idx = Vec::with_capacity(majors.len());
+    let mut t_val = Vec::with_capacity(majors.len());
+    for (idx, val) in chunks {
+        t_idx.extend(idx);
+        t_val.extend(val);
+    }
     drop(eff);
     drop(ga);
     check_dims(w.size() == n_out, "reduce: output length must match rows")?;
@@ -57,21 +71,28 @@ where
 {
     let ga = a.read_rows();
     let v = rows_of(&ga);
-    let mut acc = monoid.identity();
+    let majors = v.nonempty_majors();
     let terminal = monoid.terminal();
-    let mut done = false;
-    v.for_each_vec(&mut |_, _, vals| {
-        if done {
-            return;
-        }
-        if let Some(r) = fold(monoid, vals.iter().copied()) {
-            acc = monoid.apply(acc, r);
-            if Some(acc) == terminal {
-                done = true;
+    let r = par_reduce(majors.len(), v.nvals(), monoid, |range, exit| {
+        let mut acc: Option<T> = None;
+        for &i in &majors[range] {
+            if exit.stop() {
+                break;
+            }
+            let (_, vals) = v.vec(i);
+            if let Some(x) = fold(monoid, vals.iter().copied()) {
+                acc = Some(match acc {
+                    Some(a) => monoid.apply(a, x),
+                    None => x,
+                });
+                if acc == terminal || monoid.is_any() {
+                    break;
+                }
             }
         }
+        acc
     });
-    acc
+    r.unwrap_or_else(|| monoid.identity())
 }
 
 /// `s = ⊕ᵢ u(i)` — reduce a vector to a scalar (identity when empty).
@@ -80,20 +101,20 @@ where
     T: Scalar,
     M: Monoid<T>,
 {
+    use crate::vector::VView;
     let g = u.read();
-    let mut acc = monoid.identity();
-    let terminal = monoid.terminal();
-    let mut done = false;
-    g.view().for_each(|_, x| {
-        if done {
-            return;
-        }
-        acc = monoid.apply(acc, x);
-        if Some(acc) == terminal {
-            done = true;
-        }
-    });
-    acc
+    let view = g.view();
+    let r = match view {
+        VView::Sparse(_, val) => par_reduce(val.len(), val.len(), monoid, |range, _| {
+            // One contiguous value slice per chunk; `fold` early-exits
+            // within it, `par_reduce` short-circuits across chunks.
+            fold(monoid, val[range].iter().copied())
+        }),
+        VView::Dense(val, present) => par_reduce(val.len(), val.len(), monoid, |range, _| {
+            fold(monoid, range.filter(|&i| present[i]).map(|i| val[i]))
+        }),
+    };
+    r.unwrap_or_else(|| monoid.identity())
 }
 
 #[cfg(test)]
@@ -116,8 +137,7 @@ mod tests {
     fn row_reduce() {
         let a = sample();
         let mut w = Vector::<i64>::new(3).expect("w");
-        reduce_matrix(&mut w, None, NOACC, &Plus, &a, &Descriptor::default())
-            .expect("reduce");
+        reduce_matrix(&mut w, None, NOACC, &Plus, &a, &Descriptor::default()).expect("reduce");
         // Row 1 is empty: no entry.
         assert_eq!(w.extract_tuples(), vec![(0, 3), (2, 60)]);
     }

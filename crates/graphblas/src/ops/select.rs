@@ -6,6 +6,7 @@ use crate::binaryop::BinaryOp;
 use crate::descriptor::Descriptor;
 use crate::error::Result;
 use crate::matrix::{rows_of, Matrix};
+use crate::parallel::par_chunks;
 use crate::sparse::transpose_dyn;
 use crate::types::Scalar;
 use crate::unaryop::IndexUnaryOp;
@@ -33,14 +34,39 @@ where
     check_vmask(mask, w.size())?;
     let (t_idx, t_val) = {
         let g = u.read();
+        use crate::vector::VView;
+        // Entries are filtered independently; chunk over whichever storage
+        // form the vector is in and stitch in chunk (= index) order.
+        let chunks = match g.view() {
+            VView::Sparse(idx, val) => par_chunks(idx.len(), idx.len(), |r| {
+                let mut ci = Vec::new();
+                let mut cv = Vec::new();
+                for (&i, &x) in idx[r.clone()].iter().zip(&val[r]) {
+                    if pred.apply(i, 0, x) {
+                        ci.push(i);
+                        cv.push(x);
+                    }
+                }
+                (ci, cv)
+            }),
+            VView::Dense(val, present) => par_chunks(val.len(), val.len(), |r| {
+                let mut ci = Vec::new();
+                let mut cv = Vec::new();
+                for p in r {
+                    if present[p] && pred.apply(p, 0, val[p]) {
+                        ci.push(p);
+                        cv.push(val[p]);
+                    }
+                }
+                (ci, cv)
+            }),
+        };
         let mut idx = Vec::new();
         let mut val = Vec::new();
-        g.view().for_each(|i, x| {
-            if pred.apply(i, 0, x) {
-                idx.push(i);
-                val.push(x);
-            }
-        });
+        for (ci, cv) in chunks {
+            idx.extend(ci);
+            val.extend(cv);
+        }
         (idx, val)
     };
     write_vector(w, mask, accum, desc, t_idx, t_val)
@@ -62,11 +88,7 @@ where
     Acc: BinaryOp<T, T, T>,
 {
     let ga = a.read_rows();
-    let (nr, nc) = if desc.transpose_a {
-        (ga.ncols, ga.nrows)
-    } else {
-        (ga.nrows, ga.ncols)
-    };
+    let (nr, nc) = if desc.transpose_a { (ga.ncols, ga.nrows) } else { (ga.nrows, ga.ncols) };
     let vecs = {
         let base = rows_of(&ga);
         let owned;
@@ -76,21 +98,27 @@ where
         } else {
             base
         };
-        let mut vecs = Vec::with_capacity(v.nvecs());
-        v.for_each_vec(&mut |i, idx, val| {
-            let mut ridx = Vec::new();
-            let mut rval = Vec::new();
-            for (&j, &x) in idx.iter().zip(val) {
-                if pred.apply(i, j, x) {
-                    ridx.push(j);
-                    rval.push(x);
+        // Rows filter independently: chunk over the nonempty majors.
+        let majors = v.nonempty_majors();
+        let chunks = par_chunks(majors.len(), v.nvals(), |range| {
+            let mut part = Vec::with_capacity(range.len());
+            for &i in &majors[range] {
+                let (idx, val) = v.vec(i);
+                let mut ridx = Vec::new();
+                let mut rval = Vec::new();
+                for (&j, &x) in idx.iter().zip(val) {
+                    if pred.apply(i, j, x) {
+                        ridx.push(j);
+                        rval.push(x);
+                    }
+                }
+                if !ridx.is_empty() {
+                    part.push((i, ridx, rval));
                 }
             }
-            if !ridx.is_empty() {
-                vecs.push((i, ridx, rval));
-            }
+            part
         });
-        vecs
+        chunks.into_iter().flatten().collect::<Vec<_>>()
     };
     drop(ga);
     check_dims(
@@ -139,8 +167,7 @@ mod tests {
 
     #[test]
     fn vector_select_by_value() {
-        let u = Vector::from_tuples(5, vec![(0, 1), (1, 5), (2, 3), (4, 9)], |_, b| b)
-            .expect("u");
+        let u = Vector::from_tuples(5, vec![(0, 1), (1, 5), (2, 3), (4, 9)], |_, b| b).expect("u");
         let mut w = Vector::<i32>::new(5).expect("w");
         select(&mut w, None, NOACC, ValueGe(4), &u, &Descriptor::default()).expect("select");
         assert_eq!(w.extract_tuples(), vec![(1, 5), (4, 9)]);
@@ -148,13 +175,9 @@ mod tests {
 
     #[test]
     fn matrix_select_diag() {
-        let a = Matrix::from_tuples(
-            3,
-            3,
-            vec![(0, 0, 1), (0, 1, 2), (1, 1, 3), (2, 0, 4)],
-            |_, b| b,
-        )
-        .expect("a");
+        let a =
+            Matrix::from_tuples(3, 3, vec![(0, 0, 1), (0, 1, 2), (1, 1, 3), (2, 0, 4)], |_, b| b)
+                .expect("a");
         let mut c = Matrix::<i32>::new(3, 3).expect("c");
         select_matrix(&mut c, None, NOACC, Diag, &a, &Descriptor::default()).expect("select");
         assert_eq!(c.extract_tuples(), vec![(0, 0, 1), (1, 1, 3)]);

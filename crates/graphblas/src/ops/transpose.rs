@@ -6,6 +6,7 @@ use crate::binaryop::BinaryOp;
 use crate::descriptor::Descriptor;
 use crate::error::Result;
 use crate::matrix::{rows_of, Matrix};
+use crate::parallel::par_chunks;
 use crate::types::Scalar;
 
 use super::common::{check_dims, check_mmask};
@@ -29,10 +30,20 @@ where
     let eff = EffView::new(rows_of(&ga), !desc.transpose_a);
     let v = eff.view();
     let (nr, nc) = (v.nmajor(), v.nminor());
-    let mut vecs = Vec::with_capacity(v.nvecs());
-    v.for_each_vec(&mut |i, idx, val| {
-        vecs.push((i, idx.to_vec(), val.to_vec()));
+    // The transpose itself happens in `EffView` (parallel bucket transpose
+    // in `sparse::transpose_dyn`); copying out the rows chunks over the
+    // nonempty majors.
+    let majors = v.nonempty_majors();
+    let chunks = par_chunks(majors.len(), v.nvals(), |range| {
+        majors[range]
+            .iter()
+            .map(|&i| {
+                let (idx, val) = v.vec(i);
+                (i, idx.to_vec(), val.to_vec())
+            })
+            .collect::<Vec<_>>()
     });
+    let vecs: Vec<_> = chunks.into_iter().flatten().collect();
     drop(eff);
     drop(ga);
     check_dims(c.nrows() == nr && c.ncols() == nc, "transpose: output shape mismatch")?;
@@ -65,8 +76,7 @@ mod tests {
     fn double_transpose_is_copy() {
         let a = Matrix::from_tuples(2, 3, vec![(0, 2, 1), (1, 0, 2)], |_, b| b).expect("a");
         let mut c = Matrix::<i32>::new(2, 3).expect("c");
-        transpose(&mut c, None, NOACC, &a, &Descriptor::new().transpose_a())
-            .expect("transpose");
+        transpose(&mut c, None, NOACC, &a, &Descriptor::new().transpose_a()).expect("transpose");
         assert_eq!(c.extract_tuples(), a.extract_tuples());
     }
 
@@ -80,13 +90,8 @@ mod tests {
 
     #[test]
     fn transpose_round_trips() {
-        let a = Matrix::from_tuples(
-            4,
-            4,
-            vec![(0, 3, 1.5), (2, 1, 2.5), (3, 3, 3.5)],
-            |_, b| b,
-        )
-        .expect("a");
+        let a = Matrix::from_tuples(4, 4, vec![(0, 3, 1.5), (2, 1, 2.5), (3, 3, 3.5)], |_, b| b)
+            .expect("a");
         let t = transpose_new(&a).expect("t");
         let tt = transpose_new(&t).expect("tt");
         assert_eq!(tt.extract_tuples(), a.extract_tuples());

@@ -18,6 +18,7 @@ use crate::binaryop::BinaryOp;
 use crate::descriptor::Descriptor;
 use crate::error::Result;
 use crate::matrix::{Matrix, Store};
+use crate::parallel::par_chunks;
 use crate::types::{Index, Scalar};
 use crate::vector::Vector;
 
@@ -54,59 +55,79 @@ pub(crate) fn write_vector<T: Scalar, Acc: BinaryOp<T, T, T>>(
         (oi, ov)
     };
 
+    // Positions are decided independently, so chunk over the index domain:
+    // each worker binary-searches its slice of both inputs and runs the
+    // two-pointer merge + write rule; chunk-order stitching keeps the
+    // output sorted.
+    let n = w.size();
+    let chunks = par_chunks(n, t_idx.len() + old_idx.len(), |r| {
+        let (oa, ob) =
+            (old_idx.partition_point(|&i| i < r.start), old_idx.partition_point(|&i| i < r.end));
+        let (ta, tb) =
+            (t_idx.partition_point(|&i| i < r.start), t_idx.partition_point(|&i| i < r.end));
+        let (old_idx, old_val) = (&old_idx[oa..ob], &old_val[oa..ob]);
+        let (t_idx, t_val) = (&t_idx[ta..tb], &t_val[ta..tb]);
+        let mut out_idx = Vec::with_capacity(t_idx.len() + old_idx.len());
+        let mut out_val = Vec::with_capacity(t_idx.len() + old_idx.len());
+        let mut a = 0; // cursor into old
+        let mut b = 0; // cursor into t
+        while a < old_idx.len() || b < t_idx.len() {
+            let (i, c, t) = match (old_idx.get(a), t_idx.get(b)) {
+                (Some(&oi), Some(&ti)) if oi == ti => {
+                    let r = (oi, Some(old_val[a]), Some(t_val[b]));
+                    a += 1;
+                    b += 1;
+                    r
+                }
+                (Some(&oi), Some(&ti)) if oi < ti => {
+                    let r = (oi, Some(old_val[a]), None);
+                    a += 1;
+                    r
+                }
+                (Some(_), Some(&ti)) => {
+                    let r = (ti, None, Some(t_val[b]));
+                    b += 1;
+                    r
+                }
+                (Some(&oi), None) => {
+                    let r = (oi, Some(old_val[a]), None);
+                    a += 1;
+                    r
+                }
+                (None, Some(&ti)) => {
+                    let r = (ti, None, Some(t_val[b]));
+                    b += 1;
+                    r
+                }
+                (None, None) => unreachable!(),
+            };
+            let z = match &accum {
+                Some(acc) => match (c, t) {
+                    (Some(c), Some(t)) => Some(acc.apply(c, t)),
+                    (Some(c), None) => Some(c),
+                    (None, t) => t,
+                },
+                None => t,
+            };
+            let result = if meval.allowed(i) {
+                z
+            } else if desc.replace {
+                None
+            } else {
+                c
+            };
+            if let Some(v) = result {
+                out_idx.push(i);
+                out_val.push(v);
+            }
+        }
+        (out_idx, out_val)
+    });
     let mut out_idx = Vec::with_capacity(t_idx.len() + old_idx.len());
     let mut out_val = Vec::with_capacity(t_idx.len() + old_idx.len());
-    let mut a = 0; // cursor into old
-    let mut b = 0; // cursor into t
-    while a < old_idx.len() || b < t_idx.len() {
-        let (i, c, t) = match (old_idx.get(a), t_idx.get(b)) {
-            (Some(&oi), Some(&ti)) if oi == ti => {
-                let r = (oi, Some(old_val[a]), Some(t_val[b]));
-                a += 1;
-                b += 1;
-                r
-            }
-            (Some(&oi), Some(&ti)) if oi < ti => {
-                let r = (oi, Some(old_val[a]), None);
-                a += 1;
-                r
-            }
-            (Some(_), Some(&ti)) => {
-                let r = (ti, None, Some(t_val[b]));
-                b += 1;
-                r
-            }
-            (Some(&oi), None) => {
-                let r = (oi, Some(old_val[a]), None);
-                a += 1;
-                r
-            }
-            (None, Some(&ti)) => {
-                let r = (ti, None, Some(t_val[b]));
-                b += 1;
-                r
-            }
-            (None, None) => unreachable!(),
-        };
-        let z = match &accum {
-            Some(acc) => match (c, t) {
-                (Some(c), Some(t)) => Some(acc.apply(c, t)),
-                (Some(c), None) => Some(c),
-                (None, t) => t,
-            },
-            None => t,
-        };
-        let result = if meval.allowed(i) {
-            z
-        } else if desc.replace {
-            None
-        } else {
-            c
-        };
-        if let Some(v) = result {
-            out_idx.push(i);
-            out_val.push(v);
-        }
+    for (ci, cv) in chunks {
+        out_idx.extend(ci);
+        out_val.extend(cv);
     }
     drop(mguard);
     w.install(out_idx, out_val);
@@ -147,88 +168,87 @@ fn merge_rows<T: Scalar, Acc: BinaryOp<T, T, T>>(
     accum: &Option<Acc>,
     replace: bool,
 ) -> Vec<(Index, Vec<Index>, Vec<T>)> {
-    let mut out = Vec::with_capacity(old_vecs.len() + t_vecs.len());
-    let mut oi = old_vecs.into_iter().peekable();
-    let mut ti = t_vecs.into_iter().peekable();
-    loop {
-        let which = match (oi.peek(), ti.peek()) {
-            (Some(o), Some(t)) => {
-                if o.0 == t.0 {
-                    2
-                } else if o.0 < t.0 {
-                    0
-                } else {
-                    1
-                }
-            }
-            (Some(_), None) => 0,
-            (None, Some(_)) => 1,
-            (None, None) => break,
+    // Pair up old and incoming rows (both sorted by major) so the per-row
+    // merges — which are independent — can chunk over the paired list.
+    let mut pairs: Vec<(Index, Option<usize>, Option<usize>)> = Vec::new();
+    let (mut oa, mut tb) = (0, 0);
+    while oa < old_vecs.len() || tb < t_vecs.len() {
+        let row = match (old_vecs.get(oa), t_vecs.get(tb)) {
+            (Some(o), Some(t)) => o.0.min(t.0),
+            (Some(o), None) => o.0,
+            (None, Some(t)) => t.0,
+            (None, None) => unreachable!(),
         };
-        let (row, o_row, t_row) = match which {
-            0 => {
-                let (r, i, v) = oi.next().expect("peeked");
-                (r, Some((i, v)), None)
-            }
-            1 => {
-                let (r, i, v) = ti.next().expect("peeked");
-                (r, None, Some((i, v)))
-            }
-            _ => {
-                let (r, a, b) = oi.next().expect("peeked");
-                let (_, x, y) = ti.next().expect("peeked");
-                (r, Some((a, b)), Some((x, y)))
-            }
+        let o = if old_vecs.get(oa).map(|o| o.0) == Some(row) {
+            oa += 1;
+            Some(oa - 1)
+        } else {
+            None
         };
-        let rmask = mask.row(row);
-        let empty: (Vec<Index>, Vec<T>) = (Vec::new(), Vec::new());
-        let (o_idx, o_val) = o_row.unwrap_or_else(|| empty.clone());
-        let (t_idx, t_val) = t_row.unwrap_or(empty);
-        let mut ridx = Vec::with_capacity(o_idx.len() + t_idx.len());
-        let mut rval = Vec::with_capacity(o_idx.len() + t_idx.len());
-        let (mut a, mut b) = (0, 0);
-        while a < o_idx.len() || b < t_idx.len() {
-            let (j, cval, tval) = if a < o_idx.len()
-                && (b >= t_idx.len() || o_idx[a] <= t_idx[b])
-            {
-                if b < t_idx.len() && o_idx[a] == t_idx[b] {
-                    let r = (o_idx[a], Some(o_val[a]), Some(t_val[b]));
-                    a += 1;
-                    b += 1;
-                    r
-                } else {
-                    let r = (o_idx[a], Some(o_val[a]), None);
-                    a += 1;
-                    r
-                }
-            } else {
-                let r = (t_idx[b], None, Some(t_val[b]));
-                b += 1;
-                r
-            };
-            let z = match accum {
-                Some(acc) => match (cval, tval) {
-                    (Some(cv), Some(tv)) => Some(acc.apply(cv, tv)),
-                    (Some(cv), None) => Some(cv),
-                    (None, tv) => tv,
-                },
-                None => tval,
-            };
-            let result = if rmask.allowed(j) {
-                z
-            } else if replace {
-                None
-            } else {
-                cval
-            };
-            if let Some(v) = result {
-                ridx.push(j);
-                rval.push(v);
-            }
-        }
-        if !ridx.is_empty() {
-            out.push((row, ridx, rval));
-        }
+        let t = if t_vecs.get(tb).map(|t| t.0) == Some(row) {
+            tb += 1;
+            Some(tb - 1)
+        } else {
+            None
+        };
+        pairs.push((row, o, t));
     }
-    out
+    let est = old_vecs.iter().map(|v| v.1.len()).sum::<usize>()
+        + t_vecs.iter().map(|v| v.1.len()).sum::<usize>();
+    let chunks = par_chunks(pairs.len(), est, |range| {
+        let mut part = Vec::with_capacity(range.len());
+        for &(row, o, t) in &pairs[range] {
+            let rmask = mask.row(row);
+            let empty: (&[Index], &[T]) = (&[], &[]);
+            let (o_idx, o_val) =
+                o.map(|p| (&old_vecs[p].1[..], &old_vecs[p].2[..])).unwrap_or(empty);
+            let (t_idx, t_val) = t.map(|p| (&t_vecs[p].1[..], &t_vecs[p].2[..])).unwrap_or(empty);
+            let mut ridx = Vec::with_capacity(o_idx.len() + t_idx.len());
+            let mut rval = Vec::with_capacity(o_idx.len() + t_idx.len());
+            let (mut a, mut b) = (0, 0);
+            while a < o_idx.len() || b < t_idx.len() {
+                let (j, cval, tval) =
+                    if a < o_idx.len() && (b >= t_idx.len() || o_idx[a] <= t_idx[b]) {
+                        if b < t_idx.len() && o_idx[a] == t_idx[b] {
+                            let r = (o_idx[a], Some(o_val[a]), Some(t_val[b]));
+                            a += 1;
+                            b += 1;
+                            r
+                        } else {
+                            let r = (o_idx[a], Some(o_val[a]), None);
+                            a += 1;
+                            r
+                        }
+                    } else {
+                        let r = (t_idx[b], None, Some(t_val[b]));
+                        b += 1;
+                        r
+                    };
+                let z = match accum {
+                    Some(acc) => match (cval, tval) {
+                        (Some(cv), Some(tv)) => Some(acc.apply(cv, tv)),
+                        (Some(cv), None) => Some(cv),
+                        (None, tv) => tv,
+                    },
+                    None => tval,
+                };
+                let result = if rmask.allowed(j) {
+                    z
+                } else if replace {
+                    None
+                } else {
+                    cval
+                };
+                if let Some(v) = result {
+                    ridx.push(j);
+                    rval.push(v);
+                }
+            }
+            if !ridx.is_empty() {
+                part.push((row, ridx, rval));
+            }
+        }
+        part
+    });
+    chunks.into_iter().flatten().collect()
 }

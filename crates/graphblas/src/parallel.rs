@@ -10,14 +10,35 @@
 //! kernel (measured ~1 ms per spawn on commodity VMs), which would erase
 //! the benefit entirely. Small problems stay on the calling thread.
 
+use crate::monoid::{fold, Monoid};
+use crate::stats;
+use crate::types::Scalar;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex, OnceLock};
 
 /// Work (in stored entries touched) below which kernels run sequentially.
 /// Calibrated against the pool's dispatch latency: below this, sequential
 /// execution wins outright.
 pub const PAR_THRESHOLD: usize = 1 << 17;
+
+static THRESHOLD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Override the sequential-cutoff work estimate (0 restores the default
+/// [`PAR_THRESHOLD`]). Intended for tests and benchmarks that need to
+/// force the parallel paths on small inputs; production code should leave
+/// the calibrated default alone.
+pub fn set_par_threshold(n: usize) {
+    THRESHOLD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// The current sequential-cutoff work estimate.
+pub fn par_threshold() -> usize {
+    match THRESHOLD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => PAR_THRESHOLD,
+        n => n,
+    }
+}
 
 /// Iterations a worker spins on `try_recv` before parking in a blocking
 /// receive. Keeps dispatch latency in the microsecond range when kernels
@@ -40,16 +61,26 @@ pub fn set_threads(n: usize) {
     THREAD_OVERRIDE.store(n, Ordering::Relaxed);
 }
 
-/// The number of worker threads kernels will use.
+/// The number of worker threads kernels will use. When no in-process
+/// override is set, the `GRAPHBLAS_THREADS` environment variable (read
+/// once) caps the count — the hook CI uses to run the whole suite
+/// single-threaded without touching test code.
 pub fn threads() -> usize {
     let o = THREAD_OVERRIDE.load(Ordering::Relaxed);
     if o != 0 {
         return o;
     }
     // `available_parallelism` is a syscall (expensive on virtualized
-    // hosts); resolve it once.
+    // hosts); resolve it — and the environment hook — once.
     static AUTO: OnceLock<usize> = OnceLock::new();
     *AUTO.get_or_init(|| {
+        if let Some(n) = std::env::var("GRAPHBLAS_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            return n;
+        }
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     })
 }
@@ -83,12 +114,8 @@ fn pool() -> &'static Pool {
                                         job();
                                         continue 'outer;
                                     }
-                                    Err(mpsc::TryRecvError::Empty) => {
-                                        std::hint::spin_loop()
-                                    }
-                                    Err(mpsc::TryRecvError::Disconnected) => {
-                                        break 'outer
-                                    }
+                                    Err(mpsc::TryRecvError::Empty) => std::hint::spin_loop(),
+                                    Err(mpsc::TryRecvError::Disconnected) => break 'outer,
                                 }
                             }
                             match rx.recv() {
@@ -120,7 +147,8 @@ pub fn par_chunks<R: Send>(
     }
     let nt = threads();
     let nested = IN_WORKER.with(|w| w.get());
-    if nt <= 1 || est_work < PAR_THRESHOLD || n == 1 || nested {
+    if nt <= 1 || est_work < par_threshold() || n == 1 || nested {
+        stats::record_dispatch(1);
         return vec![work(0..n)];
     }
     let nchunks = nt.min(n);
@@ -129,9 +157,9 @@ pub fn par_chunks<R: Send>(
         .map(|t| (t * chunk)..((t + 1) * chunk).min(n))
         .filter(|r| !r.is_empty())
         .collect();
+    stats::record_dispatch(ranges.len());
     let p = pool();
-    let slots: Vec<Mutex<Option<R>>> =
-        (0..ranges.len()).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..ranges.len()).map(|_| Mutex::new(None)).collect();
     let pending = AtomicUsize::new(ranges.len() - 1);
     // Chunks 1.. go to the pool; chunk 0 runs on the calling thread.
     for (k, range) in ranges.iter().enumerate().skip(1) {
@@ -147,9 +175,7 @@ pub fn par_chunks<R: Send>(
         // has run to completion (each job decrements `pending` last), so
         // the borrows of `work`, `slots`, and `pending` inside the job
         // never outlive this function — the classic scoped-pool argument.
-        let job: Job = unsafe {
-            std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job)
-        };
+        let job: Job = unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
         p.senders[(k - 1) % p.senders.len()].send(job).expect("pool worker alive");
     }
     let first = work(ranges[0].clone());
@@ -159,18 +185,82 @@ pub fn par_chunks<R: Send>(
     while pending.load(Ordering::Acquire) != 0 {
         std::hint::spin_loop();
         spins += 1;
-        if spins % (1 << 16) == 0 {
+        if spins.is_multiple_of(1 << 16) {
             std::thread::yield_now();
         }
     }
     let mut out = Vec::with_capacity(ranges.len());
     out.push(first);
     for slot in slots.into_iter().skip(1) {
-        out.push(
-            slot.into_inner().expect("slot lock").expect("worker completed its chunk"),
-        );
+        out.push(slot.into_inner().expect("slot lock").expect("worker completed its chunk"));
     }
     out
+}
+
+/// Shared early-exit flag for [`par_reduce`] leaves: once set, chunks that
+/// have not started yet are skipped, and running leaves should return as
+/// soon as they observe it.
+pub struct EarlyExit(AtomicBool);
+
+impl EarlyExit {
+    fn new() -> Self {
+        Self(AtomicBool::new(false))
+    }
+
+    /// True once some chunk has reached the monoid's terminal value.
+    pub fn stop(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn set(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Chunked tree reduction with a monoid, preserving terminal (early-exit)
+/// semantics across chunks.
+///
+/// `leaf` folds one range of the input (typically with [`fold`], which
+/// early-exits *within* the chunk) and returns `None` for an empty range.
+/// When a leaf's result is the monoid's terminal value, the shared
+/// [`EarlyExit`] flag is set: chunks that have not started return `None`
+/// immediately, and long-running leaves can poll `exit.stop()` between
+/// rows. Chunk results are combined **in chunk order**, so the result is
+/// identical for any thread count:
+///
+/// * no chunk hit the terminal — every leaf ran in full, and associativity
+///   makes the ordered combine equal the sequential fold;
+/// * some chunk hit the terminal — the combined result is the terminal
+///   value itself (it annihilates every other contribution), so skipped
+///   chunks cannot change it.
+///
+/// The ANY monoid does not set the flag (its "every value is terminal"
+/// shortcut is only deterministic within a chunk); its leaves still stop
+/// at their first value via [`fold`].
+pub fn par_reduce<T, M>(
+    n: usize,
+    est_work: usize,
+    monoid: &M,
+    leaf: impl Fn(Range<usize>, &EarlyExit) -> Option<T> + Sync,
+) -> Option<T>
+where
+    T: Scalar,
+    M: Monoid<T> + Sync,
+{
+    let exit = EarlyExit::new();
+    let terminal = monoid.terminal();
+    let parts = par_chunks(n, est_work, |r| {
+        if exit.stop() {
+            return None;
+        }
+        let v = leaf(r, &exit);
+        if v.is_some() && v == terminal {
+            exit.set();
+            stats::record_early_exit();
+        }
+        v
+    });
+    fold(monoid, parts.into_iter().flatten())
 }
 
 #[cfg(test)]
@@ -221,8 +311,7 @@ mod tests {
         // Thousands of parallel calls must not exhaust thread resources
         // (they would if each call spawned OS threads).
         for round in 0..2000 {
-            let s: usize =
-                par_chunks(64, usize::MAX, |r| r.sum::<usize>()).into_iter().sum();
+            let s: usize = par_chunks(64, usize::MAX, |r| r.sum::<usize>()).into_iter().sum();
             assert_eq!(s, 64 * 63 / 2, "round {round}");
         }
     }
@@ -231,8 +320,7 @@ mod tests {
     fn nested_calls_degrade_gracefully() {
         let outer = par_chunks(8, usize::MAX, |r| {
             // Inner call from a pool worker must not deadlock.
-            let inner: usize =
-                par_chunks(100, usize::MAX, |q| q.sum::<usize>()).into_iter().sum();
+            let inner: usize = par_chunks(100, usize::MAX, |q| q.sum::<usize>()).into_iter().sum();
             (r.len(), inner)
         });
         for (_, inner) in outer {
@@ -243,10 +331,72 @@ mod tests {
     #[test]
     fn results_preserve_borrowed_data() {
         let data: Vec<u64> = (0..10_000).collect();
-        let chunks = par_chunks(data.len(), usize::MAX, |r| {
-            data[r].iter().sum::<u64>()
-        });
+        let chunks = par_chunks(data.len(), usize::MAX, |r| data[r].iter().sum::<u64>());
         let total: u64 = chunks.into_iter().sum();
         assert_eq!(total, 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn par_reduce_matches_sequential_fold() {
+        use crate::binaryop::Plus;
+        let data: Vec<i64> = (1..=10_000).collect();
+        let got =
+            par_reduce(data.len(), usize::MAX, &Plus, |r, _| fold(&Plus, data[r].iter().copied()));
+        assert_eq!(got, fold(&Plus, data.iter().copied()));
+    }
+
+    #[test]
+    fn par_reduce_empty_is_none() {
+        use crate::binaryop::Plus;
+        let got: Option<i64> = par_reduce(0, usize::MAX, &Plus, |_, _| None);
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn par_reduce_terminal_early_exit_under_parallel_execution() {
+        use crate::binaryop::Min;
+        // A terminal value near the front: the first chunk reaches it and
+        // every later chunk may be skipped; the result must still be the
+        // terminal value exactly.
+        let mut data: Vec<i64> = (1..=100_000).collect();
+        data[3] = i64::MIN;
+        let got = par_reduce(data.len(), usize::MAX, &Min, |r, exit| {
+            if exit.stop() {
+                return None;
+            }
+            fold(&Min, data[r].iter().copied())
+        });
+        assert_eq!(got, Some(i64::MIN));
+    }
+
+    #[test]
+    fn par_reduce_identical_across_thread_counts() {
+        use crate::binaryop::{Lor, Max};
+        let bools: Vec<bool> = (0..40_000).map(|i| i == 31_999).collect();
+        let nums: Vec<i64> = (0..40_000).map(|i| (i as i64 * 37) % 1001).collect();
+        let run = || {
+            let a = par_reduce(bools.len(), usize::MAX, &Lor, |r, exit| {
+                if exit.stop() {
+                    return None;
+                }
+                fold(&Lor, bools[r].iter().copied())
+            });
+            let b = par_reduce(nums.len(), usize::MAX, &Max, |r, exit| {
+                if exit.stop() {
+                    return None;
+                }
+                fold(&Max, nums[r].iter().copied())
+            });
+            (a, b)
+        };
+        let before = threads();
+        set_threads(1);
+        let seq = run();
+        set_threads(8);
+        let par = run();
+        set_threads(if before == 0 { 0 } else { before });
+        assert_eq!(seq, par);
+        assert_eq!(seq.0, Some(true));
+        assert_eq!(seq.1, Some(1000));
     }
 }

@@ -50,9 +50,8 @@ impl SemiringDesc {
 }
 
 /// The 10 non-Boolean built-in types.
-pub const REAL_TYPES: [&str; 10] = [
-    "INT8", "INT16", "INT32", "INT64", "UINT8", "UINT16", "UINT32", "UINT64", "FP32", "FP64",
-];
+pub const REAL_TYPES: [&str; 10] =
+    ["INT8", "INT16", "INT32", "INT64", "UINT8", "UINT16", "UINT32", "UINT64", "FP32", "FP64"];
 
 /// The 11 built-in types (`REAL_TYPES` plus BOOL).
 pub const ALL_TYPES: [&str; 11] = [
@@ -146,10 +145,7 @@ mod tests {
 
         // MIN_PLUS over FP64 (C API real × real).
         let s = Semiring::new(Min, Plus);
-        assert_eq!(
-            crate::monoid::Monoid::<f64>::identity(&s.add),
-            f64::INFINITY
-        );
+        assert_eq!(crate::monoid::Monoid::<f64>::identity(&s.add), f64::INFINITY);
         // PLUS_ISGE over INT32 (extension).
         let s = Semiring::new(Plus, Isge);
         assert_eq!(BinaryOp::<i32, i32, i32>::apply(&s.mul, 3, 3), 1);

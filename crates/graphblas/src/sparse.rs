@@ -31,6 +31,7 @@ pub trait SparseView<T: Scalar>: Sync {
     /// vector has no entries.
     fn vec(&self, major: Index) -> (&[Index], &[T]);
     /// Visit every non-empty vector in increasing major order.
+    #[allow(clippy::type_complexity)]
     fn for_each_vec(&self, f: &mut dyn FnMut(Index, &[Index], &[T]));
     /// The majors of all non-empty vectors, in increasing order.
     fn nonempty_majors(&self) -> Vec<Index>;
@@ -81,7 +82,14 @@ pub fn transpose_dyn<T: Scalar>(v: &dyn SparseView<T>) -> MatData<T> {
             }
         });
         MatData::Hyper(Hyper::from_tuples(nmajor_out, v.nmajor(), tuples, |_, b| b))
-    } else {
+    } else if crate::parallel::threads() <= 1
+        || v.nvals() < crate::parallel::par_threshold()
+        || nmajor_out > TRANSPOSE_HIST_CAP
+    {
+        // Sequential bucket transpose: too little work to amortize the
+        // pool, or the output major dimension is large enough that
+        // per-worker histograms (threads × nmajor_out words) would cost
+        // more memory than the transpose itself.
         let mut ptr = vec![0usize; nmajor_out + 1];
         v.for_each_vec(&mut |_, idx, _| {
             for &j in idx {
@@ -104,6 +112,107 @@ pub fn transpose_dyn<T: Scalar>(v: &dyn SparseView<T>) -> MatData<T> {
             }
         });
         MatData::Cs(Cs { nmajor: nmajor_out, nminor: v.nmajor(), ptr, idx: idx_out, val: val_out })
+    } else {
+        // Parallel bucket transpose. Three phases:
+        //   1. each chunk of input rows counts its minors into a private
+        //      histogram (parallel);
+        //   2. a prefix sum over (chunk, column) turns the histograms into
+        //      disjoint starting cursors and the global `ptr` (sequential,
+        //      O(threads × nmajor_out));
+        //   3. each chunk scatters its entries into its reserved slots
+        //      (parallel). Within a column, chunk order = input major
+        //      order, so output vectors come out sorted exactly as the
+        //      sequential transpose produces them.
+        let majors = v.nonempty_majors();
+        let k = crate::parallel::threads().min(majors.len()).max(1);
+        let (per, rem) = (majors.len() / k, majors.len() % k);
+        let mut bounds = Vec::with_capacity(k);
+        let mut at = 0;
+        for c in 0..k {
+            let len = per + usize::from(c < rem);
+            bounds.push(at..at + len);
+            at += len;
+        }
+        let mut counts: Vec<Vec<usize>> = crate::parallel::par_chunks(k, v.nvals(), |r| {
+            r.map(|c| {
+                let mut h = vec![0usize; nmajor_out];
+                for &maj in &majors[bounds[c].clone()] {
+                    let (idx, _) = v.vec(maj);
+                    for &j in idx {
+                        h[j] += 1;
+                    }
+                }
+                h
+            })
+            .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        let mut ptr = vec![0usize; nmajor_out + 1];
+        for h in &counts {
+            for j in 0..nmajor_out {
+                ptr[j + 1] += h[j];
+            }
+        }
+        for j in 0..nmajor_out {
+            ptr[j + 1] += ptr[j];
+        }
+        // Rewrite each chunk's histogram into its starting cursor per
+        // column: ptr[j] plus everything earlier chunks put in column j.
+        let mut col = ptr[..nmajor_out].to_vec();
+        for h in counts.iter_mut() {
+            for (hj, cj) in h.iter_mut().zip(col.iter_mut()) {
+                let cnt = *hj;
+                *hj = *cj;
+                *cj += cnt;
+            }
+        }
+        let nvals = v.nvals();
+        let mut idx_out = vec![0 as Index; nvals];
+        let mut val_out = vec![T::zero(); nvals];
+        {
+            let islots = SharedSlots(idx_out.as_mut_ptr());
+            let vslots = SharedSlots(val_out.as_mut_ptr());
+            crate::parallel::par_chunks(k, v.nvals(), |r| {
+                for c in r {
+                    let mut cur = counts[c].clone();
+                    for &maj in &majors[bounds[c].clone()] {
+                        let (idx, val) = v.vec(maj);
+                        for (&j, &x) in idx.iter().zip(val) {
+                            let q = cur[j];
+                            cur[j] += 1;
+                            // SAFETY: the prefix sum gives each
+                            // (chunk, column) pair a disjoint slot range,
+                            // so no two workers ever write the same index.
+                            unsafe {
+                                islots.write(q, maj);
+                                vslots.write(q, x);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        MatData::Cs(Cs { nmajor: nmajor_out, nminor: v.nmajor(), ptr, idx: idx_out, val: val_out })
+    }
+}
+
+/// Above this output-major dimension the parallel transpose's per-worker
+/// histograms stop being worth their memory; fall back to sequential.
+const TRANSPOSE_HIST_CAP: usize = 1 << 18;
+
+/// Raw output cursor shared across transpose workers; sound because the
+/// prefix sum hands every worker disjoint slot indices.
+struct SharedSlots<T>(*mut T);
+unsafe impl<T> Sync for SharedSlots<T> {}
+
+impl<T> SharedSlots<T> {
+    /// # Safety
+    /// Callers must guarantee `q` is in bounds and no other thread writes
+    /// slot `q`.
+    unsafe fn write(&self, q: usize, x: T) {
+        *self.0.add(q) = x;
     }
 }
 
@@ -168,11 +277,7 @@ impl<T: Scalar> Cs<T> {
     /// Build from per-vector segments `(major, indices, values)` given in
     /// increasing major order. Used by kernels that produce one output
     /// vector at a time.
-    pub fn from_vecs(
-        nmajor: Index,
-        nminor: Index,
-        vecs: Vec<(Index, Vec<Index>, Vec<T>)>,
-    ) -> Self {
+    pub fn from_vecs(nmajor: Index, nminor: Index, vecs: Vec<(Index, Vec<Index>, Vec<T>)>) -> Self {
         let total: usize = vecs.iter().map(|(_, i, _)| i.len()).sum();
         let mut ptr = vec![0usize; nmajor + 1];
         let mut idx = Vec::with_capacity(total);
@@ -359,11 +464,7 @@ impl<T: Scalar> Hyper<T> {
     }
 
     /// Build from per-vector segments in increasing major order.
-    pub fn from_vecs(
-        nmajor: Index,
-        nminor: Index,
-        vecs: Vec<(Index, Vec<Index>, Vec<T>)>,
-    ) -> Self {
+    pub fn from_vecs(nmajor: Index, nminor: Index, vecs: Vec<(Index, Vec<Index>, Vec<T>)>) -> Self {
         let mut heads = Vec::with_capacity(vecs.len());
         let mut ptr = Vec::with_capacity(vecs.len() + 1);
         ptr.push(0);

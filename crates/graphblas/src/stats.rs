@@ -1,0 +1,222 @@
+//! Per-operation performance counters, behind the `stats` feature.
+//!
+//! Kernels record which code path they took (mxm kernel, mxv push/pull
+//! direction, parallel vs sequential dispatch) and a flops-order work
+//! estimate. The bench crate reads a [`Snapshot`] around a measured region
+//! to report *why* a configuration was fast, not just how fast it was —
+//! the observability hook the ablation benches build on.
+//!
+//! With the feature disabled every recording function is an empty inline
+//! stub and the counters read as zero, so library code calls them
+//! unconditionally.
+
+/// A point-in-time copy of all counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Snapshot {
+    /// `mxm` invocations that ran the Gustavson (row-merge) kernel.
+    pub mxm_gustavson: u64,
+    /// `mxm` invocations that ran the masked/unmasked dot kernel.
+    pub mxm_dot: u64,
+    /// `mxm` invocations that ran the heap (k-way merge) kernel.
+    pub mxm_heap: u64,
+    /// `mxv`/`vxm` products that took the push (scatter) direction.
+    pub mxv_push: u64,
+    /// `mxv`/`vxm` products that took the pull (dot) direction.
+    pub mxv_pull: u64,
+    /// Products where the heuristic wanted the opposite orientation but
+    /// dual storage was absent, so the natural kernel ran instead.
+    pub mxv_dual_fallback: u64,
+    /// Accumulated work estimate (order of flops) across kernels.
+    pub flops_est: u64,
+    /// `par_chunks`/`par_reduce` dispatches that went to the pool.
+    pub par_calls: u64,
+    /// Dispatches that stayed on the calling thread (below threshold,
+    /// single-threaded, or nested inside a pool worker).
+    pub seq_calls: u64,
+    /// Total chunks executed by parallel dispatches.
+    pub chunks_spawned: u64,
+    /// Reductions that stopped early on a terminal (annihilator) value.
+    pub reduce_early_exits: u64,
+    /// Lazy assemblies (pending tuples/zombies folded into the store).
+    pub assembles: u64,
+}
+
+#[cfg(feature = "stats")]
+mod imp {
+    use super::Snapshot;
+    use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+    pub(super) static MXM_GUSTAVSON: AtomicU64 = AtomicU64::new(0);
+    pub(super) static MXM_DOT: AtomicU64 = AtomicU64::new(0);
+    pub(super) static MXM_HEAP: AtomicU64 = AtomicU64::new(0);
+    pub(super) static MXV_PUSH: AtomicU64 = AtomicU64::new(0);
+    pub(super) static MXV_PULL: AtomicU64 = AtomicU64::new(0);
+    pub(super) static MXV_DUAL_FALLBACK: AtomicU64 = AtomicU64::new(0);
+    pub(super) static FLOPS_EST: AtomicU64 = AtomicU64::new(0);
+    pub(super) static PAR_CALLS: AtomicU64 = AtomicU64::new(0);
+    pub(super) static SEQ_CALLS: AtomicU64 = AtomicU64::new(0);
+    pub(super) static CHUNKS_SPAWNED: AtomicU64 = AtomicU64::new(0);
+    pub(super) static REDUCE_EARLY_EXITS: AtomicU64 = AtomicU64::new(0);
+    pub(super) static ASSEMBLES: AtomicU64 = AtomicU64::new(0);
+
+    pub(super) static ALL: [&AtomicU64; 12] = [
+        &MXM_GUSTAVSON,
+        &MXM_DOT,
+        &MXM_HEAP,
+        &MXV_PUSH,
+        &MXV_PULL,
+        &MXV_DUAL_FALLBACK,
+        &FLOPS_EST,
+        &PAR_CALLS,
+        &SEQ_CALLS,
+        &CHUNKS_SPAWNED,
+        &REDUCE_EARLY_EXITS,
+        &ASSEMBLES,
+    ];
+
+    pub(super) fn read() -> Snapshot {
+        Snapshot {
+            mxm_gustavson: MXM_GUSTAVSON.load(Relaxed),
+            mxm_dot: MXM_DOT.load(Relaxed),
+            mxm_heap: MXM_HEAP.load(Relaxed),
+            mxv_push: MXV_PUSH.load(Relaxed),
+            mxv_pull: MXV_PULL.load(Relaxed),
+            mxv_dual_fallback: MXV_DUAL_FALLBACK.load(Relaxed),
+            flops_est: FLOPS_EST.load(Relaxed),
+            par_calls: PAR_CALLS.load(Relaxed),
+            seq_calls: SEQ_CALLS.load(Relaxed),
+            chunks_spawned: CHUNKS_SPAWNED.load(Relaxed),
+            reduce_early_exits: REDUCE_EARLY_EXITS.load(Relaxed),
+            assembles: ASSEMBLES.load(Relaxed),
+        }
+    }
+}
+
+/// Read the current counter values. All-zero unless the `stats` feature is
+/// enabled.
+pub fn snapshot() -> Snapshot {
+    #[cfg(feature = "stats")]
+    {
+        imp::read()
+    }
+    #[cfg(not(feature = "stats"))]
+    {
+        Snapshot::default()
+    }
+}
+
+/// Reset every counter to zero.
+pub fn reset() {
+    #[cfg(feature = "stats")]
+    for c in imp::ALL {
+        c.store(0, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+/// Which `mxm` kernel ran.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum MxmKernel {
+    Gustavson,
+    Dot,
+    Heap,
+}
+
+/// Which `mxv` direction ran.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum MxvPath {
+    Push,
+    Pull,
+}
+
+macro_rules! record_fns {
+    ($($(#[$doc:meta])* fn $name:ident($($arg:ident : $ty:ty),*) $body:block)*) => {
+        $(
+            $(#[$doc])*
+            #[cfg(feature = "stats")]
+            pub(crate) fn $name($($arg: $ty),*) $body
+
+            $(#[$doc])*
+            #[cfg(not(feature = "stats"))]
+            #[inline(always)]
+            pub(crate) fn $name($(_: $ty),*) {}
+        )*
+    };
+}
+
+record_fns! {
+    /// Count an `mxm` invocation by kernel.
+    fn record_mxm_kernel(k: MxmKernel) {
+        use std::sync::atomic::Ordering::Relaxed;
+        match k {
+            MxmKernel::Gustavson => imp::MXM_GUSTAVSON.fetch_add(1, Relaxed),
+            MxmKernel::Dot => imp::MXM_DOT.fetch_add(1, Relaxed),
+            MxmKernel::Heap => imp::MXM_HEAP.fetch_add(1, Relaxed),
+        };
+    }
+
+    /// Count an `mxv`/`vxm` product by chosen direction.
+    fn record_mxv_path(p: MxvPath) {
+        use std::sync::atomic::Ordering::Relaxed;
+        match p {
+            MxvPath::Push => imp::MXV_PUSH.fetch_add(1, Relaxed),
+            MxvPath::Pull => imp::MXV_PULL.fetch_add(1, Relaxed),
+        };
+    }
+
+    /// Count a product that fell back to the natural kernel because dual
+    /// storage was missing.
+    fn record_mxv_dual_fallback() {
+        imp::MXV_DUAL_FALLBACK.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Accumulate a kernel's work estimate (order of flops).
+    fn add_flops(n: usize) {
+        imp::FLOPS_EST.fetch_add(n as u64, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Count one `par_chunks` dispatch and how many chunks it executed
+    /// (`chunks == 1` means it stayed sequential).
+    fn record_dispatch(chunks: usize) {
+        use std::sync::atomic::Ordering::Relaxed;
+        if chunks > 1 {
+            imp::PAR_CALLS.fetch_add(1, Relaxed);
+            imp::CHUNKS_SPAWNED.fetch_add(chunks as u64, Relaxed);
+        } else {
+            imp::SEQ_CALLS.fetch_add(1, Relaxed);
+        }
+    }
+
+    /// Count a reduction that short-circuited on a terminal value.
+    fn record_early_exit() {
+        imp::REDUCE_EARLY_EXITS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Count a lazy assembly.
+    fn record_assemble() {
+        imp::ASSEMBLES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+#[cfg(all(test, feature = "stats"))]
+mod tests {
+    use super::*;
+
+    // Counters are process-global and the test harness runs tests
+    // concurrently, so assert on deltas with `>=`, not exact values.
+    #[test]
+    fn counters_accumulate() {
+        let before = snapshot();
+        record_mxm_kernel(MxmKernel::Dot);
+        record_mxv_path(MxvPath::Pull);
+        add_flops(128);
+        record_dispatch(4);
+        record_dispatch(1);
+        let s = snapshot();
+        assert!(s.mxm_dot > before.mxm_dot);
+        assert!(s.mxv_pull > before.mxv_pull);
+        assert!(s.flops_est >= before.flops_est + 128);
+        assert!(s.par_calls > before.par_calls);
+        assert!(s.chunks_spawned >= before.chunks_spawned + 4);
+        assert!(s.seq_calls > before.seq_calls);
+    }
+}

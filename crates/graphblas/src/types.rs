@@ -22,9 +22,7 @@ pub struct All;
 /// This is the Rust analogue of a `GrB_Type`: values are plain data (`Copy`),
 /// thread-safe, comparable for the exact-equality conformance tests, and
 /// carry a name used by the type/operator registry for the semiring census.
-pub trait Scalar:
-    Copy + Send + Sync + PartialEq + std::fmt::Debug + Default + 'static
-{
+pub trait Scalar: Copy + Send + Sync + PartialEq + std::fmt::Debug + Default + 'static {
     /// The GraphBLAS name of the type, e.g. `"FP64"`.
     const NAME: &'static str;
 

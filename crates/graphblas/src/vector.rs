@@ -118,36 +118,59 @@ impl<T: Scalar> VInner<T> {
         });
         self.nzombies = 0;
         if let VStore::Sparse { idx, val } = &self.store {
+            // Merge chunks over the index domain: each worker locates its
+            // slice of the stored entries and the pending list by binary
+            // search (both sorted), so chunk-order stitching reproduces
+            // the sequential merge exactly.
+            let n = self.n;
+            let chunks = crate::parallel::par_chunks(n, idx.len() + pend.len(), |r| {
+                let (sa, sb) = (
+                    idx.partition_point(|&j| unflip(j) < r.start),
+                    idx.partition_point(|&j| unflip(j) < r.end),
+                );
+                let (pa, pb) = (
+                    pend.partition_point(|p| p.0 < r.start),
+                    pend.partition_point(|p| p.0 < r.end),
+                );
+                let (idx, val) = (&idx[sa..sb], &val[sa..sb]);
+                let mut out_i = Vec::with_capacity(idx.len() + (pb - pa));
+                let mut out_v = Vec::with_capacity(idx.len() + (pb - pa));
+                let mut pi = pend[pa..pb].iter().peekable();
+                for (&j, &x) in idx.iter().zip(val.iter()) {
+                    while let Some(&&(pj, px)) = pi.peek() {
+                        if pj < unflip(j) {
+                            out_i.push(pj);
+                            out_v.push(px);
+                            pi.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    let is_zombie = j & ZOMBIE != 0;
+                    if let Some(&&(pj, px)) = pi.peek() {
+                        if pj == unflip(j) {
+                            out_i.push(pj);
+                            out_v.push(px);
+                            pi.next();
+                            continue;
+                        }
+                    }
+                    if !is_zombie {
+                        out_i.push(j);
+                        out_v.push(x);
+                    }
+                }
+                for &(pj, px) in pi {
+                    out_i.push(pj);
+                    out_v.push(px);
+                }
+                (out_i, out_v)
+            });
             let mut out_i = Vec::with_capacity(idx.len() + pend.len());
             let mut out_v = Vec::with_capacity(idx.len() + pend.len());
-            let mut pi = pend.iter().peekable();
-            for (&j, &x) in idx.iter().zip(val.iter()) {
-                while let Some(&&(pj, px)) = pi.peek() {
-                    if pj < unflip(j) {
-                        out_i.push(pj);
-                        out_v.push(px);
-                        pi.next();
-                    } else {
-                        break;
-                    }
-                }
-                let is_zombie = j & ZOMBIE != 0;
-                if let Some(&&(pj, px)) = pi.peek() {
-                    if pj == unflip(j) {
-                        out_i.push(pj);
-                        out_v.push(px);
-                        pi.next();
-                        continue;
-                    }
-                }
-                if !is_zombie {
-                    out_i.push(j);
-                    out_v.push(x);
-                }
-            }
-            for &(pj, px) in pi {
-                out_i.push(pj);
-                out_v.push(px);
+            for (ci, cv) in chunks {
+                out_i.extend(ci);
+                out_v.extend(cv);
             }
             self.store = VStore::Sparse { idx: out_i, val: out_v };
         }
@@ -161,18 +184,18 @@ impl<T: Scalar> VInner<T> {
         match &self.store {
             VStore::Sparse { idx, .. } => {
                 if n <= DENSE_LIMIT && idx.len() * DENSIFY_RATIO >= n && n > 0 {
-                    self.to_dense();
+                    self.densify();
                 }
             }
             VStore::Dense { nvals, .. } => {
                 if nvals * SPARSIFY_RATIO < n {
-                    self.to_sparse();
+                    self.sparsify();
                 }
             }
         }
     }
 
-    fn to_dense(&mut self) {
+    fn densify(&mut self) {
         if let VStore::Sparse { idx, val } = &self.store {
             let mut dval = vec![T::zero(); self.n];
             let mut present = vec![false; self.n];
@@ -185,7 +208,7 @@ impl<T: Scalar> VInner<T> {
         }
     }
 
-    fn to_sparse(&mut self) {
+    fn sparsify(&mut self) {
         if let VStore::Dense { val, present, .. } = &self.store {
             let mut idx = Vec::new();
             let mut sval = Vec::new();
@@ -333,18 +356,16 @@ impl<T: Scalar> Vector<T> {
                 val[i] = x;
                 present[i] = true;
             }
-            VStore::Sparse { idx, val } => {
-                match idx.binary_search_by_key(&i, |&x| unflip(x)) {
-                    Ok(p) => {
-                        if idx[p] & ZOMBIE != 0 {
-                            idx[p] = i;
-                            inner.nzombies -= 1;
-                        }
-                        val[p] = x;
+            VStore::Sparse { idx, val } => match idx.binary_search_by_key(&i, |&x| unflip(x)) {
+                Ok(p) => {
+                    if idx[p] & ZOMBIE != 0 {
+                        idx[p] = i;
+                        inner.nzombies -= 1;
                     }
-                    Err(_) => inner.pending.push((i, x)),
+                    val[p] = x;
                 }
-            }
+                Err(_) => inner.pending.push((i, x)),
+            },
         }
         Ok(())
     }
@@ -396,12 +417,10 @@ impl<T: Scalar> Vector<T> {
                     Err(Error::NoValue)
                 }
             }
-            VStore::Sparse { idx, val } => {
-                match idx.binary_search_by_key(&i, |&x| unflip(x)) {
-                    Ok(p) if idx[p] & ZOMBIE == 0 => Ok(val[p]),
-                    _ => Err(Error::NoValue),
-                }
-            }
+            VStore::Sparse { idx, val } => match idx.binary_search_by_key(&i, |&x| unflip(x)) {
+                Ok(p) if idx[p] & ZOMBIE == 0 => Ok(val[p]),
+                _ => Err(Error::NoValue),
+            },
         }
     }
 
@@ -479,7 +498,7 @@ impl<T: Scalar> Vector<T> {
     /// Construct directly from sorted, deduplicated parallel arrays.
     pub(crate) fn from_parts(n: Index, idx: Vec<Index>, val: Vec<T>) -> Self {
         debug_assert!(idx.windows(2).all(|w| w[0] < w[1]));
-        debug_assert!(idx.last().map_or(true, |&l| l < n));
+        debug_assert!(idx.last().is_none_or(|&l| l < n));
         let mut inner =
             VInner { n, store: VStore::Sparse { idx, val }, pending: Vec::new(), nzombies: 0 };
         inner.optimize_form();
@@ -489,7 +508,7 @@ impl<T: Scalar> Vector<T> {
     /// Replace contents with sorted, deduplicated parallel arrays.
     pub(crate) fn install(&mut self, idx: Vec<Index>, val: Vec<T>) {
         let inner = self.inner.get_mut();
-        debug_assert!(idx.last().map_or(true, |&l| l < inner.n));
+        debug_assert!(idx.last().is_none_or(|&l| l < inner.n));
         inner.store = VStore::Sparse { idx, val };
         inner.pending.clear();
         inner.nzombies = 0;

@@ -48,8 +48,7 @@ fn empty_times_full_is_empty() {
     .expect("fill");
     assert_eq!(full.nvals(), 16);
     let mut c = Matrix::<i64>::new(4, 4).expect("c");
-    mxm(&mut c, None, NOACC, &PLUS_TIMES, &empty, &full, &Descriptor::default())
-        .expect("mxm");
+    mxm(&mut c, None, NOACC, &PLUS_TIMES, &empty, &full, &Descriptor::default()).expect("mxm");
     assert_eq!(c.nvals(), 0);
 }
 
@@ -57,8 +56,16 @@ fn empty_times_full_is_empty() {
 fn full_matrix_product_is_dense() {
     let n = 8;
     let mut a = Matrix::<i64>::new(n, n).expect("a");
-    assign_matrix_scalar(&mut a, None, NOACC, 1, &IndexSel::All, &IndexSel::All,
-        &Descriptor::default()).expect("fill");
+    assign_matrix_scalar(
+        &mut a,
+        None,
+        NOACC,
+        1,
+        &IndexSel::All,
+        &IndexSel::All,
+        &Descriptor::default(),
+    )
+    .expect("fill");
     let mut c = Matrix::<i64>::new(n, n).expect("c");
     mxm(&mut c, None, NOACC, &PLUS_TIMES, &a, &a, &Descriptor::default()).expect("mxm");
     assert_eq!(c.nvals(), n * n);
@@ -86,15 +93,8 @@ fn mask_of_explicit_false_blocks_by_value_but_not_structurally() {
         .expect("assign");
     assert_eq!(w.extract_tuples(), vec![(1, 7)]);
     let mut w2 = Vector::<i32>::new(3).expect("w2");
-    assign_scalar(
-        &mut w2,
-        Some(&mask),
-        NOACC,
-        7,
-        &IndexSel::All,
-        &Descriptor::new().structural(),
-    )
-    .expect("assign");
+    assign_scalar(&mut w2, Some(&mask), NOACC, 7, &IndexSel::All, &Descriptor::new().structural())
+        .expect("assign");
     assert_eq!(w2.extract_tuples(), vec![(0, 7), (1, 7)]);
 }
 
@@ -103,8 +103,7 @@ fn replace_without_mask_clears_everything_outside_result() {
     let mut w = Vector::from_tuples(4, vec![(0, 9), (3, 9)], |_, b| b).expect("w");
     let u = Vector::from_tuples(4, vec![(1, 1)], |_, b| b).expect("u");
     // No mask + replace: the result is exactly the computed T.
-    apply(&mut w, None, NOACC, unaryop::Identity, &u, &Descriptor::new().replace())
-        .expect("apply");
+    apply(&mut w, None, NOACC, unaryop::Identity, &u, &Descriptor::new().replace()).expect("apply");
     assert_eq!(w.extract_tuples(), vec![(1, 1)]);
 }
 
@@ -134,8 +133,7 @@ fn extreme_integer_types() {
 
 #[test]
 fn nan_handling_in_min_plus() {
-    let a = Matrix::from_tuples(2, 2, vec![(0, 0, f64::NAN), (0, 1, 1.0)], |_, b| b)
-        .expect("a");
+    let a = Matrix::from_tuples(2, 2, vec![(0, 0, f64::NAN), (0, 1, 1.0)], |_, b| b).expect("a");
     let u = Vector::from_tuples(2, vec![(0, 1.0), (1, 1.0)], |_, b| b).expect("u");
     let mut w = Vector::<f64>::new(2).expect("w");
     mxv(&mut w, None, NOACC, &MIN_PLUS, &a, &u, &Descriptor::default()).expect("mxv");
@@ -154,8 +152,7 @@ fn infinity_distances_behave() {
 
 #[test]
 fn self_loops_in_reachability() {
-    let a = Matrix::from_tuples(2, 2, vec![(0, 0, true), (0, 1, true)], |_, b| b)
-        .expect("a");
+    let a = Matrix::from_tuples(2, 2, vec![(0, 0, true), (0, 1, true)], |_, b| b).expect("a");
     let q = Vector::from_tuples(2, vec![(0, true)], |_, b| b).expect("q");
     let mut next = Vector::<bool>::new(2).expect("next");
     vxm(&mut next, None, NOACC, &LOR_LAND, &q, &a, &Descriptor::default()).expect("vxm");
@@ -187,15 +184,13 @@ fn deep_pending_chains_assemble_correctly() {
             model.remove(&(0, round as usize % 16));
         }
     }
-    let want: Vec<(usize, usize, i64)> =
-        model.into_iter().map(|((i, j), v)| (i, j, v)).collect();
+    let want: Vec<(usize, usize, i64)> = model.into_iter().map(|((i, j), v)| (i, j, v)).collect();
     assert_eq!(m.extract_tuples(), want);
 }
 
 #[test]
 fn resize_grow_and_shrink_interleaved_with_ops() {
-    let mut m = Matrix::from_tuples(3, 3, vec![(0, 0, 1.0), (2, 2, 2.0)], |_, b| b)
-        .expect("m");
+    let mut m = Matrix::from_tuples(3, 3, vec![(0, 0, 1.0), (2, 2, 2.0)], |_, b| b).expect("m");
     m.resize(5, 5).expect("grow");
     m.set_element(4, 4, 3.0).expect("set");
     assert_eq!(m.nvals(), 3);
@@ -212,14 +207,13 @@ fn vector_between_representations_under_ops() {
     // Walk a vector across the sparse/dense boundary repeatedly while
     // using it as an operand.
     let n = 64;
-    let a = Matrix::from_tuples(n, n, (0..n).map(|i| (i, (i + 1) % n, 1.0)).collect(),
-        |_, b| b).expect("ring");
+    let a = Matrix::from_tuples(n, n, (0..n).map(|i| (i, (i + 1) % n, 1.0)).collect(), |_, b| b)
+        .expect("ring");
     let mut v = Vector::<f64>::new(n).expect("v");
     v.set_element(0, 1.0).expect("seed");
     for step in 0..(2 * n) {
         let mut next = Vector::<f64>::new(n).expect("next");
-        vxm(&mut next, None, NOACC, &PLUS_TIMES, &v, &a, &Descriptor::default())
-            .expect("vxm");
+        vxm(&mut next, None, NOACC, &PLUS_TIMES, &v, &a, &Descriptor::default()).expect("vxm");
         // Accumulate so density grows, then periodically thin out.
         let vsnap = v.clone();
         ewise_add(&mut v, None, NOACC, binaryop::Plus, &vsnap, &next, &Descriptor::default())
@@ -227,9 +221,15 @@ fn vector_between_representations_under_ops() {
         if step % 10 == 9 {
             let vs = v.clone();
             let mut thin = Vector::<f64>::new(n).expect("thin");
-            select(&mut thin, None, NOACC,
-                |i: Index, _: Index, _: f64| i % 2 == 0, &vs, &Descriptor::default())
-                .expect("select");
+            select(
+                &mut thin,
+                None,
+                NOACC,
+                |i: Index, _: Index, _: f64| i.is_multiple_of(2),
+                &vs,
+                &Descriptor::default(),
+            )
+            .expect("select");
             v = thin;
         }
     }
@@ -242,12 +242,19 @@ fn masked_everything_is_a_noop_on_empty_mask() {
     let empty_mask = Matrix::<bool>::new(3, 3).expect("mask");
     let mut c = Matrix::from_tuples(3, 3, vec![(1, 1, 9)], |_, b| b).expect("c");
     // Empty mask (no complement): nothing may be written; old C kept.
-    apply_matrix(&mut c, Some(&empty_mask), NOACC, unaryop::Identity, &a,
-        &Descriptor::default()).expect("apply");
+    apply_matrix(&mut c, Some(&empty_mask), NOACC, unaryop::Identity, &a, &Descriptor::default())
+        .expect("apply");
     assert_eq!(c.extract_tuples(), vec![(1, 1, 9)]);
     // With replace: everything outside the (empty) mask is deleted.
-    apply_matrix(&mut c, Some(&empty_mask), NOACC, unaryop::Identity, &a,
-        &Descriptor::new().replace()).expect("apply");
+    apply_matrix(
+        &mut c,
+        Some(&empty_mask),
+        NOACC,
+        unaryop::Identity,
+        &a,
+        &Descriptor::new().replace(),
+    )
+    .expect("apply");
     assert_eq!(c.nvals(), 0);
 }
 
@@ -256,8 +263,7 @@ fn kron_of_empty_is_empty() {
     let a = Matrix::from_tuples(2, 2, vec![(0, 0, 1)], |_, b| b).expect("a");
     let e = Matrix::<i32>::new(3, 3).expect("e");
     let mut c = Matrix::<i32>::new(6, 6).expect("c");
-    kronecker(&mut c, None, NOACC, binaryop::Times, &a, &e, &Descriptor::default())
-        .expect("kron");
+    kronecker(&mut c, None, NOACC, binaryop::Times, &a, &e, &Descriptor::default()).expect("kron");
     assert_eq!(c.nvals(), 0);
 }
 
@@ -273,11 +279,9 @@ fn concat_split_on_single_tile() {
 #[test]
 fn bool_semiring_arithmetic_is_saturating() {
     // PLUS on bool is OR (no wrap / no panic on "overflow").
-    let v = Vector::from_tuples(3, vec![(0, true), (1, true), (2, true)], |_, b| b)
-        .expect("v");
+    let v = Vector::from_tuples(3, vec![(0, true), (1, true), (2, true)], |_, b| b).expect("v");
     assert!(reduce_vector_scalar(&binaryop::Plus, &v));
-    let a = Matrix::from_tuples(2, 2, vec![(0, 0, true), (0, 1, true)], |_, b| b)
-        .expect("a");
+    let a = Matrix::from_tuples(2, 2, vec![(0, 0, true), (0, 1, true)], |_, b| b).expect("a");
     let mut c = Matrix::<bool>::new(2, 2).expect("c");
     mxm(&mut c, None, NOACC, &PLUS_TIMES, &a, &a, &Descriptor::default()).expect("mxm");
     assert_eq!(c.get(0, 0), Some(true));

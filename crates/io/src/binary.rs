@@ -102,13 +102,9 @@ mod tests {
 
     #[test]
     fn round_trip_f64() {
-        let m = Matrix::from_tuples(
-            5,
-            7,
-            vec![(0, 6, 1.25), (4, 0, -2.5), (2, 3, 1e-30)],
-            |_, b| b,
-        )
-        .expect("build");
+        let m =
+            Matrix::from_tuples(5, 7, vec![(0, 6, 1.25), (4, 0, -2.5), (2, 3, 1e-30)], |_, b| b)
+                .expect("build");
         let mut buf = Vec::new();
         write_binary(&m, &mut buf).expect("write");
         let back: Matrix<f64> = read_binary(&buf[..]).expect("read");
@@ -118,8 +114,8 @@ mod tests {
 
     #[test]
     fn round_trip_bool_and_i32() {
-        let b = Matrix::from_tuples(2, 2, vec![(0, 1, true), (1, 0, false)], |_, x| x)
-            .expect("build");
+        let b =
+            Matrix::from_tuples(2, 2, vec![(0, 1, true), (1, 0, false)], |_, x| x).expect("build");
         let mut buf = Vec::new();
         write_binary(&b, &mut buf).expect("write");
         let back: Matrix<bool> = read_binary(&buf[..]).expect("read");

@@ -111,12 +111,7 @@ pub fn erdos_renyi(n: Index, m: usize, seed: u64) -> Result<Matrix<bool>> {
 
 /// Uniformly weighted variant of [`erdos_renyi`] with weights in
 /// `(0, max_weight]`.
-pub fn erdos_renyi_weighted(
-    n: Index,
-    m: usize,
-    max_weight: f64,
-    seed: u64,
-) -> Result<Matrix<f64>> {
+pub fn erdos_renyi_weighted(n: Index, m: usize, max_weight: f64, seed: u64) -> Result<Matrix<f64>> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut tuples = Vec::with_capacity(2 * m);
     let mut placed = 0;
@@ -230,12 +225,7 @@ pub fn barabasi_albert(n: Index, m: usize, seed: u64) -> Result<Matrix<bool>> {
 
 /// Random sparse rectangular matrix with `nnz` uniform entries, for
 /// kernel tests and benches.
-pub fn random_matrix(
-    nrows: Index,
-    ncols: Index,
-    nnz: usize,
-    seed: u64,
-) -> Result<Matrix<f64>> {
+pub fn random_matrix(nrows: Index, ncols: Index, nnz: usize, seed: u64) -> Result<Matrix<f64>> {
     let mut rng = StdRng::seed_from_u64(seed);
     let tuples: Vec<(Index, Index, f64)> = (0..nnz)
         .map(|_| (rng.gen_range(0..nrows), rng.gen_range(0..ncols), rng.gen_range(-1.0..1.0)))
@@ -250,8 +240,7 @@ mod tests {
 
     #[test]
     fn rmat_is_symmetric_and_loop_free() {
-        let a = rmat(&RmatParams { scale: 6, edge_factor: 4, ..Default::default() })
-            .expect("rmat");
+        let a = rmat(&RmatParams { scale: 6, edge_factor: 4, ..Default::default() }).expect("rmat");
         assert_eq!(a.nrows(), 64);
         for (i, j, _) in a.iter() {
             assert_ne!(i, j, "no self loops");
@@ -273,8 +262,7 @@ mod tests {
     #[test]
     fn rmat_is_skewed() {
         // Scale-free: max degree far exceeds average degree.
-        let a = rmat(&RmatParams { scale: 9, edge_factor: 8, ..Default::default() })
-            .expect("rmat");
+        let a = rmat(&RmatParams { scale: 9, edge_factor: 8, ..Default::default() }).expect("rmat");
         let n = a.nrows();
         let mut deg = vec![0usize; n];
         for (i, _, _) in a.iter() {

@@ -86,9 +86,7 @@ pub fn count_fn_loc(source: &str, fn_name: &str) -> Option<usize> {
     let needle_a = format!("fn {fn_name}(");
     let needle_b = format!("fn {fn_name}<");
     let lines: Vec<&str> = source.lines().collect();
-    let start = lines
-        .iter()
-        .position(|l| l.contains(&needle_a) || l.contains(&needle_b))?;
+    let start = lines.iter().position(|l| l.contains(&needle_a) || l.contains(&needle_b))?;
     let mut depth = 0i64;
     let mut started = false;
     let mut end = start;

@@ -39,12 +39,9 @@ pub fn read_matrix_market<T: Scalar>(reader: impl BufRead) -> Result<Matrix<T>> 
     let mut lines = reader.lines().enumerate();
     // Header.
     let (field, symmetry) = {
-        let (lno, first) = lines
-            .next()
-            .ok_or_else(|| parse_error(0, "empty input"))?;
+        let (lno, first) = lines.next().ok_or_else(|| parse_error(0, "empty input"))?;
         let first = first.map_err(|e| parse_error(lno + 1, &e.to_string()))?;
-        let toks: Vec<String> =
-            first.split_whitespace().map(|t| t.to_ascii_lowercase()).collect();
+        let toks: Vec<String> = first.split_whitespace().map(|t| t.to_ascii_lowercase()).collect();
         if toks.len() < 5 || toks[0] != "%%matrixmarket" || toks[1] != "matrix" {
             return Err(parse_error(1, "expected '%%MatrixMarket matrix ...' header"));
         }
@@ -80,12 +77,9 @@ pub fn read_matrix_market<T: Scalar>(reader: impl BufRead) -> Result<Matrix<T>> 
                 if toks.len() != 3 {
                     return Err(parse_error(lno + 1, "size line must be 'nrows ncols nnz'"));
                 }
-                let nr: Index =
-                    toks[0].parse().map_err(|_| parse_error(lno + 1, "bad nrows"))?;
-                let nc: Index =
-                    toks[1].parse().map_err(|_| parse_error(lno + 1, "bad ncols"))?;
-                let nnz: usize =
-                    toks[2].parse().map_err(|_| parse_error(lno + 1, "bad nnz"))?;
+                let nr: Index = toks[0].parse().map_err(|_| parse_error(lno + 1, "bad nrows"))?;
+                let nc: Index = toks[1].parse().map_err(|_| parse_error(lno + 1, "bad ncols"))?;
+                let nnz: usize = toks[2].parse().map_err(|_| parse_error(lno + 1, "bad nnz"))?;
                 tuples.reserve(if symmetry == MmSymmetry::General { nnz } else { 2 * nnz });
                 dims = Some((nr, nc, nnz));
             }
@@ -144,9 +138,7 @@ pub fn write_matrix_market<T: Scalar>(
             MmField::Integer => {
                 writeln!(w, "{} {} {}", i + 1, j + 1, x.to_f64() as i64).map_err(io_err)?
             }
-            MmField::Real => {
-                writeln!(w, "{} {} {}", i + 1, j + 1, x.to_f64()).map_err(io_err)?
-            }
+            MmField::Real => writeln!(w, "{} {} {}", i + 1, j + 1, x.to_f64()).map_err(io_err)?,
         }
     }
     Ok(())
@@ -200,8 +192,8 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        let m = Matrix::from_tuples(4, 3, vec![(0, 2, 1.25), (3, 0, -9.5)], |_, b| b)
-            .expect("build");
+        let m =
+            Matrix::from_tuples(4, 3, vec![(0, 2, 1.25), (3, 0, -9.5)], |_, b| b).expect("build");
         let mut buf = Vec::new();
         write_matrix_market(&m, &mut buf, MmField::Real).expect("write");
         let back: Matrix<f64> = read_matrix_market(&buf[..]).expect("read");
@@ -211,8 +203,8 @@ mod tests {
 
     #[test]
     fn pattern_round_trip() {
-        let m = Matrix::from_tuples(2, 2, vec![(0, 0, true), (1, 0, true)], |_, b| b)
-            .expect("build");
+        let m =
+            Matrix::from_tuples(2, 2, vec![(0, 0, true), (1, 0, true)], |_, b| b).expect("build");
         let mut buf = Vec::new();
         write_matrix_market(&m, &mut buf, MmField::Pattern).expect("write");
         let back: Matrix<bool> = read_matrix_market(&buf[..]).expect("read");
@@ -226,10 +218,8 @@ mod tests {
             "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n".as_bytes()
         )
         .is_err());
-        assert!(read_matrix_market::<f64>(
-            "%%MatrixMarket matrix array real general\n".as_bytes()
-        )
-        .is_err());
+        assert!(read_matrix_market::<f64>("%%MatrixMarket matrix array real general\n".as_bytes())
+            .is_err());
         assert!(read_matrix_market::<f64>("".as_bytes()).is_err());
     }
 

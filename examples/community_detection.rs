@@ -62,11 +62,7 @@ fn labels_of(v: &Vector<u64>, n: usize) -> Vec<u64> {
 fn main() -> graphblas::Result<()> {
     let (g, truth) = planted_partition(4, 24, 0.45, 0.02, 11)?;
     let n = g.nvertices();
-    println!(
-        "planted partition: {} vertices in 4 blocks, {} edges",
-        n,
-        g.nedges() / 2
-    );
+    println!("planted partition: {} vertices in 4 blocks, {} edges", n, g.nedges() / 2);
 
     let mcl = markov_cluster(&g, &MclOptions::default())?;
     let mcl_labels = labels_of(&mcl, n);

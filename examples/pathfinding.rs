@@ -28,11 +28,7 @@ fn main() -> graphblas::Result<()> {
     let mut sym = Matrix::<f64>::new(roads.nrows(), roads.ncols())?;
     ewise_add_matrix(&mut sym, None, NOACC, binaryop::Min, &roads, &rt, &Descriptor::default())?;
     let g = Graph::new(sym, GraphKind::Undirected)?;
-    println!(
-        "road grid: {} intersections, {} road segments",
-        g.nvertices(),
-        g.nedges() / 2
-    );
+    println!("road grid: {} intersections, {} road segments", g.nvertices(), g.nedges() / 2);
 
     let source = 0;
     let target = rows * cols - 1;
@@ -59,10 +55,7 @@ fn main() -> graphblas::Result<()> {
     println!("corner-to-corner travel time:");
     println!("  bellman-ford   {bf_d:8.2}  in {bf_time:?}");
     println!("  delta-stepping {ds_d:8.2}  in {ds_time:?}");
-    println!(
-        "  a*             {astar_d:8.2}  in {astar_time:?}  ({} hops)",
-        path.len() - 1
-    );
+    println!("  a*             {astar_d:8.2}  in {astar_time:?}  ({} hops)", path.len() - 1);
     assert_eq!(bf_d, ds_d);
     assert_eq!(bf_d, astar_d);
 

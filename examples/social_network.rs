@@ -39,10 +39,7 @@ fn main() -> graphblas::Result<()> {
 
     let seed = top[0].0;
     let (members, phi) = local_cluster(&g, seed, &LocalClusterOptions::default())?;
-    println!(
-        "local cluster around user {seed}: {} members, conductance {phi:.4}",
-        members.len()
-    );
+    println!("local cluster around user {seed}: {} members, conductance {phi:.4}", members.len());
 
     // Cohesion: triangles and the strongest truss.
     let triangles = triangle_count(&g, TriCountMethod::Sandia)?;

@@ -11,9 +11,8 @@ use proptest::prelude::*;
 const N: usize = 24;
 
 fn arb_edges() -> impl Strategy<Value = Vec<(usize, usize)>> {
-    proptest::collection::vec((0..N, 0..N), 0..80).prop_map(|pairs| {
-        pairs.into_iter().filter(|&(a, b)| a != b).collect()
-    })
+    proptest::collection::vec((0..N, 0..N), 0..80)
+        .prop_map(|pairs| pairs.into_iter().filter(|&(a, b)| a != b).collect())
 }
 
 fn arb_weighted_edges() -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
@@ -33,7 +32,7 @@ fn undirected(edges: &[(usize, usize)]) -> Graph {
 /// Union-find oracle for connected components.
 fn uf_components(edges: &[(usize, usize)]) -> Vec<usize> {
     let mut p: Vec<usize> = (0..N).collect();
-    fn find(p: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(p: &mut [usize], mut x: usize) -> usize {
         while p[x] != x {
             p[x] = p[p[x]];
             x = p[x];
@@ -63,12 +62,12 @@ fn dijkstra(g: &Graph, src: usize) -> Vec<Option<f64>> {
     heap.push((std::cmp::Reverse(0u64), src));
     while let Some((std::cmp::Reverse(dq), v)) = heap.pop() {
         let d = dq as f64 / 1024.0;
-        if dist[v].map_or(true, |cur| d > cur) {
+        if dist[v].is_none_or(|cur| d > cur) {
             continue;
         }
         for &(u, w) in &adj[v] {
             let nd = d + w;
-            if dist[u].map_or(true, |cur| nd < cur) {
+            if dist[u].is_none_or(|cur| nd < cur) {
                 dist[u] = Some(nd);
                 heap.push((std::cmp::Reverse((nd * 1024.0) as u64), u));
             }
@@ -85,11 +84,11 @@ proptest! {
         let g = undirected(&edges);
         let comp = connected_components(&g).expect("cc");
         let oracle = uf_components(&edges);
-        for v in 0..N {
+        for (v, &label) in oracle.iter().enumerate() {
             // Same partition: two vertices share a component exactly when
             // the oracle says so. (Labels are both smallest-member ids,
             // so they should match exactly.)
-            prop_assert_eq!(comp.get(v), Some(oracle[v] as u64), "vertex {}", v);
+            prop_assert_eq!(comp.get(v), Some(label as u64), "vertex {}", v);
         }
     }
 
@@ -100,8 +99,8 @@ proptest! {
         let g = Graph::from_weighted_edges(N, &edges, GraphKind::Undirected).expect("g");
         let dist = sssp_bellman_ford(&g, src).expect("sssp");
         let oracle = dijkstra(&g, src);
-        for v in 0..N {
-            match (dist.get(v), oracle[v]) {
+        for (v, &want) in oracle.iter().enumerate() {
+            match (dist.get(v), want) {
                 (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9, "v {}: {} vs {}", v, a, b),
                 (None, None) => {}
                 other => prop_assert!(false, "v {}: {:?}", v, other),
@@ -114,8 +113,8 @@ proptest! {
         let g = Graph::from_weighted_edges(N, &edges, GraphKind::Undirected).expect("g");
         let dist = sssp_delta_stepping(&g, src, 3.0).expect("sssp");
         let oracle = dijkstra(&g, src);
-        for v in 0..N {
-            match (dist.get(v), oracle[v]) {
+        for (v, &want) in oracle.iter().enumerate() {
+            match (dist.get(v), want) {
                 (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9, "v {}", v),
                 (None, None) => {}
                 other => prop_assert!(false, "v {}: {:?}", v, other),
@@ -150,7 +149,7 @@ proptest! {
             g.a().iter().filter(|&(u, v, _)| u < v).map(|(u, v, w)| (w, u, v)).collect();
         es.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         let mut p: Vec<usize> = (0..N).collect();
-        fn find(p: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(p: &mut [usize], mut x: usize) -> usize {
             while p[x] != x {
                 p[x] = p[p[x]];
                 x = p[x];
@@ -174,8 +173,8 @@ proptest! {
         let labels = strongly_connected_components(&g).expect("scc");
         // Oracle: boolean transitive closure by Floyd–Warshall.
         let mut reach = vec![[false; N]; N];
-        for v in 0..N {
-            reach[v][v] = true;
+        for (v, row) in reach.iter_mut().enumerate() {
+            row[v] = true;
         }
         for &(a, b) in &edges {
             reach[a][b] = true;
@@ -183,18 +182,19 @@ proptest! {
         for k in 0..N {
             for i in 0..N {
                 if reach[i][k] {
-                    for j in 0..N {
-                        if reach[k][j] {
-                            reach[i][j] = true;
+                    let via: [bool; N] = reach[k];
+                    for (j, r) in reach[i].iter_mut().enumerate() {
+                        if via[j] {
+                            *r = true;
                         }
                     }
                 }
             }
         }
-        for u in 0..N {
-            for v in 0..N {
+        for (u, row) in reach.iter().enumerate() {
+            for (v, &uv) in row.iter().enumerate() {
                 let same = labels.get(u) == labels.get(v);
-                let mutual = reach[u][v] && reach[v][u];
+                let mutual = uv && reach[v][u];
                 prop_assert_eq!(same, mutual, "pair ({}, {})", u, v);
             }
         }
@@ -251,5 +251,55 @@ proptest! {
             (None, None) => {}
             other => prop_assert!(false, "{:?}", other),
         }
+    }
+}
+
+// Shrunk failure cases saved in `algorithm_oracles.proptest-regressions`,
+// folded in as named deterministic tests so they run on every harness
+// regardless of whether the proptest runner replays the seed file.
+
+/// `cc 4d400b28…`: parallel edges (5,7) with two different weights plus a
+/// chain to an otherwise-isolated source. Exercises last-write-wins edge
+/// deduplication in `Graph::from_weighted_edges` against both SSSP kernels.
+#[test]
+fn regression_sssp_parallel_edges_from_isolated_chain() {
+    let edges = vec![(5, 7, 0.25), (5, 7, 0.5), (4, 5, 0.25), (21, 4, 0.25)];
+    let src = 21;
+    let g = Graph::from_weighted_edges(N, &edges, GraphKind::Undirected).expect("g");
+    let oracle = dijkstra(&g, src);
+    let bf = sssp_bellman_ford(&g, src).expect("bellman-ford");
+    let ds = sssp_delta_stepping(&g, src, 3.0).expect("delta-stepping");
+    for (v, &want) in oracle.iter().enumerate() {
+        match (bf.get(v), want) {
+            (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9, "bf v{v}: {a} vs {b}"),
+            (None, None) => {}
+            other => panic!("bf v{v}: {other:?}"),
+        }
+        match (ds.get(v), want) {
+            (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9, "ds v{v}: {a} vs {b}"),
+            (None, None) => {}
+            other => panic!("ds v{v}: {other:?}"),
+        }
+    }
+}
+
+/// `cc 1e8f673a…`: duplicate (1,13) edges with different weights on the
+/// source's own adjacency, destination reachable only through the
+/// duplicated vertex. Exercises A* (zero heuristic) against Dijkstra.
+#[test]
+fn regression_astar_duplicate_source_edges() {
+    let edges = vec![(1, 13, 0.25), (13, 14, 0.25), (1, 13, 0.5), (18, 13, 0.25), (13, 23, 0.25)];
+    let (src, dst) = (1, 23);
+    let g = Graph::from_weighted_edges(N, &edges, GraphKind::Undirected).expect("g");
+    let oracle = dijkstra(&g, src);
+    let result = astar(&g, src, dst, |_| 0.0).expect("astar");
+    match (result, oracle[dst]) {
+        (Some((path, d)), Some(want)) => {
+            assert!((d - want).abs() < 1e-9, "{d} vs {want}");
+            assert_eq!(path[0], src);
+            assert_eq!(*path.last().expect("nonempty"), dst);
+        }
+        (None, None) => {}
+        other => panic!("{other:?}"),
     }
 }

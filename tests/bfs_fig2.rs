@@ -43,8 +43,8 @@ fn fig2_bfs_matches_queue_oracle_on_rmat() {
     for src in [0, 1, 7, 100] {
         let want = oracle_bfs(n, &edges, src);
         let got = bfs_level(&g, src).expect("bfs");
-        for v in 0..n {
-            assert_eq!(got.get(v), want[v], "src {src}, vertex {v}");
+        for (v, &w) in want.iter().enumerate() {
+            assert_eq!(got.get(v), w, "src {src}, vertex {v}");
         }
     }
 }
@@ -70,8 +70,7 @@ fn bfs_levels_equal_unit_sssp_plus_one() {
         .expect("rmat");
     let n = adj.nrows();
     let mut w = Matrix::<f64>::new(n, n).expect("w");
-    apply_matrix(&mut w, None, NOACC, unaryop::One, &adj, &Descriptor::default())
-        .expect("weights");
+    apply_matrix(&mut w, None, NOACC, unaryop::One, &adj, &Descriptor::default()).expect("weights");
     let g = Graph::new(w, GraphKind::Undirected).expect("graph");
     let levels = bfs_level(&g, 0).expect("bfs");
     let dist = sssp_bellman_ford(&g, 0).expect("sssp");
@@ -99,11 +98,7 @@ fn parent_bfs_tree_is_consistent_with_levels() {
         }
         let p = p as usize;
         assert!(g.a().get(p, v).is_some(), "tree edge {p}->{v} exists");
-        assert_eq!(
-            levels.get(v),
-            levels.get(p).map(|l| l + 1),
-            "parent one level above"
-        );
+        assert_eq!(levels.get(v), levels.get(p).map(|l| l + 1), "parent one level above");
     }
 }
 

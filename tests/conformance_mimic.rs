@@ -24,32 +24,31 @@ fn arb_matrix() -> impl Strategy<Value = Matrix<i64>> {
 
 fn arb_fmatrix() -> impl Strategy<Value = Matrix<f64>> {
     proptest::collection::vec(((0..N, 0..N), 1i32..16), 0..20).prop_map(|entries| {
-        let tuples =
-            entries.into_iter().map(|((i, j), v)| (i, j, v as f64)).collect();
+        let tuples = entries.into_iter().map(|((i, j), v)| (i, j, v as f64)).collect();
         Matrix::from_tuples(N, N, tuples, |_, b| b).expect("valid dims")
     })
 }
 
 fn arb_vector() -> impl Strategy<Value = Vector<i64>> {
-    proptest::collection::vec((0..N, -10i64..10), 0..6).prop_map(|entries| {
-        Vector::from_tuples(N, entries, |_, b| b).expect("valid dims")
-    })
+    proptest::collection::vec((0..N, -10i64..10), 0..6)
+        .prop_map(|entries| Vector::from_tuples(N, entries, |_, b| b).expect("valid dims"))
 }
 
 fn arb_mask_m() -> impl Strategy<Value = Option<Matrix<bool>>> {
-    proptest::option::of(proptest::collection::vec(((0..N, 0..N), any::<bool>()), 0..20))
-        .prop_map(|e| {
+    proptest::option::of(proptest::collection::vec(((0..N, 0..N), any::<bool>()), 0..20)).prop_map(
+        |e| {
             e.map(|entries| {
                 let tuples = entries.into_iter().map(|((i, j), v)| (i, j, v)).collect();
                 Matrix::from_tuples(N, N, tuples, |_, b| b).expect("valid dims")
             })
-        })
+        },
+    )
 }
 
 fn arb_mask_v() -> impl Strategy<Value = Option<Vector<bool>>> {
-    proptest::option::of(proptest::collection::vec((0..N, any::<bool>()), 0..6)).prop_map(
-        |e| e.map(|entries| Vector::from_tuples(N, entries, |_, b| b).expect("valid dims")),
-    )
+    proptest::option::of(proptest::collection::vec((0..N, any::<bool>()), 0..6)).prop_map(|e| {
+        e.map(|entries| Vector::from_tuples(N, entries, |_, b| b).expect("valid dims"))
+    })
 }
 
 fn arb_desc() -> impl Strategy<Value = Descriptor> {

@@ -7,12 +7,11 @@ use lagraph::harness;
 use lagraph_suite::prelude::*;
 
 fn rmat_graph(scale: u32, seed: u64) -> Graph {
-    let adj = rmat(&RmatParams { scale, edge_factor: 8, seed, ..Default::default() })
-        .expect("rmat");
+    let adj =
+        rmat(&RmatParams { scale, edge_factor: 8, seed, ..Default::default() }).expect("rmat");
     let n = adj.nrows();
     let mut w = Matrix::<f64>::new(n, n).expect("w");
-    apply_matrix(&mut w, None, NOACC, unaryop::One, &adj, &Descriptor::default())
-        .expect("weights");
+    apply_matrix(&mut w, None, NOACC, unaryop::One, &adj, &Descriptor::default()).expect("weights");
     Graph::new(w, GraphKind::Undirected).expect("graph")
 }
 
@@ -115,12 +114,12 @@ fn msf_connects_what_cc_connects() {
 
 #[test]
 fn scc_condensation_is_consistent_with_bfs() {
-    let adj = rmat_directed(&RmatParams { scale: 6, edge_factor: 4, seed: 77, ..Default::default() })
-        .expect("rmat");
+    let adj =
+        rmat_directed(&RmatParams { scale: 6, edge_factor: 4, seed: 77, ..Default::default() })
+            .expect("rmat");
     let n = adj.nrows();
     let mut w = Matrix::<f64>::new(n, n).expect("w");
-    apply_matrix(&mut w, None, NOACC, unaryop::One, &adj, &Descriptor::default())
-        .expect("weights");
+    apply_matrix(&mut w, None, NOACC, unaryop::One, &adj, &Descriptor::default()).expect("weights");
     let g = Graph::new(w, GraphKind::Directed).expect("graph");
     let labels = strongly_connected_components(&g).expect("scc");
     // Spot check: same-SCC pairs are mutually reachable via BFS.
@@ -158,10 +157,7 @@ fn triangle_centrality_total_matches_tricount() {
 fn subgraph_counts_consistent_with_dedicated_counters() {
     let g = rmat_graph(6, 123);
     let counts = subgraph_counts(&g).expect("counts");
-    assert_eq!(
-        counts.triangles,
-        triangle_count(&g, TriCountMethod::Burkhardt).expect("tc")
-    );
+    assert_eq!(counts.triangles, triangle_count(&g, TriCountMethod::Burkhardt).expect("tc"));
 }
 
 #[test]
@@ -186,10 +182,8 @@ fn gcn_smooths_over_generated_communities() {
     }
     edges.push((0, 16));
     let g = Graph::from_edges(32, &edges, GraphKind::Undirected).expect("graph");
-    let h = Matrix::from_tuples(32, 2, vec![(3, 0, 1.0), (19, 1, 1.0)], |_, b| b)
-        .expect("h");
-    let eye = Matrix::from_tuples(2, 2, vec![(0, 0, 1.0), (1, 1, 1.0)], |_, b| b)
-        .expect("w");
+    let h = Matrix::from_tuples(32, 2, vec![(3, 0, 1.0), (19, 1, 1.0)], |_, b| b).expect("h");
+    let eye = Matrix::from_tuples(2, 2, vec![(0, 0, 1.0), (1, 1, 1.0)], |_, b| b).expect("w");
     let layers = [
         lagraph::gnn::GcnLayer { weights: eye.clone(), relu: true },
         lagraph::gnn::GcnLayer { weights: eye.clone(), relu: true },

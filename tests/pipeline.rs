@@ -6,12 +6,11 @@
 use lagraph_suite::prelude::*;
 
 fn rmat_graph(scale: u32, seed: u64) -> Graph {
-    let adj = rmat(&RmatParams { scale, edge_factor: 8, seed, ..Default::default() })
-        .expect("rmat");
+    let adj =
+        rmat(&RmatParams { scale, edge_factor: 8, seed, ..Default::default() }).expect("rmat");
     let n = adj.nrows();
     let mut w = Matrix::<f64>::new(n, n).expect("w");
-    apply_matrix(&mut w, None, NOACC, unaryop::One, &adj, &Descriptor::default())
-        .expect("weights");
+    apply_matrix(&mut w, None, NOACC, unaryop::One, &adj, &Descriptor::default()).expect("weights");
     Graph::new(w, GraphKind::Undirected).expect("graph")
 }
 
@@ -27,10 +26,7 @@ fn matrix_market_round_trip_preserves_analytics() {
         triangle_count(&g, TriCountMethod::Sandia).expect("tc1"),
         triangle_count(&g2, TriCountMethod::Sandia).expect("tc2")
     );
-    assert_eq!(
-        component_count(&g).expect("cc1"),
-        component_count(&g2).expect("cc2")
-    );
+    assert_eq!(component_count(&g).expect("cc1"), component_count(&g2).expect("cc2"));
     assert_eq!(
         bfs_level(&g, 0).expect("b1").extract_tuples(),
         bfs_level(&g2, 0).expect("b2").extract_tuples()
@@ -139,12 +135,7 @@ fn mis_and_coloring_are_valid_on_scale_free_graphs() {
     let (colors, k) = greedy_color(&g, 5).expect("color");
     assert!(verify_coloring(&g, &colors).expect("verify coloring"));
     // Colors at most max degree + 1.
-    let maxdeg = g
-        .out_degree()
-        .iter()
-        .map(|(_, d)| d)
-        .max()
-        .unwrap_or(0);
+    let maxdeg = g.out_degree().iter().map(|(_, d)| d).max().unwrap_or(0);
     assert!((k as i64) <= maxdeg + 1, "k {k} vs maxdeg {maxdeg}");
 }
 

@@ -1,0 +1,304 @@
+//! Every parallelized kernel must produce bit-identical results for any
+//! thread count. Each scenario runs once under `set_threads(1)` and once
+//! under `set_threads(8)` with the parallel work threshold forced to 1 —
+//! so even the small proptest inputs take the chunked code paths — and
+//! the two results are compared exactly.
+//!
+//! The determinism argument the kernels rely on (chunks partition a
+//! sorted domain disjointly; stitching in chunk order reproduces the
+//! sequential output) is what this suite checks end to end, including
+//! the terminal-monoid early exit and nested `par_chunks` calls.
+
+use graphblas::binaryop::{Min, Plus, Times};
+use graphblas::descriptor::{Descriptor, Direction};
+use graphblas::ops::*;
+use graphblas::parallel::{par_chunks, set_par_threshold, set_threads};
+use graphblas::semiring::{MIN_PLUS, PLUS_TIMES};
+use graphblas::types::Index;
+use graphblas::{Matrix, Vector};
+use lagraph_suite::prelude::{Graph, GraphKind, TriCountMethod};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+const N: usize = 16;
+
+/// Thread count and threshold are process-wide globals; scenarios from
+/// concurrently-running test functions must not interleave their toggles.
+static GLOBALS: Mutex<()> = Mutex::new(());
+
+/// Run `f` under 1 worker thread and under 8, restore the defaults, and
+/// require the two results to be identical.
+fn assert_thread_equivalent<R: PartialEq + std::fmt::Debug>(f: impl Fn() -> R) {
+    let _g = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+    set_par_threshold(1);
+    set_threads(1);
+    let seq = f();
+    set_threads(8);
+    let par = f();
+    set_threads(0);
+    set_par_threshold(0);
+    assert_eq!(seq, par, "parallel result differs from sequential");
+}
+
+fn mat(tuples: &[(usize, usize, i64)]) -> Matrix<i64> {
+    Matrix::from_tuples(N, N, tuples.to_vec(), |_, b| b).expect("matrix")
+}
+
+fn vec_of(tuples: &[(usize, i64)]) -> Vector<i64> {
+    Vector::from_tuples(N, tuples.to_vec(), |_, b| b).expect("vector")
+}
+
+fn arb_mat_tuples() -> impl Strategy<Value = Vec<(usize, usize, i64)>> {
+    proptest::collection::vec((0..N, 0..N, -8i64..8), 0..48)
+}
+
+fn arb_vec_tuples() -> impl Strategy<Value = Vec<(usize, i64)>> {
+    proptest::collection::vec((0..N, -8i64..8), 0..N)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mxm_all_kernels(at in arb_mat_tuples(), bt in arb_mat_tuples()) {
+        assert_thread_equivalent(|| {
+            let a = mat(&at);
+            let b = mat(&bt);
+            let mask = a.pattern();
+            let mut plain = Matrix::<i64>::new(N, N).expect("c");
+            mxm(&mut plain, None, NOACC, &PLUS_TIMES, &a, &b, &Descriptor::default())
+                .expect("mxm");
+            let mut masked = Matrix::<i64>::new(N, N).expect("c");
+            mxm(&mut masked, Some(&mask), NOACC, &PLUS_TIMES, &a, &b,
+                &Descriptor::default()).expect("masked mxm");
+            let mut tran = Matrix::<i64>::new(N, N).expect("c");
+            mxm(&mut tran, None, NOACC, &MIN_PLUS, &a, &b,
+                &Descriptor::new().transpose_a()).expect("transposed mxm");
+            (plain.extract_tuples(), masked.extract_tuples(), tran.extract_tuples())
+        });
+    }
+
+    #[test]
+    fn mxv_and_vxm_every_direction(at in arb_mat_tuples(), ut in arb_vec_tuples()) {
+        assert_thread_equivalent(|| {
+            let u = vec_of(&ut);
+            let mut out = Vec::new();
+            for with_dual in [false, true] {
+                for dir in [Direction::Auto, Direction::Push, Direction::Pull] {
+                    let mut a = mat(&at);
+                    a.set_dual_storage(with_dual);
+                    let d = Descriptor::new().direction(dir);
+                    let mut w = Vector::<i64>::new(N).expect("w");
+                    mxv(&mut w, None, NOACC, &PLUS_TIMES, &a, &u, &d).expect("mxv");
+                    let mut t = Vector::<i64>::new(N).expect("t");
+                    vxm(&mut t, None, NOACC, &PLUS_TIMES, &u, &a, &d).expect("vxm");
+                    out.push((w.extract_tuples(), t.extract_tuples()));
+                }
+            }
+            out
+        });
+    }
+
+    #[test]
+    fn ewise_add_and_mult(ut in arb_vec_tuples(), vt in arb_vec_tuples(),
+                          at in arb_mat_tuples(), bt in arb_mat_tuples()) {
+        assert_thread_equivalent(|| {
+            let (u, v) = (vec_of(&ut), vec_of(&vt));
+            let (a, b) = (mat(&at), mat(&bt));
+            let mut add_v = Vector::<i64>::new(N).expect("w");
+            ewise_add(&mut add_v, None, NOACC, Plus, &u, &v, &Descriptor::default())
+                .expect("add");
+            let mut mul_v = Vector::<i64>::new(N).expect("w");
+            ewise_mult(&mut mul_v, None, NOACC, Times, &u, &v, &Descriptor::default())
+                .expect("mult");
+            let mut add_m = Matrix::<i64>::new(N, N).expect("c");
+            ewise_add_matrix(&mut add_m, None, NOACC, Plus, &a, &b,
+                &Descriptor::default()).expect("add matrix");
+            let mut mul_m = Matrix::<i64>::new(N, N).expect("c");
+            ewise_mult_matrix(&mut mul_m, None, NOACC, Times, &a, &b,
+                &Descriptor::default()).expect("mult matrix");
+            (add_v.extract_tuples(), mul_v.extract_tuples(),
+             add_m.extract_tuples(), mul_m.extract_tuples())
+        });
+    }
+
+    #[test]
+    fn apply_select_transpose(ut in arb_vec_tuples(), at in arb_mat_tuples()) {
+        assert_thread_equivalent(|| {
+            let u = vec_of(&ut);
+            let a = mat(&at);
+            let mut ap = Vector::<i64>::new(N).expect("w");
+            apply(&mut ap, None, NOACC, |x: i64| x * 3 - 1, &u,
+                &Descriptor::default()).expect("apply");
+            let mut api = Vector::<i64>::new(N).expect("w");
+            apply_indexed(&mut api, None, NOACC,
+                |i: Index, _j: Index, x: i64| x + i as i64, &u,
+                &Descriptor::default()).expect("apply indexed");
+            let mut sel = Vector::<i64>::new(N).expect("w");
+            select(&mut sel, None, NOACC, |_: Index, _: Index, x: i64| x > 0, &u,
+                &Descriptor::default()).expect("select");
+            let mut apm = Matrix::<i64>::new(N, N).expect("c");
+            apply_matrix_indexed(&mut apm, None, NOACC,
+                |i: Index, j: Index, x: i64| x + (i + j) as i64, &a,
+                &Descriptor::new().transpose_a()).expect("apply matrix");
+            let selm = tril(&a).expect("tril");
+            let t = transpose_new(&a).expect("transpose");
+            (ap.extract_tuples(), api.extract_tuples(), sel.extract_tuples(),
+             apm.extract_tuples(), selm.extract_tuples(), t.extract_tuples())
+        });
+    }
+
+    #[test]
+    fn reduce_including_terminal_monoid(ut in arb_vec_tuples(), at in arb_mat_tuples()) {
+        assert_thread_equivalent(|| {
+            let u = vec_of(&ut);
+            let a = mat(&at);
+            let mut rows = Vector::<i64>::new(N).expect("w");
+            reduce_matrix(&mut rows, None, NOACC, &Plus, &a, &Descriptor::default())
+                .expect("reduce rows");
+            // Min is a terminal monoid (i64::MIN annihilates): exercises
+            // the early-exit path under parallel execution.
+            let scalar_min = reduce_matrix_scalar(&Min, &a);
+            let scalar_sum = reduce_matrix_scalar(&Plus, &a);
+            let vec_min = reduce_vector_scalar(&Min, &u);
+            (rows.extract_tuples(), scalar_min, scalar_sum, vec_min)
+        });
+    }
+
+    #[test]
+    fn assign_and_extract(ut in arb_vec_tuples(), at in arb_mat_tuples(),
+                          st in arb_vec_tuples()) {
+        assert_thread_equivalent(|| {
+            let a = mat(&at);
+            let sub = Vector::from_tuples(
+                N / 2,
+                st.iter().filter(|&&(i, _)| i < N / 2).cloned().collect(),
+                |_, b| b,
+            )
+            .expect("sub");
+            let mut w = vec_of(&ut);
+            assign(&mut w, None, Some(Plus), &sub, &IndexSel::Range(4..4 + N / 2),
+                &Descriptor::default()).expect("assign");
+            let mut ws = vec_of(&ut);
+            assign_scalar(&mut ws, None, NOACC, 7i64, &IndexSel::All,
+                &Descriptor::default()).expect("assign scalar");
+            let mut ext = Vector::<i64>::new(N / 2).expect("ext");
+            extract(&mut ext, None, NOACC, &w, &IndexSel::Range(2..2 + N / 2),
+                &Descriptor::default()).expect("extract");
+            let rows: Vec<Index> = (0..N).rev().step_by(2).collect();
+            let mut extm = Matrix::<i64>::new(rows.len(), N).expect("extm");
+            extract_matrix(&mut extm, None, NOACC, &a, &IndexSel::List(rows),
+                &IndexSel::All, &Descriptor::default()).expect("extract matrix");
+            let mut col = Vector::<i64>::new(N).expect("col");
+            extract_col(&mut col, None, NOACC, &a, &IndexSel::All, 3,
+                &Descriptor::default()).expect("extract col");
+            (w.extract_tuples(), ws.extract_tuples(), ext.extract_tuples(),
+             extm.extract_tuples(), col.extract_tuples())
+        });
+    }
+
+    #[test]
+    fn write_rule_with_mask_accum_replace(ut in arb_vec_tuples(), vt in arb_vec_tuples(),
+                                          mt in arb_vec_tuples()) {
+        assert_thread_equivalent(|| {
+            let (u, v) = (vec_of(&ut), vec_of(&vt));
+            let mask = vec_of(&mt).pattern();
+            let mut out = Vec::new();
+            for desc in [
+                Descriptor::new(),
+                Descriptor::new().complement(),
+                Descriptor::new().replace(),
+                Descriptor::new().complement().structural().replace(),
+            ] {
+                let mut w = vec_of(&vt);
+                ewise_add(&mut w, Some(&mask), Some(Plus), Plus, &u, &v, &desc)
+                    .expect("masked accumulated add");
+                out.push(w.extract_tuples());
+            }
+            out
+        });
+    }
+
+    #[test]
+    fn kron_and_diag(at in arb_mat_tuples(), bt in arb_mat_tuples()) {
+        assert_thread_equivalent(|| {
+            let (a, b) = (mat(&at), mat(&bt));
+            let mut k = Matrix::<i64>::new(N * N, N * N).expect("k");
+            kronecker(&mut k, None, NOACC, Times, &a, &b, &Descriptor::default())
+                .expect("kron");
+            let d = diag_extract(&a, 1).expect("diag");
+            (k.extract_tuples(), d.extract_tuples())
+        });
+    }
+
+    #[test]
+    fn assembly_of_pending_tuples_and_zombies(at in arb_mat_tuples(),
+                                              ut in arb_vec_tuples()) {
+        assert_thread_equivalent(|| {
+            let mut m = Matrix::<i64>::new(N, N).expect("m");
+            for &(i, j, x) in &at {
+                m.set_element(i, j, x).expect("set");
+            }
+            m.wait();
+            // Zombies + a fresh batch of pending tuples, resolved by one
+            // parallel assembly.
+            for &(i, j, _) in at.iter().take(at.len() / 2) {
+                m.remove_element(i, j).expect("remove");
+            }
+            for &(i, j, x) in &at {
+                m.set_element(j, i, x + 1).expect("set");
+            }
+            let mut v = Vector::<i64>::new(N).expect("v");
+            for &(i, x) in &ut {
+                v.set_element(i, x).expect("set");
+            }
+            v.wait();
+            for &(i, _) in ut.iter().take(ut.len() / 2) {
+                v.remove_element(i).expect("remove");
+            }
+            for &(i, x) in &ut {
+                v.set_element((i + 1) % N, x - 1).expect("set");
+            }
+            (m.extract_tuples(), v.extract_tuples())
+        });
+    }
+
+    #[test]
+    fn nested_parallel_calls(at in arb_mat_tuples(), ut in arb_vec_tuples()) {
+        // Ops issued from inside a par_chunks worker degrade their own
+        // par_chunks calls to sequential execution (IN_WORKER); the result
+        // must match issuing the same ops from the outside.
+        assert_thread_equivalent(|| {
+            let a = mat(&at);
+            let u = vec_of(&ut);
+            par_chunks(4, usize::MAX, |r| {
+                let mut part = Vec::new();
+                for _ in r {
+                    let mut w = Vector::<i64>::new(N).expect("w");
+                    mxv(&mut w, None, NOACC, &PLUS_TIMES, &a, &u,
+                        &Descriptor::default()).expect("nested mxv");
+                    part.push(w.extract_tuples());
+                }
+                part
+            })
+            .into_iter()
+            .flatten()
+            .collect::<Vec<_>>()
+        });
+    }
+
+    #[test]
+    fn composite_algorithms(edges in proptest::collection::vec((0..N, 0..N), 0..40)) {
+        // Full algorithm pipelines chain many parallelized ops; their end
+        // results must be thread-count independent too.
+        let edges: Vec<(usize, usize)> =
+            edges.into_iter().filter(|&(a, b)| a != b).collect();
+        assert_thread_equivalent(|| {
+            let g = Graph::from_edges(N, &edges, GraphKind::Undirected).expect("g");
+            let cc = lagraph_suite::prelude::connected_components(&g).expect("cc");
+            let tc = lagraph_suite::prelude::triangle_count(&g, TriCountMethod::Sandia)
+                .expect("tc");
+            (cc.extract_tuples(), tc)
+        });
+    }
+}

@@ -1,0 +1,151 @@
+//! Strategies: value generators parameterized by a deterministic RNG.
+//! No shrinking — a failing case reports its inputs via `prop_assert!`
+//! messages and the deterministic seed makes it reproducible.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { source: self, f }
+    }
+
+    /// Type-erase the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A boxed, type-erased strategy.
+pub struct BoxedStrategy<V>(pub Box<dyn Strategy<Value = V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `strategy.prop_map(f)`.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    pub(crate) source: S,
+    pub(crate) f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies (`prop_oneof!`).
+pub struct Union<V>(Vec<BoxedStrategy<V>>);
+
+impl<V> Union<V> {
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self(arms)
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let arm = (rng.next_u64() % self.0.len() as u64) as usize;
+        self.0[arm].generate(rng)
+    }
+}
+
+/// `any::<T>()` (see [`crate::arbitrary`]).
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T>(pub(crate) PhantomData<T>);
+
+/// Scalars that can be drawn uniformly from a half-open range.
+pub trait RangeSample: Sized + PartialOrd {
+    fn sample(rng: &mut TestRng, range: &Range<Self>) -> Self;
+}
+
+macro_rules! range_sample_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl RangeSample for $t {
+            fn sample(rng: &mut TestRng, range: &Range<Self>) -> Self {
+                let width = (range.end as $wide).wrapping_sub(range.start as $wide) as u64;
+                range.start.wrapping_add((rng.next_u64() % width) as $t)
+            }
+        }
+    )*};
+}
+range_sample_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+);
+
+impl RangeSample for f64 {
+    fn sample(rng: &mut TestRng, range: &Range<Self>) -> Self {
+        range.start + rng.unit_f64() * (range.end - range.start)
+    }
+}
+
+impl RangeSample for f32 {
+    fn sample(rng: &mut TestRng, range: &Range<Self>) -> Self {
+        range.start + rng.unit_f64() as f32 * (range.end - range.start)
+    }
+}
+
+impl<T: RangeSample> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(self.start < self.end, "strategy range must be nonempty");
+        T::sample(rng, self)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(S0.0);
+tuple_strategy!(S0.0, S1.1);
+tuple_strategy!(S0.0, S1.1, S2.2);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7);
