@@ -10,7 +10,7 @@
 use criterion::{BenchmarkId, Criterion};
 use graphblas::prelude::*;
 use lagraph::bfs_level_matrix;
-use lagraph_bench::{criterion_config, report_stats};
+use lagraph_bench::{criterion_config, profile_once, report_stats};
 use lagraph_io::{rmat, RmatParams};
 
 fn bench(c: &mut Criterion) {
@@ -33,6 +33,11 @@ fn bench(c: &mut Criterion) {
         bencher.iter(|| bfs_level_matrix(a, 0, Direction::Auto).expect("bfs").nvals())
     });
     report_stats("ablation/bfs/single_storage");
+    // One traced run of the dual-storage BFS: the per-span profile shows
+    // where the iterations spend their time, not just end-to-end medians.
+    profile_once("ablation/bfs/dual_storage", || {
+        bfs_level_matrix(&dual, 0, Direction::Auto).expect("bfs").nvals()
+    });
 
     // Pending tuples vs eager assembly on a mixed update stream.
     let n = 1 << 12;

@@ -4,7 +4,7 @@
 use criterion::{BenchmarkId, Criterion};
 use graphblas::prelude::*;
 use graphblas::semiring::LOR_LAND;
-use lagraph_bench::{criterion_config, frontier, report_stats, rmat_structure_dual};
+use lagraph_bench::{criterion_config, frontier, profile_once, report_stats, rmat_structure_dual};
 
 fn bench(c: &mut Criterion) {
     let a = rmat_structure_dual(11, 16, 42);
@@ -29,6 +29,14 @@ fn bench(c: &mut Criterion) {
             // push/pull heuristic lands at this frontier density).
             report_stats(&format!("mxv/{name}/{k}"));
         }
+        // A traced auto run at this density: the span profile records
+        // which kernel the heuristic picked and its latency distribution.
+        let q = frontier(n, k);
+        profile_once(&format!("mxv/auto/{k}"), || {
+            let mut w = Vector::<bool>::new(n).expect("w");
+            mxv(&mut w, None, NOACC, &LOR_LAND, &a, &q, &Descriptor::default()).expect("mxv");
+            w.nvals()
+        });
     }
     group.finish();
 }

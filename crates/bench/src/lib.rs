@@ -3,6 +3,7 @@
 //! table/figure regeneration binaries.
 
 use graphblas::prelude::*;
+use graphblas::trace;
 use lagraph::{Graph, GraphKind};
 use lagraph_io::{rmat, RmatParams};
 use std::time::{Duration, Instant};
@@ -74,6 +75,24 @@ pub fn report_stats(label: &str) {
         s.reduce_early_exits,
         s.assembles,
     );
+}
+
+/// Run `f` once with tracing in record mode and print the aggregated
+/// [`trace::Profile`] table (per-span counts, latency quantiles, flops)
+/// for that single invocation. The previous trace mode is restored, so
+/// the timed criterion loops stay untraced: benches profile one
+/// representative run instead of diffing raw counter snapshots.
+pub fn profile_once<R>(label: &str, f: impl FnOnce() -> R) -> R {
+    let prev = trace::mode();
+    trace::clear();
+    trace::set_mode(trace::Mode::Record);
+    let r = f();
+    trace::set_mode(prev);
+    let profile = trace::Profile::collect();
+    if !profile.ops.is_empty() {
+        eprint!("profile[{label}]\n{}", profile.report());
+    }
+    r
 }
 
 /// Wall-clock one invocation.

@@ -5,6 +5,7 @@
 
 use graphblas::prelude::*;
 use graphblas::semiring::{PLUS_FIRST, PLUS_TIMES};
+use graphblas::trace;
 
 use crate::graph::Graph;
 
@@ -23,6 +24,9 @@ pub fn betweenness_centrality(graph: &Graph, sources: &[Index]) -> Result<Vector
     if ns == 0 {
         return Vector::new(n);
     }
+    let mut algo = trace::algo_span("bc.batch");
+    algo.arg("n", n);
+    algo.arg("sources", ns);
     // A as f64 pattern for path counting.
     let mut a = Matrix::<f64>::new(n, n)?;
     apply_matrix(&mut a, None, NOACC, unaryop::One, &*s, &Descriptor::default())?;
@@ -37,6 +41,8 @@ pub fn betweenness_centrality(graph: &Graph, sources: &[Index]) -> Result<Vector
     // Stack of per-level frontiers for the backward sweep.
     let mut stack: Vec<Matrix<f64>> = Vec::new();
     loop {
+        let mut iter = trace::iter_span("bc.forward", stack.len() as u64);
+        iter.arg("frontier_nnz", frontier.nvals());
         // next<¬numsp,replace> = frontier ⊕.⊗ A
         let visited = numsp.pattern();
         let mut next = Matrix::<f64>::new(ns, n)?;
@@ -82,6 +88,7 @@ pub fn betweenness_centrality(graph: &Graph, sources: &[Index]) -> Result<Vector
     // Write levels `stack.len()-1 .. 1`; the source level (0) is excluded,
     // as Brandes' dependency accumulation never assigns δ to the source.
     for d in (1..stack.len()).rev() {
+        let _iter = trace::iter_span("bc.backward", d as u64);
         // w<S_d> = bcu ./ numsp
         let sd = stack[d].pattern();
         let mut w = Matrix::<f64>::new(ns, n)?;

@@ -12,6 +12,7 @@
 
 use graphblas::prelude::*;
 use graphblas::semiring::{ANY_SECOND, LOR_LAND};
+use graphblas::trace;
 
 use crate::graph::Graph;
 
@@ -45,12 +46,17 @@ pub fn bfs_level_matrix(
     if source >= n {
         return Err(Error::oob(source, n));
     }
+    let mut algo = trace::algo_span("bfs.level");
+    algo.arg("n", n);
+    algo.arg("source", source);
     let mut levels = Vector::<i32>::new(n)?;
     let mut frontier = Vector::<bool>::new(n)?;
     frontier.set_element(source, true)?;
     let mut depth = 0;
     while frontier.nvals() > 0 {
         depth += 1;
+        let mut iter = trace::iter_span("bfs.iter", depth as u64);
+        iter.arg("frontier_nnz", frontier.nvals());
         // levels[frontier] = depth
         assign_scalar(
             &mut levels,
@@ -78,6 +84,7 @@ pub fn bfs_level_matrix(
                 .direction(direction),
         )?;
     }
+    algo.arg("depth", depth as u64);
     Ok(levels)
 }
 
@@ -91,12 +98,19 @@ pub fn bfs_parent(graph: &Graph, source: Index) -> Result<Vector<u64>> {
     if source >= n {
         return Err(Error::oob(source, n));
     }
+    let mut algo = trace::algo_span("bfs.parent");
+    algo.arg("n", n);
+    algo.arg("source", source);
     let mut parents = Vector::<u64>::new(n)?;
     parents.set_element(source, source as u64)?;
     // The frontier carries the *id of the discovering vertex* as value.
     let mut frontier = Vector::<u64>::new(n)?;
     frontier.set_element(source, source as u64)?;
+    let mut depth: u64 = 0;
     while frontier.nvals() > 0 {
+        depth += 1;
+        let mut iter = trace::iter_span("bfs.iter", depth);
+        iter.arg("frontier_nnz", frontier.nvals());
         // q(v) = v for the next wave: each frontier vertex offers itself.
         let mut q = Vector::<u64>::new(n)?;
         apply_indexed(

@@ -5,6 +5,7 @@
 
 use graphblas::prelude::*;
 use graphblas::semiring::MIN_SECOND;
+use graphblas::trace;
 
 use crate::graph::Graph;
 
@@ -28,7 +29,12 @@ pub fn connected_components(graph: &Graph) -> Result<Vector<u64>> {
     )?;
     f = init;
 
+    let mut algo = trace::algo_span("cc.fastsv");
+    algo.arg("n", n);
+    let mut round: u64 = 0;
     loop {
+        round += 1;
+        let _iter = trace::iter_span("cc.iter", round);
         let before = f.extract_tuples();
         // Grandparents: gp(v) = f(f(v)).
         let fv: Vec<Index> = f.iter().map(|(_, p)| p as Index).collect();
@@ -46,6 +52,7 @@ pub fn connected_components(graph: &Graph) -> Result<Vector<u64>> {
             break;
         }
     }
+    algo.arg("iters", round);
     Ok(f)
 }
 

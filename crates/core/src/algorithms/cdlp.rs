@@ -5,6 +5,7 @@
 
 use graphblas::prelude::*;
 use graphblas::semiring::PLUS_SECOND;
+use graphblas::trace;
 
 use crate::graph::Graph;
 
@@ -12,8 +13,11 @@ use crate::graph::Graph;
 /// ids; every vertex is labeled). `max_iters` bounds the rounds.
 pub fn cdlp(graph: &Graph, max_iters: usize) -> Result<Vector<u64>> {
     let n = graph.nvertices();
+    let mut algo = trace::algo_span("cdlp");
+    algo.arg("n", n);
     let mut labels: Vec<u64> = (0..n as u64).collect();
-    for _ in 0..max_iters {
+    for round in 0..max_iters {
+        let mut iter = trace::iter_span("cdlp.iter", round as u64);
         // Indicator matrix L(label, v) = 1, then tally T = L · A:
         // T(c, v) = #neighbors of v carrying label c.
         let tuples: Vec<(Index, Index, f64)> =
@@ -29,14 +33,15 @@ pub fn cdlp(graph: &Graph, max_iters: usize) -> Result<Vector<u64>> {
                 best[v] = cand;
             }
         }
-        let mut changed = false;
+        let mut changed = 0u64;
         for v in 0..n {
             if best[v].1 != u64::MAX && best[v].1 != labels[v] {
                 labels[v] = best[v].1;
-                changed = true;
+                changed += 1;
             }
         }
-        if !changed {
+        iter.arg("changed", changed);
+        if changed == 0 {
             break;
         }
     }

@@ -5,6 +5,7 @@
 
 use graphblas::prelude::*;
 use graphblas::semiring::MAX_SECOND;
+use graphblas::trace;
 
 use crate::graph::Graph;
 use crate::utils::SplitMix64;
@@ -22,7 +23,13 @@ pub fn maximal_independent_set(graph: &Graph, seed: u64) -> Result<Vector<bool>>
     let mut candidates = Vector::<bool>::new(n)?;
     assign_scalar(&mut candidates, None, NOACC, true, &IndexSel::All, &Descriptor::default())?;
 
+    let mut algo = trace::algo_span("mis.luby");
+    algo.arg("n", n);
+    let mut round: u64 = 0;
     while candidates.nvals() > 0 {
+        round += 1;
+        let mut iter = trace::iter_span("mis.iter", round);
+        iter.arg("candidates_nnz", candidates.nvals());
         // Random weight per candidate. Degree-0 vertices always win.
         let cand_idx: Vec<Index> = candidates.iter().map(|(i, _)| i).collect();
         let weights: Vec<(Index, f64)> = cand_idx.iter().map(|&i| (i, rng.next_f64())).collect();
@@ -62,6 +69,7 @@ pub fn maximal_independent_set(graph: &Graph, seed: u64) -> Result<Vector<bool>>
             candidates.remove_element(v)?;
         }
     }
+    algo.arg("rounds", round);
     Ok(iset)
 }
 

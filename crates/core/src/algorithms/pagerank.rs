@@ -4,6 +4,7 @@
 
 use graphblas::prelude::*;
 use graphblas::semiring::PLUS_SECOND;
+use graphblas::trace;
 
 use crate::graph::Graph;
 
@@ -36,11 +37,15 @@ pub fn pagerank(graph: &Graph, opts: &PageRankOptions) -> Result<(Vector<f64>, u
     let mut dinv = Vector::<f64>::new(n)?;
     apply(&mut dinv, None, NOACC, |d: i64| 1.0 / d as f64, &degree, &Descriptor::default())?;
 
+    let mut algo = trace::algo_span("pagerank");
+    algo.arg("n", n);
+    algo.arg("damping", damping);
     let mut r = Vector::dense(n, 1.0 / nf)?;
     let teleport = (1.0 - damping) / nf;
     let mut iters = 0;
     for _ in 0..opts.max_iters {
         iters += 1;
+        let mut iter = trace::iter_span("pagerank.iter", iters as u64);
         // w = r ./ d on non-dangling vertices.
         let mut w = Vector::<f64>::new(n)?;
         ewise_mult(&mut w, None, NOACC, binaryop::Times, &r, &dinv, &Descriptor::default())?;
@@ -82,11 +87,13 @@ pub fn pagerank(graph: &Graph, opts: &PageRankOptions) -> Result<(Vector<f64>, u
             &Descriptor::default(),
         )?;
         let delta = reduce_vector_scalar(&binaryop::Plus, &diff);
+        iter.arg("residual", delta);
         r = r_new;
         if delta < opts.tolerance {
             break;
         }
     }
+    algo.arg("iters", iters);
     Ok((r, iters))
 }
 

@@ -4,6 +4,7 @@
 
 use graphblas::prelude::*;
 use graphblas::semiring::MIN_PLUS;
+use graphblas::trace;
 use graphblas::unaryop::ValueNe;
 
 use crate::graph::Graph;
@@ -18,9 +19,14 @@ pub fn sssp_bellman_ford(graph: &Graph, source: Index) -> Result<Vector<f64>> {
     if source >= n {
         return Err(Error::oob(source, n));
     }
+    let mut algo = trace::algo_span("sssp.bellman_ford");
+    algo.arg("n", n);
+    algo.arg("source", source);
     let mut dist = Vector::<f64>::new(n)?;
     dist.set_element(source, 0.0)?;
-    for _ in 0..n {
+    for round in 0..n {
+        let mut iter = trace::iter_span("sssp.iter", round as u64);
+        iter.arg("reached_nnz", dist.nvals());
         let before = dist.extract_tuples();
         // dist = min(dist, dist min.+ A) — vxm accumulates with MIN.
         let d = dist.clone();
@@ -67,10 +73,16 @@ pub fn sssp_delta_stepping(graph: &Graph, source: Index, delta: f64) -> Result<V
         &Descriptor::default(),
     )?;
 
+    let mut algo = trace::algo_span("sssp.delta_stepping");
+    algo.arg("n", n);
+    algo.arg("source", source);
+    algo.arg("delta", delta);
     let mut t = Vector::<f64>::new(n)?;
     t.set_element(source, 0.0)?;
     let mut bucket = 0usize;
     loop {
+        let mut iter = trace::iter_span("sssp.bucket", bucket as u64);
+        iter.arg("reached_nnz", t.nvals());
         let lo = bucket as f64 * delta;
         let hi = lo + delta;
         // tmasked: the distances currently falling in this bucket.

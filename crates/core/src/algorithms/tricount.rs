@@ -6,6 +6,7 @@
 
 use graphblas::prelude::*;
 use graphblas::semiring::PLUS_PAIR;
+use graphblas::trace;
 
 use crate::graph::Graph;
 
@@ -25,6 +26,17 @@ pub fn triangle_count(graph: &Graph, method: TriCountMethod) -> Result<u64> {
     let s = graph.structure();
     let a: &Matrix<bool> = &s;
     let n = a.nrows();
+    let mut algo = trace::algo_span("tricount");
+    algo.arg("n", n);
+    algo.arg("nnz", a.nvals());
+    algo.arg(
+        "method",
+        match method {
+            TriCountMethod::Burkhardt => "burkhardt",
+            TriCountMethod::Cohen => "cohen",
+            TriCountMethod::Sandia => "sandia",
+        },
+    );
     match method {
         TriCountMethod::Burkhardt => {
             // C<A> = A ⊕.pair A ; count = sum(C) / 6

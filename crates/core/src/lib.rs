@@ -17,3 +17,8 @@ pub mod utils;
 
 pub use algorithms::*;
 pub use graph::{Graph, GraphKind};
+/// Runtime tracing & profiling (re-exported from the GraphBLAS layer):
+/// algorithms open [`trace::algo_span`]/[`trace::iter_span`] spans so a
+/// drained trace shows per-iteration frontier sizes, residuals, and the
+/// kernels each iteration chose.
+pub use graphblas::trace;

@@ -28,6 +28,7 @@ pub mod monoid;
 pub mod parallel;
 pub mod semiring;
 pub mod stats;
+pub mod trace;
 pub mod types;
 pub mod unaryop;
 

@@ -157,6 +157,11 @@ impl<T: Scalar> Inner<T> {
         if !self.needs_assembly() {
             return;
         }
+        let _span = crate::trace::assemble_span(
+            crate::trace::Op::AssembleMatrix,
+            self.pending.len(),
+            self.nzombies,
+        );
         self.dual = None;
         // Sort pending by position; a stable sort keeps insertion order
         // among duplicates so "last write wins" can keep the final one.
@@ -184,7 +189,6 @@ impl<T: Scalar> Inner<T> {
             }
         });
         self.nzombies = 0;
-        crate::stats::record_assemble();
         match &mut self.store {
             Store::Csr(cs) | Store::Csc(cs) => {
                 let (nmajor, nminor) = (cs.nmajor, cs.nminor);

@@ -31,8 +31,13 @@ where
 {
     check_dims(w.size() == u.size(), "apply: output and input lengths differ")?;
     check_vmask(mask, w.size())?;
+    let mut span = crate::trace::op_span(crate::trace::Op::Apply);
     let (t_idx, t_val) = {
         let g = u.read();
+        if span.on() {
+            span.arg("n", u.size());
+            span.arg("u_nnz", g.nvals_assembled());
+        }
         apply_vec_entries(g.view(), |_, x| op.apply(x))
     };
     write_vector(w, mask, accum, desc, t_idx, t_val)
@@ -55,8 +60,13 @@ where
 {
     check_dims(w.size() == u.size(), "apply: output and input lengths differ")?;
     check_vmask(mask, w.size())?;
+    let mut span = crate::trace::op_span(crate::trace::Op::Apply);
     let (t_idx, t_val) = {
         let g = u.read();
+        if span.on() {
+            span.arg("n", u.size());
+            span.arg("u_nnz", g.nvals_assembled());
+        }
         apply_vec_entries(g.view(), |i, x| op.apply(i, 0, x))
     };
     write_vector(w, mask, accum, desc, t_idx, t_val)
@@ -130,7 +140,13 @@ where
     Op: IndexUnaryOp<A, T>,
     Acc: BinaryOp<T, T, T>,
 {
+    let mut span = crate::trace::op_span(crate::trace::Op::Apply);
     let ga = a.read_rows();
+    if span.on() {
+        span.arg("nrows", ga.nrows);
+        span.arg("ncols", ga.ncols);
+        span.arg("a_nnz", ga.nvals_assembled());
+    }
     let eff = effective_vecs_indexed(rows_of(&ga), desc.transpose_a, &op);
     let (nr, nc) = if desc.transpose_a { (ga.ncols, ga.nrows) } else { (ga.nrows, ga.ncols) };
     drop(ga);

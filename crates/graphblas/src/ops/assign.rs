@@ -34,9 +34,14 @@ where
     i_sel.check(n)?;
     check_dims(u.size() == i_sel.len(n), "assign: |I| must equal length of u")?;
     check_vmask(mask, n)?;
+    let mut span = crate::trace::op_span(crate::trace::Op::Assign);
     // Expand u into w-space: t[I[k]] = u[k].
     let mut t: Vec<(Index, T)> = {
         let g = u.read();
+        if span.on() {
+            span.arg("n", n);
+            span.arg("u_nnz", g.nvals_assembled());
+        }
         let mut t = Vec::with_capacity(g.nvals_assembled());
         g.view().for_each(|k, x| t.push((i_sel.nth(k), x)));
         t
@@ -62,6 +67,8 @@ where
     let n = w.size();
     i_sel.check(n)?;
     check_vmask(mask, n)?;
+    let mut span = crate::trace::op_span(crate::trace::Op::Assign);
+    span.arg("n", n);
     let inv = i_sel.inverse(n);
     // The expanded T is conceptually x at *every* region position. When a
     // non-complemented mask is present, only mask-allowed positions can
@@ -193,9 +200,15 @@ where
         "assign: A must be |I| x |J|",
     )?;
     check_mmask(mask, nr, nc)?;
+    let mut span = crate::trace::op_span(crate::trace::Op::Assign);
     // Expand A into C-space.
     let mut t: Vec<(Index, Vec<Index>, Vec<T>)> = {
         let ga = a.read_rows();
+        if span.on() {
+            span.arg("nrows", nr);
+            span.arg("ncols", nc);
+            span.arg("a_nnz", ga.nvals_assembled());
+        }
         let v = rows_of(&ga);
         let mut t = Vec::with_capacity(v.nvecs());
         v.for_each_vec(&mut |k, idx, val| {
@@ -231,6 +244,11 @@ where
     i_sel.check(nr)?;
     j_sel.check(nc)?;
     check_mmask(mask, nr, nc)?;
+    let mut span = crate::trace::op_span(crate::trace::Op::Assign);
+    if span.on() {
+        span.arg("nrows", nr);
+        span.arg("ncols", nc);
+    }
     let i_inv = i_sel.inverse(nr);
     let j_inv = j_sel.inverse(nc);
     let mut t: Vec<(Index, Vec<Index>, Vec<T>)> = Vec::new();

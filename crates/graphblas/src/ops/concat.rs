@@ -44,6 +44,12 @@ pub fn concat<T: Scalar>(tiles: &[Vec<&Matrix<T>>]) -> Result<Matrix<T>> {
         col_off[c + 1] = col_off[c] + w;
     }
     let (nr, nc) = (row_off[tiles.len()], col_off[grid_cols]);
+    let mut span = crate::trace::op_span(crate::trace::Op::Concat);
+    if span.on() {
+        span.arg("nrows", nr);
+        span.arg("ncols", nc);
+        span.arg("tiles", tiles.len() * grid_cols);
+    }
     // Sequential by design: this is a pure tuple copy whose cost is
     // dominated by the final `from_tuples` build (itself a sorted
     // assembly), and tile iteration takes per-tile read locks that are
@@ -74,6 +80,11 @@ pub fn split<T: Scalar>(
     }
     if heights.contains(&0) || widths.contains(&0) {
         return Err(Error::invalid("split: zero-sized tiles are not allowed"));
+    }
+    let mut span = crate::trace::op_span(crate::trace::Op::Split);
+    if span.on() {
+        span.arg("a_nnz", a.nvals());
+        span.arg("tiles", heights.len() * widths.len());
     }
     let mut row_off = vec![0usize];
     for &h in heights {
@@ -124,6 +135,8 @@ pub fn diag_extract<T: Scalar>(a: &Matrix<T>, k: i64) -> Result<Vector<T>> {
     if len == 0 {
         return Err(Error::invalid("diagonal lies outside the matrix"));
     }
+    let mut span = crate::trace::op_span(crate::trace::Op::Diag);
+    span.arg("len", len);
     let g = a.read_rows();
     let v = rows_of(&g);
     // Diagonal positions are independent point lookups: chunk over the
@@ -146,6 +159,8 @@ pub fn diag_extract<T: Scalar>(a: &Matrix<T>, k: i64) -> Result<Vector<T>> {
 /// Build a matrix with `v` on its `k`-th diagonal (`GxB_Matrix_diag`
 /// generalized): the matrix is square with dimension `v.size() + |k|`.
 pub fn diag_matrix<T: Scalar>(v: &Vector<T>, k: i64) -> Result<Matrix<T>> {
+    let mut span = crate::trace::op_span(crate::trace::Op::Diag);
+    span.arg("len", v.size());
     // Sequential by design: one pass over the vector's entries; the cost
     // is dominated by the `from_tuples` build.
     let n = v.size() + k.unsigned_abs() as usize;

@@ -12,6 +12,7 @@ use crate::error::Result;
 use crate::matrix::{rows_of, Matrix};
 use crate::parallel::par_chunks;
 use crate::sparse::{transpose_dyn, MatData, SparseView};
+use crate::trace;
 use crate::types::{Index, Scalar};
 use crate::vector::Vector;
 
@@ -36,9 +37,15 @@ where
     check_dims(u.size() == v.size(), "eWiseAdd: input lengths differ")?;
     check_dims(w.size() == u.size(), "eWiseAdd: output length differs")?;
     check_vmask(mask, w.size())?;
+    let mut span = trace::op_span(trace::Op::EwiseAdd);
     let (t_idx, t_val) = {
         let gu = u.read();
         let gv = v.read();
+        if span.on() {
+            span.arg("n", u.size());
+            span.arg("u_nnz", gu.nvals_assembled());
+            span.arg("v_nnz", gv.nvals_assembled());
+        }
         union_merge(gu.view(), gv.view(), u.size(), &op)
     };
     write_vector(w, mask, accum, desc, t_idx, t_val)
@@ -64,9 +71,15 @@ where
     check_dims(u.size() == v.size(), "eWiseMult: input lengths differ")?;
     check_dims(w.size() == u.size(), "eWiseMult: output length differs")?;
     check_vmask(mask, w.size())?;
+    let mut span = trace::op_span(trace::Op::EwiseMult);
     let (t_idx, t_val) = {
         let gu = u.read();
         let gv = v.read();
+        if span.on() {
+            span.arg("n", u.size());
+            span.arg("u_nnz", gu.nvals_assembled());
+            span.arg("v_nnz", gv.nvals_assembled());
+        }
         let (ui, uv) = sparse_parts(gu.view());
         let vview = gv.view();
         // The intersection is driven by u's entries, which chunk cleanly:
@@ -200,6 +213,13 @@ where
         "eWiseAdd: input shapes differ",
     )?;
     let (nr, nc) = (av.nmajor(), av.nminor());
+    let mut span = trace::op_span(trace::Op::EwiseAdd);
+    if span.on() {
+        span.arg("nrows", nr);
+        span.arg("ncols", nc);
+        span.arg("a_nnz", av.nvals());
+        span.arg("b_nnz", bv.nvals());
+    }
     let vecs = merge_matrix_union(av, bv, &op);
     drop(ea);
     drop(eb);
@@ -237,6 +257,13 @@ where
         "eWiseMult: input shapes differ",
     )?;
     let (nr, nc) = (av.nmajor(), av.nminor());
+    let mut span = trace::op_span(trace::Op::EwiseMult);
+    if span.on() {
+        span.arg("nrows", nr);
+        span.arg("ncols", nc);
+        span.arg("a_nnz", av.nvals());
+        span.arg("b_nnz", bv.nvals());
+    }
     // Rows intersect independently: chunk over A's nonempty majors and let
     // each worker run the two-pointer intersection for its rows.
     let amaj = av.nonempty_majors();

@@ -30,8 +30,13 @@ where
     i_sel.check(u.size())?;
     check_dims(w.size() == i_sel.len(u.size()), "extract: output length != |I|")?;
     check_vmask(mask, w.size())?;
+    let mut span = crate::trace::op_span(crate::trace::Op::Extract);
     let (t_idx, t_val) = {
         let g = u.read();
+        if span.on() {
+            span.arg("n", u.size());
+            span.arg("u_nnz", g.nvals_assembled());
+        }
         let view = g.view();
         // Output positions look up independently: chunk over 0..|I|.
         let chunks = par_chunks(i_sel.len(g.n), i_sel.len(g.n), |r| {
@@ -71,7 +76,13 @@ where
     T: Scalar,
     Acc: BinaryOp<T, T, T>,
 {
+    let mut span = crate::trace::op_span(crate::trace::Op::Extract);
     let ga = a.read_rows();
+    if span.on() {
+        span.arg("nrows", ga.nrows);
+        span.arg("ncols", ga.ncols);
+        span.arg("a_nnz", ga.nvals_assembled());
+    }
     let eff = EffView::new(rows_of(&ga), desc.transpose_a);
     let v = eff.view();
     i_sel.check(v.nmajor())?;
@@ -139,7 +150,13 @@ where
     T: Scalar,
     Acc: BinaryOp<T, T, T>,
 {
+    let mut span = crate::trace::op_span(crate::trace::Op::Extract);
     let ga = a.read_rows();
+    if span.on() {
+        span.arg("nrows", ga.nrows);
+        span.arg("ncols", ga.ncols);
+        span.arg("a_nnz", ga.nvals_assembled());
+    }
     let eff = EffView::new(rows_of(&ga), desc.transpose_a);
     let v = eff.view();
     i_sel.check(v.nmajor())?;

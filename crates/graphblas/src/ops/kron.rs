@@ -31,8 +31,13 @@ where
     Op: BinaryOp<A, B, T>,
     Acc: BinaryOp<T, T, T>,
 {
+    let mut span = crate::trace::op_span(crate::trace::Op::Kron);
     let ga = a.read_rows();
     let gb = b.read_rows();
+    if span.on() {
+        span.arg("a_nnz", ga.nvals_assembled());
+        span.arg("b_nnz", gb.nvals_assembled());
+    }
     let ea = EffView::new(rows_of(&ga), desc.transpose_a);
     let eb = EffView::new(rows_of(&gb), desc.transpose_b);
     let (av, bv) = (ea.view(), eb.view());
@@ -45,6 +50,7 @@ where
     // work; each worker emits its block rows in the same (i1, i2) order as
     // the sequential double loop.
     let est = av.nvals().saturating_mul(bv.nvals());
+    span.flops(est);
     let chunks = par_chunks(amaj.len(), est, |range| {
         let mut part: Vec<(Index, Vec<Index>, Vec<T>)> =
             Vec::with_capacity(range.len() * bmaj.len());

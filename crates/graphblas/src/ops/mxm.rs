@@ -44,6 +44,7 @@ where
     SM: BinaryOp<A, B, T>,
     Acc: BinaryOp<T, T, T>,
 {
+    let mut span = crate::trace::op_span(crate::trace::Op::Mxm);
     let ga = a.read_rows();
     let gb = b.read_rows();
     let ea = EffView::new(rows_of(&ga), desc.transpose_a);
@@ -60,12 +61,18 @@ where
     let meval = MMask::new(mview, desc);
 
     let method = choose_method(desc, &meval, nr);
-    crate::stats::record_mxm_kernel(match method {
-        MxmMethod::Dot => crate::stats::MxmKernel::Dot,
-        MxmMethod::Heap => crate::stats::MxmKernel::Heap,
-        _ => crate::stats::MxmKernel::Gustavson,
+    span.kernel(match method {
+        MxmMethod::Dot => crate::trace::Kernel::Dot,
+        MxmMethod::Heap => crate::trace::Kernel::Heap,
+        _ => crate::trace::Kernel::Gustavson,
     });
-    crate::stats::add_flops(av.nvals().saturating_mul(gb.nvals_assembled().max(1) / bm.max(1) + 1));
+    if span.on() {
+        span.arg("nrows", nr);
+        span.arg("ncols", nc);
+        span.arg("a_nnz", av.nvals());
+        span.arg("b_nnz", gb.nvals_assembled());
+    }
+    span.flops(av.nvals().saturating_mul(gb.nvals_assembled().max(1) / bm.max(1) + 1));
 
     let vecs = match method {
         MxmMethod::Dot => {

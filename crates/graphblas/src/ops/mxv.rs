@@ -25,7 +25,7 @@ use crate::monoid::Monoid;
 use crate::parallel::par_chunks;
 use crate::semiring::Semiring;
 use crate::sparse::SparseView;
-use crate::stats;
+use crate::trace;
 use crate::types::{Index, Scalar};
 use crate::vector::{VView, Vector};
 
@@ -66,6 +66,7 @@ where
         u,
         desc.transpose_a,
         desc,
+        trace::Op::Mxv,
     )
 }
 
@@ -100,6 +101,7 @@ where
         u,
         !desc.transpose_b,
         desc,
+        trace::Op::Vxm,
     )
 }
 
@@ -117,6 +119,7 @@ fn product<A, U, T, SA, F, Acc>(
     u: &Vector<U>,
     transposed: bool,
     desc: &Descriptor,
+    op: trace::Op,
 ) -> Result<()>
 where
     A: Scalar,
@@ -126,6 +129,7 @@ where
     F: Fn(A, U) -> T + Sync,
     Acc: BinaryOp<T, T, T>,
 {
+    let mut span = trace::op_span(op);
     let ga = a.read_rows();
     let rows = rows_of(&ga);
     let dual = dual_of(&ga);
@@ -161,20 +165,25 @@ where
     let mguard = mask.map(|m| m.read());
     let meval = VMask::new(mguard.as_ref().map(|g| g.view()), desc);
 
-    stats::add_flops(rows.nvals().min(u_nvals.saturating_mul(n_out)));
+    if span.on() {
+        span.arg("nrows", ga.nrows);
+        span.arg("ncols", ga.ncols);
+        span.arg("a_nnz", rows.nvals());
+        span.arg("u_nnz", u_nvals);
+    }
+    span.flops(rows.nvals().min(u_nvals.saturating_mul(n_out)));
     let (t_idx, t_val) = if transposed {
         if want_push {
-            stats::record_mxv_path(stats::MxvPath::Push);
+            span.kernel(trace::Kernel::Push);
             scatter(rows, uview, n_out, add, &f)
         } else {
             match dual {
                 Some(dv) => {
-                    stats::record_mxv_path(stats::MxvPath::Pull);
+                    span.kernel(trace::Kernel::Pull);
                     rowdot(dv, uview, n_in, add, &f, &meval)
                 }
                 None => {
-                    stats::record_mxv_dual_fallback();
-                    stats::record_mxv_path(stats::MxvPath::Push);
+                    span.kernel(trace::Kernel::PushFallback);
                     scatter(rows, uview, n_out, add, &f)
                 }
             }
@@ -182,17 +191,16 @@ where
     } else if want_push {
         match dual {
             Some(dv) => {
-                stats::record_mxv_path(stats::MxvPath::Push);
+                span.kernel(trace::Kernel::Push);
                 scatter(dv, uview, n_out, add, &f)
             }
             None => {
-                stats::record_mxv_dual_fallback();
-                stats::record_mxv_path(stats::MxvPath::Pull);
+                span.kernel(trace::Kernel::PullFallback);
                 rowdot(rows, uview, n_in, add, &f, &meval)
             }
         }
     } else {
-        stats::record_mxv_path(stats::MxvPath::Pull);
+        span.kernel(trace::Kernel::Pull);
         rowdot(rows, uview, n_in, add, &f, &meval)
     };
     drop(mguard);

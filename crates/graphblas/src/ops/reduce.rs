@@ -30,7 +30,13 @@ where
     M: Monoid<T>,
     Acc: BinaryOp<T, T, T>,
 {
+    let mut span = crate::trace::op_span(crate::trace::Op::Reduce);
     let ga = a.read_rows();
+    if span.on() {
+        span.arg("nrows", ga.nrows);
+        span.arg("ncols", ga.ncols);
+        span.arg("a_nnz", ga.nvals_assembled());
+    }
     let eff = EffView::new(rows_of(&ga), desc.transpose_a);
     let v = eff.view();
     let n_out = v.nmajor();
@@ -69,7 +75,13 @@ where
     T: Scalar,
     M: Monoid<T>,
 {
+    let mut span = crate::trace::op_span(crate::trace::Op::Reduce);
     let ga = a.read_rows();
+    if span.on() {
+        span.arg("nrows", ga.nrows);
+        span.arg("ncols", ga.ncols);
+        span.arg("a_nnz", ga.nvals_assembled());
+    }
     let v = rows_of(&ga);
     let majors = v.nonempty_majors();
     let terminal = monoid.terminal();
@@ -102,7 +114,12 @@ where
     M: Monoid<T>,
 {
     use crate::vector::VView;
+    let mut span = crate::trace::op_span(crate::trace::Op::Reduce);
     let g = u.read();
+    if span.on() {
+        span.arg("n", u.size());
+        span.arg("u_nnz", g.nvals_assembled());
+    }
     let view = g.view();
     let r = match view {
         VView::Sparse(_, val) => par_reduce(val.len(), val.len(), monoid, |range, _| {

@@ -32,8 +32,13 @@ where
 {
     check_dims(w.size() == u.size(), "select: output and input lengths differ")?;
     check_vmask(mask, w.size())?;
+    let mut span = crate::trace::op_span(crate::trace::Op::Select);
     let (t_idx, t_val) = {
         let g = u.read();
+        if span.on() {
+            span.arg("n", u.size());
+            span.arg("u_nnz", g.nvals_assembled());
+        }
         use crate::vector::VView;
         // Entries are filtered independently; chunk over whichever storage
         // form the vector is in and stitch in chunk (= index) order.
@@ -87,7 +92,13 @@ where
     Op: IndexUnaryOp<T, bool>,
     Acc: BinaryOp<T, T, T>,
 {
+    let mut span = crate::trace::op_span(crate::trace::Op::Select);
     let ga = a.read_rows();
+    if span.on() {
+        span.arg("nrows", ga.nrows);
+        span.arg("ncols", ga.ncols);
+        span.arg("a_nnz", ga.nvals_assembled());
+    }
     let (nr, nc) = if desc.transpose_a { (ga.ncols, ga.nrows) } else { (ga.nrows, ga.ncols) };
     let vecs = {
         let base = rows_of(&ga);

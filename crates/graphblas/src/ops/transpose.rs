@@ -25,7 +25,13 @@ where
     T: Scalar,
     Acc: BinaryOp<T, T, T>,
 {
+    let mut span = crate::trace::op_span(crate::trace::Op::Transpose);
     let ga = a.read_rows();
+    if span.on() {
+        span.arg("nrows", ga.nrows);
+        span.arg("ncols", ga.ncols);
+        span.arg("a_nnz", ga.nvals_assembled());
+    }
     // transpose(A) with transpose_a set = plain A.
     let eff = EffView::new(rows_of(&ga), !desc.transpose_a);
     let v = eff.view();

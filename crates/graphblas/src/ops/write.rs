@@ -34,6 +34,8 @@ pub(crate) fn write_vector<T: Scalar, Acc: BinaryOp<T, T, T>>(
     t_val: Vec<T>,
 ) -> Result<()> {
     debug_assert!(t_idx.windows(2).all(|p| p[0] < p[1]), "result must be sorted");
+    let mut span = crate::trace::op_span(crate::trace::Op::Write);
+    span.arg("t_nnz", t_idx.len());
     let mguard = mask.map(|m| m.read());
     let meval = VMask::new(mguard.as_ref().map(|g| g.view()), desc);
 
@@ -143,6 +145,10 @@ pub(crate) fn write_matrix<T: Scalar, Acc: BinaryOp<T, T, T>>(
     desc: &Descriptor,
     t_vecs: Vec<(Index, Vec<Index>, Vec<T>)>,
 ) -> Result<()> {
+    let mut span = crate::trace::op_span(crate::trace::Op::Write);
+    if span.on() {
+        span.arg("t_nnz", t_vecs.iter().map(|(_, i, _)| i.len()).sum::<usize>());
+    }
     let (nrows, ncols) = (c.nrows(), c.ncols());
 
     // Fast path: the result replaces the output wholesale.

@@ -11,7 +11,7 @@
 //! the benefit entirely. Small problems stay on the calling thread.
 
 use crate::monoid::{fold, Monoid};
-use crate::stats;
+use crate::trace;
 use crate::types::Scalar;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -74,15 +74,31 @@ pub fn threads() -> usize {
     // hosts); resolve it — and the environment hook — once.
     static AUTO: OnceLock<usize> = OnceLock::new();
     *AUTO.get_or_init(|| {
-        if let Some(n) = std::env::var("GRAPHBLAS_THREADS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&n| n > 0)
-        {
+        if let Some(n) = parse_threads_env(std::env::var("GRAPHBLAS_THREADS").ok().as_deref()) {
             return n;
         }
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     })
+}
+
+/// Parse a `GRAPHBLAS_THREADS` value. An unset variable is silently
+/// auto; a set-but-invalid value (unparsable, or zero) warns once
+/// through the trace/burble layer instead of being silently ignored.
+fn parse_threads_env(raw: Option<&str>) -> Option<usize> {
+    let raw = raw?;
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => {
+            trace::warn_once(
+                "GRAPHBLAS_THREADS",
+                &format!(
+                    "ignoring invalid GRAPHBLAS_THREADS={raw:?} (expected a positive integer); \
+                     using hardware parallelism"
+                ),
+            );
+            None
+        }
+    }
 }
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -148,7 +164,7 @@ pub fn par_chunks<R: Send>(
     let nt = threads();
     let nested = IN_WORKER.with(|w| w.get());
     if nt <= 1 || est_work < par_threshold() || n == 1 || nested {
-        stats::record_dispatch(1);
+        trace::dispatch(1, est_work);
         return vec![work(0..n)];
     }
     let nchunks = nt.min(n);
@@ -157,7 +173,7 @@ pub fn par_chunks<R: Send>(
         .map(|t| (t * chunk)..((t + 1) * chunk).min(n))
         .filter(|r| !r.is_empty())
         .collect();
-    stats::record_dispatch(ranges.len());
+    trace::dispatch(ranges.len(), est_work);
     let p = pool();
     let slots: Vec<Mutex<Option<R>>> = (0..ranges.len()).map(|_| Mutex::new(None)).collect();
     let pending = AtomicUsize::new(ranges.len() - 1);
@@ -168,7 +184,11 @@ pub fn par_chunks<R: Send>(
         let pending_ref = &pending;
         let range = range.clone();
         let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            let mut cs = trace::runtime_span("chunk");
+            cs.arg("k", k);
+            cs.arg("len", range.len());
             *slot.lock().expect("slot lock") = Some(work_ref(range));
+            drop(cs);
             pending_ref.fetch_sub(1, Ordering::Release);
         });
         // SAFETY: the spin-wait below blocks until every submitted job
@@ -178,7 +198,12 @@ pub fn par_chunks<R: Send>(
         let job: Job = unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
         p.senders[(k - 1) % p.senders.len()].send(job).expect("pool worker alive");
     }
-    let first = work(ranges[0].clone());
+    let first = {
+        let mut cs = trace::runtime_span("chunk");
+        cs.arg("k", 0usize);
+        cs.arg("len", ranges[0].len());
+        work(ranges[0].clone())
+    };
     // Chunks are balanced, so the remaining wait is short: spin rather
     // than park (parking costs ~1 ms on some virtualized hosts).
     let mut spins = 0u32;
@@ -256,7 +281,7 @@ where
         let v = leaf(r, &exit);
         if v.is_some() && v == terminal {
             exit.set();
-            stats::record_early_exit();
+            trace::early_exit();
         }
         v
     });
@@ -304,6 +329,18 @@ mod tests {
         set_threads(0);
         assert!(threads() >= 1);
         let _ = before;
+    }
+
+    #[test]
+    fn invalid_threads_env_warns_and_falls_back_to_auto() {
+        assert_eq!(parse_threads_env(None), None);
+        assert_eq!(parse_threads_env(Some("4")), Some(4));
+        assert_eq!(parse_threads_env(Some(" 8 ")), Some(8));
+        // Invalid values return None (→ hardware parallelism) after the
+        // one-shot diagnostic instead of being silently ignored.
+        assert_eq!(parse_threads_env(Some("0")), None);
+        assert_eq!(parse_threads_env(Some("-2")), None);
+        assert_eq!(parse_threads_env(Some("lots")), None);
     }
 
     #[test]

@@ -9,6 +9,12 @@
 //! With the feature disabled every recording function is an empty inline
 //! stub and the counters read as zero, so library code calls them
 //! unconditionally.
+//!
+//! These counters are one *consumer* of the [`crate::trace`] hooks:
+//! kernels report path choices, dispatches, and work estimates through
+//! `trace` spans, and the trace layer forwards each to the matching
+//! counter here. Nothing outside `trace` calls the recording functions
+//! directly, so the two mechanisms cannot drift apart.
 
 /// A point-in-time copy of all counters.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +45,22 @@ pub struct Snapshot {
     pub reduce_early_exits: u64,
     /// Lazy assemblies (pending tuples/zombies folded into the store).
     pub assembles: u64,
+    /// Element-wise add/multiply invocations (vector and matrix forms).
+    pub ewise: u64,
+    /// `apply`/`apply_indexed` invocations (vector and matrix forms).
+    pub apply: u64,
+    /// `select`/`tril`/`triu` invocations.
+    pub select: u64,
+    /// `reduce` invocations (matrix→vector and to-scalar forms).
+    pub reduce: u64,
+    /// `transpose` invocations.
+    pub transpose: u64,
+    /// `assign` invocations (vector and matrix, scalar and full forms).
+    pub assign: u64,
+    /// `extract` invocations (vector, matrix, and column forms).
+    pub extract: u64,
+    /// `kronecker` invocations.
+    pub kron: u64,
 }
 
 #[cfg(feature = "stats")]
@@ -58,8 +80,16 @@ mod imp {
     pub(super) static CHUNKS_SPAWNED: AtomicU64 = AtomicU64::new(0);
     pub(super) static REDUCE_EARLY_EXITS: AtomicU64 = AtomicU64::new(0);
     pub(super) static ASSEMBLES: AtomicU64 = AtomicU64::new(0);
+    pub(super) static EWISE: AtomicU64 = AtomicU64::new(0);
+    pub(super) static APPLY: AtomicU64 = AtomicU64::new(0);
+    pub(super) static SELECT: AtomicU64 = AtomicU64::new(0);
+    pub(super) static REDUCE: AtomicU64 = AtomicU64::new(0);
+    pub(super) static TRANSPOSE: AtomicU64 = AtomicU64::new(0);
+    pub(super) static ASSIGN: AtomicU64 = AtomicU64::new(0);
+    pub(super) static EXTRACT: AtomicU64 = AtomicU64::new(0);
+    pub(super) static KRON: AtomicU64 = AtomicU64::new(0);
 
-    pub(super) static ALL: [&AtomicU64; 12] = [
+    pub(super) static ALL: [&AtomicU64; 20] = [
         &MXM_GUSTAVSON,
         &MXM_DOT,
         &MXM_HEAP,
@@ -72,6 +102,14 @@ mod imp {
         &CHUNKS_SPAWNED,
         &REDUCE_EARLY_EXITS,
         &ASSEMBLES,
+        &EWISE,
+        &APPLY,
+        &SELECT,
+        &REDUCE,
+        &TRANSPOSE,
+        &ASSIGN,
+        &EXTRACT,
+        &KRON,
     ];
 
     pub(super) fn read() -> Snapshot {
@@ -88,6 +126,14 @@ mod imp {
             chunks_spawned: CHUNKS_SPAWNED.load(Relaxed),
             reduce_early_exits: REDUCE_EARLY_EXITS.load(Relaxed),
             assembles: ASSEMBLES.load(Relaxed),
+            ewise: EWISE.load(Relaxed),
+            apply: APPLY.load(Relaxed),
+            select: SELECT.load(Relaxed),
+            reduce: REDUCE.load(Relaxed),
+            transpose: TRANSPOSE.load(Relaxed),
+            assign: ASSIGN.load(Relaxed),
+            extract: EXTRACT.load(Relaxed),
+            kron: KRON.load(Relaxed),
         }
     }
 }
@@ -126,6 +172,21 @@ pub(crate) enum MxmKernel {
 pub(crate) enum MxvPath {
     Push,
     Pull,
+}
+
+/// Per-op invocation counters for the operations that have no
+/// kernel-choice counter of their own (the kernels parallelized in the
+/// pool-migration PR). Fed by [`crate::trace::op_span`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum OpTag {
+    Ewise,
+    Apply,
+    Select,
+    Reduce,
+    Transpose,
+    Assign,
+    Extract,
+    Kron,
 }
 
 macro_rules! record_fns {
@@ -195,6 +256,21 @@ record_fns! {
     fn record_assemble() {
         imp::ASSEMBLES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
+
+    /// Count an op invocation by tag.
+    fn record_op(tag: OpTag) {
+        use std::sync::atomic::Ordering::Relaxed;
+        match tag {
+            OpTag::Ewise => imp::EWISE.fetch_add(1, Relaxed),
+            OpTag::Apply => imp::APPLY.fetch_add(1, Relaxed),
+            OpTag::Select => imp::SELECT.fetch_add(1, Relaxed),
+            OpTag::Reduce => imp::REDUCE.fetch_add(1, Relaxed),
+            OpTag::Transpose => imp::TRANSPOSE.fetch_add(1, Relaxed),
+            OpTag::Assign => imp::ASSIGN.fetch_add(1, Relaxed),
+            OpTag::Extract => imp::EXTRACT.fetch_add(1, Relaxed),
+            OpTag::Kron => imp::KRON.fetch_add(1, Relaxed),
+        };
+    }
 }
 
 #[cfg(all(test, feature = "stats"))]
@@ -211,6 +287,8 @@ mod tests {
         add_flops(128);
         record_dispatch(4);
         record_dispatch(1);
+        record_op(OpTag::Ewise);
+        record_op(OpTag::Kron);
         let s = snapshot();
         assert!(s.mxm_dot > before.mxm_dot);
         assert!(s.mxv_pull > before.mxv_pull);
@@ -218,5 +296,7 @@ mod tests {
         assert!(s.par_calls > before.par_calls);
         assert!(s.chunks_spawned >= before.chunks_spawned + 4);
         assert!(s.seq_calls > before.seq_calls);
+        assert!(s.ewise > before.ewise);
+        assert!(s.kron > before.kron);
     }
 }

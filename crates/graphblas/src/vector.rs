@@ -106,6 +106,11 @@ impl<T: Scalar> VInner<T> {
         if !self.needs_assembly() {
             return;
         }
+        let _span = crate::trace::assemble_span(
+            crate::trace::Op::AssembleVector,
+            self.pending.len(),
+            self.nzombies,
+        );
         self.pending.sort_by_key(|&(i, _)| i);
         let mut pend = std::mem::take(&mut self.pending);
         pend.dedup_by(|later, earlier| {
