@@ -30,13 +30,47 @@ fn bench(c: &mut Criterion) {
             report_stats(&format!("mxv/{name}/{k}"));
         }
         // A traced auto run at this density: the span profile records
-        // which kernel the heuristic picked and its latency distribution.
+        // which kernel the cost model picked and its latency distribution
+        // (plus any mxv.mispredict instants).
         let q = frontier(n, k);
         profile_once(&format!("mxv/auto/{k}"), || {
             let mut w = Vector::<bool>::new(n).expect("w");
             mxv(&mut w, None, NOACC, &LOR_LAND, &a, &q, &Descriptor::default()).expect("mxv");
             w.nvals()
         });
+    }
+
+    // The BFS-shaped masked rows: frontier expansion under a complemented
+    // structural "visited" mask, where the masked scatter kernel filters
+    // in-kernel instead of deferring everything to the write rule.
+    let visited = frontier(n, n / 4);
+    for k in [4usize, 64, 512, n / 2] {
+        let q = frontier(n, k);
+        for (name, dir) in
+            [("push", Direction::Push), ("pull", Direction::Pull), ("auto", Direction::Auto)]
+        {
+            group.bench_with_input(
+                BenchmarkId::new(format!("masked_{name}"), k),
+                &(&a, &q, &visited),
+                |bencher, (a, q, visited)| {
+                    bencher.iter(|| {
+                        let mut w = Vector::<bool>::new(n).expect("w");
+                        mxv(
+                            &mut w,
+                            Some(visited),
+                            NOACC,
+                            &LOR_LAND,
+                            a,
+                            q,
+                            &Descriptor::new().direction(dir).complement().structural().replace(),
+                        )
+                        .expect("mxv");
+                        w.nvals()
+                    })
+                },
+            );
+            report_stats(&format!("mxv/masked_{name}/{k}"));
+        }
     }
     group.finish();
 }

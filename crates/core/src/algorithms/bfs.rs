@@ -24,9 +24,12 @@ pub fn bfs_level(graph: &Graph, source: Index) -> Result<Vector<i32>> {
     bfs_level_matrix(&a, source, Direction::Auto)
 }
 
-/// Level BFS with explicit direction control (Push / Pull / Auto). `Auto`
-/// reproduces GraphBLAST's threshold switching when the matrix has dual
-/// storage.
+/// Level BFS with explicit direction control (Push / Pull / Auto). When
+/// the matrix has dual storage, `Auto` switches per iteration between the
+/// scatter and dot kernels by comparing flops estimates under the
+/// measured `graphblas::cost` model — the direction-optimized traversal
+/// GraphBLAST popularized, with the crossover calibrated to the host
+/// instead of a fixed frontier-density ratio.
 pub fn bfs_level_direction(
     graph: &Graph,
     source: Index,

@@ -72,6 +72,11 @@ pub fn sssp_delta_stepping(graph: &Graph, source: Index, delta: f64) -> Result<V
         a,
         &Descriptor::default(),
     )?;
+    // Both split matrices are reused across every bucket's vxm loop; dual
+    // storage lets Direction::Auto's cost model pick pull when a bucket's
+    // frontier grows dense instead of being pinned to the natural push.
+    light.set_dual_storage(true);
+    heavy.set_dual_storage(true);
 
     let mut algo = trace::algo_span("sssp.delta_stepping");
     algo.arg("n", n);

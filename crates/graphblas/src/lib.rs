@@ -22,6 +22,7 @@
 //! operators throughout.
 
 pub mod binaryop;
+pub mod cost;
 pub mod descriptor;
 pub mod error;
 pub mod monoid;

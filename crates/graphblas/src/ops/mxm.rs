@@ -3,12 +3,16 @@
 //! row-wise saxpy method, a dot-product method (the masked variant is the
 //! triangle-counting workhorse), and a heap-based multi-way merge — each
 //! usable with masks, selected automatically or forced via
-//! [`MxmMethod`] in the descriptor.
+//! [`MxmMethod`] in the descriptor. `Auto` compares saturating flops
+//! estimates for the masked-dot and Gustavson paths under the measured
+//! [`crate::cost`] model (replacing the old `mask.nvals() <= 4 * out_rows`
+//! rule, which could overflow on hypersparse dimensions).
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::binaryop::BinaryOp;
+use crate::cost;
 use crate::descriptor::{Descriptor, MxmMethod};
 use crate::error::Result;
 use crate::matrix::{rows_of, Matrix};
@@ -17,6 +21,7 @@ use crate::parallel::par_chunks;
 use crate::semiring::Semiring;
 use crate::sparse::SparseView;
 use crate::types::{Index, Scalar};
+use crate::vector::{DenseAcc, Slot};
 
 use super::common::{check_dims, check_mmask, MMask};
 use super::ewise::EffView;
@@ -60,7 +65,17 @@ where
     let mview = mguard.as_ref().map(|g| rows_of(&**g));
     let meval = MMask::new(mview, desc);
 
-    let method = choose_method(desc, &meval, nr);
+    // Saturating flops estimates for the two auto candidates: Gustavson
+    // expands an average-degree row of B per A entry; the masked dot path
+    // computes one combined-degree dot per stored mask entry (only
+    // meaningful for a plain, non-complemented mask).
+    let a_nnz = av.nvals();
+    let b_nnz = gb.nvals_assembled();
+    let est_gustavson = cost::mxm_gustavson_flops(a_nnz, b_nnz, bm);
+    let est_dot = (meval.has_view() && !meval.is_complement())
+        .then(|| cost::mxm_dot_flops(meval.nvals(), a_nnz, nr, b_nnz, bn));
+
+    let method = choose_method(desc, est_dot, est_gustavson);
     span.kernel(match method {
         MxmMethod::Dot => crate::trace::Kernel::Dot,
         MxmMethod::Heap => crate::trace::Kernel::Heap,
@@ -69,10 +84,14 @@ where
     if span.on() {
         span.arg("nrows", nr);
         span.arg("ncols", nc);
-        span.arg("a_nnz", av.nvals());
-        span.arg("b_nnz", gb.nvals_assembled());
+        span.arg("a_nnz", a_nnz);
+        span.arg("b_nnz", b_nnz);
+        span.arg("est_gustavson", est_gustavson);
+        if let Some(d) = est_dot {
+            span.arg("est_dot", d);
+        }
     }
-    span.flops(av.nvals().saturating_mul(gb.nvals_assembled().max(1) / bm.max(1) + 1));
+    span.flops(est_gustavson);
 
     let vecs = match method {
         MxmMethod::Dot => {
@@ -97,17 +116,17 @@ where
     write_matrix(c, mask, accum, desc, vecs)
 }
 
-/// Pick a kernel: an explicit request wins; otherwise use the dot method
-/// exactly when a non-complemented mask restricts the output to roughly
-/// one entry per row or fewer (the regime where computing only the masked
-/// dots beats running Gustavson over everything); else Gustavson.
-fn choose_method(desc: &Descriptor, mask: &MMask<'_>, out_rows: usize) -> MxmMethod {
+/// Pick a kernel: an explicit request wins; otherwise compare the
+/// estimated cost of computing only the masked dots (`est_dot`, absent
+/// without a plain non-complemented mask) against running Gustavson over
+/// everything, each weighted by its measured per-flop rate.
+fn choose_method(desc: &Descriptor, est_dot: Option<usize>, est_gustavson: usize) -> MxmMethod {
     match desc.mxm_method {
         MxmMethod::Auto => {
-            if mask.has_view() && !mask.is_complement() && mask.nvals() <= 4 * out_rows {
-                MxmMethod::Dot
-            } else {
-                MxmMethod::Gustavson
+            let m = cost::model();
+            match est_dot {
+                Some(d) if m.pull_cost(d) < m.push_cost(est_gustavson) => MxmMethod::Dot,
+                _ => MxmMethod::Gustavson,
             }
         }
         m => m,
@@ -132,42 +151,38 @@ where
 {
     let majors = av.nonempty_majors();
     let ncols = bv.nminor();
-    let flops_estimate = av.nvals().saturating_mul(bv.nvals().max(1) / bv.nmajor().max(1) + 1);
+    let flops_estimate = cost::mxm_gustavson_flops(av.nvals(), bv.nvals(), bv.nmajor());
     let chunks = par_chunks(majors.len(), flops_estimate, |range| {
         let mut out = Vec::new();
         if ncols <= DENSE_ACC_LIMIT {
-            let mut acc = vec![T::zero(); ncols];
-            let mut stamp = vec![0u32; ncols];
-            let mut gen = 0u32;
-            let mut touched: Vec<Index> = Vec::new();
+            // Stamped accumulator shared across this chunk's rows; begin()
+            // makes per-row reset O(touched), and the stamp array itself is
+            // pooled per worker thread across kernel invocations.
+            let mut acc = DenseAcc::<T>::new(ncols);
             for &i in &majors[range] {
-                gen += 1;
-                touched.clear();
+                acc.begin();
                 let (aidx, aval) = av.vec(i);
                 for (&k, &aik) in aidx.iter().zip(aval) {
                     let (bidx, bval) = bv.vec(k);
                     for (&j, &bkj) in bidx.iter().zip(bval) {
                         let prod = mul.apply(aik, bkj);
-                        if stamp[j] == gen {
-                            acc[j] = add.apply(acc[j], prod);
-                        } else {
-                            stamp[j] = gen;
-                            acc[j] = prod;
-                            touched.push(j);
+                        match acc.slot(j) {
+                            Slot::Active => acc.set(j, add.apply(acc.value(j), prod)),
+                            _ => acc.insert(j, prod),
                         }
                     }
                 }
-                if touched.is_empty() {
+                if acc.touched().is_empty() {
                     continue;
                 }
-                touched.sort_unstable();
+                acc.sort_touched();
                 let rmask = mask.row(i);
-                let mut ridx = Vec::with_capacity(touched.len());
-                let mut rval = Vec::with_capacity(touched.len());
-                for &j in &touched {
+                let mut ridx = Vec::with_capacity(acc.touched().len());
+                let mut rval = Vec::with_capacity(acc.touched().len());
+                for &j in acc.touched() {
                     if rmask.allowed(j) {
                         ridx.push(j);
-                        rval.push(acc[j]);
+                        rval.push(acc.value(j));
                     }
                 }
                 if !ridx.is_empty() {
@@ -511,12 +526,20 @@ mod tests {
 
     #[test]
     fn auto_chooses_dot_under_sparse_mask() {
-        let mask = Matrix::from_tuples(100, 100, vec![(5, 7, true)], |_, b| b).expect("m");
-        let g = MMask::new(None, &Descriptor::default());
-        assert_eq!(choose_method(&Descriptor::default(), &g, 100), MxmMethod::Gustavson);
-        let gm = mask.read_rows();
-        let mv = crate::matrix::rows_of(&*gm);
-        let m = MMask::new(Some(mv), &Descriptor::default());
-        assert_eq!(choose_method(&Descriptor::default(), &m, 100), MxmMethod::Dot);
+        // No usable mask → no dot estimate → Gustavson, always.
+        assert_eq!(choose_method(&Descriptor::default(), None, 1_000_000), MxmMethod::Gustavson);
+        // The model's per-flop rates are clamped to [0.05, 1000] ns, so a
+        // 10-flop masked-dot plan beats a 10⁹-flop Gustavson plan (and vice
+        // versa) under *any* calibration.
+        assert_eq!(choose_method(&Descriptor::default(), Some(10), 1_000_000_000), MxmMethod::Dot);
+        assert_eq!(
+            choose_method(&Descriptor::default(), Some(1_000_000_000), 10),
+            MxmMethod::Gustavson
+        );
+        // An explicit method request always wins over the estimates.
+        assert_eq!(
+            choose_method(&Descriptor::new().method(MxmMethod::Heap), Some(10), 1_000_000_000),
+            MxmMethod::Heap
+        );
     }
 }

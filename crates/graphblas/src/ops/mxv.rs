@@ -7,35 +7,39 @@
 //!   row of the matrix against a dense view of the vector. Honors the
 //!   monoid's terminal value — the early-exit trick that makes pull BFS
 //!   fast. Parallelized over rows.
-//! * **push** ([`scatter`]): iterate the (sparse) vector's entries and
-//!   scatter the corresponding matrix rows into an accumulator. Work is
-//!   proportional to the frontier, not the dimension.
+//! * **push** ([`scatter`]): partition the (sparse) vector's entries
+//!   across the [`par_chunks`] pool; each chunk scatters its matrix rows
+//!   into a private stamped accumulator ([`DenseAcc`], or a tree for huge
+//!   dimensions), skipping mask-excluded positions and short-circuiting
+//!   terminal/ANY slots, and the per-chunk touched lists are k-way merged
+//!   in chunk order ([`merge_scatter_chunks`]). Work stays proportional
+//!   to the frontier, and both directions now scale with the pool.
 //!
 //! `mxv(A, u)` pulls naturally (rows of `A` are what CSR stores);
 //! `mxv(Aᵀ, u)` and `vxm(u, A)` push naturally. The *other* direction
 //! becomes available when the matrix keeps dual (transposed) storage —
-//! [`crate::Matrix::set_dual_storage`] — and `Direction::Auto` then
-//! switches on the vector's density exactly as GraphBLAST does.
+//! [`crate::Matrix::set_dual_storage`] — and `Direction::Auto` then picks
+//! the side whose flops estimate is cheaper under the measured
+//! [`crate::cost`] model (replacing GraphBLAST's fixed density ratio).
+//! The chosen direction plus estimated vs. actual flops land in the op
+//! span, and a `mxv.mispredict` instant fires when the estimate picked
+//! the slower side — mispredictions are visible in the Chrome trace.
 
 use crate::binaryop::BinaryOp;
+use crate::cost;
 use crate::descriptor::{Descriptor, Direction};
 use crate::error::Result;
 use crate::matrix::{dual_of, rows_of, Matrix};
 use crate::monoid::Monoid;
-use crate::parallel::par_chunks;
+use crate::parallel::{merge_scatter_chunks, par_chunks};
 use crate::semiring::Semiring;
 use crate::sparse::SparseView;
 use crate::trace;
 use crate::types::{Index, Scalar};
-use crate::vector::{VView, Vector};
+use crate::vector::{DenseAcc, Slot, VView, Vector};
 
 use super::common::{check_dims, check_vmask, DenseVec, VMask};
 use super::write::write_vector;
-
-/// Vector density (nvals × RATIO ≥ n) above which Auto prefers pull.
-/// GraphBLAST switches push→pull when the frontier crosses a threshold
-/// around n/10; we use the same order of magnitude.
-const PUSH_PULL_RATIO: usize = 10;
 
 /// `w⟨mask⟩ ⊙= A ⊕.⊗ u` (or `Aᵀ ⊕.⊗ u` with the transpose descriptor).
 pub fn mxv<A, U, T, SA, SM, Acc>(
@@ -142,6 +146,27 @@ where
     let u_nvals = gu.nvals_assembled();
     let uview = gu.view();
 
+    let mguard = mask.map(|m| m.read());
+    let meval = VMask::new(mguard.as_ref().map(|g| g.view()), desc);
+    let mask_nvals = mguard.as_ref().map(|g| g.nvals_assembled());
+
+    // Flops estimates for both directions (saturating — dimensions may sit
+    // near Index::MAX). Push expands an average-degree row per input entry;
+    // pull builds a dense input view (free if `u` already stores dense) and
+    // scans the considered rows — all of them, or just the stored mask
+    // entries for a non-complement mask — stopping each dot at the first
+    // hit under a terminal/ANY monoid.
+    let a_nnz = rows.nvals();
+    let est_push = cost::mxv_push_flops(u_nvals, a_nnz, n_in);
+    let rows_considered = match mask_nvals {
+        Some(m) if !desc.mask_complement => m.min(n_out),
+        _ => n_out,
+    };
+    let dense_build = if matches!(uview, VView::Sparse(..)) { n_in } else { 0 };
+    let early = add.terminal().is_some() || add.is_any();
+    let est_pull = cost::mxv_pull_flops(dense_build, rows_considered, a_nnz, n_out, early);
+    let push_wins = cost::model().push_wins(est_push, est_pull);
+
     // Natural kernel: pull for the row-output form, push for the
     // column-output form. The dual storage unlocks the other one. The
     // `Auto` heuristic only requests the non-natural orientation when the
@@ -152,30 +177,30 @@ where
         match desc.direction {
             Direction::Push => true,
             Direction::Pull => false,
-            Direction::Auto => !(dual.is_some() && u_nvals * PUSH_PULL_RATIO >= n_in),
+            Direction::Auto => dual.is_none() || push_wins,
         }
     } else {
         match desc.direction {
             Direction::Push => true,
             Direction::Pull => false,
-            Direction::Auto => dual.is_some() && u_nvals * PUSH_PULL_RATIO < n_in,
+            Direction::Auto => dual.is_some() && push_wins,
         }
     };
-
-    let mguard = mask.map(|m| m.read());
-    let meval = VMask::new(mguard.as_ref().map(|g| g.view()), desc);
 
     if span.on() {
         span.arg("nrows", ga.nrows);
         span.arg("ncols", ga.ncols);
-        span.arg("a_nnz", rows.nvals());
+        span.arg("a_nnz", a_nnz);
         span.arg("u_nnz", u_nvals);
+        span.arg("est_push", est_push);
+        span.arg("est_pull", est_pull);
     }
-    span.flops(rows.nvals().min(u_nvals.saturating_mul(n_out)));
-    let (t_idx, t_val) = if transposed {
+    let push_kernel =
+        if meval.is_transparent() { trace::Kernel::Push } else { trace::Kernel::PushMasked };
+    let (t_idx, t_val, actual) = if transposed {
         if want_push {
-            span.kernel(trace::Kernel::Push);
-            scatter(rows, uview, n_out, add, &f)
+            span.kernel(push_kernel);
+            scatter(rows, uview, n_out, add, &f, &meval)
         } else {
             match dual {
                 Some(dv) => {
@@ -184,15 +209,15 @@ where
                 }
                 None => {
                     span.kernel(trace::Kernel::PushFallback);
-                    scatter(rows, uview, n_out, add, &f)
+                    scatter(rows, uview, n_out, add, &f, &meval)
                 }
             }
         }
     } else if want_push {
         match dual {
             Some(dv) => {
-                span.kernel(trace::Kernel::Push);
-                scatter(dv, uview, n_out, add, &f)
+                span.kernel(push_kernel);
+                scatter(dv, uview, n_out, add, &f, &meval)
             }
             None => {
                 span.kernel(trace::Kernel::PullFallback);
@@ -203,6 +228,22 @@ where
         span.kernel(trace::Kernel::Pull);
         rowdot(rows, uview, n_in, add, &f, &meval)
     };
+    span.flops(actual);
+
+    // A misprediction is an *Auto* choice (with the alternative actually
+    // available) whose measured work, under the model, costs more than the
+    // estimate of the direction we turned down.
+    if desc.direction == Direction::Auto && dual.is_some() {
+        let m = cost::model();
+        let (chosen, est_chosen, est_other, mis) = if want_push {
+            ("push", est_push, est_pull, m.pull_cost(est_pull) < m.push_cost(actual))
+        } else {
+            ("pull", est_pull, est_push, m.push_cost(est_push) < m.pull_cost(actual))
+        };
+        if mis {
+            trace::mxv_mispredict(chosen, est_chosen, est_other, actual);
+        }
+    }
     drop(mguard);
     drop(gu);
     drop(ga);
@@ -211,7 +252,9 @@ where
 
 /// Pull kernel: `out(i) = ⊕ f(row_i(j), u(j))` over the intersection of
 /// row `i`'s pattern with `u`'s. Rows the mask excludes are skipped, and
-/// each dot product stops at the monoid's terminal value.
+/// each dot product stops at the monoid's terminal value. Returns the
+/// result lists plus the flops actually performed (products computed, plus
+/// the dense-view build when `u` arrived sparse) for misprediction checks.
 fn rowdot<A, U, T, SA, F>(
     mat: &dyn SparseView<A>,
     u: VView<'_, U>,
@@ -219,7 +262,7 @@ fn rowdot<A, U, T, SA, F>(
     add: &SA,
     f: &F,
     mask: &VMask<'_>,
-) -> (Vec<Index>, Vec<T>)
+) -> (Vec<Index>, Vec<T>, usize)
 where
     A: Scalar,
     U: Scalar,
@@ -227,6 +270,7 @@ where
     SA: Monoid<T>,
     F: Fn(A, U) -> T + Sync,
 {
+    let build_flops = if matches!(u, VView::Sparse(..)) { n_in } else { 0 };
     let dense = DenseVec::from_view(u, n_in);
     let (uval, upresent) = dense.parts();
     let majors = mat.nonempty_majors();
@@ -235,6 +279,7 @@ where
     let chunks = par_chunks(majors.len(), mat.nvals(), |range| {
         let mut idx = Vec::new();
         let mut val = Vec::new();
+        let mut flops = 0usize;
         for &i in &majors[range] {
             if !mask.allowed(i) {
                 continue;
@@ -246,6 +291,7 @@ where
                     continue;
                 }
                 let prod = f(av, uval[j]);
+                flops += 1;
                 acc = Some(match acc {
                     None => prod,
                     Some(cur) => add.apply(cur, prod),
@@ -259,24 +305,38 @@ where
                 val.push(v);
             }
         }
-        (idx, val)
+        (idx, val, flops)
     });
-    concat_chunks(chunks)
+    let (idx, val, flops) = concat_chunks(chunks);
+    (idx, val, flops.saturating_add(build_flops))
 }
 
-/// Push kernel: scatter matrix rows selected by `u`'s entries into a dense
-/// (or tree, for huge dimensions) accumulator.
+/// Push kernel: scatter matrix rows selected by `u`'s entries into dense
+/// (or tree, for huge dimensions) accumulators, in parallel.
 ///
-/// Stays sequential (no `par_chunks`): every scattered row writes into the
-/// same accumulator, so chunking would race, and push is chosen precisely
-/// when the frontier — and therefore the total work — is small.
+/// The frontier is partitioned across the [`par_chunks`] pool; each chunk
+/// owns a private [`DenseAcc`] sized to `n_out` (stamp arrays are pooled
+/// per worker thread, so only the first call pays the O(n) zero fill) and
+/// the per-chunk sorted touched lists are combined by
+/// [`merge_scatter_chunks`], which folds duplicate indices in ascending
+/// chunk order — the exact order the sequential loop would have used, so
+/// results are bitwise identical at every thread count.
+///
+/// Two skips keep the inner loop tight:
+/// * **mask**: a position the mask excludes is probed once, marked
+///   [`Slot::Blocked`], and never touched again — filtering happens here
+///   instead of deferring everything to `write_vector`;
+/// * **terminal/ANY**: a slot that has reached the monoid's terminal value
+///   (or any value, for ANY) absorbs later contributions without applying
+///   the operator — the scatter-side analogue of pull's early exit.
 fn scatter<A, U, T, SA, F>(
     mat: &dyn SparseView<A>,
     u: VView<'_, U>,
     n_out: Index,
     add: &SA,
     f: &F,
-) -> (Vec<Index>, Vec<T>)
+    mask: &VMask<'_>,
+) -> (Vec<Index>, Vec<T>, usize)
 where
     A: Scalar,
     U: Scalar,
@@ -285,48 +345,99 @@ where
     F: Fn(A, U) -> T + Sync,
 {
     const DENSE_ACC_LIMIT: usize = 1 << 26;
-    if n_out <= DENSE_ACC_LIMIT {
-        let mut val = vec![T::zero(); n_out];
-        let mut present = vec![false; n_out];
-        let mut touched: Vec<Index> = Vec::new();
-        u.for_each(|k, uk| {
-            let (ridx, rval) = mat.vec(k);
-            for (&j, &av) in ridx.iter().zip(rval) {
-                let prod = f(av, uk);
-                if present[j] {
-                    val[j] = add.apply(val[j], prod);
-                } else {
-                    val[j] = prod;
-                    present[j] = true;
-                    touched.push(j);
+    let mut entries: Vec<(Index, U)> = Vec::new();
+    u.for_each(|k, uk| entries.push((k, uk)));
+    let deg = (mat.nvals() / mat.nmajor().max(1)).max(1);
+    let est = entries.len().saturating_mul(deg);
+    let terminal = add.terminal();
+    let is_any = add.is_any();
+    let chunks = par_chunks(entries.len(), est, |range| {
+        let mut flops = 0usize;
+        if n_out <= DENSE_ACC_LIMIT {
+            let mut acc = DenseAcc::<T>::new(n_out);
+            for &(k, uk) in &entries[range] {
+                let (ridx, rval) = mat.vec(k);
+                for (&j, &av) in ridx.iter().zip(rval) {
+                    match acc.slot(j) {
+                        Slot::Blocked => {}
+                        Slot::Empty => {
+                            if mask.allowed(j) {
+                                flops += 1;
+                                acc.insert(j, f(av, uk));
+                            } else {
+                                acc.block(j);
+                            }
+                        }
+                        Slot::Active => {
+                            let cur = acc.value(j);
+                            if is_any || Some(cur) == terminal {
+                                continue;
+                            }
+                            flops += 1;
+                            acc.set(j, add.apply(cur, f(av, uk)));
+                        }
+                    }
                 }
             }
-        });
-        touched.sort_unstable();
-        let out_val = touched.iter().map(|&j| val[j]).collect();
-        (touched, out_val)
-    } else {
-        let mut acc = std::collections::BTreeMap::<Index, T>::new();
-        u.for_each(|k, uk| {
-            let (ridx, rval) = mat.vec(k);
-            for (&j, &av) in ridx.iter().zip(rval) {
-                let prod = f(av, uk);
-                acc.entry(j).and_modify(|cur| *cur = add.apply(*cur, prod)).or_insert(prod);
+            let (idx, val) = acc.drain_sorted();
+            (idx, val, flops)
+        } else {
+            // Tree accumulator for huge dimensions; `None` marks a probed,
+            // mask-blocked position.
+            use std::collections::btree_map::Entry;
+            let mut acc = std::collections::BTreeMap::<Index, Option<T>>::new();
+            for &(k, uk) in &entries[range] {
+                let (ridx, rval) = mat.vec(k);
+                for (&j, &av) in ridx.iter().zip(rval) {
+                    match acc.entry(j) {
+                        Entry::Vacant(e) => {
+                            if mask.allowed(j) {
+                                flops += 1;
+                                e.insert(Some(f(av, uk)));
+                            } else {
+                                e.insert(None);
+                            }
+                        }
+                        Entry::Occupied(mut e) => {
+                            if let Some(cur) = *e.get() {
+                                if is_any || Some(cur) == terminal {
+                                    continue;
+                                }
+                                flops += 1;
+                                e.insert(Some(add.apply(cur, f(av, uk))));
+                            }
+                        }
+                    }
+                }
             }
-        });
-        acc.into_iter().unzip()
-    }
+            let mut idx = Vec::with_capacity(acc.len());
+            let mut val = Vec::with_capacity(acc.len());
+            for (j, v) in acc {
+                if let Some(v) = v {
+                    idx.push(j);
+                    val.push(v);
+                }
+            }
+            (idx, val, flops)
+        }
+    });
+    let total_flops = chunks.iter().fold(0usize, |s, (_, _, fl)| s.saturating_add(*fl));
+    let parts: Vec<(Vec<Index>, Vec<T>)> = chunks.into_iter().map(|(i, v, _)| (i, v)).collect();
+    let (idx, val) = merge_scatter_chunks(parts, |a, b| add.apply(a, b));
+    (idx, val, total_flops)
 }
 
-fn concat_chunks<T>(chunks: Vec<(Vec<Index>, Vec<T>)>) -> (Vec<Index>, Vec<T>) {
-    let total: usize = chunks.iter().map(|(i, _)| i.len()).sum();
+fn concat_chunks<T>(chunks: Vec<(Vec<Index>, Vec<T>, usize)>) -> (Vec<Index>, Vec<T>, usize) {
+    let total: usize = chunks.iter().map(|(i, _, _)| i.len()).sum();
     let mut idx = Vec::with_capacity(total);
     let mut val = Vec::with_capacity(total);
-    for (ci, cv) in chunks {
+    let mut flops = 0usize;
+    for (ci, cv, fl) in chunks {
         idx.extend(ci);
         val.extend(cv);
+        flops = flops.saturating_add(fl);
     }
-    (idx, val)
+    (idx, val, flops)
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@
 
 use crate::monoid::{fold, Monoid};
 use crate::trace;
-use crate::types::Scalar;
+use crate::types::{Index, Scalar};
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex, OnceLock};
@@ -220,6 +220,58 @@ pub fn par_chunks<R: Send>(
         out.push(slot.into_inner().expect("slot lock").expect("worker completed its chunk"));
     }
     out
+}
+
+/// K-way merge of per-chunk scatter results: each chunk is a sorted
+/// (indices, values) pair produced from a disjoint slice of a partitioned
+/// input, and the same output index may appear in several chunks.
+/// Duplicates are combined **in chunk order** — ties on the index pop in
+/// ascending chunk number — which reproduces the sequential accumulation
+/// order for associative monoids, the same determinism argument
+/// [`par_reduce`] makes for reductions. For the ANY monoid (`combine`
+/// keeps its first operand) the first chunk's value wins, matching the
+/// sequential first-touch; a terminal value annihilates every later
+/// contribution through `combine` itself.
+pub fn merge_scatter_chunks<T: Copy>(
+    mut chunks: Vec<(Vec<Index>, Vec<T>)>,
+    mut combine: impl FnMut(T, T) -> T,
+) -> (Vec<Index>, Vec<T>) {
+    if chunks.len() <= 1 {
+        return chunks.pop().unwrap_or_default();
+    }
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let total: usize = chunks.iter().map(|(i, _)| i.len()).sum();
+    // Heap over (next index, chunk number): lexicographic order gives both
+    // the global index sort and the chunk-order tie break.
+    let mut heap: BinaryHeap<Reverse<(Index, usize)>> = BinaryHeap::with_capacity(chunks.len());
+    let mut cursor = vec![0usize; chunks.len()];
+    for (c, (ci, _)) in chunks.iter().enumerate() {
+        if let Some(&j0) = ci.first() {
+            heap.push(Reverse((j0, c)));
+        }
+    }
+    let mut out_idx: Vec<Index> = Vec::with_capacity(total);
+    let mut out_val: Vec<T> = Vec::with_capacity(total);
+    while let Some(Reverse((j, c))) = heap.pop() {
+        let p = cursor[c];
+        let v = chunks[c].1[p];
+        match out_idx.last() {
+            Some(&last) if last == j => {
+                let cur = *out_val.last().expect("value for last index");
+                *out_val.last_mut().expect("value for last index") = combine(cur, v);
+            }
+            _ => {
+                out_idx.push(j);
+                out_val.push(v);
+            }
+        }
+        cursor[c] = p + 1;
+        if let Some(&jn) = chunks[c].0.get(p + 1) {
+            heap.push(Reverse((jn, c)));
+        }
+    }
+    (out_idx, out_val)
 }
 
 /// Shared early-exit flag for [`par_reduce`] leaves: once set, chunks that
@@ -435,5 +487,43 @@ mod tests {
         assert_eq!(seq, par);
         assert_eq!(seq.0, Some(true));
         assert_eq!(seq.1, Some(1000));
+    }
+
+    #[test]
+    fn merge_scatter_handles_trivial_inputs() {
+        let empty: Vec<(Vec<Index>, Vec<i64>)> = Vec::new();
+        assert_eq!(merge_scatter_chunks(empty, |a, b| a + b), (vec![], vec![]));
+        let one = vec![(vec![1, 5], vec![10i64, 50])];
+        assert_eq!(merge_scatter_chunks(one, |a, b| a + b), (vec![1, 5], vec![10, 50]));
+    }
+
+    #[test]
+    fn merge_scatter_combines_overlaps_like_the_sequential_fold() {
+        // Three chunks with overlapping indices; the merged result must
+        // equal folding all entries in (index, chunk) order.
+        let chunks = vec![
+            (vec![0, 2, 7], vec![1i64, 20, 700]),
+            (vec![2, 3], vec![21i64, 30]),
+            (vec![0, 2, 9], vec![2i64, 22, 900]),
+        ];
+        let (idx, val) = merge_scatter_chunks(chunks, |a, b| a + b);
+        assert_eq!(idx, vec![0, 2, 3, 7, 9]);
+        assert_eq!(val, vec![1 + 2, 20 + 21 + 22, 30, 700, 900]);
+    }
+
+    #[test]
+    fn merge_scatter_ties_resolve_in_chunk_order() {
+        // A non-commutative combine exposes the fold order: ties on an
+        // index must pop in ascending chunk number, reproducing the order
+        // a sequential scatter over the concatenated chunks would use.
+        let chunks = vec![(vec![4], vec!["a"]), (vec![4], vec!["b"]), (vec![4], vec!["c"])];
+        let (idx, val) = merge_scatter_chunks(chunks, |a, b| {
+            // "first operand wins" models the ANY monoid; with chunk-order
+            // ties this keeps chunk 0's value, the sequential first touch.
+            let _ = b;
+            a
+        });
+        assert_eq!(idx, vec![4]);
+        assert_eq!(val, vec!["a"]);
     }
 }

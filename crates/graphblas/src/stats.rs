@@ -32,6 +32,9 @@ pub struct Snapshot {
     /// Products where the heuristic wanted the opposite orientation but
     /// dual storage was absent, so the natural kernel ran instead.
     pub mxv_dual_fallback: u64,
+    /// `Auto` products whose measured work priced higher than the cost
+    /// model's estimate for the direction it rejected.
+    pub mxv_mispredict: u64,
     /// Accumulated work estimate (order of flops) across kernels.
     pub flops_est: u64,
     /// `par_chunks`/`par_reduce` dispatches that went to the pool.
@@ -74,6 +77,7 @@ mod imp {
     pub(super) static MXV_PUSH: AtomicU64 = AtomicU64::new(0);
     pub(super) static MXV_PULL: AtomicU64 = AtomicU64::new(0);
     pub(super) static MXV_DUAL_FALLBACK: AtomicU64 = AtomicU64::new(0);
+    pub(super) static MXV_MISPREDICT: AtomicU64 = AtomicU64::new(0);
     pub(super) static FLOPS_EST: AtomicU64 = AtomicU64::new(0);
     pub(super) static PAR_CALLS: AtomicU64 = AtomicU64::new(0);
     pub(super) static SEQ_CALLS: AtomicU64 = AtomicU64::new(0);
@@ -89,13 +93,14 @@ mod imp {
     pub(super) static EXTRACT: AtomicU64 = AtomicU64::new(0);
     pub(super) static KRON: AtomicU64 = AtomicU64::new(0);
 
-    pub(super) static ALL: [&AtomicU64; 20] = [
+    pub(super) static ALL: [&AtomicU64; 21] = [
         &MXM_GUSTAVSON,
         &MXM_DOT,
         &MXM_HEAP,
         &MXV_PUSH,
         &MXV_PULL,
         &MXV_DUAL_FALLBACK,
+        &MXV_MISPREDICT,
         &FLOPS_EST,
         &PAR_CALLS,
         &SEQ_CALLS,
@@ -120,6 +125,7 @@ mod imp {
             mxv_push: MXV_PUSH.load(Relaxed),
             mxv_pull: MXV_PULL.load(Relaxed),
             mxv_dual_fallback: MXV_DUAL_FALLBACK.load(Relaxed),
+            mxv_mispredict: MXV_MISPREDICT.load(Relaxed),
             flops_est: FLOPS_EST.load(Relaxed),
             par_calls: PAR_CALLS.load(Relaxed),
             seq_calls: SEQ_CALLS.load(Relaxed),
@@ -228,6 +234,12 @@ record_fns! {
     /// storage was missing.
     fn record_mxv_dual_fallback() {
         imp::MXV_DUAL_FALLBACK.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Count an `Auto` product whose measured work priced higher than the
+    /// rejected direction's estimate.
+    fn record_mxv_mispredict() {
+        imp::MXV_MISPREDICT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Accumulate a kernel's work estimate (order of flops).

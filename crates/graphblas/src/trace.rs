@@ -339,10 +339,13 @@ pub(crate) enum Kernel {
     Dot,
     Heap,
     Push,
+    /// Push with a non-transparent mask: the scatter kernel filtered
+    /// masked-out positions itself instead of deferring to the write rule.
+    PushMasked,
     Pull,
-    /// Ran push because the heuristic's pull choice lacked dual storage.
+    /// Ran push because the cost model's pull choice lacked dual storage.
     PushFallback,
-    /// Ran pull because the heuristic's push choice lacked dual storage.
+    /// Ran pull because the cost model's push choice lacked dual storage.
     PullFallback,
 }
 
@@ -353,6 +356,7 @@ impl Kernel {
             Kernel::Dot => "dot",
             Kernel::Heap => "heap",
             Kernel::Push => "push",
+            Kernel::PushMasked => "push(masked)",
             Kernel::Pull => "pull",
             Kernel::PushFallback => "push(fallback)",
             Kernel::PullFallback => "pull(fallback)",
@@ -365,7 +369,7 @@ impl Kernel {
             Kernel::Gustavson => stats::record_mxm_kernel(MxmKernel::Gustavson),
             Kernel::Dot => stats::record_mxm_kernel(MxmKernel::Dot),
             Kernel::Heap => stats::record_mxm_kernel(MxmKernel::Heap),
-            Kernel::Push => stats::record_mxv_path(MxvPath::Push),
+            Kernel::Push | Kernel::PushMasked => stats::record_mxv_path(MxvPath::Push),
             Kernel::Pull => stats::record_mxv_path(MxvPath::Pull),
             Kernel::PushFallback => {
                 stats::record_mxv_dual_fallback();
@@ -547,6 +551,53 @@ pub(crate) fn early_exit() {
         dur_ns: 0,
         tid: tid(),
         args: Vec::new(),
+    });
+}
+
+/// Record a direction misprediction: after the kernel ran, the measured
+/// flop count priced higher than the cost model's estimate for the
+/// direction it rejected. Counted in stats; when tracing is on an instant
+/// event (tagged with the chosen kernel and both estimates) makes the
+/// mispredicted products visible in the Chrome trace.
+pub(crate) fn mxv_mispredict(
+    chosen: &'static str,
+    est_chosen: usize,
+    est_other: usize,
+    actual: usize,
+) {
+    stats::record_mxv_mispredict();
+    if !enabled() {
+        return;
+    }
+    push_event(Event {
+        name: "mxv.mispredict",
+        cat: Cat::Runtime,
+        kernel: Some(chosen),
+        t0_ns: epoch().elapsed().as_nanos() as u64,
+        dur_ns: 0,
+        tid: tid(),
+        args: vec![
+            ("est_chosen", ArgValue::U64(est_chosen as u64)),
+            ("est_other", ArgValue::U64(est_other as u64)),
+            ("actual", ArgValue::U64(actual as u64)),
+        ],
+    });
+}
+
+/// Record the cost model's calibrated per-flop constants (once per
+/// process) so traces show which numbers every direction choice used.
+pub(crate) fn cost_calibrated(push_ns: f64, pull_ns: f64) {
+    if !enabled() {
+        return;
+    }
+    push_event(Event {
+        name: "cost.calibrate",
+        cat: Cat::Runtime,
+        kernel: None,
+        t0_ns: epoch().elapsed().as_nanos() as u64,
+        dur_ns: 0,
+        tid: tid(),
+        args: vec![("push_ns", ArgValue::F64(push_ns)), ("pull_ns", ArgValue::F64(pull_ns))],
     });
 }
 

@@ -97,6 +97,141 @@ impl<'a, T: Scalar> VView<'a, T> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Dense scatter accumulator
+// ---------------------------------------------------------------------------
+
+/// State of one accumulator slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Slot {
+    /// Never touched this generation.
+    Empty,
+    /// Holds an accumulated value.
+    Active,
+    /// Known mask-excluded: probed once, skip all later contributions.
+    Blocked,
+}
+
+thread_local! {
+    /// Reusable stamp arrays (paired with the last generation they used),
+    /// so repeated scatter calls on one worker thread skip the O(n) zero
+    /// fill. Values arrays are *not* pooled — they are type-erased per call.
+    static STAMP_POOL: std::cell::RefCell<Vec<(Vec<u32>, u32)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+const STAMP_POOL_LIMIT: usize = 4;
+
+/// A stamped dense accumulator for scatter (saxpy) kernels.
+///
+/// Instead of clearing `n` slots per use, each slot carries a generation
+/// stamp: `stamp[j] == gen` means active, `gen + 1` means blocked by the
+/// mask, anything else means empty. Generations step by 2 so the blocked
+/// marker of one round can never alias the active marker of the next, and
+/// [`DenseAcc::begin`] makes per-row reuse (Gustavson) O(touched) instead
+/// of O(n). On drop the stamp array returns to a thread-local pool.
+pub(crate) struct DenseAcc<T> {
+    val: Vec<T>,
+    stamp: Vec<u32>,
+    gen: u32,
+    touched: Vec<Index>,
+}
+
+impl<T: Scalar> DenseAcc<T> {
+    pub fn new(n: usize) -> Self {
+        let (mut stamp, last_gen) =
+            STAMP_POOL.with(|p| p.borrow_mut().pop()).unwrap_or((Vec::new(), 0));
+        // Leave room for the blocked marker (gen + 1) and one begin() step
+        // before wrapping; on wrap, re-zero so stale stamps cannot collide.
+        let gen = if last_gen > u32::MAX - 4 {
+            stamp.clear();
+            2
+        } else {
+            last_gen + 2
+        };
+        stamp.resize(n, 0);
+        DenseAcc { val: vec![T::zero(); n], stamp, gen, touched: Vec::new() }
+    }
+
+    /// Start a fresh round over the same allocation (per-row reuse).
+    pub fn begin(&mut self) {
+        if self.gen > u32::MAX - 4 {
+            self.stamp.fill(0);
+            self.gen = 2;
+        } else {
+            self.gen += 2;
+        }
+        self.touched.clear();
+    }
+
+    #[inline]
+    pub fn slot(&self, j: Index) -> Slot {
+        let s = self.stamp[j];
+        if s == self.gen {
+            Slot::Active
+        } else if s == self.gen + 1 {
+            Slot::Blocked
+        } else {
+            Slot::Empty
+        }
+    }
+
+    /// First write to an empty slot.
+    #[inline]
+    pub fn insert(&mut self, j: Index, v: T) {
+        self.stamp[j] = self.gen;
+        self.val[j] = v;
+        self.touched.push(j);
+    }
+
+    /// Mark a slot mask-excluded for the rest of this round.
+    #[inline]
+    pub fn block(&mut self, j: Index) {
+        self.stamp[j] = self.gen + 1;
+    }
+
+    /// Value of an `Active` slot.
+    #[inline]
+    pub fn value(&self, j: Index) -> T {
+        self.val[j]
+    }
+
+    /// Overwrite an `Active` slot.
+    #[inline]
+    pub fn set(&mut self, j: Index, v: T) {
+        self.val[j] = v;
+    }
+
+    /// Indices inserted this round, in first-touch order.
+    pub fn touched(&self) -> &[Index] {
+        &self.touched
+    }
+
+    pub fn sort_touched(&mut self) {
+        self.touched.sort_unstable();
+    }
+
+    /// Consume this round: sorted indices plus their values.
+    pub fn drain_sorted(&mut self) -> (Vec<Index>, Vec<T>) {
+        self.touched.sort_unstable();
+        let idx = std::mem::take(&mut self.touched);
+        let val = idx.iter().map(|&j| self.val[j]).collect();
+        (idx, val)
+    }
+}
+
+impl<T> Drop for DenseAcc<T> {
+    fn drop(&mut self) {
+        let stamp = std::mem::take(&mut self.stamp);
+        let gen = self.gen;
+        STAMP_POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < STAMP_POOL_LIMIT {
+                pool.push((stamp, gen));
+            }
+        });
+    }
+}
+
 impl<T: Scalar> VInner<T> {
     fn needs_assembly(&self) -> bool {
         !self.pending.is_empty() || self.nzombies > 0

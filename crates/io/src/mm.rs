@@ -60,13 +60,28 @@ pub fn read_matrix_market<T: Scalar>(reader: impl BufRead) -> Result<Matrix<T>> 
             "skew-symmetric" => MmSymmetry::SkewSymmetric,
             other => return Err(parse_error(1, &format!("unsupported symmetry '{other}'"))),
         };
+        if field == MmField::Pattern && symmetry == MmSymmetry::SkewSymmetric {
+            // The spec defines skew symmetry by value negation, which a
+            // structure-only field cannot express.
+            return Err(parse_error(
+                1,
+                "'pattern skew-symmetric' is not a valid Matrix Market combination",
+            ));
+        }
         (field, symmetry)
     };
-    // Size line (skipping comments).
+    // Size line (skipping comments). The declared nnz is attacker
+    // controlled: cap the upfront reservation and let the vector grow
+    // organically past it, so a hostile count can't trigger a huge (or
+    // aborting) allocation before a single entry is validated.
+    const RESERVE_CAP: usize = 1 << 16;
     let mut dims: Option<(Index, Index, usize)> = None;
     let mut tuples: Vec<(Index, Index, T)> = Vec::new();
+    let mut seen = 0usize;
+    let mut last_lno = 1usize;
     for (lno, line) in lines {
         let line = line.map_err(|e| parse_error(lno + 1, &e.to_string()))?;
+        last_lno = lno + 1;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('%') {
             continue;
@@ -80,10 +95,21 @@ pub fn read_matrix_market<T: Scalar>(reader: impl BufRead) -> Result<Matrix<T>> 
                 let nr: Index = toks[0].parse().map_err(|_| parse_error(lno + 1, "bad nrows"))?;
                 let nc: Index = toks[1].parse().map_err(|_| parse_error(lno + 1, "bad ncols"))?;
                 let nnz: usize = toks[2].parse().map_err(|_| parse_error(lno + 1, "bad nnz"))?;
-                tuples.reserve(if symmetry == MmSymmetry::General { nnz } else { 2 * nnz });
+                let want =
+                    if symmetry == MmSymmetry::General { nnz } else { nnz.saturating_mul(2) };
+                tuples
+                    .try_reserve(want.min(RESERVE_CAP))
+                    .map_err(|_| parse_error(lno + 1, "entry count exceeds available memory"))?;
                 dims = Some((nr, nc, nnz));
             }
-            Some((nr, nc, _)) => {
+            Some((nr, nc, nnz)) => {
+                seen += 1;
+                if seen > nnz {
+                    return Err(parse_error(
+                        lno + 1,
+                        &format!("more entries than the {nnz} declared on the size line"),
+                    ));
+                }
                 let need = if field == MmField::Pattern { 2 } else { 3 };
                 if toks.len() < need {
                     return Err(parse_error(lno + 1, "entry line too short"));
@@ -94,6 +120,14 @@ pub fn read_matrix_market<T: Scalar>(reader: impl BufRead) -> Result<Matrix<T>> 
                     toks[1].parse().map_err(|_| parse_error(lno + 1, "bad col index"))?;
                 if i == 0 || j == 0 || i > nr || j > nc {
                     return Err(parse_error(lno + 1, "index out of range (1-based)"));
+                }
+                if i == j && symmetry == MmSymmetry::SkewSymmetric {
+                    // Skew symmetry forces A(i,i) = -A(i,i); an explicit
+                    // diagonal entry contradicts the header.
+                    return Err(parse_error(
+                        lno + 1,
+                        "skew-symmetric file must not store diagonal entries",
+                    ));
                 }
                 let v: f64 = if field == MmField::Pattern {
                     1.0
@@ -112,11 +146,34 @@ pub fn read_matrix_market<T: Scalar>(reader: impl BufRead) -> Result<Matrix<T>> 
             }
         }
     }
-    let (nr, nc, _) = dims.ok_or_else(|| parse_error(0, "missing size line"))?;
+    let (nr, nc, nnz) = dims.ok_or_else(|| parse_error(0, "missing size line"))?;
+    if seen != nnz {
+        return Err(parse_error(
+            last_lno,
+            &format!("file ends after {seen} entries but the size line declared {nnz}"),
+        ));
+    }
     Matrix::from_tuples(nr, nc, tuples, |_, b| b)
 }
 
+/// Format a `real` value so that parsing the text recovers the exact
+/// `f64`: integral values of moderate magnitude print as `N.0` (decimal,
+/// exact below 2⁵³), everything else uses Rust's shortest round-trip
+/// exponent form.
+fn fmt_real(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:e}")
+    }
+}
+
 /// Write a matrix in Matrix Market coordinate format (general symmetry).
+///
+/// The `integer` field refuses values the format cannot represent —
+/// non-finite, fractional, or outside the `i64` range — instead of
+/// silently truncating them; use `real` for those. `real` output is
+/// round-trip exact: reading it back recovers every `f64` bit-for-bit.
 pub fn write_matrix_market<T: Scalar>(
     m: &Matrix<T>,
     mut w: impl Write,
@@ -136,9 +193,19 @@ pub fn write_matrix_market<T: Scalar>(
         match field {
             MmField::Pattern => writeln!(w, "{} {}", i + 1, j + 1).map_err(io_err)?,
             MmField::Integer => {
-                writeln!(w, "{} {} {}", i + 1, j + 1, x.to_f64() as i64).map_err(io_err)?
+                let v = x.to_f64();
+                if !v.is_finite() || v.fract() != 0.0 || v < i64::MIN as f64 || v >= i64::MAX as f64
+                {
+                    return Err(Error::invalid(format!(
+                        "write_matrix_market: value {v} at ({i}, {j}) is not representable \
+                         in the integer field; use MmField::Real"
+                    )));
+                }
+                writeln!(w, "{} {} {}", i + 1, j + 1, v as i64).map_err(io_err)?
             }
-            MmField::Real => writeln!(w, "{} {} {}", i + 1, j + 1, x.to_f64()).map_err(io_err)?,
+            MmField::Real => {
+                writeln!(w, "{} {} {}", i + 1, j + 1, fmt_real(x.to_f64())).map_err(io_err)?
+            }
         }
     }
     Ok(())
@@ -233,5 +300,110 @@ mod tests {
 ";
         let m: Matrix<i32> = read_matrix_market(input.as_bytes()).expect("read");
         assert_eq!(m.get(0, 0), Some(7));
+    }
+
+    #[test]
+    fn hostile_nnz_is_not_preallocated() {
+        // A size line declaring usize::MAX entries must not abort (or OOM)
+        // on the upfront reservation; it fails on the entry-count check.
+        let input =
+            format!("%%MatrixMarket matrix coordinate real general\n3 3 {}\n1 1 1.0\n", usize::MAX);
+        let err = read_matrix_market::<f64>(input.as_bytes()).expect_err("must fail");
+        assert!(err.to_string().contains("declared"), "{err}");
+        // Same header with symmetric symmetry (the doubled reservation).
+        let input = format!(
+            "%%MatrixMarket matrix coordinate real symmetric\n3 3 {}\n2 1 1.0\n",
+            usize::MAX / 2
+        );
+        assert!(read_matrix_market::<f64>(input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn entry_count_mismatch_is_rejected() {
+        // Fewer entries than declared.
+        let short = "\
+%%MatrixMarket matrix coordinate real general
+3 3 3
+1 1 1.0
+2 2 2.0
+";
+        let err = read_matrix_market::<f64>(short.as_bytes()).expect_err("short file");
+        assert!(err.to_string().contains("declared 3"), "{err}");
+        // More entries than declared.
+        let long = "\
+%%MatrixMarket matrix coordinate real general
+3 3 1
+1 1 1.0
+2 2 2.0
+";
+        let err = read_matrix_market::<f64>(long.as_bytes()).expect_err("long file");
+        assert!(err.to_string().contains("more entries"), "{err}");
+    }
+
+    #[test]
+    fn skew_symmetric_rejects_explicit_diagonal() {
+        let input = "\
+%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 2
+2 1 3.0
+1 1 5.0
+";
+        let err = read_matrix_market::<f64>(input.as_bytes()).expect_err("diagonal");
+        assert!(err.to_string().contains("diagonal"), "{err}");
+    }
+
+    #[test]
+    fn pattern_skew_symmetric_header_is_rejected() {
+        let input = "\
+%%MatrixMarket matrix coordinate pattern skew-symmetric
+2 2 1
+2 1
+";
+        let err = read_matrix_market::<bool>(input.as_bytes()).expect_err("header");
+        assert!(err.to_string().contains("pattern skew-symmetric"), "{err}");
+    }
+
+    #[test]
+    fn integer_write_rejects_non_integral_values() {
+        // Previously `x.to_f64() as i64` silently truncated 1.5 to 1.
+        let m = Matrix::from_tuples(2, 2, vec![(0, 0, 1.5)], |_, b| b).expect("build");
+        let mut buf = Vec::new();
+        let err = write_matrix_market(&m, &mut buf, MmField::Integer).expect_err("non-integral");
+        assert!(err.to_string().contains("integer"), "{err}");
+        // Non-finite and out-of-range values are equally unrepresentable.
+        for bad in [f64::NAN, f64::INFINITY, 1e300] {
+            let m = Matrix::from_tuples(2, 2, vec![(0, 0, bad)], |_, b| b).expect("build");
+            assert!(write_matrix_market(&m, &mut Vec::new(), MmField::Integer).is_err(), "{bad}");
+        }
+        // Integral values still write, and as integers.
+        let m = Matrix::from_tuples(2, 2, vec![(0, 1, -3.0)], |_, b| b).expect("build");
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf, MmField::Integer).expect("integral");
+        assert!(String::from_utf8(buf).expect("utf8").contains("1 2 -3\n"));
+    }
+
+    #[test]
+    fn real_round_trip_is_exact() {
+        // Values chosen to break naive formatting: non-terminating binary
+        // fractions, subnormal-adjacent magnitudes, huge magnitudes.
+        let vals = [
+            0.1 + 0.2,
+            std::f64::consts::PI,
+            1e-300,
+            -1e300,
+            f64::MIN_POSITIVE,
+            1.0 / 3.0,
+            -2.5,
+            4.0,
+        ];
+        let tuples: Vec<(Index, Index, f64)> =
+            vals.iter().enumerate().map(|(k, &v)| (k, 0, v)).collect();
+        let m = Matrix::from_tuples(vals.len(), 1, tuples, |_, b| b).expect("build");
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf, MmField::Real).expect("write");
+        let back: Matrix<f64> = read_matrix_market(&buf[..]).expect("read");
+        for (orig, round) in m.extract_tuples().into_iter().zip(back.extract_tuples()) {
+            assert_eq!(orig.2.to_bits(), round.2.to_bits(), "{orig:?} vs {round:?}");
+        }
     }
 }

@@ -26,18 +26,33 @@ const N: usize = 16;
 /// concurrently-running test functions must not interleave their toggles.
 static GLOBALS: Mutex<()> = Mutex::new(());
 
+/// Run `f` under each of the given worker-thread counts, restore the
+/// defaults, and require every result to be identical to the first.
+fn assert_thread_equivalent_across<R: PartialEq + std::fmt::Debug>(
+    counts: &[usize],
+    f: impl Fn() -> R,
+) {
+    let _g = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+    set_par_threshold(1);
+    let mut first: Option<(usize, R)> = None;
+    for &nt in counts {
+        set_threads(nt);
+        let r = f();
+        match &first {
+            None => first = Some((nt, r)),
+            Some((n0, r0)) => {
+                assert_eq!(r0, &r, "result at {nt} threads differs from {n0} threads")
+            }
+        }
+    }
+    set_threads(0);
+    set_par_threshold(0);
+}
+
 /// Run `f` under 1 worker thread and under 8, restore the defaults, and
 /// require the two results to be identical.
 fn assert_thread_equivalent<R: PartialEq + std::fmt::Debug>(f: impl Fn() -> R) {
-    let _g = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
-    set_par_threshold(1);
-    set_threads(1);
-    let seq = f();
-    set_threads(8);
-    let par = f();
-    set_threads(0);
-    set_par_threshold(0);
-    assert_eq!(seq, par, "parallel result differs from sequential");
+    assert_thread_equivalent_across(&[1, 8], f);
 }
 
 fn mat(tuples: &[(usize, usize, i64)]) -> Matrix<i64> {
@@ -94,6 +109,72 @@ proptest! {
                     vxm(&mut t, None, NOACC, &PLUS_TIMES, &u, &a, &d).expect("vxm");
                     out.push((w.extract_tuples(), t.extract_tuples()));
                 }
+            }
+            out
+        });
+    }
+
+    #[test]
+    fn push_kernel_masked_and_unmasked(at in arb_mat_tuples(), ut in arb_vec_tuples(),
+                                       mt in arb_vec_tuples()) {
+        // The parallel scatter kernel: masked and unmasked, under a plain
+        // (PLUS) and a terminal (MIN) monoid, at 1, 2, and 8 threads. With
+        // dual storage both directions exist, so scatter must agree with
+        // rowdot bit-for-bit — the per-chunk accumulate + chunk-order merge
+        // reproduces the sequential fold exactly.
+        assert_thread_equivalent_across(&[1, 2, 8], || {
+            let u = vec_of(&ut);
+            let mask = vec_of(&mt).pattern();
+            let mut a = mat(&at);
+            a.set_dual_storage(true);
+            let mut per_dir = Vec::new();
+            for dir in [Direction::Push, Direction::Pull] {
+                let d = Descriptor::new().direction(dir);
+                let mut plain = Vector::<i64>::new(N).expect("w");
+                mxv(&mut plain, None, NOACC, &PLUS_TIMES, &a, &u, &d).expect("mxv");
+                let mut masked = Vector::<i64>::new(N).expect("w");
+                mxv(&mut masked, Some(&mask), NOACC, &PLUS_TIMES, &a, &u, &d)
+                    .expect("masked mxv");
+                // Terminal monoid (MIN annihilates at i64::MIN) under the
+                // BFS-style complemented structural replace mask.
+                let mut term = Vector::<i64>::new(N).expect("w");
+                mxv(&mut term, Some(&mask), NOACC, &MIN_PLUS, &a, &u,
+                    &Descriptor::new().direction(dir).complement().structural().replace())
+                    .expect("terminal mxv");
+                let mut push_nat = Vector::<i64>::new(N).expect("w");
+                vxm(&mut push_nat, Some(&mask), NOACC, &PLUS_TIMES, &u, &a, &d)
+                    .expect("masked vxm");
+                per_dir.push((plain.extract_tuples(), masked.extract_tuples(),
+                              term.extract_tuples(), push_nat.extract_tuples()));
+            }
+            assert_eq!(per_dir[0], per_dir[1], "push must agree with pull");
+            per_dir
+        });
+    }
+
+    #[test]
+    fn auto_direction_matches_explicit(at in arb_mat_tuples(), ut in arb_vec_tuples()) {
+        // Direction::Auto (the cost model's choice) must be semantically
+        // invisible: identical results to both explicit hints, with and
+        // without dual storage, at every thread count.
+        assert_thread_equivalent_across(&[1, 2, 8], || {
+            let u = vec_of(&ut);
+            let mut out = Vec::new();
+            for with_dual in [false, true] {
+                let mut a = mat(&at);
+                a.set_dual_storage(with_dual);
+                let mut results = Vec::new();
+                for dir in [Direction::Auto, Direction::Push, Direction::Pull] {
+                    let d = Descriptor::new().direction(dir);
+                    let mut w = Vector::<i64>::new(N).expect("w");
+                    mxv(&mut w, None, NOACC, &PLUS_TIMES, &a, &u, &d).expect("mxv");
+                    let mut t = Vector::<i64>::new(N).expect("t");
+                    vxm(&mut t, None, NOACC, &MIN_PLUS, &u, &a, &d).expect("vxm");
+                    results.push((w.extract_tuples(), t.extract_tuples()));
+                }
+                assert_eq!(results[0], results[1], "Auto != Push (dual={with_dual})");
+                assert_eq!(results[0], results[2], "Auto != Pull (dual={with_dual})");
+                out.push(results.swap_remove(0));
             }
             out
         });
