@@ -1,0 +1,141 @@
+//! Experiment S1: query latency under sustained update churn.
+//!
+//! The serving claim behind `lagraph::service` is that snapshot isolation
+//! makes read latency *independent of write load*: queries run against an
+//! immutable epoch while the drainer absorbs the stream through pending
+//! tuples and zombies. This bench measures it directly — BFS, PageRank
+//! and triangle-count latency percentiles on a quiescent service, then
+//! again with writer threads saturating the update log — and reports
+//! p50/p95/p99 side by side plus drainer throughput.
+//!
+//! Custom harness (criterion's model fits closed-loop microbenches, not
+//! an open system with background threads). `SERVICE_CHURN_SECS` bounds
+//! each measured phase; CI smoke sets it to 1.
+
+use lagraph::service::{GraphService, ServiceConfig};
+use lagraph::{bfs_level, pagerank, triangle_count, PageRankOptions, TriCountMethod};
+use lagraph_bench::rmat_graph;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn report(label: &str, query: &str, samples: &mut [Duration]) {
+    samples.sort();
+    println!(
+        "{label:<9} {query:<10} n={:<5} p50={:>9.3?} p95={:>9.3?} p99={:>9.3?} max={:>9.3?}",
+        samples.len(),
+        percentile(samples, 0.50),
+        percentile(samples, 0.95),
+        percentile(samples, 0.99),
+        samples.last().copied().unwrap_or_default(),
+    );
+}
+
+/// Run each query in a closed loop for `secs`, returning per-query
+/// latency samples.
+fn measure(service: &GraphService, secs: u64) -> [Vec<Duration>; 3] {
+    let mut out = [Vec::new(), Vec::new(), Vec::new()];
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    let mut source = 0usize;
+    while Instant::now() < deadline {
+        let snap = service.snapshot();
+        let g = snap.graph();
+        let n = g.nvertices();
+
+        let t = Instant::now();
+        bfs_level(g, source % n).expect("bfs");
+        out[0].push(t.elapsed());
+
+        let t = Instant::now();
+        pagerank(g, &PageRankOptions { max_iters: 10, ..PageRankOptions::default() })
+            .expect("pagerank");
+        out[1].push(t.elapsed());
+
+        let t = Instant::now();
+        triangle_count(g, TriCountMethod::Sandia).expect("tricount");
+        out[2].push(t.elapsed());
+
+        source = source.wrapping_add(17);
+    }
+    out
+}
+
+fn main() {
+    let secs: u64 =
+        std::env::var("SERVICE_CHURN_SECS").ok().and_then(|v| v.parse().ok()).unwrap_or(4);
+    let scale = 12; // 4096 vertices, ~64k edges: big enough to make
+                    // assembly and queries non-trivial, small enough for CI
+    let graph = rmat_graph(scale, 16, 42);
+    let n = graph.nvertices();
+    println!("service_churn: rmat scale={scale} n={n} e={} phase={secs}s", graph.nedges());
+
+    let service = Arc::new(GraphService::new(graph, ServiceConfig::default()).expect("service"));
+
+    // Phase 1: quiescent baseline.
+    let mut base = measure(&service, secs);
+    for (q, s) in ["bfs", "pagerank", "tricount"].iter().zip(base.iter_mut()) {
+        report("baseline", q, s);
+    }
+
+    // Phase 2: the same closed loop with writers saturating the log.
+    let stop = Arc::new(AtomicBool::new(false));
+    let writes = Arc::new(AtomicU64::new(0));
+    let writers: Vec<_> = (0..4)
+        .map(|t| {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            let writes = Arc::clone(&writes);
+            std::thread::spawn(move || {
+                let mut state = (t as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+                let mut local = 0u64;
+                while !stop.load(Relaxed) {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let i = state as usize % n;
+                    let j = (state >> 32) as usize % n;
+                    let r = if state.is_multiple_of(8) {
+                        service.delete_edge(i, j)
+                    } else {
+                        service.insert_edge(i, j, 1.0)
+                    };
+                    if r.is_ok() {
+                        local += 1;
+                    }
+                }
+                writes.fetch_add(local, Relaxed);
+            })
+        })
+        .collect();
+
+    let churn_start = Instant::now();
+    let epoch0 = service.snapshot().epoch();
+    let mut churn = measure(&service, secs);
+    let wall = churn_start.elapsed();
+    stop.store(true, Relaxed);
+    for w in writers {
+        w.join().expect("writer");
+    }
+    for (q, s) in ["bfs", "pagerank", "tricount"].iter().zip(churn.iter_mut()) {
+        report("churn", q, s);
+    }
+
+    let stats = service.stats();
+    let epochs = stats.epoch - epoch0;
+    println!(
+        "churn load: {} updates accepted ({:.0}/s), {} epochs ({:.1}/s), queue depth {} at end",
+        writes.load(Relaxed),
+        writes.load(Relaxed) as f64 / wall.as_secs_f64(),
+        epochs,
+        epochs as f64 / wall.as_secs_f64(),
+        stats.queue_depth,
+    );
+}

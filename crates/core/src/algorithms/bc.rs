@@ -13,7 +13,7 @@ use crate::graph::Graph;
 /// paths that start at the given `sources`. Passing all vertices yields
 /// exact BC (up to the constant factor conventions of Brandes).
 pub fn betweenness_centrality(graph: &Graph, sources: &[Index]) -> Result<Vector<f64>> {
-    let s = graph.structure();
+    let s = graph.structure()?;
     let n = s.nrows();
     for &src in sources {
         if src >= n {

@@ -20,7 +20,7 @@ use crate::graph::Graph;
 /// `levels(v) = depth` with the source at depth 1; unreached vertices have
 /// no entry.
 pub fn bfs_level(graph: &Graph, source: Index) -> Result<Vector<i32>> {
-    let a = graph.structure();
+    let a = graph.structure()?;
     bfs_level_matrix(&a, source, Direction::Auto)
 }
 
@@ -35,7 +35,7 @@ pub fn bfs_level_direction(
     source: Index,
     direction: Direction,
 ) -> Result<Vector<i32>> {
-    let a = graph.structure();
+    let a = graph.structure()?;
     bfs_level_matrix(&a, source, direction)
 }
 
@@ -96,7 +96,7 @@ pub fn bfs_level_matrix(
 /// semiring so any discovering neighbor may win — with deterministic
 /// tie-breaking in this implementation (the first in row order).
 pub fn bfs_parent(graph: &Graph, source: Index) -> Result<Vector<u64>> {
-    let a = graph.structure();
+    let a = graph.structure()?;
     let n = a.nrows();
     if source >= n {
         return Err(Error::oob(source, n));

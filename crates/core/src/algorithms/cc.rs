@@ -12,7 +12,7 @@ use crate::graph::Graph;
 /// Connected components of an undirected graph: returns `comp(v)` = the
 /// smallest vertex id in `v`'s component.
 pub fn connected_components(graph: &Graph) -> Result<Vector<u64>> {
-    let s = graph.structure();
+    let s = graph.structure()?;
     let a: &Matrix<bool> = &s;
     let n = a.nrows();
     // f(v) starts as v itself.

@@ -13,7 +13,7 @@ use crate::utils::SplitMix64;
 /// such that no edge connects two vertices of the same color, and the
 /// number of colors `k` used. Deterministic for a fixed seed.
 pub fn greedy_color(graph: &Graph, seed: u64) -> Result<(Vector<i32>, i32)> {
-    let s = graph.structure();
+    let s = graph.structure()?;
     let a: &Matrix<bool> = &s;
     let n = a.nrows();
     let mut rng = SplitMix64::new(seed);

@@ -10,7 +10,7 @@ use crate::graph::Graph;
 /// The k-core of an undirected graph: returns the Boolean membership
 /// vector of vertices in the k-core (possibly empty).
 pub fn kcore(graph: &Graph, k: i64) -> Result<Vector<bool>> {
-    let s = graph.structure();
+    let s = graph.structure()?;
     let a: &Matrix<bool> = &s;
     let n = a.nrows();
     // alive: current candidate set; degrees restricted to alive vertices.

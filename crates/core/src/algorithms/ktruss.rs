@@ -16,7 +16,7 @@ pub fn ktruss(graph: &Graph, k: u64) -> Result<Matrix<u64>> {
     if k < 3 {
         return Err(Error::invalid("k-truss requires k >= 3"));
     }
-    let s = graph.structure();
+    let s = graph.structure()?;
     let n = s.nrows();
     // C: the current candidate edge set, with support values.
     let mut c = Matrix::<u64>::new(n, n)?;

@@ -36,7 +36,7 @@ pub fn approximate_ppr(
     if seed >= n {
         return Err(Error::oob(seed, n));
     }
-    let degree = graph.out_degree();
+    let degree = graph.out_degree()?;
     let deg = |v: Index| degree.get(v).unwrap_or(0) as f64;
     let mut p = Vector::<f64>::new(n)?;
     let mut r = Vector::<f64>::new(n)?;
@@ -103,7 +103,7 @@ pub fn conductance(graph: &Graph, members: &[Index]) -> Result<f64> {
         indicator.set_element(v, true)?;
     }
     // Edges leaving S: for each member, count neighbors outside S.
-    let degree = graph.out_degree();
+    let degree = graph.out_degree()?;
     let mut vol = 0.0;
     let mut internal = 0.0;
     // inside(v) = number of v's neighbors inside S = (A x_S)(v).
@@ -138,7 +138,7 @@ pub fn local_cluster(
     opts: &LocalClusterOptions,
 ) -> Result<(Vec<Index>, f64)> {
     let p = approximate_ppr(graph, seed, opts)?;
-    let degree = graph.out_degree();
+    let degree = graph.out_degree()?;
     // Order by degree-normalized rank.
     let mut order: Vec<(Index, f64)> =
         p.iter().map(|(v, x)| (v, x / (degree.get(v).unwrap_or(0).max(1) as f64))).collect();

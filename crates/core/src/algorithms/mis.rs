@@ -13,7 +13,7 @@ use crate::utils::SplitMix64;
 /// Compute a maximal independent set. Returns a Boolean vector with
 /// `true` at the members. Deterministic for a fixed `seed`.
 pub fn maximal_independent_set(graph: &Graph, seed: u64) -> Result<Vector<bool>> {
-    let s = graph.structure();
+    let s = graph.structure()?;
     let a: &Matrix<bool> = &s;
     let n = a.nrows();
     let mut rng = SplitMix64::new(seed);
@@ -76,7 +76,7 @@ pub fn maximal_independent_set(graph: &Graph, seed: u64) -> Result<Vector<bool>>
 /// Verify the MIS properties: independence (no two members adjacent) and
 /// maximality (every non-member has a member neighbor).
 pub fn verify_mis(graph: &Graph, iset: &Vector<bool>) -> Result<bool> {
-    let s = graph.structure();
+    let s = graph.structure()?;
     let a: &Matrix<bool> = &s;
     let n = a.nrows();
     // members' neighborhoods

@@ -27,13 +27,13 @@ impl Default for PageRankOptions {
 
 /// PageRank scores (summing to 1), plus the number of iterations run.
 pub fn pagerank(graph: &Graph, opts: &PageRankOptions) -> Result<(Vector<f64>, usize)> {
-    let at = graph.at(); // pull ranks along in-edges: r' = Aᵀ (r/d)
+    let at = graph.at()?; // pull ranks along in-edges: r' = Aᵀ (r/d)
     let n = graph.nvertices();
     let nf = n as f64;
     let damping = opts.damping;
 
     // Out-degrees as f64; dangling vertices have no entry.
-    let degree = graph.out_degree();
+    let degree = graph.out_degree()?;
     let mut dinv = Vector::<f64>::new(n)?;
     apply(&mut dinv, None, NOACC, |d: i64| 1.0 / d as f64, &degree, &Descriptor::default())?;
 

@@ -62,7 +62,7 @@ fn reach(
 /// Strongly connected components of a directed graph: `scc(v)` = the
 /// smallest vertex id in `v`'s SCC.
 pub fn strongly_connected_components(graph: &Graph) -> Result<Vector<u64>> {
-    let s = graph.structure();
+    let s = graph.structure()?;
     let a: &Matrix<bool> = &s;
     let at = {
         let mut t = Matrix::<bool>::new(a.nrows(), a.ncols())?;

@@ -26,11 +26,11 @@ pub struct SubgraphCounts {
 /// Count wedges, triangles, 4-cycles, and 3-paths of an undirected,
 /// loop-free graph.
 pub fn subgraph_counts(graph: &Graph) -> Result<SubgraphCounts> {
-    let s = graph.structure();
+    let s = graph.structure()?;
     let a: &Matrix<bool> = &s;
     let n = a.nrows();
     let m = (a.nvals() / 2) as u64; // undirected edge count
-    let degree = graph.out_degree();
+    let degree = graph.out_degree()?;
 
     // Wedges: Σ_v d(v)(d(v)-1)/2.
     let wedges: u64 = degree

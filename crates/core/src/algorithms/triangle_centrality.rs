@@ -15,7 +15,7 @@ use crate::graph::Graph;
 /// Triangle centrality of every vertex. Returns the centrality vector
 /// (empty if the graph has no triangles) plus the triangle count.
 pub fn triangle_centrality(graph: &Graph) -> Result<(Vector<f64>, u64)> {
-    let s = graph.structure();
+    let s = graph.structure()?;
     let a: &Matrix<bool> = &s;
     let n = a.nrows();
     // Per-vertex triangle counts t(v), and the triangle-edge matrix

@@ -23,7 +23,7 @@ pub enum TriCountMethod {
 
 /// Count the triangles of an undirected graph.
 pub fn triangle_count(graph: &Graph, method: TriCountMethod) -> Result<u64> {
-    let s = graph.structure();
+    let s = graph.structure()?;
     let a: &Matrix<bool> = &s;
     let n = a.nrows();
     let mut algo = trace::algo_span("tricount");
@@ -72,7 +72,7 @@ pub fn triangle_count(graph: &Graph, method: TriCountMethod) -> Result<u64> {
 /// Per-vertex triangle counts: `t(v)` = number of triangles through `v`
 /// (the diagonal of `A³ / 2`, computed as row sums of `(A ⊕.pair A) .* A`).
 pub fn triangle_count_per_vertex(graph: &Graph) -> Result<Vector<u64>> {
-    let s = graph.structure();
+    let s = graph.structure()?;
     let a: &Matrix<bool> = &s;
     let n = a.nrows();
     let mut c = Matrix::<u64>::new(n, n)?;

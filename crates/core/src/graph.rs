@@ -29,11 +29,36 @@ struct Cached {
 }
 
 /// A graph: adjacency matrix, kind, and lazily cached properties.
+///
+/// # Cached properties
+///
+/// The transpose, Boolean structure, degree vectors, and self-edge count
+/// are computed on first use and memoized behind a lock, so a graph can
+/// flow through a pipeline of algorithms without recomputing them:
+///
+/// ```
+/// use lagraph::{Graph, GraphKind};
+///
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], GraphKind::Directed)?;
+/// let at = g.at()?;                       // computes Aᵀ, caches it
+/// assert!(std::sync::Arc::ptr_eq(&at, &g.at()?)); // second call: cache hit
+/// assert_eq!(g.out_degree()?.get(0), Some(1));
+/// assert_eq!(g.in_degree()?.get(0), None); // vertex 0 has no in-edges
+/// # Ok::<(), graphblas::Error>(())
+/// ```
+///
+/// The getters are fallible: a cache miss runs real GraphBLAS operations
+/// (transpose, reduce), and any error propagates to the caller instead of
+/// panicking while the cache lock is held.
 pub struct Graph {
     /// The adjacency matrix; `A(i, j)` is the weight of edge `i → j`.
     a: Matrix<f64>,
     kind: GraphKind,
     cache: Mutex<Cached>,
+    /// Monotone modification tag: bumped whenever the adjacency (and so
+    /// every cached property) changes. The service layer stamps each
+    /// published snapshot with its epoch.
+    epoch: u64,
 }
 
 impl Graph {
@@ -46,7 +71,7 @@ impl Graph {
                 a.ncols()
             )));
         }
-        Ok(Graph { a, kind, cache: Mutex::new(Cached::default()) })
+        Ok(Graph { a, kind, cache: Mutex::new(Cached::default()), epoch: 0 })
     }
 
     /// Build an unweighted graph from an edge list (weights set to 1).
@@ -102,86 +127,78 @@ impl Graph {
 
     /// The cached transpose `Aᵀ` (the matrix itself for undirected
     /// graphs would be equal; we still materialize it so algorithms can
-    /// rely on row access to in-edges).
-    pub fn at(&self) -> Arc<Matrix<f64>> {
+    /// rely on row access to in-edges). Errors from the underlying
+    /// transpose propagate instead of panicking under the cache lock.
+    pub fn at(&self) -> Result<Arc<Matrix<f64>>> {
         let mut c = self.cache.lock();
-        c.at.get_or_insert_with(|| Arc::new(transpose_new(&self.a).expect("square transpose")))
-            .clone()
+        if let Some(at) = &c.at {
+            return Ok(at.clone());
+        }
+        let at = Arc::new(transpose_new(&self.a)?);
+        c.at = Some(at.clone());
+        Ok(at)
     }
 
     /// The cached Boolean structure of `A`, with dual (push/pull) storage
     /// enabled so traversals can choose direction freely.
-    pub fn structure(&self) -> Arc<Matrix<bool>> {
+    pub fn structure(&self) -> Result<Arc<Matrix<bool>>> {
         let mut c = self.cache.lock();
-        c.structure
-            .get_or_insert_with(|| {
-                let mut s = self.a.pattern();
-                s.set_dual_storage(true);
-                Arc::new(s)
-            })
-            .clone()
+        if let Some(st) = &c.structure {
+            return Ok(st.clone());
+        }
+        let mut st = self.a.pattern();
+        st.set_dual_storage(true);
+        let st = Arc::new(st);
+        c.structure = Some(st.clone());
+        Ok(st)
+    }
+
+    /// Degrees along one axis: count entries per row (out) or per column
+    /// (in) of the pattern.
+    fn degree(&self, transpose: bool) -> Result<Arc<Vector<i64>>> {
+        let ones = self.a.pattern();
+        let mut d = Vector::<i64>::new(self.nvertices())?;
+        let mut counts = Matrix::<i64>::new(self.nvertices(), self.nvertices())?;
+        apply_matrix(&mut counts, None, NOACC, unaryop::One, &ones, &Descriptor::default())?;
+        let desc = if transpose { Descriptor::new().transpose_a() } else { Descriptor::default() };
+        reduce_matrix(&mut d, None, NOACC, &binaryop::Plus, &counts, &desc)?;
+        Ok(Arc::new(d))
     }
 
     /// Cached out-degrees (row degrees) as an `i64` vector; vertices with
     /// no out-edges have no entry.
-    pub fn out_degree(&self) -> Arc<Vector<i64>> {
+    pub fn out_degree(&self) -> Result<Arc<Vector<i64>>> {
         let mut c = self.cache.lock();
-        c.out_degree
-            .get_or_insert_with(|| {
-                let ones = self.a.pattern();
-                let mut d = Vector::<i64>::new(self.nvertices()).expect("n >= 1");
-                let mut counts =
-                    Matrix::<i64>::new(self.nvertices(), self.nvertices()).expect("dims");
-                apply_matrix(&mut counts, None, NOACC, unaryop::One, &ones, &Descriptor::default())
-                    .expect("pattern count");
-                reduce_matrix(
-                    &mut d,
-                    None,
-                    NOACC,
-                    &binaryop::Plus,
-                    &counts,
-                    &Descriptor::default(),
-                )
-                .expect("row reduce");
-                Arc::new(d)
-            })
-            .clone()
+        if let Some(d) = &c.out_degree {
+            return Ok(d.clone());
+        }
+        let d = self.degree(false)?;
+        c.out_degree = Some(d.clone());
+        Ok(d)
     }
 
     /// Cached in-degrees (column degrees).
-    pub fn in_degree(&self) -> Arc<Vector<i64>> {
+    pub fn in_degree(&self) -> Result<Arc<Vector<i64>>> {
         let mut c = self.cache.lock();
-        c.in_degree
-            .get_or_insert_with(|| {
-                let ones = self.a.pattern();
-                let mut d = Vector::<i64>::new(self.nvertices()).expect("n >= 1");
-                let mut counts =
-                    Matrix::<i64>::new(self.nvertices(), self.nvertices()).expect("dims");
-                apply_matrix(&mut counts, None, NOACC, unaryop::One, &ones, &Descriptor::default())
-                    .expect("pattern count");
-                reduce_matrix(
-                    &mut d,
-                    None,
-                    NOACC,
-                    &binaryop::Plus,
-                    &counts,
-                    &Descriptor::new().transpose_a(),
-                )
-                .expect("col reduce");
-                Arc::new(d)
-            })
-            .clone()
+        if let Some(d) = &c.in_degree {
+            return Ok(d.clone());
+        }
+        let d = self.degree(true)?;
+        c.in_degree = Some(d.clone());
+        Ok(d)
     }
 
     /// Number of self-loops, cached.
-    pub fn nself_edges(&self) -> usize {
+    pub fn nself_edges(&self) -> Result<usize> {
         let mut c = self.cache.lock();
-        *c.nself_edges.get_or_insert_with(|| {
-            let mut d = Matrix::<f64>::new(self.nvertices(), self.nvertices()).expect("dims");
-            select_matrix(&mut d, None, NOACC, unaryop::Diag, &self.a, &Descriptor::default())
-                .expect("diag select");
-            d.nvals()
-        })
+        if let Some(n) = c.nself_edges {
+            return Ok(n);
+        }
+        let mut d = Matrix::<f64>::new(self.nvertices(), self.nvertices())?;
+        select_matrix(&mut d, None, NOACC, unaryop::Diag, &self.a, &Descriptor::default())?;
+        let n = d.nvals();
+        c.nself_edges = Some(n);
+        Ok(n)
     }
 
     /// Remove self-loops, invalidating caches.
@@ -196,8 +213,30 @@ impl Graph {
             &Descriptor::default(),
         )?;
         self.a = cleaned;
-        self.cache = Mutex::new(Cached::default());
+        self.invalidate_caches();
         Ok(())
+    }
+
+    /// Drop every cached property and bump the [`Graph::epoch`]. Called
+    /// after any mutation of the adjacency; public so owners that mutate
+    /// the matrix through its interior-mutability entry points (or replace
+    /// it wholesale) can keep the caches coherent.
+    pub fn invalidate_caches(&mut self) {
+        *self.cache.get_mut() = Cached::default();
+        self.epoch += 1;
+    }
+
+    /// The graph's modification epoch: 0 at construction, bumped by every
+    /// cache invalidation. Two reads of the same `Graph` value with equal
+    /// epochs observed the same adjacency and the same cached properties.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Stamp the epoch explicitly (the service layer tags each published
+    /// snapshot with the epoch of the update batch that produced it).
+    pub(crate) fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
     }
 
     /// Structural checks: squareness always; symmetry for undirected
@@ -250,11 +289,11 @@ mod tests {
     fn degrees() {
         let g =
             Graph::from_edges(4, &[(0, 1), (0, 2), (3, 0)], GraphKind::Directed).expect("graph");
-        let out = g.out_degree();
+        let out = g.out_degree().expect("out degrees");
         assert_eq!(out.get(0), Some(2));
         assert_eq!(out.get(3), Some(1));
         assert_eq!(out.get(1), None);
-        let inn = g.in_degree();
+        let inn = g.in_degree().expect("in degrees");
         assert_eq!(inn.get(0), Some(1));
         assert_eq!(inn.get(1), Some(1));
         assert_eq!(inn.get(3), None);
@@ -263,17 +302,17 @@ mod tests {
     #[test]
     fn transpose_cache_reflects_reverse_edges() {
         let g = Graph::from_edges(3, &[(0, 1), (1, 2)], GraphKind::Directed).expect("graph");
-        let at = g.at();
+        let at = g.at().expect("transpose");
         assert_eq!(at.get(1, 0), Some(1.0));
         assert_eq!(at.get(2, 1), Some(1.0));
         // Cached: same Arc returned.
-        assert!(Arc::ptr_eq(&at, &g.at()));
+        assert!(Arc::ptr_eq(&at, &g.at().expect("transpose")));
     }
 
     #[test]
     fn structure_has_dual_storage() {
         let g = triangle();
-        let s = g.structure();
+        let s = g.structure().expect("structure");
         assert!(s.dual_storage());
         assert_eq!(s.nvals(), 6);
     }
@@ -282,9 +321,9 @@ mod tests {
     fn self_edges_counted_and_removed() {
         let mut g =
             Graph::from_edges(3, &[(0, 0), (0, 1), (2, 2)], GraphKind::Directed).expect("graph");
-        assert_eq!(g.nself_edges(), 2);
+        assert_eq!(g.nself_edges().expect("loops"), 2);
         g.delete_self_edges().expect("clean");
-        assert_eq!(g.nself_edges(), 0);
+        assert_eq!(g.nself_edges().expect("loops"), 0);
         assert_eq!(g.nedges(), 1);
     }
 

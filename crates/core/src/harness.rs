@@ -41,7 +41,7 @@ pub fn verify_bfs_levels(graph: &Graph, source: Index, levels: &Vector<i32>) -> 
         Some(&levels.pattern()),
         NOACC,
         &Semiring::new(binaryop::Min, binaryop::Second),
-        &graph.at(),
+        &*graph.at()?,
         levels,
         &Descriptor::new().structural(),
     )?;
@@ -198,7 +198,7 @@ pub fn neighbor_min_label(graph: &Graph, labels: &Vector<u64>) -> Result<Vector<
         None,
         NOACC,
         &Semiring::new(binaryop::Min, binaryop::Second),
-        &graph.at(),
+        &*graph.at()?,
         labels,
         &Descriptor::default(),
     )?;

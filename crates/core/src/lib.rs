@@ -1,7 +1,7 @@
 //! # lagraph — graph algorithms built on top of the GraphBLAS
 //!
 //! The Rust realization of the library the LAGraph position paper calls
-//! for: a [`Graph`](graph::Graph) object with cached derived properties,
+//! for: a [`Graph`] object with cached derived properties,
 //! and a collection of graph algorithms (§V) written exclusively against
 //! the GraphBLAS API of the [`graphblas`] crate — BFS (level, parent, and
 //! direction-optimized), single-source and all-pairs shortest paths,
@@ -9,10 +9,17 @@
 //! components, PageRank, graph coloring, maximal independent set,
 //! bipartite matching, Markov and peer-pressure clustering, local graph
 //! clustering, sparse deep-neural-network inference, and A* search.
+//!
+//! Beyond the algorithm suite, [`service`] turns the library into a
+//! *serving* layer: a [`service::GraphService`] multiplexes concurrent
+//! read queries over epoch-tagged immutable snapshots while a background
+//! drainer batches streaming edge updates through the GraphBLAS
+//! pending-tuple/zombie machinery.
 
 pub mod algorithms;
 pub mod graph;
 pub mod harness;
+pub mod service;
 pub mod utils;
 
 pub use algorithms::*;

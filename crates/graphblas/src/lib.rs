@@ -20,6 +20,29 @@
 //! The semiring structure is generic: any [`Monoid`] paired with any
 //! [`BinaryOp`] is a semiring, and closures are accepted as user-defined
 //! operators throughout.
+//!
+//! # Module map (paper section → module)
+//!
+//! | paper section | what it describes | module |
+//! |---|---|---|
+//! | §II.A objects & non-blocking mode | opaque objects, pending tuples, zombies | [`Matrix`], [`Vector`] (`matrix`/`vector`) |
+//! | §II.A storage forms | CSR/CSC/hypersparse, automatic selection | `sparse` (internal), [`Format`] |
+//! | §II.A semiring census | the 960 built-in semirings | [`registry`], [`semiring`], [`monoid`], [`binaryop`], [`unaryop`] |
+//! | Table I operation set | `mxm`, `mxv`, `eWiseAdd`, … under mask/accum/desc | [`ops`], [`descriptor`] |
+//! | §II.E direction optimization | push/pull choice, measured cost model | [`cost`], `ops::mxv` |
+//! | §IV O(1) data movement | import/export of raw arrays | [`import`] |
+//! | §III testing methodology | the dense "MATLAB mimic" reference | [`mimic`] |
+//! | (SuiteSparse "burble") | runtime tracing, profiling, Chrome traces | [`trace`], [`stats`] |
+//! | (execution substrate) | the chunked worker pool every kernel uses | [`parallel`] |
+//! | (C API `GrB_Info`) | typed error codes | [`error`] |
+//!
+//! Concurrency contract: reading a matrix takes `&self` and resolves
+//! deferred updates lazily behind an internal lock; the `*_sync` entry
+//! points ([`Matrix::set_element_sync`], [`Matrix::remove_element_sync`])
+//! extend the same lock discipline to concurrent writers, which is what
+//! the `lagraph::service` layer builds its update log on.
+
+#![warn(missing_docs)]
 
 pub mod binaryop;
 pub mod cost;

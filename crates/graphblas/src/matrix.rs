@@ -256,6 +256,52 @@ impl<T: Scalar> Inner<T> {
         debug_assert!(!self.needs_assembly());
         self.store.nvals_raw()
     }
+
+    /// The `set_element` write path, shared by the exclusive (`&mut self`)
+    /// and lock-taking (`&self`) public entry points.
+    fn set_element_inner(&mut self, i: Index, j: Index, x: T) -> Result<()> {
+        if i >= self.nrows {
+            return Err(Error::oob(i, self.nrows));
+        }
+        if j >= self.ncols {
+            return Err(Error::oob(j, self.ncols));
+        }
+        self.dual = None;
+        let (maj, min) = major_minor(&self.store, i, j);
+        let hit = match &mut self.store {
+            Store::Csr(cs) | Store::Csc(cs) => set_in_cs(cs, maj, min, x),
+            Store::HyperCsr(h) | Store::HyperCsc(h) => set_in_hyper(h, maj, min, x),
+        };
+        match hit {
+            SetOutcome::Updated => {}
+            SetOutcome::Resurrected => self.nzombies -= 1,
+            SetOutcome::Absent => self.pending.push((i, j, x)),
+        }
+        Ok(())
+    }
+
+    /// The `remove_element` write path, shared by both public entry points.
+    fn remove_element_inner(&mut self, i: Index, j: Index) -> Result<()> {
+        if i >= self.nrows {
+            return Err(Error::oob(i, self.nrows));
+        }
+        if j >= self.ncols {
+            return Err(Error::oob(j, self.ncols));
+        }
+        self.dual = None;
+        if !self.pending.is_empty() {
+            self.pending.retain(|&(pi, pj, _)| (pi, pj) != (i, j));
+        }
+        let (maj, min) = major_minor(&self.store, i, j);
+        let killed = match &mut self.store {
+            Store::Csr(cs) | Store::Csc(cs) => kill_in_cs(cs, maj, min),
+            Store::HyperCsr(h) | Store::HyperCsc(h) => kill_in_hyper(h, maj, min),
+        };
+        if killed {
+            self.nzombies += 1;
+        }
+        Ok(())
+    }
 }
 
 /// Extract raw tuples from a `Cs`, keeping zombie flags on the minor index.
@@ -523,52 +569,59 @@ impl<T: Scalar> Matrix<T> {
     /// holds an entry it is updated in place (resurrecting a zombie if
     /// necessary); otherwise the insertion is deferred as a pending tuple —
     /// this is what makes incremental construction fast (§II.A).
+    ///
+    /// # Example
+    ///
+    /// A stream of `set_element` calls costs one assembly, not one sort per
+    /// call — the paper's headline incremental-update claim:
+    ///
+    /// ```
+    /// use graphblas::Matrix;
+    ///
+    /// let mut m = Matrix::<f64>::new(4, 4)?;
+    /// m.set_element(0, 1, 2.5)?;          // deferred as a pending tuple
+    /// m.set_element(3, 2, 1.0)?;
+    /// m.set_element(0, 1, 3.5)?;          // last write wins
+    /// assert_eq!(m.get(0, 1), Some(3.5)); // visible even before assembly
+    /// assert_eq!(m.nvals(), 2);           // nvals() forces the one assembly
+    /// # Ok::<(), graphblas::Error>(())
+    /// ```
     pub fn set_element(&mut self, i: Index, j: Index, x: T) -> Result<()> {
-        let inner = self.inner.get_mut();
-        if i >= inner.nrows {
-            return Err(Error::oob(i, inner.nrows));
-        }
-        if j >= inner.ncols {
-            return Err(Error::oob(j, inner.ncols));
-        }
-        inner.dual = None;
-        let (maj, min) = major_minor(&inner.store, i, j);
-        let hit = match &mut inner.store {
-            Store::Csr(cs) | Store::Csc(cs) => set_in_cs(cs, maj, min, x),
-            Store::HyperCsr(h) | Store::HyperCsc(h) => set_in_hyper(h, maj, min, x),
-        };
-        match hit {
-            SetOutcome::Updated => {}
-            SetOutcome::Resurrected => inner.nzombies -= 1,
-            SetOutcome::Absent => inner.pending.push((i, j, x)),
-        }
-        Ok(())
+        self.inner.get_mut().set_element_inner(i, j, x)
+    }
+
+    /// Thread-safe [`Matrix::set_element`]: takes `&self` and acquires the
+    /// internal write lock, so concurrent writers (and concurrent
+    /// [`Matrix::wait`] / reader-triggered assemblies) serialize safely.
+    /// The deferred-update semantics are identical — the write lands as a
+    /// pending tuple or an in-place update and is resolved by the next
+    /// assembly. Writes to *distinct* coordinates commute: any
+    /// interleaving of threads yields the same assembled matrix.
+    pub fn set_element_sync(&self, i: Index, j: Index, x: T) -> Result<()> {
+        self.inner.write().set_element_inner(i, j, x)
     }
 
     /// Remove one entry (`GrB_Matrix_removeElement`). Deletion of an
     /// assembled entry creates a zombie; removal of a pending insertion
     /// cancels it. Removing a non-existent entry is a no-op.
     pub fn remove_element(&mut self, i: Index, j: Index) -> Result<()> {
-        let inner = self.inner.get_mut();
-        if i >= inner.nrows {
-            return Err(Error::oob(i, inner.nrows));
-        }
-        if j >= inner.ncols {
-            return Err(Error::oob(j, inner.ncols));
-        }
-        inner.dual = None;
-        if !inner.pending.is_empty() {
-            inner.pending.retain(|&(pi, pj, _)| (pi, pj) != (i, j));
-        }
-        let (maj, min) = major_minor(&inner.store, i, j);
-        let killed = match &mut inner.store {
-            Store::Csr(cs) | Store::Csc(cs) => kill_in_cs(cs, maj, min),
-            Store::HyperCsr(h) | Store::HyperCsc(h) => kill_in_hyper(h, maj, min),
-        };
-        if killed {
-            inner.nzombies += 1;
-        }
-        Ok(())
+        self.inner.get_mut().remove_element_inner(i, j)
+    }
+
+    /// Thread-safe [`Matrix::remove_element`]: takes `&self` and acquires
+    /// the internal write lock. See [`Matrix::set_element_sync`].
+    pub fn remove_element_sync(&self, i: Index, j: Index) -> Result<()> {
+        self.inner.write().remove_element_inner(i, j)
+    }
+
+    /// The deferred-update backlog: `(pending insertions, zombies)` not yet
+    /// resolved by assembly. `(0, 0)` means the matrix is fully assembled.
+    /// A monitoring hook for systems (like `lagraph::service`) that batch
+    /// updates into the non-blocking state and want to observe how much
+    /// work the next assembly will resolve.
+    pub fn deferred(&self) -> (usize, usize) {
+        let g = self.inner.read();
+        (g.pending.len(), g.nzombies)
     }
 
     /// Read one entry (`GrB_Matrix_extractElement`); [`Error::NoValue`] if

@@ -23,7 +23,9 @@ use crate::vector::Vector;
 /// A dense matrix of optional entries: the reference representation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DMat<T> {
+    /// Number of rows.
     pub nrows: Index,
+    /// Number of columns.
     pub ncols: Index,
     /// Row-major `nrows × ncols` entries; `None` = no stored entry.
     pub val: Vec<Option<T>>,
@@ -32,15 +34,19 @@ pub struct DMat<T> {
 /// A dense vector of optional entries.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DVec<T> {
+    /// Vector length.
     pub n: Index,
+    /// Dense entries; `None` = no stored entry.
     pub val: Vec<Option<T>>,
 }
 
 impl<T: Scalar> DMat<T> {
+    /// An empty (all-`None`) dense matrix.
     pub fn new(nrows: Index, ncols: Index) -> Self {
         DMat { nrows, ncols, val: vec![None; nrows * ncols] }
     }
 
+    /// Densify a sparse [`Matrix`] (forces assembly via `extract_tuples`).
     pub fn from_matrix(m: &Matrix<T>) -> Self {
         let mut d = DMat::new(m.nrows(), m.ncols());
         for (i, j, x) in m.extract_tuples() {
@@ -49,6 +55,7 @@ impl<T: Scalar> DMat<T> {
         d
     }
 
+    /// Sparsify back into a [`Matrix`], keeping explicit entries only.
     pub fn to_matrix(&self) -> Matrix<T> {
         let mut tuples = Vec::new();
         for i in 0..self.nrows {
@@ -61,14 +68,17 @@ impl<T: Scalar> DMat<T> {
         Matrix::from_tuples(self.nrows, self.ncols, tuples, |_, b| b).expect("valid dims")
     }
 
+    /// The entry at `(i, j)`, or `None` when absent.
     pub fn get(&self, i: Index, j: Index) -> Option<T> {
         self.val[i * self.ncols + j]
     }
 
+    /// Store (or erase, with `None`) the entry at `(i, j)`.
     pub fn set(&mut self, i: Index, j: Index, x: Option<T>) {
         self.val[i * self.ncols + j] = x;
     }
 
+    /// The dense transpose.
     pub fn transpose(&self) -> DMat<T> {
         let mut t = DMat::new(self.ncols, self.nrows);
         for i in 0..self.nrows {
@@ -81,10 +91,12 @@ impl<T: Scalar> DMat<T> {
 }
 
 impl<T: Scalar> DVec<T> {
+    /// An empty (all-`None`) dense vector.
     pub fn new(n: Index) -> Self {
         DVec { n, val: vec![None; n] }
     }
 
+    /// Densify a sparse [`Vector`] (forces assembly via `extract_tuples`).
     pub fn from_vector(v: &Vector<T>) -> Self {
         let mut d = DVec::new(v.size());
         for (i, x) in v.extract_tuples() {
@@ -93,6 +105,7 @@ impl<T: Scalar> DVec<T> {
         d
     }
 
+    /// Sparsify back into a [`Vector`], keeping explicit entries only.
     pub fn to_vector(&self) -> Vector<T> {
         let tuples: Vec<(Index, T)> =
             self.val.iter().enumerate().filter_map(|(i, v)| v.map(|x| (i, x))).collect();

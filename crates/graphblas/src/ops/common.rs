@@ -88,8 +88,11 @@ impl IndexSel {
 /// Inverted index selection: position of a dimension index within the
 /// selection, if any.
 pub enum InverseSel {
+    /// The selection is `GrB_ALL`: position = dimension index.
     All,
+    /// The selection is a contiguous range: position = index − start.
     Range(std::ops::Range<Index>),
+    /// Arbitrary index list: positions resolved through a hash map.
     Map(std::collections::HashMap<Index, usize>),
 }
 

@@ -67,7 +67,7 @@ pub fn concat<T: Scalar>(tiles: &[Vec<&Matrix<T>>]) -> Result<Matrix<T>> {
 
 /// Split a matrix into a grid of tiles with the given row heights and
 /// column widths (which must sum to the matrix dimensions). Inverse of
-/// [`concat`].
+/// [`concat()`].
 pub fn split<T: Scalar>(
     a: &Matrix<T>,
     heights: &[Index],

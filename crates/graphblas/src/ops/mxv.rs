@@ -3,13 +3,13 @@
 //!
 //! Two kernels implement all four (operation × transpose) combinations:
 //!
-//! * **pull** ([`rowdot`]): one dot product per output position, walking a
+//! * **pull** (`rowdot`): one dot product per output position, walking a
 //!   row of the matrix against a dense view of the vector. Honors the
 //!   monoid's terminal value — the early-exit trick that makes pull BFS
 //!   fast. Parallelized over rows.
-//! * **push** ([`scatter`]): partition the (sparse) vector's entries
+//! * **push** (`scatter`): partition the (sparse) vector's entries
 //!   across the [`par_chunks`] pool; each chunk scatters its matrix rows
-//!   into a private stamped accumulator ([`DenseAcc`], or a tree for huge
+//!   into a private stamped accumulator (`DenseAcc`, or a tree for huge
 //!   dimensions), skipping mask-excluded positions and short-circuiting
 //!   terminal/ANY slots, and the per-chunk touched lists are k-way merged
 //!   in chunk order ([`merge_scatter_chunks`]). Work stays proportional

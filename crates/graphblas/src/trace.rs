@@ -171,8 +171,11 @@ fn tid() -> u64 {
 /// A typed argument value attached to an event.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ArgValue {
+    /// An unsigned integer (counts, sizes, nnz, epoch numbers).
     U64(u64),
+    /// A floating-point quantity (residuals, calibrated costs).
     F64(f64),
+    /// A static string (kernel names, configuration keys).
     Str(&'static str),
 }
 
@@ -221,14 +224,21 @@ pub enum Cat {
     Algo,
     /// Runtime machinery: dispatch, chunks, assembly, warnings.
     Runtime,
+    /// Serving-layer machinery (epoch publication, queue backpressure) —
+    /// emitted by systems built on top of the library, e.g.
+    /// `lagraph::service`, through [`service_span`] / [`service_instant`].
+    Service,
 }
 
 impl Cat {
+    /// The category label used in burble lines and the Chrome trace `cat`
+    /// field.
     pub fn name(self) -> &'static str {
         match self {
             Cat::Op => "op",
             Cat::Algo => "algo",
             Cat::Runtime => "runtime",
+            Cat::Service => "service",
         }
     }
 }
@@ -238,6 +248,7 @@ impl Cat {
 pub struct Event {
     /// Operation or span name (`"mxv"`, `"bfs.iter"`, `"dispatch"`, …).
     pub name: &'static str,
+    /// Which layer emitted the event (op, algorithm, runtime, service).
     pub cat: Cat,
     /// Kernel / direction chosen, when the op selects among several
     /// (`"gustavson"`, `"dot"`, `"heap"`, `"push"`, `"pull"`, …).
@@ -270,27 +281,46 @@ impl Event {
 /// a span tagged with one of these.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Op {
+    /// Matrix-matrix multiply.
     Mxm,
+    /// Matrix-vector multiply.
     Mxv,
+    /// Vector-matrix multiply.
     Vxm,
+    /// Element-wise "add" (pattern union).
     EwiseAdd,
+    /// Element-wise "multiply" (pattern intersection).
     EwiseMult,
+    /// Unary/binary operator application.
     Apply,
+    /// Entry selection by predicate.
     Select,
+    /// Reduction to vector or scalar.
     Reduce,
+    /// Explicit transpose.
     Transpose,
+    /// Submatrix/subvector assignment.
     Assign,
+    /// Submatrix/subvector extraction.
     Extract,
+    /// Kronecker product.
     Kron,
+    /// Tiling matrices together.
     Concat,
+    /// Splitting a matrix into tiles.
     Split,
+    /// Diagonal matrix construction/extraction.
     Diag,
+    /// Whole-object write (`GrB_assign` with `GrB_ALL` on both axes).
     Write,
+    /// Lazy resolution of a matrix's pending tuples and zombies.
     AssembleMatrix,
+    /// Lazy resolution of a vector's pending tuples and zombies.
     AssembleVector,
 }
 
 impl Op {
+    /// The span name this op records (`"mxm"`, `"assemble.matrix"`, …).
     pub fn name(self) -> &'static str {
         match self {
             Op::Mxm => "mxm",
@@ -611,6 +641,32 @@ pub(crate) fn assemble_span(op: Op, pending: usize, zombies: usize) -> Span {
     s
 }
 
+/// Open a serving-layer span ([`Cat::Service`]): epoch publication,
+/// update-log drains, and similar machinery in systems built on top of
+/// the library. Like every span, it is free when tracing is off and
+/// records wall time plus any attached [`Span::arg`]s on drop.
+pub fn service_span(name: &'static str) -> Span {
+    Span::new(name, Cat::Service)
+}
+
+/// Record a serving-layer instant event (duration 0) with structured
+/// arguments — queue-depth samples, backpressure rejections, coalesced
+/// writes. No-op when tracing is off.
+pub fn service_instant(name: &'static str, args: Vec<(&'static str, ArgValue)>) {
+    if !enabled() {
+        return;
+    }
+    push_event(Event {
+        name,
+        cat: Cat::Service,
+        kernel: None,
+        t0_ns: epoch().elapsed().as_nanos() as u64,
+        dur_ns: 0,
+        tid: tid(),
+        args,
+    });
+}
+
 /// One-shot diagnostic: print `msg` to stderr the first time `key` is
 /// seen in this process (diagnostics must not be silent, so this prints
 /// regardless of trace mode) and record an instant event when tracing is
@@ -871,9 +927,12 @@ fn bucket(v: u64) -> usize {
 /// Aggregated statistics for one span name.
 #[derive(Debug, Clone)]
 pub struct OpProfile {
+    /// Number of spans aggregated.
     pub count: u64,
+    /// Summed wall time across those spans, in nanoseconds.
     pub total_ns: u64,
     min_ns: u64,
+    /// Slowest recorded span, in nanoseconds.
     pub max_ns: u64,
     /// Flops-work accumulated over spans carrying a `flops` argument.
     pub total_flops: u64,

@@ -1,0 +1,165 @@
+//! Multi-threaded stress tests for the deferred-update entry points:
+//! `set_element_sync` / `remove_element_sync` interleaved with concurrent
+//! assemblies must leave the matrix in exactly the state a sequential
+//! replay produces, bit for bit.
+
+use graphblas::{Index, Matrix};
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::{Arc, Barrier};
+
+const THREADS: usize = 8;
+
+/// One thread's scripted mutation stream. Coordinates are confined to the
+/// thread's own row stripe (`row % THREADS == tid`), so streams commute:
+/// any interleaving must converge to the sequential replay's state.
+#[derive(Clone, Copy)]
+enum Op {
+    Set(Index, Index, f64),
+    Remove(Index, Index),
+}
+
+/// Deterministic per-thread script: a churn of inserts, overwrites and
+/// deletes inside the thread's stripe. `xorshift`-style mixing keeps it
+/// cheap and reproducible without any RNG dependency.
+fn script(tid: usize, n: Index, ops: usize) -> Vec<Op> {
+    let mut state = (tid as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut out = Vec::with_capacity(ops);
+    for k in 0..ops {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let stripe_rows = n / THREADS;
+        let i = tid + THREADS * (state as usize % stripe_rows);
+        let j = (state >> 32) as usize % n;
+        // Mostly inserts with periodic deletions, including deletions of
+        // never-inserted coordinates (must be no-ops both ways).
+        if k % 5 == 4 {
+            out.push(Op::Remove(i, j));
+        } else {
+            out.push(Op::Set(i, j, (tid * ops + k) as f64));
+        }
+    }
+    out
+}
+
+fn apply_sequential(m: &mut Matrix<f64>, scripts: &[Vec<Op>]) {
+    for s in scripts {
+        for &op in s {
+            match op {
+                Op::Set(i, j, x) => m.set_element(i, j, x).expect("seq set"),
+                Op::Remove(i, j) => m.remove_element(i, j).expect("seq remove"),
+            }
+        }
+    }
+}
+
+#[test]
+fn eight_thread_interleaved_updates_match_sequential_oracle() {
+    let n: Index = 64;
+    let ops = 2_000;
+    let scripts: Vec<Vec<Op>> = (0..THREADS).map(|t| script(t, n, ops)).collect();
+
+    // Sequential oracle.
+    let mut oracle = Matrix::<f64>::new(n, n).expect("oracle");
+    apply_sequential(&mut oracle, &scripts);
+    oracle.wait();
+
+    // Concurrent run: 8 writers race through the same scripts via the
+    // `_sync` entry points while assemblies fire underneath them.
+    let m = Arc::new(Matrix::<f64>::new(n, n).expect("matrix"));
+    let start = Barrier::new(THREADS);
+    std::thread::scope(|scope| {
+        for s in &scripts {
+            let m = Arc::clone(&m);
+            let start = &start;
+            scope.spawn(move || {
+                start.wait();
+                for (k, &op) in s.iter().enumerate() {
+                    match op {
+                        Op::Set(i, j, x) => m.set_element_sync(i, j, x).expect("set"),
+                        Op::Remove(i, j) => m.remove_element_sync(i, j).expect("remove"),
+                    }
+                    // Periodically force a full assembly *while the other
+                    // seven threads are still writing*: updates deferred
+                    // after the assembly cut must survive it.
+                    if k % 503 == 502 {
+                        m.wait();
+                    }
+                }
+            });
+        }
+    });
+    m.wait();
+
+    assert_eq!(m.nvals(), oracle.nvals(), "entry counts diverged");
+    let got = m.extract_tuples();
+    let want = oracle.extract_tuples();
+    assert_eq!(got, want, "concurrent result is not bit-for-bit the sequential state");
+}
+
+#[test]
+fn readers_see_consistent_states_during_churn() {
+    // Writers churn one stripe each while readers hammer `nvals`/`get`,
+    // forcing assemblies to race with deferred updates. Readers must only
+    // ever observe values some prefix of the writer's stream produced —
+    // for this script, the per-cell value sequence is monotone increasing,
+    // so any decrease would expose a torn assembly.
+    let n: Index = 32;
+    let m = Arc::new(Matrix::<f64>::new(n, n).expect("matrix"));
+    let stop = Arc::new(AtomicBool::new(false));
+    let writers = 4;
+
+    std::thread::scope(|scope| {
+        for t in 0..writers {
+            let m = Arc::clone(&m);
+            scope.spawn(move || {
+                for round in 0..400u64 {
+                    for j in 0..n {
+                        m.set_element_sync(t, j, round as f64).expect("set");
+                    }
+                }
+            });
+        }
+        for _ in 0..(THREADS - writers) {
+            let m = Arc::clone(&m);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut last = vec![-1.0f64; writers];
+                while !stop.load(SeqCst) {
+                    let _ = m.nvals(); // forces an assembly
+                    for (t, slot) in last.iter_mut().enumerate() {
+                        if let Some(v) = m.get(t, 7) {
+                            assert!(v >= *slot, "cell ({t},7) went backwards: {v} after {slot}");
+                            *slot = v;
+                        }
+                    }
+                }
+            });
+        }
+        // Writer handles finish when their loops end; readers poll until
+        // told to stop. Scope join order: spawn a small watchdog that
+        // flips `stop` once writers are done.
+        let m2 = Arc::clone(&m);
+        let stop2 = Arc::clone(&stop);
+        scope.spawn(move || {
+            // Wait until every writer's final value is visible.
+            loop {
+                m2.wait();
+                let done = (0..writers).all(|t| m2.get(t, n - 1) == Some(399.0));
+                if done {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            stop2.store(true, SeqCst);
+        });
+    });
+
+    m.wait();
+    assert_eq!(m.nvals(), writers * n);
+    for t in 0..writers {
+        for j in 0..n {
+            assert_eq!(m.get(t, j), Some(399.0));
+        }
+    }
+}

@@ -1,5 +1,5 @@
 //! Matrix Market exchange format (Boisvert, Pozo & Remington, NIST —
-//! ref. [29] of the paper): the on-disk format the LAGraph utilities load
+//! ref. \[29\] of the paper): the on-disk format the LAGraph utilities load
 //! graphs from. Supports `coordinate` matrices, `real` / `integer` /
 //! `pattern` fields, and `general` / `symmetric` / `skew-symmetric`
 //! symmetry, reading from any `BufRead` and writing to any `Write`.

@@ -225,7 +225,7 @@ proptest! {
         let g = undirected(&edges);
         let counts = subgraph_counts(&g).expect("counts");
         let mut by_degree = 0u64;
-        let deg = g.out_degree();
+        let deg = g.out_degree().expect("degrees");
         for (_, d) in deg.iter() {
             let d = d as u64;
             by_degree += d * (d - 1) / 2;

@@ -60,7 +60,7 @@ fn core_numbers_agree_with_truss_on_dense_blocks() {
     let g = rmat_graph(6, 66);
     let core = core_numbers(&g).expect("cores");
     // Core numbers are bounded by degree.
-    let deg = g.out_degree();
+    let deg = g.out_degree().expect("degrees");
     for (v, c) in core.iter() {
         assert!(c <= deg.get(v).unwrap_or(0), "vertex {v}");
     }

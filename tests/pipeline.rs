@@ -135,7 +135,7 @@ fn mis_and_coloring_are_valid_on_scale_free_graphs() {
     let (colors, k) = greedy_color(&g, 5).expect("color");
     assert!(verify_coloring(&g, &colors).expect("verify coloring"));
     // Colors at most max degree + 1.
-    let maxdeg = g.out_degree().iter().map(|(_, d)| d).max().unwrap_or(0);
+    let maxdeg = g.out_degree().expect("degrees").iter().map(|(_, d)| d).max().unwrap_or(0);
     assert!((k as i64) <= maxdeg + 1, "k {k} vs maxdeg {maxdeg}");
 }
 
