@@ -1,0 +1,178 @@
+//! `lagraph-bench` — the reproducible end-to-end benchmark harness.
+//!
+//! Two modes:
+//!
+//! * **Run** (default): generate a seeded synthetic workload, run the
+//!   GAP-style kernel set (BFS, PageRank, SSSP, CC, triangle count)
+//!   with warmup + N timed trials, print a summary table, and write a
+//!   schema-versioned `BENCH_<scale>_<date>.json`.
+//! * **Compare** (`--compare old.json new.json`): print per-algorithm
+//!   deltas and exit nonzero when any algorithm regressed by more than
+//!   the threshold — the CI trajectory check.
+//!
+//! Run `lagraph-bench --help` for the full flag list.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lagraph::gen::Workload;
+use lagraph_bench::harness::{compare, run, Algo, BenchReport, HarnessConfig, Metric};
+
+const HELP: &str = "\
+lagraph-bench — reproducible GAP-style benchmark harness
+
+USAGE:
+  lagraph-bench [--scale N] [--edge-factor N] [--workload rmat|er|uniform]
+                [--seed N] [--max-weight N] [--trials N] [--warmup N]
+                [--sources N] [--algo LIST|all] [--out PATH]
+  lagraph-bench --compare OLD.json NEW.json [--threshold PCT] [--metric wall|flops]
+
+RUN OPTIONS:
+  --scale N        log2 vertex count (default 12; the committed trajectory
+                   files use 16)
+  --edge-factor N  average degree (default 16, the Graph500 value)
+  --workload W     rmat (default) | er | uniform
+  --seed N         generator seed (default 42); the run is a pure
+                   function of the configuration and this seed
+  --max-weight N   SSSP weights drawn uniformly from 1..=N (default 255)
+  --trials N       timed trials per algorithm (default 3)
+  --warmup N       untimed warmup runs per algorithm (default 1)
+  --sources N      BFS/SSSP source count per trial (default 4)
+  --algo LIST      comma list of bfs,pagerank,sssp,cc,tricount or 'all'
+  --out PATH       output file; default BENCH_<scale>_<date>.json in
+                   $LAGRAPH_BENCH_DIR (or the current directory)
+
+COMPARE OPTIONS:
+  --threshold PCT  regression threshold in percent (default 10)
+  --metric M       wall (default; p50 wall time) or flops (deterministic
+                   under a pinned GRAPHBLAS_COST_MODEL — use in CI)
+
+EXIT CODES:
+  0 success / no regression    1 usage or runtime error    2 regression
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("lagraph-bench: {msg}");
+            eprintln!("run lagraph-bench --help for usage");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn cli(args: &[String]) -> Result<ExitCode, String> {
+    let mut cfg = HarnessConfig::default();
+    let mut out: Option<PathBuf> = None;
+    let mut compare_paths: Option<(PathBuf, PathBuf)> = None;
+    let mut threshold = 0.10;
+    let mut metric = Metric::Wall;
+
+    let mut i = 0;
+    let next = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i).cloned().ok_or(format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                print!("{HELP}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--scale" => cfg.scale = parse_num(&next(&mut i, "--scale")?)?,
+            "--edge-factor" => cfg.edge_factor = parse_num(&next(&mut i, "--edge-factor")?)?,
+            "--seed" => cfg.seed = parse_num(&next(&mut i, "--seed")?)?,
+            "--max-weight" => cfg.max_weight = parse_num(&next(&mut i, "--max-weight")?)?,
+            "--trials" => cfg.trials = parse_num::<usize>(&next(&mut i, "--trials")?)?.max(1),
+            "--warmup" => cfg.warmup = parse_num(&next(&mut i, "--warmup")?)?,
+            "--sources" => cfg.sources = parse_num::<usize>(&next(&mut i, "--sources")?)?.max(1),
+            "--workload" => {
+                let w = next(&mut i, "--workload")?;
+                cfg.workload = Workload::parse(&w).ok_or(format!("unknown workload {w:?}"))?;
+            }
+            "--algo" => {
+                let a = next(&mut i, "--algo")?;
+                cfg.algos = Algo::parse_list(&a).ok_or(format!("unknown algorithm list {a:?}"))?;
+            }
+            "--out" => out = Some(PathBuf::from(next(&mut i, "--out")?)),
+            "--threshold" => {
+                threshold = parse_num::<f64>(&next(&mut i, "--threshold")?)? / 100.0;
+                if threshold.is_nan() || threshold < 0.0 {
+                    return Err("--threshold must be non-negative".to_string());
+                }
+            }
+            "--metric" => {
+                let m = next(&mut i, "--metric")?;
+                metric = Metric::parse(&m).ok_or(format!("unknown metric {m:?}"))?;
+            }
+            "--compare" => {
+                let old = next(&mut i, "--compare")?;
+                let new = next(&mut i, "--compare")?;
+                compare_paths = Some((PathBuf::from(old), PathBuf::from(new)));
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+
+    if let Some((old_path, new_path)) = compare_paths {
+        return run_compare(&old_path, &new_path, threshold, metric);
+    }
+
+    if cfg.scale > 26 {
+        return Err(format!("scale {} is unreasonably large (max 26)", cfg.scale));
+    }
+    eprintln!(
+        "generating {} workload at scale {} (edge factor {}, seed {})...",
+        cfg.workload.name(),
+        cfg.scale,
+        cfg.edge_factor,
+        cfg.seed
+    );
+    let report = run(&cfg).map_err(|e| format!("harness failed: {e}"))?;
+    print!("{}", report.summary());
+
+    let path = out.unwrap_or_else(|| {
+        let dir = std::env::var_os("LAGRAPH_BENCH_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."));
+        dir.join(report.file_name())
+    });
+    std::fs::write(&path, report.to_json().pretty())
+        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    println!("wrote {}", path.display());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn run_compare(
+    old_path: &std::path::Path,
+    new_path: &std::path::Path,
+    threshold: f64,
+    metric: Metric,
+) -> Result<ExitCode, String> {
+    let old = BenchReport::load(old_path)?;
+    let new = BenchReport::load(new_path)?;
+    println!(
+        "comparing {} ({}, {}) -> {} ({}, {}), threshold {:.0}%",
+        old_path.display(),
+        old.schema,
+        old.date,
+        new_path.display(),
+        new.schema,
+        new.date,
+        threshold * 100.0
+    );
+    let cmp = compare(&old, &new, threshold, metric);
+    print!("{}", cmp.render(metric));
+    if cmp.regressed() {
+        eprintln!("regression detected (> {:.0}%)", threshold * 100.0);
+        return Ok(ExitCode::from(2));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse::<T>().map_err(|_| format!("bad numeric value {s:?}"))
+}

@@ -1,6 +1,11 @@
 //! Shared helpers for the benchmark harness: graph construction,
 //! criterion configuration, and simple wall-clock measurement for the
-//! table/figure regeneration binaries.
+//! table/figure regeneration binaries. The [`harness`] module is the
+//! GAP-style end-to-end harness behind the `lagraph-bench` binary, and
+//! [`json`] its dependency-free report format.
+
+pub mod harness;
+pub mod json;
 
 use graphblas::prelude::*;
 use graphblas::trace;

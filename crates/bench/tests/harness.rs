@@ -1,0 +1,167 @@
+//! Integration tests for the `lagraph-bench` harness: a tiny end-to-end
+//! run, JSON round-tripping, and — the acceptance criterion — that
+//! `compare` detects an injected 20% slowdown at the default 10%
+//! threshold.
+
+use lagraph_bench::harness::{
+    compare, quantile_ns, Algo, BenchReport, HarnessConfig, Metric, ALL_ALGOS, SCHEMA,
+};
+use lagraph_bench::json;
+
+fn tiny_config() -> HarnessConfig {
+    HarnessConfig {
+        scale: 6,
+        edge_factor: 4,
+        trials: 2,
+        warmup: 1,
+        sources: 2,
+        ..Default::default()
+    }
+}
+
+/// The harness records and drains the process-global trace ring, so
+/// concurrent test runs would steal each other's events — serialize.
+fn run(cfg: &HarnessConfig) -> graphblas::Result<BenchReport> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _g = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    lagraph_bench::harness::run(cfg)
+}
+
+#[test]
+fn tiny_run_produces_a_complete_report() {
+    let report = run(&tiny_config()).expect("harness run");
+    assert_eq!(report.schema, SCHEMA);
+    assert_eq!(report.nvertices, 64);
+    assert!(report.nedges > 64);
+    assert_eq!(report.algos.len(), ALL_ALGOS.len());
+    for r in &report.algos {
+        assert_eq!(r.trials_ns.len(), 2, "{}: two timed trials", r.algo.name());
+        assert!(r.trials_ns.iter().all(|&t| t > 0));
+        assert!(r.agg.spans > 0, "{}: trace spans recorded", r.algo.name());
+        assert!(r.agg.total_flops > 0, "{}: flops aggregated", r.algo.name());
+        assert!(r.checksum.is_finite());
+    }
+    // BFS over an undirected RMAT component reaches vertices: its
+    // checksum (level sum) must be well above zero.
+    let bfs = report.algos.iter().find(|r| r.algo == Algo::Bfs).expect("bfs present");
+    assert!(bfs.checksum > 1.0);
+}
+
+#[test]
+fn identical_seeds_reproduce_checksums_and_flops() {
+    let a = run(&tiny_config()).expect("run a");
+    let b = run(&tiny_config()).expect("run b");
+    for (ra, rb) in a.algos.iter().zip(&b.algos) {
+        assert_eq!(ra.algo, rb.algo);
+        assert_eq!(ra.checksum.to_bits(), rb.checksum.to_bits(), "{}", ra.algo.name());
+        assert_eq!(ra.agg.total_flops, rb.agg.total_flops, "{}", ra.algo.name());
+    }
+}
+
+#[test]
+fn report_round_trips_through_json() {
+    let report = run(&tiny_config()).expect("harness run");
+    let text = report.to_json().pretty();
+    let parsed = json::parse(&text).expect("parse emitted JSON");
+    let back = BenchReport::from_json(&parsed).expect("decode report");
+    assert_eq!(back.schema, report.schema);
+    assert_eq!(back.scale, report.scale);
+    assert_eq!(back.seed, report.seed);
+    assert_eq!(back.nedges, report.nedges);
+    assert_eq!(back.sources, report.sources);
+    assert_eq!(back.algos.len(), report.algos.len());
+    for (ra, rb) in report.algos.iter().zip(&back.algos) {
+        assert_eq!(ra.algo, rb.algo);
+        assert_eq!(ra.trials_ns, rb.trials_ns);
+        assert_eq!(ra.agg, rb.agg);
+        assert_eq!(ra.checksum, rb.checksum);
+    }
+}
+
+/// The acceptance criterion: a 20% injected slowdown must trip the
+/// default 10% threshold, and only for the algorithm it was injected
+/// into.
+#[test]
+fn compare_detects_injected_slowdown() {
+    let old = run(&tiny_config()).expect("harness run");
+    let mut new = old.clone();
+    let victim = new.algos.iter_mut().find(|r| r.algo == Algo::PageRank).expect("pagerank");
+    for t in &mut victim.trials_ns {
+        *t = *t + *t / 5; // +20%
+    }
+
+    let cmp = compare(&old, &new, 0.10, Metric::Wall);
+    assert!(cmp.regressed());
+    for row in &cmp.rows {
+        assert_eq!(
+            row.regressed,
+            row.algo == "pagerank",
+            "{}: {:+.1}%",
+            row.algo,
+            row.delta * 100.0
+        );
+        assert!(!row.checksum_drift);
+    }
+    // A generous threshold tolerates the same delta.
+    assert!(!compare(&old, &new, 0.30, Metric::Wall).regressed());
+    // The rendered table names the regression.
+    assert!(cmp.render(Metric::Wall).contains("REGRESSED"));
+}
+
+#[test]
+fn compare_on_flops_metric_catches_work_growth() {
+    let old = run(&tiny_config()).expect("harness run");
+    let mut new = old.clone();
+    new.algos[0].agg.total_flops = old.algos[0].agg.total_flops * 6 / 5 + 1;
+    let cmp = compare(&old, &new, 0.10, Metric::Flops);
+    assert!(cmp.regressed());
+    // Wall metric is untouched by the flops injection.
+    assert!(!compare(&old, &new, 0.10, Metric::Wall).regressed());
+}
+
+#[test]
+fn compare_flags_checksum_drift() {
+    let old = run(&tiny_config()).expect("harness run");
+    let mut new = old.clone();
+    new.algos[0].checksum += 1.0;
+    let cmp = compare(&old, &new, 0.10, Metric::Wall);
+    assert!(cmp.rows.iter().any(|r| r.checksum_drift));
+    // Different workload parameters: drift is expected, not flagged.
+    new.seed += 1;
+    let cmp = compare(&old, &new, 0.10, Metric::Wall);
+    assert!(cmp.rows.iter().all(|r| !r.checksum_drift));
+}
+
+#[test]
+fn compare_reports_unmatched_algorithms() {
+    let old = run(&tiny_config()).expect("harness run");
+    let mut new = old.clone();
+    new.algos.retain(|r| r.algo != Algo::Cc);
+    let cmp = compare(&old, &new, 0.10, Metric::Wall);
+    assert_eq!(cmp.unmatched, vec!["cc".to_string()]);
+    assert!(cmp.render(Metric::Wall).contains("only one report"));
+}
+
+#[test]
+fn from_json_rejects_foreign_documents() {
+    let doc = json::parse(r#"{"schema": "something-else/1", "algos": {}}"#).expect("parse");
+    assert!(BenchReport::from_json(&doc).is_err());
+    let doc = json::parse(r#"{"scale": 5}"#).expect("parse");
+    assert!(BenchReport::from_json(&doc).is_err());
+}
+
+#[test]
+fn quantiles_are_nearest_rank() {
+    assert_eq!(quantile_ns(&[], 0.5), 0);
+    assert_eq!(quantile_ns(&[7], 0.5), 7);
+    assert_eq!(quantile_ns(&[30, 10, 20], 0.5), 20);
+    assert_eq!(quantile_ns(&[30, 10, 20], 0.95), 30);
+    assert_eq!(quantile_ns(&[4, 3, 2, 1], 0.5), 2);
+}
+
+#[test]
+fn file_name_embeds_scale_and_date() {
+    let mut report = run(&tiny_config()).expect("harness run");
+    report.date = "2026-08-06".to_string();
+    assert_eq!(report.file_name(), "BENCH_6_20260806.json");
+}

@@ -9,6 +9,13 @@
 //! * [`bfs_level_direction`] — the direction-optimized (push/pull) BFS of
 //!   Beamer et al. that §II.A and §II.E describe, with an explicit
 //!   [`Direction`] override for the benchmark harness.
+//!
+//! All variants run in O(n + e) work over the visited component
+//! (direction optimization lowers the constant on scale-free graphs, not
+//! the bound) using the `LOR_LAND` logical semiring for levels and
+//! `ANY_SECOND` for parents. BFS is GAP benchmark kernel #1; the
+//! `lagraph-bench` harness times [`bfs_level_matrix`] with `Auto`
+//! direction from multiple sources, GAP-style.
 
 use graphblas::prelude::*;
 use graphblas::semiring::{ANY_SECOND, LOR_LAND};

@@ -1,7 +1,12 @@
 //! Connected components via FastSV (Zhang, Azad, Buluç), the
 //! linear-algebraic successor of LACC cited by the paper: min-label
-//! hooking through `mxv` over the MIN_SECOND semiring plus pointer
-//! shortcutting with `extract`.
+//! hooking through `mxv` over the `MIN_SECOND` semiring plus pointer
+//! shortcutting with `extract`. Connected components is GAP benchmark
+//! kernel #5.
+//!
+//! Each round costs O(n + e); label trees halve in height per round, so
+//! the round count is O(log n) — in practice a handful even at large
+//! scale.
 
 use graphblas::prelude::*;
 use graphblas::semiring::MIN_SECOND;

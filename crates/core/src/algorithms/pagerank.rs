@@ -1,6 +1,11 @@
-//! PageRank, in the GAP-benchmark formulation LAGraph adopted: structure
-//! only (weights ignored), damping, explicit handling of dangling
-//! (sink) vertices, iterating to an L1 tolerance.
+//! PageRank, in the GAP-benchmark formulation LAGraph adopted (GAP
+//! kernel #4): structure only (weights ignored), damping, explicit
+//! handling of dangling (sink) vertices, iterating to an L1 tolerance.
+//!
+//! Each iteration is one `mxv` over the `PLUS_SECOND` semiring on the
+//! transposed structure — O(e) per iteration, O(e · iters) total, with
+//! the iteration count set by the damping factor and tolerance rather
+//! than the graph size.
 
 use graphblas::prelude::*;
 use graphblas::semiring::PLUS_SECOND;

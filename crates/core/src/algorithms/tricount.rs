@@ -2,7 +2,13 @@
 //! masked-mxm formulations SuiteSparse popularized. All use the
 //! structural `PLUS_PAIR` semiring, the masked `mxm` kernels, and the
 //! `tril`/`triu` selects. The graph must be undirected with no
-//! self-loops.
+//! self-loops. Triangle counting is GAP benchmark kernel #6 (and the
+//! GraphChallenge kernel).
+//!
+//! The masked product only computes entries where the mask is present,
+//! so the cost is O(Σ_edges min(deg(u), deg(v))) wedge checks rather
+//! than a full e² sparse product — the Sandia lower-triangular form has
+//! the smallest constant of the three.
 
 use graphblas::prelude::*;
 use graphblas::semiring::PLUS_PAIR;

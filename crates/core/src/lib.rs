@@ -14,9 +14,14 @@
 //! *serving* layer: a [`service::GraphService`] multiplexes concurrent
 //! read queries over epoch-tagged immutable snapshots while a background
 //! drainer batches streaming edge updates through the GraphBLAS
-//! pending-tuple/zombie machinery.
+//! pending-tuple/zombie machinery. The [`gen`] module generates the
+//! seeded Graph500-style synthetic workloads the `lagraph-bench` harness
+//! (and any reproducible experiment) measures against.
+
+#![warn(missing_docs)]
 
 pub mod algorithms;
+pub mod gen;
 pub mod graph;
 pub mod harness;
 pub mod service;

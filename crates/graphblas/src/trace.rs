@@ -1055,6 +1055,167 @@ impl Profile {
 }
 
 // ---------------------------------------------------------------------------
+// Per-run aggregate (machine-readable benchmark export)
+// ---------------------------------------------------------------------------
+
+/// Whole-run roll-up of a batch of trace events into the handful of
+/// scalar facts a benchmark run wants to persist: accumulated work
+/// estimate, direction-choice counts, mispredictions, and the peak
+/// deferred-update backlog any single assembly resolved. Unlike
+/// [`Profile`] (per-span histograms for humans) this is flat and
+/// schema-friendly — `lagraph-bench` writes one `RunAggregate` per
+/// algorithm into its `BENCH_*.json` reports.
+///
+/// Build incrementally with [`record`](RunAggregate::record) across
+/// several [`drain`] calls (e.g. once per trial), or in one shot with
+/// [`from_events`](RunAggregate::from_events).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunAggregate {
+    /// Spans aggregated (instant events are counted separately below).
+    pub spans: u64,
+    /// Summed wall time of GraphBLAS-op spans ([`Cat::Op`]), in
+    /// nanoseconds. Algorithm and runtime spans are excluded so nested
+    /// spans are not double-counted.
+    pub op_wall_ns: u64,
+    /// Accumulated flops-order work estimate over spans carrying a
+    /// `flops` argument.
+    pub total_flops: u64,
+    /// Products that ran the push (scatter) kernel, masked or not,
+    /// including dual-storage fallbacks into push.
+    pub push: u64,
+    /// Products that ran the pull (dot) kernel, including fallbacks.
+    pub pull: u64,
+    /// Push/pull products where the cost model's preferred direction
+    /// lacked dual storage, so the natural orientation ran instead.
+    pub direction_fallbacks: u64,
+    /// `mxv.mispredict` instants: products whose measured work priced
+    /// higher than the model's estimate for the rejected direction.
+    pub mispredicts: u64,
+    /// `mxm` invocations per kernel: Gustavson (row-merge).
+    pub mxm_gustavson: u64,
+    /// `mxm` invocations that ran the masked/unmasked dot kernel.
+    pub mxm_dot: u64,
+    /// `mxm` invocations that ran the heap (k-way merge) kernel.
+    pub mxm_heap: u64,
+    /// Lazy assemblies (pending-tuple/zombie resolutions) observed.
+    pub assemblies: u64,
+    /// Largest pending-tuple backlog any single assembly resolved.
+    pub peak_pending: u64,
+    /// Largest zombie count any single assembly resolved.
+    pub peak_zombies: u64,
+    /// Total parallel chunks accumulated on spans.
+    pub chunks: u64,
+    /// Reductions that short-circuited on a terminal value.
+    pub early_exits: u64,
+}
+
+impl RunAggregate {
+    /// Aggregate a batch of drained events.
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut agg = RunAggregate::default();
+        for e in events {
+            agg.record(e);
+        }
+        agg
+    }
+
+    /// Fold one event into the aggregate.
+    pub fn record(&mut self, e: &Event) {
+        if e.dur_ns == 0 {
+            match e.name {
+                "mxv.mispredict" => self.mispredicts += 1,
+                "reduce.early_exit" => self.early_exits += 1,
+                _ => {}
+            }
+            return;
+        }
+        self.spans += 1;
+        if e.cat == Cat::Op {
+            self.op_wall_ns += e.dur_ns;
+        }
+        if let Some(f) = e.arg_u64("flops") {
+            self.total_flops += f;
+        }
+        if let Some(c) = e.arg_u64("chunks") {
+            self.chunks += c;
+        }
+        match e.kernel {
+            Some("push") | Some("push(masked)") => self.push += 1,
+            Some("pull") => self.pull += 1,
+            Some("push(fallback)") => {
+                self.push += 1;
+                self.direction_fallbacks += 1;
+            }
+            Some("pull(fallback)") => {
+                self.pull += 1;
+                self.direction_fallbacks += 1;
+            }
+            Some("gustavson") => self.mxm_gustavson += 1,
+            Some("dot") => self.mxm_dot += 1,
+            Some("heap") => self.mxm_heap += 1,
+            _ => {}
+        }
+        if matches!(e.name, "assemble.matrix" | "assemble.vector") {
+            self.assemblies += 1;
+            if let Some(p) = e.arg_u64("pending") {
+                self.peak_pending = self.peak_pending.max(p);
+            }
+            if let Some(z) = e.arg_u64("zombies") {
+                self.peak_zombies = self.peak_zombies.max(z);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod aggregate_tests {
+    use super::*;
+
+    fn span(name: &'static str, cat: Cat, kernel: Option<&'static str>, dur: u64) -> Event {
+        Event { name, cat, kernel, t0_ns: 0, dur_ns: dur, tid: 0, args: Vec::new() }
+    }
+
+    #[test]
+    fn run_aggregate_rolls_up_directions_flops_and_assembly_peaks() {
+        let mut push = span("mxv", Cat::Op, Some("push"), 10);
+        push.args.push(("flops", ArgValue::U64(100)));
+        let mut pull = span("mxv", Cat::Op, Some("pull(fallback)"), 20);
+        pull.args.push(("flops", ArgValue::U64(50)));
+        let mut asm_small = span("assemble.matrix", Cat::Runtime, None, 5);
+        asm_small.args.push(("pending", ArgValue::U64(3)));
+        asm_small.args.push(("zombies", ArgValue::U64(1)));
+        let mut asm_big = span("assemble.vector", Cat::Runtime, None, 5);
+        asm_big.args.push(("pending", ArgValue::U64(77)));
+        asm_big.args.push(("zombies", ArgValue::U64(0)));
+        let mis = span("mxv.mispredict", Cat::Runtime, Some("push"), 0);
+        let ee = span("reduce.early_exit", Cat::Runtime, None, 0);
+        let algo = span("bfs", Cat::Algo, None, 1000);
+
+        let agg = RunAggregate::from_events(&[push, pull, asm_small, asm_big, mis, ee, algo]);
+        assert_eq!(agg.spans, 5);
+        assert_eq!(agg.op_wall_ns, 30, "only Cat::Op spans count toward op wall");
+        assert_eq!(agg.total_flops, 150);
+        assert_eq!((agg.push, agg.pull), (1, 1));
+        assert_eq!(agg.direction_fallbacks, 1);
+        assert_eq!(agg.mispredicts, 1);
+        assert_eq!(agg.early_exits, 1);
+        assert_eq!(agg.assemblies, 2);
+        assert_eq!((agg.peak_pending, agg.peak_zombies), (77, 1));
+    }
+
+    #[test]
+    fn run_aggregate_counts_mxm_kernels() {
+        let events: Vec<Event> = [("gustavson", 3), ("dot", 2), ("heap", 1)]
+            .iter()
+            .flat_map(|&(k, c)| (0..c).map(move |_| span("mxm", Cat::Op, Some(k), 7)))
+            .collect();
+        let agg = RunAggregate::from_events(&events);
+        assert_eq!((agg.mxm_gustavson, agg.mxm_dot, agg.mxm_heap), (3, 2, 1));
+        assert_eq!(agg.spans, 6);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Tests (run under `--features trace`: they toggle process-global trace
 // state, so the dedicated CI feature job runs them while default test
 // runs — which share the process with unrelated concurrent tests — skip

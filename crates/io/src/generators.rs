@@ -15,9 +15,12 @@ pub struct RmatParams {
     pub scale: u32,
     /// Average edges per vertex (Graph500 uses 16).
     pub edge_factor: usize,
-    /// Quadrant probabilities; Graph500 uses (0.57, 0.19, 0.19, 0.05).
+    /// Top-left quadrant probability; Graph500 uses a = 0.57 (with
+    /// b = c = 0.19, leaving 0.05 for the bottom-right quadrant).
     pub a: f64,
+    /// Top-right quadrant probability (0.19 in Graph500).
     pub b: f64,
+    /// Bottom-left quadrant probability (0.19 in Graph500).
     pub c: f64,
     /// RNG seed.
     pub seed: u64,

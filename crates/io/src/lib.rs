@@ -10,6 +10,12 @@
 //!   import/export of §IV,
 //! * [`loc`] — a `cloc`-equivalent line counter used to regenerate the
 //!   paper's Table II.
+//!
+//! For benchmarking, prefer the thread-count-independent parallel
+//! generators in `lagraph::gen` — the ones here are the simple
+//! sequential reference versions.
+
+#![warn(missing_docs)]
 
 pub mod binary;
 pub mod generators;
