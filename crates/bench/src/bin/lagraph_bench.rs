@@ -48,7 +48,8 @@ COMPARE OPTIONS:
                    under a pinned GRAPHBLAS_COST_MODEL — use in CI)
 
 EXIT CODES:
-  0 success / no regression    1 usage or runtime error    2 regression
+  0 success / no regression    1 usage or runtime error
+  2 regression or checksum drift (same workload, different outputs)
 ";
 
 fn main() -> ExitCode {
@@ -168,6 +169,10 @@ fn run_compare(
     print!("{}", cmp.render(metric));
     if cmp.regressed() {
         eprintln!("regression detected (> {:.0}%)", threshold * 100.0);
+        return Ok(ExitCode::from(2));
+    }
+    if cmp.rows.iter().any(|r| r.checksum_drift) {
+        eprintln!("checksum drift detected: same workload, different outputs");
         return Ok(ExitCode::from(2));
     }
     Ok(ExitCode::SUCCESS)

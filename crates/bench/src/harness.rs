@@ -316,27 +316,28 @@ pub fn run_on(cfg: &HarnessConfig, graph: &Graph) -> Result<BenchReport> {
 }
 
 /// Pick `k` distinct source vertices with at least one out-edge,
-/// deterministically from `seed` (probe order is a pure function of it).
+/// deterministically from `seed`. Walks a seeded uniform permutation of
+/// the vertices ([`lagraph::gen::permutation`]), so the sources are
+/// distinct by construction, unbiased across the vertex set, and every
+/// eligible vertex is reachable. (The previous stride walk started at
+/// `seed * 31 mod n`, which collapsed congruent seeds onto the same
+/// probe sequence and skewed sources toward the walk's early slots.)
 fn pick_sources(graph: &Graph, k: usize, seed: u64) -> Result<Vec<usize>> {
     let n = graph.nvertices();
     let deg = graph.out_degree()?;
-    let mut out = Vec::with_capacity(k);
-    // Golden-ratio stride walk from a seeded start: hits every vertex
-    // eventually (stride odd, n arbitrary → probe 2n slots).
-    let stride = (0x9E37_79B9_7F4A_7C15u64 | 1) as usize;
-    let mut v = (seed as usize).wrapping_mul(31) % n.max(1);
-    for _ in 0..(2 * n) {
-        if out.len() == k {
-            break;
-        }
-        if deg.get(v).unwrap_or(0) > 0 && !out.contains(&v) {
-            out.push(v);
-        }
-        v = (v + stride) % n;
-    }
+    let out: Vec<usize> = lagraph::gen::permutation(n, seed)
+        .into_iter()
+        .filter(|&v| deg.get(v).unwrap_or(0) > 0)
+        .take(k)
+        .collect();
     if out.is_empty() {
         return Err(Error::invalid("workload has no vertex with out-edges"));
     }
+    debug_assert_eq!(
+        out.iter().collect::<std::collections::HashSet<_>>().len(),
+        out.len(),
+        "sources must be distinct"
+    );
     Ok(out)
 }
 
@@ -407,6 +408,8 @@ impl BenchReport {
                     ("peak_zombies".into(), a.peak_zombies.into()),
                     ("chunks".into(), a.chunks.into()),
                     ("early_exits".into(), a.early_exits.into()),
+                    ("specialized".into(), a.specialized.into()),
+                    ("mxm_fused".into(), a.mxm_fused.into()),
                     ("spans".into(), a.spans.into()),
                     ("op_wall_ns".into(), a.op_wall_ns.into()),
                     ("checksum".into(), r.checksum.into()),
@@ -468,6 +471,9 @@ impl BenchReport {
                 peak_zombies: au64("peak_zombies"),
                 chunks: au64("chunks"),
                 early_exits: au64("early_exits"),
+                // Absent in pre-specialization reports; au64 defaults to 0.
+                specialized: au64("specialized"),
+                mxm_fused: au64("mxm_fused"),
             };
             let checksum = av.get("checksum").and_then(Value::as_f64).unwrap_or(0.0);
             algos.push(AlgoResult { algo, trials_ns, agg, checksum });

@@ -48,6 +48,24 @@ fn tiny_run_produces_a_complete_report() {
 }
 
 #[test]
+fn sources_are_distinct_and_seed_dependent() {
+    let a = run(&tiny_config()).expect("run a");
+    let uniq: std::collections::HashSet<_> = a.sources.iter().collect();
+    assert_eq!(uniq.len(), a.sources.len(), "sources must be distinct");
+    assert_eq!(a.sources.len(), 2);
+    let b = run(&HarnessConfig { seed: 43, ..tiny_config() }).expect("run b");
+    assert_ne!(a.sources, b.sources, "different seeds pick different sources");
+}
+
+#[test]
+fn fused_and_specialized_kernels_are_counted() {
+    let report = run(&tiny_config()).expect("harness run");
+    let tc = report.algos.iter().find(|r| r.algo == Algo::TriCount).expect("tricount");
+    assert!(tc.agg.mxm_fused > 0, "tricount runs the fused multiply-reduce");
+    assert!(tc.agg.specialized > 0, "tricount's semiring is specialized");
+}
+
+#[test]
 fn identical_seeds_reproduce_checksums_and_flops() {
     let a = run(&tiny_config()).expect("run a");
     let b = run(&tiny_config()).expect("run b");

@@ -1,10 +1,9 @@
 //! k-truss decomposition (Davis, HPEC'18; Low et al., HPEC'18): the
-//! masked `C⟨C⟩ = C ⊕.pair Cᵀ` support computation followed by a `select`
-//! on the support threshold, iterated to fixpoint.
+//! masked `C⟨C⟩ = C ⊕.pair Cᵀ` support computation fused with the
+//! `select` on the support threshold, iterated to fixpoint.
 
 use graphblas::prelude::*;
 use graphblas::semiring::PLUS_PAIR;
-use graphblas::unaryop::ValueGe;
 
 use crate::graph::Graph;
 
@@ -25,22 +24,18 @@ pub fn ktruss(graph: &Graph, k: u64) -> Result<Matrix<u64>> {
     loop {
         let nvals_before = c.nvals();
         // support(i,j) = # common neighbors of i and j within C
-        //   = (C ⊕.pair Cᵀ)(i,j), masked to C's edges.
+        //   = (C ⊕.pair Cᵀ)(i,j), masked to C's edges. The fused kernel
+        // applies the support threshold as each dot product completes, so
+        // the unthresholded support matrix is never materialized.
         let mask = c.pattern();
-        let csnap = c.clone();
-        let mut sup = Matrix::<u64>::new(n, n)?;
-        mxm(
-            &mut sup,
-            Some(&mask),
-            NOACC,
+        let kept = fused_mxm_select(
+            |v: u64| v >= support,
+            &mask,
             &PLUS_PAIR,
-            &csnap,
-            &csnap,
+            &c,
+            &c,
             &Descriptor::new().structural().transpose_b().method(MxmMethod::Dot),
         )?;
-        // Keep edges with enough support.
-        let mut kept = Matrix::<u64>::new(n, n)?;
-        select_matrix(&mut kept, None, NOACC, ValueGe(support), &sup, &Descriptor::default())?;
         c = kept;
         if c.nvals() == nvals_before {
             return Ok(c);

@@ -243,6 +243,28 @@ mod tests {
     }
 
     #[test]
+    fn integer_weights_near_max_saturate_instead_of_wrapping() {
+        // Bellman-Ford over an i64 adjacency, the same MIN_PLUS vxm loop
+        // as the f64 path. The 0→1 edge is within 5 of i64::MAX, so the
+        // relaxation 0→1→2 overflows a wrapping add into a huge negative
+        // "distance" that would beat every honest path; the saturating
+        // MIN_PLUS pins it at i64::MAX and the direct 0→2 edge wins.
+        let big = i64::MAX - 5;
+        let a = Matrix::from_tuples(3, 3, vec![(0, 1, big), (1, 2, 10), (0, 2, 100)], |_, b| b)
+            .expect("a");
+        let mut dist = Vector::<i64>::new(3).expect("dist");
+        dist.set_element(0, 0).expect("source");
+        for _ in 0..3 {
+            let d = dist.clone();
+            vxm(&mut dist, None, Some(binaryop::Min), &MIN_PLUS, &d, &a, &Descriptor::default())
+                .expect("vxm");
+        }
+        assert_eq!(dist.get(0), Some(0));
+        assert_eq!(dist.get(1), Some(big));
+        assert_eq!(dist.get(2), Some(100), "saturated path must not undercut the real one");
+    }
+
+    #[test]
     fn zero_weight_edges() {
         let g = Graph::from_weighted_edges(3, &[(0, 1, 0.0), (1, 2, 5.0)], GraphKind::Directed)
             .expect("graph");

@@ -19,23 +19,26 @@ pub fn triangle_centrality(graph: &Graph) -> Result<(Vector<f64>, u64)> {
     let a: &Matrix<bool> = &s;
     let n = a.nrows();
     // Per-vertex triangle counts t(v), and the triangle-edge matrix
-    // (entries of A supported by at least one triangle).
-    let mut wedge = Matrix::<u64>::new(n, n)?;
-    mxm(&mut wedge, Some(a), NOACC, &PLUS_PAIR, a, a, &Descriptor::new().structural())?;
+    // (entries of A supported by at least one triangle). The fused kernel
+    // emits the row sums and the product pattern without ever holding the
+    // wedge-count matrix itself.
+    let (row_sum, tri_edges): (Vector<u64>, Matrix<bool>) = fused_mxm_row_reduce_pattern(
+        &binaryop::Plus,
+        a,
+        &PLUS_PAIR,
+        a,
+        a,
+        &Descriptor::new().structural(),
+    )?;
     let mut t = Vector::<f64>::new(n)?;
-    {
-        let mut row_sum = Vector::<u64>::new(n)?;
-        reduce_matrix(&mut row_sum, None, NOACC, &binaryop::Plus, &wedge, &Descriptor::default())?;
-        apply(&mut t, None, NOACC, |x: u64| x as f64 / 2.0, &row_sum, &Descriptor::default())?;
-    }
-    let total = reduce_matrix_scalar(&binaryop::Plus, &wedge) / 6;
+    apply(&mut t, None, NOACC, |x: u64| x as f64 / 2.0, &row_sum, &Descriptor::default())?;
+    let total = reduce_vector_scalar(&binaryop::Plus, &row_sum) / 6;
     if total == 0 {
         return Ok((Vector::new(n)?, 0));
     }
     // Neighbor sums of t over all edges (A) and over triangle edges only.
     let mut nbr_all = Vector::<f64>::new(n)?;
     mxv(&mut nbr_all, None, NOACC, &PLUS_SECOND, a, &t, &Descriptor::default())?;
-    let tri_edges = wedge.pattern();
     let mut nbr_tri = Vector::<f64>::new(n)?;
     mxv(
         &mut nbr_tri,

@@ -43,34 +43,45 @@ pub fn triangle_count(graph: &Graph, method: TriCountMethod) -> Result<u64> {
             TriCountMethod::Sandia => "sandia",
         },
     );
+    // Each formulation reduces the masked product straight to a scalar;
+    // the fused kernel never materializes C = A*B.
     match method {
         TriCountMethod::Burkhardt => {
-            // C<A> = A ⊕.pair A ; count = sum(C) / 6
-            let mut c = Matrix::<u64>::new(n, n)?;
-            mxm(&mut c, Some(a), NOACC, &PLUS_PAIR, a, a, &Descriptor::new().structural())?;
-            Ok(reduce_matrix_scalar(&binaryop::Plus, &c) / 6)
+            // count = sum(A ⊕.pair A over mask A) / 6
+            let wedges: u64 = fused_mxm_reduce_scalar(
+                &binaryop::Plus,
+                a,
+                &PLUS_PAIR,
+                a,
+                a,
+                &Descriptor::new().structural(),
+            )?;
+            Ok(wedges / 6)
         }
         TriCountMethod::Cohen => {
             let l = tril(a)?;
             let u = triu(a)?;
-            let mut c = Matrix::<u64>::new(n, n)?;
-            mxm(&mut c, Some(a), NOACC, &PLUS_PAIR, &l, &u, &Descriptor::new().structural())?;
-            Ok(reduce_matrix_scalar(&binaryop::Plus, &c) / 2)
+            let wedges: u64 = fused_mxm_reduce_scalar(
+                &binaryop::Plus,
+                a,
+                &PLUS_PAIR,
+                &l,
+                &u,
+                &Descriptor::new().structural(),
+            )?;
+            Ok(wedges / 2)
         }
         TriCountMethod::Sandia => {
-            // C<L> = L ⊕.pair Lᵀ, the masked dot-product formulation.
+            // sum(L ⊕.pair Lᵀ over mask L), the masked dot-product form.
             let l = tril(a)?;
-            let mut c = Matrix::<u64>::new(n, n)?;
-            mxm(
-                &mut c,
-                Some(&l),
-                NOACC,
+            fused_mxm_reduce_scalar(
+                &binaryop::Plus,
+                &l,
                 &PLUS_PAIR,
                 &l,
                 &l,
                 &Descriptor::new().structural().transpose_b().method(MxmMethod::Dot),
-            )?;
-            Ok(reduce_matrix_scalar(&binaryop::Plus, &c))
+            )
         }
     }
 }
@@ -81,10 +92,16 @@ pub fn triangle_count_per_vertex(graph: &Graph) -> Result<Vector<u64>> {
     let s = graph.structure()?;
     let a: &Matrix<bool> = &s;
     let n = a.nrows();
-    let mut c = Matrix::<u64>::new(n, n)?;
-    mxm(&mut c, Some(a), NOACC, &PLUS_PAIR, a, a, &Descriptor::new().structural())?;
-    let mut t = Vector::<u64>::new(n)?;
-    reduce_matrix(&mut t, None, NOACC, &binaryop::Plus, &c, &Descriptor::default())?;
+    // Row sums of the masked wedge product, fused so the wedge matrix is
+    // never materialized.
+    let t: Vector<u64> = fused_mxm_row_reduce(
+        &binaryop::Plus,
+        a,
+        &PLUS_PAIR,
+        a,
+        a,
+        &Descriptor::new().structural(),
+    )?;
     // Each triangle through v is counted twice in the wedge sum.
     let mut halved = Vector::<u64>::new(n)?;
     apply(&mut halved, None, NOACC, |x: u64| x / 2, &t, &Descriptor::default())?;

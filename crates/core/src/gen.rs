@@ -356,6 +356,50 @@ pub fn uniform_degree_undirected(n: Index, d: usize, seed: u64) -> Result<Matrix
 }
 
 // ---------------------------------------------------------------------------
+// Seeded sampling
+// ---------------------------------------------------------------------------
+
+/// A seeded uniform permutation of `0..n` (Fisher–Yates over the
+/// SplitMix64 stream). Deterministic in `seed`; scanning a prefix gives
+/// distinct uniform draws with guaranteed full coverage — the benchmark
+/// harness walks this to pick source vertices.
+pub fn permutation(n: Index, seed: u64) -> Vec<Index> {
+    let mut out: Vec<Index> = (0..n).collect();
+    let mut s = Stream::new(seed, 0x5EED50_u64);
+    for i in (1..n).rev() {
+        let j = s.next_below(i as u64 + 1) as usize;
+        out.swap(i, j);
+    }
+    out
+}
+
+/// `k` distinct uniform indices from `[0, n)`, deterministic in `seed`.
+/// Rejection-samples the SplitMix64 stream while the draw is cheap and
+/// falls back to a [`permutation`] prefix once `k` nears `n`, so it
+/// terminates in O(n) worst case. `k` is clamped to `n`.
+pub fn sample_distinct(n: Index, k: usize, seed: u64) -> Vec<Index> {
+    let k = k.min(n);
+    if k == 0 || n == 0 {
+        return Vec::new();
+    }
+    if k * 4 >= n {
+        let mut p = permutation(n, seed);
+        p.truncate(k);
+        return p;
+    }
+    let mut s = Stream::new(seed, 0x5EED51_u64);
+    let mut seen = std::collections::HashSet::with_capacity(k * 2);
+    let mut out = Vec::with_capacity(k);
+    while out.len() < k {
+        let v = s.next_below(n as u64) as Index;
+        if seen.insert(v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Workload selection (the harness vocabulary)
 // ---------------------------------------------------------------------------
 
@@ -510,6 +554,33 @@ mod tests {
     #[test]
     fn uniform_degree_rejects_impossible() {
         assert!(uniform_degree(4, 4, 0).is_err());
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let p = permutation(257, 11);
+        let mut seen = vec![false; 257];
+        for &v in &p {
+            assert!(!seen[v], "duplicate {v}");
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Deterministic in the seed, different across seeds.
+        assert_eq!(p, permutation(257, 11));
+        assert_ne!(p, permutation(257, 12));
+    }
+
+    #[test]
+    fn sample_distinct_is_distinct_and_seeded() {
+        for (n, k) in [(1000, 8), (16, 12), (5, 5), (5, 9), (7, 0)] {
+            let s = sample_distinct(n, k, 3);
+            assert_eq!(s.len(), k.min(n), "n={n} k={k}");
+            let uniq: std::collections::HashSet<_> = s.iter().collect();
+            assert_eq!(uniq.len(), s.len(), "duplicates for n={n} k={k}");
+            assert!(s.iter().all(|&v| v < n));
+            assert_eq!(s, sample_distinct(n, k, 3), "must be pure in the seed");
+        }
+        assert_ne!(sample_distinct(1000, 8, 3), sample_distinct(1000, 8, 4));
     }
 
     #[test]

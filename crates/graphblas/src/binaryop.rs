@@ -13,10 +13,47 @@
 
 use crate::types::{Num, Scalar};
 
+/// Identity of a built-in operator, used by the kernel-specialization table
+/// (`ops::spec`) to recognize the handful of semirings that get
+/// monomorphized inner loops. Only operators that participate in a
+/// specialized semiring report an id; everything else — including every
+/// user-defined closure — stays `None` and takes the generic path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum OpId {
+    /// `GrB_PLUS` (wrapping integer add).
+    Plus,
+    /// Saturating add — the tropical-semiring additive operator.
+    SaturatingPlus,
+    /// `GrB_TIMES`.
+    Times,
+    /// `GrB_MIN`.
+    Min,
+    /// `GxB_PAIR` / `GrB_ONEB`.
+    Pair,
+    /// `GrB_FIRST`.
+    First,
+    /// `GrB_SECOND`.
+    Second,
+    /// `GrB_LOR`.
+    Lor,
+    /// `GrB_LAND`.
+    Land,
+    /// The `GxB_ANY` pseudo-monoid operator.
+    Any,
+}
+
 /// A binary operator `z = f(x, y)` over GraphBLAS domains.
 pub trait BinaryOp<A: Scalar, B: Scalar, C: Scalar>: Copy + Send + Sync {
     /// Apply the operator.
     fn apply(&self, a: A, b: B) -> C;
+
+    /// Identity of this operator for kernel specialization, or `None` for
+    /// operators with no specialized kernels (the default — closures and
+    /// most built-ins inherit it).
+    fn op_id(&self) -> Option<OpId> {
+        None
+    }
 }
 
 /// Any copyable closure is a user-defined binary operator.
@@ -60,6 +97,12 @@ unit_op!(
 unit_op!(
     /// `z = x + y` (`GrB_PLUS`).
     Plus
+);
+unit_op!(
+    /// `z = x + y` with saturating integer semantics — the additive
+    /// operator of the tropical semirings, where the `MAX`/`MIN` sentinels
+    /// play ±∞ and must absorb rather than wrap (see [`Num::sadd`]).
+    SaturatingPlus
 );
 unit_op!(
     /// `z = x - y` (`GrB_MINUS`).
@@ -146,11 +189,17 @@ impl<A: Scalar, B: Scalar> BinaryOp<A, B, A> for First {
     fn apply(&self, a: A, _: B) -> A {
         a
     }
+    fn op_id(&self) -> Option<OpId> {
+        Some(OpId::First)
+    }
 }
 
 impl<A: Scalar, B: Scalar> BinaryOp<A, B, B> for Second {
     fn apply(&self, _: A, b: B) -> B {
         b
+    }
+    fn op_id(&self) -> Option<OpId> {
+        Some(OpId::Second)
     }
 }
 
@@ -158,11 +207,17 @@ impl<A: Scalar, B: Scalar, C: Num> BinaryOp<A, B, C> for Pair {
     fn apply(&self, _: A, _: B) -> C {
         C::one()
     }
+    fn op_id(&self) -> Option<OpId> {
+        Some(OpId::Pair)
+    }
 }
 
 impl<T: Num> BinaryOp<T, T, T> for Min {
     fn apply(&self, a: T, b: T) -> T {
         a.nmin(b)
+    }
+    fn op_id(&self) -> Option<OpId> {
+        Some(OpId::Min)
     }
 }
 
@@ -175,6 +230,18 @@ impl<T: Num> BinaryOp<T, T, T> for Max {
 impl<T: Num> BinaryOp<T, T, T> for Plus {
     fn apply(&self, a: T, b: T) -> T {
         a.nadd(b)
+    }
+    fn op_id(&self) -> Option<OpId> {
+        Some(OpId::Plus)
+    }
+}
+
+impl<T: Num> BinaryOp<T, T, T> for SaturatingPlus {
+    fn apply(&self, a: T, b: T) -> T {
+        a.sadd(b)
+    }
+    fn op_id(&self) -> Option<OpId> {
+        Some(OpId::SaturatingPlus)
     }
 }
 
@@ -193,6 +260,9 @@ impl<T: Num> BinaryOp<T, T, T> for Rminus {
 impl<T: Num> BinaryOp<T, T, T> for Times {
     fn apply(&self, a: T, b: T) -> T {
         a.nmul(b)
+    }
+    fn op_id(&self) -> Option<OpId> {
+        Some(OpId::Times)
     }
 }
 
@@ -259,6 +329,9 @@ impl<T: Scalar> BinaryOp<T, T, T> for Lor {
             T::zero()
         }
     }
+    fn op_id(&self) -> Option<OpId> {
+        Some(OpId::Lor)
+    }
 }
 
 impl<T: Scalar> BinaryOp<T, T, T> for Land {
@@ -272,6 +345,9 @@ impl<T: Scalar> BinaryOp<T, T, T> for Land {
         } else {
             T::zero()
         }
+    }
+    fn op_id(&self) -> Option<OpId> {
+        Some(OpId::Land)
     }
 }
 
@@ -334,5 +410,30 @@ mod tests {
     fn closures_are_binary_ops() {
         let hypot = |a: f64, b: f64| (a * a + b * b).sqrt();
         assert_eq!(BinaryOp::<f64, f64, f64>::apply(&hypot, 3.0, 4.0), 5.0);
+    }
+
+    #[test]
+    fn saturating_plus_clamps_integers() {
+        assert_eq!(BinaryOp::<i32, i32, i32>::apply(&SaturatingPlus, 2, 3), 5);
+        assert_eq!(BinaryOp::<i64, i64, i64>::apply(&SaturatingPlus, i64::MAX, 7), i64::MAX);
+        assert_eq!(BinaryOp::<f64, f64, f64>::apply(&SaturatingPlus, 1.5, 2.5), 4.0);
+    }
+
+    #[test]
+    fn op_ids_cover_the_specialized_set_only() {
+        assert_eq!(BinaryOp::<i64, i64, i64>::op_id(&Plus), Some(OpId::Plus));
+        assert_eq!(BinaryOp::<i64, i64, i64>::op_id(&SaturatingPlus), Some(OpId::SaturatingPlus));
+        assert_eq!(BinaryOp::<i64, i64, i64>::op_id(&Times), Some(OpId::Times));
+        assert_eq!(BinaryOp::<i64, i64, i64>::op_id(&Min), Some(OpId::Min));
+        assert_eq!(BinaryOp::<u64, u64, u64>::op_id(&Pair), Some(OpId::Pair));
+        assert_eq!(BinaryOp::<bool, bool, bool>::op_id(&Lor), Some(OpId::Lor));
+        assert_eq!(BinaryOp::<bool, bool, bool>::op_id(&Land), Some(OpId::Land));
+        assert_eq!(BinaryOp::<i64, i64, i64>::op_id(&First), Some(OpId::First));
+        assert_eq!(BinaryOp::<i64, i64, i64>::op_id(&Second), Some(OpId::Second));
+        // Unspecialized built-ins and closures stay on the generic path.
+        assert_eq!(BinaryOp::<i64, i64, i64>::op_id(&Max), None);
+        assert_eq!(BinaryOp::<i64, i64, i64>::op_id(&Minus), None);
+        let f = |a: i64, b: i64| a ^ b;
+        assert_eq!(BinaryOp::<i64, i64, i64>::op_id(&f), None);
     }
 }

@@ -86,6 +86,17 @@ fn apply_vec_entries<A: Scalar, T: Scalar>(
                 idx[r.clone()].iter().zip(&val[r.clone()]).map(|(&i, &x)| f(i, x)).collect();
             (idx[r].to_vec(), out)
         }),
+        VView::Bitmap(val, bits) => par_chunks(val.len(), val.len(), |r| {
+            let mut idx = Vec::new();
+            let mut out = Vec::new();
+            for p in r {
+                if crate::vector::bitmap_get(bits, p) {
+                    idx.push(p);
+                    out.push(f(p, val[p]));
+                }
+            }
+            (idx, out)
+        }),
         VView::Dense(val, present) => par_chunks(val.len(), val.len(), |r| {
             let mut idx = Vec::new();
             let mut out = Vec::new();

@@ -302,6 +302,9 @@ pub(crate) fn check_mmask(mask: Option<&Matrix<bool>>, nrows: Index, ncols: Inde
 /// kernels.
 pub(crate) enum DenseVec<'a, T> {
     Borrowed(&'a [T], &'a [bool]),
+    /// Borrowed full-length values with an unpacked (owned) presence
+    /// array — the expansion of a bitmap-form vector.
+    BorrowedVal(&'a [T], Vec<bool>),
     Owned(Vec<T>, Vec<bool>),
 }
 
@@ -318,6 +321,16 @@ impl<'a, T: Scalar> DenseVec<'a, T> {
                 }
                 DenseVec::Owned(dval, present)
             }
+            // Bitmap values are already full-length; only the presence
+            // words need unpacking. Hot paths (rowdot) probe the packed
+            // words directly instead of going through here.
+            VView::Bitmap(val, bits) => {
+                let mut present = vec![false; n];
+                for (i, p) in present.iter_mut().enumerate() {
+                    *p = (bits[i >> 6] >> (i & 63)) & 1 == 1;
+                }
+                DenseVec::BorrowedVal(val, present)
+            }
         }
     }
 
@@ -325,6 +338,7 @@ impl<'a, T: Scalar> DenseVec<'a, T> {
     pub fn parts(&self) -> (&[T], &[bool]) {
         match self {
             DenseVec::Borrowed(v, p) => (v, p),
+            DenseVec::BorrowedVal(v, p) => (v, p),
             DenseVec::Owned(v, p) => (v, p),
         }
     }

@@ -12,11 +12,13 @@ pub mod common;
 pub mod concat;
 pub mod ewise;
 pub mod extract;
+pub mod fused;
 pub mod kron;
 pub mod mxm;
 pub mod mxv;
 pub mod reduce;
 pub mod select;
+mod spec;
 pub mod transpose;
 mod write;
 
@@ -26,6 +28,9 @@ pub use common::{IndexSel, NOACC};
 pub use concat::{concat, diag_extract, diag_matrix, split};
 pub use ewise::{ewise_add, ewise_add_matrix, ewise_mult, ewise_mult_matrix};
 pub use extract::{extract, extract_col, extract_matrix};
+pub use fused::{
+    fused_mxm_reduce_scalar, fused_mxm_row_reduce, fused_mxm_row_reduce_pattern, fused_mxm_select,
+};
 pub use kron::kronecker;
 pub use mxm::mxm;
 pub use mxv::{mxv, vxm};

@@ -25,6 +25,7 @@ use crate::vector::{DenseAcc, Slot};
 
 use super::common::{check_dims, check_mmask, MMask};
 use super::ewise::EffView;
+use super::spec::{self, SemiringSpec};
 use super::write::write_matrix;
 
 /// Dense per-row accumulator is used up to this minor dimension; beyond
@@ -76,9 +77,25 @@ where
         .then(|| cost::mxm_dot_flops(meval.nvals(), a_nnz, nr, b_nnz, bn));
 
     let method = choose_method(desc, est_dot, est_gustavson);
-    span.kernel(match method {
-        MxmMethod::Dot => crate::trace::Kernel::Dot,
-        MxmMethod::Heap => crate::trace::Kernel::Heap,
+    // Specialization table lookup: recognized (add, mul) pairs get the
+    // tighter monomorphized inner loops (bit-identical results); anything
+    // else — or an explicit opt-out — stays generic. The heap kernel is
+    // never specialized, and Gustavson only benefits for the no-load and
+    // first-hit shapes.
+    let sp = if desc.specialize && spec::enabled() {
+        spec::resolve(semiring.add.op_id(), semiring.mul.op_id())
+    } else {
+        None
+    };
+    let gus_spec = matches!(
+        sp,
+        Some(SemiringSpec::PlusPair) | Some(SemiringSpec::AnyFirst) | Some(SemiringSpec::AnySecond)
+    );
+    span.kernel(match (method, sp) {
+        (MxmMethod::Dot, Some(_)) => crate::trace::Kernel::DotSpec,
+        (MxmMethod::Dot, None) => crate::trace::Kernel::Dot,
+        (MxmMethod::Heap, _) => crate::trace::Kernel::Heap,
+        (_, _) if gus_spec => crate::trace::Kernel::GustavsonSpec,
         _ => crate::trace::Kernel::Gustavson,
     });
     if span.on() {
@@ -90,6 +107,9 @@ where
         if let Some(d) = est_dot {
             span.arg("est_dot", d);
         }
+        if let Some(s) = sp {
+            span.arg("spec", s.name());
+        }
     }
     span.flops(est_gustavson);
 
@@ -98,7 +118,7 @@ where
             // Needs rows of (effective B)ᵀ = Bᵀ if no transpose flag, or B
             // itself when transpose_b is set.
             let ebt = EffView::new(rows_of(&gb), !desc.transpose_b);
-            dot_kernel(av, ebt.view(), &semiring.add, &semiring.mul, &meval)
+            dot_kernel(sp, av, ebt.view(), &semiring.add, &semiring.mul, &meval)
         }
         MxmMethod::Heap => {
             let eb = EffView::new(rows_of(&gb), desc.transpose_b);
@@ -106,7 +126,7 @@ where
         }
         _ => {
             let eb = EffView::new(rows_of(&gb), desc.transpose_b);
-            gustavson_kernel(av, eb.view(), &semiring.add, &semiring.mul, &meval)
+            gustavson_kernel(sp, av, eb.view(), &semiring.add, &semiring.mul, &meval)
         }
     };
     drop(mguard);
@@ -133,9 +153,20 @@ fn choose_method(desc: &Descriptor, est_dot: Option<usize>, est_gustavson: usize
     }
 }
 
+/// How the Gustavson inner loop is specialized for the resolved semiring:
+/// `NoLoad` (PAIR multiplies) hoists the constant product and never touches
+/// either value array; `FirstHit` (ANY monoid) never combines into an
+/// occupied slot. Both produce exactly what the generic loop would.
+enum GusMode<T> {
+    Generic,
+    NoLoad(T),
+    FirstHit,
+}
+
 /// Gustavson's method: for each row `i` of `A`, merge the rows of `B`
 /// selected by `A(i,:)` into a sparse accumulator. Parallel over rows.
 fn gustavson_kernel<A, B, T, SA, SM>(
+    sp: Option<SemiringSpec>,
     av: &dyn SparseView<A>,
     bv: &dyn SparseView<B>,
     add: &SA,
@@ -149,6 +180,11 @@ where
     SA: Monoid<T>,
     SM: BinaryOp<A, B, T>,
 {
+    let mode: GusMode<T> = match sp {
+        Some(SemiringSpec::PlusPair) => GusMode::NoLoad(mul.apply(A::zero(), B::zero())),
+        Some(SemiringSpec::AnyFirst) | Some(SemiringSpec::AnySecond) => GusMode::FirstHit,
+        _ => GusMode::Generic,
+    };
     let majors = av.nonempty_majors();
     let ncols = bv.nminor();
     let flops_estimate = cost::mxm_gustavson_flops(av.nvals(), bv.nvals(), bv.nmajor());
@@ -162,13 +198,40 @@ where
             for &i in &majors[range] {
                 acc.begin();
                 let (aidx, aval) = av.vec(i);
-                for (&k, &aik) in aidx.iter().zip(aval) {
-                    let (bidx, bval) = bv.vec(k);
-                    for (&j, &bkj) in bidx.iter().zip(bval) {
-                        let prod = mul.apply(aik, bkj);
-                        match acc.slot(j) {
-                            Slot::Active => acc.set(j, add.apply(acc.value(j), prod)),
-                            _ => acc.insert(j, prod),
+                match mode {
+                    GusMode::Generic => {
+                        for (&k, &aik) in aidx.iter().zip(aval) {
+                            let (bidx, bval) = bv.vec(k);
+                            for (&j, &bkj) in bidx.iter().zip(bval) {
+                                let prod = mul.apply(aik, bkj);
+                                match acc.slot(j) {
+                                    Slot::Active => acc.set(j, add.apply(acc.value(j), prod)),
+                                    _ => acc.insert(j, prod),
+                                }
+                            }
+                        }
+                    }
+                    GusMode::NoLoad(one) => {
+                        for &k in aidx {
+                            let (bidx, _) = bv.vec(k);
+                            for &j in bidx {
+                                match acc.slot(j) {
+                                    Slot::Active => acc.set(j, add.apply(acc.value(j), one)),
+                                    _ => acc.insert(j, one),
+                                }
+                            }
+                        }
+                    }
+                    GusMode::FirstHit => {
+                        // ANY keeps the first product per slot; occupied
+                        // slots absorb later contributions untouched.
+                        for (&k, &aik) in aidx.iter().zip(aval) {
+                            let (bidx, bval) = bv.vec(k);
+                            for (&j, &bkj) in bidx.iter().zip(bval) {
+                                if !matches!(acc.slot(j), Slot::Active) {
+                                    acc.insert(j, mul.apply(aik, bkj));
+                                }
+                            }
                         }
                     }
                 }
@@ -221,8 +284,10 @@ where
 
 /// Dot-product method over rows of `A` and rows of `Bᵀ`. With a
 /// non-complemented mask only the masked positions are computed; dot
-/// products stop early at the monoid's terminal value.
+/// products stop early at the monoid's terminal value. The inner loop is
+/// the specialized shape for `sp` when one resolved ([`spec::dot`]).
 fn dot_kernel<A, B, T, SA, SM>(
+    sp: Option<SemiringSpec>,
     av: &dyn SparseView<A>,
     btv: &dyn SparseView<B>,
     add: &SA,
@@ -236,30 +301,8 @@ where
     SA: Monoid<T>,
     SM: BinaryOp<A, B, T>,
 {
-    let terminal = add.terminal();
-    let is_any = add.is_any();
     let dot = |aidx: &[Index], aval: &[A], bidx: &[Index], bval: &[B]| -> Option<T> {
-        let (mut p, mut q) = (0, 0);
-        let mut acc: Option<T> = None;
-        while p < aidx.len() && q < bidx.len() {
-            if aidx[p] < bidx[q] {
-                p += 1;
-            } else if bidx[q] < aidx[p] {
-                q += 1;
-            } else {
-                let prod = mul.apply(aval[p], bval[q]);
-                acc = Some(match acc {
-                    None => prod,
-                    Some(cur) => add.apply(cur, prod),
-                });
-                if is_any || acc == terminal {
-                    break;
-                }
-                p += 1;
-                q += 1;
-            }
-        }
-        acc
+        spec::dot(sp, add, mul, aidx, aval, bidx, bval)
     };
     if mask.has_view() && !mask.is_complement() {
         // Compute only the masked positions. Gather the mask's stored

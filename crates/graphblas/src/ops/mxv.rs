@@ -39,6 +39,7 @@ use crate::types::{Index, Scalar};
 use crate::vector::{DenseAcc, Slot, VView, Vector};
 
 use super::common::{check_dims, check_vmask, DenseVec, VMask};
+use super::spec::{self, SemiringSpec};
 use super::write::write_vector;
 
 /// `w⟨mask⟩ ⊙= A ⊕.⊗ u` (or `Aᵀ ⊕.⊗ u` with the transpose descriptor).
@@ -60,6 +61,11 @@ where
     Acc: BinaryOp<T, T, T>,
 {
     let mul = semiring.mul;
+    let sp = if desc.specialize && spec::enabled() {
+        spec::resolve(semiring.add.op_id(), semiring.mul.op_id())
+    } else {
+        None
+    };
     product(
         w,
         mask,
@@ -71,6 +77,7 @@ where
         desc.transpose_a,
         desc,
         trace::Op::Mxv,
+        sp,
     )
 }
 
@@ -94,7 +101,14 @@ where
 {
     let mul = semiring.mul;
     // vxm computes w_j = ⊕_i u(i) ⊗ A(i,j): the same kernels with the
-    // operand order flipped and the transpose sense inverted.
+    // operand order flipped and the transpose sense inverted. The flip
+    // also swaps which operand the multiply projects, so the semiring is
+    // resolved with the mirrored multiply id (First ↔ Second).
+    let sp = if desc.specialize && spec::enabled() {
+        spec::resolve(semiring.add.op_id(), semiring.mul.op_id().map(spec::swap_projection))
+    } else {
+        None
+    };
     product(
         w,
         mask,
@@ -106,6 +120,7 @@ where
         !desc.transpose_b,
         desc,
         trace::Op::Vxm,
+        sp,
     )
 }
 
@@ -124,6 +139,7 @@ fn product<A, U, T, SA, F, Acc>(
     transposed: bool,
     desc: &Descriptor,
     op: trace::Op,
+    sp: Option<SemiringSpec>,
 ) -> Result<()>
 where
     A: Scalar,
@@ -194,22 +210,33 @@ where
         span.arg("u_nnz", u_nvals);
         span.arg("est_push", est_push);
         span.arg("est_pull", est_pull);
+        if let Some(s) = sp {
+            span.arg("spec", s.name());
+        }
     }
-    let push_kernel =
-        if meval.is_transparent() { trace::Kernel::Push } else { trace::Kernel::PushMasked };
+    // Specialized loop shapes keep the fallback kernel names so direction
+    // mispredictions stay attributable in traces; only the intended
+    // push/pull choices advertise the `(specialized)` variant.
+    let push_kernel = match (meval.is_transparent(), sp.is_some()) {
+        (true, true) => trace::Kernel::PushSpec,
+        (true, false) => trace::Kernel::Push,
+        (false, true) => trace::Kernel::PushMaskedSpec,
+        (false, false) => trace::Kernel::PushMasked,
+    };
+    let pull_kernel = if sp.is_some() { trace::Kernel::PullSpec } else { trace::Kernel::Pull };
     let (t_idx, t_val, actual) = if transposed {
         if want_push {
             span.kernel(push_kernel);
-            scatter(rows, uview, n_out, add, &f, &meval)
+            scatter(rows, uview, n_out, add, &f, &meval, sp)
         } else {
             match dual {
                 Some(dv) => {
-                    span.kernel(trace::Kernel::Pull);
-                    rowdot(dv, uview, n_in, add, &f, &meval)
+                    span.kernel(pull_kernel);
+                    rowdot(dv, uview, n_in, add, &f, &meval, sp)
                 }
                 None => {
                     span.kernel(trace::Kernel::PushFallback);
-                    scatter(rows, uview, n_out, add, &f, &meval)
+                    scatter(rows, uview, n_out, add, &f, &meval, sp)
                 }
             }
         }
@@ -217,16 +244,16 @@ where
         match dual {
             Some(dv) => {
                 span.kernel(push_kernel);
-                scatter(dv, uview, n_out, add, &f, &meval)
+                scatter(dv, uview, n_out, add, &f, &meval, sp)
             }
             None => {
                 span.kernel(trace::Kernel::PullFallback);
-                rowdot(rows, uview, n_in, add, &f, &meval)
+                rowdot(rows, uview, n_in, add, &f, &meval, sp)
             }
         }
     } else {
-        span.kernel(trace::Kernel::Pull);
-        rowdot(rows, uview, n_in, add, &f, &meval)
+        span.kernel(pull_kernel);
+        rowdot(rows, uview, n_in, add, &f, &meval, sp)
     };
     span.flops(actual);
 
@@ -250,11 +277,27 @@ where
     write_vector(w, mask, accum, desc, t_idx, t_val)
 }
 
+/// The specialized per-row reduction shape for a resolved semiring (see
+/// [`spec`]): `NoTerminal` sheds the `Option` accumulator and the
+/// per-product terminal compare, `Terminal` compares plain `T` against a
+/// hoisted terminal, `FirstHit` takes the first intersection (ANY).
+#[derive(Clone, Copy)]
+enum PullShape<T> {
+    Generic,
+    NoTerminal,
+    Terminal(T),
+    FirstHit,
+}
+
 /// Pull kernel: `out(i) = ⊕ f(row_i(j), u(j))` over the intersection of
 /// row `i`'s pattern with `u`'s. Rows the mask excludes are skipped, and
 /// each dot product stops at the monoid's terminal value. Returns the
 /// result lists plus the flops actually performed (products computed, plus
 /// the dense-view build when `u` arrived sparse) for misprediction checks.
+///
+/// A bitmap-form `u` is probed through its packed words directly — no
+/// dense bool view is built, which is what makes the pull side free to
+/// enter for bitmap frontiers (`dense_build = 0` in the cost estimate).
 fn rowdot<A, U, T, SA, F>(
     mat: &dyn SparseView<A>,
     u: VView<'_, U>,
@@ -262,6 +305,7 @@ fn rowdot<A, U, T, SA, F>(
     add: &SA,
     f: &F,
     mask: &VMask<'_>,
+    sp: Option<SemiringSpec>,
 ) -> (Vec<Index>, Vec<T>, usize)
 where
     A: Scalar,
@@ -270,9 +314,58 @@ where
     SA: Monoid<T>,
     F: Fn(A, U) -> T + Sync,
 {
-    let build_flops = if matches!(u, VView::Sparse(..)) { n_in } else { 0 };
-    let dense = DenseVec::from_view(u, n_in);
-    let (uval, upresent) = dense.parts();
+    match u {
+        VView::Bitmap(uval, ubits) => rowdot_probe(mat, add, f, mask, sp, 0, &|j: Index| {
+            if (ubits[j >> 6] >> (j & 63)) & 1 == 1 {
+                Some(uval[j])
+            } else {
+                None
+            }
+        }),
+        _ => {
+            let build_flops = if matches!(u, VView::Sparse(..)) { n_in } else { 0 };
+            let dense = DenseVec::from_view(u, n_in);
+            let (uval, upresent) = dense.parts();
+            rowdot_probe(mat, add, f, mask, sp, build_flops, &|j: Index| {
+                if upresent[j] {
+                    Some(uval[j])
+                } else {
+                    None
+                }
+            })
+        }
+    }
+}
+
+/// The row-loop core of [`rowdot`], generic over the input-vector probe
+/// (dense bool view or packed bitmap) so each probe gets its own
+/// monomorphized copy of every loop shape.
+fn rowdot_probe<A, U, T, SA, F, P>(
+    mat: &dyn SparseView<A>,
+    add: &SA,
+    f: &F,
+    mask: &VMask<'_>,
+    sp: Option<SemiringSpec>,
+    build_flops: usize,
+    probe: &P,
+) -> (Vec<Index>, Vec<T>, usize)
+where
+    A: Scalar,
+    U: Scalar,
+    T: Scalar,
+    SA: Monoid<T>,
+    F: Fn(A, U) -> T + Sync,
+    P: Fn(Index) -> Option<U> + Sync,
+{
+    let shape: PullShape<T> = match sp {
+        None => PullShape::Generic,
+        Some(SemiringSpec::AnyFirst | SemiringSpec::AnySecond) => PullShape::FirstHit,
+        Some(SemiringSpec::MinPlus | SemiringSpec::LorLand) => match add.terminal() {
+            Some(t) => PullShape::Terminal(t),
+            None => PullShape::NoTerminal,
+        },
+        Some(SemiringSpec::PlusTimes | SemiringSpec::PlusPair) => PullShape::NoTerminal,
+    };
     let majors = mat.nonempty_majors();
     let terminal = add.terminal();
     let is_any = add.is_any();
@@ -285,21 +378,82 @@ where
                 continue;
             }
             let (ridx, rval) = mat.vec(i);
-            let mut acc: Option<T> = None;
-            for (&j, &av) in ridx.iter().zip(rval) {
-                if !upresent[j] {
-                    continue;
+            let acc: Option<T> = match shape {
+                PullShape::Generic => {
+                    let mut acc: Option<T> = None;
+                    for (&j, &av) in ridx.iter().zip(rval) {
+                        let Some(uv) = probe(j) else { continue };
+                        let prod = f(av, uv);
+                        flops += 1;
+                        acc = Some(match acc {
+                            None => prod,
+                            Some(cur) => add.apply(cur, prod),
+                        });
+                        if is_any || acc == terminal {
+                            break;
+                        }
+                    }
+                    acc
                 }
-                let prod = f(av, uval[j]);
-                flops += 1;
-                acc = Some(match acc {
-                    None => prod,
-                    Some(cur) => add.apply(cur, prod),
-                });
-                if is_any || acc == terminal {
-                    break;
+                PullShape::NoTerminal => {
+                    let mut it = ridx.iter().zip(rval);
+                    let mut first: Option<T> = None;
+                    for (&j, &av) in it.by_ref() {
+                        if let Some(uv) = probe(j) {
+                            flops += 1;
+                            first = Some(f(av, uv));
+                            break;
+                        }
+                    }
+                    first.map(|f0| {
+                        let mut a = f0;
+                        for (&j, &av) in it {
+                            if let Some(uv) = probe(j) {
+                                flops += 1;
+                                a = add.apply(a, f(av, uv));
+                            }
+                        }
+                        a
+                    })
                 }
-            }
+                PullShape::Terminal(term) => {
+                    let mut it = ridx.iter().zip(rval);
+                    let mut first: Option<T> = None;
+                    for (&j, &av) in it.by_ref() {
+                        if let Some(uv) = probe(j) {
+                            flops += 1;
+                            first = Some(f(av, uv));
+                            break;
+                        }
+                    }
+                    first.map(|f0| {
+                        let mut a = f0;
+                        if a != term {
+                            for (&j, &av) in it {
+                                if let Some(uv) = probe(j) {
+                                    flops += 1;
+                                    a = add.apply(a, f(av, uv));
+                                    if a == term {
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        a
+                    })
+                }
+                PullShape::FirstHit => {
+                    let mut acc: Option<T> = None;
+                    for (&j, &av) in ridx.iter().zip(rval) {
+                        if let Some(uv) = probe(j) {
+                            flops += 1;
+                            acc = Some(f(av, uv));
+                            break;
+                        }
+                    }
+                    acc
+                }
+            };
             if let Some(v) = acc {
                 idx.push(i);
                 val.push(v);
@@ -336,6 +490,7 @@ fn scatter<A, U, T, SA, F>(
     add: &SA,
     f: &F,
     mask: &VMask<'_>,
+    sp: Option<SemiringSpec>,
 ) -> (Vec<Index>, Vec<T>, usize)
 where
     A: Scalar,
@@ -344,6 +499,18 @@ where
     SA: Monoid<T>,
     F: Fn(A, U) -> T + Sync,
 {
+    /// How the dense-accumulator loop treats an `Active` slot for the
+    /// resolved semiring: `Fold` always combines (no terminal exists),
+    /// `Terminal` compares plain `T` against the hoisted terminal, and
+    /// `FirstHit` (ANY) absorbs later contributions untouched. Each
+    /// reproduces exactly what the generic Option-comparing arm does.
+    #[derive(Clone, Copy)]
+    enum ScatterMode<T> {
+        Generic,
+        Fold,
+        Terminal(T),
+        FirstHit,
+    }
     const DENSE_ACC_LIMIT: usize = 1 << 26;
     let mut entries: Vec<(Index, U)> = Vec::new();
     u.for_each(|k, uk| entries.push((k, uk)));
@@ -351,30 +518,109 @@ where
     let est = entries.len().saturating_mul(deg);
     let terminal = add.terminal();
     let is_any = add.is_any();
+    let mode: ScatterMode<T> = match sp {
+        None => ScatterMode::Generic,
+        Some(SemiringSpec::AnyFirst | SemiringSpec::AnySecond) => ScatterMode::FirstHit,
+        Some(SemiringSpec::MinPlus | SemiringSpec::LorLand) => match add.terminal() {
+            Some(t) => ScatterMode::Terminal(t),
+            None => ScatterMode::Fold,
+        },
+        Some(SemiringSpec::PlusTimes | SemiringSpec::PlusPair) => ScatterMode::Fold,
+    };
     let chunks = par_chunks(entries.len(), est, |range| {
         let mut flops = 0usize;
         if n_out <= DENSE_ACC_LIMIT {
             let mut acc = DenseAcc::<T>::new(n_out);
-            for &(k, uk) in &entries[range] {
-                let (ridx, rval) = mat.vec(k);
-                for (&j, &av) in ridx.iter().zip(rval) {
-                    match acc.slot(j) {
-                        Slot::Blocked => {}
-                        Slot::Empty => {
-                            if mask.allowed(j) {
-                                flops += 1;
-                                acc.insert(j, f(av, uk));
-                            } else {
-                                acc.block(j);
+            match mode {
+                ScatterMode::Generic => {
+                    for &(k, uk) in &entries[range] {
+                        let (ridx, rval) = mat.vec(k);
+                        for (&j, &av) in ridx.iter().zip(rval) {
+                            match acc.slot(j) {
+                                Slot::Blocked => {}
+                                Slot::Empty => {
+                                    if mask.allowed(j) {
+                                        flops += 1;
+                                        acc.insert(j, f(av, uk));
+                                    } else {
+                                        acc.block(j);
+                                    }
+                                }
+                                Slot::Active => {
+                                    let cur = acc.value(j);
+                                    if is_any || Some(cur) == terminal {
+                                        continue;
+                                    }
+                                    flops += 1;
+                                    acc.set(j, add.apply(cur, f(av, uk)));
+                                }
                             }
                         }
-                        Slot::Active => {
-                            let cur = acc.value(j);
-                            if is_any || Some(cur) == terminal {
-                                continue;
+                    }
+                }
+                ScatterMode::Fold => {
+                    for &(k, uk) in &entries[range] {
+                        let (ridx, rval) = mat.vec(k);
+                        for (&j, &av) in ridx.iter().zip(rval) {
+                            match acc.slot(j) {
+                                Slot::Blocked => {}
+                                Slot::Empty => {
+                                    if mask.allowed(j) {
+                                        flops += 1;
+                                        acc.insert(j, f(av, uk));
+                                    } else {
+                                        acc.block(j);
+                                    }
+                                }
+                                Slot::Active => {
+                                    flops += 1;
+                                    acc.set(j, add.apply(acc.value(j), f(av, uk)));
+                                }
                             }
-                            flops += 1;
-                            acc.set(j, add.apply(cur, f(av, uk)));
+                        }
+                    }
+                }
+                ScatterMode::Terminal(term) => {
+                    for &(k, uk) in &entries[range] {
+                        let (ridx, rval) = mat.vec(k);
+                        for (&j, &av) in ridx.iter().zip(rval) {
+                            match acc.slot(j) {
+                                Slot::Blocked => {}
+                                Slot::Empty => {
+                                    if mask.allowed(j) {
+                                        flops += 1;
+                                        acc.insert(j, f(av, uk));
+                                    } else {
+                                        acc.block(j);
+                                    }
+                                }
+                                Slot::Active => {
+                                    let cur = acc.value(j);
+                                    if cur == term {
+                                        continue;
+                                    }
+                                    flops += 1;
+                                    acc.set(j, add.apply(cur, f(av, uk)));
+                                }
+                            }
+                        }
+                    }
+                }
+                ScatterMode::FirstHit => {
+                    for &(k, uk) in &entries[range] {
+                        let (ridx, rval) = mat.vec(k);
+                        for (&j, &av) in ridx.iter().zip(rval) {
+                            match acc.slot(j) {
+                                Slot::Blocked | Slot::Active => {}
+                                Slot::Empty => {
+                                    if mask.allowed(j) {
+                                        flops += 1;
+                                        acc.insert(j, f(av, uk));
+                                    } else {
+                                        acc.block(j);
+                                    }
+                                }
+                            }
                         }
                     }
                 }

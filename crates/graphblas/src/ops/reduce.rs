@@ -127,6 +127,9 @@ where
             // within it, `par_reduce` short-circuits across chunks.
             fold(monoid, val[range].iter().copied())
         }),
+        VView::Bitmap(val, bits) => par_reduce(val.len(), val.len(), monoid, |range, _| {
+            fold(monoid, range.filter(|&i| crate::vector::bitmap_get(bits, i)).map(|i| val[i]))
+        }),
         VView::Dense(val, present) => par_reduce(val.len(), val.len(), monoid, |range, _| {
             fold(monoid, range.filter(|&i| present[i]).map(|i| val[i]))
         }),

@@ -54,6 +54,17 @@ where
                 }
                 (ci, cv)
             }),
+            VView::Bitmap(val, bits) => par_chunks(val.len(), val.len(), |r| {
+                let mut ci = Vec::new();
+                let mut cv = Vec::new();
+                for p in r {
+                    if crate::vector::bitmap_get(bits, p) && pred.apply(p, 0, val[p]) {
+                        ci.push(p);
+                        cv.push(val[p]);
+                    }
+                }
+                (ci, cv)
+            }),
             VView::Dense(val, present) => par_chunks(val.len(), val.len(), |r| {
                 let mut ci = Vec::new();
                 let mut cv = Vec::new();

@@ -6,7 +6,7 @@
 //! domain. The named constructors below cover the semirings used by the
 //! LAGraph algorithm collection.
 
-use crate::binaryop::{First, Land, Lor, Max, Min, Pair, Plus, Second, Times};
+use crate::binaryop::{First, Land, Lor, Max, Min, Pair, Plus, SaturatingPlus, Second, Times};
 use crate::monoid::Any;
 
 /// A GraphBLAS semiring: `add` is a monoid over the output domain, `mul`
@@ -30,11 +30,15 @@ impl<A, M> Semiring<A, M> {
 pub const PLUS_TIMES: Semiring<Plus, Times> = Semiring::new(Plus, Times);
 
 /// The tropical min-plus semiring used by shortest paths
-/// (`GrB_MIN_PLUS`).
-pub const MIN_PLUS: Semiring<Min, Plus> = Semiring::new(Min, Plus);
+/// (`GrB_MIN_PLUS`). The addition saturates so the MIN monoid's integer
+/// identity (`iN::MAX`, playing +∞) stays absorbing instead of wrapping
+/// negative when a weight is added — which would corrupt SSSP/APSP
+/// distances on integer weights. Floats are unaffected (∞ + w = ∞).
+pub const MIN_PLUS: Semiring<Min, SaturatingPlus> = Semiring::new(Min, SaturatingPlus);
 
-/// The max-plus semiring (critical paths, widest-path variants).
-pub const MAX_PLUS: Semiring<Max, Plus> = Semiring::new(Max, Plus);
+/// The max-plus semiring (critical paths, widest-path variants); the
+/// addition saturates for the same sentinel reason as [`MIN_PLUS`].
+pub const MAX_PLUS: Semiring<Max, SaturatingPlus> = Semiring::new(Max, SaturatingPlus);
 
 /// The max-times semiring (used e.g. by peer-pressure tallying).
 pub const MAX_TIMES: Semiring<Max, Times> = Semiring::new(Max, Times);

@@ -283,6 +283,9 @@ impl Event {
 pub enum Op {
     /// Matrix-matrix multiply.
     Mxm,
+    /// Fused masked multiply-then-reduce/select (never materializes the
+    /// product matrix).
+    MxmFused,
     /// Matrix-vector multiply.
     Mxv,
     /// Vector-matrix multiply.
@@ -324,6 +327,7 @@ impl Op {
     pub fn name(self) -> &'static str {
         match self {
             Op::Mxm => "mxm",
+            Op::MxmFused => "mxm.fused",
             Op::Mxv => "mxv",
             Op::Vxm => "vxm",
             Op::EwiseAdd => "ewise_add",
@@ -377,6 +381,20 @@ pub(crate) enum Kernel {
     PushFallback,
     /// Ran pull because the cost model's push choice lacked dual storage.
     PullFallback,
+    /// Gustavson with a specialized (hot-semiring) inner loop.
+    GustavsonSpec,
+    /// Dot-product method with a specialized inner loop.
+    DotSpec,
+    /// Push with a specialized scatter loop.
+    PushSpec,
+    /// Masked push with a specialized scatter loop.
+    PushMaskedSpec,
+    /// Pull with a specialized row-dot loop.
+    PullSpec,
+    /// Fused masked dot product folding straight into a reduction.
+    FusedReduce,
+    /// Fused masked dot product filtered by a select predicate.
+    FusedSelect,
 }
 
 impl Kernel {
@@ -390,17 +408,31 @@ impl Kernel {
             Kernel::Pull => "pull",
             Kernel::PushFallback => "push(fallback)",
             Kernel::PullFallback => "pull(fallback)",
+            Kernel::GustavsonSpec => "gustavson(specialized)",
+            Kernel::DotSpec => "dot(specialized)",
+            Kernel::PushSpec => "push(specialized)",
+            Kernel::PushMaskedSpec => "push(masked,specialized)",
+            Kernel::PullSpec => "pull(specialized)",
+            Kernel::FusedReduce => "fused(dot+reduce)",
+            Kernel::FusedSelect => "fused(dot+select)",
         }
     }
 
     fn route_stats(self) {
         use stats::{MxmKernel, MxvPath};
         match self {
-            Kernel::Gustavson => stats::record_mxm_kernel(MxmKernel::Gustavson),
-            Kernel::Dot => stats::record_mxm_kernel(MxmKernel::Dot),
+            Kernel::Gustavson | Kernel::GustavsonSpec => {
+                stats::record_mxm_kernel(MxmKernel::Gustavson)
+            }
+            // The fused kernels are masked dot products at heart.
+            Kernel::Dot | Kernel::DotSpec | Kernel::FusedReduce | Kernel::FusedSelect => {
+                stats::record_mxm_kernel(MxmKernel::Dot)
+            }
             Kernel::Heap => stats::record_mxm_kernel(MxmKernel::Heap),
-            Kernel::Push | Kernel::PushMasked => stats::record_mxv_path(MxvPath::Push),
-            Kernel::Pull => stats::record_mxv_path(MxvPath::Pull),
+            Kernel::Push | Kernel::PushMasked | Kernel::PushSpec | Kernel::PushMaskedSpec => {
+                stats::record_mxv_path(MxvPath::Push)
+            }
+            Kernel::Pull | Kernel::PullSpec => stats::record_mxv_path(MxvPath::Pull),
             Kernel::PushFallback => {
                 stats::record_mxv_dual_fallback();
                 stats::record_mxv_path(MxvPath::Push);
@@ -1107,6 +1139,11 @@ pub struct RunAggregate {
     pub chunks: u64,
     /// Reductions that short-circuited on a terminal value.
     pub early_exits: u64,
+    /// Products (mxm/mxv/vxm/fused) that ran a specialized inner loop.
+    pub specialized: u64,
+    /// Fused multiply-reduce/select invocations (product never
+    /// materialized).
+    pub mxm_fused: u64,
 }
 
 impl RunAggregate {
@@ -1153,6 +1190,26 @@ impl RunAggregate {
             Some("gustavson") => self.mxm_gustavson += 1,
             Some("dot") => self.mxm_dot += 1,
             Some("heap") => self.mxm_heap += 1,
+            Some("push(specialized)") | Some("push(masked,specialized)") => {
+                self.push += 1;
+                self.specialized += 1;
+            }
+            Some("pull(specialized)") => {
+                self.pull += 1;
+                self.specialized += 1;
+            }
+            Some("gustavson(specialized)") => {
+                self.mxm_gustavson += 1;
+                self.specialized += 1;
+            }
+            Some("dot(specialized)") => {
+                self.mxm_dot += 1;
+                self.specialized += 1;
+            }
+            Some("fused(dot+reduce)") | Some("fused(dot+select)") => {
+                self.mxm_fused += 1;
+                self.specialized += 1;
+            }
             _ => {}
         }
         if matches!(e.name, "assemble.matrix" | "assemble.vector") {
@@ -1212,6 +1269,27 @@ mod aggregate_tests {
         let agg = RunAggregate::from_events(&events);
         assert_eq!((agg.mxm_gustavson, agg.mxm_dot, agg.mxm_heap), (3, 2, 1));
         assert_eq!(agg.spans, 6);
+    }
+
+    #[test]
+    fn run_aggregate_counts_specialized_and_fused_kernels() {
+        let events = vec![
+            span("mxm", Cat::Op, Some("dot(specialized)"), 7),
+            span("mxm", Cat::Op, Some("gustavson(specialized)"), 7),
+            span("mxv", Cat::Op, Some("pull(specialized)"), 7),
+            span("mxv", Cat::Op, Some("push(specialized)"), 7),
+            span("vxm", Cat::Op, Some("push(masked,specialized)"), 7),
+            span("mxm.fused", Cat::Op, Some("fused(dot+reduce)"), 7),
+            span("mxm.fused", Cat::Op, Some("fused(dot+select)"), 7),
+            span("mxm", Cat::Op, Some("dot"), 7),
+        ];
+        let agg = RunAggregate::from_events(&events);
+        assert_eq!(agg.specialized, 7);
+        assert_eq!(agg.mxm_fused, 2);
+        // Specialized variants still count toward their base kernel tally.
+        assert_eq!(agg.mxm_dot, 2);
+        assert_eq!(agg.mxm_gustavson, 1);
+        assert_eq!((agg.push, agg.pull), (2, 1));
     }
 }
 

@@ -84,10 +84,24 @@ pub trait Num: Scalar + PartialOrd {
     fn nsub(self, o: Self) -> Self;
     /// Multiplication (wrapping for integers).
     fn nmul(self, o: Self) -> Self;
-    /// Division. Integer division by zero yields `zero()` rather than
-    /// trapping, consistent with the GraphBLAS policy that operators are
-    /// total functions.
+    /// Division, as a total function with *saturating* semantics for the
+    /// integer domains (the policy SuiteSparse:GraphBLAS documents for its
+    /// built-in `GrB_DIV`):
+    ///
+    /// * `0 / 0 = 0`;
+    /// * `x / 0` saturates toward the sign of `x` — `MAX` for positive `x`,
+    ///   `MIN` for negative `x` (unsigned: `MAX` for any nonzero `x`);
+    /// * `MIN / -1`, the one overflowing signed quotient, saturates to `MAX`
+    ///   instead of wrapping back to `MIN`.
+    ///
+    /// Floats divide natively (`x / 0.0` is `±inf`/NaN per IEEE 754).
     fn ndiv(self, o: Self) -> Self;
+    /// Saturating addition: integers clamp at the domain bounds instead of
+    /// wrapping, floats add natively (they saturate at ±inf already), bool
+    /// is OR. This is the additive operator for the tropical (MIN_PLUS /
+    /// MAX_PLUS) semirings, where `MAX`/`MIN` act as the +∞/−∞ sentinels
+    /// and must stay absorbing rather than wrap around.
+    fn sadd(self, o: Self) -> Self;
     /// Minimum. For floats, NaN loses (min(NaN, x) = x), matching the "omit
     /// NaN" behaviour of `GrB_MIN` in SuiteSparse.
     fn nmin(self, o: Self) -> Self;
@@ -101,15 +115,21 @@ pub trait Num: Scalar + PartialOrd {
     fn min_value() -> Self;
 }
 
-macro_rules! impl_num_int {
+macro_rules! impl_num_int_signed {
     ($($t:ty),*) => {$(
         impl Num for $t {
             fn nadd(self, o: Self) -> Self { self.wrapping_add(o) }
             fn nsub(self, o: Self) -> Self { self.wrapping_sub(o) }
             fn nmul(self, o: Self) -> Self { self.wrapping_mul(o) }
             fn ndiv(self, o: Self) -> Self {
-                if o == 0 { 0 } else { self.wrapping_div(o) }
+                if o == 0 {
+                    if self == 0 { 0 } else if self > 0 { <$t>::MAX } else { <$t>::MIN }
+                } else {
+                    // checked_div is None only for MIN / -1; saturate it.
+                    self.checked_div(o).unwrap_or(<$t>::MAX)
+                }
             }
+            fn sadd(self, o: Self) -> Self { self.saturating_add(o) }
             fn nmin(self, o: Self) -> Self { std::cmp::min(self, o) }
             fn nmax(self, o: Self) -> Self { std::cmp::max(self, o) }
             fn one() -> Self { 1 }
@@ -119,7 +139,31 @@ macro_rules! impl_num_int {
     )*};
 }
 
-impl_num_int!(i8, i16, i32, i64, u8, u16, u32, u64);
+macro_rules! impl_num_int_unsigned {
+    ($($t:ty),*) => {$(
+        impl Num for $t {
+            fn nadd(self, o: Self) -> Self { self.wrapping_add(o) }
+            fn nsub(self, o: Self) -> Self { self.wrapping_sub(o) }
+            fn nmul(self, o: Self) -> Self { self.wrapping_mul(o) }
+            fn ndiv(self, o: Self) -> Self {
+                if o == 0 {
+                    if self == 0 { 0 } else { <$t>::MAX }
+                } else {
+                    self / o
+                }
+            }
+            fn sadd(self, o: Self) -> Self { self.saturating_add(o) }
+            fn nmin(self, o: Self) -> Self { std::cmp::min(self, o) }
+            fn nmax(self, o: Self) -> Self { std::cmp::max(self, o) }
+            fn one() -> Self { 1 }
+            fn max_value() -> Self { <$t>::MAX }
+            fn min_value() -> Self { <$t>::MIN }
+        }
+    )*};
+}
+
+impl_num_int_signed!(i8, i16, i32, i64);
+impl_num_int_unsigned!(u8, u16, u32, u64);
 
 macro_rules! impl_num_float {
     ($($t:ty),*) => {$(
@@ -128,6 +172,7 @@ macro_rules! impl_num_float {
             fn nsub(self, o: Self) -> Self { self - o }
             fn nmul(self, o: Self) -> Self { self * o }
             fn ndiv(self, o: Self) -> Self { self / o }
+            fn sadd(self, o: Self) -> Self { self + o }
             fn nmin(self, o: Self) -> Self {
                 if self.is_nan() { o } else if o.is_nan() { self }
                 else if self < o { self } else { o }
@@ -160,6 +205,9 @@ impl Num for bool {
     }
     fn ndiv(self, _: Self) -> Self {
         self
+    }
+    fn sadd(self, o: Self) -> Self {
+        self || o
     }
     fn nmin(self, o: Self) -> Self {
         self && o
@@ -198,9 +246,32 @@ mod tests {
     }
 
     #[test]
-    fn integer_division_by_zero_is_total() {
-        assert_eq!(7i32.ndiv(0), 0);
-        assert_eq!(7u8.ndiv(0), 0);
+    fn integer_division_by_zero_saturates() {
+        assert_eq!(0i32.ndiv(0), 0);
+        assert_eq!(7i32.ndiv(0), i32::MAX);
+        assert_eq!((-7i32).ndiv(0), i32::MIN);
+        assert_eq!(0u8.ndiv(0), 0);
+        assert_eq!(7u8.ndiv(0), u8::MAX);
+    }
+
+    #[test]
+    fn signed_min_over_minus_one_saturates() {
+        assert_eq!(i8::MIN.ndiv(-1), i8::MAX);
+        assert_eq!(i32::MIN.ndiv(-1), i32::MAX);
+        assert_eq!(i64::MIN.ndiv(-1), i64::MAX);
+        // Ordinary quotients are untouched.
+        assert_eq!((-6i32).ndiv(2), -3);
+        assert_eq!(7u32.ndiv(2), 3);
+    }
+
+    #[test]
+    fn saturating_add_clamps_at_bounds() {
+        assert_eq!(i32::MAX.sadd(1), i32::MAX);
+        assert_eq!(i32::MIN.sadd(-1), i32::MIN);
+        assert_eq!(u8::MAX.sadd(200), u8::MAX);
+        assert_eq!(3i64.sadd(4), 7);
+        assert_eq!(f64::INFINITY.sadd(1.0), f64::INFINITY);
+        assert!(true.sadd(false));
     }
 
     #[test]

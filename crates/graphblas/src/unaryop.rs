@@ -42,7 +42,8 @@ impl<T: Num> UnaryOp<T, T> for Ainv {
 }
 
 /// `z = 1/x` (`GrB_MINV`, the multiplicative inverse; integer division
-/// truncates and `1/0 = 0` following the total-function policy).
+/// truncates and `1/0` saturates to the type's maximum — see
+/// [`crate::types::Num::ndiv`] for the saturating division policy).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Minv;
 
@@ -187,7 +188,7 @@ mod tests {
         assert_eq!(UnaryOp::<i32, i32>::apply(&Identity, -4), -4);
         assert_eq!(UnaryOp::<i32, i32>::apply(&Ainv, -4), 4);
         assert_eq!(UnaryOp::<f64, f64>::apply(&Minv, 4.0), 0.25);
-        assert_eq!(UnaryOp::<i32, i32>::apply(&Minv, 0), 0);
+        assert_eq!(UnaryOp::<i32, i32>::apply(&Minv, 0), i32::MAX, "1/0 saturates");
         assert_eq!(UnaryOp::<i32, i32>::apply(&Lnot, 0), 1);
         assert_eq!(UnaryOp::<i32, i32>::apply(&Lnot, 7), 0);
         assert_eq!(UnaryOp::<f64, u8>::apply(&One, 3.5), 1);

@@ -1,11 +1,15 @@
 //! The opaque `GrB_Vector` object.
 //!
 //! Following the GraphBLAST design the paper highlights (Fig. 3), a vector
-//! is stored either **sparse** (sorted indices + values — the form "push"
-//! kernels iterate) or **dense** (a value array plus presence bitmap — the
-//! form "pull" kernels index in O(1)). The representation switches
-//! automatically as the number of entries crosses density thresholds, which
-//! is the enabling mechanism for push/pull direction optimization.
+//! is stored **sparse** (sorted indices + values — the form "push"
+//! kernels iterate), **dense** (a value array plus presence bytes — the
+//! form "pull" kernels index in O(1)), or **bitmap** (a value array plus
+//! packed presence words — the mid-density compromise: O(1) probes like
+//! dense at an 8× smaller presence footprint, population counts by
+//! `popcnt`). The representation switches automatically as the number of
+//! entries crosses density thresholds (with hysteresis between the
+//! neighboring forms), which is the enabling mechanism for push/pull
+//! direction optimization.
 //!
 //! Like [`crate::Matrix`], sparse vectors support deferred updates (pending
 //! tuples and zombies) resolved by a lazy assembly step.
@@ -18,9 +22,14 @@ use crate::types::{Index, Scalar};
 
 /// Become dense when more than 1/DENSIFY_RATIO of positions are filled.
 const DENSIFY_RATIO: usize = 4;
-/// Become sparse when fewer than 1/SPARSIFY_RATIO are filled.
+/// A sparse vector becomes a bitmap when more than 1/BITMAPIFY_RATIO of
+/// positions are filled (but fewer than the dense threshold).
+const BITMAPIFY_RATIO: usize = 16;
+/// Become sparse when fewer than 1/SPARSIFY_RATIO are filled. The gap
+/// between this and BITMAPIFY_RATIO is the hysteresis band that stops a
+/// frontier oscillating between forms across iterations.
 const SPARSIFY_RATIO: usize = 32;
-/// Never allocate a dense form longer than this.
+/// Never allocate a dense or bitmap form longer than this.
 const DENSE_LIMIT: usize = 1 << 26;
 
 /// The representation currently held by a vector.
@@ -28,8 +37,24 @@ const DENSE_LIMIT: usize = 1 << 26;
 pub enum VectorFormat {
     /// Sorted index/value lists.
     Sparse,
+    /// Full-length value array with packed presence words — the
+    /// mid-density frontier form between [`VectorFormat::Sparse`] and
+    /// [`VectorFormat::Dense`].
+    Bitmap,
     /// Full-length value array with a presence bitmap.
     Dense,
+}
+
+/// Number of `u64` presence words covering `n` positions.
+#[inline]
+fn bitmap_words(n: usize) -> usize {
+    n.div_ceil(64)
+}
+
+/// Test bit `i` of a packed presence array.
+#[inline]
+pub(crate) fn bitmap_get(bits: &[u64], i: Index) -> bool {
+    (bits[i >> 6] >> (i & 63)) & 1 == 1
 }
 
 #[derive(Debug, Clone)]
@@ -38,6 +63,12 @@ pub(crate) enum VStore<T> {
         /// Sorted indices; zombie entries carry the flag bit.
         idx: Vec<Index>,
         val: Vec<T>,
+    },
+    Bitmap {
+        val: Vec<T>,
+        /// Packed presence words, little-endian within each `u64`.
+        bits: Vec<u64>,
+        nvals: usize,
     },
     Dense {
         val: Vec<T>,
@@ -58,6 +89,7 @@ pub(crate) struct VInner<T> {
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum VView<'a, T> {
     Sparse(&'a [Index], &'a [T]),
+    Bitmap(&'a [T], &'a [u64]),
     Dense(&'a [T], &'a [bool]),
 }
 
@@ -66,14 +98,16 @@ impl<'a, T: Scalar> VView<'a, T> {
     pub fn nvals(&self) -> usize {
         match self {
             VView::Sparse(idx, _) => idx.len(),
+            VView::Bitmap(_, bits) => bits.iter().map(|w| w.count_ones() as usize).sum(),
             VView::Dense(_, present) => present.iter().filter(|&&p| p).count(),
         }
     }
 
-    /// O(1) for dense, O(log nvals) for sparse.
+    /// O(1) for dense and bitmap, O(log nvals) for sparse.
     pub fn get(&self, i: Index) -> Option<T> {
         match self {
             VView::Sparse(idx, val) => idx.binary_search(&i).ok().map(|p| val[p]),
+            VView::Bitmap(val, bits) => bitmap_get(bits, i).then(|| val[i]),
             VView::Dense(val, present) => present[i].then(|| val[i]),
         }
     }
@@ -84,6 +118,18 @@ impl<'a, T: Scalar> VView<'a, T> {
             VView::Sparse(idx, val) => {
                 for (&i, &v) in idx.iter().zip(val.iter()) {
                     f(i, v);
+                }
+            }
+            VView::Bitmap(val, bits) => {
+                // Word-at-a-time scan: empty words cost one test, set bits
+                // are walked by trailing_zeros / clear-lowest.
+                for (w, &word) in bits.iter().enumerate() {
+                    let mut word = word;
+                    while word != 0 {
+                        let i = (w << 6) | word.trailing_zeros() as usize;
+                        f(i, val[i]);
+                        word &= word - 1;
+                    }
                 }
             }
             VView::Dense(val, present) => {
@@ -317,7 +363,10 @@ impl<T: Scalar> VInner<T> {
         self.optimize_form();
     }
 
-    /// Pick the representation the current density calls for.
+    /// Pick the representation the current density calls for. The
+    /// promotion thresholds (sparse → bitmap at 1/16, anything → dense at
+    /// 1/4) sit above the demotion threshold (→ sparse below 1/32), so a
+    /// frontier whose size hovers near a boundary does not thrash.
     pub(crate) fn optimize_form(&mut self) {
         debug_assert!(!self.needs_assembly());
         let n = self.n;
@@ -325,6 +374,15 @@ impl<T: Scalar> VInner<T> {
             VStore::Sparse { idx, .. } => {
                 if n <= DENSE_LIMIT && idx.len() * DENSIFY_RATIO >= n && n > 0 {
                     self.densify();
+                } else if n <= DENSE_LIMIT && idx.len() * BITMAPIFY_RATIO >= n && n > 0 {
+                    self.bitmapify();
+                }
+            }
+            VStore::Bitmap { nvals, .. } => {
+                if *nvals * DENSIFY_RATIO >= n {
+                    self.densify();
+                } else if nvals * SPARSIFY_RATIO < n {
+                    self.sparsify();
                 }
             }
             VStore::Dense { nvals, .. } => {
@@ -336,36 +394,59 @@ impl<T: Scalar> VInner<T> {
     }
 
     fn densify(&mut self) {
+        match &mut self.store {
+            VStore::Sparse { idx, val } => {
+                let mut dval = vec![T::zero(); self.n];
+                let mut present = vec![false; self.n];
+                for (&i, &v) in idx.iter().zip(val.iter()) {
+                    dval[i] = v;
+                    present[i] = true;
+                }
+                let nvals = idx.len();
+                self.store = VStore::Dense { val: dval, present, nvals };
+            }
+            VStore::Bitmap { val, bits, nvals } => {
+                // Values are already full-length: move them, unpack bits.
+                let mut present = vec![false; self.n];
+                for (i, p) in present.iter_mut().enumerate() {
+                    *p = bitmap_get(bits, i);
+                }
+                let val = std::mem::take(val);
+                let nvals = *nvals;
+                self.store = VStore::Dense { val, present, nvals };
+            }
+            VStore::Dense { .. } => {}
+        }
+    }
+
+    fn bitmapify(&mut self) {
         if let VStore::Sparse { idx, val } = &self.store {
-            let mut dval = vec![T::zero(); self.n];
-            let mut present = vec![false; self.n];
+            let mut bval = vec![T::zero(); self.n];
+            let mut bits = vec![0u64; bitmap_words(self.n)];
             for (&i, &v) in idx.iter().zip(val.iter()) {
-                dval[i] = v;
-                present[i] = true;
+                bval[i] = v;
+                bits[i >> 6] |= 1 << (i & 63);
             }
             let nvals = idx.len();
-            self.store = VStore::Dense { val: dval, present, nvals };
+            self.store = VStore::Bitmap { val: bval, bits, nvals };
         }
     }
 
     fn sparsify(&mut self) {
-        if let VStore::Dense { val, present, .. } = &self.store {
-            let mut idx = Vec::new();
-            let mut sval = Vec::new();
-            for (i, (&v, &p)) in val.iter().zip(present.iter()).enumerate() {
-                if p {
-                    idx.push(i);
-                    sval.push(v);
-                }
-            }
-            self.store = VStore::Sparse { idx, val: sval };
-        }
+        let mut idx = Vec::new();
+        let mut sval = Vec::new();
+        self.view().for_each(|i, v| {
+            idx.push(i);
+            sval.push(v);
+        });
+        self.store = VStore::Sparse { idx, val: sval };
     }
 
     pub(crate) fn view(&self) -> VView<'_, T> {
         debug_assert!(!self.needs_assembly());
         match &self.store {
             VStore::Sparse { idx, val } => VView::Sparse(idx, val),
+            VStore::Bitmap { val, bits, .. } => VView::Bitmap(val, bits),
             VStore::Dense { val, present, .. } => VView::Dense(val, present),
         }
     }
@@ -374,6 +455,7 @@ impl<T: Scalar> VInner<T> {
         debug_assert!(!self.needs_assembly());
         match &self.store {
             VStore::Sparse { idx, .. } => idx.len(),
+            VStore::Bitmap { nvals, .. } => *nvals,
             VStore::Dense { nvals, .. } => *nvals,
         }
     }
@@ -473,6 +555,7 @@ impl<T: Scalar> Vector<T> {
     pub fn vector_format(&self) -> VectorFormat {
         match &self.inner.read().store {
             VStore::Sparse { .. } => VectorFormat::Sparse,
+            VStore::Bitmap { .. } => VectorFormat::Bitmap,
             VStore::Dense { .. } => VectorFormat::Dense,
         }
     }
@@ -495,6 +578,13 @@ impl<T: Scalar> Vector<T> {
                 }
                 val[i] = x;
                 present[i] = true;
+            }
+            VStore::Bitmap { val, bits, nvals } => {
+                if !bitmap_get(bits, i) {
+                    *nvals += 1;
+                    bits[i >> 6] |= 1 << (i & 63);
+                }
+                val[i] = x;
             }
             VStore::Sparse { idx, val } => match idx.binary_search_by_key(&i, |&x| unflip(x)) {
                 Ok(p) => {
@@ -526,6 +616,12 @@ impl<T: Scalar> Vector<T> {
                     *nvals -= 1;
                 }
             }
+            VStore::Bitmap { bits, nvals, .. } => {
+                if bitmap_get(bits, i) {
+                    bits[i >> 6] &= !(1 << (i & 63));
+                    *nvals -= 1;
+                }
+            }
             VStore::Sparse { idx, .. } => {
                 if let Ok(p) = idx.binary_search_by_key(&i, |&x| unflip(x)) {
                     if idx[p] & ZOMBIE == 0 {
@@ -552,6 +648,13 @@ impl<T: Scalar> Vector<T> {
         match &inner.store {
             VStore::Dense { val, present, .. } => {
                 if present[i] {
+                    Ok(val[i])
+                } else {
+                    Err(Error::NoValue)
+                }
+            }
+            VStore::Bitmap { val, bits, .. } => {
+                if bitmap_get(bits, i) {
                     Ok(val[i])
                 } else {
                     Err(Error::NoValue)
@@ -767,6 +870,80 @@ mod tests {
         let b = a.clone();
         a.set_element(0, 9).expect("set");
         assert_eq!(b.get(0), Some(1));
+    }
+
+    #[test]
+    fn bitmapify_at_mid_density() {
+        // 8/64 occupancy is in the bitmap band: >= 1/16 but < 1/4.
+        let v = Vector::from_tuples(64, (0..8).map(|i| (i * 8, i as i32)).collect(), |_, b| b)
+            .expect("build");
+        assert_eq!(v.vector_format(), VectorFormat::Bitmap);
+        assert_eq!(v.nvals(), 8);
+        assert_eq!(v.get(16), Some(2));
+        assert_eq!(v.get(17), None);
+        assert_eq!(v.extract_tuples(), (0..8).map(|i| (i * 8, i as i32)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bitmap_set_remove_in_place() {
+        let mut v = Vector::from_tuples(64, (0..8).map(|i| (i * 8, 1i32)).collect(), |_, b| b)
+            .expect("build");
+        assert_eq!(v.vector_format(), VectorFormat::Bitmap);
+        v.set_element(3, 9).expect("set new");
+        v.set_element(8, 7).expect("overwrite");
+        v.remove_element(16).expect("remove");
+        v.remove_element(17).expect("remove absent is a no-op");
+        assert_eq!(v.vector_format(), VectorFormat::Bitmap, "edits keep the form");
+        assert_eq!(v.nvals(), 8);
+        assert_eq!(v.get(3), Some(9));
+        assert_eq!(v.get(8), Some(7));
+        assert_eq!(v.get(16), None);
+        assert!(v.extract_element(16).is_err());
+    }
+
+    #[test]
+    fn bitmap_densifies_on_fill() {
+        let mut v = Vector::from_tuples(64, (0..8).map(|i| (i * 8, 1i32)).collect(), |_, b| b)
+            .expect("build");
+        assert_eq!(v.vector_format(), VectorFormat::Bitmap);
+        for i in 0..8 {
+            v.set_element(i * 8 + 1, 2).expect("set");
+        }
+        // 16/64 = 1/4 occupancy crosses the densify threshold.
+        v.inner.write().optimize_form();
+        assert_eq!(v.vector_format(), VectorFormat::Dense);
+        assert_eq!(v.nvals(), 16);
+        assert_eq!(v.get(33), Some(2));
+        assert_eq!(v.get(31), None);
+    }
+
+    #[test]
+    fn bitmap_sparsifies_on_drain() {
+        let mut v = Vector::from_tuples(64, (0..8).map(|i| (i * 8, i as i32)).collect(), |_, b| b)
+            .expect("build");
+        assert_eq!(v.vector_format(), VectorFormat::Bitmap);
+        for i in 1..8 {
+            v.remove_element(i * 8).expect("remove");
+        }
+        // 1/64 occupancy is below the sparsify threshold.
+        v.inner.write().optimize_form();
+        assert_eq!(v.vector_format(), VectorFormat::Sparse);
+        assert_eq!(v.extract_tuples(), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn bitmap_holds_inside_hysteresis_band() {
+        // 8/64 promotes sparse → bitmap; dropping to 3/64 (>= 1/32) must
+        // NOT demote — that gap is the anti-thrash hysteresis.
+        let mut v = Vector::from_tuples(64, (0..8).map(|i| (i * 8, 1i32)).collect(), |_, b| b)
+            .expect("build");
+        assert_eq!(v.vector_format(), VectorFormat::Bitmap);
+        for i in 3..8 {
+            v.remove_element(i * 8).expect("remove");
+        }
+        v.inner.write().optimize_form();
+        assert_eq!(v.vector_format(), VectorFormat::Bitmap);
+        assert_eq!(v.nvals(), 3);
     }
 
     #[test]

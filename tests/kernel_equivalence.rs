@@ -1,0 +1,223 @@
+//! The specialized (monomorphized) semiring kernels and the fused
+//! multiply-reduce/select kernels are pure performance features: for
+//! every recognized semiring they must produce **bit-identical** results
+//! to the generic closure-driven path, under any thread count, with any
+//! mask mode, in both product methods. Each scenario here computes the
+//! same product twice — once with the default descriptor (specialization
+//! on) and once with `generic_only()` — at 1 worker thread and at 8, and
+//! requires all four results to agree exactly.
+//!
+//! This is the contract that lets `GRAPHBLAS_SPECIALIZE=0` serve as a
+//! true escape hatch: flipping it can change speed, never answers.
+
+use graphblas::binaryop::Plus;
+use graphblas::descriptor::Descriptor;
+use graphblas::ops::*;
+use graphblas::parallel::{set_par_threshold, set_threads};
+use graphblas::semiring::{ANY_SECOND, LOR_LAND, MIN_PLUS, PLUS_PAIR, PLUS_TIMES};
+use graphblas::{Matrix, MxmMethod, Vector};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+const N: usize = 16;
+
+/// Thread count and threshold are process-wide; scenarios must not
+/// interleave their toggles.
+static GLOBALS: Mutex<()> = Mutex::new(());
+
+/// Run `f` with specialization on and with `generic_only()`, at 1 and at
+/// 8 worker threads, and require every result to be bit-identical to the
+/// first. `f` receives the descriptor to pass to each operation.
+fn assert_paths_equivalent<R: PartialEq + std::fmt::Debug>(
+    base: Descriptor,
+    f: impl Fn(&Descriptor) -> R,
+) {
+    let _g = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+    set_par_threshold(1);
+    let mut first: Option<(String, R)> = None;
+    for nt in [1usize, 8] {
+        set_threads(nt);
+        for (label, desc) in [("specialized", base), ("generic", base.generic_only())] {
+            let r = f(&desc);
+            match &first {
+                None => first = Some((format!("{label}@{nt}t"), r)),
+                Some((l0, r0)) => {
+                    assert_eq!(r0, &r, "{label}@{nt}t differs from {l0}");
+                }
+            }
+        }
+    }
+    set_threads(0);
+    set_par_threshold(0);
+}
+
+fn mat(tuples: &[(usize, usize, i64)]) -> Matrix<i64> {
+    Matrix::from_tuples(N, N, tuples.to_vec(), |_, b| b).expect("matrix")
+}
+
+fn vec_of(tuples: &[(usize, i64)]) -> Vector<i64> {
+    Vector::from_tuples(N, tuples.to_vec(), |_, b| b).expect("vector")
+}
+
+fn arb_mat_tuples() -> impl Strategy<Value = Vec<(usize, usize, i64)>> {
+    proptest::collection::vec((0..N, 0..N, -8i64..8), 0..48)
+}
+
+fn arb_vec_tuples() -> impl Strategy<Value = Vec<(usize, i64)>> {
+    proptest::collection::vec((0..N, -8i64..8), 0..N)
+}
+
+/// The mask modes every product is checked under: unmasked, valued mask,
+/// structural mask, complemented mask.
+fn mask_descs(base: Descriptor) -> [(Option<()>, Descriptor); 4] {
+    [(None, base), (Some(()), base), (Some(()), base.structural()), (Some(()), base.complement())]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn mxm_specialized_matches_generic(at in arb_mat_tuples(), bt in arb_mat_tuples(),
+                                       mt in arb_mat_tuples()) {
+        // Every specialized semiring, in both forced methods, under every
+        // mask mode. The outer driver flips specialization and threads.
+        for method in [MxmMethod::Gustavson, MxmMethod::Dot] {
+            for transpose_b in [false, true] {
+                let mut base = Descriptor::new().method(method);
+                if transpose_b {
+                    base = base.transpose_b();
+                }
+                assert_paths_equivalent(base, |desc| {
+                    let a = mat(&at);
+                    let b = mat(&bt);
+                    let mask = mat(&mt).pattern();
+                    let (ap, bp) = (a.pattern(), b.pattern());
+                    let mut out: Vec<Vec<(usize, usize, String)>> = Vec::new();
+                    let mut push = |t: Vec<(usize, usize, String)>| out.push(t);
+                    for (masked, d) in mask_descs(*desc) {
+                        let m = masked.map(|()| &mask);
+                        let mut c = Matrix::<i64>::new(N, N).expect("c");
+                        mxm(&mut c, m, NOACC, &PLUS_TIMES, &a, &b, &d).expect("plus_times");
+                        push(c.extract_tuples().into_iter()
+                            .map(|(i, j, x)| (i, j, format!("{x}"))).collect());
+                        let mut c = Matrix::<i64>::new(N, N).expect("c");
+                        mxm(&mut c, m, NOACC, &MIN_PLUS, &a, &b, &d).expect("min_plus");
+                        push(c.extract_tuples().into_iter()
+                            .map(|(i, j, x)| (i, j, format!("{x}"))).collect());
+                        let mut c = Matrix::<i64>::new(N, N).expect("c");
+                        mxm(&mut c, m, NOACC, &ANY_SECOND, &a, &b, &d).expect("any_second");
+                        push(c.extract_tuples().into_iter()
+                            .map(|(i, j, x)| (i, j, format!("{x}"))).collect());
+                        let mut c = Matrix::<u64>::new(N, N).expect("c");
+                        mxm(&mut c, m, NOACC, &PLUS_PAIR, &ap, &bp, &d).expect("plus_pair");
+                        push(c.extract_tuples().into_iter()
+                            .map(|(i, j, x)| (i, j, format!("{x}"))).collect());
+                        let mut c = Matrix::<bool>::new(N, N).expect("c");
+                        mxm(&mut c, m, NOACC, &LOR_LAND, &ap, &bp, &d).expect("lor_land");
+                        push(c.extract_tuples().into_iter()
+                            .map(|(i, j, x)| (i, j, format!("{x}"))).collect());
+                    }
+                    out
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn mxv_and_vxm_specialized_match_generic(at in arb_mat_tuples(), ut in arb_vec_tuples(),
+                                             mt in arb_vec_tuples()) {
+        use graphblas::descriptor::Direction;
+        // Push (scatter) and pull (dot) kernels, masked and unmasked, for
+        // every specialized semiring, mxv and vxm.
+        for dir in [Direction::Push, Direction::Pull] {
+            assert_paths_equivalent(Descriptor::new().direction(dir), |desc| {
+                let mut a = mat(&at);
+                a.set_dual_storage(true);
+                let ap = a.pattern();
+                let u = vec_of(&ut);
+                let up = u.pattern();
+                let mask = vec_of(&mt).pattern();
+                let mut out: Vec<Vec<(usize, String)>> = Vec::new();
+                let mut push = |t: Vec<(usize, String)>| out.push(t);
+                for (masked, d) in mask_descs(*desc) {
+                    let m = masked.map(|()| &mask);
+                    let mut w = Vector::<i64>::new(N).expect("w");
+                    mxv(&mut w, m, NOACC, &PLUS_TIMES, &a, &u, &d).expect("mxv plus_times");
+                    push(w.extract_tuples().into_iter()
+                        .map(|(i, x)| (i, format!("{x}"))).collect());
+                    let mut w = Vector::<i64>::new(N).expect("w");
+                    mxv(&mut w, m, NOACC, &MIN_PLUS, &a, &u, &d).expect("mxv min_plus");
+                    push(w.extract_tuples().into_iter()
+                        .map(|(i, x)| (i, format!("{x}"))).collect());
+                    let mut w = Vector::<i64>::new(N).expect("w");
+                    mxv(&mut w, m, NOACC, &ANY_SECOND, &a, &u, &d).expect("mxv any_second");
+                    push(w.extract_tuples().into_iter()
+                        .map(|(i, x)| (i, format!("{x}"))).collect());
+                    let mut w = Vector::<u64>::new(N).expect("w");
+                    mxv(&mut w, m, NOACC, &PLUS_PAIR, &ap, &up, &d).expect("mxv plus_pair");
+                    push(w.extract_tuples().into_iter()
+                        .map(|(i, x)| (i, format!("{x}"))).collect());
+                    let mut w = Vector::<bool>::new(N).expect("w");
+                    mxv(&mut w, m, NOACC, &LOR_LAND, &ap, &up, &d).expect("mxv lor_land");
+                    push(w.extract_tuples().into_iter()
+                        .map(|(i, x)| (i, format!("{x}"))).collect());
+                    // vxm flips the multiply's projection before resolving
+                    // the specialization — exercise that swap too.
+                    let mut t = Vector::<i64>::new(N).expect("t");
+                    vxm(&mut t, m, NOACC, &PLUS_TIMES, &u, &a, &d).expect("vxm plus_times");
+                    push(t.extract_tuples().into_iter()
+                        .map(|(i, x)| (i, format!("{x}"))).collect());
+                    let mut t = Vector::<i64>::new(N).expect("t");
+                    vxm(&mut t, m, NOACC, &MIN_PLUS, &u, &a, &d).expect("vxm min_plus");
+                    push(t.extract_tuples().into_iter()
+                        .map(|(i, x)| (i, format!("{x}"))).collect());
+                    let mut t = Vector::<i64>::new(N).expect("t");
+                    vxm(&mut t, m, NOACC, &ANY_SECOND, &u, &a, &d).expect("vxm any_second");
+                    push(t.extract_tuples().into_iter()
+                        .map(|(i, x)| (i, format!("{x}"))).collect());
+                }
+                out
+            });
+        }
+    }
+
+    #[test]
+    fn fused_kernels_match_materialized_composition(at in arb_mat_tuples(),
+                                                    bt in arb_mat_tuples(),
+                                                    mt in arb_mat_tuples()) {
+        // Each fused entry point against the three-step unfused
+        // composition it replaces: materialize the masked product with the
+        // generic mxm, then reduce/select. The generic_only() leg of the
+        // driver exercises the fused functions' own fallback path, so this
+        // also proves fallback == fused.
+        assert_paths_equivalent(Descriptor::new().structural(), |desc| {
+            let a = mat(&at).pattern();
+            let b = mat(&bt).pattern();
+            let mask = mat(&mt).pattern();
+            let scalar: u64 =
+                fused_mxm_reduce_scalar(&Plus, &mask, &PLUS_PAIR, &a, &b, desc).expect("scalar");
+            let (rows, pat) =
+                fused_mxm_row_reduce_pattern(&Plus, &mask, &PLUS_PAIR, &a, &b, desc)
+                    .expect("rows");
+            let kept =
+                fused_mxm_select(|v: u64| v >= 2, &mask, &PLUS_PAIR, &a, &b, desc).expect("sel");
+
+            // The unfused oracle, always on the generic path.
+            let mut c = Matrix::<u64>::new(N, N).expect("c");
+            mxm(&mut c, Some(&mask), NOACC, &PLUS_PAIR, &a, &b, &desc.generic_only())
+                .expect("mxm");
+            assert_eq!(scalar, reduce_matrix_scalar(&Plus, &c), "scalar reduce");
+            let mut rref = Vector::<u64>::new(N).expect("r");
+            reduce_matrix(&mut rref, None, NOACC, &Plus, &c, &Descriptor::default())
+                .expect("reduce");
+            assert_eq!(rows.extract_tuples(), rref.extract_tuples(), "row reduce");
+            assert_eq!(pat.extract_tuples(), c.pattern().extract_tuples(), "pattern");
+            let mut kref = Matrix::<u64>::new(N, N).expect("k");
+            select_matrix(&mut kref, None, NOACC, graphblas::unaryop::ValueGe(2u64), &c,
+                &Descriptor::default()).expect("select");
+            assert_eq!(kept.extract_tuples(), kref.extract_tuples(), "select");
+
+            (scalar, rows.extract_tuples(), pat.extract_tuples(), kept.extract_tuples())
+        });
+    }
+}
