@@ -193,6 +193,10 @@ pub struct BenchReport {
     pub nedges: usize,
     /// Worker threads the kernels used (`GRAPHBLAS_THREADS` effective).
     pub threads: usize,
+    /// Whether the kernel-specialization table was active
+    /// (`GRAPHBLAS_SPECIALIZE` effective) — which side of the A/B this
+    /// run measured.
+    pub specialize: bool,
     /// Timed trials per algorithm.
     pub trials: usize,
     /// Warmup runs per algorithm.
@@ -201,6 +205,11 @@ pub struct BenchReport {
     pub sources: Vec<usize>,
     /// Per-algorithm results, in run order.
     pub algos: Vec<AlgoResult>,
+    /// Flat [`graphblas::metrics`] snapshot taken after the timed
+    /// trials (`(series, value)` pairs): span latency/flops counts,
+    /// dispatch counters, pool width — the live-registry view of the
+    /// same run the trace aggregates summarize.
+    pub metrics: Vec<(String, f64)>,
 }
 
 // ---------------------------------------------------------------------------
@@ -230,6 +239,10 @@ pub fn run_on(cfg: &HarnessConfig, graph: &Graph) -> Result<BenchReport> {
     let delta = (cfg.max_weight as f64 / 4.0).max(1.0);
 
     let prev_mode = trace::mode();
+    // Record the live-metrics view of the run alongside the trace
+    // aggregates; restored to its prior state before returning.
+    let metrics_prev = graphblas::metrics::enabled();
+    graphblas::metrics::set_enabled(true);
     let mut algos = Vec::with_capacity(cfg.algos.len());
     for &algo in &cfg.algos {
         let run_once = || -> Result<f64> {
@@ -294,8 +307,17 @@ pub fn run_on(cfg: &HarnessConfig, graph: &Graph) -> Result<BenchReport> {
         }
         trace::set_mode(prev_mode);
 
+        // The workload's resident footprint while this algorithm ran:
+        // the served graph (adjacency + caches warmed by the trials)
+        // plus the shared Boolean structure. Assembly spans may have
+        // raised it further; keep the max.
+        let resident = (graph.resident_bytes() + structure.memory_usage().total()) as u64;
+        agg.peak_resident_bytes = agg.peak_resident_bytes.max(resident);
+
         algos.push(AlgoResult { algo, trials_ns, agg, checksum });
     }
+    let metrics = graphblas::metrics::snapshot();
+    graphblas::metrics::set_enabled(metrics_prev);
 
     Ok(BenchReport {
         schema: SCHEMA.to_string(),
@@ -308,10 +330,12 @@ pub fn run_on(cfg: &HarnessConfig, graph: &Graph) -> Result<BenchReport> {
         nvertices: graph.nvertices(),
         nedges: graph.nedges(),
         threads: graphblas::parallel::threads(),
+        specialize: graphblas::specialization_enabled(),
         trials: cfg.trials.max(1),
         warmup: cfg.warmup,
         sources,
         algos,
+        metrics,
     })
 }
 
@@ -412,6 +436,7 @@ impl BenchReport {
                     ("mxm_fused".into(), a.mxm_fused.into()),
                     ("spans".into(), a.spans.into()),
                     ("op_wall_ns".into(), a.op_wall_ns.into()),
+                    ("peak_resident_bytes".into(), a.peak_resident_bytes.into()),
                     ("checksum".into(), r.checksum.into()),
                 ]),
             ));
@@ -427,10 +452,15 @@ impl BenchReport {
             ("nvertices".into(), self.nvertices.into()),
             ("nedges".into(), self.nedges.into()),
             ("threads".into(), self.threads.into()),
+            ("specialize".into(), Value::Bool(self.specialize)),
             ("trials".into(), self.trials.into()),
             ("warmup".into(), self.warmup.into()),
             ("sources".into(), Value::Arr(self.sources.iter().map(|&s| s.into()).collect())),
             ("algos".into(), Value::Obj(algos)),
+            (
+                "metrics".into(),
+                Value::Obj(self.metrics.iter().map(|(k, v)| (k.clone(), (*v).into())).collect()),
+            ),
         ])
     }
 
@@ -474,6 +504,7 @@ impl BenchReport {
                 // Absent in pre-specialization reports; au64 defaults to 0.
                 specialized: au64("specialized"),
                 mxm_fused: au64("mxm_fused"),
+                peak_resident_bytes: au64("peak_resident_bytes"),
             };
             let checksum = av.get("checksum").and_then(Value::as_f64).unwrap_or(0.0);
             algos.push(AlgoResult { algo, trials_ns, agg, checksum });
@@ -489,6 +520,8 @@ impl BenchReport {
             nvertices: req_u64("nvertices")? as usize,
             nedges: req_u64("nedges")? as usize,
             threads: v.get("threads").and_then(Value::as_u64).unwrap_or(0) as usize,
+            // Absent in older reports; specialization was on by default.
+            specialize: v.get("specialize").and_then(Value::as_bool).unwrap_or(true),
             trials: v.get("trials").and_then(Value::as_u64).unwrap_or(0) as usize,
             warmup: v.get("warmup").and_then(Value::as_u64).unwrap_or(0) as usize,
             sources: v
@@ -497,6 +530,13 @@ impl BenchReport {
                 .map(|a| a.iter().filter_map(Value::as_u64).map(|s| s as usize).collect())
                 .unwrap_or_default(),
             algos,
+            metrics: v
+                .get("metrics")
+                .and_then(Value::as_obj)
+                .map(|o| {
+                    o.iter().filter_map(|(k, mv)| mv.as_f64().map(|f| (k.clone(), f))).collect()
+                })
+                .unwrap_or_default(),
         })
     }
 

@@ -183,3 +183,34 @@ fn file_name_embeds_scale_and_date() {
     report.date = "2026-08-06".to_string();
     assert_eq!(report.file_name(), "BENCH_6_20260806.json");
 }
+
+/// The observability fields added to the report schema: a run records
+/// whether semiring specialization was live, the peak resident matrix
+/// bytes per algorithm, and a flat metrics snapshot — and all three
+/// survive the JSON round trip.
+#[test]
+fn report_carries_metrics_snapshot_and_resident_bytes() {
+    let report = run(&tiny_config()).expect("harness run");
+    assert_eq!(report.specialize, graphblas::specialization_enabled());
+    for r in &report.algos {
+        assert!(
+            r.agg.peak_resident_bytes > 0,
+            "{}: no resident-bytes high-water mark",
+            r.algo.name()
+        );
+    }
+    assert!(!report.metrics.is_empty(), "run must embed a metrics snapshot");
+    assert!(
+        report.metrics.iter().any(|(k, _)| k.starts_with("graphblas_span_seconds_count")),
+        "snapshot lacks span latency series: {:?}",
+        report.metrics.iter().map(|(k, _)| k).take(8).collect::<Vec<_>>()
+    );
+
+    let text = report.to_json().pretty();
+    let back = BenchReport::from_json(&json::parse(&text).expect("parse")).expect("decode");
+    assert_eq!(back.specialize, report.specialize);
+    assert_eq!(back.metrics, report.metrics);
+    for (ra, rb) in report.algos.iter().zip(&back.algos) {
+        assert_eq!(ra.agg.peak_resident_bytes, rb.agg.peak_resident_bytes, "{}", ra.algo.name());
+    }
+}

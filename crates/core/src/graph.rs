@@ -125,6 +125,28 @@ impl Graph {
         self.a.nvals()
     }
 
+    /// Resident heap bytes of the graph: the adjacency matrix plus every
+    /// cached property currently materialized (transpose, structure,
+    /// degrees). Polling it does not populate any cache, so it is safe
+    /// to call from a metrics gauge on the serving path.
+    pub fn resident_bytes(&self) -> usize {
+        let mut total = self.a.memory_usage().total();
+        let c = self.cache.lock();
+        if let Some(at) = &c.at {
+            total += at.memory_usage().total();
+        }
+        if let Some(st) = &c.structure {
+            total += st.memory_usage().total();
+        }
+        if let Some(d) = &c.out_degree {
+            total += d.memory_usage().total();
+        }
+        if let Some(d) = &c.in_degree {
+            total += d.memory_usage().total();
+        }
+        total
+    }
+
     /// The cached transpose `Aᵀ` (the matrix itself for undirected
     /// graphs would be equal; we still materialize it so algorithms can
     /// rely on row access to in-edges). Errors from the underlying

@@ -53,6 +53,15 @@
 //! `service.reject` / counter updates. `GRAPHBLAS_TRACE=burble` narrates
 //! the serving loop live.
 //!
+//! For *live* visibility the service also feeds [`graphblas::metrics`]:
+//! per-shard queue-depth gauges, update counters by outcome,
+//! backpressure events by policy, batch-size histograms, epoch counters,
+//! pending/zombie high-water marks, epoch lag (seconds since the served
+//! snapshot was published), and resident-bytes gauges for the master
+//! matrix and the served snapshot. Set `GRAPHBLAS_METRICS_ADDR` to
+//! scrape them from a running replica (`examples/metrics_service.rs`
+//! shows the whole loop).
+//!
 //! # Example
 //!
 //! ```
@@ -77,14 +86,15 @@
 //! ```
 
 use crate::graph::{Graph, GraphKind};
+use graphblas::metrics;
 use graphblas::trace::{self, ArgValue};
 use graphblas::{Error as GrbError, Index, Matrix};
 use parking_lot::RwLock;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed, Ordering::SeqCst};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 /// One edge mutation submitted to the service.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -236,6 +246,133 @@ struct Shard {
     not_full: Condvar,
 }
 
+/// Distinct per-shard queue-depth gauges are capped here; shards beyond
+/// the cap share one `shard="other"` series (cardinality budget).
+const SHARD_GAUGE_CAP: usize = 64;
+
+fn now_unix_ns() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_nanos() as u64).unwrap_or(0)
+}
+
+fn policy_label(p: BackpressurePolicy) -> &'static str {
+    match p {
+        BackpressurePolicy::Block => "block",
+        BackpressurePolicy::Coalesce => "coalesce",
+        BackpressurePolicy::Reject => "reject",
+    }
+}
+
+/// The service's live-metric handles ([`graphblas::metrics`]). The
+/// registry is process-global, so two services in one process share
+/// these series: counters merge, gauges show the last writer. That is
+/// the intended deployment shape (one service per serving process);
+/// tests that need isolation read [`GraphService::stats`] instead.
+struct ServiceMetrics {
+    /// Per-shard queue depth, `lagraph_service_queue_depth{shard=…}`;
+    /// indexed by shard, entries past [`SHARD_GAUGE_CAP`] share a series.
+    queue_depth: Vec<metrics::Gauge>,
+    submitted: metrics::Counter,
+    processed: metrics::Counter,
+    coalesced: metrics::Counter,
+    rejected: metrics::Counter,
+    /// Full-queue events by the service's configured policy (counted
+    /// once per affected submission, however it resolved).
+    backpressure: metrics::Counter,
+    /// Updates replayed per epoch.
+    batch_updates: metrics::Histogram,
+    epochs: metrics::Counter,
+    epoch: metrics::Gauge,
+    pending_peak: metrics::Gauge,
+    zombies_peak: metrics::Gauge,
+    /// Resident bytes of the drainer's private master matrix, refreshed
+    /// after each epoch's assembly.
+    master_bytes: metrics::Gauge,
+    last_publish: metrics::Gauge,
+    /// Wall clock of the last snapshot publish, in unix nanoseconds —
+    /// the `lagraph_service_epoch_lag_seconds` callback reads it at
+    /// scrape time, so lag is current even when no epoch is turning.
+    publish_unix_ns: Arc<AtomicU64>,
+}
+
+impl ServiceMetrics {
+    fn new(shards: usize, policy: BackpressurePolicy) -> Self {
+        let counters = |result: &str| {
+            metrics::counter_with(
+                "lagraph_service_updates_total",
+                "Service updates by outcome.",
+                &[("result", result)],
+            )
+        };
+        let overflow = metrics::gauge_with(
+            "lagraph_service_queue_depth",
+            "Queued updates per shard.",
+            &[("shard", "other")],
+        );
+        let queue_depth = (0..shards)
+            .map(|k| {
+                if k < SHARD_GAUGE_CAP {
+                    metrics::gauge_with(
+                        "lagraph_service_queue_depth",
+                        "Queued updates per shard.",
+                        &[("shard", &k.to_string())],
+                    )
+                } else {
+                    overflow.clone()
+                }
+            })
+            .collect();
+        let publish_unix_ns = Arc::new(AtomicU64::new(now_unix_ns()));
+        {
+            let at = publish_unix_ns.clone();
+            metrics::gauge_fn(
+                "lagraph_service_epoch_lag_seconds",
+                "Seconds since the served snapshot was published (staleness of reads).",
+                &[],
+                move || Some(now_unix_ns().saturating_sub(at.load(Relaxed)) as f64 / 1e9),
+            );
+        }
+        ServiceMetrics {
+            queue_depth,
+            submitted: counters("submitted"),
+            processed: counters("processed"),
+            coalesced: counters("coalesced"),
+            rejected: counters("rejected"),
+            backpressure: metrics::counter_with(
+                "lagraph_service_backpressure_total",
+                "Submissions that hit a full shard queue, by configured policy.",
+                &[("policy", policy_label(policy))],
+            ),
+            batch_updates: metrics::histogram(
+                "lagraph_service_batch_updates",
+                "Updates replayed per epoch batch.",
+            ),
+            epochs: metrics::counter(
+                "lagraph_service_epochs_total",
+                "Epochs published since process start.",
+            ),
+            epoch: metrics::gauge("lagraph_service_epoch", "Epoch of the served snapshot."),
+            pending_peak: metrics::gauge(
+                "lagraph_service_pending_peak",
+                "Largest pending-tuple backlog any single epoch assembly resolved.",
+            ),
+            zombies_peak: metrics::gauge(
+                "lagraph_service_zombies_peak",
+                "Largest zombie count any single epoch assembly resolved.",
+            ),
+            master_bytes: metrics::gauge_with(
+                "lagraph_service_resident_bytes",
+                "Resident bytes of service-owned graph objects.",
+                &[("object", "master")],
+            ),
+            last_publish: metrics::gauge(
+                "lagraph_service_last_publish_unixtime_seconds",
+                "Wall-clock time of the last snapshot publish.",
+            ),
+            publish_unix_ns,
+        }
+    }
+}
+
 /// Drain coordination: counts are monotone, so `submitted == processed`
 /// means the log is empty and every accepted update is visible in the
 /// published snapshot.
@@ -264,6 +401,8 @@ struct Shared {
     state: Mutex<DrainState>,
     work: Condvar,
     published: Condvar,
+    /// Live-metric handles (no-ops while `graphblas::metrics` is off).
+    metrics: ServiceMetrics,
 }
 
 impl Shared {
@@ -271,14 +410,14 @@ impl Shared {
         self.submitted.load(SeqCst).saturating_sub(self.processed.load(SeqCst))
     }
 
-    fn shard_for(&self, key: (Index, Index)) -> &Shard {
+    fn shard_index(&self, key: (Index, Index)) -> usize {
         // Fibonacci-style mix; undirected mirrors normalize the key first
         // so both arcs of an edge always land in the same shard.
         let h = key
             .0
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(key.1.wrapping_mul(0xD1B5_4A32_D192_ED03));
-        &self.shards[h % self.shards.len()]
+        h % self.shards.len()
     }
 }
 
@@ -344,7 +483,20 @@ impl GraphService {
             state: Mutex::new(DrainState::default()),
             work: Condvar::new(),
             published: Condvar::new(),
+            metrics: ServiceMetrics::new(shards, config.policy),
         });
+        // Resident bytes of the *served* snapshot, sampled at scrape
+        // time through a weak handle so a dropped service stops
+        // reporting instead of keeping itself alive.
+        {
+            let weak = Arc::downgrade(&shared);
+            metrics::gauge_fn(
+                "lagraph_service_resident_bytes",
+                "Resident bytes of service-owned graph objects.",
+                &[("object", "snapshot")],
+                move || weak.upgrade().map(|s| s.snapshot.read().graph.resident_bytes() as f64),
+            );
+        }
         let drainer = {
             let shared = shared.clone();
             std::thread::Builder::new()
@@ -394,12 +546,19 @@ impl GraphService {
         } else {
             update
         };
-        let shard = self.shared.shard_for(update.key());
+        let si = self.shared.shard_index(update.key());
+        let shard = &self.shared.shards[si];
         let mut q = shard.queue.lock().expect("shard lock");
+        let mut hit_backpressure = false;
         while q.len() >= self.shared.capacity {
+            if !hit_backpressure {
+                hit_backpressure = true;
+                self.shared.metrics.backpressure.inc();
+            }
             match self.shared.policy {
                 BackpressurePolicy::Reject => {
                     self.shared.rejected.fetch_add(1, SeqCst);
+                    self.shared.metrics.rejected.inc();
                     let depth = self.shared.depth();
                     trace::service_instant("service.reject", vec![("depth", ArgValue::U64(depth))]);
                     return Err(ServiceError::Backpressure { depth });
@@ -409,6 +568,7 @@ impl GraphService {
                     if let Some(slot) = q.iter_mut().find(|u| u.key() == key) {
                         *slot = update;
                         self.shared.coalesced.fetch_add(1, SeqCst);
+                        self.shared.metrics.coalesced.inc();
                         return Ok(());
                     }
                     q = self.block_until_room(shard, q);
@@ -420,8 +580,10 @@ impl GraphService {
             }
         }
         q.push_back(update);
+        self.shared.metrics.queue_depth[si].set(q.len() as f64);
         drop(q);
         self.shared.submitted.fetch_add(1, SeqCst);
+        self.shared.metrics.submitted.inc();
         self.shared.work.notify_one();
         Ok(())
     }
@@ -552,7 +714,7 @@ fn drain_loop(shared: &Shared, mut master: Matrix<f64>, max_batch: usize) {
         // Cut a batch: swap each shard's queue out (bounded by
         // max_batch), freeing blocked writers immediately.
         let mut batch: Vec<Update> = Vec::new();
-        for shard in &shared.shards {
+        for (si, shard) in shared.shards.iter().enumerate() {
             let mut q = shard.queue.lock().expect("shard lock");
             let room = max_batch.saturating_sub(batch.len());
             if room == 0 {
@@ -563,6 +725,7 @@ fn drain_loop(shared: &Shared, mut master: Matrix<f64>, max_batch: usize) {
             } else {
                 batch.extend(q.drain(..room));
             }
+            shared.metrics.queue_depth[si].set(q.len() as f64);
             drop(q);
             shard.not_full.notify_all();
         }
@@ -574,6 +737,7 @@ fn drain_loop(shared: &Shared, mut master: Matrix<f64>, max_batch: usize) {
         let mut span = trace::service_span("service.epoch");
         span.arg("epoch", epoch);
         span.arg("batch", batch.len());
+        shared.metrics.batch_updates.observe(batch.len() as u64);
 
         // Replay through the non-blocking update path: inserts become
         // pending tuples (or in-place overwrites), deletes become
@@ -605,6 +769,8 @@ fn drain_loop(shared: &Shared, mut master: Matrix<f64>, max_batch: usize) {
         let (pending, zombies) = master.deferred();
         span.arg("pending", pending);
         span.arg("zombies", zombies);
+        shared.metrics.pending_peak.set_max(pending as f64);
+        shared.metrics.zombies_peak.set_max(zombies as f64);
         if apply_errors > 0 {
             span.arg("apply_errors", apply_errors);
             trace::warn_once(
@@ -616,6 +782,7 @@ fn drain_loop(shared: &Shared, mut master: Matrix<f64>, max_batch: usize) {
         // One amortized assembly for the whole batch, parallel on the
         // par_chunks pool — the §II.A claim, now load-bearing.
         master.wait();
+        shared.metrics.master_bytes.set(master.memory_usage().total() as f64);
 
         // Publish: deep-clone the assembled master into an immutable
         // Graph with fresh (lazily computed) caches, stamped with this
@@ -627,6 +794,11 @@ fn drain_loop(shared: &Shared, mut master: Matrix<f64>, max_batch: usize) {
                 span.arg("nedges", nedges);
                 span.arg("queue_depth", shared.depth());
                 *shared.snapshot.write() = Arc::new(Snapshot { epoch, nedges, graph: Arc::new(g) });
+                let now_ns = now_unix_ns();
+                shared.metrics.publish_unix_ns.store(now_ns, Relaxed);
+                shared.metrics.last_publish.set(now_ns as f64 / 1e9);
+                shared.metrics.epochs.inc();
+                shared.metrics.epoch.set(epoch as f64);
             }
             Err(_) => {
                 // Master dimensions never change, so this is unreachable;
@@ -636,6 +808,7 @@ fn drain_loop(shared: &Shared, mut master: Matrix<f64>, max_batch: usize) {
         }
         drop(span);
         shared.processed.fetch_add(batch.len() as u64, SeqCst);
+        shared.metrics.processed.add(batch.len() as u64);
         shared.published.notify_all();
     }
 }

@@ -1,0 +1,160 @@
+//! Integration tests for the service layer's SLO instrumentation: a
+//! churning `GraphService` must surface queue depth, update/backpressure
+//! counters, epoch progress, and resident-bytes gauges through
+//! `graphblas::metrics`, and algorithm queries against its snapshots must
+//! feed the per-algorithm latency histograms.
+//!
+//! The registry is process-wide and these series are shared by every
+//! service, so the tests live in their own binary, serialize on
+//! `GLOBALS`, and assert on snapshot deltas.
+
+use graphblas::metrics;
+use lagraph::service::{BackpressurePolicy, GraphService, ServiceConfig};
+use lagraph::{bfs_level, Graph, GraphKind};
+use std::sync::Mutex;
+
+static GLOBALS: Mutex<()> = Mutex::new(());
+
+fn ring(n: usize) -> Graph {
+    let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    Graph::from_edges(n, &edges, GraphKind::Directed).expect("ring graph")
+}
+
+/// `metrics::snapshot()` as a map, for delta assertions.
+fn snap() -> std::collections::BTreeMap<String, f64> {
+    metrics::snapshot().into_iter().collect()
+}
+
+fn delta(
+    after: &std::collections::BTreeMap<String, f64>,
+    before: &std::collections::BTreeMap<String, f64>,
+    key: &str,
+) -> f64 {
+    after.get(key).copied().unwrap_or(0.0) - before.get(key).copied().unwrap_or(0.0)
+}
+
+#[test]
+fn churning_service_populates_slo_series() {
+    let _g = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = metrics::enabled();
+    metrics::set_enabled(true);
+
+    let before = snap();
+    let n = 256;
+    let s = GraphService::new(
+        ring(n),
+        ServiceConfig { shards: 4, queue_capacity: 4096, ..ServiceConfig::default() },
+    )
+    .expect("service");
+
+    let mut submitted = 0u64;
+    let mut last = None;
+    for round in 0..3 {
+        for k in 0..500usize {
+            let (i, j) = ((k * 7 + round) % n, (k * 13 + 1) % n);
+            if k % 9 == 0 {
+                s.delete_edge(i, j).expect("delete");
+            } else {
+                s.insert_edge(i, j, 1.0).expect("insert");
+            }
+            submitted += 1;
+        }
+        last = Some(s.flush().expect("flush"));
+    }
+    let snapshot = last.expect("flushed at least once");
+    bfs_level(snapshot.graph(), 0).expect("bfs");
+
+    let after = snap();
+    assert_eq!(
+        delta(&after, &before, "lagraph_service_updates_total{result=\"submitted\"}"),
+        submitted as f64,
+        "every accepted submission must be counted"
+    );
+    assert_eq!(
+        delta(&after, &before, "lagraph_service_updates_total{result=\"processed\"}"),
+        submitted as f64,
+        "after flush, every update must be processed"
+    );
+    assert!(
+        after.get("lagraph_service_epoch").copied().unwrap_or(0.0) >= snapshot.epoch() as f64,
+        "epoch gauge lags the published snapshot"
+    );
+    assert!(
+        delta(&after, &before, "lagraph_service_epochs_total") >= 3.0,
+        "three flushes must publish at least three epochs"
+    );
+    assert!(
+        after.get("lagraph_service_resident_bytes{object=\"master\"}").copied().unwrap_or(0.0)
+            > 0.0,
+        "master resident bytes missing"
+    );
+    assert!(
+        after.get("lagraph_service_resident_bytes{object=\"snapshot\"}").copied().unwrap_or(0.0)
+            > 0.0,
+        "snapshot resident bytes missing"
+    );
+    assert!(
+        delta(&after, &before, "graphblas_span_seconds_count{cat=\"algo\",span=\"bfs.level\"}")
+            >= 1.0,
+        "algorithm query did not feed the latency histogram"
+    );
+
+    // The rendered page must carry the gauges the dashboards key on.
+    let page = metrics::render();
+    for family in [
+        "lagraph_service_queue_depth{shard=\"0\"}",
+        "lagraph_service_epoch_lag_seconds",
+        "lagraph_service_batch_updates_count",
+        "graphblas_span_seconds_p99",
+    ] {
+        assert!(page.contains(family), "render() lacks {family}");
+    }
+
+    // Dropping the service must retire its snapshot resident-bytes
+    // callback (Weak upgrade fails → no sample), not report stale bytes.
+    drop(snapshot);
+    drop(s);
+    assert!(
+        !snap().contains_key("lagraph_service_resident_bytes{object=\"snapshot\"}"),
+        "dropped service still reports snapshot bytes"
+    );
+
+    metrics::set_enabled(prev);
+}
+
+#[test]
+fn reject_backpressure_is_counted_by_policy() {
+    let _g = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = metrics::enabled();
+    metrics::set_enabled(true);
+
+    let before = snap();
+    let s = GraphService::new(
+        ring(64),
+        ServiceConfig {
+            shards: 1,
+            queue_capacity: 8,
+            policy: BackpressurePolicy::Reject,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("service");
+    let mut rejected = 0u64;
+    for k in 0..512usize {
+        if s.insert_edge(k % 64, (k + 1) % 64, 1.0).is_err() {
+            rejected += 1;
+        }
+    }
+    assert!(rejected > 0, "tiny queue never rejected — backpressure path untested");
+    let after = snap();
+    assert_eq!(
+        delta(&after, &before, "lagraph_service_updates_total{result=\"rejected\"}"),
+        rejected as f64
+    );
+    assert_eq!(
+        delta(&after, &before, "lagraph_service_backpressure_total{policy=\"reject\"}"),
+        rejected as f64
+    );
+    drop(s);
+    metrics::set_enabled(prev);
+}

@@ -33,6 +33,7 @@
 //! | §IV O(1) data movement | import/export of raw arrays | [`import`] |
 //! | §III testing methodology | the dense "MATLAB mimic" reference | [`mimic`] |
 //! | (SuiteSparse "burble") | runtime tracing, profiling, Chrome traces | [`trace`], [`stats`] |
+//! | (serving telemetry) | live counters/gauges/histograms, Prometheus `/metrics` | [`metrics`] |
 //! | (execution substrate) | the chunked worker pool every kernel uses | [`parallel`] |
 //! | (C API `GrB_Info`) | typed error codes | [`error`] |
 //!
@@ -48,6 +49,7 @@ pub mod binaryop;
 pub mod cost;
 pub mod descriptor;
 pub mod error;
+pub mod metrics;
 pub mod monoid;
 pub mod parallel;
 pub mod semiring;
@@ -68,8 +70,9 @@ pub mod registry;
 pub use binaryop::BinaryOp;
 pub use descriptor::{Descriptor, Direction, MxmMethod};
 pub use error::{Error, Result};
-pub use matrix::{Format, Matrix};
+pub use matrix::{Format, Matrix, MemoryUsage};
 pub use monoid::Monoid;
+pub use ops::spec::specialization_enabled;
 pub use semiring::Semiring;
 pub use types::{All, Index, Num, Scalar};
 pub use unaryop::{IndexUnaryOp, UnaryOp};

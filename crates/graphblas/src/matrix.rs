@@ -55,6 +55,61 @@ pub enum Format {
     HyperCsc,
 }
 
+/// Resident heap footprint of a matrix or vector, by component — what
+/// [`Matrix::memory_usage`] / [`crate::Vector::memory_usage`] report and
+/// the serving layer rolls up into per-replica resident-bytes gauges.
+///
+/// Figures are `Vec::capacity()`-based (allocated, not merely used) and
+/// count the storage arrays only; the constant-size object header is
+/// ignored. `total()` is the number replica sizing cares about.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryUsage {
+    /// Compressed pointer arrays (CSR/CSC `ptr`, plus hypersparse
+    /// `heads`).
+    pub ptr_bytes: usize,
+    /// Index / presence structures: minor indices for sparse forms,
+    /// the presence bitmap or flags for bitmap/dense vectors.
+    pub idx_bytes: usize,
+    /// Stored scalar values.
+    pub val_bytes: usize,
+    /// Deferred-update backlog (pending tuples awaiting assembly).
+    pub pending_bytes: usize,
+    /// The cached transpose when dual storage is built.
+    pub dual_bytes: usize,
+}
+
+impl MemoryUsage {
+    /// Total resident bytes across all components.
+    pub fn total(&self) -> usize {
+        self.ptr_bytes + self.idx_bytes + self.val_bytes + self.pending_bytes + self.dual_bytes
+    }
+}
+
+impl std::ops::Add for MemoryUsage {
+    type Output = MemoryUsage;
+    fn add(self, rhs: MemoryUsage) -> MemoryUsage {
+        MemoryUsage {
+            ptr_bytes: self.ptr_bytes + rhs.ptr_bytes,
+            idx_bytes: self.idx_bytes + rhs.idx_bytes,
+            val_bytes: self.val_bytes + rhs.val_bytes,
+            pending_bytes: self.pending_bytes + rhs.pending_bytes,
+            dual_bytes: self.dual_bytes + rhs.dual_bytes,
+        }
+    }
+}
+
+fn vec_bytes<T>(v: &Vec<T>) -> usize {
+    v.capacity() * std::mem::size_of::<T>()
+}
+
+fn cs_bytes<T>(c: &Cs<T>) -> (usize, usize, usize) {
+    (vec_bytes(&c.ptr), vec_bytes(&c.idx), vec_bytes(&c.val))
+}
+
+fn hyper_bytes<T>(h: &Hyper<T>) -> (usize, usize, usize) {
+    (vec_bytes(&h.ptr) + vec_bytes(&h.heads), vec_bytes(&h.idx), vec_bytes(&h.val))
+}
+
 /// Internal storage: the four forms of §II.A.
 #[derive(Debug, Clone)]
 pub(crate) enum Store<T> {
@@ -152,12 +207,39 @@ impl<T: Scalar> Inner<T> {
         !self.pending.is_empty() || self.nzombies > 0
     }
 
+    /// Resident bytes of the current state (storage form + deferred
+    /// updates + dual copy), without forcing assembly.
+    pub(crate) fn memory_usage(&self) -> MemoryUsage {
+        let (ptr_bytes, idx_bytes, val_bytes) = match &self.store {
+            Store::Csr(c) | Store::Csc(c) => cs_bytes(c),
+            Store::HyperCsr(h) | Store::HyperCsc(h) => hyper_bytes(h),
+        };
+        let dual_bytes = match &self.dual {
+            None => 0,
+            Some(crate::sparse::MatData::Cs(c)) => {
+                let (p, i, v) = cs_bytes(c);
+                p + i + v
+            }
+            Some(crate::sparse::MatData::Hyper(h)) => {
+                let (p, i, v) = hyper_bytes(h);
+                p + i + v
+            }
+        };
+        MemoryUsage {
+            ptr_bytes,
+            idx_bytes,
+            val_bytes,
+            pending_bytes: vec_bytes(&self.pending),
+            dual_bytes,
+        }
+    }
+
     /// Resolve zombies and pending tuples: `O(n + e + p log p)`.
     pub(crate) fn assemble(&mut self) {
         if !self.needs_assembly() {
             return;
         }
-        let _span = crate::trace::assemble_span(
+        let mut span = crate::trace::assemble_span(
             crate::trace::Op::AssembleMatrix,
             self.pending.len(),
             self.nzombies,
@@ -207,6 +289,9 @@ impl<T: Scalar> Inner<T> {
             }
         }
         self.maybe_hypersparse();
+        if span.on() {
+            span.arg("resident_bytes", self.memory_usage().total() as u64);
+        }
     }
 
     /// Convert between standard and hypersparse automatically after
@@ -557,6 +642,15 @@ impl<T: Scalar> Matrix<T> {
             Store::HyperCsr(_) => Format::HyperCsr,
             Store::HyperCsc(_) => Format::HyperCsc,
         }
+    }
+
+    /// Resident heap footprint of the matrix, by component: storage
+    /// arrays of the current form, pending-tuple backlog, and the dual
+    /// (cached transpose) copy when built. Does **not** force assembly —
+    /// it reports the state as it sits, so the serving layer can poll it
+    /// from a gauge without perturbing the deferred-update machinery.
+    pub fn memory_usage(&self) -> MemoryUsage {
+        self.inner.read().memory_usage()
     }
 
     /// Force completion of all deferred updates (`GrB_Matrix_wait`).

@@ -18,7 +18,7 @@ pub mod mxm;
 pub mod mxv;
 pub mod reduce;
 pub mod select;
-mod spec;
+pub(crate) mod spec;
 pub mod transpose;
 mod write;
 

@@ -61,6 +61,14 @@ pub(crate) fn enabled() -> bool {
     })
 }
 
+/// Whether the kernel-specialization table is active for this process
+/// (the resolved `GRAPHBLAS_SPECIALIZE` state). Public so harnesses can
+/// record which side of the A/B they measured — `lagraph-bench` stamps
+/// it into every `BENCH_*.json` report.
+pub fn specialization_enabled() -> bool {
+    enabled()
+}
+
 /// A semiring the table recognizes, in *kernel coordinates*: the multiply's
 /// first operand is always the matrix-side value. `vxm` flips its multiply
 /// before the kernel sees it, so its projection ops must be swapped through

@@ -115,6 +115,12 @@ fn pool() -> &'static Pool {
             .unwrap_or(1)
             .saturating_sub(1)
             .max(1);
+        crate::metrics::gauge_fn(
+            "graphblas_pool_workers",
+            "Worker threads in the persistent kernel pool (excludes the calling thread).",
+            &[],
+            move || Some(nworkers as f64),
+        );
         let senders = (0..nworkers)
             .map(|k| {
                 let (tx, rx) = mpsc::channel::<Job>();

@@ -450,8 +450,9 @@ impl Kernel {
 // ---------------------------------------------------------------------------
 
 /// A RAII span: created at op entry, pushed to the ring on drop with the
-/// measured wall time. When tracing is off the constructor costs one
-/// relaxed atomic load and every method is a no-op.
+/// measured wall time (and fed to the [`crate::metrics`] sink when that
+/// layer is on). When both tracing and metrics are off the constructor
+/// costs two relaxed atomic loads and every method is a no-op.
 #[derive(Debug)]
 #[must_use = "a span records its wall time when dropped"]
 pub struct Span {
@@ -467,11 +468,18 @@ struct SpanRec {
     t0_ns: u64,
     t0: Instant,
     chunks0: u64,
+    /// Tracing was on at creation: push the event to the ring on drop.
+    /// (A span can be live for the metrics sink alone, leaving the ring
+    /// untouched.)
+    ring: bool,
 }
 
 impl Span {
     fn new(name: &'static str, cat: Cat) -> Span {
-        if !enabled() {
+        let ring = enabled();
+        // The metrics layer consumes span closes too, so a span is live
+        // when either consumer is on; both off keeps the two-load cost.
+        if !ring && !crate::metrics::enabled() {
             return Span { rec: None };
         }
         let t0 = Instant::now();
@@ -484,6 +492,7 @@ impl Span {
                 t0_ns: t0.saturating_duration_since(epoch()).as_nanos() as u64,
                 t0,
                 chunks0: CHUNKS.with(|c| c.get()),
+                ring,
             }),
         }
     }
@@ -526,6 +535,14 @@ impl Drop for Span {
     fn drop(&mut self) {
         let Some(rec) = self.rec.take() else { return };
         let dur_ns = (rec.t0.elapsed().as_nanos() as u64).max(1);
+        let flops = rec.args.iter().find_map(|(k, v)| match v {
+            ArgValue::U64(n) if *k == "flops" => Some(*n),
+            _ => None,
+        });
+        crate::metrics::observe_span(rec.cat.name(), rec.name, dur_ns, flops);
+        if !rec.ring {
+            return;
+        }
         let chunks = CHUNKS.with(|c| c.get()).wrapping_sub(rec.chunks0);
         let mut args = rec.args;
         if chunks > 0 {
@@ -579,6 +596,7 @@ pub(crate) fn runtime_span(name: &'static str) -> Span {
 /// dispatches emit an instant event.
 pub(crate) fn dispatch(chunks: usize, est_work: usize) {
     stats::record_dispatch(chunks);
+    crate::metrics::record_dispatch(chunks);
     if !enabled() {
         return;
     }
@@ -764,7 +782,9 @@ pub fn set_capacity(n: usize) {
     CAPACITY.store(n.max(1), Relaxed);
 }
 
-/// Events overwritten before being drained (ring overflow).
+/// Events overwritten before being drained (ring overflow). The counter
+/// accumulates across [`drain`] calls and is reset only by [`clear`],
+/// which starts a fresh measurement window.
 pub fn dropped() -> u64 {
     DROPPED.load(Relaxed)
 }
@@ -798,7 +818,11 @@ pub fn drain() -> Vec<Event> {
     out
 }
 
-/// Discard all buffered events and reset the overflow counter.
+/// Discard all buffered events **and reset the [`dropped`] counter** —
+/// `clear()` starts a fresh measurement window, so the overflow count
+/// always refers to the ring contents drained *after* the last clear.
+/// ([`drain`] by itself intentionally leaves `dropped()` alone: the
+/// events it returns are exactly the ones that survived that overflow.)
 pub fn clear() {
     drop(drain());
     DROPPED.store(0, Relaxed);
@@ -829,7 +853,32 @@ pub fn burble_line(e: &Event) -> String {
         let _ = write!(s, " [{k}]");
     }
     for (k, v) in &e.args {
-        let _ = write!(s, " {k}={v}");
+        match v {
+            // String args can carry hostile content (labels derived from
+            // input); quote and escape anything that would corrupt the
+            // one-line format, mirroring the Chrome exporter's escaping.
+            ArgValue::Str(val)
+                if val.chars().any(|c| c.is_control() || c == '"' || c == '\\' || c == ' ') =>
+            {
+                let _ = write!(s, " {k}=\"");
+                for c in val.chars() {
+                    match c {
+                        '"' => s.push_str("\\\""),
+                        '\\' => s.push_str("\\\\"),
+                        c if c.is_control() => {
+                            for esc in c.escape_default() {
+                                s.push(esc);
+                            }
+                        }
+                        c => s.push(c),
+                    }
+                }
+                s.push('"');
+            }
+            v => {
+                let _ = write!(s, " {k}={v}");
+            }
+        }
     }
     if e.dur_ns > 0 {
         let _ = write!(s, " ({})", fmt_ns(e.dur_ns));
@@ -952,7 +1001,9 @@ pub fn write_chrome_trace<P: AsRef<std::path::Path>>(
 /// `[2^(b-1), 2^b)`, so 44 buckets cover latencies beyond two hours.
 pub const HIST_BUCKETS: usize = 44;
 
-fn bucket(v: u64) -> usize {
+/// Log₂ bucket index for a value — shared with [`crate::metrics`] so
+/// live histograms and post-hoc profiles bucket identically.
+pub(crate) fn bucket(v: u64) -> usize {
     ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
 }
 
@@ -1144,6 +1195,10 @@ pub struct RunAggregate {
     /// Fused multiply-reduce/select invocations (product never
     /// materialized).
     pub mxm_fused: u64,
+    /// Largest `resident_bytes` figure any span reported (assemblies
+    /// attach the post-rebuild [`crate::MemoryUsage`] total) — the
+    /// peak resident matrix footprint observed during the run.
+    pub peak_resident_bytes: u64,
 }
 
 impl RunAggregate {
@@ -1175,6 +1230,9 @@ impl RunAggregate {
         }
         if let Some(c) = e.arg_u64("chunks") {
             self.chunks += c;
+        }
+        if let Some(b) = e.arg_u64("resident_bytes") {
+            self.peak_resident_bytes = self.peak_resident_bytes.max(b);
         }
         match e.kernel {
             Some("push") | Some("push(masked)") => self.push += 1,

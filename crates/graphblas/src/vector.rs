@@ -283,11 +283,33 @@ impl<T: Scalar> VInner<T> {
         !self.pending.is_empty() || self.nzombies > 0
     }
 
+    /// Resident bytes of the current state, without forcing assembly.
+    /// `idx_bytes` covers whatever presence structure the form carries:
+    /// sorted indices (sparse), packed presence words (bitmap), or the
+    /// presence flags (dense).
+    fn memory_usage(&self) -> crate::MemoryUsage {
+        fn vb<T>(v: &Vec<T>) -> usize {
+            v.capacity() * std::mem::size_of::<T>()
+        }
+        let (idx_bytes, val_bytes) = match &self.store {
+            VStore::Sparse { idx, val } => (vb(idx), vb(val)),
+            VStore::Bitmap { val, bits, .. } => (vb(bits), vb(val)),
+            VStore::Dense { val, present, .. } => (vb(present), vb(val)),
+        };
+        crate::MemoryUsage {
+            ptr_bytes: 0,
+            idx_bytes,
+            val_bytes,
+            pending_bytes: vb(&self.pending),
+            dual_bytes: 0,
+        }
+    }
+
     pub(crate) fn assemble(&mut self) {
         if !self.needs_assembly() {
             return;
         }
-        let _span = crate::trace::assemble_span(
+        let mut span = crate::trace::assemble_span(
             crate::trace::Op::AssembleVector,
             self.pending.len(),
             self.nzombies,
@@ -361,6 +383,9 @@ impl<T: Scalar> VInner<T> {
             self.store = VStore::Sparse { idx: out_i, val: out_v };
         }
         self.optimize_form();
+        if span.on() {
+            span.arg("resident_bytes", self.memory_usage().total() as u64);
+        }
     }
 
     /// Pick the representation the current density calls for. The
@@ -563,6 +588,14 @@ impl<T: Scalar> Vector<T> {
     /// Force completion of deferred updates (`GrB_Vector_wait`).
     pub fn wait(&self) {
         self.inner.write().assemble();
+    }
+
+    /// Resident heap footprint of the vector, by component — the vector
+    /// analogue of [`crate::Matrix::memory_usage`]. `idx_bytes` reports
+    /// the form's presence structure (sparse indices, bitmap words, or
+    /// dense presence flags). Does not force assembly.
+    pub fn memory_usage(&self) -> crate::MemoryUsage {
+        self.inner.read().memory_usage()
     }
 
     /// Set one entry (`GrB_Vector_setElement`).

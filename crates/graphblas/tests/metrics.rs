@@ -1,0 +1,402 @@
+//! Integration tests for the live-metrics registry: exact totals under
+//! an 8-thread hammer, a line-by-line lint of the Prometheus text
+//! exposition, the zero-overhead-when-off contract, memory accounting,
+//! and the scrape endpoint.
+//!
+//! The metrics toggle and registry are process-wide, so every test takes
+//! `GLOBALS` and restores the toggle to its prior state before exiting.
+
+use graphblas::metrics::{self, MAX_SERIES};
+use graphblas::{Matrix, Vector};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+static GLOBALS: Mutex<()> = Mutex::new(());
+
+/// RAII guard: metrics on for the test body, prior state restored after.
+struct MetricsOn(bool);
+
+impl MetricsOn {
+    fn new() -> Self {
+        let prev = metrics::enabled();
+        metrics::set_enabled(true);
+        MetricsOn(prev)
+    }
+}
+
+impl Drop for MetricsOn {
+    fn drop(&mut self) {
+        metrics::set_enabled(self.0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: totals must be exact, not approximate
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// 8 threads hammer one counter and one histogram through cloned
+    /// handles. Striping distributes the writes, but the totals must
+    /// come out exact: `value()` equals the sum of every `add`, and the
+    /// histogram's count/sum equal the number and sum of observations.
+    #[test]
+    fn eight_thread_hammer_totals_are_exact(
+        per_thread in proptest::collection::vec(1usize..400, 8),
+        step in 1u64..64,
+    ) {
+        let _g = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+        let _on = MetricsOn::new();
+        let ctr = metrics::counter("test_hammer_total", "Concurrency-test counter.");
+        let hist = metrics::histogram("test_hammer_values", "Concurrency-test histogram.");
+        // Series persist across proptest cases; measure deltas.
+        let (c0, h0, s0) = (ctr.value(), hist.count(), hist.sum());
+
+        std::thread::scope(|scope| {
+            for (tid, &ops) in per_thread.iter().enumerate() {
+                let (ctr, hist) = (ctr.clone(), hist.clone());
+                scope.spawn(move || {
+                    for k in 0..ops {
+                        ctr.inc();
+                        ctr.add(step);
+                        hist.observe((tid as u64 + 1) * step + k as u64);
+                    }
+                });
+            }
+        });
+
+        let ops: usize = per_thread.iter().sum();
+        let expect_sum: u64 = per_thread
+            .iter()
+            .enumerate()
+            .flat_map(|(tid, &n)| (0..n).map(move |k| (tid as u64 + 1) * step + k as u64))
+            .sum();
+        prop_assert_eq!(ctr.value() - c0, ops as u64 * (1 + step));
+        prop_assert_eq!(hist.count() - h0, ops as u64);
+        prop_assert_eq!(hist.sum() - s0, expect_sum);
+    }
+}
+
+#[test]
+fn reregistration_returns_the_same_series() {
+    let _g = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+    let _on = MetricsOn::new();
+    let a = metrics::counter("test_shared_series", "Shared-handle test counter.");
+    let b = metrics::counter("test_shared_series", "Shared-handle test counter.");
+    let before = a.value();
+    b.add(7);
+    assert_eq!(a.value(), before + 7, "both handles must address one series");
+}
+
+// ---------------------------------------------------------------------------
+// Zero overhead when off
+// ---------------------------------------------------------------------------
+
+/// The when-off contract: a disabled registry performs **no writes at
+/// all** — not "small" overhead, none. Counters, gauges, and histograms
+/// must be bit-identical before and after a disabled hammer, and a full
+/// registry snapshot must not move either.
+#[test]
+fn disabled_metrics_perform_no_writes() {
+    let _g = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = metrics::enabled();
+    let ctr = metrics::counter("test_off_counter", "When-off test counter.");
+    let gauge = metrics::gauge("test_off_gauge", "When-off test gauge.");
+    let hist = metrics::histogram("test_off_hist", "When-off test histogram.");
+
+    metrics::set_enabled(true);
+    ctr.add(3);
+    gauge.set(1.5);
+    hist.observe(100);
+
+    metrics::set_enabled(false);
+    let snap = metrics::snapshot();
+    for _ in 0..10_000 {
+        ctr.inc();
+        ctr.add(99);
+        gauge.set(42.0);
+        gauge.set_max(1e9);
+        hist.observe(12345);
+    }
+    assert_eq!(ctr.value(), 3, "disabled counter must not move");
+    assert_eq!(gauge.value(), 1.5, "disabled gauge must not move");
+    assert_eq!((hist.count(), hist.sum()), (1, 100), "disabled histogram must not move");
+    assert_eq!(metrics::snapshot(), snap, "no series may move while disabled");
+
+    metrics::set_enabled(prev);
+}
+
+// ---------------------------------------------------------------------------
+// Exposition lint: the page a scraper sees must be well-formed
+// ---------------------------------------------------------------------------
+
+/// Line-by-line lint of a Prometheus text-format (0.0.4) page:
+///
+/// - `# HELP`/`# TYPE` precede a family's samples, one contiguous block
+///   per family, at most one TYPE per name;
+/// - every sample's base name is registered by a TYPE line (histogram
+///   `_bucket`/`_sum`/`_count` resolve to their family);
+/// - no duplicate `name{labels}` series;
+/// - names match `[a-zA-Z_:][a-zA-Z0-9_:]*`, label values are quoted
+///   with `"` and `\` escaped, values parse as `f64`/`+Inf`/`-Inf`/`NaN`;
+/// - histogram buckets are cumulative and end in `+Inf` == `_count`.
+fn lint_exposition(page: &str) -> Result<(), String> {
+    fn valid_name(s: &str) -> bool {
+        !s.is_empty()
+            && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+            && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+    let mut typed: std::collections::BTreeMap<&str, &str> = Default::default();
+    let mut seen_series: std::collections::BTreeSet<String> = Default::default();
+    // (family, labels-sans-le) -> (last cumulative count, saw +Inf)
+    let mut open_buckets: std::collections::BTreeMap<String, (u64, bool)> = Default::default();
+    let mut counts: std::collections::BTreeMap<String, u64> = Default::default();
+
+    for (no, line) in page.lines().enumerate() {
+        let err = |msg: String| Err(format!("line {}: {msg} | {line}", no + 1));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let (kw, name) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+            if !valid_name(name) {
+                return err(format!("bad metric name {name:?} in comment"));
+            }
+            match kw {
+                "HELP" => {}
+                "TYPE" => {
+                    let kind = parts.next().unwrap_or("");
+                    if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                        return err(format!("unknown type {kind:?}"));
+                    }
+                    if typed.insert(name, kind).is_some() {
+                        return err(format!("duplicate TYPE for {name}"));
+                    }
+                }
+                _ => return err(format!("unknown comment keyword {kw:?}")),
+            }
+            continue;
+        }
+        // Sample: name[{labels}] value
+        let name_end = line.find(['{', ' ']).unwrap_or(line.len());
+        let name = &line[..name_end];
+        if !valid_name(name) {
+            return err(format!("bad metric name {name:?}"));
+        }
+        let rest = &line[name_end..];
+        let (labels, value) = if let Some(l) = rest.strip_prefix('{') {
+            let close = l.find('}').ok_or_else(|| format!("line {}: unclosed labels", no + 1))?;
+            // Labels must be name="value" pairs with escaped quotes.
+            for pair in split_labels(&l[..close]) {
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("line {}: bad label pair {pair:?}", no + 1))?;
+                if !valid_name(k) {
+                    return err(format!("bad label name {k:?}"));
+                }
+                let inner = v
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| format!("line {}: unquoted label value {v:?}", no + 1))?;
+                let mut chars = inner.chars();
+                while let Some(c) = chars.next() {
+                    match c {
+                        '\\' if !matches!(chars.next(), Some('\\' | '"' | 'n')) => {
+                            return err("bad escape in label value".into());
+                        }
+                        '"' | '\n' => return err("unescaped quote/newline in label value".into()),
+                        _ => {}
+                    }
+                }
+            }
+            (&l[..close], l[close + 1..].trim())
+        } else {
+            ("", rest.trim())
+        };
+        if !matches!(value, "+Inf" | "-Inf" | "NaN") && value.parse::<f64>().is_err() {
+            return err(format!("unparseable value {value:?}"));
+        }
+
+        // Resolve histogram sample suffixes to the family that typed them.
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .filter_map(|suf| name.strip_suffix(suf))
+            .find(|base| typed.get(base) == Some(&"histogram"))
+            .unwrap_or(name);
+        if !typed.contains_key(family) {
+            return err(format!("sample for unregistered family {family:?}"));
+        }
+        if !seen_series.insert(format!("{name}{{{labels}}}")) {
+            return err("duplicate series".into());
+        }
+
+        if typed.get(family) == Some(&"histogram") && family != name {
+            let sans_le: Vec<&str> =
+                split_labels(labels).into_iter().filter(|p| !p.starts_with("le=")).collect();
+            let key = format!("{family}{{{}}}", sans_le.join(","));
+            let n: u64 =
+                if value == "+Inf" { u64::MAX } else { value.parse::<f64>().unwrap() as u64 };
+            if name.ends_with("_bucket") {
+                let entry = open_buckets.entry(key).or_insert((0, false));
+                if n < entry.0 {
+                    return err("histogram buckets must be cumulative".into());
+                }
+                *entry = (n, entry.1 || split_labels(labels).contains(&"le=\"+Inf\""));
+            } else if name.ends_with("_count") {
+                counts.insert(key, n);
+            }
+        }
+    }
+    for (key, (last, saw_inf)) in &open_buckets {
+        if !saw_inf {
+            return Err(format!("{key}: histogram lacks a +Inf bucket"));
+        }
+        if counts.get(key) != Some(last) {
+            return Err(format!("{key}: +Inf bucket != _count"));
+        }
+    }
+    Ok(())
+}
+
+/// Split a label block on commas outside quoted values.
+fn split_labels(block: &str) -> Vec<&str> {
+    let (mut out, mut depth, mut start, mut esc) = (Vec::new(), false, 0, false);
+    for (i, c) in block.char_indices() {
+        match c {
+            _ if esc => esc = false,
+            '\\' => esc = true,
+            '"' => depth = !depth,
+            ',' if !depth => {
+                out.push(&block[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < block.len() {
+        out.push(&block[start..]);
+    }
+    out
+}
+
+#[test]
+fn rendered_page_passes_the_exposition_lint() {
+    let _g = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+    let _on = MetricsOn::new();
+    // A spread of shapes: bare counter, labeled counters, gauge with an
+    // awkward value, scaled histogram with observations, empty histogram.
+    metrics::counter("test_lint_total", "Lint: bare counter.").add(3);
+    metrics::counter_with("test_lint_by_kind_total", "Lint: labeled.", &[("kind", "a")]).inc();
+    metrics::counter_with("test_lint_by_kind_total", "Lint: labeled.", &[("kind", "b \"q\"")])
+        .inc();
+    metrics::gauge("test_lint_gauge", "Lint: gauge.").set(-0.125);
+    let h = metrics::histogram_scaled("test_lint_seconds", "Lint: scaled histogram.", &[], 1e-9);
+    for v in [1u64, 900, 30_000, 2_000_000, u64::MAX] {
+        h.observe(v);
+    }
+    metrics::histogram("test_lint_empty", "Lint: empty histogram.");
+
+    let page = metrics::render();
+    lint_exposition(&page).expect("render() must produce a lintable page");
+
+    // And the lint must actually have teeth.
+    assert!(lint_exposition("bad name{x=\"1\"} 1\n").is_err(), "unregistered family accepted");
+    assert!(lint_exposition("# TYPE a counter\na 1\na 2\n").is_err(), "duplicate series accepted");
+    assert!(
+        lint_exposition("# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n")
+            .is_err(),
+        "non-cumulative buckets accepted"
+    );
+}
+
+#[test]
+fn cardinality_cap_detaches_instead_of_growing() {
+    let _g = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+    let _on = MetricsOn::new();
+    let labels: Vec<String> = (0..MAX_SERIES + 8).map(|i| i.to_string()).collect();
+    for l in &labels {
+        metrics::counter_with("test_lint_cap_total", "Lint: cardinality cap.", &[("id", l)]).inc();
+    }
+    let n =
+        metrics::snapshot().iter().filter(|(k, _)| k.starts_with("test_lint_cap_total")).count();
+    assert!(n <= MAX_SERIES, "family exceeded MAX_SERIES: {n}");
+    lint_exposition(&metrics::render()).expect("page must stay lintable at the cap");
+}
+
+// ---------------------------------------------------------------------------
+// Memory accounting
+// ---------------------------------------------------------------------------
+
+#[test]
+fn matrix_and_vector_memory_usage_track_storage() {
+    let n = 256;
+    let mut m = Matrix::<f64>::new(n, n).expect("matrix");
+    for i in 0..n {
+        m.set_element(i, (i * 7 + 1) % n, i as f64).expect("set");
+    }
+    m.wait();
+    let mu = m.memory_usage();
+    assert!(mu.val_bytes >= n * std::mem::size_of::<f64>(), "values under-counted: {mu:?}");
+    assert!(mu.ptr_bytes > 0 && mu.idx_bytes > 0, "CSR pointers/indices missing: {mu:?}");
+    assert_eq!(mu.pending_bytes, 0, "assembled matrix reports pending bytes");
+    assert_eq!(mu.total(), mu.ptr_bytes + mu.idx_bytes + mu.val_bytes);
+
+    // Pending tuples are accounted before assembly.
+    m.set_element(0, 0, 1.0).expect("set");
+    assert!(m.memory_usage().pending_bytes > 0, "pending tuple not accounted");
+    m.wait();
+
+    // A dense vector must dwarf a 2-element sparse one at the same size.
+    let mut sparse = Vector::<f64>::new(1 << 14).expect("vector");
+    sparse.set_element(3, 1.0).expect("set");
+    sparse.set_element(9, 2.0).expect("set");
+    sparse.wait();
+    let mut dense = Vector::<f64>::new(1 << 14).expect("vector");
+    for i in 0..1 << 14 {
+        dense.set_element(i, i as f64).expect("set");
+    }
+    dense.wait();
+    assert!(
+        dense.memory_usage().total() > 8 * sparse.memory_usage().total(),
+        "dense {} vs sparse {}",
+        dense.memory_usage().total(),
+        sparse.memory_usage().total()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Scrape endpoint
+// ---------------------------------------------------------------------------
+
+#[test]
+fn endpoint_serves_metrics_health_and_404() {
+    use std::io::{Read as _, Write as _};
+    let _g = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+    let _on = MetricsOn::new();
+    metrics::counter("test_endpoint_total", "Endpoint test counter.").inc();
+    let addr = metrics::serve("127.0.0.1:0").expect("bind");
+
+    let get = |path: &str| -> (String, String) {
+        let mut conn = std::net::TcpStream::connect(addr).expect("connect");
+        write!(conn, "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").expect("send");
+        let mut resp = String::new();
+        conn.read_to_string(&mut resp).expect("read");
+        let (head, body) = resp.split_once("\r\n\r\n").expect("split");
+        (head.to_string(), body.to_string())
+    };
+
+    let (head, body) = get("/metrics");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(head.contains("version=0.0.4"), "missing exposition version: {head}");
+    assert!(body.contains("test_endpoint_total 1"), "scrape missing counter");
+    lint_exposition(&body).expect("served page must lint");
+
+    let (head, body) = get("/healthz");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert_eq!(body, "ok\n");
+
+    let (head, _) = get("/nope");
+    assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+}

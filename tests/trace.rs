@@ -151,6 +151,63 @@ fn chrome_trace_round_trips_through_a_json_parser() {
     }
 }
 
+/// String args can carry arbitrary content; both exporters must escape
+/// it. The Chrome trace must round-trip a hostile value byte-for-byte
+/// through the JSON parser below, and the burble line must quote it
+/// without leaking raw control characters into the one-line format.
+#[test]
+fn hostile_string_args_are_escaped_by_both_exporters() {
+    const HOSTILE: &str = "he said \"hi\\there\"\n\tand\r\u{1}left";
+    let _g = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+    trace::clear();
+    trace::enable();
+    trace::service_instant("hostile", vec![("msg", trace::ArgValue::Str(HOSTILE))]);
+    trace::disable();
+    let events = trace::drain();
+    assert_eq!(events.len(), 1);
+
+    let json = trace::chrome_trace(&events);
+    let doc = parse_json(&json).expect("hostile args must still be valid JSON");
+    let rec = &doc.get("traceEvents").and_then(Json::as_arr).expect("traceEvents")[0];
+    assert_eq!(
+        rec.get("args").and_then(|a| a.get("msg")).and_then(Json::as_str),
+        Some(HOSTILE),
+        "Str arg must round-trip exactly"
+    );
+
+    let line = trace::burble_line(&events[0]);
+    assert!(
+        !line.chars().any(|c| c.is_control()),
+        "burble line leaks raw control characters: {line:?}"
+    );
+    assert!(line.contains(r#"msg="he said \"hi\\there\""#), "burble quoting wrong: {line}");
+}
+
+/// Filling the ring past capacity overwrites the oldest events and bumps
+/// `dropped()`; `clear()` must discard the backlog **and** reset the
+/// counter, so the next window starts from zero.
+#[test]
+fn ring_overflow_is_counted_and_clear_resets_it() {
+    let _g = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+    trace::clear();
+    trace::enable();
+    // The capacity is fixed at first use (default 2^16); push batches
+    // until the ring demonstrably wraps rather than assuming the size.
+    for _ in 0..8 {
+        for _ in 0..(1 << 16) {
+            trace::service_instant("spam", Vec::new());
+        }
+        if trace::dropped() > 0 {
+            break;
+        }
+    }
+    trace::disable();
+    assert!(trace::dropped() > 0, "ring never overflowed");
+    trace::clear();
+    assert_eq!(trace::dropped(), 0, "clear() must reset the dropped counter");
+    assert!(trace::drain().is_empty(), "clear() must empty the ring");
+}
+
 // ---------------------------------------------------------------------------
 // A minimal JSON parser (objects, arrays, strings with escapes, numbers,
 // literals) — enough to verify the exporter emits real JSON.
