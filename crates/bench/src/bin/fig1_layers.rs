@@ -10,16 +10,18 @@
 //!
 //! Run with: `cargo run --release -p lagraph-bench --bin fig1_layers`
 
-fn read(path: &str) -> String {
+use std::process::ExitCode;
+
+fn read(path: &str) -> Result<String, String> {
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     std::fs::read_to_string(format!("{root}/{path}"))
-        .unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+        .map_err(|e| format!("cannot read {path}: {e}"))
 }
 
-fn deps_of(manifest: &str) -> Vec<String> {
+fn deps_of(manifest: &str) -> Result<Vec<String>, String> {
     let mut deps = Vec::new();
     let mut in_deps = false;
-    for line in read(manifest).lines() {
+    for line in read(manifest)?.lines() {
         let t = line.trim();
         if t.starts_with('[') {
             in_deps = t == "[dependencies]";
@@ -31,10 +33,20 @@ fn deps_of(manifest: &str) -> Vec<String> {
             }
         }
     }
-    deps
+    Ok(deps)
 }
 
-fn main() {
+fn main() -> ExitCode {
+    match audit() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("fig1_layers: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn audit() -> Result<(), String> {
     println!("Figure 1: the LAGraph project layers, as realized here\n");
     println!("  applications          examples/*.rs (quickstart, social_network,");
     println!("                        pathfinding, sparse_dnn, community_detection)");
@@ -45,9 +57,9 @@ fn main() {
     println!("  hardware              CPU threads (crossbeam scoped kernels)\n");
 
     // Audit 1: dependency layering is acyclic and points downward.
-    let lagraph_deps = deps_of("crates/core/Cargo.toml");
-    let io_deps = deps_of("crates/io/Cargo.toml");
-    let grb_deps = deps_of("crates/graphblas/Cargo.toml");
+    let lagraph_deps = deps_of("crates/core/Cargo.toml")?;
+    let io_deps = deps_of("crates/io/Cargo.toml")?;
+    let grb_deps = deps_of("crates/graphblas/Cargo.toml")?;
     assert!(lagraph_deps.iter().any(|d| d == "graphblas"), "lagraph must sit on graphblas");
     assert!(
         !grb_deps.iter().any(|d| d == "lagraph" || d == "lagraph-io"),
@@ -67,12 +79,14 @@ fn main() {
     let algo_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../crates/core/src");
     let mut stack = vec![std::path::PathBuf::from(algo_dir)];
     while let Some(dir) = stack.pop() {
-        for entry in std::fs::read_dir(&dir).expect("readable source dir") {
-            let path = entry.expect("dir entry").path();
+        let entries = std::fs::read_dir(&dir).map_err(|e| format!("reading {dir:?}: {e}"))?;
+        for entry in entries {
+            let path = entry.map_err(|e| format!("listing {dir:?}: {e}"))?.path();
             if path.is_dir() {
                 stack.push(path);
             } else if path.extension().is_some_and(|e| e == "rs") {
-                let src = std::fs::read_to_string(&path).expect("readable source");
+                let src =
+                    std::fs::read_to_string(&path).map_err(|e| format!("reading {path:?}: {e}"))?;
                 for forbidden in ["graphblas::sparse", "graphblas::matrix::Store", "VStore"] {
                     assert!(!src.contains(forbidden), "{path:?} references internal `{forbidden}`");
                 }
@@ -87,4 +101,5 @@ fn main() {
     println!("  audit: public surface re-exported via prelude           ok");
     println!("\nFig. 1 structure reproduced: algorithms above the API line,");
     println!("the GraphBLAS implementation below it, nothing crossing it.");
+    Ok(())
 }

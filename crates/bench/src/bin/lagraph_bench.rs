@@ -16,7 +16,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use lagraph::gen::Workload;
-use lagraph_bench::harness::{compare, run, Algo, BenchReport, HarnessConfig, Metric};
+use lagraph_bench::harness::{compare, run, Algo, BenchReport, HarnessConfig, Metric, Storage};
 
 const HELP: &str = "\
 lagraph-bench — reproducible GAP-style benchmark harness
@@ -24,7 +24,8 @@ lagraph-bench — reproducible GAP-style benchmark harness
 USAGE:
   lagraph-bench [--scale N] [--edge-factor N] [--workload rmat|er|uniform]
                 [--seed N] [--max-weight N] [--trials N] [--warmup N]
-                [--sources N] [--algo LIST|all] [--out PATH]
+                [--sources N] [--algo LIST|all] [--storage csr|compressed]
+                [--out PATH]
   lagraph-bench --compare OLD.json NEW.json [--threshold PCT] [--metric wall|flops]
 
 RUN OPTIONS:
@@ -39,6 +40,9 @@ RUN OPTIONS:
   --warmup N       untimed warmup runs per algorithm (default 1)
   --sources N      BFS/SSSP source count per trial (default 4)
   --algo LIST      comma list of bfs,pagerank,sssp,cc,tricount or 'all'
+  --storage S      csr (default) or compressed (the gap-encoded
+                   read-optimized form; results are bit-identical, and
+                   the report records resident bytes per edge)
   --out PATH       output file; default BENCH_<scale>_<date>.json in
                    $LAGRAPH_BENCH_DIR (or the current directory)
 
@@ -96,6 +100,10 @@ fn cli(args: &[String]) -> Result<ExitCode, String> {
             "--algo" => {
                 let a = next(&mut i, "--algo")?;
                 cfg.algos = Algo::parse_list(&a).ok_or(format!("unknown algorithm list {a:?}"))?;
+            }
+            "--storage" => {
+                let s = next(&mut i, "--storage")?;
+                cfg.storage = Storage::parse(&s).ok_or(format!("unknown storage {s:?}"))?;
             }
             "--out" => out = Some(PathBuf::from(next(&mut i, "--out")?)),
             "--threshold" => {

@@ -92,6 +92,36 @@ impl Algo {
     }
 }
 
+/// Which storage form the benchmark graph uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Storage {
+    /// The standard CSR/hypersparse forms (the default).
+    Csr,
+    /// The gap-encoded compressed read-optimized form
+    /// (`graphblas::compressed`): same results bit-for-bit, roughly
+    /// half the resident bytes on power-law graphs.
+    Compressed,
+}
+
+impl Storage {
+    /// Lower-case name used in reports and on the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            Storage::Csr => "csr",
+            Storage::Compressed => "compressed",
+        }
+    }
+
+    /// Parse a CLI/report value.
+    pub fn parse(s: &str) -> Option<Storage> {
+        match s {
+            "csr" => Some(Storage::Csr),
+            "compressed" => Some(Storage::Compressed),
+            _ => None,
+        }
+    }
+}
+
 /// One harness invocation's full configuration.
 #[derive(Debug, Clone)]
 pub struct HarnessConfig {
@@ -113,6 +143,8 @@ pub struct HarnessConfig {
     pub sources: usize,
     /// Algorithms to run, in report order.
     pub algos: Vec<Algo>,
+    /// Storage form for the adjacency and its Boolean structure.
+    pub storage: Storage,
 }
 
 impl Default for HarnessConfig {
@@ -127,6 +159,7 @@ impl Default for HarnessConfig {
             warmup: 1,
             sources: 4,
             algos: ALL_ALGOS.to_vec(),
+            storage: Storage::Csr,
         }
     }
 }
@@ -203,6 +236,12 @@ pub struct BenchReport {
     pub warmup: usize,
     /// The BFS/SSSP source vertices used in every trial.
     pub sources: Vec<usize>,
+    /// Storage form the run used (`csr` or `compressed`).
+    pub storage: String,
+    /// Adjacency resident bytes divided by stored edges, measured via
+    /// `memory_usage()` after the timed trials — the compression-ratio
+    /// trajectory number.
+    pub bytes_per_edge: f64,
     /// Per-algorithm results, in run order.
     pub algos: Vec<AlgoResult>,
     /// Flat [`graphblas::metrics`] snapshot taken after the timed
@@ -220,7 +259,10 @@ pub struct BenchReport {
 /// is built once and shared; each algorithm gets `warmup` untimed and
 /// `trials` timed runs with tracing recorded and rolled up per trial.
 pub fn run(cfg: &HarnessConfig) -> Result<BenchReport> {
-    let graph = cfg.workload.graph(cfg.scale, cfg.edge_factor, cfg.seed, cfg.max_weight)?;
+    let mut graph = cfg.workload.graph(cfg.scale, cfg.edge_factor, cfg.seed, cfg.max_weight)?;
+    if cfg.storage == Storage::Compressed {
+        graph.set_compressed(true);
+    }
     run_on(cfg, &graph)
 }
 
@@ -231,6 +273,9 @@ pub fn run_on(cfg: &HarnessConfig, graph: &Graph) -> Result<BenchReport> {
     // optimization has both orientations available.
     let mut structure = graph.a().pattern();
     structure.set_dual_storage(true);
+    if cfg.storage == Storage::Compressed {
+        structure.set_compressed(true);
+    }
     structure.wait();
 
     let sources = pick_sources(graph, cfg.sources, cfg.seed)?;
@@ -319,6 +364,11 @@ pub fn run_on(cfg: &HarnessConfig, graph: &Graph) -> Result<BenchReport> {
     let metrics = graphblas::metrics::snapshot();
     graphblas::metrics::set_enabled(metrics_prev);
 
+    // Adjacency-only footprint, after the trials so lazily-built caches
+    // (dual storage, re-encodes) are included in what they cost.
+    let adj_bytes = graph.a().memory_usage().total();
+    let bytes_per_edge = adj_bytes as f64 / graph.nedges().max(1) as f64;
+
     Ok(BenchReport {
         schema: SCHEMA.to_string(),
         date: today_iso(),
@@ -334,6 +384,8 @@ pub fn run_on(cfg: &HarnessConfig, graph: &Graph) -> Result<BenchReport> {
         trials: cfg.trials.max(1),
         warmup: cfg.warmup,
         sources,
+        storage: cfg.storage.name().to_string(),
+        bytes_per_edge,
         algos,
         metrics,
     })
@@ -456,6 +508,8 @@ impl BenchReport {
             ("trials".into(), self.trials.into()),
             ("warmup".into(), self.warmup.into()),
             ("sources".into(), Value::Arr(self.sources.iter().map(|&s| s.into()).collect())),
+            ("storage".into(), self.storage.as_str().into()),
+            ("bytes_per_edge".into(), self.bytes_per_edge.into()),
             ("algos".into(), Value::Obj(algos)),
             (
                 "metrics".into(),
@@ -529,6 +583,9 @@ impl BenchReport {
                 .and_then(Value::as_arr)
                 .map(|a| a.iter().filter_map(Value::as_u64).map(|s| s as usize).collect())
                 .unwrap_or_default(),
+            // Absent in pre-compressed-storage reports.
+            storage: v.get("storage").and_then(Value::as_str).unwrap_or("csr").to_string(),
+            bytes_per_edge: v.get("bytes_per_edge").and_then(Value::as_f64).unwrap_or(0.0),
             algos,
             metrics: v
                 .get("metrics")
@@ -560,6 +617,11 @@ impl BenchReport {
             self.threads,
             self.trials,
             self.warmup,
+        );
+        let _ = writeln!(
+            s,
+            "storage {} ({:.1} bytes/edge resident)",
+            self.storage, self.bytes_per_edge,
         );
         let _ = writeln!(
             s,

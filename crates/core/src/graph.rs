@@ -105,6 +105,23 @@ impl Graph {
         Graph::new(a, kind)
     }
 
+    /// Load an adjacency matrix from a `.lagc` compressed container
+    /// (see `lagraph_io::binary`): the heavy sections are memory-mapped,
+    /// so the graph is queryable in O(1) without a parse or an assembly
+    /// pass, and it stays in the compressed storage form.
+    pub fn from_lagc(path: &std::path::Path, kind: GraphKind) -> Result<Self> {
+        let a = Matrix::read_lagc(path, false)
+            .map_err(|e| Error::invalid(format!("lagc load: {e}")))?;
+        Graph::new(a, kind)
+    }
+
+    /// Opt the adjacency matrix into (or out of) compressed storage.
+    /// Cached properties are untouched — they re-encode on their own
+    /// next rebuild if the process-wide policy asks for it.
+    pub fn set_compressed(&mut self, enabled: bool) {
+        self.a.set_compressed(enabled);
+    }
+
     /// The adjacency matrix.
     pub fn a(&self) -> &Matrix<f64> {
         &self.a
@@ -170,6 +187,13 @@ impl Graph {
         }
         let mut st = self.a.pattern();
         st.set_dual_storage(true);
+        // A compressed adjacency serves a compressed structure: derived
+        // matrices don't inherit the storage opt-in on their own, and the
+        // structural kernels (tricount, BFS frontiers) are exactly where
+        // the compressed form earns its footprint.
+        if self.a.is_compressed() {
+            st.set_compressed(true);
+        }
         let st = Arc::new(st);
         c.structure = Some(st.clone());
         Ok(st)

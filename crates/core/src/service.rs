@@ -149,6 +149,12 @@ pub struct ServiceConfig {
     /// Upper bound on updates replayed per epoch; a deeper backlog is
     /// split across consecutive epochs so snapshot latency stays bounded.
     pub max_batch: usize,
+    /// Keep the drainer's master matrix (and therefore every published
+    /// snapshot) in the compressed storage form: each epoch's assembly
+    /// re-encodes it on the parallel pool. Cuts resident bytes roughly
+    /// in half on power-law graphs for a modest re-encode cost per
+    /// epoch. Implied when the initial graph was loaded from `.lagc`.
+    pub compressed: bool,
 }
 
 impl Default for ServiceConfig {
@@ -158,6 +164,7 @@ impl Default for ServiceConfig {
             queue_capacity: 1 << 14,
             policy: BackpressurePolicy::Block,
             max_batch: 1 << 20,
+            compressed: false,
         }
     }
 }
@@ -459,8 +466,13 @@ impl GraphService {
         let kind = initial.kind();
         let nvertices = initial.nvertices();
         // The drainer's private working copy; the served snapshot is
-        // immutable, so the master starts as a deep clone.
-        let master = initial.a().clone();
+        // immutable, so the master starts as a deep clone. The clone
+        // carries the compressed-storage opt-in with it, so a `.lagc`
+        // - loaded graph keeps serving compressed without any config.
+        let mut master = initial.a().clone();
+        if config.compressed {
+            master.set_compressed(true);
+        }
         let nedges = initial.nedges();
         let shared = Arc::new(Shared {
             shards: (0..shards)
@@ -821,7 +833,13 @@ mod tests {
         let g = Graph::from_edges(32, &[(0, 1), (1, 2)], kind).expect("graph");
         GraphService::new(
             g,
-            ServiceConfig { shards: 2, queue_capacity: capacity, policy, max_batch: 1 << 20 },
+            ServiceConfig {
+                shards: 2,
+                queue_capacity: capacity,
+                policy,
+                max_batch: 1 << 20,
+                ..ServiceConfig::default()
+            },
         )
         .expect("service")
     }

@@ -1,0 +1,56 @@
+//! Service reload from the `.lagc` compressed container.
+//!
+//! The acceptance bar for the mmap-backed storage form: a service
+//! replica that starts from a `.lagc` file must publish a queryable
+//! snapshot *without* a full assembly pass — the load is O(1) in the
+//! edge count, and queries decode rows on the fly. This lives in its
+//! own integration-test binary because it turns on the global trace
+//! ring to prove the absence of `assemble.matrix` spans; sharing a
+//! binary with other tests would let their assemblies pollute the ring.
+
+use graphblas::{trace, Matrix};
+use lagraph::service::{GraphService, ServiceConfig};
+use lagraph::{Graph, GraphKind};
+
+#[test]
+fn lagc_reload_publishes_snapshot_without_assembly() {
+    let dir = std::env::temp_dir().join(format!("lagc_svc_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let path = dir.join("graph.lagc");
+
+    // A small deterministic directed graph, written out compressed.
+    let n = 64usize;
+    let tuples: Vec<(usize, usize, f64)> =
+        (0..600).map(|k| ((k * 31) % n, (k * 17 + 3) % n, 1.0)).collect();
+    let m = Matrix::from_tuples(n, n, tuples, |_, b| b).expect("build");
+    let nedges = m.nvals();
+    m.write_lagc(&path).expect("write lagc");
+
+    trace::enable();
+    trace::clear();
+
+    // Reload: mmap-backed, straight into the compressed storage form.
+    let g = Graph::from_lagc(&path, GraphKind::Directed).expect("reload");
+    assert!(g.a().is_compressed(), "lagc reload must publish the compressed form");
+    assert_eq!(g.nedges(), nedges);
+
+    // Serve it and run a real query against the published snapshot.
+    let mut svc = GraphService::new(g, ServiceConfig::default()).expect("service");
+    let snap = svc.snapshot();
+    assert_eq!(snap.nedges(), nedges);
+    let deg = snap.graph().out_degree().expect("degree query");
+    let total: i64 = (0..n).filter_map(|i| deg.get(i)).sum();
+    assert_eq!(total as usize, nedges);
+
+    let events = trace::drain();
+    trace::disable();
+    svc.shutdown();
+    std::fs::remove_file(&path).ok();
+
+    let assemblies: Vec<_> = events.iter().filter(|e| e.name == "assemble.matrix").collect();
+    assert!(
+        assemblies.is_empty(),
+        "lagc reload must not assemble (found {} assemble.matrix spans)",
+        assemblies.len()
+    );
+}

@@ -135,6 +135,9 @@ impl<T: Scalar> Matrix<T> {
         let cs = match inner.store {
             Store::Csr(cs) => cs,
             Store::HyperCsr(h) => h.to_cs(),
+            // The read-optimized form has no raw arrays to move out;
+            // exporting it pays one decode.
+            Store::CompressedCsr(cm) => cm.decode(),
             _ => unreachable!("ensure_row_major"),
         };
         (inner.nrows, inner.ncols, cs.ptr, cs.idx, cs.val)
@@ -162,6 +165,7 @@ impl<T: Scalar> Matrix<T> {
         let h = match inner.store {
             Store::HyperCsr(h) => h,
             Store::Csr(cs) => cs.to_hyper(),
+            Store::CompressedCsr(cm) => cm.decode().to_hyper(),
             _ => unreachable!("ensure_row_major"),
         };
         (inner.nrows, inner.ncols, h.heads, h.ptr, h.idx, h.val)

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod binaryop;
+pub mod compressed;
 pub mod cost;
 pub mod descriptor;
 pub mod error;
@@ -68,6 +69,7 @@ pub mod ops;
 pub mod registry;
 
 pub use binaryop::BinaryOp;
+pub use compressed::CompressedMat;
 pub use descriptor::{Descriptor, Direction, MxmMethod};
 pub use error::{Error, Result};
 pub use matrix::{Format, Matrix, MemoryUsage};

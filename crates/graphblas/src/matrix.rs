@@ -19,6 +19,7 @@
 
 use parking_lot::{RwLock, RwLockReadGuard};
 
+use crate::compressed::CompressedMat;
 use crate::error::{Error, Result};
 use crate::sparse::{Cs, Hyper, SparseView, Tuple};
 use crate::types::{Index, Scalar};
@@ -42,6 +43,52 @@ const HYPER_DIM_LIMIT: usize = 1 << 22;
 const HYPER_RATIO: usize = 16;
 const HYPER_MIN_DIM: usize = 4096;
 
+/// Under `GRAPHBLAS_STORAGE=compressed`, matrices smaller than this stay
+/// CSR — compressing tiny kernel intermediates costs more than it saves.
+/// Matrices opted in per-object with [`Matrix::set_compressed`] compress
+/// regardless of size.
+const COMPRESS_MIN_NVALS: usize = 4096;
+
+/// Process-wide storage policy from `GRAPHBLAS_STORAGE`:
+/// `csr` forces the classic forms even for opted-in matrices,
+/// `compressed` compresses every large matrix at assembly, and
+/// `auto` (default) honors the per-matrix [`Matrix::set_compressed`] flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StorageMode {
+    Auto,
+    Csr,
+    Compressed,
+}
+
+pub(crate) fn storage_mode() -> StorageMode {
+    static MODE: std::sync::OnceLock<StorageMode> = std::sync::OnceLock::new();
+    *MODE.get_or_init(|| match std::env::var("GRAPHBLAS_STORAGE").as_deref() {
+        Ok("csr") => StorageMode::Csr,
+        Ok("compressed") => StorageMode::Compressed,
+        Ok("auto") | Ok("") | Err(_) => StorageMode::Auto,
+        Ok(other) => {
+            crate::trace::warn_once(
+                "graphblas_storage_env",
+                &format!(
+                    "GRAPHBLAS_STORAGE={other} not recognized (auto|csr|compressed); using auto"
+                ),
+            );
+            StorageMode::Auto
+        }
+    })
+}
+
+/// Pending-tuple backlog at which a compressed matrix is eagerly
+/// recompacted (re-assembled and re-encoded on the `par_chunks` pool)
+/// instead of letting deferred updates pile up. `GRAPHBLAS_RECOMPACT`
+/// overrides; 0 disables eager recompaction.
+pub(crate) fn recompact_threshold() -> usize {
+    static T: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *T.get_or_init(|| {
+        std::env::var("GRAPHBLAS_RECOMPACT").ok().and_then(|v| v.parse().ok()).unwrap_or(65536)
+    })
+}
+
 /// The storage format of a matrix, as reported by [`Matrix::format`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Format {
@@ -53,6 +100,8 @@ pub enum Format {
     HyperCsr,
     /// Column-major hypersparse.
     HyperCsc,
+    /// Read-optimized row-major gap-encoded form ([`crate::compressed`]).
+    Compressed,
 }
 
 /// Resident heap footprint of a matrix or vector, by component — what
@@ -111,12 +160,19 @@ fn hyper_bytes<T>(h: &Hyper<T>) -> (usize, usize, usize) {
 }
 
 /// Internal storage: the four forms of §II.A.
+// The compressed variant is bigger than the CSR structs, but Store lives
+// behind `Inner`'s lock, one per matrix — never in bulk arrays — so
+// boxing it would buy nothing and cost an indirection on every kernel.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub(crate) enum Store<T> {
     Csr(Cs<T>),
     Csc(Cs<T>),
     HyperCsr(Hyper<T>),
     HyperCsc(Hyper<T>),
+    /// Row-major gap-encoded read-optimized form. Always assembled
+    /// (zombies never exist here; writes go through pending tuples).
+    CompressedCsr(CompressedMat<T>),
 }
 
 impl<T: Scalar> Store<T> {
@@ -147,6 +203,7 @@ impl<T: Scalar> Store<T> {
         match self {
             Store::Csr(c) | Store::Csc(c) => c.idx.len(),
             Store::HyperCsr(h) | Store::HyperCsc(h) => h.idx.len(),
+            Store::CompressedCsr(c) => c.nvals(),
         }
     }
 }
@@ -167,6 +224,9 @@ pub(crate) struct Inner<T> {
     pub dual: Option<crate::sparse::MatData<T>>,
     /// Whether the performance-oriented dual storage is requested.
     pub dual_enabled: bool,
+    /// Whether this matrix opts into the compressed read-optimized form
+    /// (see [`Matrix::set_compressed`] and `GRAPHBLAS_STORAGE`).
+    pub compress_enabled: bool,
 }
 
 /// Borrow the row-major storage of an assembled `Inner` as a dynamic view.
@@ -174,6 +234,7 @@ pub(crate) fn rows_of<T: Scalar>(inner: &Inner<T>) -> &dyn crate::sparse::Sparse
     match &inner.store {
         Store::Csr(cs) => cs,
         Store::HyperCsr(h) => h,
+        Store::CompressedCsr(c) => c,
         _ => unreachable!("operand not assembled to row-major form"),
     }
 }
@@ -196,6 +257,10 @@ macro_rules! with_rows {
                 let $v = h;
                 $body
             }
+            $crate::matrix::Store::CompressedCsr(c) => {
+                let $v = c;
+                $body
+            }
             _ => unreachable!("operand not assembled to row-major form"),
         }
     };
@@ -213,6 +278,7 @@ impl<T: Scalar> Inner<T> {
         let (ptr_bytes, idx_bytes, val_bytes) = match &self.store {
             Store::Csr(c) | Store::Csc(c) => cs_bytes(c),
             Store::HyperCsr(h) | Store::HyperCsc(h) => hyper_bytes(h),
+            Store::CompressedCsr(c) => c.section_bytes(),
         };
         let dual_bytes = match &self.dual {
             None => 0,
@@ -224,6 +290,7 @@ impl<T: Scalar> Inner<T> {
                 let (p, i, v) = hyper_bytes(h);
                 p + i + v
             }
+            Some(crate::sparse::MatData::Compressed(c)) => c.bytes(),
         };
         MemoryUsage {
             ptr_bytes,
@@ -245,6 +312,15 @@ impl<T: Scalar> Inner<T> {
             self.nzombies,
         );
         self.dual = None;
+        // The compressed form is read-only: expand it to CSR, run the
+        // standard merge, and re-encode below. This *is* recompaction.
+        if let Store::CompressedCsr(_) = &self.store {
+            if let Store::CompressedCsr(cm) =
+                std::mem::replace(&mut self.store, Store::Csr(Cs::empty(1, 1)))
+            {
+                self.store = Store::Csr(cm.decode());
+            }
+        }
         // Sort pending by position; a stable sort keeps insertion order
         // among duplicates so "last write wins" can keep the final one.
         self.pending.sort_by_key(|&(i, j, _)| (i, j));
@@ -287,10 +363,43 @@ impl<T: Scalar> Inner<T> {
                     .collect();
                 *h = from_sorted_tuples_hyper(nmajor, nminor, merged);
             }
+            Store::CompressedCsr(_) => unreachable!("expanded to CSR above"),
         }
         self.maybe_hypersparse();
+        self.maybe_compress();
         if span.on() {
             span.arg("resident_bytes", self.memory_usage().total() as u64);
+        }
+    }
+
+    /// True when this matrix should end up in the compressed form —
+    /// either opted in per-object or forced by `GRAPHBLAS_STORAGE`
+    /// (which also gates opted-in matrices off under `csr`).
+    pub(crate) fn compression_engaged(&self, nvals: usize) -> bool {
+        match storage_mode() {
+            StorageMode::Csr => false,
+            StorageMode::Compressed => self.compress_enabled || nvals >= COMPRESS_MIN_NVALS,
+            StorageMode::Auto => self.compress_enabled,
+        }
+    }
+
+    /// Re-encode assembled standard CSR into the compressed form when the
+    /// storage policy asks for it. Values that don't survive the exact
+    /// round-trip leave the matrix in CSR (with a one-time warning).
+    pub(crate) fn maybe_compress(&mut self) {
+        let nvals = self.store.nvals_raw();
+        if !self.compression_engaged(nvals) {
+            return;
+        }
+        if let Store::Csr(cs) = &self.store {
+            match CompressedMat::encode(cs) {
+                Some(cm) => self.store = Store::CompressedCsr(cm),
+                None => crate::trace::warn_once(
+                    "compress_lossy_values",
+                    "compressed storage requested but values are not exactly \
+                     representable; matrix stays CSR",
+                ),
+            }
         }
     }
 
@@ -323,7 +432,7 @@ impl<T: Scalar> Inner<T> {
         debug_assert!(!self.needs_assembly());
         let placeholder = Store::Csr(Cs::empty(1, 1));
         match &self.store {
-            Store::Csr(_) | Store::HyperCsr(_) => {}
+            Store::Csr(_) | Store::HyperCsr(_) | Store::CompressedCsr(_) => {}
             Store::Csc(_) => {
                 if let Store::Csc(cs) = std::mem::replace(&mut self.store, placeholder) {
                     self.store = Store::Csr(cs.transpose());
@@ -356,11 +465,22 @@ impl<T: Scalar> Inner<T> {
         let hit = match &mut self.store {
             Store::Csr(cs) | Store::Csc(cs) => set_in_cs(cs, maj, min, x),
             Store::HyperCsr(h) | Store::HyperCsc(h) => set_in_hyper(h, maj, min, x),
+            // The compressed form is immutable: every write defers. The
+            // pending-wins merge gives the usual last-write-wins update.
+            Store::CompressedCsr(_) => SetOutcome::Absent,
         };
         match hit {
             SetOutcome::Updated => {}
             SetOutcome::Resurrected => self.nzombies -= 1,
             SetOutcome::Absent => self.pending.push((i, j, x)),
+        }
+        // Recompaction: don't let the write backlog dwarf the compressed
+        // form's savings — rebuild it eagerly past the threshold.
+        if matches!(self.store, Store::CompressedCsr(_)) {
+            let t = recompact_threshold();
+            if t > 0 && self.pending.len() >= t {
+                self.assemble();
+            }
         }
         Ok(())
     }
@@ -377,10 +497,24 @@ impl<T: Scalar> Inner<T> {
         if !self.pending.is_empty() {
             self.pending.retain(|&(pi, pj, _)| (pi, pj) != (i, j));
         }
+        // Deletions need a mutable slot to plant the zombie in: expand
+        // the read-only compressed form back to CSR (the next assembly's
+        // `maybe_compress` re-encodes it).
+        if let Store::CompressedCsr(_) = &self.store {
+            if SparseView::get(rows_of(self), i, j).is_none() {
+                return Ok(()); // nothing stored: keep the compressed form
+            }
+            if let Store::CompressedCsr(cm) =
+                std::mem::replace(&mut self.store, Store::Csr(Cs::empty(1, 1)))
+            {
+                self.store = Store::Csr(cm.decode());
+            }
+        }
         let (maj, min) = major_minor(&self.store, i, j);
         let killed = match &mut self.store {
             Store::Csr(cs) | Store::Csc(cs) => kill_in_cs(cs, maj, min),
             Store::HyperCsr(h) | Store::HyperCsc(h) => kill_in_hyper(h, maj, min),
+            Store::CompressedCsr(_) => unreachable!("expanded above"),
         };
         if killed {
             self.nzombies += 1;
@@ -574,6 +708,7 @@ impl<T: Scalar> Matrix<T> {
                 nzombies: 0,
                 dual: None,
                 dual_enabled: false,
+                compress_enabled: false,
             }),
         })
     }
@@ -615,6 +750,7 @@ impl<T: Scalar> Matrix<T> {
             Store::Csr(Cs::from_tuples(nrows, ncols, tuples, dup))
         };
         inner.maybe_hypersparse();
+        inner.maybe_compress();
         Ok(())
     }
 
@@ -641,6 +777,7 @@ impl<T: Scalar> Matrix<T> {
             Store::Csc(_) => Format::Csc,
             Store::HyperCsr(_) => Format::HyperCsr,
             Store::HyperCsc(_) => Format::HyperCsc,
+            Store::CompressedCsr(_) => Format::Compressed,
         }
     }
 
@@ -738,6 +875,7 @@ impl<T: Scalar> Matrix<T> {
         let found = match &inner.store {
             Store::Csr(cs) | Store::Csc(cs) => get_in_cs(cs, maj, min),
             Store::HyperCsr(h) | Store::HyperCsc(h) => get_in_hyper(h, maj, min),
+            Store::CompressedCsr(c) => SparseView::get(c, maj, min),
         };
         found.ok_or(Error::NoValue)
     }
@@ -786,6 +924,7 @@ impl<T: Scalar> Matrix<T> {
             Store::Csr(from_sorted_tuples_cs(nrows, ncols, tuples))
         };
         inner.maybe_hypersparse();
+        inner.maybe_compress();
         Ok(())
     }
 
@@ -813,6 +952,11 @@ impl<T: Scalar> Matrix<T> {
                     inner.store = Store::HyperCsc(h.transpose());
                 }
             }
+            Store::CompressedCsr(_) => {
+                if let Store::CompressedCsr(cm) = std::mem::replace(&mut inner.store, placeholder) {
+                    inner.store = Store::Csc(cm.decode().transpose());
+                }
+            }
         }
     }
 
@@ -824,7 +968,10 @@ impl<T: Scalar> Matrix<T> {
             {
                 let g = self.inner.read();
                 if !g.needs_assembly()
-                    && matches!(g.store, Store::Csr(_) | Store::HyperCsr(_))
+                    && matches!(
+                        g.store,
+                        Store::Csr(_) | Store::HyperCsr(_) | Store::CompressedCsr(_)
+                    )
                     && (!g.dual_enabled || g.dual.is_some())
                 {
                     return g;
@@ -833,8 +980,19 @@ impl<T: Scalar> Matrix<T> {
             let mut w = self.inner.write();
             w.assemble();
             w.ensure_row_major();
+            w.maybe_compress();
             if w.dual_enabled && w.dual.is_none() {
-                w.dual = Some(crate::sparse::transpose_dyn(rows_of(&w)));
+                let mut d = crate::sparse::transpose_dyn(rows_of(&w));
+                // Under compression, the cached transpose is encoded too —
+                // otherwise dual storage would forfeit half the savings.
+                if w.compression_engaged(w.store.nvals_raw()) {
+                    if let crate::sparse::MatData::Cs(cs) = &d {
+                        if let Some(cm) = CompressedMat::encode(cs) {
+                            d = crate::sparse::MatData::Compressed(cm);
+                        }
+                    }
+                }
+                w.dual = Some(d);
             }
         }
     }
@@ -854,6 +1012,82 @@ impl<T: Scalar> Matrix<T> {
     /// Whether dual (push/pull) storage is currently enabled.
     pub fn dual_storage(&self) -> bool {
         self.inner.read().dual_enabled
+    }
+
+    /// Opt this matrix into (or out of) the read-optimized compressed
+    /// storage form: gap-encoded column indices under γ/δ codes with
+    /// Elias-Fano row offsets (see [`crate::compressed`]). Enabling
+    /// assembles and encodes immediately; disabling expands back to CSR.
+    /// Writes keep working through the deferred pending-tuple path, with
+    /// eager recompaction past `GRAPHBLAS_RECOMPACT` pending entries.
+    /// `GRAPHBLAS_STORAGE=csr` vetoes the flag process-wide;
+    /// `GRAPHBLAS_STORAGE=compressed` applies it to every large matrix.
+    pub fn set_compressed(&mut self, enabled: bool) {
+        let inner = self.inner.get_mut();
+        inner.compress_enabled = enabled;
+        if enabled {
+            inner.assemble();
+            inner.ensure_row_major();
+            inner.maybe_compress();
+        } else if let Store::CompressedCsr(_) = &inner.store {
+            if let Store::CompressedCsr(cm) =
+                std::mem::replace(&mut inner.store, Store::Csr(Cs::empty(1, 1)))
+            {
+                inner.store = Store::Csr(cm.decode());
+            }
+        }
+    }
+
+    /// Whether this matrix is opted into compressed storage.
+    pub fn compressed_storage(&self) -> bool {
+        self.inner.read().compress_enabled
+    }
+
+    /// Whether the matrix currently sits in the compressed form (it may
+    /// be temporarily expanded, e.g. right after a deletion).
+    pub fn is_compressed(&self) -> bool {
+        matches!(self.inner.read().store, Store::CompressedCsr(_))
+    }
+
+    /// Serialize into the versioned `.lagc` on-disk container (see
+    /// [`crate::compressed`]). Already-compressed matrices stream their
+    /// sections straight out; anything else is encoded first. Fails with
+    /// `InvalidData` when values don't survive the exact `f64` round-trip
+    /// the codec requires.
+    pub fn write_lagc(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let g = self.read_rows();
+        match &g.store {
+            Store::CompressedCsr(cm) => cm.write_path(path),
+            Store::Csr(cs) => match CompressedMat::encode(cs) {
+                Some(cm) => cm.write_path(path),
+                None => Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "matrix values are not exactly representable in the .lagc codec",
+                )),
+            },
+            Store::HyperCsr(h) => match CompressedMat::encode(&h.to_cs()) {
+                Some(cm) => cm.write_path(path),
+                None => Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "matrix values are not exactly representable in the .lagc codec",
+                )),
+            },
+            _ => unreachable!("read_rows yields a row-major store"),
+        }
+    }
+
+    /// Load a `.lagc` container written by [`Matrix::write_lagc`],
+    /// memory-mapping the heavy sections so the load is O(1) in the edge
+    /// count — no parse, no assembly. The matrix arrives already in the
+    /// compressed form with the opt-in flag set, so later assemblies keep
+    /// it compressed. `verify` additionally checks the whole-file
+    /// checksum (O(n), still no allocation beyond the header).
+    pub fn read_lagc(path: &std::path::Path, verify: bool) -> std::io::Result<Matrix<T>> {
+        let cm = CompressedMat::from_path(path, verify)?;
+        let (nrows, ncols) = (cm.nmajor(), cm.nminor());
+        let m = Matrix::from_store(nrows, ncols, Store::CompressedCsr(cm));
+        m.inner.write().compress_enabled = true;
+        Ok(m)
     }
 
     /// Lock for reading with deferred updates resolved (any format).
@@ -878,6 +1112,8 @@ impl<T: Scalar> Matrix<T> {
         inner.pending.clear();
         inner.nzombies = 0;
         inner.dual = None;
+        // Keep opted-in outputs compressed across kernel writes.
+        inner.maybe_compress();
     }
 
     /// Build a matrix directly from an assembled store (kernel results).
@@ -891,6 +1127,7 @@ impl<T: Scalar> Matrix<T> {
                 nzombies: 0,
                 dual: None,
                 dual_enabled: false,
+                compress_enabled: false,
             }),
         }
     }
@@ -926,7 +1163,7 @@ impl<T: Scalar> Matrix<T> {
 
 fn major_minor<T>(store: &Store<T>, i: Index, j: Index) -> (Index, Index) {
     match store {
-        Store::Csr(_) | Store::HyperCsr(_) => (i, j),
+        Store::Csr(_) | Store::HyperCsr(_) | Store::CompressedCsr(_) => (i, j),
         Store::Csc(_) | Store::HyperCsc(_) => (j, i),
     }
 }

@@ -70,7 +70,7 @@ use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering::Relaxed};
 use std::sync::{Arc, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
 // On/off state
@@ -782,17 +782,31 @@ pub fn serve(addr: &str) -> std::io::Result<SocketAddr> {
     std::thread::Builder::new().name("graphblas-metrics".into()).spawn(move || {
         for conn in listener.incoming() {
             let Ok(mut stream) = conn else { continue };
-            let _ = handle_conn(&mut stream);
+            let _ = handle_conn(&mut stream, REQUEST_DEADLINE);
         }
     })?;
     Ok(local)
 }
 
-fn handle_conn(stream: &mut TcpStream) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+/// Whole-request budget: header read *and* response write must finish
+/// inside this window. A per-read timeout alone is not enough — the
+/// endpoint serves connections sequentially, so a client dripping one
+/// byte per read-timeout (classic slow-loris) would hold the accept loop
+/// hostage for hours while staying under the 16 KiB request cap.
+const REQUEST_DEADLINE: Duration = Duration::from_secs(5);
+
+fn handle_conn(stream: &mut TcpStream, deadline: Duration) -> std::io::Result<()> {
+    let timed_out =
+        || std::io::Error::new(std::io::ErrorKind::TimedOut, "request deadline exceeded");
+    let start = Instant::now();
     let mut req = Vec::new();
     let mut buf = [0u8; 2048];
     loop {
+        // Shrink the read timeout to what's left of the overall budget;
+        // set_read_timeout rejects a zero Duration, so an exhausted
+        // budget bails out explicitly.
+        let left = deadline.checked_sub(start.elapsed()).filter(|d| !d.is_zero());
+        stream.set_read_timeout(Some(left.ok_or_else(timed_out)?))?;
         let n = stream.read(&mut buf)?;
         if n == 0 {
             break;
@@ -802,6 +816,10 @@ fn handle_conn(stream: &mut TcpStream) -> std::io::Result<()> {
             break;
         }
     }
+    // Whatever budget the read left over bounds the response write, so
+    // a client that stops reading can't pin the handler either.
+    let left = deadline.checked_sub(start.elapsed()).filter(|d| !d.is_zero());
+    stream.set_write_timeout(Some(left.ok_or_else(timed_out)?))?;
     let line = req.split(|&b| b == b'\r' || b == b'\n').next().unwrap_or(&[]);
     let line = String::from_utf8_lossy(line);
     let path = line.split_whitespace().nth(1).unwrap_or("");
@@ -971,5 +989,45 @@ mod tests {
         h.buckets[10].store(1, Relaxed);
         assert_eq!(h.quantile(0.5), 7);
         assert_eq!(h.quantile(1.0), 1023);
+    }
+
+    /// Accept one connection and run [`handle_conn`] on it with the
+    /// given deadline, reporting whether it finished inside `limit`.
+    fn serve_one(deadline: Duration, limit: Duration) -> std::io::Result<()> {
+        use std::io::Write as _;
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            let begin = Instant::now();
+            let res = handle_conn(&mut stream, deadline);
+            (res, begin.elapsed())
+        });
+        // A slow-loris client: a partial request line, then silence. The
+        // connection stays open, so only the deadline can unblock the
+        // server.
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        conn.write_all(b"GET /metr").expect("drip");
+        let (res, took) = server.join().expect("server thread");
+        assert!(took <= limit, "handler held the accept loop for {took:?} (deadline {deadline:?})");
+        res
+    }
+
+    #[test]
+    fn slow_loris_request_is_cut_off_at_the_deadline() {
+        let res = serve_one(Duration::from_millis(150), Duration::from_secs(3));
+        let err = res.expect_err("stalled request must not be served");
+        assert!(
+            matches!(err.kind(), std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock),
+            "unexpected error kind: {err:?}"
+        );
+    }
+
+    #[test]
+    fn exhausted_deadline_rejects_before_reading() {
+        // A zero budget must bail out explicitly rather than panic in
+        // set_read_timeout (which rejects Duration::ZERO).
+        let res = serve_one(Duration::ZERO, Duration::from_secs(3));
+        assert_eq!(res.expect_err("must time out").kind(), std::io::ErrorKind::TimedOut);
     }
 }

@@ -195,8 +195,9 @@ fn rows_apply<A: Scalar, T: Scalar, Op: IndexUnaryOp<A, T>>(
     let majors = v.nonempty_majors();
     let chunks = par_chunks(majors.len(), v.nvals(), |range| {
         let mut part = Vec::with_capacity(range.len());
+        let mut scratch = crate::sparse::RowScratch::default();
         for &i in &majors[range] {
-            let (idx, val) = v.vec(i);
+            let (idx, val) = v.row(i, &mut scratch);
             let out: Vec<T> = idx.iter().zip(val).map(|(&j, &x)| op.apply(i, j, x)).collect();
             part.push((i, idx.to_vec(), out));
         }

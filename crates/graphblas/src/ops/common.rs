@@ -220,8 +220,14 @@ impl<'a> MMask<'a> {
         base != self.complement
     }
 
-    /// A per-row evaluator that reuses the row slices.
-    pub fn row(&self, i: Index) -> RowMask<'_> {
+    /// A per-row evaluator that reuses the row slices. `scratch` backs the
+    /// row when the mask matrix sits in compressed storage; callers keep
+    /// one per worker and the borrow ties the returned mask to it.
+    pub fn row<'s>(
+        &'s self,
+        i: Index,
+        scratch: &'s mut crate::sparse::RowScratch<bool>,
+    ) -> RowMask<'s> {
         match self.view {
             None => RowMask {
                 idx: &[],
@@ -231,7 +237,7 @@ impl<'a> MMask<'a> {
                 structural: self.structural,
             },
             Some(v) => {
-                let (idx, val) = v.vec(i);
+                let (idx, val) = v.row(i, scratch);
                 RowMask {
                     idx,
                     val,

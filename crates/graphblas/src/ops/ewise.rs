@@ -269,9 +269,11 @@ where
     let amaj = av.nonempty_majors();
     let chunks = par_chunks(amaj.len(), av.nvals() + bv.nvals(), |range| {
         let mut part = Vec::new();
+        let mut sa = crate::sparse::RowScratch::default();
+        let mut sb = crate::sparse::RowScratch::default();
         for &i in &amaj[range] {
-            let (aidx, aval) = av.vec(i);
-            let (bidx, bval) = bv.vec(i);
+            let (aidx, aval) = av.row(i, &mut sa);
+            let (bidx, bval) = bv.row(i, &mut sb);
             if bidx.is_empty() {
                 continue;
             }
@@ -335,9 +337,11 @@ fn merge_matrix_union<T: Scalar, Op: BinaryOp<T, T, T>>(
     }
     let chunks = par_chunks(rows.len(), av.nvals() + bv.nvals(), |range| {
         let mut part = Vec::with_capacity(range.len());
+        let mut sa = crate::sparse::RowScratch::default();
+        let mut sb = crate::sparse::RowScratch::default();
         for &row in &rows[range] {
-            let (aidx, aval) = av.vec(row);
-            let (bidx, bval) = bv.vec(row);
+            let (aidx, aval) = av.row(row, &mut sa);
+            let (bidx, bval) = bv.row(row, &mut sb);
             let mut ridx = Vec::with_capacity(aidx.len() + bidx.len());
             let mut rval = Vec::with_capacity(aidx.len() + bidx.len());
             let (mut p, mut q) = (0, 0);

@@ -91,8 +91,9 @@ where
     // Output rows extract independently: chunk over 0..nr.
     let chunks = par_chunks(nr, v.nvals(), |range| {
         let mut part = Vec::new();
+        let mut scratch = crate::sparse::RowScratch::default();
         for k in range {
-            let (ridx, rval) = v.vec(i_sel.nth(k));
+            let (ridx, rval) = v.row(i_sel.nth(k), &mut scratch);
             if ridx.is_empty() {
                 continue;
             }

@@ -115,15 +115,17 @@ where
         let mut st = St::default();
         let mut ridx: Vec<Index> = Vec::new();
         let mut rval: Vec<T> = Vec::new();
+        let mut sa = crate::sparse::RowScratch::default();
+        let mut sb = crate::sparse::RowScratch::default();
         for (i, js) in &mrows[range] {
-            let (aidx, aval) = av.vec(*i);
+            let (aidx, aval) = av.row(*i, &mut sa);
             if aidx.is_empty() {
                 continue;
             }
             ridx.clear();
             rval.clear();
             for &j in js {
-                let (bidx, bval) = btv.vec(j);
+                let (bidx, bval) = btv.row(j, &mut sb);
                 if let Some(v) = spec::dot(sp, add, mul, aidx, aval, bidx, bval) {
                     ridx.push(j);
                     rval.push(v);

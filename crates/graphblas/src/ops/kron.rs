@@ -54,10 +54,12 @@ where
     let chunks = par_chunks(amaj.len(), est, |range| {
         let mut part: Vec<(Index, Vec<Index>, Vec<T>)> =
             Vec::with_capacity(range.len() * bmaj.len());
+        let mut sa = crate::sparse::RowScratch::default();
+        let mut sb = crate::sparse::RowScratch::default();
         for &i1 in &amaj[range] {
-            let (aidx, aval) = av.vec(i1);
+            let (aidx, aval) = av.row(i1, &mut sa);
             for &i2 in &bmaj {
-                let (bidx, bval) = bv.vec(i2);
+                let (bidx, bval) = bv.row(i2, &mut sb);
                 let row = i1 * rb + i2;
                 let mut ridx = Vec::with_capacity(aidx.len() * bidx.len());
                 let mut rval = Vec::with_capacity(aidx.len() * bidx.len());

@@ -91,7 +91,9 @@ where
         sp,
         Some(SemiringSpec::PlusPair) | Some(SemiringSpec::AnyFirst) | Some(SemiringSpec::AnySecond)
     );
+    let compressed_operand = av.is_compressed() || rows_of(&gb).is_compressed();
     span.kernel(match (method, sp) {
+        (MxmMethod::Dot, _) if compressed_operand => crate::trace::Kernel::CompressedDot,
         (MxmMethod::Dot, Some(_)) => crate::trace::Kernel::DotSpec,
         (MxmMethod::Dot, None) => crate::trace::Kernel::Dot,
         (MxmMethod::Heap, _) => crate::trace::Kernel::Heap,
@@ -190,6 +192,9 @@ where
     let flops_estimate = cost::mxm_gustavson_flops(av.nvals(), bv.nvals(), bv.nmajor());
     let chunks = par_chunks(majors.len(), flops_estimate, |range| {
         let mut out = Vec::new();
+        let mut sa = crate::sparse::RowScratch::default();
+        let mut sb = crate::sparse::RowScratch::default();
+        let mut ms = crate::sparse::RowScratch::default();
         if ncols <= DENSE_ACC_LIMIT {
             // Stamped accumulator shared across this chunk's rows; begin()
             // makes per-row reset O(touched), and the stamp array itself is
@@ -197,11 +202,11 @@ where
             let mut acc = DenseAcc::<T>::new(ncols);
             for &i in &majors[range] {
                 acc.begin();
-                let (aidx, aval) = av.vec(i);
+                let (aidx, aval) = av.row(i, &mut sa);
                 match mode {
                     GusMode::Generic => {
                         for (&k, &aik) in aidx.iter().zip(aval) {
-                            let (bidx, bval) = bv.vec(k);
+                            let (bidx, bval) = bv.row(k, &mut sb);
                             for (&j, &bkj) in bidx.iter().zip(bval) {
                                 let prod = mul.apply(aik, bkj);
                                 match acc.slot(j) {
@@ -213,7 +218,7 @@ where
                     }
                     GusMode::NoLoad(one) => {
                         for &k in aidx {
-                            let (bidx, _) = bv.vec(k);
+                            let (bidx, _) = bv.row(k, &mut sb);
                             for &j in bidx {
                                 match acc.slot(j) {
                                     Slot::Active => acc.set(j, add.apply(acc.value(j), one)),
@@ -226,7 +231,7 @@ where
                         // ANY keeps the first product per slot; occupied
                         // slots absorb later contributions untouched.
                         for (&k, &aik) in aidx.iter().zip(aval) {
-                            let (bidx, bval) = bv.vec(k);
+                            let (bidx, bval) = bv.row(k, &mut sb);
                             for (&j, &bkj) in bidx.iter().zip(bval) {
                                 if !matches!(acc.slot(j), Slot::Active) {
                                     acc.insert(j, mul.apply(aik, bkj));
@@ -239,7 +244,7 @@ where
                     continue;
                 }
                 acc.sort_touched();
-                let rmask = mask.row(i);
+                let rmask = mask.row(i, &mut ms);
                 let mut ridx = Vec::with_capacity(acc.touched().len());
                 let mut rval = Vec::with_capacity(acc.touched().len());
                 for &j in acc.touched() {
@@ -255,15 +260,15 @@ where
         } else {
             for &i in &majors[range] {
                 let mut acc = std::collections::BTreeMap::<Index, T>::new();
-                let (aidx, aval) = av.vec(i);
+                let (aidx, aval) = av.row(i, &mut sa);
                 for (&k, &aik) in aidx.iter().zip(aval) {
-                    let (bidx, bval) = bv.vec(k);
+                    let (bidx, bval) = bv.row(k, &mut sb);
                     for (&j, &bkj) in bidx.iter().zip(bval) {
                         let prod = mul.apply(aik, bkj);
                         acc.entry(j).and_modify(|cur| *cur = add.apply(*cur, prod)).or_insert(prod);
                     }
                 }
-                let rmask = mask.row(i);
+                let rmask = mask.row(i, &mut ms);
                 let mut ridx = Vec::with_capacity(acc.len());
                 let mut rval = Vec::with_capacity(acc.len());
                 for (j, v) in acc {
@@ -320,15 +325,17 @@ where
         let per_dot = av.nvals() / av.nmajor().max(1) + btv.nvals() / btv.nmajor().max(1) + 1;
         let chunks = par_chunks(mrows.len(), total.saturating_mul(per_dot), |range| {
             let mut out: Vec<(Index, Vec<Index>, Vec<T>)> = Vec::new();
+            let mut sa = crate::sparse::RowScratch::default();
+            let mut sb = crate::sparse::RowScratch::default();
             for (i, js) in &mrows[range] {
-                let (aidx, aval) = av.vec(*i);
+                let (aidx, aval) = av.row(*i, &mut sa);
                 if aidx.is_empty() {
                     continue;
                 }
                 let mut ridx: Vec<Index> = Vec::new();
                 let mut rval: Vec<T> = Vec::new();
                 for &j in js {
-                    let (bidx, bval) = btv.vec(j);
+                    let (bidx, bval) = btv.row(j, &mut sb);
                     if let Some(v) = dot(aidx, aval, bidx, bval) {
                         ridx.push(j);
                         rval.push(v);
@@ -350,16 +357,19 @@ where
         let chunks =
             par_chunks(amaj.len(), av.nvals().saturating_mul(bmaj.len().max(1)), |range| {
                 let mut out = Vec::new();
+                let mut sa = crate::sparse::RowScratch::default();
+                let mut sb = crate::sparse::RowScratch::default();
+                let mut ms = crate::sparse::RowScratch::default();
                 for &i in &amaj[range] {
-                    let rmask = mask.row(i);
-                    let (aidx, aval) = av.vec(i);
+                    let rmask = mask.row(i, &mut ms);
+                    let (aidx, aval) = av.row(i, &mut sa);
                     let mut ridx = Vec::new();
                     let mut rval = Vec::new();
                     for &j in &bmaj {
                         if !rmask.allowed(j) {
                             continue;
                         }
-                        let (bidx, bval) = btv.vec(j);
+                        let (bidx, bval) = btv.row(j, &mut sb);
                         if let Some(v) = dot(aidx, aval, bidx, bval) {
                             ridx.push(j);
                             rval.push(v);
@@ -399,20 +409,37 @@ where
     let est = av.nvals() + bv.nvals();
     let chunks = par_chunks(majors.len(), est, |range| {
         let mut out = Vec::new();
+        let mut sa = crate::sparse::RowScratch::default();
+        let mut ms = crate::sparse::RowScratch::default();
         for &i in &majors[range] {
-            let (aidx, aval) = av.vec(i);
+            let (aidx, aval) = av.row(i, &mut sa);
+            // The merge keeps every selected B row live at once, which a
+            // shared decode scratch can't back — decode them into a
+            // per-row arena when B is compressed.
+            let arena: Vec<(Vec<Index>, Vec<B>)> = if bv.is_compressed() {
+                aidx.iter()
+                    .map(|&k| {
+                        let (mut bi, mut bx) = (Vec::new(), Vec::new());
+                        bv.row_copy(k, &mut bi, &mut bx);
+                        (bi, bx)
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
             // One cursor per (k, A(i,k)) with a non-empty B row.
             let mut cursors: Vec<(&[Index], &[B], usize, A)> = Vec::with_capacity(aidx.len());
             let mut heap: BinaryHeap<Reverse<(Index, usize)>> = BinaryHeap::new();
-            for (&k, &aik) in aidx.iter().zip(aval) {
-                let (bidx, bval) = bv.vec(k);
+            for (t, (&k, &aik)) in aidx.iter().zip(aval).enumerate() {
+                let (bidx, bval): (&[Index], &[B]) =
+                    if bv.is_compressed() { (&arena[t].0, &arena[t].1) } else { bv.vec(k) };
                 if !bidx.is_empty() {
                     let c = cursors.len();
                     cursors.push((bidx, bval, 0, aik));
                     heap.push(Reverse((bidx[0], c)));
                 }
             }
-            let rmask = mask.row(i);
+            let rmask = mask.row(i, &mut ms);
             let mut ridx: Vec<Index> = Vec::new();
             let mut rval: Vec<T> = Vec::new();
             let mut cur_j: Option<Index> = None;

@@ -224,6 +224,11 @@ where
         (false, false) => trace::Kernel::PushMasked,
     };
     let pull_kernel = if sp.is_some() { trace::Kernel::PullSpec } else { trace::Kernel::Pull };
+    if span.on() && rows.is_compressed() {
+        // The pull (row-dot) loop decodes gap-encoded rows on the fly;
+        // make that visible next to the kernel tag.
+        span.arg("storage", "compressed");
+    }
     let (t_idx, t_val, actual) = if transposed {
         if want_push {
             span.kernel(push_kernel);
@@ -373,11 +378,12 @@ where
         let mut idx = Vec::new();
         let mut val = Vec::new();
         let mut flops = 0usize;
+        let mut scratch = crate::sparse::RowScratch::default();
         for &i in &majors[range] {
             if !mask.allowed(i) {
                 continue;
             }
-            let (ridx, rval) = mat.vec(i);
+            let (ridx, rval) = mat.row(i, &mut scratch);
             let acc: Option<T> = match shape {
                 PullShape::Generic => {
                     let mut acc: Option<T> = None;
@@ -529,12 +535,13 @@ where
     };
     let chunks = par_chunks(entries.len(), est, |range| {
         let mut flops = 0usize;
+        let mut scratch = crate::sparse::RowScratch::default();
         if n_out <= DENSE_ACC_LIMIT {
             let mut acc = DenseAcc::<T>::new(n_out);
             match mode {
                 ScatterMode::Generic => {
                     for &(k, uk) in &entries[range] {
-                        let (ridx, rval) = mat.vec(k);
+                        let (ridx, rval) = mat.row(k, &mut scratch);
                         for (&j, &av) in ridx.iter().zip(rval) {
                             match acc.slot(j) {
                                 Slot::Blocked => {}
@@ -560,7 +567,7 @@ where
                 }
                 ScatterMode::Fold => {
                     for &(k, uk) in &entries[range] {
-                        let (ridx, rval) = mat.vec(k);
+                        let (ridx, rval) = mat.row(k, &mut scratch);
                         for (&j, &av) in ridx.iter().zip(rval) {
                             match acc.slot(j) {
                                 Slot::Blocked => {}
@@ -582,7 +589,7 @@ where
                 }
                 ScatterMode::Terminal(term) => {
                     for &(k, uk) in &entries[range] {
-                        let (ridx, rval) = mat.vec(k);
+                        let (ridx, rval) = mat.row(k, &mut scratch);
                         for (&j, &av) in ridx.iter().zip(rval) {
                             match acc.slot(j) {
                                 Slot::Blocked => {}
@@ -608,7 +615,7 @@ where
                 }
                 ScatterMode::FirstHit => {
                     for &(k, uk) in &entries[range] {
-                        let (ridx, rval) = mat.vec(k);
+                        let (ridx, rval) = mat.row(k, &mut scratch);
                         for (&j, &av) in ridx.iter().zip(rval) {
                             match acc.slot(j) {
                                 Slot::Blocked | Slot::Active => {}
@@ -633,7 +640,7 @@ where
             use std::collections::btree_map::Entry;
             let mut acc = std::collections::BTreeMap::<Index, Option<T>>::new();
             for &(k, uk) in &entries[range] {
-                let (ridx, rval) = mat.vec(k);
+                let (ridx, rval) = mat.row(k, &mut scratch);
                 for (&j, &av) in ridx.iter().zip(rval) {
                     match acc.entry(j) {
                         Entry::Vacant(e) => {

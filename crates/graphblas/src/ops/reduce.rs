@@ -46,8 +46,9 @@ where
     let chunks = par_chunks(majors.len(), v.nvals(), |r| {
         let mut idx = Vec::with_capacity(r.len());
         let mut val = Vec::with_capacity(r.len());
+        let mut scratch = crate::sparse::RowScratch::default();
         for &i in &majors[r] {
-            let (_, vals) = v.vec(i);
+            let (_, vals) = v.row(i, &mut scratch);
             if let Some(x) = fold(monoid, vals.iter().copied()) {
                 idx.push(i);
                 val.push(x);
@@ -87,11 +88,12 @@ where
     let terminal = monoid.terminal();
     let r = par_reduce(majors.len(), v.nvals(), monoid, |range, exit| {
         let mut acc: Option<T> = None;
+        let mut scratch = crate::sparse::RowScratch::default();
         for &i in &majors[range] {
             if exit.stop() {
                 break;
             }
-            let (_, vals) = v.vec(i);
+            let (_, vals) = v.row(i, &mut scratch);
             if let Some(x) = fold(monoid, vals.iter().copied()) {
                 acc = Some(match acc {
                     Some(a) => monoid.apply(a, x),

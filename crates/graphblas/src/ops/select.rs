@@ -124,8 +124,9 @@ where
         let majors = v.nonempty_majors();
         let chunks = par_chunks(majors.len(), v.nvals(), |range| {
             let mut part = Vec::with_capacity(range.len());
+            let mut scratch = crate::sparse::RowScratch::default();
             for &i in &majors[range] {
-                let (idx, val) = v.vec(i);
+                let (idx, val) = v.row(i, &mut scratch);
                 let mut ridx = Vec::new();
                 let mut rval = Vec::new();
                 for (&j, &x) in idx.iter().zip(val) {

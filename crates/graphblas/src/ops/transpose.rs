@@ -41,10 +41,11 @@ where
     // nonempty majors.
     let majors = v.nonempty_majors();
     let chunks = par_chunks(majors.len(), v.nvals(), |range| {
+        let mut scratch = crate::sparse::RowScratch::default();
         majors[range]
             .iter()
             .map(|&i| {
-                let (idx, val) = v.vec(i);
+                let (idx, val) = v.row(i, &mut scratch);
                 (i, idx.to_vec(), val.to_vec())
             })
             .collect::<Vec<_>>()

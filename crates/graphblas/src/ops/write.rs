@@ -203,8 +203,9 @@ fn merge_rows<T: Scalar, Acc: BinaryOp<T, T, T>>(
         + t_vecs.iter().map(|v| v.1.len()).sum::<usize>();
     let chunks = par_chunks(pairs.len(), est, |range| {
         let mut part = Vec::with_capacity(range.len());
+        let mut mscratch = crate::sparse::RowScratch::default();
         for &(row, o, t) in &pairs[range] {
-            let rmask = mask.row(row);
+            let rmask = mask.row(row, &mut mscratch);
             let empty: (&[Index], &[T]) = (&[], &[]);
             let (o_idx, o_val) =
                 o.map(|p| (&old_vecs[p].1[..], &old_vecs[p].2[..])).unwrap_or(empty);

@@ -10,11 +10,21 @@
 //! Kernels are written against the [`SparseView`] trait so the same code
 //! operates on standard and hypersparse operands in any combination.
 
+use crate::compressed::CompressedMat;
 use crate::types::{Index, Scalar};
 
 /// A (row, column, value) tuple, the exchange currency of `build` and
 /// `extractTuples`.
 pub type Tuple<T> = (Index, Index, T);
+
+/// Reusable decode buffers for [`SparseView::row`]. Borrowed-slice forms
+/// ignore it entirely; the compressed form decodes into it, so callers
+/// keep one per worker and amortize the allocation across rows.
+#[derive(Debug, Default)]
+pub struct RowScratch<T> {
+    pub idx: Vec<Index>,
+    pub val: Vec<T>,
+}
 
 /// Read access to sparse data along the major axis. Implemented by both
 /// storage forms; all kernels are generic over it.
@@ -35,6 +45,28 @@ pub trait SparseView<T: Scalar>: Sync {
     fn for_each_vec(&self, f: &mut dyn FnMut(Index, &[Index], &[T]));
     /// The majors of all non-empty vectors, in increasing order.
     fn nonempty_majors(&self) -> Vec<Index>;
+    /// True when rows must be decoded rather than borrowed — kernels use
+    /// this to pick copy-based strategies and tag compressed trace spans.
+    fn is_compressed(&self) -> bool {
+        false
+    }
+    /// The sorted indices and values of vector `major`, decoding into
+    /// `scratch` when the storage form has no borrowable slices. This is
+    /// the decode-cursor kernels iterate compressed rows through; for
+    /// slice-backed forms it is exactly [`SparseView::vec`].
+    fn row<'s>(&'s self, major: Index, scratch: &'s mut RowScratch<T>) -> (&'s [Index], &'s [T]) {
+        let _ = scratch;
+        self.vec(major)
+    }
+    /// Copy vector `major` into caller-owned buffers (cleared first).
+    /// For kernels that must hold many rows live at once (heap merge).
+    fn row_copy(&self, major: Index, idx: &mut Vec<Index>, val: &mut Vec<T>) {
+        idx.clear();
+        val.clear();
+        let (i, v) = self.vec(major);
+        idx.extend_from_slice(i);
+        val.extend_from_slice(v);
+    }
     /// Point lookup.
     fn get(&self, major: Index, minor: Index) -> Option<T> {
         let (idx, val) = self.vec(major);
@@ -54,10 +86,15 @@ pub trait SparseView<T: Scalar>: Sync {
 
 /// Owned sparse data in either storage form, produced by kernels that must
 /// transpose a dynamically-typed operand.
+// One per matrix (the dual-storage slot), never stored in bulk, so the
+// size skew of the compressed variant is irrelevant; see `Store<T>`.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum MatData<T> {
     Cs(Cs<T>),
     Hyper(Hyper<T>),
+    /// Gap-encoded read-optimized form ([`crate::compressed`]).
+    Compressed(CompressedMat<T>),
 }
 
 impl<T: Scalar> MatData<T> {
@@ -66,6 +103,7 @@ impl<T: Scalar> MatData<T> {
         match self {
             MatData::Cs(c) => c,
             MatData::Hyper(h) => h,
+            MatData::Compressed(c) => c,
         }
     }
 }
@@ -134,10 +172,11 @@ pub fn transpose_dyn<T: Scalar>(v: &dyn SparseView<T>) -> MatData<T> {
             at += len;
         }
         let mut counts: Vec<Vec<usize>> = crate::parallel::par_chunks(k, v.nvals(), |r| {
+            let mut scratch = RowScratch::default();
             r.map(|c| {
                 let mut h = vec![0usize; nmajor_out];
                 for &maj in &majors[bounds[c].clone()] {
-                    let (idx, _) = v.vec(maj);
+                    let (idx, _) = v.row(maj, &mut scratch);
                     for &j in idx {
                         h[j] += 1;
                     }
@@ -175,10 +214,11 @@ pub fn transpose_dyn<T: Scalar>(v: &dyn SparseView<T>) -> MatData<T> {
             let islots = SharedSlots(idx_out.as_mut_ptr());
             let vslots = SharedSlots(val_out.as_mut_ptr());
             crate::parallel::par_chunks(k, v.nvals(), |r| {
+                let mut scratch = RowScratch::default();
                 for c in r {
                     let mut cur = counts[c].clone();
                     for &maj in &majors[bounds[c].clone()] {
-                        let (idx, val) = v.vec(maj);
+                        let (idx, val) = v.row(maj, &mut scratch);
                         for (&j, &x) in idx.iter().zip(val) {
                             let q = cur[j];
                             cur[j] += 1;

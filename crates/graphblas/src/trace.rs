@@ -385,6 +385,9 @@ pub(crate) enum Kernel {
     GustavsonSpec,
     /// Dot-product method with a specialized inner loop.
     DotSpec,
+    /// Dot-product method where an operand is decoded on the fly from the
+    /// compressed (gap-encoded) storage form.
+    CompressedDot,
     /// Push with a specialized scatter loop.
     PushSpec,
     /// Masked push with a specialized scatter loop.
@@ -410,6 +413,7 @@ impl Kernel {
             Kernel::PullFallback => "pull(fallback)",
             Kernel::GustavsonSpec => "gustavson(specialized)",
             Kernel::DotSpec => "dot(specialized)",
+            Kernel::CompressedDot => "dot(compressed)",
             Kernel::PushSpec => "push(specialized)",
             Kernel::PushMaskedSpec => "push(masked,specialized)",
             Kernel::PullSpec => "pull(specialized)",
@@ -425,9 +429,11 @@ impl Kernel {
                 stats::record_mxm_kernel(MxmKernel::Gustavson)
             }
             // The fused kernels are masked dot products at heart.
-            Kernel::Dot | Kernel::DotSpec | Kernel::FusedReduce | Kernel::FusedSelect => {
-                stats::record_mxm_kernel(MxmKernel::Dot)
-            }
+            Kernel::Dot
+            | Kernel::DotSpec
+            | Kernel::CompressedDot
+            | Kernel::FusedReduce
+            | Kernel::FusedSelect => stats::record_mxm_kernel(MxmKernel::Dot),
             Kernel::Heap => stats::record_mxm_kernel(MxmKernel::Heap),
             Kernel::Push | Kernel::PushMasked | Kernel::PushSpec | Kernel::PushMaskedSpec => {
                 stats::record_mxv_path(MxvPath::Push)

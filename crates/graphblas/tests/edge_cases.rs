@@ -286,3 +286,32 @@ fn bool_semiring_arithmetic_is_saturating() {
     mxm(&mut c, None, NOACC, &PLUS_TIMES, &a, &a, &Descriptor::default()).expect("mxm");
     assert_eq!(c.get(0, 0), Some(true));
 }
+
+#[test]
+fn hypersparse_promotion_boundary_is_strict() {
+    // Promotion fires only when nvals < nmajor / HYPER_RATIO (strictly)
+    // AND nmajor > HYPER_MIN_DIM (strictly). Both comparisons have been
+    // `<`/`>` since the heuristic landed; an accidental `<=`/`>=` would
+    // silently shift which graphs pay the hypersparse pointer overhead,
+    // so this pins the exact boundary. With HYPER_RATIO = 16 and
+    // HYPER_MIN_DIM = 4096: at 8192 rows the threshold is 512 entries.
+    let n = 8192usize;
+    let threshold = n / 16;
+
+    // Exactly at the threshold: stays CSR.
+    let at: Vec<(usize, usize, i32)> = (0..threshold).map(|i| (i, 0, 1)).collect();
+    let m = Matrix::from_tuples(n, n, at, |_, b| b).expect("at-threshold");
+    assert_eq!(m.format(), Format::Csr, "nvals == nmajor/HYPER_RATIO must NOT promote");
+
+    // One below: promotes.
+    let below: Vec<(usize, usize, i32)> = (0..threshold - 1).map(|i| (i, 0, 1)).collect();
+    let m = Matrix::from_tuples(n, n, below, |_, b| b).expect("below-threshold");
+    assert_eq!(m.format(), Format::HyperCsr, "nvals < nmajor/HYPER_RATIO must promote");
+
+    // Dimension floor is strict too: exactly HYPER_MIN_DIM rows never
+    // promotes, one more row does (with the same single entry).
+    let m = Matrix::from_tuples(4096, 4096, vec![(0, 0, 1)], |_, b| b).expect("at-floor");
+    assert_eq!(m.format(), Format::Csr, "nmajor == HYPER_MIN_DIM must NOT promote");
+    let m = Matrix::from_tuples(4097, 4097, vec![(0, 0, 1)], |_, b| b).expect("above-floor");
+    assert_eq!(m.format(), Format::HyperCsr, "nmajor > HYPER_MIN_DIM must promote");
+}

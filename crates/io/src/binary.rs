@@ -13,8 +13,23 @@
 //! Values travel as `f64` bit patterns via the `Scalar` casts, which is
 //! lossless for every built-in type up to 52-bit integers (documented
 //! limitation for larger `u64`/`i64` payloads).
+//!
+//! # The `.lagc` compressed container
+//!
+//! [`write_lagc`]/[`read_lagc`] wrap the second on-disk format: the
+//! gap-encoded compressed storage form serialized section-by-section
+//! (magic `LAGC0001`, fixed header, Elias-Fano indexes, γ/δ gap stream,
+//! value plane — see `graphblas::compressed` for the exact layout). The
+//! payoff over `LAGRBIN1` is on the *read* side: a load memory-maps the
+//! file and publishes the sections zero-copy, so a service replica
+//! starts in O(1) in the edge count instead of paying a full parse and
+//! assembly, and the in-memory footprint equals the compressed file
+//! size. Truncated or type-mismatched files are rejected from the
+//! header alone; `read_lagc(path, true)` also verifies the whole-file
+//! checksum before trusting the mapping.
 
 use std::io::{Read, Write};
+use std::path::Path;
 
 use graphblas::{Error, Index, Matrix, Result, Scalar};
 
@@ -96,6 +111,22 @@ pub fn read_binary<T: Scalar>(mut r: impl Read) -> Result<Matrix<T>> {
     Matrix::import_csr(nrows, ncols, ptr, idx, val)
 }
 
+/// Serialize a matrix into the compressed `.lagc` container. The matrix
+/// is encoded (or its existing compressed form streamed) without being
+/// consumed; values that don't survive the codec's exact `f64`
+/// round-trip are an error rather than a silent loss.
+pub fn write_lagc<T: Scalar>(m: &Matrix<T>, path: &Path) -> Result<()> {
+    m.write_lagc(path).map_err(io_err)
+}
+
+/// Load a `.lagc` container, memory-mapping the heavy sections: O(1) in
+/// the edge count, and the matrix stays in the compressed storage form.
+/// `verify` adds a whole-file checksum pass before the mapping is
+/// trusted (recommended for files that crossed a network).
+pub fn read_lagc<T: Scalar>(path: &Path, verify: bool) -> Result<Matrix<T>> {
+    Matrix::read_lagc(path, verify).map_err(io_err)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +171,34 @@ mod tests {
     fn garbage_rejected() {
         assert!(read_binary::<f64>(&b"not a file"[..]).is_err());
         assert!(read_binary::<f64>(&b"LAGRBIN1\xff\xff\xff\xff\xff\xff\xff\xff"[..]).is_err());
+    }
+
+    #[test]
+    fn lagc_round_trip_preserves_tuples_and_stays_compressed() {
+        let dir = std::env::temp_dir().join(format!("lagc_io_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmpdir");
+        let path = dir.join("roundtrip.lagc");
+        let tuples: Vec<(usize, usize, f64)> =
+            (0..500).map(|k| ((k * 7) % 40, (k * 13) % 60, (k % 9) as f64)).collect();
+        let m = Matrix::from_tuples(40, 60, tuples, |_, b| b).expect("build");
+        write_lagc(&m, &path).expect("write");
+        let back: Matrix<f64> = read_lagc(&path, true).expect("read");
+        assert_eq!(back.extract_tuples(), m.extract_tuples());
+        assert!(back.is_compressed(), "lagc load should publish the compressed form");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lagc_rejects_truncation() {
+        let dir = std::env::temp_dir().join(format!("lagc_io_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmpdir");
+        let path = dir.join("trunc.lagc");
+        let m = Matrix::from_tuples(8, 8, vec![(0, 1, 1.0), (5, 7, 2.0)], |_, b| b).expect("m");
+        write_lagc(&m, &path).expect("write");
+        let bytes = std::fs::read(&path).expect("read back");
+        std::fs::write(&path, &bytes[..bytes.len() - 4]).expect("truncate");
+        assert!(read_lagc::<f64>(&path, false).is_err(), "truncated file must be rejected");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,0 +1,54 @@
+//! Measure the `.lagc` compressed container against the in-memory CSR
+//! footprint for a seeded RMAT graph — the storage-trajectory number CI
+//! prints and archives per commit (DESIGN.md §13).
+//!
+//! Writes the container to the path given as the first argument (default
+//! `lagc_size.lagc`), prints CSR resident bytes, compressed resident
+//! bytes, and the on-disk size, then reloads the file (with checksum
+//! verification) and asserts the round trip preserved the edge count and
+//! stayed in the compressed form.
+//!
+//! Run with: `cargo run --release --example lagc_size -- out.lagc`
+
+use lagraph_suite::lagraph::gen::{rmat_weighted, RmatConfig};
+use lagraph_suite::prelude::*;
+
+fn main() -> graphblas::Result<()> {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "lagc_size.lagc".into());
+    let path = std::path::PathBuf::from(path);
+
+    let cfg = RmatConfig { scale: 12, edge_factor: 8, ..RmatConfig::default() };
+    let a = rmat_weighted(&cfg, 255)?;
+    let nedges = a.nvals();
+    let csr_bytes = a.memory_usage().total();
+
+    let ioe = |e: std::io::Error| graphblas::Error::invalid(format!("{}: {e}", path.display()));
+    a.write_lagc(&path).map_err(ioe)?;
+    let disk = std::fs::metadata(&path).map_err(ioe)?.len();
+
+    let back: Matrix<f64> = Matrix::read_lagc(&path, true).map_err(ioe)?;
+    assert!(back.is_compressed(), "lagc load must publish the compressed form");
+    assert_eq!(back.nvals(), nedges, "round trip changed the edge count");
+    let compressed_bytes = back.memory_usage().total();
+
+    println!("rmat scale {} (|E| = {nedges})", cfg.scale);
+    println!(
+        "  csr resident        {csr_bytes:>10} bytes  ({:.2} bytes/edge)",
+        csr_bytes as f64 / nedges as f64
+    );
+    println!(
+        "  compressed resident {compressed_bytes:>10} bytes  ({:.2} bytes/edge)",
+        compressed_bytes as f64 / nedges as f64
+    );
+    println!(
+        "  .lagc on disk       {disk:>10} bytes  ({:.2} bytes/edge) -> {}",
+        disk as f64 / nedges as f64,
+        path.display()
+    );
+    println!(
+        "  ratio: compressed/csr = {:.2}x resident, {:.2}x on disk",
+        compressed_bytes as f64 / csr_bytes as f64,
+        disk as f64 / csr_bytes as f64
+    );
+    Ok(())
+}

@@ -16,6 +16,8 @@ use graphblas::ops::*;
 use graphblas::parallel::{set_par_threshold, set_threads};
 use graphblas::semiring::{ANY_SECOND, LOR_LAND, MIN_PLUS, PLUS_PAIR, PLUS_TIMES};
 use graphblas::{Matrix, MxmMethod, Vector};
+use lagraph::algorithms::{triangle_count, TriCountMethod};
+use lagraph::{Graph, GraphKind};
 use proptest::prelude::*;
 use std::sync::Mutex;
 
@@ -179,6 +181,90 @@ proptest! {
                 out
             });
         }
+    }
+
+    #[test]
+    fn compressed_storage_matches_csr_products(at in arb_mat_tuples(), bt in arb_mat_tuples(),
+                                               ut in arb_vec_tuples(), mt in arb_mat_tuples(),
+                                               vt in arb_vec_tuples()) {
+        // The gap-encoded compressed form is a pure storage feature: the
+        // decode-cursor kernels must be bit-identical to the CSR path in
+        // every product method, under every mask mode, at 1 and 8
+        // threads. Each leg computes the same product twice — once with
+        // both operands CSR, once with both compressed — and the results
+        // are compared inside the leg, while the outer driver also
+        // cross-checks every leg against the first.
+        let compress = |t: &[(usize, usize, i64)]| {
+            let mut m = mat(t);
+            m.set_compressed(true);
+            assert!(m.is_compressed() || m.nvals() == 0, "flagged matrix must compress");
+            m
+        };
+        for method in [MxmMethod::Gustavson, MxmMethod::Dot, MxmMethod::Heap] {
+            assert_paths_equivalent(Descriptor::new().method(method), |desc| {
+                let (a, b) = (mat(&at), mat(&bt));
+                let (ac, bc) = (compress(&at), compress(&bt));
+                let mask = mat(&mt).pattern();
+                let mut out: Vec<Vec<(usize, usize, i64)>> = Vec::new();
+                for (masked, d) in mask_descs(*desc) {
+                    let m = masked.map(|()| &mask);
+                    let mut c = Matrix::<i64>::new(N, N).expect("c");
+                    mxm(&mut c, m, NOACC, &PLUS_TIMES, &a, &b, &d).expect("csr mxm");
+                    let mut cc = Matrix::<i64>::new(N, N).expect("cc");
+                    mxm(&mut cc, m, NOACC, &PLUS_TIMES, &ac, &bc, &d).expect("compressed mxm");
+                    assert_eq!(c.extract_tuples(), cc.extract_tuples(), "mxm {method:?}");
+                    out.push(cc.extract_tuples());
+                }
+                out
+            });
+        }
+        use graphblas::descriptor::Direction;
+        for dir in [Direction::Push, Direction::Pull] {
+            assert_paths_equivalent(Descriptor::new().direction(dir), |desc| {
+                let mut a = mat(&at);
+                a.set_dual_storage(true);
+                let mut ac = mat(&at);
+                ac.set_dual_storage(true);
+                ac.set_compressed(true);
+                let u = vec_of(&ut);
+                let mask = vec_of(&vt).pattern();
+                let mut out: Vec<Vec<(usize, i64)>> = Vec::new();
+                for (masked, d) in mask_descs(*desc) {
+                    let m = masked.map(|()| &mask);
+                    let mut w = Vector::<i64>::new(N).expect("w");
+                    mxv(&mut w, m, NOACC, &MIN_PLUS, &a, &u, &d).expect("csr mxv");
+                    let mut wc = Vector::<i64>::new(N).expect("wc");
+                    mxv(&mut wc, m, NOACC, &MIN_PLUS, &ac, &u, &d).expect("compressed mxv");
+                    assert_eq!(w.extract_tuples(), wc.extract_tuples(), "mxv {dir:?}");
+                    out.push(wc.extract_tuples());
+                }
+                out
+            });
+        }
+    }
+
+    #[test]
+    fn compressed_storage_matches_csr_tricount(at in arb_mat_tuples()) {
+        // All three tricount formulations over an undirected simple graph,
+        // CSR vs compressed adjacency (the compressed flag flows into the
+        // cached structure matrix), at 1 and 8 threads.
+        let edges: Vec<(usize, usize)> = at.iter()
+            .filter(|(i, j, _)| i != j)
+            .map(|&(i, j, _)| (i.min(j), i.max(j)))
+            .collect();
+        assert_paths_equivalent(Descriptor::new(), |_desc| {
+            let g = Graph::from_edges(N, &edges, GraphKind::Undirected).expect("graph");
+            let mut gc = Graph::from_edges(N, &edges, GraphKind::Undirected).expect("graph");
+            gc.set_compressed(true);
+            let mut counts = Vec::new();
+            for m in [TriCountMethod::Burkhardt, TriCountMethod::Cohen, TriCountMethod::Sandia] {
+                let plain = triangle_count(&g, m).expect("csr tricount");
+                let comp = triangle_count(&gc, m).expect("compressed tricount");
+                assert_eq!(plain, comp, "{m:?} diverged on compressed storage");
+                counts.push(comp);
+            }
+            counts
+        });
     }
 
     #[test]
