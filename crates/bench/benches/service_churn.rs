@@ -11,8 +11,17 @@
 //! Custom harness (criterion's model fits closed-loop microbenches, not
 //! an open system with background threads). `SERVICE_CHURN_SECS` bounds
 //! each measured phase; CI smoke sets it to 1.
+//!
+//! **Closed-loop mode** (`SERVICE_CHURN_CLOSED=<threads>`): instead of
+//! the two-phase experiment, N query threads issue BFS-level queries
+//! back-to-back through the *admission layer* (so concurrent queries
+//! batch into multi-source traversals) while writers churn the log, and
+//! the run reports sustained qps plus p50/p95/p99 latency — the SLO
+//! numbers a sharded deployment is sized by. `SERVICE_CHURN_SHARDS`
+//! sets the shard count and `SERVICE_CHURN_OUT=<path>` writes the
+//! results as a JSON artifact for CI trend lines.
 
-use lagraph::service::{GraphService, ServiceConfig};
+use lagraph::service::{GraphService, Query, ServiceConfig};
 use lagraph::{bfs_level, pagerank, triangle_count, PageRankOptions, TriCountMethod};
 use lagraph_bench::rmat_graph;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
@@ -68,6 +77,130 @@ fn measure(service: &GraphService, secs: u64) -> [Vec<Duration>; 3] {
     out
 }
 
+/// Spawn `writers` churn threads against the service; returns the stop
+/// flag, the accepted-update counter, and the join handles.
+fn spawn_writers(
+    service: &Arc<GraphService>,
+    writers: usize,
+    n: usize,
+) -> (Arc<AtomicBool>, Arc<AtomicU64>, Vec<std::thread::JoinHandle<()>>) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let writes = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..writers)
+        .map(|t| {
+            let service = Arc::clone(service);
+            let stop = Arc::clone(&stop);
+            let writes = Arc::clone(&writes);
+            std::thread::spawn(move || {
+                let mut state = (t as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+                let mut local = 0u64;
+                while !stop.load(Relaxed) {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let i = state as usize % n;
+                    let j = (state >> 32) as usize % n;
+                    let r = if state.is_multiple_of(8) {
+                        service.delete_edge(i, j)
+                    } else {
+                        service.insert_edge(i, j, 1.0)
+                    };
+                    if r.is_ok() {
+                        local += 1;
+                    }
+                }
+                writes.fetch_add(local, Relaxed);
+            })
+        })
+        .collect();
+    (stop, writes, handles)
+}
+
+/// Closed-loop SLO mode: `threads` query threads running admitted
+/// BFS-level queries back-to-back under writer churn. Reports qps and
+/// latency percentiles; optionally writes a JSON artifact.
+fn run_closed_loop(service: Arc<GraphService>, threads: usize, secs: u64, shards: usize) {
+    let n = service.snapshot().graph().nvertices();
+    let (stop, writes, writer_handles) = spawn_writers(&service, 4, n);
+
+    let epoch0 = service.snapshot().epoch();
+    let start = Instant::now();
+    let deadline = start + Duration::from_secs(secs);
+    let mut samples: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let service = &service;
+                scope.spawn(move || {
+                    let mut state = (t as u64).wrapping_mul(0x2545_f491_4f6c_dd1d) | 1;
+                    let mut local = Vec::new();
+                    while Instant::now() < deadline {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        let source = state as usize % n;
+                        let t0 = Instant::now();
+                        service.query(Query::bfs_level(source)).expect("query");
+                        local.push(t0.elapsed());
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("query thread")).collect()
+    });
+    let wall = start.elapsed();
+    stop.store(true, Relaxed);
+    for w in writer_handles {
+        w.join().expect("writer");
+    }
+
+    let queries = samples.len() as u64;
+    let qps = queries as f64 / wall.as_secs_f64();
+    samples.sort();
+    let (p50, p95, p99) =
+        (percentile(&samples, 0.50), percentile(&samples, 0.95), percentile(&samples, 0.99));
+    let stats = service.stats();
+    let adm = service.admission_stats();
+    let epochs = stats.epoch - epoch0;
+    println!(
+        "closed-loop shards={shards} threads={threads}: {queries} queries in {wall:.2?} \
+         ({qps:.0} qps) p50={p50:.3?} p95={p95:.3?} p99={p99:.3?}"
+    );
+    println!(
+        "closed-loop load: {} updates ({} epochs), admission batches={} batched_queries={} \
+         cache hit/miss={}/{}",
+        writes.load(Relaxed),
+        epochs,
+        adm.batches,
+        adm.batched_queries,
+        adm.cache_hits,
+        adm.cache_misses,
+    );
+
+    if let Ok(path) = std::env::var("SERVICE_CHURN_OUT") {
+        // Hand-rolled JSON (no serde in the bench tree): flat scalar
+        // fields only, stable key order for easy diffing in CI.
+        let json = format!(
+            "{{\n  \"bench\": \"service_churn\",\n  \"mode\": \"closed-loop\",\n  \
+             \"shards\": {shards},\n  \"threads\": {threads},\n  \"secs\": {secs},\n  \
+             \"queries\": {queries},\n  \"qps\": {qps:.1},\n  \"p50_us\": {},\n  \
+             \"p95_us\": {},\n  \"p99_us\": {},\n  \"updates\": {},\n  \"epochs\": {epochs},\n  \
+             \"batches\": {},\n  \"batched_queries\": {},\n  \"cache_hits\": {},\n  \
+             \"cache_misses\": {}\n}}\n",
+            p50.as_micros(),
+            p95.as_micros(),
+            p99.as_micros(),
+            writes.load(Relaxed),
+            adm.batches,
+            adm.batched_queries,
+            adm.cache_hits,
+            adm.cache_misses,
+        );
+        std::fs::write(&path, json).expect("write SERVICE_CHURN_OUT artifact");
+        println!("closed-loop: wrote {path}");
+    }
+}
+
 fn main() {
     let secs: u64 =
         std::env::var("SERVICE_CHURN_SECS").ok().and_then(|v| v.parse().ok()).unwrap_or(4);
@@ -77,7 +210,22 @@ fn main() {
     let n = graph.nvertices();
     println!("service_churn: rmat scale={scale} n={n} e={} phase={secs}s", graph.nedges());
 
-    let service = Arc::new(GraphService::new(graph, ServiceConfig::default()).expect("service"));
+    // Shard count: SERVICE_CHURN_SHARDS wins, then the service-level
+    // LAGRAPH_SERVICE_* env knobs, then the config default.
+    let mut config = ServiceConfig::from_env();
+    if let Some(s) = std::env::var("SERVICE_CHURN_SHARDS").ok().and_then(|v| v.parse().ok()) {
+        config.shards = std::cmp::max(1, s);
+    }
+    let shards = config.shards;
+
+    let service = Arc::new(GraphService::new(graph, config).expect("service"));
+
+    if let Some(threads) =
+        std::env::var("SERVICE_CHURN_CLOSED").ok().and_then(|v| v.parse::<usize>().ok())
+    {
+        run_closed_loop(service, threads.max(1), secs, shards);
+        return;
+    }
 
     // Phase 1: quiescent baseline.
     let mut base = measure(&service, secs);

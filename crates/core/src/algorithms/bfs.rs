@@ -6,6 +6,10 @@
 //!   pseudocode (`frontier⟨¬levels, replace⟩ = graphᵀ ⊕.⊗ frontier` over
 //!   the logical semiring).
 //! * [`bfs_parent`] — parent-pointer BFS using the `ANY_SECOND` semiring.
+//! * [`bfs_level_batch`] — multi-source BFS: k searches advance together
+//!   as one masked `mxm` over a k×n frontier *matrix* per level
+//!   (GraphBLAST's batched-traversal trick); the serving layer's query
+//!   admission folds concurrent BFS queries into this kernel.
 //! * [`bfs_level_direction`] — the direction-optimized (push/pull) BFS of
 //!   Beamer et al. that §II.A and §II.E describe, with an explicit
 //!   [`Direction`] override for the benchmark harness.
@@ -96,6 +100,83 @@ pub fn bfs_level_matrix(
     }
     algo.arg("depth", depth as u64);
     Ok(levels)
+}
+
+/// Multi-source level BFS: one traversal for a whole batch of sources.
+///
+/// The k frontiers ride in one k×n Boolean *frontier matrix* (row k is
+/// source k's frontier), so every level of every search advances with a
+/// **single masked `mxm`** — GraphBLAST's batched-traversal formulation,
+/// and the kernel the service admission layer folds k concurrent BFS
+/// queries into. Row `k` of the result is bit-identical to
+/// `bfs_level(graph, sources[k])`: levels are depths, which no kernel
+/// schedule can perturb.
+///
+/// Duplicate sources are allowed (their rows are computed independently
+/// and come out equal); an out-of-bounds source fails the whole batch.
+pub fn bfs_level_batch(graph: &Graph, sources: &[Index]) -> Result<Vec<Vector<i32>>> {
+    let a = graph.structure()?;
+    bfs_level_batch_matrix(&a, sources)
+}
+
+/// [`bfs_level_batch`] over any Boolean adjacency matrix.
+pub fn bfs_level_batch_matrix(a: &Matrix<bool>, sources: &[Index]) -> Result<Vec<Vector<i32>>> {
+    let n = a.nrows();
+    for &s in sources {
+        if s >= n {
+            return Err(Error::oob(s, n));
+        }
+    }
+    let k = sources.len();
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    let mut algo = trace::algo_span("bfs.batch");
+    algo.arg("n", n);
+    algo.arg("sources", k);
+    // levels: k×n, row k holds source k's depth labeling.
+    let mut levels = Matrix::<i32>::new(k, n)?;
+    let mut frontier = Matrix::<bool>::new(k, n)?;
+    for (row, &s) in sources.iter().enumerate() {
+        frontier.set_element(row, s, true)?;
+    }
+    let mut depth = 0;
+    while frontier.nvals() > 0 {
+        depth += 1;
+        let mut iter = trace::iter_span("bfs.iter", depth as u64);
+        iter.arg("frontier_nnz", frontier.nvals());
+        // levels<frontier> = depth, for every search at once.
+        assign_matrix_scalar(
+            &mut levels,
+            Some(&frontier),
+            NOACC,
+            depth,
+            &IndexSel::All,
+            &IndexSel::All,
+            &Descriptor::new().structural(),
+        )?;
+        // frontier<¬levels,replace> = frontier ⊕.⊗ graph — one mxm
+        // advances all k frontiers (A is applied on the right, so no
+        // transpose is needed: row k stays search k).
+        let visited = levels.pattern();
+        let q = std::mem::replace(&mut frontier, Matrix::new(k, n)?);
+        mxm(
+            &mut frontier,
+            Some(&visited),
+            NOACC,
+            &LOR_LAND,
+            &q,
+            a,
+            &Descriptor::new().complement().structural().replace(),
+        )?;
+    }
+    algo.arg("depth", depth as u64);
+    // Unbundle the rows into per-source level vectors.
+    let mut rows: Vec<Vec<(Index, i32)>> = vec![Vec::new(); k];
+    for (row, v, l) in levels.iter() {
+        rows[row].push((v, l));
+    }
+    rows.into_iter().map(|tuples| Vector::from_tuples(n, tuples, |_, b| b)).collect()
 }
 
 /// Parent BFS: returns `parents(v) = u` where `u` is the vertex that
@@ -213,6 +294,38 @@ mod tests {
             assert!(g.a().get(p as Index, v).is_some(), "parent edge exists");
         }
         assert_eq!(parents.get(5), None);
+    }
+
+    #[test]
+    fn batch_rows_match_single_source_runs() {
+        let g = path_graph();
+        let sources = [0, 2, 4, 5, 0]; // includes an isolated vertex + a duplicate
+        let batch = bfs_level_batch(&g, &sources).expect("batch");
+        assert_eq!(batch.len(), sources.len());
+        for (row, &s) in sources.iter().enumerate() {
+            let single = bfs_level(&g, s).expect("single");
+            assert_eq!(
+                batch[row].extract_tuples(),
+                single.extract_tuples(),
+                "source {s} diverged from the single-source oracle"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_on_directed_graph() {
+        let g =
+            Graph::from_edges(4, &[(0, 1), (1, 2), (3, 0)], GraphKind::Directed).expect("graph");
+        let batch = bfs_level_batch(&g, &[0, 3]).expect("batch");
+        assert_eq!(batch[0].extract_tuples(), vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(batch[1].extract_tuples(), vec![(0, 2), (1, 3), (2, 4), (3, 1)]);
+    }
+
+    #[test]
+    fn batch_edge_cases() {
+        let g = path_graph();
+        assert!(bfs_level_batch(&g, &[]).expect("empty").is_empty());
+        assert!(bfs_level_batch(&g, &[0, 6]).is_err(), "oob source fails the batch");
     }
 
     #[test]

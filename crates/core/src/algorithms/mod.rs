@@ -28,7 +28,10 @@ pub mod tricount;
 pub use apsp::apsp;
 pub use astar::astar;
 pub use bc::betweenness_centrality;
-pub use bfs::{bfs_level, bfs_level_direction, bfs_level_matrix, bfs_parent};
+pub use bfs::{
+    bfs_level, bfs_level_batch, bfs_level_batch_matrix, bfs_level_direction, bfs_level_matrix,
+    bfs_parent,
+};
 pub use cc::{component_count, connected_components};
 pub use cdlp::cdlp;
 pub use coloring::{greedy_color, verify_coloring};

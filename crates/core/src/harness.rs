@@ -57,6 +57,28 @@ pub fn verify_bfs_levels(graph: &Graph, source: Index, levels: &Vector<i32>) -> 
     Ok(true)
 }
 
+/// Check a batch of BFS level vectors against their sources: one
+/// [`verify_bfs_levels`] pass per (source, levels) pair, plus the batch
+/// shape invariant (one result row per source). This is the validator
+/// the admission-layer tests run over [`crate::bfs_level_batch`] output,
+/// so a batched multi-source traversal is held to exactly the per-source
+/// properties a single-source run is.
+pub fn verify_bfs_levels_batch(
+    graph: &Graph,
+    sources: &[Index],
+    levels: &[Vector<i32>],
+) -> Result<bool> {
+    if sources.len() != levels.len() {
+        return Ok(false);
+    }
+    for (&s, l) in sources.iter().zip(levels) {
+        if !verify_bfs_levels(graph, s, l)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
 /// Check SSSP distances from `source` (non-negative weights): the source
 /// is 0; every distance is realized by some in-edge (consistency); and no
 /// edge can relax further (optimality): `dist(v) ≤ dist(u) + w(u,v)` for
@@ -242,6 +264,19 @@ mod tests {
         let mut levels = bfs_level(&g, 0).expect("bfs");
         levels.set_element(0, 5).expect("set");
         assert!(!verify_bfs_levels(&g, 0, &levels).expect("verify"));
+    }
+
+    #[test]
+    fn bfs_batch_output_validates() {
+        let g = sample();
+        let sources = [0, 4, 6];
+        let batch = bfs_level_batch(&g, &sources).expect("batch");
+        assert!(verify_bfs_levels_batch(&g, &sources, &batch).expect("verify"));
+        // Shape mismatch and a corrupted row must both fail.
+        assert!(!verify_bfs_levels_batch(&g, &sources[..2], &batch).expect("verify"));
+        let mut bad = batch.clone();
+        bad[1].set_element(5, 9).expect("set");
+        assert!(!verify_bfs_levels_batch(&g, &sources, &bad).expect("verify"));
     }
 
     #[test]

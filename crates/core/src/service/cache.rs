@@ -1,0 +1,147 @@
+//! The epoch-keyed query result cache behind the admission layer.
+//!
+//! Results are keyed on `(snapshot epoch, canonicalized query)` — the
+//! epoch is part of the key *and* the whole cache is cleared the moment
+//! a lookup observes a newer epoch, so a result computed against epoch
+//! `e` is structurally unservable once the service has published
+//! `e + 1`: stale entries are unreachable (key mismatch) and reclaimed
+//! eagerly (the clear), rather than lingering until capacity eviction.
+//!
+//! Canonicalization happens in the [`Query`]
+//! constructors (e.g. PageRank float options are normalized to bit
+//! patterns), so two textually different but semantically identical
+//! queries share one cache line.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+use super::admission::{Query, QueryResult};
+
+/// A bounded, epoch-invalidated query result cache. FIFO eviction at
+/// `capacity`; every result is an `Arc`-backed [`QueryResult`], so a hit
+/// is one clone, never a recompute.
+#[derive(Debug)]
+pub struct QueryCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// The epoch every cached entry was computed against.
+    epoch: u64,
+    map: HashMap<Query, QueryResult>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<Query>,
+}
+
+impl QueryCache {
+    /// A cache holding at most `capacity` results (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        QueryCache { capacity, inner: Mutex::new(Inner::default()) }
+    }
+
+    /// Look up `query` as of `epoch`. Observing an epoch different from
+    /// the cached generation clears the cache first — a result is never
+    /// served across epochs, in either direction.
+    pub fn get(&self, epoch: u64, query: &Query) -> Option<QueryResult> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.epoch != epoch {
+            inner.map.clear();
+            inner.order.clear();
+            inner.epoch = epoch;
+            return None;
+        }
+        inner.map.get(query).cloned()
+    }
+
+    /// Store a result computed against `epoch`'s snapshot. Ignored when
+    /// the cache has already moved to a newer epoch (a slow query must
+    /// not resurrect an old generation).
+    pub fn insert(&self, epoch: u64, query: Query, result: QueryResult) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.epoch != epoch {
+            if inner.epoch > epoch {
+                return; // stale result from a superseded epoch
+            }
+            inner.map.clear();
+            inner.order.clear();
+            inner.epoch = epoch;
+        }
+        if inner.map.insert(query, result).is_none() {
+            inner.order.push_back(query);
+            while inner.order.len() > self.capacity {
+                if let Some(evicted) = inner.order.pop_front() {
+                    inner.map.remove(&evicted);
+                }
+            }
+        }
+    }
+
+    /// Number of live entries (current epoch only).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).map.len()
+    }
+
+    /// True when no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::admission::QueryResult;
+
+    fn count(n: u64) -> QueryResult {
+        QueryResult::Count(n)
+    }
+
+    #[test]
+    fn hit_within_epoch_miss_across() {
+        let c = QueryCache::new(8);
+        let q = Query::triangle_count();
+        assert!(c.get(1, &q).is_none());
+        c.insert(1, q, count(7));
+        assert!(matches!(c.get(1, &q), Some(QueryResult::Count(7))));
+        // Epoch advance: the same query misses and the cache is empty.
+        assert!(c.get(2, &q).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn stale_epoch_results_are_dropped() {
+        let c = QueryCache::new(8);
+        let q = Query::bfs_level(3);
+        c.insert(5, q, count(1));
+        // A laggard finishing against epoch 4 must not overwrite epoch 5.
+        c.insert(4, Query::bfs_level(9), count(2));
+        assert!(c.get(5, &q).is_some());
+        assert!(c.get(5, &Query::bfs_level(9)).is_none());
+    }
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        let c = QueryCache::new(2);
+        c.insert(1, Query::bfs_level(0), count(0));
+        c.insert(1, Query::bfs_level(1), count(1));
+        c.insert(1, Query::bfs_level(2), count(2));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(1, &Query::bfs_level(0)).is_none(), "oldest evicted");
+        assert!(c.get(1, &Query::bfs_level(2)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let c = QueryCache::new(0);
+        c.insert(1, Query::triangle_count(), count(1));
+        assert!(c.get(1, &Query::triangle_count()).is_none());
+    }
+}

@@ -1,5 +1,5 @@
 //! Concurrent graph serving: snapshot-isolated queries over a live
-//! stream of edge updates.
+//! stream of edge updates, scaled out across shards.
 //!
 //! The paper's incremental-update machinery (§II.A pending tuples and
 //! zombies) makes a stream of `e` `set_element` calls as cheap as one
@@ -11,61 +11,82 @@
 //! # Architecture
 //!
 //! ```text
-//!  writers ──▶ sharded bounded update log ──▶ drainer thread
-//!              (block / coalesce / reject)       │ set_element / remove_element
-//!                                                ▼
-//!                                  master matrix (pending tuples, zombies)
-//!                                                │ wait() = one amortized
-//!                                                │ assembly on the par_chunks pool
-//!                                                ▼
+//!  queries ──▶ admission layer ──────────────┐
+//!              batch · cache · dedup · shed  │ k queued BFS sources →
+//!                                            │ one k×n multi-source BFS
+//!                                            ▼
 //!  readers ◀── Arc-swapped epoch snapshot ◀── publish Graph(epoch e)
+//!                                            ▲
+//!                              combine shard sub-matrices (disjoint ∪)
+//!                                            │ barrier: all shards at e
+//!              ┌── shard 0 drainer ──▶ sub-matrix 0 (pending, zombies)
+//!  epoch ──────┤── shard 1 drainer ──▶ sub-matrix 1       ⋮
+//!  coordinator └── shard S-1 drainer ▶ sub-matrix S-1
+//!                   ▲ replay own slice of the update log
+//!  writers ──▶ per-shard bounded queues, routed by [`Partitioner`]
+//!              (block / coalesce / reject)
 //! ```
 //!
 //! * **Writers** call [`GraphService::insert_edge`] / [`delete_edge`]
-//!   (or [`submit`] with an explicit [`Update`]). Updates land in a
-//!   sharded, bounded in-memory log; when a shard is full the configured
+//!   (or [`submit`] with an explicit [`Update`]). A [`Partitioner`] —
+//!   row-block by default, 2D/hypersparse or hashed on request — routes
+//!   each update to the shard owning its (canonicalized) edge key; when
+//!   that shard's bounded queue is full the configured
 //!   [`BackpressurePolicy`] decides whether the writer blocks, coalesces
 //!   against a queued update to the same edge, or is rejected.
-//! * **The drainer** (one background thread) swaps whole shard queues
-//!   out, replays them into a private *master* matrix through the
-//!   deferred-update entry points — insertions become pending tuples,
-//!   deletions become zombies — and resolves the entire batch with a
-//!   single assembly, which runs parallel on the `par_chunks` pool. One
-//!   drain = one **epoch**.
-//! * **Readers** call [`GraphService::snapshot`] and get an
-//!   [`Arc<Snapshot>`]: an immutable, fully-assembled [`Graph`] tagged
-//!   with the epoch that produced it. Queries never block behind
-//!   assembly (the master matrix and its lock are private to the
-//!   drainer) and never observe a torn batch — a snapshot is published
-//!   only after its assembly completed. Cached properties (transpose,
-//!   structure, degrees) are per-snapshot, so they are computed at most
-//!   once per epoch and never go stale.
+//! * **The epoch coordinator** cuts a consistent batch across *all*
+//!   shard queues at once and fans it out to one **drainer thread per
+//!   shard**, each replaying its slice into a private sub-matrix through
+//!   the deferred-update entry points — insertions become pending
+//!   tuples, deletions become zombies — and resolving its batch with a
+//!   single assembly on the `par_chunks` pool. A barrier holds until
+//!   every shard reaches the epoch; the disjoint sub-matrices are then
+//!   unioned and published. One coordinated drain = one **epoch**; a
+//!   snapshot never mixes shards from different epochs.
+//! * **Readers** call [`GraphService::snapshot`] for raw access, or
+//!   better, [`GraphService::query`]: the admission layer batches
+//!   concurrent same-algorithm queries (k queued BFS sources run as one
+//!   k×n frontier-matrix traversal), serves repeats from an epoch-keyed
+//!   result cache, deduplicates identical in-flight queries, and sheds
+//!   load under the service's backpressure policy. Queries never block
+//!   behind assembly and never observe a torn batch.
 //!
 //! [`submit`]: GraphService::submit
 //! [`delete_edge`]: GraphService::delete_edge
 //!
+//! # Failure semantics
+//!
+//! A shard drainer that panics mid-replay *fails the service* instead of
+//! hanging it: the panic is caught, the coordinator stops publishing,
+//! and every subsequent [`submit`], [`flush`](GraphService::flush), or
+//! [`query`](GraphService::query) returns
+//! [`ServiceError::DrainerFailed`] carrying the shard and panic message.
+//! The last successfully published snapshot remains available through
+//! [`snapshot`](GraphService::snapshot) for draining reads. See
+//! `docs/SERVING.md` for the operational playbook.
+//!
 //! # Observability
 //!
 //! Every epoch opens a `service.epoch` span ([`graphblas::trace`],
-//! category `service`) tagged with the epoch number, batch size, the
-//! pending-tuple/zombie backlog the assembly resolved, and the queue
-//! depth left behind; rejected and coalesced writes emit
-//! `service.reject` / counter updates. `GRAPHBLAS_TRACE=burble` narrates
-//! the serving loop live.
+//! category `service`) tagged with the epoch number, batch size, shard
+//! count, and the pending-tuple/zombie backlog the assemblies resolved;
+//! each batched query execution opens a `service.batch` span tagged with
+//! its width and epoch. `GRAPHBLAS_TRACE=burble` narrates the serving
+//! loop live.
 //!
 //! For *live* visibility the service also feeds [`graphblas::metrics`]:
-//! per-shard queue-depth gauges, update counters by outcome,
-//! backpressure events by policy, batch-size histograms, epoch counters,
-//! pending/zombie high-water marks, epoch lag (seconds since the served
-//! snapshot was published), and resident-bytes gauges for the master
-//! matrix and the served snapshot. Set `GRAPHBLAS_METRICS_ADDR` to
-//! scrape them from a running replica (`examples/metrics_service.rs`
-//! shows the whole loop).
+//! per-shard queue-depth gauges and processed counters, update counters
+//! by outcome, backpressure events by policy, batch-size and
+//! batch-width histograms, query counters by algorithm, cache hit/miss
+//! counters, query latency, epoch counters, pending/zombie high-water
+//! marks, epoch lag, and resident-bytes gauges. Set
+//! `GRAPHBLAS_METRICS_ADDR` to scrape them from a running replica
+//! (`examples/metrics_service.rs` shows the whole loop).
 //!
 //! # Example
 //!
 //! ```
-//! use lagraph::service::{GraphService, ServiceConfig};
+//! use lagraph::service::{GraphService, Query, ServiceConfig};
 //! use lagraph::{bfs_level, Graph, GraphKind};
 //!
 //! let g = Graph::from_edges(64, &[(0, 1), (1, 2)], GraphKind::Undirected)?;
@@ -79,16 +100,31 @@
 //! let snap = service.flush()?;
 //! assert!(snap.epoch() >= 1);
 //!
-//! // Reader side: queries run against the immutable snapshot.
+//! // Reader side, raw: queries run against the immutable snapshot.
 //! let levels = bfs_level(snap.graph(), 0)?;
 //! assert_eq!(levels.get(4), Some(5)); // 0-1-2-3-4 after the flush
+//!
+//! // Reader side, admitted: batched, cached, deduplicated.
+//! let result = service.query(Query::bfs_level(0))?;
+//! assert_eq!(result.levels().unwrap().get(4), Some(5));
 //! # Ok::<(), lagraph::service::ServiceError>(())
 //! ```
 
+pub mod admission;
+pub mod cache;
+pub mod partition;
+
+mod drainer;
+
+pub use admission::{AdmissionConfig, AdmissionStats, Query, QueryResult};
+pub use cache::QueryCache;
+pub use partition::{EdgeHash, Grid2D, Partitioner, RowBlock};
+
 use crate::graph::{Graph, GraphKind};
+use admission::Admission;
 use graphblas::metrics;
 use graphblas::trace::{self, ArgValue};
-use graphblas::{Error as GrbError, Index, Matrix};
+use graphblas::{Error as GrbError, Index};
 use parking_lot::RwLock;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed, Ordering::SeqCst};
@@ -134,27 +170,41 @@ pub enum BackpressurePolicy {
 }
 
 /// Tuning knobs for [`GraphService`]. `Default` is sized for tests and
-/// moderate churn; serving deployments mostly tune `queue_capacity` and
-/// the [`BackpressurePolicy`].
+/// moderate churn; serving deployments mostly tune `shards`,
+/// `queue_capacity`, and the [`BackpressurePolicy`].
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
-    /// Number of update-log shards; writers hash edges across them so
-    /// concurrent writers rarely contend on one lock. Clamped to ≥ 1.
+    /// Number of shards: per-shard update queues, drainer threads, and
+    /// graph sub-matrices. Routing defaults to a [`RowBlock`]
+    /// partitioner over this many shards; ignored when `partitioner` is
+    /// set (the partitioner's own shard count wins). Clamped to ≥ 1.
     pub shards: usize,
     /// Per-shard queue bound. A full shard triggers the backpressure
     /// policy, so `shards × queue_capacity` bounds service memory.
     pub queue_capacity: usize,
     /// The full-queue policy.
     pub policy: BackpressurePolicy,
-    /// Upper bound on updates replayed per epoch; a deeper backlog is
-    /// split across consecutive epochs so snapshot latency stays bounded.
+    /// Upper bound on updates replayed per epoch (summed across
+    /// shards); a deeper backlog is split across consecutive epochs so
+    /// snapshot latency stays bounded.
     pub max_batch: usize,
-    /// Keep the drainer's master matrix (and therefore every published
+    /// Keep the shard sub-matrices (and therefore every published
     /// snapshot) in the compressed storage form: each epoch's assembly
-    /// re-encodes it on the parallel pool. Cuts resident bytes roughly
+    /// re-encodes them on the parallel pool. Cuts resident bytes roughly
     /// in half on power-law graphs for a modest re-encode cost per
     /// epoch. Implied when the initial graph was loaded from `.lagc`.
     pub compressed: bool,
+    /// The edge-to-shard routing policy. `None` (the default) builds a
+    /// [`RowBlock`] over `shards`; set to a [`Grid2D`] for the
+    /// 2D/hypersparse decomposition or [`EdgeHash`] for skew-proof
+    /// hashing.
+    pub partitioner: Option<Arc<dyn Partitioner>>,
+    /// Query-admission tuning (batch window, batch width, cache size).
+    pub admission: AdmissionConfig,
+    /// Test failpoint: shard 0's drainer panics when it is asked to
+    /// drain this epoch, exercising the failure path end to end.
+    #[doc(hidden)]
+    pub fail_epoch: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -165,7 +215,25 @@ impl Default for ServiceConfig {
             policy: BackpressurePolicy::Block,
             max_batch: 1 << 20,
             compressed: false,
+            partitioner: None,
+            admission: AdmissionConfig::default(),
+            fail_epoch: None,
         }
+    }
+}
+
+impl ServiceConfig {
+    /// Defaults overridden from the environment:
+    /// `LAGRAPH_SERVICE_SHARDS` sets the shard count, and the admission
+    /// knobs come from [`AdmissionConfig::from_env`]. Malformed values
+    /// warn once and fall back to the default.
+    pub fn from_env() -> Self {
+        let mut c = ServiceConfig::default();
+        if let Some(s) = env_parse::<usize>("LAGRAPH_SERVICE_SHARDS") {
+            c.shards = s.max(1);
+        }
+        c.admission = AdmissionConfig::from_env();
+        c
     }
 }
 
@@ -182,6 +250,15 @@ pub enum ServiceError {
     },
     /// The service is shutting down and no longer accepts updates.
     ShutDown,
+    /// A shard drainer panicked. The service stops ingesting (writes and
+    /// queries error instead of hanging on an epoch that will never
+    /// arrive); the last published snapshot keeps serving raw reads.
+    DrainerFailed {
+        /// The shard whose drainer died.
+        shard: usize,
+        /// The panic message, for the post-mortem.
+        message: String,
+    },
     /// An underlying GraphBLAS operation failed (bad index, bad
     /// dimensions); carries the typed [`graphblas::Error`].
     Graph(GrbError),
@@ -194,6 +271,9 @@ impl std::fmt::Display for ServiceError {
                 write!(f, "update queue full ({depth} queued): submission rejected")
             }
             ServiceError::ShutDown => write!(f, "graph service is shut down"),
+            ServiceError::DrainerFailed { shard, message } => {
+                write!(f, "shard {shard} drainer failed: {message}")
+            }
             ServiceError::Graph(e) => write!(f, "graph error: {e}"),
         }
     }
@@ -213,9 +293,9 @@ impl From<GrbError> for ServiceError {
 /// concurrent updates or later epochs.
 #[derive(Debug)]
 pub struct Snapshot {
-    epoch: u64,
-    nedges: usize,
-    graph: Arc<Graph>,
+    pub(crate) epoch: u64,
+    pub(crate) nedges: usize,
+    pub(crate) graph: Arc<Graph>,
 }
 
 impl Snapshot {
@@ -248,16 +328,16 @@ impl Snapshot {
 
 /// One update-log shard: a bounded queue plus the condvar writers block
 /// on when it is full.
-struct Shard {
-    queue: Mutex<VecDeque<Update>>,
-    not_full: Condvar,
+pub(crate) struct Shard {
+    pub(crate) queue: Mutex<VecDeque<Update>>,
+    pub(crate) not_full: Condvar,
 }
 
-/// Distinct per-shard queue-depth gauges are capped here; shards beyond
-/// the cap share one `shard="other"` series (cardinality budget).
+/// Distinct per-shard metric series are capped here; shards beyond the
+/// cap share one `shard="other"` series (cardinality budget).
 const SHARD_GAUGE_CAP: usize = 64;
 
-fn now_unix_ns() -> u64 {
+pub(crate) fn now_unix_ns() -> u64 {
     SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_nanos() as u64).unwrap_or(0)
 }
 
@@ -269,36 +349,63 @@ fn policy_label(p: BackpressurePolicy) -> &'static str {
     }
 }
 
+/// Parse an environment knob, warning once (and falling back to the
+/// default) on malformed values.
+pub(crate) fn env_parse<T: std::str::FromStr>(name: &'static str) -> Option<T> {
+    let raw = std::env::var(name).ok()?;
+    match raw.trim().parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            trace::warn_once(name, &format!("ignoring malformed {name}={raw}"));
+            None
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub(crate) fn panic_message(p: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = p.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        "opaque panic payload"
+    }
+}
+
 /// The service's live-metric handles ([`graphblas::metrics`]). The
 /// registry is process-global, so two services in one process share
 /// these series: counters merge, gauges show the last writer. That is
 /// the intended deployment shape (one service per serving process);
 /// tests that need isolation read [`GraphService::stats`] instead.
-struct ServiceMetrics {
+pub(crate) struct ServiceMetrics {
     /// Per-shard queue depth, `lagraph_service_queue_depth{shard=…}`;
     /// indexed by shard, entries past [`SHARD_GAUGE_CAP`] share a series.
-    queue_depth: Vec<metrics::Gauge>,
-    submitted: metrics::Counter,
-    processed: metrics::Counter,
-    coalesced: metrics::Counter,
-    rejected: metrics::Counter,
+    pub(crate) queue_depth: Vec<metrics::Gauge>,
+    /// Per-shard replayed updates,
+    /// `lagraph_service_shard_processed_total{shard=…}`; same capping.
+    pub(crate) shard_processed: Vec<metrics::Counter>,
+    pub(crate) submitted: metrics::Counter,
+    pub(crate) processed: metrics::Counter,
+    pub(crate) coalesced: metrics::Counter,
+    pub(crate) rejected: metrics::Counter,
     /// Full-queue events by the service's configured policy (counted
     /// once per affected submission, however it resolved).
-    backpressure: metrics::Counter,
+    pub(crate) backpressure: metrics::Counter,
     /// Updates replayed per epoch.
-    batch_updates: metrics::Histogram,
-    epochs: metrics::Counter,
-    epoch: metrics::Gauge,
-    pending_peak: metrics::Gauge,
-    zombies_peak: metrics::Gauge,
-    /// Resident bytes of the drainer's private master matrix, refreshed
-    /// after each epoch's assembly.
-    master_bytes: metrics::Gauge,
-    last_publish: metrics::Gauge,
+    pub(crate) batch_updates: metrics::Histogram,
+    pub(crate) epochs: metrics::Counter,
+    pub(crate) epoch: metrics::Gauge,
+    pub(crate) pending_peak: metrics::Gauge,
+    pub(crate) zombies_peak: metrics::Gauge,
+    /// Resident bytes summed over the shard sub-matrices, refreshed
+    /// after each epoch's assemblies.
+    pub(crate) master_bytes: metrics::Gauge,
+    pub(crate) last_publish: metrics::Gauge,
     /// Wall clock of the last snapshot publish, in unix nanoseconds —
     /// the `lagraph_service_epoch_lag_seconds` callback reads it at
     /// scrape time, so lag is current even when no epoch is turning.
-    publish_unix_ns: Arc<AtomicU64>,
+    pub(crate) publish_unix_ns: Arc<AtomicU64>,
 }
 
 impl ServiceMetrics {
@@ -310,7 +417,7 @@ impl ServiceMetrics {
                 &[("result", result)],
             )
         };
-        let overflow = metrics::gauge_with(
+        let depth_overflow = metrics::gauge_with(
             "lagraph_service_queue_depth",
             "Queued updates per shard.",
             &[("shard", "other")],
@@ -324,7 +431,25 @@ impl ServiceMetrics {
                         &[("shard", &k.to_string())],
                     )
                 } else {
-                    overflow.clone()
+                    depth_overflow.clone()
+                }
+            })
+            .collect();
+        let processed_overflow = metrics::counter_with(
+            "lagraph_service_shard_processed_total",
+            "Updates replayed per shard drainer.",
+            &[("shard", "other")],
+        );
+        let shard_processed = (0..shards)
+            .map(|k| {
+                if k < SHARD_GAUGE_CAP {
+                    metrics::counter_with(
+                        "lagraph_service_shard_processed_total",
+                        "Updates replayed per shard drainer.",
+                        &[("shard", &k.to_string())],
+                    )
+                } else {
+                    processed_overflow.clone()
                 }
             })
             .collect();
@@ -340,6 +465,7 @@ impl ServiceMetrics {
         }
         ServiceMetrics {
             queue_depth,
+            shard_processed,
             submitted: counters("submitted"),
             processed: counters("processed"),
             coalesced: counters("coalesced"),
@@ -384,56 +510,67 @@ impl ServiceMetrics {
 /// means the log is empty and every accepted update is visible in the
 /// published snapshot.
 #[derive(Default)]
-struct DrainState {
-    shutdown: bool,
+pub(crate) struct DrainState {
+    pub(crate) shutdown: bool,
 }
 
-struct Shared {
-    shards: Vec<Shard>,
-    capacity: usize,
-    policy: BackpressurePolicy,
-    kind: GraphKind,
-    nvertices: Index,
+pub(crate) struct Shared {
+    pub(crate) shards: Vec<Shard>,
+    pub(crate) capacity: usize,
+    pub(crate) policy: BackpressurePolicy,
+    pub(crate) kind: GraphKind,
+    pub(crate) nvertices: Index,
+    pub(crate) partitioner: Arc<dyn Partitioner>,
     /// The currently served snapshot; swapped wholesale per epoch.
-    snapshot: RwLock<Arc<Snapshot>>,
+    pub(crate) snapshot: RwLock<Arc<Snapshot>>,
     /// Accepted updates (after coalescing: a coalesced write replaces a
     /// queued one and does not bump this).
-    submitted: AtomicU64,
+    pub(crate) submitted: AtomicU64,
     /// Updates replayed into a *published* epoch.
-    processed: AtomicU64,
-    coalesced: AtomicU64,
-    rejected: AtomicU64,
-    shutting_down: AtomicBool,
-    /// Wakes the drainer (new work or shutdown) and flushers (publish).
-    state: Mutex<DrainState>,
-    work: Condvar,
-    published: Condvar,
+    pub(crate) processed: AtomicU64,
+    pub(crate) coalesced: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) shutting_down: AtomicBool,
+    /// Fast check for drainer failure; details live in `failed`.
+    pub(crate) failed_flag: AtomicBool,
+    /// `(shard, panic message)` of the first drainer failure.
+    pub(crate) failed: Mutex<Option<(usize, String)>>,
+    /// Wakes the coordinator (new work or shutdown) and flushers
+    /// (publish).
+    pub(crate) state: Mutex<DrainState>,
+    pub(crate) work: Condvar,
+    pub(crate) published: Condvar,
     /// Live-metric handles (no-ops while `graphblas::metrics` is off).
-    metrics: ServiceMetrics,
+    pub(crate) metrics: ServiceMetrics,
 }
 
 impl Shared {
-    fn depth(&self) -> u64 {
+    pub(crate) fn depth(&self) -> u64 {
         self.submitted.load(SeqCst).saturating_sub(self.processed.load(SeqCst))
     }
 
-    fn shard_index(&self, key: (Index, Index)) -> usize {
-        // Fibonacci-style mix; undirected mirrors normalize the key first
-        // so both arcs of an edge always land in the same shard.
-        let h = key
-            .0
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(key.1.wrapping_mul(0xD1B5_4A32_D192_ED03));
-        h % self.shards.len()
+    /// The drainer-failure error, if a shard drainer has died.
+    pub(crate) fn failure(&self) -> Option<ServiceError> {
+        if !self.failed_flag.load(SeqCst) {
+            return None;
+        }
+        let g = self.failed.lock().unwrap_or_else(|e| e.into_inner());
+        g.as_ref().map(|(shard, message)| ServiceError::DrainerFailed {
+            shard: *shard,
+            message: message.clone(),
+        })
     }
 }
 
-/// A concurrent graph-serving handle: snapshot-isolated reads multiplexed
-/// with a streamed, batched write path. See the [module docs](self) for
-/// the architecture and an end-to-end example.
+/// A concurrent graph-serving handle: snapshot-isolated reads (raw or
+/// through batched query admission) multiplexed with a sharded,
+/// streamed, batched write path. See the [module docs](self) for the
+/// architecture and an end-to-end example.
 pub struct GraphService {
     shared: Arc<Shared>,
-    drainer: Option<JoinHandle<()>>,
+    admission: Arc<Admission>,
+    coordinator: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 /// A point-in-time counter sample from [`GraphService::stats`].
@@ -456,23 +593,26 @@ pub struct ServiceStats {
 }
 
 impl GraphService {
-    /// Start serving `initial`, spawning the drainer thread. The graph's
-    /// kind governs update semantics: on an undirected graph every
+    /// Start serving `initial`: split it across the partitioner's
+    /// shards, spawn one drainer thread per shard plus the epoch
+    /// coordinator, and stand up the admission layer. The graph's kind
+    /// governs update semantics: on an undirected graph every
     /// insert/delete is applied to both arcs atomically within one epoch.
     pub fn new(initial: Graph, config: ServiceConfig) -> Result<Self, ServiceError> {
-        let shards = config.shards.max(1);
         let capacity = config.queue_capacity.max(2);
         let max_batch = config.max_batch.max(1);
         let kind = initial.kind();
         let nvertices = initial.nvertices();
-        // The drainer's private working copy; the served snapshot is
-        // immutable, so the master starts as a deep clone. The clone
-        // carries the compressed-storage opt-in with it, so a `.lagc`
-        // - loaded graph keeps serving compressed without any config.
-        let mut master = initial.a().clone();
-        if config.compressed {
-            master.set_compressed(true);
-        }
+        let partitioner: Arc<dyn Partitioner> = match &config.partitioner {
+            Some(p) => p.clone(),
+            None => Arc::new(RowBlock::new(nvertices, config.shards.max(1))),
+        };
+        let shards = partitioner.shards();
+        let compressed = config.compressed;
+        // Each shard's private working copy holds exactly the edges the
+        // partitioner routes to it; the served snapshot is immutable, so
+        // the sub-matrices start as a routed split of the initial graph.
+        let workers_state = Arc::new(drainer::split_masters(&initial, &*partitioner, compressed)?);
         let nedges = initial.nedges();
         let shared = Arc::new(Shared {
             shards: (0..shards)
@@ -482,6 +622,7 @@ impl GraphService {
             policy: config.policy,
             kind,
             nvertices,
+            partitioner,
             snapshot: RwLock::new(Arc::new(Snapshot {
                 epoch: initial.epoch(),
                 nedges,
@@ -492,6 +633,8 @@ impl GraphService {
             coalesced: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             shutting_down: AtomicBool::new(false),
+            failed_flag: AtomicBool::new(false),
+            failed: Mutex::new(None),
             state: Mutex::new(DrainState::default()),
             work: Condvar::new(),
             published: Condvar::new(),
@@ -509,18 +652,41 @@ impl GraphService {
                 move || weak.upgrade().map(|s| s.snapshot.read().graph.resident_bytes() as f64),
             );
         }
-        let drainer = {
+        let spawn_err = |e: std::io::Error| {
+            ServiceError::Graph(GrbError::invalid(format!("failed to spawn service thread: {e}")))
+        };
+        let mut workers = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let ws = workers_state.clone();
+            let fail_epoch = config.fail_epoch;
+            let handle = std::thread::Builder::new()
+                .name(format!("lagraph-shard-drain-{s}"))
+                .spawn(move || drainer::shard_loop(ws, s, kind, fail_epoch))
+                .map_err(spawn_err);
+            match handle {
+                Ok(h) => workers.push(h),
+                Err(e) => {
+                    drainer::shutdown_workers(&workers_state);
+                    for h in workers {
+                        let _ = h.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        let coordinator = {
             let shared = shared.clone();
+            let ws = workers_state.clone();
             std::thread::Builder::new()
                 .name("lagraph-service-drain".into())
-                .spawn(move || drain_loop(&shared, master, max_batch))
+                .spawn(move || drainer::coordinator_loop(&shared, &ws, max_batch, compressed))
                 .map_err(|e| {
-                    ServiceError::Graph(GrbError::invalid(format!(
-                        "failed to spawn service drainer: {e}"
-                    )))
+                    drainer::shutdown_workers(&workers_state);
+                    spawn_err(e)
                 })?
         };
-        Ok(GraphService { shared, drainer: Some(drainer) })
+        let admission = Arc::new(Admission::new(config.admission));
+        Ok(GraphService { shared, admission, coordinator: Some(coordinator), workers })
     }
 
     /// The currently served snapshot. Lock-light: one read-lock
@@ -530,15 +696,42 @@ impl GraphService {
         self.shared.snapshot.read().clone()
     }
 
+    /// Run one query through the admission layer: cache lookup, batch
+    /// formation for batchable algorithms (concurrent BFS-level queries
+    /// fold into one multi-source traversal), in-flight deduplication
+    /// for the rest. Errors with [`ServiceError::DrainerFailed`] once
+    /// the service has failed — never hangs.
+    pub fn query(&self, query: Query) -> Result<QueryResult, ServiceError> {
+        self.admission.query(&self.shared, query)
+    }
+
+    /// Run a batch of queries as one deterministic admission batch
+    /// against a single snapshot: all BFS-level queries execute as one
+    /// multi-source traversal, and every result is answered at the same
+    /// epoch. Results come back in input order. See [`Query`] for an
+    /// example.
+    pub fn query_many(&self, queries: &[Query]) -> Result<Vec<QueryResult>, ServiceError> {
+        self.admission.query_many(&self.shared, queries)
+    }
+
+    /// Counters from the admission layer (batches formed, cache
+    /// hits/misses). Per-service, unlike the process-global metrics.
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.admission.stats()
+    }
+
     /// Submit one update. Visibility is *eventual*: the update is
-    /// applied by the drainer in a subsequent epoch ([`flush`] forces
-    /// that and waits). On undirected graphs the update is stored once
-    /// in canonical arc order and the drainer replays *both* arcs inside
-    /// the same batch, so a snapshot never shows half an undirected
-    /// edge.
+    /// applied by its shard's drainer in a subsequent epoch ([`flush`]
+    /// forces that and waits). On undirected graphs the update is stored
+    /// once in canonical arc order and the owning shard replays *both*
+    /// arcs inside the same batch, so a snapshot never shows half an
+    /// undirected edge.
     ///
     /// [`flush`]: GraphService::flush
     pub fn submit(&self, update: Update) -> Result<(), ServiceError> {
+        if let Some(err) = self.shared.failure() {
+            return Err(err);
+        }
         if self.shared.shutting_down.load(SeqCst) {
             return Err(ServiceError::ShutDown);
         }
@@ -558,7 +751,10 @@ impl GraphService {
         } else {
             update
         };
-        let si = self.shared.shard_index(update.key());
+        let key = update.key();
+        // Pure-function routing: every update to one edge goes through
+        // one shard, so per-edge order is preserved at any shard count.
+        let si = self.shared.partitioner.shard_of(key.0, key.1);
         let shard = &self.shared.shards[si];
         let mut q = shard.queue.lock().expect("shard lock");
         let mut hit_backpressure = false;
@@ -576,7 +772,6 @@ impl GraphService {
                     return Err(ServiceError::Backpressure { depth });
                 }
                 BackpressurePolicy::Coalesce => {
-                    let key = update.key();
                     if let Some(slot) = q.iter_mut().find(|u| u.key() == key) {
                         *slot = update;
                         self.shared.coalesced.fetch_add(1, SeqCst);
@@ -586,6 +781,9 @@ impl GraphService {
                     q = self.block_until_room(shard, q);
                 }
                 BackpressurePolicy::Block => q = self.block_until_room(shard, q),
+            }
+            if let Some(err) = self.shared.failure() {
+                return Err(err);
             }
             if self.shared.shutting_down.load(SeqCst) {
                 return Err(ServiceError::ShutDown);
@@ -628,14 +826,22 @@ impl GraphService {
     }
 
     /// Block until every update accepted before this call is visible in
-    /// the served snapshot, and return that snapshot.
+    /// the served snapshot, and return that snapshot. Errors instead of
+    /// hanging if the service shuts down or a shard drainer fails while
+    /// waiting.
     pub fn flush(&self) -> Result<Arc<Snapshot>, ServiceError> {
+        if let Some(err) = self.shared.failure() {
+            return Err(err);
+        }
         if self.shared.shutting_down.load(SeqCst) {
             return Err(ServiceError::ShutDown);
         }
         let target = self.shared.submitted.load(SeqCst);
         let mut state = self.shared.state.lock().expect("state lock");
         while self.shared.processed.load(SeqCst) < target {
+            if let Some(err) = self.shared.failure() {
+                return Err(err);
+            }
             if state.shutdown {
                 return Err(ServiceError::ShutDown);
             }
@@ -665,8 +871,9 @@ impl GraphService {
     }
 
     /// Stop accepting updates, drain what was already accepted into a
-    /// final epoch, and join the drainer. Called automatically on drop;
-    /// explicit calls get the final snapshot back.
+    /// final epoch, and join the coordinator and every shard drainer.
+    /// Called automatically on drop; explicit calls get the final
+    /// snapshot back.
     pub fn shutdown(&mut self) -> Arc<Snapshot> {
         self.shared.shutting_down.store(true, SeqCst);
         {
@@ -677,7 +884,10 @@ impl GraphService {
         for s in &self.shared.shards {
             s.not_full.notify_all();
         }
-        if let Some(h) = self.drainer.take() {
+        if let Some(h) = self.coordinator.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
             let _ = h.join();
         }
         self.shared.published.notify_all();
@@ -698,130 +908,8 @@ impl std::fmt::Debug for GraphService {
             .field("epoch", &s.epoch)
             .field("queue_depth", &s.queue_depth)
             .field("nvertices", &self.shared.nvertices)
+            .field("shards", &self.shared.shards.len())
             .finish()
-    }
-}
-
-/// The drainer: replay batches into the master's deferred-update state,
-/// assemble once per batch, publish an epoch snapshot.
-fn drain_loop(shared: &Shared, mut master: Matrix<f64>, max_batch: usize) {
-    let mut epoch = shared.snapshot.read().epoch;
-    loop {
-        // Sleep until there is work or a shutdown request. The timeout
-        // guards against a notify racing ahead of this wait.
-        {
-            let state = shared.state.lock().expect("state lock");
-            if shared.depth() == 0 {
-                if state.shutdown {
-                    return;
-                }
-                let _ =
-                    shared.work.wait_timeout(state, Duration::from_millis(5)).expect("state lock");
-            }
-        }
-        if shared.depth() == 0 {
-            continue;
-        }
-
-        // Cut a batch: swap each shard's queue out (bounded by
-        // max_batch), freeing blocked writers immediately.
-        let mut batch: Vec<Update> = Vec::new();
-        for (si, shard) in shared.shards.iter().enumerate() {
-            let mut q = shard.queue.lock().expect("shard lock");
-            let room = max_batch.saturating_sub(batch.len());
-            if room == 0 {
-                break;
-            }
-            if q.len() <= room {
-                batch.extend(std::mem::take(&mut *q));
-            } else {
-                batch.extend(q.drain(..room));
-            }
-            shared.metrics.queue_depth[si].set(q.len() as f64);
-            drop(q);
-            shard.not_full.notify_all();
-        }
-        if batch.is_empty() {
-            continue;
-        }
-
-        epoch += 1;
-        let mut span = trace::service_span("service.epoch");
-        span.arg("epoch", epoch);
-        span.arg("batch", batch.len());
-        shared.metrics.batch_updates.observe(batch.len() as u64);
-
-        // Replay through the non-blocking update path: inserts become
-        // pending tuples (or in-place overwrites), deletes become
-        // zombies. Bounds were checked at submit, so errors here would
-        // be internal bugs; they are counted, not silently dropped.
-        let mirror = shared.kind == GraphKind::Undirected;
-        let mut apply_errors = 0usize;
-        for u in &batch {
-            let r = match *u {
-                Update::Insert(i, j, w) => master.set_element(i, j, w).and_then(|()| {
-                    if mirror && i != j {
-                        master.set_element(j, i, w)
-                    } else {
-                        Ok(())
-                    }
-                }),
-                Update::Delete(i, j) => master.remove_element(i, j).and_then(|()| {
-                    if mirror && i != j {
-                        master.remove_element(j, i)
-                    } else {
-                        Ok(())
-                    }
-                }),
-            };
-            if r.is_err() {
-                apply_errors += 1;
-            }
-        }
-        let (pending, zombies) = master.deferred();
-        span.arg("pending", pending);
-        span.arg("zombies", zombies);
-        shared.metrics.pending_peak.set_max(pending as f64);
-        shared.metrics.zombies_peak.set_max(zombies as f64);
-        if apply_errors > 0 {
-            span.arg("apply_errors", apply_errors);
-            trace::warn_once(
-                "service.apply",
-                &format!("{apply_errors} service updates failed to apply (skipped)"),
-            );
-        }
-
-        // One amortized assembly for the whole batch, parallel on the
-        // par_chunks pool — the §II.A claim, now load-bearing.
-        master.wait();
-        shared.metrics.master_bytes.set(master.memory_usage().total() as f64);
-
-        // Publish: deep-clone the assembled master into an immutable
-        // Graph with fresh (lazily computed) caches, stamped with this
-        // epoch. Readers swap over atomically on their next snapshot().
-        match Graph::new(master.clone(), shared.kind) {
-            Ok(mut g) => {
-                g.set_epoch(epoch);
-                let nedges = g.nedges();
-                span.arg("nedges", nedges);
-                span.arg("queue_depth", shared.depth());
-                *shared.snapshot.write() = Arc::new(Snapshot { epoch, nedges, graph: Arc::new(g) });
-                let now_ns = now_unix_ns();
-                shared.metrics.publish_unix_ns.store(now_ns, Relaxed);
-                shared.metrics.last_publish.set(now_ns as f64 / 1e9);
-                shared.metrics.epochs.inc();
-                shared.metrics.epoch.set(epoch as f64);
-            }
-            Err(_) => {
-                // Master dimensions never change, so this is unreachable;
-                // keep serving the previous snapshot if it somehow isn't.
-                trace::warn_once("service.publish", "failed to rebuild service snapshot graph");
-            }
-        }
-        drop(span);
-        shared.processed.fetch_add(batch.len() as u64, SeqCst);
-        shared.metrics.processed.add(batch.len() as u64);
-        shared.published.notify_all();
     }
 }
 
@@ -905,7 +993,7 @@ mod tests {
         s.shared.shutting_down.store(false, SeqCst);
         s.shared.state.lock().expect("state").shutdown = false;
         s.insert_edge(1, 2, 0.0).expect("fits");
-        s.insert_edge(1, 3, 0.0).expect("fits"); // same row hashes freely; capacity is per shard
+        s.insert_edge(1, 3, 0.0).expect("fits"); // row 1 → shard 0; capacity is per shard
         let mut rejected = 0;
         for k in 0..8 {
             if let Err(ServiceError::Backpressure { depth }) = s.insert_edge(1, 2, k as f64) {
@@ -959,5 +1047,59 @@ mod tests {
         assert_eq!(st.processed, 10);
         assert_eq!(st.queue_depth, 0);
         assert!(st.epoch >= 1);
+    }
+
+    #[test]
+    fn grid_partitioner_serves_updates() {
+        let g = Graph::from_edges(16, &[(0, 1), (1, 2)], GraphKind::Undirected).expect("graph");
+        let s = GraphService::new(
+            g,
+            ServiceConfig {
+                partitioner: Some(Arc::new(Grid2D::new(16, 2, 2))),
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("service");
+        s.insert_edge(14, 3, 1.0).expect("insert"); // canonical (3,14) → off-diagonal block
+        s.delete_edge(0, 1).expect("delete");
+        let snap = s.flush().expect("flush");
+        assert_eq!(snap.graph().a().get(14, 3), Some(1.0));
+        assert_eq!(snap.graph().a().get(3, 14), Some(1.0));
+        assert_eq!(snap.graph().a().get(0, 1), None);
+        snap.graph().check().expect("still symmetric");
+    }
+
+    #[test]
+    fn drainer_panic_fails_flush_and_submit() {
+        let g = Graph::from_edges(16, &[(0, 1)], GraphKind::Directed).expect("graph");
+        let s = GraphService::new(
+            g,
+            ServiceConfig { shards: 2, fail_epoch: Some(1), ..ServiceConfig::default() },
+        )
+        .expect("service");
+        s.insert_edge(2, 3, 1.0).expect("accepted before the failure");
+        let err = s.flush().expect_err("flush must surface the drainer panic");
+        assert!(matches!(err, ServiceError::DrainerFailed { shard: 0, .. }), "got {err:?}");
+        // Subsequent writes and queries error instead of hanging.
+        let err = s.insert_edge(4, 5, 1.0).expect_err("submit after failure");
+        assert!(matches!(err, ServiceError::DrainerFailed { .. }));
+        let err = s.query(Query::bfs_level(0)).expect_err("query after failure");
+        assert!(matches!(err, ServiceError::DrainerFailed { .. }));
+        // The pre-failure snapshot keeps serving raw reads.
+        assert_eq!(s.snapshot().epoch(), 0);
+    }
+
+    #[test]
+    fn query_serves_and_caches_bfs() {
+        let g =
+            Graph::from_edges(16, &[(0, 1), (1, 2), (2, 3)], GraphKind::Undirected).expect("graph");
+        let s = GraphService::new(g, ServiceConfig::default()).expect("service");
+        let r1 = s.query(Query::bfs_level(0)).expect("query");
+        assert_eq!(r1.levels().expect("levels").get(3), Some(4));
+        let r2 = s.query(Query::bfs_level(0)).expect("repeat");
+        assert_eq!(r2.levels().expect("levels").get(3), Some(4));
+        let st = s.admission_stats();
+        assert_eq!(st.queries, 2);
+        assert_eq!(st.cache_hits, 1, "repeat within the epoch must hit the cache");
     }
 }

@@ -9,7 +9,7 @@
 //! `GLOBALS`, and assert on snapshot deltas.
 
 use graphblas::metrics;
-use lagraph::service::{BackpressurePolicy, GraphService, ServiceConfig};
+use lagraph::service::{BackpressurePolicy, GraphService, Query, ServiceConfig};
 use lagraph::{bfs_level, Graph, GraphKind};
 use std::sync::Mutex;
 
@@ -119,6 +119,110 @@ fn churning_service_populates_slo_series() {
         "dropped service still reports snapshot bytes"
     );
 
+    metrics::set_enabled(prev);
+}
+
+/// A minimal Prometheus text-format lint (mirror of the exposition lint
+/// in the graphblas metrics tests): legal metric names, one TYPE line
+/// per family, no duplicate series.
+fn lint_exposition(page: &str) -> Result<(), String> {
+    let name_ok = |name: &str| {
+        !name.is_empty()
+            && name.chars().enumerate().all(|(k, c)| {
+                c.is_ascii_alphabetic() || c == '_' || c == ':' || (k > 0 && c.is_ascii_digit())
+            })
+    };
+    let mut types = std::collections::HashSet::new();
+    let mut series = std::collections::HashSet::new();
+    for line in page.lines().filter(|l| !l.trim().is_empty()) {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let fam = rest.split_whitespace().next().unwrap_or("");
+            if !name_ok(fam) {
+                return Err(format!("bad family name in TYPE line: {line}"));
+            }
+            if !types.insert(fam.to_string()) {
+                return Err(format!("duplicate TYPE line for {fam}"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let key = line.rsplit_once(' ').map(|(k, _)| k).unwrap_or(line);
+        let name = key.split('{').next().unwrap_or(key);
+        if !name_ok(name) {
+            return Err(format!("bad metric name: {line}"));
+        }
+        if !series.insert(key.to_string()) {
+            return Err(format!("duplicate series: {key}"));
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn sharded_serving_series_render_clean() {
+    let _g = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = metrics::enabled();
+    metrics::set_enabled(true);
+
+    let before = snap();
+    let n = 128;
+    let s = GraphService::new(
+        ring(n),
+        ServiceConfig { shards: 2, queue_capacity: 4096, ..ServiceConfig::default() },
+    )
+    .expect("service");
+    // Rows on both halves, so both shard drainers replay updates under
+    // the default row-block partitioner.
+    for k in 0..64usize {
+        s.insert_edge(k, (k + 3) % n, 1.0).expect("low rows");
+        s.insert_edge(n - 1 - k, k, 1.0).expect("high rows");
+    }
+    s.flush().expect("flush");
+    // Admission traffic: a miss, a hit, and a width-4 batch.
+    s.query(Query::bfs_level(0)).expect("miss");
+    s.query(Query::bfs_level(0)).expect("hit");
+    let batch: Vec<Query> = (1..5).map(Query::bfs_level).collect();
+    s.query_many(&batch).expect("batched queries");
+
+    let after = snap();
+    for shard in ["0", "1"] {
+        let key = format!("lagraph_service_shard_processed_total{{shard=\"{shard}\"}}");
+        assert!(
+            delta(&after, &before, &key) > 0.0,
+            "shard {shard} drainer processed nothing — per-shard series missing"
+        );
+    }
+    assert!(
+        delta(&after, &before, "lagraph_service_query_cache_total{result=\"hit\"}") >= 1.0,
+        "cache hit not counted"
+    );
+    assert!(
+        delta(&after, &before, "lagraph_service_query_cache_total{result=\"miss\"}") >= 5.0,
+        "cache misses not counted"
+    );
+    assert!(
+        delta(&after, &before, "lagraph_service_queries_total{algo=\"bfs_level\"}") >= 6.0,
+        "per-algorithm query counter missing"
+    );
+
+    // The rendered page must carry the new sharded/admission series and
+    // stay clean under the exposition lint.
+    let page = metrics::render();
+    for family in [
+        "lagraph_service_shard_processed_total{shard=\"0\"}",
+        "lagraph_service_shard_processed_total{shard=\"1\"}",
+        "lagraph_service_queue_depth{shard=\"1\"}",
+        "lagraph_service_batch_width_count",
+        "lagraph_service_query_seconds_count",
+        "lagraph_service_query_cache_total{result=\"hit\"}",
+    ] {
+        assert!(page.contains(family), "render() lacks {family}");
+    }
+    lint_exposition(&page).expect("sharded series break Prometheus exposition");
+
+    drop(s);
     metrics::set_enabled(prev);
 }
 
