@@ -20,8 +20,17 @@
 //! numbers a sharded deployment is sized by. `SERVICE_CHURN_SHARDS`
 //! sets the shard count and `SERVICE_CHURN_OUT=<path>` writes the
 //! results as a JSON artifact for CI trend lines.
+//!
+//! **Views mode** (`SERVICE_CHURN_VIEWS=1`, closed-loop only): the
+//! service registers every materialized view, the query mix rotates
+//! through view-servable algorithms alongside BFS, and the artifact
+//! gains per-view repair latency percentiles (read back from the
+//! `lagraph_service_view_repair_seconds` histograms) plus the
+//! repair-vs-rebuild split — the numbers that say whether incremental
+//! maintenance is actually absorbing the churn.
 
-use lagraph::service::{GraphService, Query, ServiceConfig};
+use graphblas::metrics;
+use lagraph::service::{GraphService, Query, ServiceConfig, ViewKind, ViewsConfig};
 use lagraph::{bfs_level, pagerank, triangle_count, PageRankOptions, TriCountMethod};
 use lagraph_bench::rmat_graph;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
@@ -116,10 +125,26 @@ fn spawn_writers(
     (stop, writes, handles)
 }
 
+/// Read one gauge back from the rendered exposition page (the
+/// percentile companions exist only there, not in `snapshot()`).
+fn rendered_gauge(page: &str, key: &str) -> f64 {
+    page.lines()
+        .find_map(|l| l.strip_prefix(key).and_then(|rest| rest.trim().parse::<f64>().ok()))
+        .unwrap_or(0.0)
+}
+
 /// Closed-loop SLO mode: `threads` query threads running admitted
-/// BFS-level queries back-to-back under writer churn. Reports qps and
-/// latency percentiles; optionally writes a JSON artifact.
-fn run_closed_loop(service: Arc<GraphService>, threads: usize, secs: u64, shards: usize) {
+/// queries back-to-back under writer churn — BFS-level only, or (in
+/// views mode) a rotation that also exercises the view-served
+/// algorithms. Reports qps and latency percentiles; optionally writes a
+/// JSON artifact.
+fn run_closed_loop(
+    service: Arc<GraphService>,
+    threads: usize,
+    secs: u64,
+    shards: usize,
+    views: bool,
+) {
     let n = service.snapshot().graph().nvertices();
     let (stop, writes, writer_handles) = spawn_writers(&service, 4, n);
 
@@ -138,8 +163,18 @@ fn run_closed_loop(service: Arc<GraphService>, threads: usize, secs: u64, shards
                         state ^= state >> 7;
                         state ^= state << 17;
                         let source = state as usize % n;
+                        let q = if views {
+                            match state % 4 {
+                                0 => Query::bfs_level(source),
+                                1 => Query::connected_components(),
+                                2 => Query::degrees(),
+                                _ => Query::triangle_count(),
+                            }
+                        } else {
+                            Query::bfs_level(source)
+                        };
                         let t0 = Instant::now();
-                        service.query(Query::bfs_level(source)).expect("query");
+                        service.query(q).expect("query");
                         local.push(t0.elapsed());
                     }
                     local
@@ -168,25 +203,66 @@ fn run_closed_loop(service: Arc<GraphService>, threads: usize, secs: u64, shards
     );
     println!(
         "closed-loop load: {} updates ({} epochs), admission batches={} batched_queries={} \
-         cache hit/miss={}/{}",
+         cache hit/miss={}/{} view_hits={}",
         writes.load(Relaxed),
         epochs,
         adm.batches,
         adm.batched_queries,
         adm.cache_hits,
         adm.cache_misses,
+        adm.view_hits,
     );
+
+    // In views mode, pull the per-view repair split and the repair
+    // latency percentiles (from the rendered histogram companions) into
+    // the report and the artifact.
+    let mut views_json = String::new();
+    if views {
+        let page = metrics::render();
+        let mut repairs_total = 0u64;
+        let mut refreshes_total = 0u64;
+        for vs in service.view_stats() {
+            let name = vs.view.name();
+            repairs_total += vs.repairs;
+            refreshes_total += vs.repairs + vs.rebuilds;
+            let pct = |q: &str| {
+                let key = format!("lagraph_service_view_repair_seconds_{q}{{view=\"{name}\"}}");
+                rendered_gauge(&page, &key) * 1e6 // seconds → µs
+            };
+            let (rp50, rp95, rp99) = (pct("p50"), pct("p95"), pct("p99"));
+            println!(
+                "view {name:<9} repairs={:<4} rebuilds={:<3} served={:<6} \
+                 repair p50={rp50:.1}us p95={rp95:.1}us p99={rp99:.1}us",
+                vs.repairs, vs.rebuilds, vs.served,
+            );
+            views_json.push_str(&format!(
+                ",\n  \"view_{name}_repairs\": {},\n  \"view_{name}_rebuilds\": {},\n  \
+                 \"view_{name}_served\": {},\n  \"view_{name}_repair_p50_us\": {rp50:.1},\n  \
+                 \"view_{name}_repair_p95_us\": {rp95:.1},\n  \
+                 \"view_{name}_repair_p99_us\": {rp99:.1}",
+                vs.repairs, vs.rebuilds, vs.served,
+            ));
+        }
+        let ratio =
+            if refreshes_total > 0 { repairs_total as f64 / refreshes_total as f64 } else { 0.0 };
+        println!("view repair ratio: {ratio:.3} ({repairs_total}/{refreshes_total} refreshes)");
+        views_json.push_str(&format!(
+            ",\n  \"view_hits\": {},\n  \"view_repair_ratio\": {ratio:.3}",
+            adm.view_hits,
+        ));
+    }
 
     if let Ok(path) = std::env::var("SERVICE_CHURN_OUT") {
         // Hand-rolled JSON (no serde in the bench tree): flat scalar
         // fields only, stable key order for easy diffing in CI.
         let json = format!(
             "{{\n  \"bench\": \"service_churn\",\n  \"mode\": \"closed-loop\",\n  \
+             \"views\": {views},\n  \
              \"shards\": {shards},\n  \"threads\": {threads},\n  \"secs\": {secs},\n  \
              \"queries\": {queries},\n  \"qps\": {qps:.1},\n  \"p50_us\": {},\n  \
              \"p95_us\": {},\n  \"p99_us\": {},\n  \"updates\": {},\n  \"epochs\": {epochs},\n  \
              \"batches\": {},\n  \"batched_queries\": {},\n  \"cache_hits\": {},\n  \
-             \"cache_misses\": {}\n}}\n",
+             \"cache_misses\": {}{views_json}\n}}\n",
             p50.as_micros(),
             p95.as_micros(),
             p99.as_micros(),
@@ -218,12 +294,27 @@ fn main() {
     }
     let shards = config.shards;
 
+    // Views mode: register every materialized view and turn the metrics
+    // registry on so the repair-latency histograms record.
+    let views = std::env::var("SERVICE_CHURN_VIEWS").map(|v| v == "1").unwrap_or(false);
+    if views {
+        metrics::set_enabled(true);
+        if config.views.is_none() {
+            // Saturating writers produce epochs far beyond the default
+            // staleness budget; the point of this mode is to measure
+            // the incremental repair path, so lift the budget (set
+            // LAGRAPH_VIEWS / LAGRAPH_VIEWS_STALENESS to override).
+            config.views = Some(ViewsConfig { staleness: usize::MAX, ..ViewsConfig::default() });
+        }
+        println!("service_churn: views mode on ({} views registered)", ViewKind::ALL.len());
+    }
+
     let service = Arc::new(GraphService::new(graph, config).expect("service"));
 
     if let Some(threads) =
         std::env::var("SERVICE_CHURN_CLOSED").ok().and_then(|v| v.parse::<usize>().ok())
     {
-        run_closed_loop(service, threads.max(1), secs, shards);
+        run_closed_loop(service, threads.max(1), secs, shards, views);
         return;
     }
 

@@ -1,0 +1,163 @@
+//! Relative-link checker for the repository documentation.
+//!
+//! Walks `README.md`, `DESIGN.md`, and everything under `docs/`,
+//! extracts every inline Markdown link, and verifies that each
+//! repo-relative target resolves: the file must exist, and a `#anchor`
+//! fragment must match a heading in the target file under GitHub's
+//! slugging rules (lowercase, punctuation stripped, spaces → dashes).
+//! External links (`http…`) are skipped — CI must not depend on the
+//! network — but in-repo drift fails the build instead of rotting.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+/// Repository root, two levels up from the bench crate.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("repo root")
+}
+
+/// The documentation set under test.
+fn doc_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = vec![root.join("README.md"), root.join("DESIGN.md")];
+    let docs = root.join("docs");
+    let mut entries: Vec<_> = std::fs::read_dir(&docs)
+        .expect("docs/ directory")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "md"))
+        .collect();
+    entries.sort();
+    out.extend(entries);
+    out
+}
+
+/// Extract inline `[text](target)` links, skipping fenced code blocks
+/// and inline code spans (link-shaped text inside backticks is example
+/// syntax, not a link).
+fn extract_links(markdown: &str) -> Vec<String> {
+    let mut links = Vec::new();
+    let mut in_fence = false;
+    for line in markdown.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("```") || trimmed.starts_with("~~~") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let mut in_code = false;
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'`' => in_code = !in_code,
+                b']' if !in_code && i + 1 < bytes.len() && bytes[i + 1] == b'(' => {
+                    if let Some(end) = line[i + 2..].find(')') {
+                        links.push(line[i + 2..i + 2 + end].to_string());
+                        i += end + 2;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    links
+}
+
+/// GitHub's heading slug: lowercase, alphanumerics and existing dashes
+/// kept, spaces become dashes, everything else dropped.
+fn slug(heading: &str) -> String {
+    heading
+        .trim()
+        .trim_start_matches('#')
+        .trim()
+        .chars()
+        .filter_map(|c| {
+            if c.is_alphanumeric() {
+                Some(c.to_ascii_lowercase())
+            } else if c == ' ' {
+                Some('-')
+            } else if c == '-' || c == '_' {
+                Some(c)
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// All heading anchors in a file, with `-1`, `-2`… suffixes for
+/// duplicate headings, GitHub-style.
+fn anchors(markdown: &str) -> HashSet<String> {
+    let mut seen: std::collections::HashMap<String, usize> = Default::default();
+    let mut out = HashSet::new();
+    let mut in_fence = false;
+    for line in markdown.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("```") || trimmed.starts_with("~~~") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if !in_fence && trimmed.starts_with('#') {
+            let base = slug(trimmed);
+            let n = seen.entry(base.clone()).or_insert(0);
+            out.insert(if *n == 0 { base.clone() } else { format!("{base}-{n}") });
+            *n += 1;
+        }
+    }
+    out
+}
+
+#[test]
+fn relative_links_resolve() {
+    let root = repo_root();
+    let mut errors = Vec::new();
+    let mut checked = 0usize;
+    for file in doc_files(&root) {
+        let text = std::fs::read_to_string(&file).expect("read doc");
+        let dir = file.parent().expect("doc parent");
+        let rel = file.strip_prefix(&root).unwrap_or(&file).display().to_string();
+        for link in extract_links(&text) {
+            if link.starts_with("http://")
+                || link.starts_with("https://")
+                || link.starts_with("mailto:")
+            {
+                continue;
+            }
+            checked += 1;
+            let (path_part, fragment) = match link.split_once('#') {
+                Some((p, f)) => (p, Some(f)),
+                None => (link.as_str(), None),
+            };
+            let target = if path_part.is_empty() { file.clone() } else { dir.join(path_part) };
+            if !target.exists() {
+                errors.push(format!("{rel}: broken link `{link}` ({path_part} not found)"));
+                continue;
+            }
+            if let Some(frag) = fragment {
+                if target.extension().is_some_and(|x| x == "md") {
+                    let body = std::fs::read_to_string(&target).expect("read link target");
+                    if !anchors(&body).contains(frag) {
+                        errors.push(format!(
+                            "{rel}: link `{link}` points at a missing anchor `#{frag}`"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    assert!(checked >= 10, "link checker found only {checked} relative links — extraction broken?");
+    assert!(errors.is_empty(), "documentation link drift:\n  {}", errors.join("\n  "));
+}
+
+#[test]
+fn slugs_match_github_rules() {
+    assert_eq!(slug("## Materialized views"), "materialized-views");
+    assert_eq!(
+        slug("# 15. Incremental views & epoch deltas"),
+        "15-incremental-views--epoch-deltas"
+    );
+    assert_eq!(slug("### `LAGRAPH_VIEWS` (env)"), "lagraph_views-env");
+}

@@ -12,6 +12,7 @@ use graphblas::prelude::*;
 use graphblas::semiring::MIN_SECOND;
 use graphblas::trace;
 
+use super::AdjacencyView;
 use crate::graph::Graph;
 
 /// Connected components of an undirected graph: returns `comp(v)` = the
@@ -59,6 +60,117 @@ pub fn connected_components(graph: &Graph) -> Result<Vector<u64>> {
     }
     algo.arg("iters", round);
     Ok(f)
+}
+
+/// Incrementally repair a connected-components labeling after one batch
+/// of structural edge changes, without touching the matrix.
+///
+/// * `adj` — adjacency of the graph **after** the batch is applied
+///   (symmetric; undirected graphs only).
+/// * `prev` — dense labels of the graph before the batch, one per
+///   vertex, each equal to its component's minimum vertex id (the
+///   invariant [`connected_components`] establishes).
+/// * `inserts` / `deletes` — the real structural changes (an insert of a
+///   present edge or delete of an absent one must be filtered out).
+///
+/// Inserts are pure label algebra: a min-wins union-find over the old
+/// labels merges components in O(Δ α). Deletes get a *targeted re-run*:
+/// a BFS from each deleted edge's endpoints on the new adjacency either
+/// proves the component stayed connected (early exit on meeting the
+/// other endpoint) or exhaustively discovers the split-off part, which
+/// is then exactly relabeled with its minimum. Every split part of a
+/// component contains at least one deleted-edge endpoint, so the sweep
+/// over endpoints covers all of them — the result is exact, never an
+/// approximation, and matches [`connected_components`] bit for bit.
+pub fn connected_components_delta(
+    adj: &dyn AdjacencyView,
+    prev: &[u64],
+    inserts: &[(Index, Index)],
+    deletes: &[(Index, Index)],
+) -> Vec<u64> {
+    let n = prev.len();
+    // Min-wins union-find seeded from the old labels: every old label is
+    // its component's minimum vertex id, so it is its own root.
+    let mut parent: Vec<Index> = prev.iter().map(|&c| c as Index).collect();
+    fn find(parent: &mut [Index], mut v: Index) -> Index {
+        while parent[v] != v {
+            parent[v] = parent[parent[v]]; // path halving
+            v = parent[v];
+        }
+        v
+    }
+    for &(u, v) in inserts {
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            // Min root wins, preserving the labels-are-minima invariant.
+            let (lo, hi) = if ru < rv { (ru, rv) } else { (rv, ru) };
+            parent[hi] = lo;
+        }
+    }
+    let mut labels: Vec<u64> = (0..n).map(|v| find(&mut parent, v) as u64).collect();
+
+    // Targeted re-runs for deletes, on the new adjacency. `fixed[v]`
+    // marks vertices already exactly relabeled by an exhaustive BFS.
+    let mut fixed = vec![false; n];
+    let mut visited = vec![false; n];
+    let mut queue: Vec<Index> = Vec::new();
+    // BFS from `start`; stops early (returning None) on reaching
+    // `target`, otherwise returns the full component of `start`.
+    let mut component = |start: Index, target: Option<Index>, visited: &mut Vec<bool>| {
+        queue.clear();
+        queue.push(start);
+        let mut reached = vec![start];
+        visited[start] = true;
+        let mut hit_target = false;
+        while let Some(w) = queue.pop() {
+            adj.for_each_neighbor(w, &mut |x| {
+                if !visited[x] {
+                    visited[x] = true;
+                    reached.push(x);
+                    queue.push(x);
+                }
+                if Some(x) == target {
+                    hit_target = true;
+                }
+            });
+            if hit_target {
+                break;
+            }
+        }
+        for &v in &reached {
+            visited[v] = false;
+        }
+        if hit_target {
+            None
+        } else {
+            Some(reached)
+        }
+    };
+    let relabel = |part: Vec<Index>, labels: &mut Vec<u64>, fixed: &mut Vec<bool>| {
+        let min = part.iter().copied().min().unwrap_or(0) as u64;
+        for &v in &part {
+            labels[v] = min;
+            fixed[v] = true;
+        }
+    };
+    for &(u, v) in deletes {
+        let mut split = fixed[u]; // a fixed endpoint's component excludes the other
+        if !fixed[u] {
+            match component(u, Some(v), &mut visited) {
+                None => continue, // still connected: labels already exact
+                Some(part) => {
+                    relabel(part, &mut labels, &mut fixed);
+                    split = true;
+                }
+            }
+        }
+        if split && !fixed[v] {
+            if let Some(part) = component(v, None, &mut visited) {
+                relabel(part, &mut labels, &mut fixed);
+            }
+        }
+    }
+    labels
 }
 
 /// The number of connected components.
@@ -116,6 +228,89 @@ mod tests {
         for v in 0..100 {
             assert_eq!(comp.get(v), Some(0), "vertex {v}");
         }
+    }
+
+    /// Symmetric adjacency-set oracle for the delta entry point.
+    struct Adj(Vec<std::collections::BTreeSet<Index>>);
+
+    impl Adj {
+        fn from_edges(n: usize, edges: &[(Index, Index)]) -> Self {
+            let mut sets = vec![std::collections::BTreeSet::new(); n];
+            for &(u, v) in edges {
+                sets[u].insert(v);
+                sets[v].insert(u);
+            }
+            Adj(sets)
+        }
+    }
+
+    impl AdjacencyView for Adj {
+        fn nvertices(&self) -> Index {
+            self.0.len()
+        }
+        fn has_edge(&self, u: Index, v: Index) -> bool {
+            self.0[u].contains(&v)
+        }
+        fn degree(&self, u: Index) -> usize {
+            self.0[u].len()
+        }
+        fn for_each_neighbor(&self, u: Index, f: &mut dyn FnMut(Index)) {
+            for &v in &self.0[u] {
+                f(v);
+            }
+        }
+    }
+
+    fn dense_labels(g: &Graph) -> Vec<u64> {
+        connected_components(g).expect("cc").iter().map(|(_, c)| c).collect()
+    }
+
+    #[test]
+    fn delta_insert_merges_components() {
+        // {0,1,2} and {3,4} merge through (2,3); {5} stays alone.
+        let before =
+            Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4)], GraphKind::Undirected).expect("graph");
+        let prev = dense_labels(&before);
+        let adj = Adj::from_edges(6, &[(0, 1), (1, 2), (3, 4), (2, 3)]);
+        let got = connected_components_delta(&adj, &prev, &[(2, 3)], &[]);
+        let after = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (2, 3)], GraphKind::Undirected)
+            .expect("graph");
+        assert_eq!(got, dense_labels(&after));
+    }
+
+    #[test]
+    fn delta_delete_splits_exactly() {
+        // Path 0-1-2-3-4: cutting (1,2) splits {0,1} from {2,3,4}.
+        let before = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)], GraphKind::Undirected)
+            .expect("graph");
+        let prev = dense_labels(&before);
+        let adj = Adj::from_edges(5, &[(0, 1), (2, 3), (3, 4)]);
+        let got = connected_components_delta(&adj, &prev, &[], &[(1, 2)]);
+        assert_eq!(got, vec![0, 0, 2, 2, 2]);
+    }
+
+    #[test]
+    fn delta_delete_on_cycle_keeps_component() {
+        // Cycle: deleting one edge leaves it connected (early-exit path).
+        let edges = [(0, 1), (1, 2), (2, 3), (3, 0)];
+        let before = Graph::from_edges(4, &edges, GraphKind::Undirected).expect("graph");
+        let prev = dense_labels(&before);
+        let adj = Adj::from_edges(4, &[(1, 2), (2, 3), (3, 0)]);
+        let got = connected_components_delta(&adj, &prev, &[], &[(0, 1)]);
+        assert_eq!(got, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn delta_mixed_batch_matches_oracle() {
+        // Merge {0..2} with {3,4}, then cut (0,1) off the merged blob.
+        let before =
+            Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4)], GraphKind::Undirected).expect("graph");
+        let prev = dense_labels(&before);
+        let final_edges = [(1, 2), (3, 4), (2, 3)];
+        let adj = Adj::from_edges(6, &final_edges);
+        let got = connected_components_delta(&adj, &prev, &[(2, 3)], &[(0, 1)]);
+        let after = Graph::from_edges(6, &final_edges, GraphKind::Undirected).expect("graph");
+        assert_eq!(got, dense_labels(&after));
     }
 
     #[test]

@@ -2,9 +2,12 @@
 //! degree ≥ k, and the full core-number labeling — a standard LAGraph
 //! algorithm, computed by repeated peeling with masked degree updates.
 
+use std::collections::HashMap;
+
 use graphblas::prelude::*;
 use graphblas::semiring::PLUS_SECOND;
 
+use super::AdjacencyView;
 use crate::graph::Graph;
 
 /// The k-core of an undirected graph: returns the Boolean membership
@@ -77,6 +80,113 @@ pub fn core_numbers(graph: &Graph) -> Result<Vector<i64>> {
     }
 }
 
+/// Incrementally repair core numbers after a batch of edge *insertions*
+/// — the traversal insertion algorithm of Sarıyüce et al. (streaming
+/// k-core decomposition). Deletions have no comparably local repair
+/// rule here; the service falls back to [`core_numbers`] for them.
+///
+/// * `base` — symmetric adjacency of the graph **before** the batch.
+/// * `core` — dense core numbers on `base`, updated in place.
+/// * `inserts` — the real structural insertions, in application order.
+///
+/// Each insertion of `(u, v)` can raise core numbers by at most one,
+/// and only inside the *subcore*: the vertices with core exactly
+/// `k = min(core(u), core(v))` reachable from the endpoint(s) at `k`
+/// through core-`k` vertices. The repair collects that subcore, counts
+/// each member's neighbors with core ≥ k, peels members supported by ≤ k
+/// of them (cascading), and promotes the survivors to `k + 1` — exact,
+/// matching [`core_numbers`] on the patched graph bit for bit.
+/// Self-loop inserts are ignored.
+pub fn core_numbers_insert(base: &dyn AdjacencyView, core: &mut [i64], inserts: &[(Index, Index)]) {
+    let n = core.len();
+    // Insert-only patch over `base`: per-vertex added neighbor lists.
+    let mut added: HashMap<Index, Vec<Index>> = HashMap::new();
+    let neighbors = |added: &HashMap<Index, Vec<Index>>, u: Index, f: &mut dyn FnMut(Index)| {
+        base.for_each_neighbor(u, f);
+        if let Some(extra) = added.get(&u) {
+            for &w in extra {
+                f(w);
+            }
+        }
+    };
+    // Scratch reused across insertions; `stamp` marks subcore membership
+    // for the current insertion without an O(n) clear.
+    let mut stamp = vec![0u32; n];
+    let mut support: Vec<i64> = vec![0; n];
+    let mut peeled = vec![false; n];
+    let mut generation = 0u32;
+    for &(u, v) in inserts {
+        if u == v || u >= n || v >= n {
+            continue;
+        }
+        // The new edge is part of the graph the subcore is computed on.
+        let dup = base.has_edge(u, v) || added.get(&u).is_some_and(|s| s.contains(&v));
+        if !dup {
+            added.entry(u).or_default().push(v);
+            added.entry(v).or_default().push(u);
+        }
+        generation += 1;
+        let gen = generation;
+        let k = core[u].min(core[v]);
+        // Subcore: BFS from the endpoint(s) sitting at k, through
+        // vertices with core exactly k. Any core-k neighbor of a member
+        // is itself a member (closure), so "neighbors with core ≥ k"
+        // splits cleanly into members and permanently-higher vertices.
+        let mut members: Vec<Index> = Vec::new();
+        let mut queue: Vec<Index> = Vec::new();
+        for w in [u, v] {
+            if core[w] == k && stamp[w] != gen {
+                stamp[w] = gen;
+                members.push(w);
+                queue.push(w);
+            }
+        }
+        while let Some(w) = queue.pop() {
+            neighbors(&added, w, &mut |x| {
+                if core[x] == k && stamp[x] != gen {
+                    stamp[x] = gen;
+                    members.push(x);
+                    queue.push(x);
+                }
+            });
+        }
+        // support(w) = |{x ∈ N(w) : core(x) ≥ k}| on the patched graph.
+        for &w in &members {
+            let mut s = 0i64;
+            neighbors(&added, w, &mut |x| {
+                if core[x] >= k {
+                    s += 1;
+                }
+            });
+            support[w] = s;
+            peeled[w] = false;
+        }
+        // Peel members that cannot reach degree k+1 within the
+        // candidate set; survivors are promoted.
+        let mut worklist: Vec<Index> =
+            members.iter().copied().filter(|&w| support[w] <= k).collect();
+        for &w in &worklist {
+            peeled[w] = true;
+        }
+        while let Some(w) = worklist.pop() {
+            neighbors(&added, w, &mut |x| {
+                if stamp[x] == gen && !peeled[x] {
+                    support[x] -= 1;
+                    if support[x] <= k {
+                        peeled[x] = true;
+                        worklist.push(x);
+                    }
+                }
+            });
+        }
+        for &w in &members {
+            if !peeled[w] {
+                core[w] = k + 1;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,6 +243,80 @@ mod tests {
         }
         assert_eq!(core.get(4), Some(1));
         assert_eq!(core.get(5), Some(1));
+    }
+
+    /// Symmetric adjacency-set oracle for the delta entry point.
+    struct Adj(Vec<std::collections::BTreeSet<Index>>);
+
+    impl Adj {
+        fn from_edges(n: usize, edges: &[(Index, Index)]) -> Self {
+            let mut sets = vec![std::collections::BTreeSet::new(); n];
+            for &(u, v) in edges {
+                sets[u].insert(v);
+                sets[v].insert(u);
+            }
+            Adj(sets)
+        }
+    }
+
+    impl AdjacencyView for Adj {
+        fn nvertices(&self) -> Index {
+            self.0.len()
+        }
+        fn has_edge(&self, u: Index, v: Index) -> bool {
+            self.0[u].contains(&v)
+        }
+        fn degree(&self, u: Index) -> usize {
+            self.0[u].len()
+        }
+        fn for_each_neighbor(&self, u: Index, f: &mut dyn FnMut(Index)) {
+            for &v in &self.0[u] {
+                f(v);
+            }
+        }
+    }
+
+    fn dense_cores(g: &Graph) -> Vec<i64> {
+        core_numbers(g).expect("cores").iter().map(|(_, c)| c).collect()
+    }
+
+    #[test]
+    fn insert_repair_matches_full_recompute() {
+        // Grow K4-with-tail into K5-with-tail one edge at a time; every
+        // prefix must match the from-scratch oracle.
+        let start: Vec<(Index, Index)> =
+            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)];
+        let inserts: Vec<(Index, Index)> = vec![(4, 0), (4, 1), (4, 2), (5, 0), (2, 5)];
+        let g0 = Graph::from_edges(6, &start, GraphKind::Undirected).expect("graph");
+        let base = Adj::from_edges(6, &start);
+        let mut core = dense_cores(&g0);
+        for upto in 1..=inserts.len() {
+            let mut core_step = dense_cores(&g0);
+            core_numbers_insert(&base, &mut core_step, &inserts[..upto]);
+            let mut edges = start.clone();
+            edges.extend_from_slice(&inserts[..upto]);
+            let oracle =
+                dense_cores(&Graph::from_edges(6, &edges, GraphKind::Undirected).expect("graph"));
+            assert_eq!(core_step, oracle, "after {upto} inserts");
+        }
+        core_numbers_insert(&base, &mut core, &inserts);
+        let mut edges = start;
+        edges.extend_from_slice(&inserts);
+        let oracle =
+            dense_cores(&Graph::from_edges(6, &edges, GraphKind::Undirected).expect("graph"));
+        assert_eq!(core, oracle);
+    }
+
+    #[test]
+    fn insert_repair_promotes_a_closing_cycle() {
+        // A path's cores are all 1 (ends) / 1; closing it into a cycle
+        // lifts every vertex to 2 in one subcore cascade.
+        let path: Vec<(Index, Index)> = (0..5).map(|i| (i, i + 1)).collect();
+        let g = Graph::from_edges(6, &path, GraphKind::Undirected).expect("graph");
+        let base = Adj::from_edges(6, &path);
+        let mut core = dense_cores(&g);
+        core_numbers_insert(&base, &mut core, &[(5, 0)]);
+        assert_eq!(core, vec![2; 6]);
     }
 
     #[test]

@@ -1,5 +1,46 @@
 //! The LAGraph algorithm collection (§V of the paper), each built purely
-//! on the public GraphBLAS API.
+//! on the public GraphBLAS API. `docs/ALGORITHMS.md` is the user-facing
+//! catalog: semirings, complexity, provenance, and service availability
+//! for every module below.
+//!
+//! A few algorithms additionally expose *incremental* (`*_delta` /
+//! `*_warm`) entry points that repair a previous answer from a batch of
+//! edge changes instead of recomputing — the engine behind
+//! [`crate::service::views`]. They take adjacency through the
+//! [`AdjacencyView`] trait so callers can supply an O(1)-updatable
+//! overlay rather than re-extracting the matrix structure per epoch.
+
+use graphblas::Index;
+
+/// Read-only adjacency access for the incremental entry points
+/// ([`cc::connected_components_delta`], [`tricount::triangle_count_delta`],
+/// [`kcore::core_numbers_insert`]).
+///
+/// Implementors expose the graph as it stands *at a known point in the
+/// update stream*; the incremental algorithms document which point they
+/// expect (before or after the batch is applied). For undirected graphs
+/// the view must be symmetric: `has_edge(u, v) == has_edge(v, u)`.
+pub trait AdjacencyView {
+    /// Number of vertices (all indices below are `< nvertices()`).
+    fn nvertices(&self) -> Index;
+    /// Whether the arc `u → v` is present.
+    fn has_edge(&self, u: Index, v: Index) -> bool;
+    /// Out-degree of `u` (equals degree on a symmetric view).
+    fn degree(&self, u: Index) -> usize;
+    /// Visit every out-neighbor of `u` (order unspecified).
+    fn for_each_neighbor(&self, u: Index, f: &mut dyn FnMut(Index));
+}
+
+/// One structural edge change, in application order. Produced by the
+/// service's delta classifier (weight overwrites and redundant deletes
+/// are filtered out before they reach the incremental algorithms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeEvent {
+    /// The edge `(u, v)` was absent and is now present.
+    Insert(Index, Index),
+    /// The edge `(u, v)` was present and is now absent.
+    Delete(Index, Index),
+}
 
 pub mod apsp;
 pub mod astar;
@@ -32,22 +73,24 @@ pub use bfs::{
     bfs_level, bfs_level_batch, bfs_level_batch_matrix, bfs_level_direction, bfs_level_matrix,
     bfs_parent,
 };
-pub use cc::{component_count, connected_components};
+pub use cc::{component_count, connected_components, connected_components_delta};
 pub use cdlp::cdlp;
 pub use coloring::{greedy_color, verify_coloring};
 pub use dnn::{dnn_categorize, dnn_inference, DnnLayer};
 pub use gnn::{gcn_inference, node_classification, normalized_adjacency, GcnLayer};
-pub use kcore::{core_numbers, kcore};
+pub use kcore::{core_numbers, core_numbers_insert, kcore};
 pub use ktruss::{ktruss, max_truss};
 pub use local_cluster::{approximate_ppr, conductance, local_cluster, LocalClusterOptions};
 pub use matching::{bipartite_matching, verify_matching};
 pub use mcl::{markov_cluster, MclOptions};
 pub use mis::{maximal_independent_set, verify_mis};
 pub use msf::{forest_weight, minimum_spanning_forest};
-pub use pagerank::{pagerank, PageRankOptions};
+pub use pagerank::{pagerank, pagerank_warm, PageRankOptions};
 pub use peer_pressure::peer_pressure;
 pub use scc::{scc_count, strongly_connected_components};
 pub use sssp::{sssp_bellman_ford, sssp_delta_stepping};
 pub use subgraph::{subgraph_counts, SubgraphCounts};
 pub use triangle_centrality::triangle_centrality;
-pub use tricount::{triangle_count, triangle_count_per_vertex, TriCountMethod};
+pub use tricount::{
+    triangle_count, triangle_count_delta, triangle_count_per_vertex, TriCountMethod,
+};

@@ -41,7 +41,8 @@ use graphblas::{Error as GrbError, Index, Vector};
 use super::cache::QueryCache;
 use super::{panic_message, BackpressurePolicy, ServiceError, Shared, Snapshot};
 use crate::algorithms::{
-    bfs_level, bfs_level_batch, pagerank, triangle_count, PageRankOptions, TriCountMethod,
+    bfs_level, bfs_level_batch, connected_components, core_numbers, pagerank, triangle_count,
+    PageRankOptions, TriCountMethod,
 };
 
 /// Tuning knobs for the admission layer. Defaults suit tests and modest
@@ -125,11 +126,14 @@ pub(crate) enum QueryKind {
     BfsLevel { source: Index },
     PageRank { damping_bits: u64, tolerance_bits: u64, max_iters: usize },
     TriangleCount,
+    ConnectedComponents,
+    Degrees,
+    CoreNumbers,
 }
 
 /// Normalize a float for use in a hashable cache key: `-0.0` folds to
 /// `+0.0`, everything else keeps its exact bit pattern.
-fn canon_bits(x: f64) -> u64 {
+pub(crate) fn canon_bits(x: f64) -> u64 {
     (x + 0.0).to_bits()
 }
 
@@ -154,6 +158,25 @@ impl Query {
         Query(QueryKind::TriangleCount)
     }
 
+    /// A connected-components labeling query (undirected graphs).
+    /// Served directly from the materialized view when one is
+    /// registered and current.
+    pub fn connected_components() -> Self {
+        Query(QueryKind::ConnectedComponents)
+    }
+
+    /// An out-degree-counts query (sparse: vertices with no arcs have
+    /// no entry). Served from the degree view when registered.
+    pub fn degrees() -> Self {
+        Query(QueryKind::Degrees)
+    }
+
+    /// A k-core-numbers query (undirected graphs). Served from the
+    /// core-numbers view when registered.
+    pub fn core_numbers() -> Self {
+        Query(QueryKind::CoreNumbers)
+    }
+
     /// The algorithm label, as used in traces and the
     /// `lagraph_service_queries_total{algo=…}` metric.
     pub fn algorithm(&self) -> &'static str {
@@ -161,6 +184,9 @@ impl Query {
             QueryKind::BfsLevel { .. } => "bfs_level",
             QueryKind::PageRank { .. } => "pagerank",
             QueryKind::TriangleCount => "triangle_count",
+            QueryKind::ConnectedComponents => "connected_components",
+            QueryKind::Degrees => "degree",
+            QueryKind::CoreNumbers => "core_numbers",
         }
     }
 }
@@ -181,6 +207,14 @@ pub enum QueryResult {
     },
     /// A global triangle count.
     Count(u64),
+    /// Connected-component labels: `components(v)` = the smallest vertex
+    /// id in `v`'s component.
+    Components(Arc<Vector<u64>>),
+    /// Out-degree counts; vertices with no arcs are absent.
+    Degrees(Arc<Vector<i64>>),
+    /// k-core numbers: `cores(v)` = the largest k with `v` in the
+    /// k-core.
+    Cores(Arc<Vector<i64>>),
 }
 
 impl QueryResult {
@@ -208,6 +242,30 @@ impl QueryResult {
             _ => None,
         }
     }
+
+    /// The component labels, if this is a [`QueryResult::Components`].
+    pub fn components(&self) -> Option<&Vector<u64>> {
+        match self {
+            QueryResult::Components(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The degree counts, if this is a [`QueryResult::Degrees`].
+    pub fn degrees(&self) -> Option<&Vector<i64>> {
+        match self {
+            QueryResult::Degrees(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The core numbers, if this is a [`QueryResult::Cores`].
+    pub fn cores(&self) -> Option<&Vector<i64>> {
+        match self {
+            QueryResult::Cores(v) => Some(v),
+            _ => None,
+        }
+    }
 }
 
 /// A point-in-time sample of the admission layer's counters, from
@@ -227,6 +285,9 @@ pub struct AdmissionStats {
     pub cache_hits: u64,
     /// Queries that missed the cache and executed.
     pub cache_misses: u64,
+    /// Queries answered directly from a materialized view (bypassing
+    /// cache, batching, and the query kernel).
+    pub view_hits: u64,
 }
 
 #[derive(Default)]
@@ -236,6 +297,7 @@ struct StatsInner {
     batched_queries: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    view_hits: AtomicU64,
 }
 
 /// One waiter slot: the leader (or direct executor) fills it exactly
@@ -285,6 +347,9 @@ struct AdmissionMetrics {
     queries_bfs: metrics::Counter,
     queries_pagerank: metrics::Counter,
     queries_tricount: metrics::Counter,
+    queries_cc: metrics::Counter,
+    queries_degree: metrics::Counter,
+    queries_kcore: metrics::Counter,
     query_seconds: metrics::Histogram,
 }
 
@@ -314,6 +379,9 @@ impl AdmissionMetrics {
             queries_bfs: queries("bfs_level"),
             queries_pagerank: queries("pagerank"),
             queries_tricount: queries("triangle_count"),
+            queries_cc: queries("connected_components"),
+            queries_degree: queries("degree"),
+            queries_kcore: queries("core_numbers"),
             query_seconds: metrics::histogram_scaled(
                 "lagraph_service_query_seconds",
                 "End-to-end query latency through admission (seconds).",
@@ -328,6 +396,9 @@ impl AdmissionMetrics {
             QueryKind::BfsLevel { .. } => &self.queries_bfs,
             QueryKind::PageRank { .. } => &self.queries_pagerank,
             QueryKind::TriangleCount => &self.queries_tricount,
+            QueryKind::ConnectedComponents => &self.queries_cc,
+            QueryKind::Degrees => &self.queries_degree,
+            QueryKind::CoreNumbers => &self.queries_kcore,
         }
     }
 }
@@ -366,6 +437,7 @@ impl Admission {
             batched_queries: self.stats.batched_queries.load(Relaxed),
             cache_hits: self.stats.cache_hits.load(Relaxed),
             cache_misses: self.stats.cache_misses.load(Relaxed),
+            view_hits: self.stats.view_hits.load(Relaxed),
         }
     }
 
@@ -375,10 +447,21 @@ impl Admission {
         let t0 = Instant::now();
         self.stats.queries.fetch_add(1, Relaxed);
         self.metrics.queries(&q).inc();
+        let snap = shared.snapshot.read().clone();
+        // Materialized views answer first: a registered, epoch-current
+        // view bypasses the cache, batching, and the query kernel. The
+        // check runs *before* the failure check on purpose: views only
+        // ever reflect successfully published epochs, so — like raw
+        // `snapshot()` reads — they keep answering at the last good
+        // epoch after a drainer failure.
+        if let Some(hit) = shared.views.serve(snap.epoch(), &q.0) {
+            self.stats.view_hits.fetch_add(1, Relaxed);
+            self.metrics.query_seconds.observe(t0.elapsed().as_nanos() as u64);
+            return Ok(hit);
+        }
         if let Some(err) = shared.failure() {
             return Err(err);
         }
-        let snap = shared.snapshot.read().clone();
         if let Some(hit) = self.cache.get(snap.epoch(), &q) {
             self.stats.cache_hits.fetch_add(1, Relaxed);
             self.metrics.cache_hit.inc();
@@ -418,6 +501,11 @@ impl Admission {
         let mut positions: Vec<Vec<usize>> = Vec::new();
         for (idx, q) in queries.iter().enumerate() {
             self.metrics.queries(q).inc();
+            if let Some(hit) = shared.views.serve(epoch, &q.0) {
+                self.stats.view_hits.fetch_add(1, Relaxed);
+                out[idx] = Some(hit);
+                continue;
+            }
             if let Some(hit) = self.cache.get(epoch, q) {
                 self.stats.cache_hits.fetch_add(1, Relaxed);
                 self.metrics.cache_hit.inc();
@@ -615,6 +703,15 @@ fn run_query(q: &Query, snap: &Snapshot) -> Result<QueryResult, ServiceError> {
         QueryKind::TriangleCount => {
             let n = triangle_count(snap.graph(), TriCountMethod::Sandia)?;
             Ok(QueryResult::Count(n))
+        }
+        QueryKind::ConnectedComponents => {
+            let v = connected_components(snap.graph())?;
+            Ok(QueryResult::Components(Arc::new(v)))
+        }
+        QueryKind::Degrees => Ok(QueryResult::Degrees(snap.graph().out_degree()?)),
+        QueryKind::CoreNumbers => {
+            let v = core_numbers(snap.graph())?;
+            Ok(QueryResult::Cores(Arc::new(v)))
         }
     }
 }

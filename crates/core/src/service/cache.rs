@@ -11,6 +11,12 @@
 //! constructors (e.g. PageRank float options are normalized to bit
 //! patterns), so two textually different but semantically identical
 //! queries share one cache line.
+//!
+//! Materialized views sit *in front of* this cache: the admission layer
+//! consults [`super::views`] first, and a view hit (counted as
+//! `view_hits`, not a cache hit) never touches these maps — the cache
+//! only ever sees the queries the view table could not answer, such as
+//! parameterized traversals or algorithms with no registered view.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::Mutex;

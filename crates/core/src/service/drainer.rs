@@ -317,6 +317,16 @@ pub(crate) fn coordinator_loop(
         span.arg("shards", workers.len());
         shared.metrics.batch_updates.observe(total as u64);
         let shard_counts: Vec<usize> = batches.iter().map(Vec::len).collect();
+        // Capture the epoch's whole delta for the view engine before the
+        // batches are consumed. Shard order here is not submission order
+        // across edges, but per-edge order is preserved (one shard owns
+        // each edge) and every view's final value is order-independent
+        // across distinct edges, so the concatenation is sound.
+        let views_delta: Option<Vec<Update>> = if shared.views.wants_deltas() {
+            Some(batches.iter().flatten().copied().collect())
+        } else {
+            None
+        };
 
         // Fan out. Every shard gets a command (empty batches included)
         // so the barrier below is uniform.
@@ -369,7 +379,13 @@ pub(crate) fn coordinator_loop(
                 let nedges = g.nedges();
                 span.arg("nedges", nedges);
                 span.arg("queue_depth", shared.depth());
-                *shared.snapshot.write() = Arc::new(Snapshot { epoch, nedges, graph: Arc::new(g) });
+                let graph = Arc::new(g);
+                // Views advance *before* the snapshot swap, so a flush
+                // that observes epoch e also observes views at e; a
+                // failed epoch never reaches this point, leaving the
+                // views at the last good epoch alongside the snapshot.
+                shared.views.on_epoch(&graph, epoch, views_delta.as_deref());
+                *shared.snapshot.write() = Arc::new(Snapshot { epoch, nedges, graph });
                 let now_ns = now_unix_ns();
                 shared.metrics.publish_unix_ns.store(now_ns, Relaxed);
                 shared.metrics.last_publish.set(now_ns as f64 / 1e9);

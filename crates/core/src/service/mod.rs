@@ -113,12 +113,14 @@
 pub mod admission;
 pub mod cache;
 pub mod partition;
+pub mod views;
 
 mod drainer;
 
 pub use admission::{AdmissionConfig, AdmissionStats, Query, QueryResult};
 pub use cache::QueryCache;
 pub use partition::{EdgeHash, Grid2D, Partitioner, RowBlock};
+pub use views::{ViewKind, ViewStat, ViewsConfig};
 
 use crate::graph::{Graph, GraphKind};
 use admission::Admission;
@@ -201,6 +203,12 @@ pub struct ServiceConfig {
     pub partitioner: Option<Arc<dyn Partitioner>>,
     /// Query-admission tuning (batch window, batch width, cache size).
     pub admission: AdmissionConfig,
+    /// Materialized analytic views to register at startup
+    /// ([`views::ViewsConfig`]); `None` (the default) starts no views —
+    /// they can still be added later with
+    /// [`GraphService::register_view`]. Views inapplicable to the
+    /// graph's kind are skipped with a warning.
+    pub views: Option<ViewsConfig>,
     /// Test failpoint: shard 0's drainer panics when it is asked to
     /// drain this epoch, exercising the failure path end to end.
     #[doc(hidden)]
@@ -217,6 +225,7 @@ impl Default for ServiceConfig {
             compressed: false,
             partitioner: None,
             admission: AdmissionConfig::default(),
+            views: None,
             fail_epoch: None,
         }
     }
@@ -224,8 +233,10 @@ impl Default for ServiceConfig {
 
 impl ServiceConfig {
     /// Defaults overridden from the environment:
-    /// `LAGRAPH_SERVICE_SHARDS` sets the shard count, and the admission
-    /// knobs come from [`AdmissionConfig::from_env`]. Malformed values
+    /// `LAGRAPH_SERVICE_SHARDS` sets the shard count, the admission
+    /// knobs come from [`AdmissionConfig::from_env`], and
+    /// `LAGRAPH_VIEWS` / `LAGRAPH_VIEWS_STALENESS` configure the
+    /// materialized views ([`ViewsConfig::from_env`]). Malformed values
     /// warn once and fall back to the default.
     pub fn from_env() -> Self {
         let mut c = ServiceConfig::default();
@@ -233,6 +244,7 @@ impl ServiceConfig {
             c.shards = s.max(1);
         }
         c.admission = AdmissionConfig::from_env();
+        c.views = ViewsConfig::from_env();
         c
     }
 }
@@ -542,6 +554,9 @@ pub(crate) struct Shared {
     pub(crate) published: Condvar,
     /// Live-metric handles (no-ops while `graphblas::metrics` is off).
     pub(crate) metrics: ServiceMetrics,
+    /// The materialized-view engine; inert (and delta capture skipped)
+    /// until a view is registered.
+    pub(crate) views: Arc<views::ViewEngine>,
 }
 
 impl Shared {
@@ -614,6 +629,9 @@ impl GraphService {
         // the sub-matrices start as a routed split of the initial graph.
         let workers_state = Arc::new(drainer::split_masters(&initial, &*partitioner, compressed)?);
         let nedges = initial.nedges();
+        let initial = Arc::new(initial);
+        let views_cfg = config.views.clone().unwrap_or_default();
+        let views_engine = Arc::new(views::ViewEngine::new(kind, initial.clone(), &views_cfg));
         let shared = Arc::new(Shared {
             shards: (0..shards)
                 .map(|_| Shard { queue: Mutex::new(VecDeque::new()), not_full: Condvar::new() })
@@ -626,7 +644,7 @@ impl GraphService {
             snapshot: RwLock::new(Arc::new(Snapshot {
                 epoch: initial.epoch(),
                 nedges,
-                graph: Arc::new(initial),
+                graph: initial,
             })),
             submitted: AtomicU64::new(0),
             processed: AtomicU64::new(0),
@@ -639,6 +657,7 @@ impl GraphService {
             work: Condvar::new(),
             published: Condvar::new(),
             metrics: ServiceMetrics::new(shards, config.policy),
+            views: views_engine,
         });
         // Resident bytes of the *served* snapshot, sampled at scrape
         // time through a weak handle so a dropped service stops
@@ -686,7 +705,18 @@ impl GraphService {
                 })?
         };
         let admission = Arc::new(Admission::new(config.admission));
-        Ok(GraphService { shared, admission, coordinator: Some(coordinator), workers })
+        let service = GraphService { shared, admission, coordinator: Some(coordinator), workers };
+        if let Some(vcfg) = &config.views {
+            for &k in &vcfg.views {
+                if let Err(e) = service.register_view(k) {
+                    trace::warn_once(
+                        "service.views",
+                        &format!("skipping configured view {}: {e}", k.name()),
+                    );
+                }
+            }
+        }
+        Ok(service)
     }
 
     /// The currently served snapshot. Lock-light: one read-lock
@@ -718,6 +748,23 @@ impl GraphService {
     /// hits/misses). Per-service, unlike the process-global metrics.
     pub fn admission_stats(&self) -> AdmissionStats {
         self.admission.stats()
+    }
+
+    /// Register (and materialize) one analytic view; from the next
+    /// epoch on it is repaired incrementally from each epoch's deltas
+    /// and serves matching [`query`](GraphService::query) calls
+    /// directly. Errors if the view is undefined for the graph's kind
+    /// (e.g. [`ViewKind::TriangleCount`] on a directed graph);
+    /// re-registering is a no-op. See [`views`] for the machinery.
+    pub fn register_view(&self, kind: ViewKind) -> Result<(), ServiceError> {
+        self.shared.views.register(kind)
+    }
+
+    /// Per-view repair/rebuild/served counters for every registered
+    /// view. Per-service, unlike the process-global
+    /// `lagraph_service_view_*` metric series.
+    pub fn view_stats(&self) -> Vec<ViewStat> {
+        self.shared.views.stats()
     }
 
     /// Submit one update. Visibility is *eventual*: the update is

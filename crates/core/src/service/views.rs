@@ -1,0 +1,932 @@
+//! Materialized analytic views, incrementally repaired per epoch.
+//!
+//! A view is a precomputed whole-graph answer — connected components,
+//! PageRank, out-degrees, the global triangle count, core numbers —
+//! kept *current* against the served snapshot. Instead of recomputing
+//! from scratch every epoch, the engine receives the epoch's edge-delta
+//! batch from the epoch coordinator (`drainer.rs`), classifies it into
+//! real structural changes (weight overwrites and redundant deletes
+//! drop out), and applies each view's algebraic update rule:
+//!
+//! * **Connected components** — inserts are component merges
+//!   (min-wins union-find over the old labels); a delete that might
+//!   split a component triggers a *targeted* traversal of exactly the
+//!   affected component ([`connected_components_delta`]) — never silent
+//!   staleness.
+//! * **PageRank** — warm-restart from the previous rank vector
+//!   ([`pagerank_warm`]): the same iteration, a much closer starting
+//!   point, so the residual is already near tolerance.
+//! * **Degree counts** — an O(Δ) fold of the classified events.
+//! * **Triangle count** — per-edge common-neighbor deltas over a patch
+//!   overlay ([`triangle_count_delta`]), exact by telescoping.
+//! * **Core numbers** — the traversal insertion rule
+//!   ([`core_numbers_insert`]) for insert-only epochs; any delete falls
+//!   back to a full peel (deletion has no comparably local rule).
+//!
+//! When an epoch's structural-change count exceeds the staleness budget
+//! ([`ViewsConfig::staleness`], env `LAGRAPH_VIEWS_STALENESS`), repair
+//! would cost more than recomputation and the engine rebuilds from the
+//! published graph instead — counted separately, so operators can see
+//! the repair/rebuild ratio in
+//! `lagraph_service_view_refresh_total{view,mode}` and repair latency
+//! in `lagraph_service_view_repair_seconds{view}`.
+//!
+//! Views are epoch-tagged and published as one atomic table *before*
+//! the snapshot swap, so a [`flush`](super::GraphService::flush) that
+//! returns epoch `e` implies the views are current at `e`. The
+//! admission layer consults the view table first: a hit bypasses
+//! batching, caching, and the query kernel entirely. A drainer failure
+//! never corrupts a view — the engine only advances on successfully
+//! barriered epochs, so after a failure the views keep answering at the
+//! last good epoch, exactly like the snapshot.
+//!
+//! The differential suite (`tests/service_views.rs`) replays hundreds of
+//! mixed insert/delete updates at S∈{1,2,4} shards and compares every
+//! epoch's view against a from-scratch oracle — bit-for-bit for the
+//! discrete views, within tolerance for warm-restarted PageRank (and
+//! bit-for-bit for PageRank too when `staleness = 0` forces cold
+//! rebuilds).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use graphblas::metrics;
+use graphblas::trace;
+use graphblas::{Error as GrbError, Index, Vector};
+use parking_lot::RwLock;
+
+use super::admission::{canon_bits, QueryKind, QueryResult};
+use super::{env_parse, ServiceError, Update};
+use crate::algorithms::{
+    connected_components, connected_components_delta, core_numbers, core_numbers_insert, pagerank,
+    pagerank_warm, triangle_count, triangle_count_delta, AdjacencyView, EdgeEvent, PageRankOptions,
+    TriCountMethod,
+};
+use crate::graph::{Graph, GraphKind};
+
+/// The analytic views the service can materialize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViewKind {
+    /// Connected-component labels (undirected graphs only).
+    ConnectedComponents,
+    /// PageRank scores at the engine's configured options.
+    PageRank,
+    /// Out-degree counts (equals degree on undirected graphs).
+    DegreeCounts,
+    /// The global triangle count (undirected graphs only).
+    TriangleCount,
+    /// k-core numbers (undirected graphs only).
+    CoreNumbers,
+}
+
+impl ViewKind {
+    /// Every view, in registration order.
+    pub const ALL: [ViewKind; 5] = [
+        ViewKind::ConnectedComponents,
+        ViewKind::PageRank,
+        ViewKind::DegreeCounts,
+        ViewKind::TriangleCount,
+        ViewKind::CoreNumbers,
+    ];
+
+    /// The short name used in `LAGRAPH_VIEWS` and the `view=` metric
+    /// label.
+    pub fn name(self) -> &'static str {
+        match self {
+            ViewKind::ConnectedComponents => "cc",
+            ViewKind::PageRank => "pagerank",
+            ViewKind::DegreeCounts => "degree",
+            ViewKind::TriangleCount => "tricount",
+            ViewKind::CoreNumbers => "kcore",
+        }
+    }
+
+    /// Parse one `LAGRAPH_VIEWS` list entry.
+    pub fn parse(s: &str) -> Option<ViewKind> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "cc" => Some(ViewKind::ConnectedComponents),
+            "pagerank" | "pr" => Some(ViewKind::PageRank),
+            "degree" => Some(ViewKind::DegreeCounts),
+            "tricount" => Some(ViewKind::TriangleCount),
+            "kcore" => Some(ViewKind::CoreNumbers),
+            _ => None,
+        }
+    }
+
+    /// Whether the view is only defined on undirected graphs.
+    pub fn needs_undirected(self) -> bool {
+        matches!(
+            self,
+            ViewKind::ConnectedComponents | ViewKind::TriangleCount | ViewKind::CoreNumbers
+        )
+    }
+
+    fn idx(self) -> usize {
+        match self {
+            ViewKind::ConnectedComponents => 0,
+            ViewKind::PageRank => 1,
+            ViewKind::DegreeCounts => 2,
+            ViewKind::TriangleCount => 3,
+            ViewKind::CoreNumbers => 4,
+        }
+    }
+}
+
+/// Configuration for the view engine, normally set through
+/// [`super::ServiceConfig::views`] or the environment
+/// ([`ViewsConfig::from_env`]).
+#[derive(Debug, Clone)]
+pub struct ViewsConfig {
+    /// The views to register at service start. Views inapplicable to
+    /// the graph's kind (the undirected-only ones on a directed graph)
+    /// are skipped with a warning.
+    pub views: Vec<ViewKind>,
+    /// Staleness budget: the most structural changes one epoch may
+    /// carry and still be *repaired* incrementally. A larger delta
+    /// rebuilds every view from the published graph instead (counted as
+    /// `mode="rebuild"`). `0` forces a rebuild every epoch — the
+    /// bit-for-bit-reproducible mode.
+    pub staleness: usize,
+    /// Options for the PageRank view; a PageRank query is served from
+    /// the view only when its canonicalized options match these.
+    pub pagerank: PageRankOptions,
+}
+
+impl Default for ViewsConfig {
+    fn default() -> Self {
+        ViewsConfig {
+            views: ViewKind::ALL.to_vec(),
+            staleness: 4096,
+            pagerank: PageRankOptions::default(),
+        }
+    }
+}
+
+impl ViewsConfig {
+    /// Read `LAGRAPH_VIEWS` (unset/`0`/`off` → no views; `1`/`all` →
+    /// every view; otherwise a comma-separated list of view names) and
+    /// `LAGRAPH_VIEWS_STALENESS` (the repair budget). Unknown view
+    /// names warn once and are skipped.
+    pub fn from_env() -> Option<Self> {
+        let raw = std::env::var("LAGRAPH_VIEWS").ok()?;
+        let t = raw.trim();
+        if t.is_empty() || t == "0" || t.eq_ignore_ascii_case("off") {
+            return None;
+        }
+        let views: Vec<ViewKind> = if t == "1" || t.eq_ignore_ascii_case("all") {
+            ViewKind::ALL.to_vec()
+        } else {
+            let mut v = Vec::new();
+            for part in t.split(',') {
+                match ViewKind::parse(part) {
+                    Some(k) if !v.contains(&k) => v.push(k),
+                    Some(_) => {}
+                    None => trace::warn_once(
+                        "LAGRAPH_VIEWS",
+                        &format!("ignoring unknown view {:?} in LAGRAPH_VIEWS", part.trim()),
+                    ),
+                }
+            }
+            v
+        };
+        if views.is_empty() {
+            return None;
+        }
+        let mut c = ViewsConfig { views, ..ViewsConfig::default() };
+        if let Some(s) = env_parse::<usize>("LAGRAPH_VIEWS_STALENESS") {
+            c.staleness = s;
+        }
+        Some(c)
+    }
+}
+
+/// Per-view counters from [`super::GraphService::view_stats`] —
+/// per-service (unlike the process-global metrics), so tests can assert
+/// the repair/rebuild split in isolation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViewStat {
+    /// Which view.
+    pub view: ViewKind,
+    /// Epochs absorbed by incremental repair.
+    pub repairs: u64,
+    /// Epochs that fell back to a full recompute (staleness budget
+    /// exceeded, un-captured delta, or a rule with no local repair —
+    /// e.g. core numbers under deletes).
+    pub rebuilds: u64,
+    /// Queries answered from this view.
+    pub served: u64,
+}
+
+/// The symmetric (for undirected graphs) adjacency overlay the engine
+/// keeps alongside the views: O(e) to build once at registration, O(Δ)
+/// to advance per epoch, O(1) membership tests for delta
+/// classification, and the [`AdjacencyView`] the incremental algorithms
+/// traverse.
+struct Adjacency {
+    mirror: bool,
+    sets: Vec<HashSet<Index>>,
+}
+
+impl Adjacency {
+    fn from_graph(g: &Graph) -> Result<Self, GrbError> {
+        let s = g.structure()?;
+        let mut sets = vec![HashSet::new(); g.nvertices()];
+        for (i, j, _) in s.iter() {
+            sets[i].insert(j);
+        }
+        Ok(Adjacency { mirror: g.kind() == GraphKind::Undirected, sets })
+    }
+
+    fn apply(&mut self, e: &EdgeEvent) {
+        match *e {
+            EdgeEvent::Insert(u, v) => {
+                self.sets[u].insert(v);
+                if self.mirror && u != v {
+                    self.sets[v].insert(u);
+                }
+            }
+            EdgeEvent::Delete(u, v) => {
+                self.sets[u].remove(&v);
+                if self.mirror && u != v {
+                    self.sets[v].remove(&u);
+                }
+            }
+        }
+    }
+}
+
+impl AdjacencyView for Adjacency {
+    fn nvertices(&self) -> Index {
+        self.sets.len()
+    }
+    fn has_edge(&self, u: Index, v: Index) -> bool {
+        self.sets[u].contains(&v)
+    }
+    fn degree(&self, u: Index) -> usize {
+        self.sets[u].len()
+    }
+    fn for_each_neighbor(&self, u: Index, f: &mut dyn FnMut(Index)) {
+        for &v in &self.sets[u] {
+            f(v);
+        }
+    }
+}
+
+/// Classify a raw epoch batch into *structural* events against the
+/// pre-epoch adjacency: an insert of a present edge is a reweight (no
+/// event), a delete of an absent edge is a no-op. Later updates to the
+/// same edge see the earlier ones through the override map, so a
+/// within-batch insert-then-delete nets out to the right event pair.
+fn classify(adj: &Adjacency, batch: &[Update]) -> Vec<EdgeEvent> {
+    let mut over: HashMap<(Index, Index), bool> = HashMap::new();
+    let mut events = Vec::new();
+    for u in batch {
+        let (i, j, insert) = match *u {
+            Update::Insert(i, j, _) => (i, j, true),
+            Update::Delete(i, j) => (i, j, false),
+        };
+        let present = over.get(&(i, j)).copied().unwrap_or_else(|| adj.has_edge(i, j));
+        if insert != present {
+            events.push(if insert { EdgeEvent::Insert(i, j) } else { EdgeEvent::Delete(i, j) });
+            over.insert((i, j), insert);
+        }
+    }
+    events
+}
+
+/// The atomically published answer table: readers clone `Arc`s, never
+/// blocking behind an in-progress repair.
+struct ViewTable {
+    epoch: u64,
+    cc: Option<Arc<Vector<u64>>>,
+    degree: Option<Arc<Vector<i64>>>,
+    tricount: Option<u64>,
+    cores: Option<Arc<Vector<i64>>>,
+    ranks: Option<(Arc<Vector<f64>>, usize)>,
+}
+
+impl ViewTable {
+    fn empty(epoch: u64) -> Self {
+        ViewTable { epoch, cc: None, degree: None, tricount: None, cores: None, ranks: None }
+    }
+}
+
+/// Mutable engine state, guarded by one mutex (taken by the epoch
+/// coordinator, registration, and stats — never by the serve path).
+struct EngineState {
+    epoch: u64,
+    /// The graph of `epoch` — registration materializes from this, not
+    /// the service snapshot, so a view is never ahead of or behind the
+    /// engine's own adjacency overlay.
+    latest: Arc<Graph>,
+    adj: Option<Adjacency>,
+    cc: Option<Vec<u64>>,
+    degree: Option<Vec<i64>>,
+    tricount: Option<u64>,
+    cores: Option<Vec<i64>>,
+    ranks: Option<(Arc<Vector<f64>>, usize)>,
+}
+
+impl EngineState {
+    fn structural_registered(&self) -> bool {
+        self.cc.is_some()
+            || self.degree.is_some()
+            || self.tricount.is_some()
+            || self.cores.is_some()
+    }
+
+    fn any_registered(&self) -> bool {
+        self.structural_registered() || self.ranks.is_some()
+    }
+}
+
+/// One view's counters and metric handles.
+struct KindSlot {
+    repairs: AtomicU64,
+    rebuilds: AtomicU64,
+    served: AtomicU64,
+    m_repair: metrics::Counter,
+    m_rebuild: metrics::Counter,
+    m_served: metrics::Counter,
+    m_repair_seconds: metrics::Histogram,
+}
+
+fn kind_slot(kind: ViewKind) -> KindSlot {
+    let name = kind.name();
+    let refresh = |mode: &str| {
+        metrics::counter_with(
+            "lagraph_service_view_refresh_total",
+            "Materialized-view refreshes by view and mode (incremental repair vs full rebuild).",
+            &[("view", name), ("mode", mode)],
+        )
+    };
+    KindSlot {
+        repairs: AtomicU64::new(0),
+        rebuilds: AtomicU64::new(0),
+        served: AtomicU64::new(0),
+        m_repair: refresh("repair"),
+        m_rebuild: refresh("rebuild"),
+        m_served: metrics::counter_with(
+            "lagraph_service_view_served_total",
+            "Queries answered directly from a materialized view.",
+            &[("view", name)],
+        ),
+        m_repair_seconds: metrics::histogram_scaled(
+            "lagraph_service_view_repair_seconds",
+            "Incremental view-repair latency per epoch (seconds).",
+            &[("view", name)],
+            1e-9,
+        ),
+    }
+}
+
+/// The engine: owned by [`super::Shared`], advanced by the epoch
+/// coordinator, consulted lock-free(ish) by the admission layer.
+pub(crate) struct ViewEngine {
+    kind: GraphKind,
+    staleness: usize,
+    pr_opts: PageRankOptions,
+    /// Whether any view has ever been registered — the coordinator's
+    /// cheap "should I capture the delta at all" check.
+    active: AtomicBool,
+    state: Mutex<EngineState>,
+    published: RwLock<Arc<ViewTable>>,
+    slots: [KindSlot; 5],
+}
+
+impl ViewEngine {
+    pub(crate) fn new(kind: GraphKind, latest: Arc<Graph>, config: &ViewsConfig) -> Self {
+        let epoch = latest.epoch();
+        ViewEngine {
+            kind,
+            staleness: config.staleness,
+            pr_opts: config.pagerank,
+            active: AtomicBool::new(false),
+            state: Mutex::new(EngineState {
+                epoch,
+                latest,
+                adj: None,
+                cc: None,
+                degree: None,
+                tricount: None,
+                cores: None,
+                ranks: None,
+            }),
+            published: RwLock::new(Arc::new(ViewTable::empty(epoch))),
+            slots: ViewKind::ALL.map(kind_slot),
+        }
+    }
+
+    /// Whether the coordinator should hand [`ViewEngine::on_epoch`] the
+    /// epoch's update batch.
+    pub(crate) fn wants_deltas(&self) -> bool {
+        self.active.load(Relaxed)
+    }
+
+    /// Register (and materialize) one view at the engine's current
+    /// epoch. Errors if the view is undefined for the graph's kind;
+    /// re-registering is a no-op.
+    pub(crate) fn register(&self, kind: ViewKind) -> Result<(), ServiceError> {
+        if kind.needs_undirected() && self.kind != GraphKind::Undirected {
+            return Err(ServiceError::Graph(GrbError::invalid(format!(
+                "view {:?} is only defined on undirected graphs",
+                kind.name()
+            ))));
+        }
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let graph = st.latest.clone();
+        if kind != ViewKind::PageRank && st.adj.is_none() {
+            st.adj = Some(Adjacency::from_graph(&graph)?);
+        }
+        let n = graph.nvertices();
+        match kind {
+            ViewKind::ConnectedComponents if st.cc.is_none() => {
+                st.cc = Some(dense_u64(&connected_components(&graph)?, n));
+            }
+            ViewKind::DegreeCounts if st.degree.is_none() => {
+                st.degree = Some(dense_degree(&graph)?);
+            }
+            ViewKind::TriangleCount if st.tricount.is_none() => {
+                st.tricount = Some(triangle_count(&graph, TriCountMethod::Sandia)?);
+            }
+            ViewKind::CoreNumbers if st.cores.is_none() => {
+                st.cores = Some(dense_i64(&core_numbers(&graph)?, n));
+            }
+            ViewKind::PageRank if st.ranks.is_none() => {
+                let (r, iters) = pagerank(&graph, &self.pr_opts)?;
+                st.ranks = Some((Arc::new(r), iters));
+            }
+            _ => return Ok(()), // already registered
+        }
+        self.republish(&st);
+        self.active.store(true, Relaxed);
+        Ok(())
+    }
+
+    /// Advance every registered view to `epoch`. Called by the epoch
+    /// coordinator after the shard barrier and *before* the snapshot
+    /// swap — a failed epoch never reaches here, so views only ever
+    /// reflect successfully published graphs. `delta` is the epoch's
+    /// full update batch in replay order; `None` means it was not
+    /// captured (a view registered mid-cut) and forces a rebuild.
+    pub(crate) fn on_epoch(&self, graph: &Arc<Graph>, epoch: u64, delta: Option<&[Update]>) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if !st.any_registered() {
+            st.epoch = epoch;
+            st.latest = graph.clone();
+            return;
+        }
+        let structural = st.structural_registered();
+        let events: Option<Vec<EdgeEvent>> = match (structural, delta, st.adj.as_ref()) {
+            (true, Some(batch), Some(adj)) => Some(classify(adj, batch)),
+            _ => None,
+        };
+        // A batch of pure reweights / redundant ops changes nothing any
+        // view (all structure-only) can observe: keep every answer.
+        if events.as_ref().is_some_and(Vec::is_empty) {
+            st.epoch = epoch;
+            st.latest = graph.clone();
+            self.republish(&st);
+            return;
+        }
+        let over_budget = match (&events, delta) {
+            (Some(ev), _) => ev.len() > self.staleness,
+            (None, Some(batch)) => batch.len() > self.staleness,
+            (None, None) => true,
+        };
+        if over_budget || (structural && events.is_none()) {
+            // Repair would cost more than recomputing (or the delta was
+            // not captured): advance the overlay, then rebuild every
+            // registered view from the published graph.
+            if structural {
+                match (&events, st.adj.as_mut()) {
+                    (Some(ev), Some(adj)) => {
+                        for e in ev {
+                            adj.apply(e);
+                        }
+                    }
+                    _ => match Adjacency::from_graph(graph) {
+                        Ok(a) => st.adj = Some(a),
+                        Err(e) => {
+                            trace::warn_once(
+                                "service.views",
+                                &format!(
+                                    "dropping structural views, adjacency rebuild failed: {e}"
+                                ),
+                            );
+                            st.adj = None;
+                            st.cc = None;
+                            st.degree = None;
+                            st.tricount = None;
+                            st.cores = None;
+                        }
+                    },
+                }
+            }
+            self.rebuild_registered(&mut st, graph);
+        } else {
+            self.repair_registered(&mut st, graph, &events.unwrap_or_default());
+        }
+        st.epoch = epoch;
+        st.latest = graph.clone();
+        self.republish(&st);
+    }
+
+    /// Incremental path: apply each view's update rule to the classified
+    /// events. `events` is empty only when nothing structural is
+    /// registered (PageRank-only), whose warm restart runs regardless.
+    fn repair_registered(&self, st: &mut EngineState, graph: &Arc<Graph>, events: &[EdgeEvent]) {
+        let n = graph.nvertices();
+        let mut inserts: Vec<(Index, Index)> = Vec::new();
+        let mut deletes: Vec<(Index, Index)> = Vec::new();
+        for e in events {
+            match *e {
+                EdgeEvent::Insert(u, v) => inserts.push((u, v)),
+                EdgeEvent::Delete(u, v) => deletes.push((u, v)),
+            }
+        }
+        let EngineState { adj, cc, degree, tricount, cores, ranks, .. } = st;
+        // Triangle count and core numbers read the *pre-epoch* adjacency
+        // (they overlay the events internally); components read the
+        // committed one. Each final value is order-independent, so the
+        // sequencing here is about which graph each rule documents.
+        if let Some(prev) = *tricount {
+            let adj = adj.as_ref().expect("structural views keep an adjacency overlay");
+            let t0 = Instant::now();
+            *tricount = Some(triangle_count_delta(adj, prev, events));
+            self.refreshed(ViewKind::TriangleCount, true, t0.elapsed());
+        }
+        let mut kcore_rebuild = false;
+        if let Some(c) = cores.as_mut() {
+            if deletes.is_empty() {
+                let adj = adj.as_ref().expect("structural views keep an adjacency overlay");
+                let t0 = Instant::now();
+                core_numbers_insert(adj, c, &inserts);
+                self.refreshed(ViewKind::CoreNumbers, true, t0.elapsed());
+            } else {
+                // Deletion has no local repair rule for core numbers;
+                // recompute this one view (the others still repair).
+                kcore_rebuild = true;
+            }
+        }
+        if let Some(adj) = adj.as_mut() {
+            for e in events {
+                adj.apply(e);
+            }
+        }
+        if let Some(prev) = cc.as_ref() {
+            let adj = adj.as_ref().expect("structural views keep an adjacency overlay");
+            let t0 = Instant::now();
+            let next = connected_components_delta(adj, prev, &inserts, &deletes);
+            *cc = Some(next);
+            self.refreshed(ViewKind::ConnectedComponents, true, t0.elapsed());
+        }
+        if let Some(d) = degree.as_mut() {
+            let t0 = Instant::now();
+            let mirror = self.kind == GraphKind::Undirected;
+            for e in events {
+                match *e {
+                    EdgeEvent::Insert(u, v) => {
+                        d[u] += 1;
+                        if mirror && u != v {
+                            d[v] += 1;
+                        }
+                    }
+                    EdgeEvent::Delete(u, v) => {
+                        d[u] -= 1;
+                        if mirror && u != v {
+                            d[v] -= 1;
+                        }
+                    }
+                }
+            }
+            self.refreshed(ViewKind::DegreeCounts, true, t0.elapsed());
+        }
+        if kcore_rebuild {
+            let t0 = Instant::now();
+            match core_numbers(graph) {
+                Ok(c) => *cores = Some(dense_i64(&c, n)),
+                Err(e) => {
+                    trace::warn_once("service.views", &format!("core-number rebuild failed: {e}"));
+                    *cores = None;
+                }
+            }
+            self.refreshed(ViewKind::CoreNumbers, false, t0.elapsed());
+        }
+        if let Some((warm, _)) = ranks.clone() {
+            let t0 = Instant::now();
+            match pagerank_warm(graph, &self.pr_opts, &warm) {
+                Ok((r, iters)) => {
+                    *ranks = Some((Arc::new(r), iters));
+                    self.refreshed(ViewKind::PageRank, true, t0.elapsed());
+                }
+                Err(_) => match pagerank(graph, &self.pr_opts) {
+                    Ok((r, iters)) => {
+                        *ranks = Some((Arc::new(r), iters));
+                        self.refreshed(ViewKind::PageRank, false, t0.elapsed());
+                    }
+                    Err(e) => {
+                        trace::warn_once("service.views", &format!("pagerank view failed: {e}"));
+                        *ranks = None;
+                    }
+                },
+            }
+        }
+    }
+
+    /// Recompute every registered view from the published graph. A view
+    /// whose recompute fails is dropped (served queries fall back to
+    /// the normal execution path) rather than left stale.
+    fn rebuild_registered(&self, st: &mut EngineState, graph: &Arc<Graph>) {
+        let n = graph.nvertices();
+        if st.cc.is_some() {
+            let t0 = Instant::now();
+            match connected_components(graph) {
+                Ok(l) => st.cc = Some(dense_u64(&l, n)),
+                Err(e) => {
+                    trace::warn_once("service.views", &format!("cc view rebuild failed: {e}"));
+                    st.cc = None;
+                }
+            }
+            self.refreshed(ViewKind::ConnectedComponents, false, t0.elapsed());
+        }
+        if st.degree.is_some() {
+            let t0 = Instant::now();
+            match dense_degree(graph) {
+                Ok(d) => st.degree = Some(d),
+                Err(e) => {
+                    trace::warn_once("service.views", &format!("degree view rebuild failed: {e}"));
+                    st.degree = None;
+                }
+            }
+            self.refreshed(ViewKind::DegreeCounts, false, t0.elapsed());
+        }
+        if st.tricount.is_some() {
+            let t0 = Instant::now();
+            match triangle_count(graph, TriCountMethod::Sandia) {
+                Ok(t) => st.tricount = Some(t),
+                Err(e) => {
+                    trace::warn_once(
+                        "service.views",
+                        &format!("tricount view rebuild failed: {e}"),
+                    );
+                    st.tricount = None;
+                }
+            }
+            self.refreshed(ViewKind::TriangleCount, false, t0.elapsed());
+        }
+        if st.cores.is_some() {
+            let t0 = Instant::now();
+            match core_numbers(graph) {
+                Ok(c) => st.cores = Some(dense_i64(&c, n)),
+                Err(e) => {
+                    trace::warn_once("service.views", &format!("kcore view rebuild failed: {e}"));
+                    st.cores = None;
+                }
+            }
+            self.refreshed(ViewKind::CoreNumbers, false, t0.elapsed());
+        }
+        if st.ranks.is_some() {
+            let t0 = Instant::now();
+            match pagerank(graph, &self.pr_opts) {
+                Ok((r, iters)) => st.ranks = Some((Arc::new(r), iters)),
+                Err(e) => {
+                    trace::warn_once(
+                        "service.views",
+                        &format!("pagerank view rebuild failed: {e}"),
+                    );
+                    st.ranks = None;
+                }
+            }
+            self.refreshed(ViewKind::PageRank, false, t0.elapsed());
+        }
+    }
+
+    fn refreshed(&self, kind: ViewKind, repair: bool, dt: Duration) {
+        let s = &self.slots[kind.idx()];
+        if repair {
+            s.repairs.fetch_add(1, Relaxed);
+            s.m_repair.inc();
+            s.m_repair_seconds.observe(dt.as_nanos() as u64);
+        } else {
+            s.rebuilds.fetch_add(1, Relaxed);
+            s.m_rebuild.inc();
+        }
+    }
+
+    /// Swap in a fresh answer table for the engine's current state.
+    fn republish(&self, st: &EngineState) {
+        let n = st.latest.nvertices();
+        let table = ViewTable {
+            epoch: st.epoch,
+            cc: st.cc.as_ref().and_then(|l| materialize_dense(n, l.iter().copied())),
+            degree: st.degree.as_ref().and_then(|d| {
+                // Sparse like `Graph::out_degree`: entries only where a
+                // vertex has at least one arc.
+                let tuples: Vec<(Index, i64)> =
+                    d.iter().enumerate().filter(|(_, &x)| x != 0).map(|(i, &x)| (i, x)).collect();
+                Vector::from_tuples(n, tuples, |_, b| b).ok().map(Arc::new)
+            }),
+            tricount: st.tricount,
+            cores: st.cores.as_ref().and_then(|c| materialize_dense(n, c.iter().copied())),
+            ranks: st.ranks.clone(),
+        };
+        *self.published.write() = Arc::new(table);
+    }
+
+    /// Answer a query from the published table, iff the table is at
+    /// exactly the requested epoch. PageRank only matches when the
+    /// query's canonicalized options equal the view's.
+    pub(crate) fn serve(&self, epoch: u64, q: &QueryKind) -> Option<QueryResult> {
+        if !self.active.load(Relaxed) {
+            return None;
+        }
+        let t = self.published.read().clone();
+        if t.epoch != epoch {
+            return None;
+        }
+        let (kind, result) = match *q {
+            QueryKind::ConnectedComponents => {
+                (ViewKind::ConnectedComponents, t.cc.clone().map(QueryResult::Components))
+            }
+            QueryKind::Degrees => {
+                (ViewKind::DegreeCounts, t.degree.clone().map(QueryResult::Degrees))
+            }
+            QueryKind::CoreNumbers => {
+                (ViewKind::CoreNumbers, t.cores.clone().map(QueryResult::Cores))
+            }
+            QueryKind::TriangleCount => {
+                (ViewKind::TriangleCount, t.tricount.map(QueryResult::Count))
+            }
+            QueryKind::PageRank { damping_bits, tolerance_bits, max_iters } => {
+                let o = &self.pr_opts;
+                let matches = damping_bits == canon_bits(o.damping)
+                    && tolerance_bits == canon_bits(o.tolerance)
+                    && max_iters == o.max_iters;
+                let r = if matches {
+                    t.ranks
+                        .clone()
+                        .map(|(ranks, iterations)| QueryResult::Ranks { ranks, iterations })
+                } else {
+                    None
+                };
+                (ViewKind::PageRank, r)
+            }
+            QueryKind::BfsLevel { .. } => return None,
+        };
+        if result.is_some() {
+            let s = &self.slots[kind.idx()];
+            s.served.fetch_add(1, Relaxed);
+            s.m_served.inc();
+        }
+        result
+    }
+
+    /// Per-view counters for every registered view.
+    pub(crate) fn stats(&self) -> Vec<ViewStat> {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let registered = |k: ViewKind| match k {
+            ViewKind::ConnectedComponents => st.cc.is_some(),
+            ViewKind::PageRank => st.ranks.is_some(),
+            ViewKind::DegreeCounts => st.degree.is_some(),
+            ViewKind::TriangleCount => st.tricount.is_some(),
+            ViewKind::CoreNumbers => st.cores.is_some(),
+        };
+        ViewKind::ALL
+            .into_iter()
+            .filter(|&k| registered(k))
+            .map(|k| {
+                let s = &self.slots[k.idx()];
+                ViewStat {
+                    view: k,
+                    repairs: s.repairs.load(Relaxed),
+                    rebuilds: s.rebuilds.load(Relaxed),
+                    served: s.served.load(Relaxed),
+                }
+            })
+            .collect()
+    }
+
+    /// The epoch of the published answer table (tests).
+    #[cfg(test)]
+    pub(crate) fn table_epoch(&self) -> u64 {
+        self.published.read().epoch
+    }
+}
+
+/// Materialize a dense working array as a fully populated vector.
+fn materialize_dense<T: graphblas::Scalar>(
+    n: Index,
+    values: impl Iterator<Item = T>,
+) -> Option<Arc<Vector<T>>> {
+    let tuples: Vec<(Index, T)> = values.take(n).enumerate().collect();
+    Vector::from_tuples(n, tuples, |_, b| b).ok().map(Arc::new)
+}
+
+fn dense_u64(v: &Vector<u64>, n: Index) -> Vec<u64> {
+    let mut out = vec![0u64; n];
+    for (i, x) in v.iter() {
+        out[i] = x;
+    }
+    out
+}
+
+fn dense_i64(v: &Vector<i64>, n: Index) -> Vec<i64> {
+    let mut out = vec![0i64; n];
+    for (i, x) in v.iter() {
+        out[i] = x;
+    }
+    out
+}
+
+fn dense_degree(g: &Graph) -> Result<Vec<i64>, GrbError> {
+    let d = g.out_degree()?;
+    let mut out = vec![0i64; g.nvertices()];
+    for (i, x) in d.iter() {
+        out[i] = x;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adj_of(n: usize, edges: &[(Index, Index)]) -> Adjacency {
+        let mut sets = vec![HashSet::new(); n];
+        for &(u, v) in edges {
+            sets[u].insert(v);
+            sets[v].insert(u);
+        }
+        Adjacency { mirror: true, sets }
+    }
+
+    #[test]
+    fn view_names_round_trip() {
+        for k in ViewKind::ALL {
+            assert_eq!(ViewKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(ViewKind::parse("no-such-view"), None);
+    }
+
+    #[test]
+    fn classify_filters_reweights_and_redundant_deletes() {
+        let adj = adj_of(4, &[(0, 1)]);
+        let batch = [
+            Update::Insert(0, 1, 9.0), // present: reweight, no event
+            Update::Delete(2, 3),      // absent: no-op, no event
+            Update::Insert(1, 2, 1.0), // absent: real insert
+            Update::Delete(0, 1),      // present: real delete
+        ];
+        let ev = classify(&adj, &batch);
+        assert_eq!(ev, vec![EdgeEvent::Insert(1, 2), EdgeEvent::Delete(0, 1)]);
+    }
+
+    #[test]
+    fn classify_tracks_within_batch_overrides() {
+        let adj = adj_of(4, &[]);
+        let batch = [
+            Update::Insert(0, 1, 1.0),
+            Update::Insert(0, 1, 2.0), // second submit: reweight of the queued insert
+            Update::Delete(0, 1),      // present (via override): real delete
+            Update::Delete(0, 1),      // already gone: no event
+        ];
+        let ev = classify(&adj, &batch);
+        assert_eq!(ev, vec![EdgeEvent::Insert(0, 1), EdgeEvent::Delete(0, 1)]);
+    }
+
+    #[test]
+    fn engine_rejects_undirected_only_views_on_directed_graphs() {
+        let g = Graph::from_edges(4, &[(0, 1)], GraphKind::Directed).expect("graph");
+        let engine = ViewEngine::new(GraphKind::Directed, Arc::new(g), &ViewsConfig::default());
+        for k in [ViewKind::ConnectedComponents, ViewKind::TriangleCount, ViewKind::CoreNumbers] {
+            assert!(engine.register(k).is_err(), "{k:?} must be rejected on a directed graph");
+        }
+        engine.register(ViewKind::PageRank).expect("pagerank works on directed graphs");
+        engine.register(ViewKind::DegreeCounts).expect("degree works on directed graphs");
+    }
+
+    #[test]
+    fn registration_is_idempotent_and_serves_at_the_current_epoch() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2)], GraphKind::Undirected).expect("graph");
+        let engine = ViewEngine::new(GraphKind::Undirected, Arc::new(g), &ViewsConfig::default());
+        engine.register(ViewKind::TriangleCount).expect("register");
+        engine.register(ViewKind::TriangleCount).expect("re-register");
+        assert_eq!(engine.table_epoch(), 0);
+        let r = engine.serve(0, &QueryKind::TriangleCount).expect("served");
+        assert_eq!(r.count(), Some(0));
+        // Wrong epoch: never served.
+        assert!(engine.serve(1, &QueryKind::TriangleCount).is_none());
+        // Unregistered view: not served.
+        assert!(engine.serve(0, &QueryKind::ConnectedComponents).is_none());
+    }
+
+    #[test]
+    fn views_config_default_covers_all_views() {
+        let c = ViewsConfig::default();
+        assert_eq!(c.views.len(), ViewKind::ALL.len());
+        assert!(c.staleness > 0);
+    }
+}

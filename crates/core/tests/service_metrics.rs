@@ -9,7 +9,7 @@
 //! `GLOBALS`, and assert on snapshot deltas.
 
 use graphblas::metrics;
-use lagraph::service::{BackpressurePolicy, GraphService, Query, ServiceConfig};
+use lagraph::service::{BackpressurePolicy, GraphService, Query, ServiceConfig, ViewsConfig};
 use lagraph::{bfs_level, Graph, GraphKind};
 use std::sync::Mutex;
 
@@ -221,6 +221,74 @@ fn sharded_serving_series_render_clean() {
         assert!(page.contains(family), "render() lacks {family}");
     }
     lint_exposition(&page).expect("sharded series break Prometheus exposition");
+
+    drop(s);
+    metrics::set_enabled(prev);
+}
+
+#[test]
+fn view_repair_series_render_clean() {
+    let _g = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = metrics::enabled();
+    metrics::set_enabled(true);
+
+    let before = snap();
+    let n = 64;
+    let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    let g = Graph::from_edges(n, &edges, GraphKind::Undirected).expect("undirected ring");
+    let s = GraphService::new(
+        g,
+        ServiceConfig {
+            shards: 2,
+            views: Some(ViewsConfig::default()),
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("service with views");
+    // Insert-only churn within the default staleness budget: every view
+    // repairs in place, and the served queries hit the view table.
+    for k in 0..24usize {
+        s.insert_edge(k, (k + 5) % n, 1.0).expect("insert");
+    }
+    s.flush().expect("flush");
+    s.query(Query::connected_components()).expect("cc");
+    s.query(Query::degrees()).expect("degrees");
+    s.query(Query::triangle_count()).expect("tricount");
+
+    let after = snap();
+    for view in ["cc", "degree", "tricount", "kcore", "pagerank"] {
+        let key = format!("lagraph_service_view_refresh_total{{mode=\"repair\",view=\"{view}\"}}");
+        assert!(
+            delta(&after, &before, &key) >= 1.0,
+            "insert-only epoch did not repair view {view} — {key} missing"
+        );
+        let rebuilt =
+            format!("lagraph_service_view_refresh_total{{mode=\"rebuild\",view=\"{view}\"}}");
+        assert_eq!(delta(&after, &before, &rebuilt), 0.0, "insert-only epoch rebuilt view {view}");
+    }
+    for view in ["cc", "degree", "tricount"] {
+        let key = format!("lagraph_service_view_served_total{{view=\"{view}\"}}");
+        assert!(delta(&after, &before, &key) >= 1.0, "view {view} served nothing — {key}");
+    }
+    assert!(
+        delta(&after, &before, "lagraph_service_view_repair_seconds_count{view=\"cc\"}") >= 1.0,
+        "repair latency histogram missing samples"
+    );
+
+    // The repair histograms publish percentile companions and the whole
+    // family must render clean under the exposition lint.
+    let page = metrics::render();
+    for family in [
+        "lagraph_service_view_refresh_total{mode=\"repair\",view=\"cc\"}",
+        "lagraph_service_view_served_total{view=\"cc\"}",
+        "lagraph_service_view_repair_seconds_count{view=\"cc\"}",
+        "lagraph_service_view_repair_seconds_p50{view=\"cc\"}",
+        "lagraph_service_view_repair_seconds_p95{view=\"cc\"}",
+        "lagraph_service_view_repair_seconds_p99{view=\"cc\"}",
+    ] {
+        assert!(page.contains(family), "render() lacks {family}");
+    }
+    lint_exposition(&page).expect("view series break Prometheus exposition");
 
     drop(s);
     metrics::set_enabled(prev);
